@@ -1,0 +1,96 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper's evaluation has one benchmark module.
+The paper's experiments run week-long traces against 16 K - 4 M entry
+tables; at pure-Python speed that is hours per figure, so the benchmarks
+run proportionally scaled request counts and table sizes by default.  The
+ratio that determines every curve's shape -- table capacity versus the
+unique-pair population -- is preserved.  Set ``REPRO_SCALE`` (a float,
+default 1.0) to scale the request counts up or down.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.blkdev.device import SsdDevice
+from repro.core.extent import Extent, ExtentPair
+from repro.fim.pairs import exact_pair_counts
+from repro.pipeline import PipelineResult, run_pipeline
+from repro.workloads.enterprise import WORKLOAD_NAMES, generate_named
+from repro.workloads.synthetic import (
+    SyntheticKind,
+    SyntheticSpec,
+    generate_synthetic,
+)
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+#: Requests per enterprise workload at scale 1.0.
+ENTERPRISE_REQUESTS = max(2000, int(20000 * SCALE))
+#: Synthetic workload duration (seconds of virtual time) at scale 1.0.
+SYNTHETIC_DURATION = max(30.0, 120.0 * SCALE)
+
+
+def scaled(value: int) -> int:
+    """Scale an iteration/request count by REPRO_SCALE (min 1)."""
+    return max(1, int(value * SCALE))
+
+
+@pytest.fixture(scope="session")
+def enterprise_traces() -> Dict[str, Tuple[list, object]]:
+    """All five MSR-like traces, generated once per benchmark session."""
+    return {
+        name: generate_named(name, requests=ENTERPRISE_REQUESTS, seed=7)
+        for name in WORKLOAD_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def enterprise_pipelines(enterprise_traces) -> Dict[str, PipelineResult]:
+    """Each enterprise trace run through the full replay/monitor/analyze
+    pipeline with the paper's default configuration (dual online+offline)."""
+    results = {}
+    for name, (records, _truth) in enterprise_traces.items():
+        results[name] = run_pipeline(records, device=SsdDevice(seed=11))
+    return results
+
+
+@pytest.fixture(scope="session")
+def enterprise_ground_truth(enterprise_pipelines) -> Dict[str, dict]:
+    """Exact offline pair counts over each trace's recorded transactions."""
+    return {
+        name: exact_pair_counts(result.offline_transactions())
+        for name, result in enterprise_pipelines.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def synthetic_workloads():
+    """The paper's three synthetic workloads with ground truth."""
+    out = {}
+    for offset, kind in enumerate(SyntheticKind):
+        spec = SyntheticSpec(kind=kind, duration=SYNTHETIC_DURATION,
+                             seed=42 + offset)
+        out[kind.value] = generate_synthetic(spec)
+    return out
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def print_row(*columns, widths=(12, 14, 14, 14, 14)) -> None:
+    cells = []
+    for value, width in zip(columns, widths):
+        if isinstance(value, float):
+            cells.append(f"{value:>{width}.3f}")
+        else:
+            cells.append(f"{str(value):>{width}}")
+    print("".join(cells))

@@ -1,0 +1,194 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Extent vs block correlations (paper III-A): the pair-count blow-up the
+   extent representation avoids.
+2. Dynamic vs static transaction window (III-B) under a latency regime
+   shift.
+3. Transaction size cap and dedup (III-D2).
+4. The two-tier promote/demote structure vs plain LRU and frequency-only
+   tables.
+5. The T1:T2 split (IV-C1).
+"""
+
+from repro.analysis.accuracy import detection_metrics
+from repro.blkdev.device import SsdDevice
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.core.extent import block_correlations, unique_pairs
+from repro.core.lru import LruQueue
+from repro.fim.pairs import exact_pair_counts
+from repro.monitor.window import DynamicLatencyWindow, StaticWindow
+from repro.pipeline import run_pipeline
+
+from conftest import print_header, print_row, scaled
+
+
+def test_ablation_extent_vs_block(benchmark, enterprise_pipelines):
+    """III-A: count block-level vs extent-level correlations per
+    transaction on real transactions."""
+    transactions = enterprise_pipelines["wdev"].offline_transactions()
+    sample = transactions[:scaled(500)]
+
+    def compute():
+        extent_pairs = sum(len(unique_pairs(t)) for t in sample)
+        block_pairs = sum(len(block_correlations(t)) for t in sample)
+        return extent_pairs, block_pairs
+
+    extent_pairs, block_pairs = benchmark.pedantic(compute, rounds=1,
+                                                   iterations=1)
+
+    print_header("Ablation III-A: extent vs block correlation counts")
+    print_row("granularity", "pairs", "per txn")
+    print_row("extent", extent_pairs, extent_pairs / len(sample))
+    print_row("block", block_pairs, block_pairs / len(sample))
+
+    # The paper's Fig. 2 example alone is 1 extent pair vs 21 block pairs;
+    # across real transactions the blow-up is at least an order of
+    # magnitude.
+    assert block_pairs > 10 * extent_pairs
+
+
+def test_ablation_window_policy(benchmark, synthetic_workloads):
+    """III-B: a dynamic 2x-latency window adapts to a device change; a
+    static window tuned for the old regime fragments or over-merges."""
+    records, truth = synthetic_workloads["one-to-one"]
+
+    def run(window):
+        result = run_pipeline(records, device=SsdDevice(seed=61),
+                              window=window, record_offline=False)
+        detected = {p for p, _t in result.frequent_pairs(min_support=5)}
+        return sum(1 for pair in truth.pairs if pair in detected)
+
+    def compute():
+        return {
+            "dynamic 2x": run(DynamicLatencyWindow()),
+            "static 1ms": run(StaticWindow(1e-3)),
+            "static 1us": run(StaticWindow(1e-6)),
+        }
+
+    found = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Ablation III-B: window policy vs planted-pair detection")
+    print_row("policy", "planted found (of 4)")
+    for policy, count in found.items():
+        print_row(policy, count, widths=(14, 10))
+
+    assert found["dynamic 2x"] == 4
+    # A window far below the intra-pair gap separates the pair members
+    # into different transactions and destroys detection.
+    assert found["static 1us"] < 4
+
+
+def test_ablation_dedup_and_cap(benchmark, enterprise_traces):
+    """III-D2: dedup prevents wdev's repeated in-window requests from
+    distorting correlation frequencies; the cap bounds work."""
+    records, _truth = enterprise_traces["wdev"]
+    sample = records[:scaled(8000)]
+
+    def compute():
+        out = {}
+        for dedup in (True, False):
+            result = run_pipeline(sample, device=SsdDevice(seed=63),
+                                  dedup=dedup)
+            out[dedup] = (
+                result.monitor_stats.duplicates_removed,
+                result.analyzer.report().pairs_seen,
+            )
+        capped = run_pipeline(sample, device=SsdDevice(seed=63),
+                              max_transaction_size=4)
+        out["cap4"] = (capped.monitor_stats.size_splits,
+                       capped.analyzer.report().pairs_seen)
+        return out
+
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Ablation III-D2: dedup and transaction cap on wdev")
+    print_row("config", "dups/splits", "pairs seen")
+    print_row("dedup on", out[True][0], out[True][1])
+    print_row("dedup off", out[False][0], out[False][1])
+    print_row("cap 4", out["cap4"][0], out["cap4"][1])
+
+    # wdev genuinely repeats requests inside windows...
+    assert out[True][0] > 0
+    # ...and with dedup off those repeats do not inflate pair counts with
+    # self-pairs (the analyzer collapses), but transactions get longer so
+    # the monitor-level dedup still reduces total work.
+    assert out["cap4"][1] <= out[True][1]
+
+
+def test_ablation_two_tier_vs_plain_lru(benchmark, enterprise_pipelines,
+                                        enterprise_ground_truth):
+    """Two-tier promote/demote vs a single LRU of equal total capacity:
+    the frequency tier must retain hot pairs that noise floods out of a
+    plain LRU."""
+    transactions = enterprise_pipelines["hm"].offline_transactions()
+    truth = enterprise_ground_truth["hm"]
+    capacity = scaled(1024)
+
+    def compute():
+        synopsis = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=capacity, correlation_capacity=capacity
+        ))
+        synopsis.process_stream(transactions)
+        synopsis_detected = list(synopsis.pair_frequencies())
+
+        plain = LruQueue(2 * capacity)  # same total entry budget
+        for extents in transactions:
+            for pair in unique_pairs(extents):
+                if pair in plain:
+                    plain.touch(pair)
+                else:
+                    plain.insert(pair)
+        plain_detected = [key for key, _t in plain.items()]
+        return synopsis_detected, plain_detected
+
+    synopsis_detected, plain_detected = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+
+    synopsis_metrics = detection_metrics(truth, synopsis_detected, 5)
+    plain_metrics = detection_metrics(truth, plain_detected, 5)
+
+    print_header("Ablation: two-tier synopsis vs plain LRU (hm, equal budget)")
+    print_row("structure", "wght recall", "recall")
+    print_row("two-tier", synopsis_metrics.weighted_recall,
+              synopsis_metrics.recall)
+    print_row("plain LRU", plain_metrics.weighted_recall,
+              plain_metrics.recall)
+
+    assert synopsis_metrics.weighted_recall > plain_metrics.weighted_recall
+
+
+def test_ablation_tier_split(benchmark, enterprise_pipelines,
+                             enterprise_ground_truth):
+    """IV-C1: sweep the T1:T2 ratio.  The paper found an equal split
+    appropriate and warns that starving T1 (favouring T2) hurts, because
+    T1 must absorb the noise long enough for hot pairs to earn promotion."""
+    transactions = enterprise_pipelines["stg"].offline_transactions()
+    truth = enterprise_ground_truth["stg"]
+    capacity = scaled(1024)
+
+    def compute():
+        out = {}
+        for ratio in (0.1, 0.3, 0.5, 0.7, 0.9):
+            analyzer = OnlineAnalyzer(AnalyzerConfig(
+                item_capacity=capacity, correlation_capacity=capacity,
+                t2_ratio=ratio,
+            ))
+            analyzer.process_stream(transactions)
+            metrics = detection_metrics(
+                truth, list(analyzer.pair_frequencies()), 5
+            )
+            out[ratio] = metrics.weighted_recall
+        return out
+
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Ablation IV-C1: T2 share of the table (stg)")
+    print_row("t2 ratio", "wght recall")
+    for ratio, recall in out.items():
+        print_row(ratio, recall, widths=(10, 14))
+
+    # A starved T1 (t2_ratio 0.9) must not beat the balanced split by any
+    # meaningful margin, and should typically lose.
+    assert out[0.9] <= out[0.5] + 0.02

@@ -1,0 +1,151 @@
+"""Baseline-structure comparisons beyond the paper's main ablations.
+
+1. **Two-tier synopsis vs classic ARC** -- the paper's structure is
+   "inspired by ARC" but drops the ghost lists for fixed tiers + demotion.
+   Both are run as pair synopses at the same resident-entry budget.
+2. **C-Miner-style offline mining vs the online framework** -- the primary
+   related work (§II-B).  Both must find the frequent correlations; the
+   contrast the paper draws is operational: C-Miner needs the stored trace
+   (bytes on disk) and an after-the-fact pass, the framework does not.
+3. **EWMA-mean vs percentile window** under the SSD's heavy-tailed write
+   latency (GC stalls): how the window duration responds.
+"""
+
+from repro.analysis.accuracy import detection_metrics
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.arc import ArcTable
+from repro.core.config import AnalyzerConfig
+from repro.core.extent import unique_pairs
+from repro.fim.cminer import CMinerConfig, cminer_from_records
+from repro.monitor.histogram import PercentileLatencyWindow
+from repro.monitor.window import DynamicLatencyWindow
+from repro.pipeline import run_pipeline
+from repro.trace.io import binary_trace_bytes
+
+from conftest import print_header, print_row, scaled
+
+
+def test_arc_vs_two_tier(benchmark, enterprise_pipelines,
+                         enterprise_ground_truth):
+    """Same entry budget, same transaction stream: the paper's fixed
+    two-tier table against real ARC as a pair synopsis."""
+    transactions = enterprise_pipelines["hm"].offline_transactions()
+    truth = enterprise_ground_truth["hm"]
+    capacity = scaled(1024)
+
+    def compute():
+        synopsis = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=capacity, correlation_capacity=capacity
+        ))
+        synopsis.process_stream(transactions)
+
+        arc = ArcTable(2 * capacity)  # same resident budget (2C entries)
+        for extents in transactions:
+            for pair in unique_pairs(extents):
+                arc.access(pair)
+        return (
+            list(synopsis.pair_frequencies()),
+            [key for key, _t in arc.resident_items()],
+            arc.p,
+        )
+
+    synopsis_pairs, arc_pairs, arc_p = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+
+    synopsis_metrics = detection_metrics(truth, synopsis_pairs, 5)
+    arc_metrics = detection_metrics(truth, arc_pairs, 5)
+
+    print_header("Two-tier synopsis vs classic ARC (hm, equal budget)")
+    print_row("structure", "wght recall", "recall")
+    print_row("two-tier", synopsis_metrics.weighted_recall,
+              synopsis_metrics.recall)
+    print_row("ARC", arc_metrics.weighted_recall, arc_metrics.recall)
+    print_row("ARC p", arc_p, "")
+
+    # Both structures must capture the hot correlations well; the paper's
+    # simplification must not cost meaningful accuracy versus full ARC.
+    assert synopsis_metrics.weighted_recall > 0.85
+    assert synopsis_metrics.weighted_recall >= (
+        arc_metrics.weighted_recall - 0.05
+    )
+
+
+def test_cminer_vs_online(benchmark, synthetic_workloads):
+    """Both approaches find the planted correlations; only the offline one
+    needs the trace stored on disk."""
+
+    def compute():
+        rows = {}
+        for name, (records, truth) in synthetic_workloads.items():
+            mined = cminer_from_records(records, CMinerConfig(
+                segment_length=50, gap=8, min_support=5, min_confidence=0.3
+            ))
+            mined_extents = set()
+            for a, b in mined.pair_supports:
+                mined_extents.add(a)
+                mined_extents.add(b)
+            offline_found = sum(
+                1 for pair in truth.pairs
+                if pair.first in mined_extents and pair.second in mined_extents
+            )
+
+            online = run_pipeline(records, record_offline=False)
+            detected = {p for p, _t in online.frequent_pairs(min_support=5)}
+            online_found = sum(1 for pair in truth.pairs if pair in detected)
+
+            rows[name] = (
+                offline_found, online_found, len(truth.pairs),
+                binary_trace_bytes(len(records)),
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("C-Miner (offline) vs online framework")
+    print_row("workload", "offline", "online", "planted", "trace bytes")
+    for name, (offline_found, online_found, total, stored) in rows.items():
+        print_row(name, offline_found, online_found, total, stored)
+
+    for name, (offline_found, online_found, total, stored) in rows.items():
+        assert online_found == total, name
+        assert offline_found >= total - 1, name
+        # The operational difference: offline analysis had to store the
+        # whole trace (tens of KB even for these short runs, linear in
+        # trace length); the synopsis is fixed-size regardless of length.
+        assert stored > 50_000, name
+
+
+def test_window_policies_under_gc_tail(benchmark):
+    """Feed both window policies the same latency stream: steady reads
+    plus occasional multi-millisecond GC stalls."""
+
+    def compute():
+        mean_window = DynamicLatencyWindow()
+        median_window = PercentileLatencyWindow()
+        steady, stall = 100e-6, 20e-3
+        trajectory = []
+        for i in range(2000):
+            latency = stall if i % 100 == 99 else steady
+            mean_window.observe_latency(latency)
+            median_window.observe_latency(latency)
+            if i % 200 == 199:
+                trajectory.append(
+                    (i + 1, mean_window.duration(), median_window.duration())
+                )
+        return trajectory
+
+    trajectory = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Window policy under a 1% GC-stall tail (target 200us)")
+    print_row("events", "2x EWMA mean", "2x median")
+    for events, mean_duration, median_duration in trajectory:
+        print_row(events, f"{mean_duration * 1e6:.0f}us",
+                  f"{median_duration * 1e6:.0f}us")
+
+    final_mean = trajectory[-1][1]
+    final_median = trajectory[-1][2]
+    # The median window stays near the 200us ideal; the mean window is
+    # inflated by the stalls.
+    assert final_median < 350e-6
+    assert final_mean > final_median

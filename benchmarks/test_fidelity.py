@@ -1,0 +1,122 @@
+"""Fidelity of synopsis strength estimates vs exact ground truth.
+
+Detection accuracy (the >90 % headline) checks *membership*; optimizers
+that prioritise by correlation strength also need the synopsis to *rank*
+pairs the way the true frequencies do.  This bench scores rank and weight
+agreement for the paper's structure and the estDec+ stream baseline under
+comparable budgets, plus the request-merging ablation: merging upstream of
+the monitor collapses split sequential runs and shrinks the pair load.
+"""
+
+from repro.analysis.compare import rank_agreement
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.core.extent import ExtentPair
+from repro.fim.estdec import EstDecConfig, EstDecMiner
+from repro.monitor.merge import RequestMerger
+from repro.monitor.monitor import Monitor, TransactionRecorder
+from repro.monitor.window import StaticWindow
+
+from conftest import print_header, print_row, scaled
+
+
+def test_rank_fidelity(benchmark, enterprise_pipelines,
+                       enterprise_ground_truth):
+    budget = scaled(4096)
+
+    def compute():
+        rows = {}
+        for name in ("wdev", "hm"):
+            transactions = enterprise_pipelines[name].offline_transactions()
+            truth = enterprise_ground_truth[name]
+
+            synopsis = OnlineAnalyzer(AnalyzerConfig(
+                item_capacity=budget, correlation_capacity=budget
+            ))
+            synopsis.process_stream(transactions)
+            synopsis_report = rank_agreement(
+                truth, synopsis.pair_frequencies(), top_k=100
+            )
+
+            stream = EstDecMiner(EstDecConfig(
+                decay=0.9999, insertion_threshold=0.5,
+                max_entries=4 * budget,
+            ))
+            stream.process_stream(transactions)
+            stream_counts = {
+                ExtentPair(*sorted(key)): count
+                for key, count in stream.frequent_pairs(0.5)
+            }
+            stream_report = rank_agreement(truth, stream_counts, top_k=100)
+            rows[name] = (synopsis_report, stream_report)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Strength fidelity vs exact counts (top-100)")
+    print_row("workload", "method", "kendall", "top-k", "w-jaccard")
+    for name, (synopsis_report, stream_report) in rows.items():
+        print_row(name, "synopsis", synopsis_report.kendall_tau,
+                  synopsis_report.top_k_overlap,
+                  synopsis_report.weighted_jaccard)
+        print_row(name, "estDec+", stream_report.kendall_tau,
+                  stream_report.top_k_overlap,
+                  stream_report.weighted_jaccard)
+
+    for name, (synopsis_report, _stream) in rows.items():
+        # The synopsis ranks the hot pairs essentially like the truth.
+        assert synopsis_report.kendall_tau > 0.6, name
+        assert synopsis_report.top_k_overlap > 0.9, name
+
+
+def test_request_merging_ablation(benchmark):
+    """A split sequential writer: 4x 8-block requests per logical 32-block
+    write.  Merging reconstructs the logical extents, cutting monitor
+    traffic and trivial pair load."""
+
+    def compute():
+        from repro.monitor.events import BlockIOEvent
+        from repro.trace.record import OpType
+
+        def raw_events():
+            clock = 0.0
+            for round_index in range(scaled(400)):
+                base = (round_index % 10) * 4096
+                for piece in range(4):
+                    yield BlockIOEvent(clock + piece * 2e-5, 1,
+                                       OpType.WRITE, base + piece * 8, 8)
+                clock += 0.02
+
+        def run(with_merger):
+            recorder = TransactionRecorder()
+            monitor = Monitor(window=StaticWindow(1e-3), sinks=[recorder])
+            if with_merger:
+                merger = RequestMerger(monitor.on_event)
+                for raw in raw_events():
+                    merger.on_event(raw)
+                merger.flush()
+            else:
+                for raw in raw_events():
+                    monitor.on_event(raw)
+            monitor.flush()
+            analyzer = OnlineAnalyzer(AnalyzerConfig(
+                item_capacity=scaled(1024),
+                correlation_capacity=scaled(1024),
+            ))
+            analyzer.process_stream(recorder.extent_transactions())
+            return (monitor.stats.events_seen,
+                    analyzer.report().pairs_seen)
+
+        return run(with_merger=False), run(with_merger=True)
+
+    (raw_events_seen, raw_pairs), (merged_events, merged_pairs) = (
+        benchmark.pedantic(compute, rounds=1, iterations=1)
+    )
+
+    print_header("Request-merging ablation (split sequential writer)")
+    print_row("stage", "events", "pairs seen")
+    print_row("raw", raw_events_seen, raw_pairs)
+    print_row("merged", merged_events, merged_pairs)
+
+    assert merged_events == raw_events_seen / 4   # 4 pieces -> 1 request
+    assert merged_pairs < raw_pairs / 2

@@ -1,0 +1,98 @@
+"""Figure 10 -- learning new concepts and forgetting old ones.
+
+The paper replays the first 100 K requests of wdev, then the first 100 K of
+hm, then the second 100 K of wdev, with a correlation table of C = 32 K --
+too small to hold both concepts.  The synopsis snapshots show wdev's
+pattern forming, being displaced by hm's, and re-forming as hm fades.  We
+run the same composition at scale: segment lengths and table size shrink
+proportionally (the operative property is that the table cannot hold both
+concepts at once).
+"""
+
+from repro.blkdev.device import SsdDevice
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.fim.pairs import exact_pair_counts, pairs_with_support
+from repro.monitor.monitor import Monitor, TransactionRecorder
+from repro.pipeline import run_pipeline
+from repro.workloads.composite import drift_workload
+
+from conftest import print_header, print_row, scaled
+
+SEGMENT_REQUESTS = scaled(6000)
+TABLE_CAPACITY = scaled(1024)
+CONCEPT_SUPPORT = 3
+
+
+def _concept_frequent_pairs(records):
+    """A concept's signature: its frequent pairs under the full pipeline."""
+    result = run_pipeline(records, device=SsdDevice(seed=41))
+    counts = exact_pair_counts(result.offline_transactions())
+    return set(pairs_with_support(counts, CONCEPT_SUPPORT))
+
+
+def _run_drift(enterprise_traces):
+    wdev_records, _ = enterprise_traces["wdev"]
+    hm_records, _ = enterprise_traces["hm"]
+    if len(wdev_records) < 2 * SEGMENT_REQUESTS:
+        raise AssertionError("trace too short for the drift composition")
+
+    flat, segments = drift_workload(
+        wdev_records, hm_records, SEGMENT_REQUESTS, labels=("wdev", "hm")
+    )
+    concepts = {
+        "wdev": _concept_frequent_pairs(wdev_records[:2 * SEGMENT_REQUESTS]),
+        "hm": _concept_frequent_pairs(hm_records[:SEGMENT_REQUESTS]),
+    }
+
+    analyzer = OnlineAnalyzer(AnalyzerConfig(
+        item_capacity=TABLE_CAPACITY, correlation_capacity=TABLE_CAPACITY
+    ))
+    monitor = Monitor()
+    recorder = TransactionRecorder()
+    monitor.add_sink(lambda t: analyzer.process(t.extents))
+    monitor.add_sink(recorder)
+
+    snapshots = []
+    device = SsdDevice(seed=43)
+    from repro.blkdev.replay import replay_timed
+    for segment in segments:
+        replay_timed(segment.records, device,
+                     listeners=[monitor.on_event], collect=False)
+        monitor.flush()
+        resident = set(analyzer.pair_frequencies())
+        # How much of each concept's frequent-pair signature is currently
+        # held -- the "pattern" the paper's Fig. 10 snapshots visualise.
+        recall = {
+            name: len(resident & signature) / len(signature)
+            for name, signature in concepts.items()
+        }
+        snapshots.append((segment.label, len(resident), recall))
+    return snapshots
+
+
+def test_fig10_report(benchmark, enterprise_traces):
+    snapshots = benchmark.pedantic(
+        _run_drift, args=(enterprise_traces,), rounds=1, iterations=1
+    )
+
+    print_header(
+        f"Fig 10: concept drift wdev->hm->wdev "
+        f"(C={TABLE_CAPACITY}, {SEGMENT_REQUESTS} reqs/segment)"
+    )
+    print_row("segment", "resident", "wdev recall", "hm recall")
+    for label, resident, recall in snapshots:
+        print_row(label, resident, recall["wdev"], recall["hm"])
+
+    by_label = {label: recall for label, _r, recall in snapshots}
+
+    # After the first wdev segment the synopsis holds wdev's concept and
+    # knows nothing of hm.
+    assert by_label["wdev-1"]["wdev"] > 0.4
+    assert by_label["wdev-1"]["hm"] < 0.05
+    # hm's segment displaces wdev: hm's pattern dominates, wdev has faded.
+    assert by_label["hm-1"]["hm"] > by_label["hm-1"]["wdev"]
+    assert by_label["hm-1"]["wdev"] < by_label["wdev-1"]["wdev"] * 0.9
+    # More wdev requests bring wdev's pattern back while hm begins to fade.
+    assert by_label["wdev-2"]["wdev"] > by_label["hm-1"]["wdev"]
+    assert by_label["wdev-2"]["hm"] < by_label["hm-1"]["hm"]

@@ -1,0 +1,70 @@
+"""Figure 9 -- representability of extent correlations versus optimal.
+
+For each trace and each correlation-table size, the captured fraction of
+total pair frequency is divided by the optimal fraction possible for the
+same number of entries (Fig. 6).  The paper's curve is low for small
+tables, rises with size, and reaches 100% when the table can hold every
+pair; stg -- whose pairs are mostly an infrequent long tail -- performs
+poorly against optimal at small sizes because valuable pairs are evicted
+by LRU before they become frequent.
+
+The paper sweeps 16 K - 4 M entries against week-long traces; we sweep
+proportionally scaled powers of two against the scaled traces.
+"""
+
+from repro.analysis.optimal import optimal_curve, power_of_two_sizes
+from repro.analysis.representability import sweep_table_sizes
+
+from conftest import print_header, print_row, scaled
+
+#: Per-tier capacities swept (the paper's "table size" axis, scaled).
+CAPACITIES = power_of_two_sizes(256, 16384)
+
+
+def test_fig9_report(benchmark, enterprise_pipelines, enterprise_ground_truth):
+    def compute():
+        quality = {}
+        for name, pipeline in enterprise_pipelines.items():
+            transactions = pipeline.offline_transactions()
+            truth = enterprise_ground_truth[name]
+            sweep = sweep_table_sizes(transactions, truth, CAPACITIES)
+            quality[name] = [(cap, score.quality, score.captured_fraction)
+                             for cap, score in sweep]
+        return quality
+
+    quality = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Fig 9: captured/optimal vs correlation-table capacity C")
+    print_row("workload", *[str(c) for c in CAPACITIES],
+              widths=(10,) + (9,) * len(CAPACITIES))
+    for name, series in quality.items():
+        print_row(name, *[f"{q:.2f}" for _c, q, _f in series],
+                  widths=(10,) + (9,) * len(CAPACITIES))
+
+    for name, series in quality.items():
+        qualities = [q for _c, q, _f in series]
+        # Rising trend: the largest table must beat the smallest clearly.
+        assert qualities[-1] > qualities[0], name
+        # With a table big enough for every pair, quality reaches ~100%.
+        assert qualities[-1] > 0.95, name
+        # Quality is a ratio against optimal, never above 1 (tolerance for
+        # the resident count exceeding unique pairs is impossible).
+        assert all(q <= 1.0 + 1e-9 for q in qualities), name
+
+    # stg's long tail makes small tables perform worst versus optimal.
+    small_quality = {name: series[0][1] for name, series in quality.items()}
+    assert small_quality["stg"] == min(small_quality.values())
+    assert small_quality["wdev"] > small_quality["stg"]
+
+
+def test_benchmark_single_sweep_point(benchmark, enterprise_pipelines,
+                                      enterprise_ground_truth):
+    """Cost of one online pass at one table size (the Fig. 9 inner loop)."""
+    pipeline = enterprise_pipelines["rsrch"]
+    transactions = pipeline.offline_transactions()
+    truth = enterprise_ground_truth["rsrch"]
+
+    def run():
+        sweep_table_sizes(transactions, truth, [scaled(2048)])
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

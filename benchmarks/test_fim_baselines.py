@@ -1,0 +1,157 @@
+"""Section II-B -- the offline and stream FIM baselines.
+
+The paper characterises the offline miners as a time/space trade-off
+(apriori fast but memory-hungry, eclat lean but slow, fp-growth between)
+and finds stream FIM (estDec+) unable to keep up with block I/O rates at
+reasonable accuracy because it chases maximal itemsets.  This benchmark
+times all three offline miners on the recorded transactions of a real
+workload, checks they agree, and compares the estDec+-style stream miner's
+accuracy and throughput against the paper's synopsis.
+"""
+
+import time
+import tracemalloc
+
+from repro.analysis.accuracy import detection_metrics
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.core.extent import ExtentPair
+from repro.fim.apriori import apriori
+from repro.fim.eclat import eclat
+from repro.fim.estdec import EstDecConfig, EstDecMiner
+from repro.fim.fpgrowth import fpgrowth
+from repro.fim.itemset import frequent_pairs
+from repro.fim.pairs import exact_pair_counts, itemsets_to_pair_counts
+
+from conftest import print_header, print_row, scaled
+
+SUPPORT = 5
+
+
+def _timed(miner, transactions):
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = miner(transactions, min_support=SUPPORT, max_size=2)
+    elapsed = time.perf_counter() - start
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, elapsed, peak
+
+
+def test_offline_miner_comparison(benchmark, enterprise_pipelines):
+    transactions = enterprise_pipelines["rsrch"].offline_transactions()
+
+    def compute():
+        return {
+            miner.__name__: _timed(miner, transactions)
+            for miner in (apriori, eclat, fpgrowth)
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header(f"FIM baselines on rsrch transactions (support {SUPPORT})")
+    print_row("miner", "pairs", "seconds", "peak MB")
+    for name, (itemsets, elapsed, peak) in results.items():
+        print_row(name, len(frequent_pairs(itemsets)), elapsed,
+                  peak / (1024 * 1024))
+
+    # All three miners agree exactly.
+    pair_sets = [
+        itemsets_to_pair_counts(frequent_pairs(itemsets))
+        for itemsets, _e, _m in results.values()
+    ]
+    assert pair_sets[0] == pair_sets[1] == pair_sets[2]
+
+    # ... and agree with the exact pair counter.
+    truth = {
+        pair: count
+        for pair, count in exact_pair_counts(transactions).items()
+        if count >= SUPPORT
+    }
+    assert pair_sets[0] == truth
+
+
+def test_stream_miner_vs_synopsis(benchmark, enterprise_pipelines,
+                                  enterprise_ground_truth):
+    """estDec+-style decayed mining versus the paper's two-tier synopsis
+    under the same memory budget (entry count)."""
+    transactions = enterprise_pipelines["wdev"].offline_transactions()
+    truth = enterprise_ground_truth["wdev"]
+    budget = scaled(4096)
+
+    def compute():
+        synopsis = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=budget, correlation_capacity=budget
+        ))
+        start = time.perf_counter()
+        synopsis.process_stream(transactions)
+        synopsis_time = time.perf_counter() - start
+        synopsis_detected = [p for p, _t in synopsis.frequent_pairs(1)]
+
+        stream = EstDecMiner(EstDecConfig(
+            decay=0.9999, insertion_threshold=0.5, max_entries=4 * budget
+        ))
+        start = time.perf_counter()
+        stream.process_stream(transactions)
+        stream_time = time.perf_counter() - start
+        stream_detected = [
+            ExtentPair(*sorted(key)) for key, _c in stream.frequent_pairs(0.5)
+        ]
+        return (synopsis_detected, synopsis_time,
+                stream_detected, stream_time)
+
+    synopsis_detected, synopsis_time, stream_detected, stream_time = (
+        benchmark.pedantic(compute, rounds=1, iterations=1)
+    )
+
+    synopsis_metrics = detection_metrics(truth, synopsis_detected, SUPPORT)
+    stream_metrics = detection_metrics(truth, stream_detected, SUPPORT)
+
+    print_header("Stream FIM (estDec+) vs two-tier synopsis on wdev")
+    print_row("method", "wght recall", "recall", "seconds")
+    print_row("synopsis", synopsis_metrics.weighted_recall,
+              synopsis_metrics.recall, synopsis_time)
+    print_row("estDec+", stream_metrics.weighted_recall,
+              stream_metrics.recall, stream_time)
+
+    # The synopsis must detect at least as much as the stream baseline at
+    # a comparable (actually smaller) entry budget, and stay fast.
+    assert synopsis_metrics.weighted_recall >= 0.9
+    assert synopsis_metrics.weighted_recall >= (
+        stream_metrics.weighted_recall - 0.05
+    )
+    assert synopsis_time < 10 * max(stream_time, 1e-9)
+
+
+def test_stream_lattice_depth_cost(benchmark, enterprise_pipelines):
+    """The paper's diagnosis of stream FIM: "the focus of stream based FIM
+    algorithms to generate frequent itemsets of maximum size rather than
+    only pairs" is what makes them too slow.  Sweep the monitored lattice
+    depth and measure the per-transaction cost explosion."""
+    transactions = enterprise_pipelines["rsrch"].offline_transactions()
+    sample = transactions[:scaled(3000)]
+
+    def compute():
+        rows = {}
+        for depth in (2, 3, 4):
+            miner = EstDecMiner(EstDecConfig(
+                decay=0.9999, insertion_threshold=0.5,
+                max_entries=scaled(65536), max_itemset_size=depth,
+            ))
+            start = time.perf_counter()
+            miner.process_stream(sample)
+            elapsed = time.perf_counter() - start
+            rows[depth] = (elapsed, len(miner))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Stream FIM cost vs monitored itemset size (rsrch)")
+    print_row("max size", "seconds", "entries")
+    for depth, (elapsed, entries) in rows.items():
+        print_row(depth, elapsed, entries)
+
+    # Cost and state grow with lattice depth -- pairs-only is the cheap
+    # point the paper's framework exploits.
+    assert rows[4][0] > rows[2][0]
+    assert rows[4][1] > rows[2][1]

@@ -1,0 +1,103 @@
+"""Semantic correlations (paper §II-A's examples) detected end to end.
+
+The paper's canonical inter-request correlations are structural: "an inode
+block and its associated data blocks", and "blocks for a web server
+request being correlated with the blocks of a database table".  These
+benches generate workloads where such correlations arise from a simulated
+filesystem/application layout (not planted pairs) and check the framework
+recovers them -- plus the *time-to-detection* measurement that backs the
+real-time claim: the synopsis knows the hot correlations after a small
+fraction of the stream, while offline analysis by construction knows
+nothing until the trace ends.
+"""
+
+from repro.analysis.timeline import measure_detection_latency
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.monitor.monitor import Monitor, TransactionRecorder
+from repro.pipeline import run_pipeline
+from repro.workloads.semantic import (
+    FileServerSpec,
+    WebsiteSpec,
+    generate_fileserver,
+    generate_website,
+)
+
+from conftest import print_header, print_row, scaled
+
+
+def test_semantic_detection_report(benchmark):
+    def compute():
+        fs_spec = FileServerSpec(files=12, requests=scaled(600), seed=9)
+        fs_records, fs_truth, fs_layout = generate_fileserver(fs_spec)
+        fs_result = run_pipeline(fs_records, record_offline=False)
+        fs_detected = {p for p, _t in fs_result.frequent_pairs(min_support=5)}
+        hot_files = fs_layout.files[:4]  # Zipf head
+        inode_hits = sum(
+            1 for file_object in hot_files
+            if set(file_object.semantic_pairs()) & fs_detected
+        )
+
+        web_spec = WebsiteSpec(pages=6, tables=3, requests=scaled(400),
+                               seed=13)
+        web_records, web_truth, _layout = generate_website(web_spec)
+        web_result = run_pipeline(web_records, record_offline=False)
+        web_detected = {
+            p for p, _t in web_result.frequent_pairs(min_support=5)
+        }
+        cross = set(web_truth.web_db_pairs) & web_detected
+        return inode_hits, len(hot_files), len(cross), len(web_detected)
+
+    inode_hits, hot_files, cross, web_total = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+
+    print_header("Semantic correlations (paper II-A examples)")
+    print_row("scenario", "expected", "found")
+    print_row("inode<->data (hot files)", hot_files, inode_hits)
+    print_row("web<->database", ">0", cross)
+
+    # Every hot file's inode/data correlation is detected.
+    assert inode_hits == hot_files
+    # The cross-layer web/db correlation is visible at the block layer.
+    assert cross > 0
+
+
+def test_time_to_detection(benchmark):
+    """The real-time payoff: hot semantic correlations are known after a
+    small fraction of the stream.  Offline analysis sits at 1.0 by
+    definition (it needs the complete trace first)."""
+
+    def compute():
+        spec = FileServerSpec(files=12, requests=scaled(600), seed=9)
+        records, _truth, layout = generate_fileserver(spec)
+        # Re-monitor to get the transaction stream.
+        recorder = TransactionRecorder()
+        monitor = Monitor(sinks=[recorder])
+        from repro.blkdev.device import SsdDevice
+        from repro.blkdev.replay import replay_timed
+        replay_timed(records, SsdDevice(seed=77),
+                     listeners=[monitor.on_event], collect=False)
+        monitor.flush()
+        transactions = recorder.extent_transactions()
+
+        hottest = layout.files[0]
+        watched = hottest.semantic_pairs()
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=4096, correlation_capacity=4096
+        ))
+        return measure_detection_latency(
+            transactions, watched, analyzer, min_support=5
+        )
+
+    timeline = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Time to detection (hottest file's semantic pairs)")
+    print_row("watched", "detected", "mean stream pos", "offline pos")
+    print_row(len(timeline.detections), len(timeline.detected()),
+              timeline.mean_stream_fraction(), 1.0)
+
+    assert timeline.detection_ratio > 0.9
+    # Detection happens in the first fifth of the stream for the hottest
+    # file -- the quantified version of "timely reaction".
+    assert timeline.mean_stream_fraction() < 0.2

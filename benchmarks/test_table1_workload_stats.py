@@ -1,0 +1,76 @@
+"""Table I -- workload statistics of the (modelled) Microsoft traces.
+
+The paper reports, per workload: total data accessed, unique data accessed,
+and the percentage of requests with interarrival time below 100 us.  Our
+traces are scaled in length, so the absolute GB differ; the *shape*
+quantities -- the total/unique ratio and the interarrival percentage --
+are asserted against the paper's values.
+"""
+
+import pytest
+
+from repro.trace.stats import compute_stats
+from repro.workloads.enterprise import PROFILES
+
+from conftest import print_header, print_row
+
+#: Paper Table I: (total GB, unique GB, fast-interarrival %).
+PAPER_TABLE1 = {
+    "wdev": (11.3, 0.53, 78.4),
+    "src2": (109.9, 26.4, 71.2),
+    "rsrch": (13.1, 0.97, 77.4),
+    "stg": (107.9, 83.9, 65.9),
+    "hm": (39.2, 2.42, 67.0),
+}
+
+
+def test_table1_report(benchmark, enterprise_traces):
+    """Regenerate Table I (scaled) and assert its shape against the paper."""
+
+    def compute_all():
+        return {
+            name: compute_stats(records)
+            for name, (records, _truth) in enterprise_traces.items()
+        }
+
+    all_stats = benchmark.pedantic(compute_all, rounds=1, iterations=1)
+
+    print_header("Table I: workload statistics (scaled traces)")
+    print_row("workload", "total GB", "unique GB", "tot/uniq", "<100us %")
+    print_row("", "", "", "(paper)", "(paper)")
+    for name, stats in all_stats.items():
+        paper_total, paper_unique, paper_fast = PAPER_TABLE1[name]
+        ratio = stats.total_bytes / stats.unique_bytes
+        print_row(
+            name,
+            stats.total_gb,
+            stats.unique_gb,
+            f"{ratio:.1f} ({paper_total / paper_unique:.1f})",
+            f"{stats.fast_interarrival_percent:.1f} ({paper_fast})",
+        )
+
+    for name, stats in all_stats.items():
+        paper_total, paper_unique, paper_fast = PAPER_TABLE1[name]
+        # Total/unique ratio within ~2x of the paper's -- the property
+        # separating reuse-heavy wdev (21x) from write-once stg (1.3x).
+        paper_ratio = paper_total / paper_unique
+        ratio = stats.total_bytes / stats.unique_bytes
+        assert paper_ratio / 2.2 < ratio < paper_ratio * 2.2, name
+        # Burstiness within 12 points of Table I.
+        assert abs(stats.fast_interarrival_percent - paper_fast) < 12.0, name
+
+    # Cross-workload orderings the paper's analysis leans on.
+    ratios = {
+        name: stats.total_bytes / stats.unique_bytes
+        for name, stats in all_stats.items()
+    }
+    assert ratios["wdev"] > ratios["src2"] > ratios["stg"]
+    assert ratios["hm"] > ratios["stg"]
+    fast = {n: s.fast_interarrival_fraction for n, s in all_stats.items()}
+    assert fast["wdev"] > fast["stg"]
+
+
+def test_benchmark_stats_throughput(benchmark, enterprise_traces):
+    """Throughput of Table I statistics over the wdev trace."""
+    records, _truth = enterprise_traces["wdev"]
+    benchmark.pedantic(compute_stats, args=(records,), rounds=3, iterations=1)

@@ -1,0 +1,112 @@
+"""Extension benches: ZNS zone placement and adaptive tier sizing.
+
+* **ZNS** (§V's third enabler): the same death-time workload as the
+  multi-stream WAF bench, on a zoned device -- correlation-informed zone
+  groups must cut reclaim copying versus a single append zone.
+* **Adaptive T1:T2** (§IV-C1's dynamic-ratio remark): the adaptive table
+  against fixed splits on two workload extremes, confirming it lands near
+  the better fixed configuration without manual tuning.
+"""
+
+from repro.core.adaptive import AdaptivePolicy, AdaptiveTwoTierTable
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.core.extent import unique_pairs
+from repro.core.two_tier import TwoTierTable
+from repro.optimize.multistream import (
+    CorrelationStreamAssigner,
+    SingleStreamAssigner,
+    death_time_workload,
+)
+from repro.optimize.zns import ZnsConfig, run_zns_experiment
+
+from conftest import print_header, print_row, scaled
+
+
+def test_zns_report(benchmark):
+    def compute():
+        transactions = death_time_workload(
+            hot_groups=4, extent_blocks=64, rounds=scaled(240),
+            cold_extents=120, seed=3,
+        )
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=256, correlation_capacity=256
+        ))
+        analyzer.process_stream(transactions)
+        config = ZnsConfig(zones=32, zone_pages=16, open_zone_limit=8,
+                           reserved_zones=4)
+        single = run_zns_experiment(transactions, SingleStreamAssigner(),
+                                    config)
+        grouped = run_zns_experiment(
+            transactions, CorrelationStreamAssigner(analyzer, 8), config
+        )
+        return single, grouped
+
+    single, grouped = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Ext V (ZNS): zone reclaim, single group vs correlation")
+    print_row("policy", "host writes", "copies", "resets", "WAF")
+    print_row("single", single.host_writes, single.reclaim_copies,
+              single.resets, single.waf)
+    print_row("grouped", grouped.host_writes, grouped.reclaim_copies,
+              grouped.resets, grouped.waf)
+
+    assert single.host_writes == grouped.host_writes
+    assert single.waf > 1.0
+    assert grouped.waf < single.waf
+
+
+def _capture_quality(table, transactions, truth):
+    """Fraction of true pair frequency held by a generic pair table."""
+    for extents in transactions:
+        for pair in unique_pairs(extents):
+            table.access(pair)
+    resident = {key for key, _tally, _tier in table.items()}
+    captured = sum(truth.get(pair, 0) for pair in resident)
+    total = sum(truth.values())
+    return captured / total if total else 0.0
+
+
+def test_adaptive_tiers_report(benchmark, enterprise_pipelines,
+                               enterprise_ground_truth):
+    """Adaptive sizing must land near the better fixed split per trace."""
+    capacity = scaled(512)
+
+    def compute():
+        rows = {}
+        for name in ("wdev", "stg"):
+            transactions = enterprise_pipelines[name].offline_transactions()
+            truth = enterprise_ground_truth[name]
+            fixed_even = _capture_quality(
+                TwoTierTable(capacity, capacity), transactions, truth
+            )
+            fixed_t1_heavy = _capture_quality(
+                TwoTierTable(
+                    int(1.6 * capacity), max(1, int(0.4 * capacity))
+                ),
+                transactions, truth,
+            )
+            adaptive_table = AdaptiveTwoTierTable(
+                capacity, capacity,
+                policy=AdaptivePolicy(adjust_interval=256,
+                                      step_fraction=0.05,
+                                      min_tier_fraction=0.2),
+            )
+            adaptive = _capture_quality(adaptive_table, transactions, truth)
+            rows[name] = (fixed_even, fixed_t1_heavy, adaptive,
+                          adaptive_table.tier_split,
+                          adaptive_table.adjustments)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Adaptive T1:T2 vs fixed splits (capture fraction)")
+    print_row("workload", "even", "T1-heavy", "adaptive", "final split")
+    for name, (even, heavy, adaptive, split, adjustments) in rows.items():
+        print_row(name, even, heavy, adaptive, f"{split[0]}/{split[1]}")
+
+    for name, (even, heavy, adaptive, _split, adjustments) in rows.items():
+        best_fixed = max(even, heavy)
+        # Adaptive must be competitive with the better fixed split.
+        assert adaptive > best_fixed - 0.08, name
+        assert adjustments > 0, name

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Monitor a shared (multi-tenant) storage system.
+
+The paper motivates block-layer monitoring with multi-tenant storage: only
+the block layer sees the interleaved stream of every tenant, so only there
+can inter-tenant correlations be detected -- and, when a single tenant is
+of interest, the monitor's PID filter isolates it.
+
+This example lays three tenants (a web server, a database, and a batch
+job) onto one device, characterizes the shared stream, shows a cross-tenant
+correlation (the web server's requests always trigger the database's), and
+then re-runs the monitor with a PID filter to characterize one tenant alone.
+
+Run:  python examples/multitenant_monitoring.py
+"""
+
+from repro.pipeline import run_pipeline
+from repro.trace import OpType, TraceRecord
+from repro.workloads import (
+    generate_named,
+    shared_workload,
+    tenant_address_ranges,
+)
+
+
+def web_and_db_traces(rounds=400):
+    """A web server whose request always touches a database table."""
+    web, db = [], []
+    clock = 0.0
+    for i in range(rounds):
+        which = i % 4
+        web.append(TraceRecord(clock, 0, OpType.READ, 1000 + which * 64, 8))
+        db.append(TraceRecord(clock + 2e-5, 0, OpType.READ,
+                              5000 + which * 128, 16))
+        clock += 0.01
+    return web, db
+
+
+def main() -> None:
+    print("Composing three tenants onto one shared device ...")
+    web, db = web_and_db_traces()
+    batch, _truth = generate_named("stg", requests=2000, seed=11)
+    merged, tenants = shared_workload([
+        ("web", web),
+        ("db", db),
+        ("batch", batch),
+    ])
+    ranges = tenant_address_ranges(tenants)
+    for tenant in tenants:
+        low, high = ranges[tenant.name]
+        print(f"  {tenant.name:6} pid={tenant.pid}  "
+              f"blocks [{low}, {high})  {len(tenant.records)} requests")
+
+    print(f"\nCharacterizing the shared stream ({len(merged)} requests) ...")
+    result = run_pipeline(merged)
+    top = result.frequent_pairs(min_support=10)
+    print(f"detected {len(top)} frequent correlations; top 5:")
+
+    def owner(block):
+        for name, (low, high) in ranges.items():
+            if low <= block < high:
+                return name
+        return "?"
+
+    for pair, tally in top[:5]:
+        owners = {owner(pair.first.start), owner(pair.second.start)}
+        tag = "CROSS-TENANT" if len(owners) > 1 else owners.pop()
+        print(f"  {pair}  x{tally}  [{tag}]")
+
+    cross = [
+        (pair, tally) for pair, tally in top
+        if owner(pair.first.start) != owner(pair.second.start)
+    ]
+    print(f"\n{len(cross)} cross-tenant correlations found -- the web/db "
+          f"coupling is visible only at the block layer.")
+
+    print("\nRe-monitoring with a PID filter on the 'db' tenant only ...")
+    db_tenant = tenants[1]
+    filtered = run_pipeline(merged, pid_filter={db_tenant.pid})
+    stats = filtered.monitor_stats
+    print(f"  events kept     : {stats.events_seen - stats.events_filtered}"
+          f" / {stats.events_seen}")
+    low, high = ranges["db"]
+    in_range = all(
+        low <= event.start < high
+        for transaction in filtered.recorder.transactions
+        for event in transaction.events
+    )
+    print(f"  all events in db's volume: {in_range}")
+
+
+if __name__ == "__main__":
+    main()

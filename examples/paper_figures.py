@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's figures and tables from the library API.
+
+The benchmark suite (pytest benchmarks/ --benchmark-only) regenerates and
+*asserts* every result; this script is the human-friendly version: it runs
+the same experiments at a small scale, prints each table, and writes the
+figure rasters as PGM images into ./paper_figures/.
+
+Run:  python examples/paper_figures.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    correlation_cdf,
+    optimal_curve,
+    rasterize_pairs,
+    save_pgm,
+    sweep_table_sizes,
+    trace_heatmap,
+)
+from repro.blkdev import SsdDevice
+from repro.fim import exact_pair_counts, pairs_with_support
+from repro.pipeline import run_pipeline
+from repro.trace import compute_stats
+from repro.workloads import WORKLOAD_NAMES, generate_named
+
+REQUESTS = 8000
+SUPPORT = 5
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "paper_figures")
+    out_dir.mkdir(exist_ok=True)
+    print(f"writing figures to {out_dir}/\n")
+
+    pipelines = {}
+    truths = {}
+    print("running the pipeline on all five workloads ...")
+    for name in WORKLOAD_NAMES:
+        records, _t = generate_named(name, requests=REQUESTS, seed=7)
+        result = run_pipeline(records, device=SsdDevice(seed=11))
+        pipelines[name] = (records, result)
+        truths[name] = exact_pair_counts(result.offline_transactions())
+
+    # ----- Table I ---------------------------------------------------------
+    print("\nTable I: workload statistics (scaled)")
+    print(f"{'workload':10}{'total GB':>10}{'unique GB':>11}"
+          f"{'t/u':>7}{'<100us':>8}")
+    for name, (records, _result) in pipelines.items():
+        stats = compute_stats(records)
+        print(f"{name:10}{stats.total_gb:>10.3f}{stats.unique_gb:>11.3f}"
+              f"{stats.total_bytes / stats.unique_bytes:>7.1f}"
+              f"{stats.fast_interarrival_percent:>7.1f}%")
+
+    # ----- Figure 1 --------------------------------------------------------
+    for name, (records, _result) in pipelines.items():
+        grid = trace_heatmap(records, sequence_bins=128, block_bins=128)
+        save_pgm(grid, out_dir / f"fig1_{name}.pgm")
+    print(f"\nFig 1: wrote heat maps -> fig1_<workload>.pgm")
+
+    # ----- Figure 5 --------------------------------------------------------
+    print("\nFig 5: correlation-frequency CDFs")
+    print(f"{'workload':10}{'pairs':>8}{'uniq@1':>9}{'wght@1':>9}")
+    for name, counts in truths.items():
+        cdf = correlation_cdf(counts)
+        print(f"{name:10}{cdf.total_pairs:>8}"
+              f"{cdf.support_one_fraction:>9.3f}"
+              f"{cdf.weighted_at(1):>9.3f}")
+
+    # ----- Figure 6 --------------------------------------------------------
+    print("\nFig 6: optimal coverage by table entries")
+    sizes = [64, 256, 1024, 4096]
+    print(f"{'workload':10}" + "".join(f"{size:>9}" for size in sizes))
+    for name, counts in truths.items():
+        curve = optimal_curve(counts)
+        print(f"{name:10}" + "".join(
+            f"{curve.fraction_for_size(size):>9.2f}" for size in sizes
+        ))
+
+    # ----- Figure 8 --------------------------------------------------------
+    for name, (_records, result) in pipelines.items():
+        offline = pairs_with_support(truths[name], SUPPORT)
+        online = dict(result.frequent_pairs(min_support=SUPPORT))
+        save_pgm(rasterize_pairs(offline, bins=128),
+                 out_dir / f"fig8_{name}_offline.pgm")
+        save_pgm(rasterize_pairs(online, bins=128),
+                 out_dir / f"fig8_{name}_online.pgm")
+    print(f"\nFig 8: wrote offline/online correlation plots at "
+          f"support {SUPPORT} -> fig8_<workload>_{{offline,online}}.pgm")
+
+    # ----- Figure 9 --------------------------------------------------------
+    print("\nFig 9: captured/optimal vs table capacity (wdev, rsrch)")
+    capacities = [128, 512, 2048, 8192]
+    print(f"{'workload':10}" + "".join(f"{c:>9}" for c in capacities))
+    for name in ("wdev", "rsrch"):
+        _records, result = pipelines[name]
+        sweep = sweep_table_sizes(
+            result.offline_transactions(), truths[name], capacities
+        )
+        print(f"{name:10}" + "".join(
+            f"{score.quality:>9.2f}" for _c, score in sweep
+        ))
+
+    print("\nDone.  PGM files open in any image viewer "
+          "(or convert with ImageMagick).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: detect data access correlations in a replayed workload.
+
+Generates one of the paper's synthetic workloads (a small block correlated
+with a contiguous range -- think inode + file contents), replays it through
+the simulated SSD with real-time monitoring, and prints the correlations
+the online synopsis detected next to the planted ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import characterize
+from repro.workloads import SyntheticKind, SyntheticSpec, generate_synthetic
+
+
+def main() -> None:
+    spec = SyntheticSpec(kind=SyntheticKind.ONE_TO_MANY, duration=60.0, seed=7)
+    records, truth = generate_synthetic(spec)
+    print(f"Generated {len(records)} block I/O requests "
+          f"({spec.kind.value}, {spec.duration:.0f}s of virtual time)\n")
+
+    detected = characterize(records, min_support=5)
+
+    print("Planted correlations (popularity-ranked by Zipf):")
+    for rank, (pair, probability) in enumerate(
+        zip(truth.pairs, truth.probabilities), start=1
+    ):
+        print(f"  #{rank}  {pair}  p={probability:.2f}")
+
+    print("\nDetected by the online synopsis (support >= 5):")
+    for pair, tally in detected[:8]:
+        rank = truth.pair_rank(pair)
+        marker = f"planted #{rank}" if rank else "noise"
+        print(f"  {pair}  seen {tally} times  [{marker}]")
+
+    found = sum(1 for pair, _t in detected if truth.pair_rank(pair))
+    print(f"\n{found}/{len(truth.pairs)} planted correlations detected "
+          f"in a single real-time pass.")
+
+
+if __name__ == "__main__":
+    main()

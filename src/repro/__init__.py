@@ -1,0 +1,69 @@
+"""repro -- Real-Time Characterization of Data Access Correlations.
+
+A from-scratch reproduction of the ISPASS 2021 paper by Harris, Marzullo,
+and Altiparmak: an online framework that watches block-layer I/O, groups
+requests into transactions, and maintains a bounded-memory two-tier synopsis
+of frequently correlated extents -- plus the substrates (trace model, device
+simulation, workload generators) and baselines (offline and stream FIM)
+needed to regenerate every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import characterize
+    from repro.workloads import SyntheticSpec, SyntheticKind, generate_synthetic
+
+    records, truth = generate_synthetic(SyntheticSpec(SyntheticKind.ONE_TO_MANY))
+    for pair, tally in characterize(records, min_support=5)[:10]:
+        print(pair, tally)
+"""
+
+from .core import (
+    AnalyzerConfig,
+    AnalyzerReport,
+    CorrelationTable,
+    Extent,
+    ExtentPair,
+    ItemTable,
+    OnlineAnalyzer,
+    SynopsisMemoryModel,
+    TwoTierTable,
+)
+from .monitor import (
+    BlockIOEvent,
+    DynamicLatencyWindow,
+    Monitor,
+    StaticWindow,
+    Transaction,
+    TransactionRecorder,
+)
+from .pipeline import PipelineResult, characterize, run_pipeline
+from .service import CharacterizationService, ServiceSnapshot
+from .trace import OpType, TraceRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyzerConfig",
+    "AnalyzerReport",
+    "BlockIOEvent",
+    "CorrelationTable",
+    "DynamicLatencyWindow",
+    "Extent",
+    "ExtentPair",
+    "ItemTable",
+    "Monitor",
+    "OnlineAnalyzer",
+    "OpType",
+    "PipelineResult",
+    "StaticWindow",
+    "SynopsisMemoryModel",
+    "TraceRecord",
+    "CharacterizationService",
+    "ServiceSnapshot",
+    "Transaction",
+    "TransactionRecorder",
+    "TwoTierTable",
+    "characterize",
+    "run_pipeline",
+    "__version__",
+]

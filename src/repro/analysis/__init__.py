@@ -1,0 +1,85 @@
+"""Evaluation metrics and figure-level analyses."""
+
+from .accuracy import DetectionMetrics, detection_metrics
+from .activity import ActivitySeries, pair_activity, steady_pairs
+from .cdf import CorrelationCdf, correlation_cdf
+from .compare import AgreementReport, rank_agreement
+from .diff import SnapshotDiff, diff_snapshots, drift_series
+from .drift import DriftSnapshot, concept_affinity, run_drift_experiment
+from .heatmap import (
+    ascii_render,
+    load_pgm,
+    save_pgm,
+    pair_rectangles,
+    raster_containment,
+    raster_similarity,
+    rasterize_pairs,
+    trace_heatmap,
+)
+from .timeline import (
+    DetectionEvent,
+    DetectionTimeline,
+    measure_detection_latency,
+)
+from .sequential import (
+    ClassifierConfig,
+    PatternComposition,
+    PatternKind,
+    classify_correlations,
+    classify_pair,
+    split_by_kind,
+)
+from .optimal import OptimalCurve, optimal_curve, power_of_two_sizes
+from .replicate import Replication, replicate, summarize
+from .report import CharacterizationReport, build_report, render_report
+from .representability import (
+    Representability,
+    representability,
+    sweep_table_sizes,
+)
+
+__all__ = [
+    "ActivitySeries",
+    "AgreementReport",
+    "pair_activity",
+    "steady_pairs",
+    "CorrelationCdf",
+    "rank_agreement",
+    "DetectionMetrics",
+    "DriftSnapshot",
+    "SnapshotDiff",
+    "diff_snapshots",
+    "drift_series",
+    "OptimalCurve",
+    "Representability",
+    "CharacterizationReport",
+    "Replication",
+    "replicate",
+    "summarize",
+    "build_report",
+    "render_report",
+    "DetectionEvent",
+    "DetectionTimeline",
+    "measure_detection_latency",
+    "ClassifierConfig",
+    "PatternComposition",
+    "PatternKind",
+    "ascii_render",
+    "classify_correlations",
+    "classify_pair",
+    "load_pgm",
+    "save_pgm",
+    "split_by_kind",
+    "concept_affinity",
+    "correlation_cdf",
+    "detection_metrics",
+    "optimal_curve",
+    "pair_rectangles",
+    "power_of_two_sizes",
+    "raster_containment",
+    "raster_similarity",
+    "rasterize_pairs",
+    "representability",
+    "run_drift_experiment",
+    "sweep_table_sizes",
+]

@@ -1,0 +1,82 @@
+"""Agreement measures between the synopsis and exact ground truth.
+
+Accuracy (did we find the frequent pairs?) is one axis; *fidelity* of the
+strength estimates is another: an optimizer that prioritises by tally needs
+the synopsis to rank pairs the way the true frequencies do.  This module
+measures that with rank and weight agreement:
+
+* **Kendall tau** over the pairs both sides know, on their tallies;
+* **top-k overlap** -- how much of the true top-k the synopsis's top-k hits;
+* **weighted Jaccard** of the two count vectors (min/max of tallies),
+  which penalises undercounting proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Tuple
+
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """How faithfully the synopsis mirrors the exact counts."""
+
+    common_pairs: int
+    kendall_tau: float
+    kendall_p: float
+    top_k: int
+    top_k_overlap: float
+    weighted_jaccard: float
+
+
+def _top_keys(counts: Mapping[Hashable, int], k: int):
+    ordered = sorted(counts.items(), key=lambda entry: (-entry[1], repr(entry[0])))
+    return {key for key, _count in ordered[:k]}
+
+
+def rank_agreement(
+    true_counts: Mapping[Hashable, int],
+    synopsis_counts: Mapping[Hashable, int],
+    top_k: int = 50,
+) -> AgreementReport:
+    """Score the synopsis's tallies against exact pair counts."""
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    common = sorted(
+        set(true_counts) & set(synopsis_counts), key=repr
+    )
+    if len(common) >= 2:
+        true_values = [true_counts[key] for key in common]
+        synopsis_values = [synopsis_counts[key] for key in common]
+        tau, p_value = stats.kendalltau(true_values, synopsis_values)
+        if tau != tau:  # NaN when one side is constant
+            tau, p_value = 1.0, 1.0
+    else:
+        tau, p_value = 1.0, 1.0
+
+    k = min(top_k, len(true_counts)) or 1
+    true_top = _top_keys(true_counts, k)
+    synopsis_top = _top_keys(synopsis_counts, k) if synopsis_counts else set()
+    overlap = len(true_top & synopsis_top) / len(true_top) if true_top else 1.0
+
+    all_keys = set(true_counts) | set(synopsis_counts)
+    numerator = sum(
+        min(true_counts.get(key, 0), synopsis_counts.get(key, 0))
+        for key in all_keys
+    )
+    denominator = sum(
+        max(true_counts.get(key, 0), synopsis_counts.get(key, 0))
+        for key in all_keys
+    )
+    weighted_jaccard = numerator / denominator if denominator else 1.0
+
+    return AgreementReport(
+        common_pairs=len(common),
+        kendall_tau=float(tau),
+        kendall_p=float(p_value),
+        top_k=k,
+        top_k_overlap=overlap,
+        weighted_jaccard=weighted_jaccard,
+    )

@@ -1,0 +1,97 @@
+"""Diffing correlation snapshots.
+
+Concept drift (Fig. 10) shows up operationally as snapshot-to-snapshot
+change: which correlations appeared, which faded, which strengthened.  An
+optimization module acting on the synopsis wants exactly this delta -- a
+placement engine migrates data for *new* strong correlations and reclaims
+arrangements whose correlations are *gone*.  This module computes that
+delta between two ``{pair: tally}`` snapshots (from
+``OnlineAnalyzer.pair_frequencies()`` or ``frequent_pairs`` output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from ..core.extent import ExtentPair
+
+
+@dataclass(frozen=True)
+class SnapshotDiff:
+    """What changed between two correlation snapshots."""
+
+    appeared: Tuple[Tuple[ExtentPair, int], ...]
+    vanished: Tuple[Tuple[ExtentPair, int], ...]
+    strengthened: Tuple[Tuple[ExtentPair, int, int], ...]  # pair, old, new
+    weakened: Tuple[Tuple[ExtentPair, int, int], ...]
+    unchanged: int
+
+    @property
+    def churn(self) -> int:
+        """Membership changes: appearances plus disappearances."""
+        return len(self.appeared) + len(self.vanished)
+
+    @property
+    def stability(self) -> float:
+        """Jaccard similarity of the two snapshots' pair sets."""
+        common = len(self.strengthened) + len(self.weakened) + self.unchanged
+        union = common + self.churn
+        return common / union if union else 1.0
+
+
+def diff_snapshots(
+    before: Mapping[ExtentPair, int],
+    after: Mapping[ExtentPair, int],
+    min_change: int = 1,
+) -> SnapshotDiff:
+    """Compute the delta from ``before`` to ``after``.
+
+    Tally movements smaller than ``min_change`` count as unchanged --
+    synopsis tallies tick up on every occurrence, so a tolerance separates
+    "still quietly active" from "genuinely strengthening".
+    """
+    if min_change < 1:
+        raise ValueError(f"min_change must be >= 1, got {min_change}")
+    appeared: List[Tuple[ExtentPair, int]] = []
+    vanished: List[Tuple[ExtentPair, int]] = []
+    strengthened: List[Tuple[ExtentPair, int, int]] = []
+    weakened: List[Tuple[ExtentPair, int, int]] = []
+    unchanged = 0
+
+    for pair, new_tally in after.items():
+        old_tally = before.get(pair)
+        if old_tally is None:
+            appeared.append((pair, new_tally))
+        elif new_tally - old_tally >= min_change:
+            strengthened.append((pair, old_tally, new_tally))
+        elif old_tally - new_tally >= min_change:
+            weakened.append((pair, old_tally, new_tally))
+        else:
+            unchanged += 1
+    for pair, old_tally in before.items():
+        if pair not in after:
+            vanished.append((pair, old_tally))
+
+    appeared.sort(key=lambda entry: (-entry[1], entry[0]))
+    vanished.sort(key=lambda entry: (-entry[1], entry[0]))
+    strengthened.sort(key=lambda entry: (entry[1] - entry[2], entry[0]))
+    weakened.sort(key=lambda entry: (entry[2] - entry[1], entry[0]))
+    return SnapshotDiff(
+        appeared=tuple(appeared),
+        vanished=tuple(vanished),
+        strengthened=tuple(strengthened),
+        weakened=tuple(weakened),
+        unchanged=unchanged,
+    )
+
+
+def drift_series(
+    snapshots: List[Mapping[ExtentPair, int]],
+    min_change: int = 1,
+) -> List[SnapshotDiff]:
+    """Diffs between consecutive snapshots -- a drift time series."""
+    return [
+        diff_snapshots(before, after, min_change)
+        for before, after in zip(snapshots, snapshots[1:])
+    ]

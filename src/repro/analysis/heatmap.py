@@ -1,0 +1,190 @@
+"""Rasterisation of traces and correlation point sets (paper Figs 1, 7, 8).
+
+The paper's visual evidence comes in two forms:
+
+* **storage heat maps** (Fig. 1): request sequence on the horizontal axis,
+  starting block on the vertical, brightness = access count;
+* **correlation plots** (Figs 7/8): for every correlated pair of blocks
+  ``(A, B)``, points at ``(A, B)`` and ``(B, A)``; extent pairs appear as
+  rectangles, intra-extent runs as squares on the diagonal.
+
+Figures are "visually recognizably similar" between offline and online
+analysis -- a claim we make testable by rasterising both point sets onto a
+common grid and measuring their overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.extent import ExtentPair
+from ..trace.record import TraceRecord
+
+
+def trace_heatmap(
+    records: Sequence[TraceRecord],
+    sequence_bins: int = 64,
+    block_bins: int = 64,
+) -> np.ndarray:
+    """Fig. 1-style heat map: request sequence vs starting block.
+
+    Returns a ``(block_bins, sequence_bins)`` array of request counts with
+    row 0 at the lowest block numbers.
+    """
+    if not records:
+        raise ValueError("cannot build a heat map of an empty trace")
+    grid = np.zeros((block_bins, sequence_bins), dtype=np.int64)
+    max_block = max(record.start + record.length for record in records)
+    for index, record in enumerate(records):
+        column = index * sequence_bins // len(records)
+        row = min(record.start * block_bins // max(1, max_block), block_bins - 1)
+        grid[row, column] += 1
+    return grid
+
+
+def pair_rectangles(
+    counts: Mapping[ExtentPair, int],
+    min_support: int = 1,
+) -> List[Tuple[int, int, int, int, int]]:
+    """Correlation rectangles ``(x0, x1, y0, y1, count)`` in block space.
+
+    Each extent pair contributes both orientations, as in the paper's
+    plots; callers wanting only the upper triangle can filter on x0 < y0.
+    """
+    rectangles: List[Tuple[int, int, int, int, int]] = []
+    for pair, count in counts.items():
+        if count < min_support:
+            continue
+        a, b = pair.first, pair.second
+        rectangles.append((a.start, a.end, b.start, b.end, count))
+        rectangles.append((b.start, b.end, a.start, a.end, count))
+    return rectangles
+
+
+def rasterize_pairs(
+    counts: Mapping[ExtentPair, int],
+    min_support: int = 1,
+    bins: int = 128,
+    max_block: int = None,
+) -> np.ndarray:
+    """Rasterise a correlation point set onto a ``bins x bins`` grid.
+
+    Cells covered by any rectangle of a qualifying pair are set to that
+    pair's count (summing overlaps).  The raster, not the raw point set, is
+    what similarity comparisons run on: it is insensitive to sub-cell shape
+    differences, mirroring "visually similar".
+    """
+    grid = np.zeros((bins, bins), dtype=np.int64)
+    rectangles = pair_rectangles(counts, min_support)
+    if not rectangles:
+        return grid
+    if max_block is None:
+        max_block = max(max(x1, y1) for _x0, x1, _y0, y1, _c in rectangles)
+    scale = bins / max(1, max_block)
+    for x0, x1, y0, y1, count in rectangles:
+        column0 = min(int(x0 * scale), bins - 1)
+        column1 = min(max(int(x1 * scale), column0 + 1), bins)
+        row0 = min(int(y0 * scale), bins - 1)
+        row1 = min(max(int(y1 * scale), row0 + 1), bins)
+        grid[row0:row1, column0:column1] += count
+    return grid
+
+
+def raster_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Jaccard similarity of the occupied cells of two rasters.
+
+    1.0 means the two plots light up exactly the same cells; 0.0 means they
+    are disjoint.  This is the quantitative stand-in for the paper's
+    "visually recognizably similar" comparison of offline and online plots.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"raster shapes differ: {a.shape} vs {b.shape}")
+    occupied_a = a > 0
+    occupied_b = b > 0
+    union = np.logical_or(occupied_a, occupied_b).sum()
+    if union == 0:
+        return 1.0
+    intersection = np.logical_and(occupied_a, occupied_b).sum()
+    return float(intersection) / float(union)
+
+
+def raster_containment(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Fraction of the reference plot's occupied cells also lit in candidate.
+
+    Useful when the online plot is expected to be a *subset* of the offline
+    support-1 plot (it holds fewer, more frequent pairs).
+    """
+    if reference.shape != candidate.shape:
+        raise ValueError(
+            f"raster shapes differ: {reference.shape} vs {candidate.shape}"
+        )
+    occupied_reference = reference > 0
+    if not occupied_reference.any():
+        return 1.0
+    overlap = np.logical_and(occupied_reference, candidate > 0).sum()
+    return float(overlap) / float(occupied_reference.sum())
+
+
+def save_pgm(grid: np.ndarray, path, gamma: float = 0.5) -> None:
+    """Write a raster as a binary PGM image (no plotting dependencies).
+
+    Intensity is gamma-compressed so sparse correlation plots stay visible
+    against their dominant peaks; row order is flipped so the lowest block
+    numbers sit at the bottom, matching the paper's figures.  The file is
+    viewable in any image viewer and convertible with ImageMagick et al.
+    """
+    if grid.ndim != 2:
+        raise ValueError(f"expected a 2-D grid, got shape {grid.shape}")
+    if gamma <= 0:
+        raise ValueError(f"gamma must be > 0, got {gamma}")
+    peak = float(grid.max())
+    if peak > 0:
+        normalized = (np.asarray(grid, dtype=np.float64) / peak) ** gamma
+    else:
+        normalized = np.zeros_like(grid, dtype=np.float64)
+    pixels = (normalized * 255).astype(np.uint8)[::-1]
+    height, width = pixels.shape
+    with open(path, "wb") as stream:
+        stream.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        stream.write(pixels.tobytes())
+
+
+def load_pgm(path) -> np.ndarray:
+    """Read back a binary PGM written by :func:`save_pgm` (for tests)."""
+    with open(path, "rb") as stream:
+        magic = stream.readline().strip()
+        if magic != b"P5":
+            raise ValueError(f"not a binary PGM: {magic!r}")
+        dimensions = stream.readline().split()
+        width, height = int(dimensions[0]), int(dimensions[1])
+        maxval = int(stream.readline())
+        if maxval != 255:
+            raise ValueError(f"unsupported max value {maxval}")
+        data = np.frombuffer(stream.read(width * height), dtype=np.uint8)
+    return data.reshape((height, width))[::-1]
+
+
+def ascii_render(grid: np.ndarray, width: int = 64) -> str:
+    """Render a raster as ASCII art (for the example scripts).
+
+    Rows are printed top-to-bottom with the highest block numbers first so
+    the orientation matches the paper's figures.
+    """
+    if grid.size == 0:
+        return ""
+    shades = " .:-=+*#%@"
+    peak = grid.max()
+    rows: List[str] = []
+    step = max(1, grid.shape[1] // width)
+    for row in grid[::-1, ::step]:
+        if peak == 0:
+            rows.append(" " * len(row))
+            continue
+        line = "".join(
+            shades[min(int(value * (len(shades) - 1) / peak), len(shades) - 1)]
+            for value in row
+        )
+        rows.append(line)
+    return "\n".join(rows)

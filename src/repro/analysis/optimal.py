@@ -1,0 +1,84 @@
+"""Optimal table-size / coverage curves (paper Fig. 6).
+
+If all extent pairs are sorted by decreasing frequency, the sum of the top
+``n`` frequencies is the best total frequency any ``n``-entry correlation
+table could represent.  Figure 6 plots that optimal fraction against ``n``;
+it both bounds the online synopsis from above (Fig. 9 normalises by it) and
+reads off the minimum table size needed to cover a target fraction.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class OptimalCurve:
+    """Cumulative optimal coverage: ``fractions[i]`` covers ``i + 1`` pairs."""
+
+    sorted_counts: Tuple[int, ...]        # descending pair frequencies
+    cumulative_fractions: Tuple[float, ...]
+    total_frequency: int
+
+    @property
+    def unique_pairs(self) -> int:
+        return len(self.sorted_counts)
+
+    def fraction_for_size(self, table_entries: int) -> float:
+        """Best possible frequency fraction for a table of ``table_entries``."""
+        if table_entries < 0:
+            raise ValueError(f"table size must be >= 0, got {table_entries}")
+        if table_entries == 0 or not self.cumulative_fractions:
+            return 0.0
+        index = min(table_entries, len(self.cumulative_fractions)) - 1
+        return self.cumulative_fractions[index]
+
+    def size_for_fraction(self, fraction: float) -> int:
+        """Minimum entries needed to cover ``fraction`` of total frequency."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if fraction == 0.0:
+            return 0
+        index = bisect.bisect_left(self.cumulative_fractions, fraction)
+        if index >= len(self.cumulative_fractions):
+            return len(self.cumulative_fractions)
+        return index + 1
+
+    def series(
+        self, sizes: Sequence[int]
+    ) -> List[Tuple[int, float]]:
+        """The Fig. 6 series sampled at the given table sizes."""
+        return [(size, self.fraction_for_size(size)) for size in sizes]
+
+
+def optimal_curve(counts: Mapping[Hashable, int]) -> OptimalCurve:
+    """Build the optimal coverage curve from a pair-frequency map."""
+    if not counts:
+        raise ValueError("cannot build an optimal curve from zero correlations")
+    ordered = sorted(counts.values(), reverse=True)
+    total = sum(ordered)
+    cumulative = [
+        running / total for running in itertools.accumulate(ordered)
+    ]
+    return OptimalCurve(
+        sorted_counts=tuple(ordered),
+        cumulative_fractions=tuple(cumulative),
+        total_frequency=total,
+    )
+
+
+def power_of_two_sizes(minimum: int, maximum: int) -> List[int]:
+    """Powers of two in ``[minimum, maximum]`` -- the paper's size sweep."""
+    if minimum < 1 or maximum < minimum:
+        raise ValueError(f"bad range [{minimum}, {maximum}]")
+    sizes: List[int] = []
+    size = 1
+    while size < minimum:
+        size *= 2
+    while size <= maximum:
+        sizes.append(size)
+        size *= 2
+    return sizes

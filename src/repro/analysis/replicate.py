@@ -1,0 +1,75 @@
+"""Seed replication and confidence intervals for experiments.
+
+Single-run results can ride on a lucky seed.  Every generator and device
+model in this repository is seed-deterministic, so replication is cheap:
+run the experiment across seeds and summarise.  The benchmark harness uses
+this to show the headline results are properties of the system, not of a
+particular random stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Summary of one metric across replicated runs."""
+
+    values: Tuple[float, ...]
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def runs(self) -> int:
+        return len(self.values)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.3f} +/- {(self.ci_high - self.ci_low) / 2:.3f} "
+            f"({int(self.confidence * 100)}% CI, n={self.runs})"
+        )
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95
+              ) -> Replication:
+    """Mean and Student-t confidence interval of replicated values."""
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Replication(tuple(values), mean, 0.0, mean, mean, confidence)
+    variance = sum((value - mean) ** 2 for value in values) / (n - 1)
+    std = math.sqrt(variance)
+    t_critical = stats.t.ppf((1 + confidence) / 2, df=n - 1)
+    half_width = t_critical * std / math.sqrt(n)
+    return Replication(
+        values=tuple(values),
+        mean=mean,
+        std=std,
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+        confidence=confidence,
+    )
+
+
+def replicate(
+    experiment: Callable[[int], float],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Replication:
+    """Run ``experiment(seed)`` for every seed and summarise the metric."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = [float(experiment(seed)) for seed in seeds]
+    return summarize(values, confidence)

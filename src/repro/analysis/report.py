@@ -1,0 +1,144 @@
+"""One-shot characterization reports.
+
+Pulls the whole toolbox together: replay a trace through the real-time
+pipeline with a *typed* analyzer, then summarise everything an operator
+(or an automatic optimization module) would want to know -- workload
+statistics, transaction shape, correlation strength distribution, R/W type
+composition, sequential-vs-semantic composition, top correlations, and
+association rules.  The CLI's ``repro report`` subcommand renders this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import AnalyzerConfig
+from ..core.extent import ExtentPair
+from ..core.typed import CorrelationKind, TypedOnlineAnalyzer
+from ..fim.rules import AssociationRule, rules_from_analyzer
+from ..monitor.monitor import MonitorStats
+from ..pipeline import run_pipeline
+from ..trace.record import TraceRecord
+from ..trace.stats import TraceStats, compute_stats
+from .cdf import CorrelationCdf, correlation_cdf
+from .sequential import (
+    ClassifierConfig,
+    PatternComposition,
+    PatternKind,
+    classify_correlations,
+)
+
+
+@dataclass
+class CharacterizationReport:
+    """Everything one pipeline run learned about a workload."""
+
+    trace_stats: TraceStats
+    monitor_stats: MonitorStats
+    top_pairs: List[Tuple[ExtentPair, int]]
+    rules: List[AssociationRule]
+    kind_summary: Dict[CorrelationKind, int]
+    pattern_composition: PatternComposition
+    cdf: Optional[CorrelationCdf]
+    support: int
+    capacity: int
+
+    @property
+    def detected_correlations(self) -> int:
+        return len(self.top_pairs)
+
+
+def build_report(
+    records: Sequence[TraceRecord],
+    support: int = 5,
+    capacity: int = 16 * 1024,
+    top: int = 20,
+    min_confidence: float = 0.5,
+    classifier: ClassifierConfig = ClassifierConfig(),
+    **pipeline_kwargs,
+) -> CharacterizationReport:
+    """Characterize a trace end to end and assemble the report."""
+    analyzer = TypedOnlineAnalyzer(AnalyzerConfig(
+        item_capacity=capacity, correlation_capacity=capacity
+    ))
+    result = run_pipeline(records, analyzer=analyzer,
+                          record_offline=False, **pipeline_kwargs)
+
+    frequent = analyzer.frequent_pairs(min_support=support)
+    resident = analyzer.pair_frequencies()
+    return CharacterizationReport(
+        trace_stats=compute_stats(records),
+        monitor_stats=result.monitor_stats,
+        top_pairs=frequent[:top],
+        rules=rules_from_analyzer(analyzer, min_support=support,
+                                  min_confidence=min_confidence)[:top],
+        kind_summary=analyzer.kind_summary(),
+        pattern_composition=classify_correlations(
+            dict(frequent), classifier
+        ),
+        cdf=correlation_cdf(resident) if resident else None,
+        support=support,
+        capacity=capacity,
+    )
+
+
+def render_report(report: CharacterizationReport, name: str = "trace") -> str:
+    """Render a report as the multi-section text the CLI prints."""
+    stats = report.trace_stats
+    monitor = report.monitor_stats
+    lines: List[str] = []
+    lines.append(f"=== Characterization of {name} ===")
+    lines.append("")
+    lines.append("[workload]")
+    lines.append(f"  requests            {stats.requests}")
+    lines.append(f"  total data          {stats.total_gb:.3f} GB")
+    lines.append(
+        f"  unique data         {stats.unique_gb:.3f} GB "
+        f"({stats.total_bytes / stats.unique_bytes:.1f}x reuse)"
+    )
+    lines.append(
+        f"  interarrival <100us {stats.fast_interarrival_percent:.1f}%"
+    )
+    lines.append(f"  reads               {100 * stats.read_fraction:.1f}%")
+    lines.append("")
+    lines.append("[monitoring]")
+    lines.append(f"  transactions        {monitor.transactions_emitted}")
+    lines.append(f"  duplicates removed  {monitor.duplicates_removed}")
+    lines.append(f"  size splits         {monitor.size_splits}")
+    lines.append("")
+    lines.append(f"[correlations]  (support >= {report.support}, "
+                 f"C = {report.capacity})")
+    lines.append(f"  detected            {report.detected_correlations}")
+    if report.cdf is not None:
+        lines.append(
+            f"  resident one-offs   "
+            f"{100 * report.cdf.support_one_fraction:.1f}%"
+        )
+    kinds = report.kind_summary
+    lines.append(
+        f"  types               read {kinds[CorrelationKind.READ]}, "
+        f"write {kinds[CorrelationKind.WRITE]}, "
+        f"mixed {kinds[CorrelationKind.MIXED]}"
+    )
+    composition = report.pattern_composition
+    lines.append(
+        "  spatial             "
+        + ", ".join(
+            f"{kind.value} {100 * composition.fraction(kind):.0f}%"
+            for kind in PatternKind
+        )
+    )
+    lines.append("")
+    lines.append("[top correlations]")
+    for pair, tally in report.top_pairs[:10]:
+        lines.append(f"  {pair}  x{tally}")
+    if not report.top_pairs:
+        lines.append("  (none)")
+    lines.append("")
+    lines.append("[rules]")
+    for rule in report.rules[:10]:
+        lines.append(f"  {rule}")
+    if not report.rules:
+        lines.append("  (none)")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Representability of the online synopsis versus optimal (paper Fig. 9).
+
+For a correlation table holding a set of resident pairs, the *captured*
+fraction is the share of total true pair frequency those residents account
+for.  The *optimal* fraction for the same number of entries comes from the
+Fig. 6 curve.  Figure 9 plots captured/optimal against table size: low for
+tiny tables (valuable pairs get evicted before becoming frequent), rising
+to 1.0 once the table can hold every pair, with dips for traces with long
+infrequent tails (stg, hm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..core.analyzer import OnlineAnalyzer
+from ..core.config import AnalyzerConfig
+from ..core.extent import Extent, ExtentPair
+from .optimal import OptimalCurve, optimal_curve
+
+
+@dataclass(frozen=True)
+class Representability:
+    """One point of the Fig. 9 curve."""
+
+    table_entries: int       # resident pair count actually used
+    captured_fraction: float
+    optimal_fraction: float
+
+    @property
+    def quality(self) -> float:
+        """Captured relative to optimal -- the Fig. 9 vertical axis."""
+        if self.optimal_fraction == 0.0:
+            return 1.0 if self.captured_fraction == 0.0 else 0.0
+        return self.captured_fraction / self.optimal_fraction
+
+
+def representability(
+    true_counts: Mapping[ExtentPair, int],
+    resident_pairs: Iterable[ExtentPair],
+    curve: OptimalCurve = None,
+) -> Representability:
+    """Score a synopsis's resident pair set against the ground truth."""
+    if curve is None:
+        curve = optimal_curve(true_counts)
+    residents = set(resident_pairs)
+    captured = sum(true_counts.get(pair, 0) for pair in residents)
+    captured_fraction = (
+        captured / curve.total_frequency if curve.total_frequency else 0.0
+    )
+    optimal_fraction = curve.fraction_for_size(len(residents))
+    return Representability(
+        table_entries=len(residents),
+        captured_fraction=captured_fraction,
+        optimal_fraction=optimal_fraction,
+    )
+
+
+def sweep_table_sizes(
+    transactions: Sequence[Sequence[Extent]],
+    true_counts: Mapping[ExtentPair, int],
+    capacities: Sequence[int],
+    base_config: AnalyzerConfig = None,
+) -> List[Tuple[int, Representability]]:
+    """Run the online analyzer at each capacity and score it (Fig. 9).
+
+    ``capacities`` are per-tier correlation-table entry counts ``C`` (the
+    paper sweeps powers of two).  The item table is sized to match.  Each
+    run is a fresh single pass over the same recorded transactions.
+    """
+    if base_config is None:
+        base_config = AnalyzerConfig()
+    curve = optimal_curve(true_counts)
+    results: List[Tuple[int, Representability]] = []
+    for capacity in capacities:
+        config = AnalyzerConfig(
+            item_capacity=capacity,
+            correlation_capacity=capacity,
+            promote_threshold=base_config.promote_threshold,
+            t2_ratio=base_config.t2_ratio,
+            demote_on_item_eviction=base_config.demote_on_item_eviction,
+        )
+        analyzer = OnlineAnalyzer(config)
+        analyzer.process_stream(transactions)
+        resident = list(analyzer.pair_frequencies())
+        results.append((capacity, representability(true_counts, resident, curve)))
+    return results

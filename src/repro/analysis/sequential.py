@@ -1,0 +1,123 @@
+"""Sequential versus semantic correlation classification.
+
+The paper distinguishes two origins of correlations (Sections I, II-A):
+*sequential* patterns, "represented by adjacent blocks", and *random*
+patterns "commonly formed as a result of semantic relationships that are
+harder to infer" (an inode and its data, a web request and its database
+table).  The two call for different optimizations -- sequential runs
+benefit from readahead and striping, semantic correlations from co-location
+or parallel placement -- so this module classifies a correlation set and
+summarises its composition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..core.extent import ExtentPair
+
+
+class PatternKind(enum.Enum):
+    """Spatial relationship between a pair's two extents."""
+
+    SEQUENTIAL = "sequential"   # adjacent, or within the near gap
+    NEAR = "near"               # same neighbourhood (within locality span)
+    SCATTERED = "scattered"     # far apart: semantically correlated
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Distance thresholds, in blocks.
+
+    ``sequential_gap`` is the maximum gap between extent ends for a pair to
+    count as one (possibly split) sequential run -- 0 means strictly
+    adjacent; small values tolerate request-merging artefacts.
+    ``locality_span`` bounds the NEAR class: correlations within one
+    file/database region rather than across the disk.
+    """
+
+    sequential_gap: int = 8
+    locality_span: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.sequential_gap < 0:
+            raise ValueError("sequential_gap must be >= 0")
+        if self.locality_span <= self.sequential_gap:
+            raise ValueError("locality_span must exceed sequential_gap")
+
+
+def classify_pair(pair: ExtentPair,
+                  config: ClassifierConfig = ClassifierConfig()) -> PatternKind:
+    """Classify one extent pair by the gap between its members.
+
+    The gap is measured between the lower extent's end and the higher
+    extent's start; overlapping extents have gap zero.
+    """
+    low, high = pair.first, pair.second
+    gap = max(0, high.start - low.end)
+    if gap <= config.sequential_gap:
+        return PatternKind.SEQUENTIAL
+    if gap <= config.locality_span:
+        return PatternKind.NEAR
+    return PatternKind.SCATTERED
+
+
+@dataclass
+class PatternComposition:
+    """How a correlation set splits across pattern kinds."""
+
+    counts: Dict[PatternKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in PatternKind}
+    )
+    weights: Dict[PatternKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in PatternKind}
+    )
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total_weight(self) -> int:
+        return sum(self.weights.values())
+
+    def fraction(self, kind: PatternKind) -> float:
+        """Share of unique pairs of the given kind."""
+        return (
+            self.counts[kind] / self.total_pairs if self.total_pairs else 0.0
+        )
+
+    def weighted_fraction(self, kind: PatternKind) -> float:
+        """Share of total frequency carried by pairs of the given kind."""
+        return (
+            self.weights[kind] / self.total_weight
+            if self.total_weight else 0.0
+        )
+
+
+def classify_correlations(
+    counts: Mapping[ExtentPair, int],
+    config: ClassifierConfig = ClassifierConfig(),
+) -> PatternComposition:
+    """Classify every pair of a correlation-count map."""
+    composition = PatternComposition()
+    for pair, count in counts.items():
+        kind = classify_pair(pair, config)
+        composition.counts[kind] += 1
+        composition.weights[kind] += count
+    return composition
+
+
+def split_by_kind(
+    counts: Mapping[ExtentPair, int],
+    config: ClassifierConfig = ClassifierConfig(),
+) -> Dict[PatternKind, Dict[ExtentPair, int]]:
+    """Partition a correlation-count map by pattern kind."""
+    partitions: Dict[PatternKind, Dict[ExtentPair, int]] = {
+        kind: {} for kind in PatternKind
+    }
+    for pair, count in counts.items():
+        partitions[classify_pair(pair, config)][pair] = count
+    return partitions

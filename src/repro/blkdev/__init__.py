@@ -1,0 +1,39 @@
+"""Storage substrate: simulated devices and the trace replayer."""
+
+from .device import (
+    DeviceStats,
+    HddDevice,
+    SimulatedDevice,
+    SsdDevice,
+    measure_mean_read_latency,
+)
+from .multidisk import (
+    DiskSummary,
+    rank_disks,
+    replay_multidisk,
+    split_by_disk,
+)
+from .replay import (
+    EventListener,
+    ReplayResult,
+    replay_no_stall,
+    replay_speedup,
+    replay_timed,
+)
+
+__all__ = [
+    "DeviceStats",
+    "DiskSummary",
+    "rank_disks",
+    "replay_multidisk",
+    "split_by_disk",
+    "EventListener",
+    "HddDevice",
+    "ReplayResult",
+    "SimulatedDevice",
+    "SsdDevice",
+    "measure_mean_read_latency",
+    "replay_no_stall",
+    "replay_speedup",
+    "replay_timed",
+]

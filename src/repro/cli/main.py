@@ -1,0 +1,355 @@
+"""Command-line interface for the characterization framework.
+
+Subcommands mirror the workflows of the paper's evaluation:
+
+* ``repro generate``     -- produce a synthetic or enterprise workload trace
+* ``repro stats``        -- Table I-style statistics of a trace file
+* ``repro characterize`` -- replay a trace through the real-time pipeline
+  and report the detected correlations (optionally as association rules)
+* ``repro mine``         -- offline FIM over a trace's transactions (the
+  ground-truth path)
+
+Trace files are detected by suffix: ``.csv`` (MSR Cambridge convention),
+``.bin`` (this repo's binary format), ``.txt`` (blkparse-style text).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..analysis.cdf import correlation_cdf
+from ..analysis.report import build_report, render_report
+from ..core.config import AnalyzerConfig
+from ..fim.apriori import apriori
+from ..fim.eclat import eclat
+from ..fim.fpgrowth import fpgrowth
+from ..fim.itemset import frequent_pairs
+from ..fim.pairs import exact_pair_counts, sorted_by_frequency
+from ..fim.rules import rules_from_analyzer
+from ..monitor.window import DynamicLatencyWindow, StaticWindow
+from ..pipeline import run_pipeline
+from ..trace.io import (
+    load_binary,
+    load_blkparse_text,
+    load_msr_csv,
+    save_binary,
+    save_blkparse_text,
+    save_msr_csv,
+)
+from ..trace.record import TraceRecord
+from ..trace.stats import compute_stats
+from ..workloads.enterprise import PROFILES, generate_named
+from ..workloads.synthetic import (
+    SyntheticKind,
+    SyntheticSpec,
+    generate_synthetic,
+)
+
+_MINERS = {"apriori": apriori, "eclat": eclat, "fpgrowth": fpgrowth}
+
+
+def load_trace(path: str) -> List[TraceRecord]:
+    """Load a trace file, dispatching on its suffix."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return load_msr_csv(path)
+    if suffix == ".bin":
+        return load_binary(path)
+    if suffix in (".txt", ".blkparse"):
+        return load_blkparse_text(path)
+    raise SystemExit(
+        f"cannot infer trace format of {path!r}; "
+        f"use .csv (MSR), .bin (binary), or .txt (blkparse)"
+    )
+
+
+def save_trace(records: List[TraceRecord], path: str) -> None:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        save_msr_csv(records, path)
+    elif suffix == ".bin":
+        save_binary(records, path)
+    elif suffix in (".txt", ".blkparse"):
+        save_blkparse_text(records, path)
+    else:
+        raise SystemExit(
+            f"cannot infer trace format of {path!r}; "
+            f"use .csv (MSR), .bin (binary), or .txt (blkparse)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    synthetic_kinds = {kind.value: kind for kind in SyntheticKind}
+    if args.workload in synthetic_kinds:
+        spec = SyntheticSpec(
+            kind=synthetic_kinds[args.workload],
+            duration=args.duration,
+            seed=args.seed,
+        )
+        records, _truth = generate_synthetic(spec)
+    elif args.workload in PROFILES:
+        records, _truth = generate_named(
+            args.workload, requests=args.requests, seed=args.seed
+        )
+    else:
+        known = sorted(synthetic_kinds) + sorted(PROFILES)
+        raise SystemExit(f"unknown workload {args.workload!r}; know {known}")
+    save_trace(records, args.output)
+    print(f"wrote {len(records)} requests to {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    records = load_trace(args.trace)
+    stats = compute_stats(records)
+    print(f"requests            : {stats.requests}")
+    print(f"duration            : {stats.duration:.3f} s")
+    print(f"total data          : {stats.total_gb:.3f} GB")
+    print(f"unique data         : {stats.unique_gb:.3f} GB")
+    print(f"total/unique        : "
+          f"{stats.total_bytes / stats.unique_bytes:.1f}x")
+    print(f"interarrival <100us : {stats.fast_interarrival_percent:.1f}%")
+    print(f"read fraction       : {100 * stats.read_fraction:.1f}%")
+    if stats.mean_latency is not None:
+        print(f"mean trace latency  : {stats.mean_latency * 1e3:.3f} ms")
+    return 0
+
+
+def _window_from(args: argparse.Namespace):
+    if args.window is None:
+        return DynamicLatencyWindow()
+    return StaticWindow(args.window)
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from ..core.serialize import dump_analyzer, load_analyzer
+
+    records = load_trace(args.trace)
+    analyzer = None
+    config = None
+    if args.load_synopsis:
+        with open(args.load_synopsis, "rb") as stream:
+            analyzer = load_analyzer(stream)
+    else:
+        config = AnalyzerConfig(
+            item_capacity=args.capacity,
+            correlation_capacity=args.capacity,
+            promote_threshold=args.promote_threshold,
+        )
+    result = run_pipeline(
+        records,
+        config=config,
+        analyzer=analyzer,
+        window=_window_from(args),
+        max_transaction_size=args.max_transaction,
+        dedup=not args.no_dedup,
+        record_offline=False,
+    )
+    if args.save_synopsis:
+        with open(args.save_synopsis, "wb") as stream:
+            written = dump_analyzer(result.analyzer, stream)
+        print(f"saved synopsis ({written} bytes) to {args.save_synopsis}")
+    monitor = result.monitor_stats
+    print(f"processed {monitor.events_seen} events into "
+          f"{monitor.transactions_emitted} transactions "
+          f"({monitor.duplicates_removed} duplicates removed)")
+    detected = result.frequent_pairs(min_support=args.support)
+    print(f"\ntop correlations (support >= {args.support}):")
+    for pair, tally in detected[:args.top]:
+        print(f"  {pair}  x{tally}")
+    if not detected:
+        print("  (none)")
+    if args.rules:
+        print(f"\nassociation rules (confidence >= {args.min_confidence}):")
+        rules = rules_from_analyzer(
+            result.analyzer,
+            min_support=args.support,
+            min_confidence=args.min_confidence,
+        )
+        for rule in rules[:args.top]:
+            print(f"  {rule}")
+        if not rules:
+            print("  (none)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    records = load_trace(args.trace)
+    report = build_report(
+        records,
+        support=args.support,
+        capacity=args.capacity,
+        top=args.top,
+        window=_window_from(args),
+    )
+    print(render_report(report, name=Path(args.trace).name))
+    return 0
+
+
+def cmd_drift(args: argparse.Namespace) -> int:
+    """The Fig. 10 experiment on two trace files: A -> B -> A."""
+    from ..analysis.diff import diff_snapshots
+    from ..blkdev.device import SsdDevice
+    from ..blkdev.replay import replay_timed
+    from ..core.analyzer import OnlineAnalyzer
+    from ..monitor.monitor import Monitor
+    from ..workloads.composite import drift_workload
+
+    first = load_trace(args.trace_a)
+    second = load_trace(args.trace_b)
+    segment = args.segment or min(len(first) // 2, len(second))
+    if len(first) < 2 * segment or len(second) < segment:
+        raise SystemExit(
+            f"need >= {2 * segment} requests in A and >= {segment} in B"
+        )
+    _flat, segments = drift_workload(first, second, segment,
+                                     labels=("A", "B"))
+    analyzer = OnlineAnalyzer(AnalyzerConfig(
+        item_capacity=args.capacity, correlation_capacity=args.capacity
+    ))
+    monitor = Monitor(window=_window_from(args))
+    monitor.add_sink(lambda txn: analyzer.process(txn.extents))
+    device = SsdDevice(seed=1)
+
+    previous = None
+    for part in segments:
+        replay_timed(part.records, device,
+                     listeners=[monitor.on_event], collect=False)
+        monitor.flush()
+        snapshot = dict(analyzer.pair_frequencies())
+        line = f"after {part.label}: {len(snapshot)} resident pairs"
+        if previous is not None:
+            delta = diff_snapshots(previous, snapshot)
+            line += (f"  (+{len(delta.appeared)} new, "
+                     f"-{len(delta.vanished)} gone, "
+                     f"stability {delta.stability:.2f})")
+        print(line)
+        previous = snapshot
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    records = load_trace(args.trace)
+    result = run_pipeline(records, window=_window_from(args),
+                          max_transaction_size=args.max_transaction)
+    transactions = result.offline_transactions()
+    miner = _MINERS[args.algorithm]
+    itemsets = miner(transactions, min_support=args.support, max_size=2)
+    pairs = frequent_pairs(itemsets)
+    print(f"{args.algorithm}: {len(pairs)} frequent pairs at "
+          f"support {args.support} over {len(transactions)} transactions")
+    counts = exact_pair_counts(transactions)
+    cdf = correlation_cdf(counts) if counts else None
+    if cdf is not None:
+        print(f"unique pairs {cdf.total_pairs}, "
+              f"{100 * cdf.support_one_fraction:.1f}% occur once")
+    ranked = sorted(pairs.items(), key=lambda entry: -entry[1])
+    for itemset, support in ranked[:args.top]:
+        a, b = sorted(itemset)
+        print(f"  ({a}, {b})  x{support}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Real-time data access correlation characterization",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a workload trace file"
+    )
+    generate.add_argument("workload",
+                          help="one-to-one | one-to-many | many-to-many | "
+                               "wdev | src2 | rsrch | stg | hm")
+    generate.add_argument("output", help="trace path (.csv/.bin/.txt)")
+    generate.add_argument("--requests", type=int, default=20000,
+                          help="enterprise workload length (default 20000)")
+    generate.add_argument("--duration", type=float, default=120.0,
+                          help="synthetic workload seconds (default 120)")
+    generate.add_argument("--seed", type=int, default=42)
+    generate.set_defaults(handler=cmd_generate)
+
+    stats = subparsers.add_parser("stats", help="Table I-style statistics")
+    stats.add_argument("trace")
+    stats.set_defaults(handler=cmd_stats)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="real-time online characterization"
+    )
+    characterize.add_argument("trace")
+    characterize.add_argument("--support", type=int, default=5)
+    characterize.add_argument("--capacity", type=int, default=16 * 1024,
+                              help="per-tier table entries C (default 16K)")
+    characterize.add_argument("--promote-threshold", type=int, default=2)
+    characterize.add_argument("--window", type=float, default=None,
+                              help="static window seconds "
+                                   "(default: dynamic 2x latency)")
+    characterize.add_argument("--max-transaction", type=int, default=8)
+    characterize.add_argument("--no-dedup", action="store_true")
+    characterize.add_argument("--top", type=int, default=20)
+    characterize.add_argument("--rules", action="store_true",
+                              help="also print association rules")
+    characterize.add_argument("--min-confidence", type=float, default=0.5)
+    characterize.add_argument("--save-synopsis", metavar="PATH",
+                              help="checkpoint the synopsis after the run")
+    characterize.add_argument("--load-synopsis", metavar="PATH",
+                              help="resume from a checkpointed synopsis")
+    characterize.set_defaults(handler=cmd_characterize)
+
+    report = subparsers.add_parser(
+        "report", help="full characterization report"
+    )
+    report.add_argument("trace")
+    report.add_argument("--support", type=int, default=5)
+    report.add_argument("--capacity", type=int, default=16 * 1024)
+    report.add_argument("--top", type=int, default=20)
+    report.add_argument("--window", type=float, default=None)
+    report.set_defaults(handler=cmd_report)
+
+    drift = subparsers.add_parser(
+        "drift", help="concept-drift experiment: A -> B -> A (Fig. 10)"
+    )
+    drift.add_argument("trace_a")
+    drift.add_argument("trace_b")
+    drift.add_argument("--segment", type=int, default=None,
+                       help="requests per segment (default: fits the traces)")
+    drift.add_argument("--capacity", type=int, default=1024)
+    drift.add_argument("--window", type=float, default=None)
+    drift.set_defaults(handler=cmd_drift)
+
+    mine = subparsers.add_parser(
+        "mine", help="offline frequent itemset mining (ground truth)"
+    )
+    mine.add_argument("trace")
+    mine.add_argument("--algorithm", choices=sorted(_MINERS),
+                      default="eclat")
+    mine.add_argument("--support", type=int, default=5)
+    mine.add_argument("--window", type=float, default=None)
+    mine.add_argument("--max-transaction", type=int, default=8)
+    mine.add_argument("--top", type=int, default=20)
+    mine.set_defaults(handler=cmd_mine)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Core contribution: extents, the two-tier synopsis, and the online analyzer."""
+
+from .adaptive import AdaptivePolicy, AdaptiveTwoTierTable
+from .analyzer import AnalyzerReport, OnlineAnalyzer
+from .arc import ArcStats, ArcTable
+from .config import AnalyzerConfig
+from .correlation_table import CorrelationTable
+from .extent import Extent, ExtentPair, block_correlations, unique_pairs
+from .item_table import ItemTable
+from .lru import LruQueue
+from .serialize import (
+    dump_analyzer,
+    dumps_analyzer,
+    load_analyzer,
+    loads_analyzer,
+    synopsis_size_bytes,
+)
+from .memory_model import (
+    EXTENT_BYTES,
+    ITEM_ENTRY_BYTES,
+    PAIR_ENTRY_BYTES,
+    SynopsisMemoryModel,
+    capacity_for_budget,
+)
+from .two_tier import TIER1, TIER2, AccessResult, TableStats, TwoTierTable
+from .typed import CorrelationKind, TypedOnlineAnalyzer, TypeTally
+
+__all__ = [
+    "AdaptivePolicy",
+    "AdaptiveTwoTierTable",
+    "AnalyzerConfig",
+    "AnalyzerReport",
+    "ArcStats",
+    "ArcTable",
+    "AccessResult",
+    "CorrelationTable",
+    "Extent",
+    "ExtentPair",
+    "ItemTable",
+    "LruQueue",
+    "OnlineAnalyzer",
+    "SynopsisMemoryModel",
+    "TableStats",
+    "TwoTierTable",
+    "CorrelationKind",
+    "TypedOnlineAnalyzer",
+    "TypeTally",
+    "TIER1",
+    "TIER2",
+    "EXTENT_BYTES",
+    "ITEM_ENTRY_BYTES",
+    "PAIR_ENTRY_BYTES",
+    "block_correlations",
+    "capacity_for_budget",
+    "unique_pairs",
+    "dump_analyzer",
+    "dumps_analyzer",
+    "load_analyzer",
+    "loads_analyzer",
+    "synopsis_size_bytes",
+]

@@ -1,0 +1,123 @@
+"""Adaptive T1/T2 sizing for the two-tier synopsis.
+
+The paper fixes equal tier sizes but notes that "their ratio can be
+adjusted dynamically for specific applications", with one hard-won caveat
+(Section IV-C1): the structure "needs to have a sufficiently large T1" to
+absorb infrequent noise, so any dynamic resizing must respect minimum
+fixed sizes for both tiers -- otherwise the feedback loop "would end up
+favoring T2" (every promotion looks like a T2 success, starving the very
+tier that feeds promotions).
+
+:class:`AdaptiveTwoTierTable` implements that design: total capacity is
+fixed; every ``adjust_interval`` lookups it compares the tiers' hit
+densities (hits per entry of capacity) over the last window and shifts one
+``step`` of capacity towards the denser tier, clamped to the minimum
+sizes.  With adaptation disabled it behaves exactly like the fixed table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, List, Optional, Tuple, TypeVar
+
+from .two_tier import AccessResult, TIER1, TIER2, TwoTierTable
+
+K = TypeVar("K", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Knobs of the adaptive resizer."""
+
+    adjust_interval: int = 256   # lookups between adjustments
+    step_fraction: float = 0.05  # share of total capacity moved per step
+    min_tier_fraction: float = 0.2  # floor for each tier's share
+
+    def __post_init__(self) -> None:
+        if self.adjust_interval < 1:
+            raise ValueError("adjust_interval must be >= 1")
+        if not 0.0 < self.step_fraction < 0.5:
+            raise ValueError("step_fraction must be in (0, 0.5)")
+        if not 0.0 < self.min_tier_fraction <= 0.5:
+            raise ValueError("min_tier_fraction must be in (0, 0.5]")
+
+
+class AdaptiveTwoTierTable(TwoTierTable[K], Generic[K]):
+    """A two-tier table that shifts capacity between tiers at runtime."""
+
+    def __init__(
+        self,
+        t1_capacity: int,
+        t2_capacity: Optional[int] = None,
+        promote_threshold: int = 2,
+        policy: Optional[AdaptivePolicy] = None,
+    ) -> None:
+        super().__init__(t1_capacity, t2_capacity, promote_threshold)
+        self.policy = policy or AdaptivePolicy()
+        self._total_capacity = self._t1.capacity + self._t2.capacity
+        minimum = max(1, round(self._total_capacity
+                               * self.policy.min_tier_fraction))
+        self._min_tier = min(minimum, self._total_capacity - 1)
+        self._window_t1_hits = 0
+        self._window_t2_hits = 0
+        self._window_lookups = 0
+        self.adjustments = 0
+
+    # -- adaptation ---------------------------------------------------------
+
+    def _step_size(self) -> int:
+        return max(1, round(self._total_capacity * self.policy.step_fraction))
+
+    def _shift(self, towards_t1: bool) -> List[Tuple[K, int]]:
+        """Move one step of capacity; returns entries evicted by shrinking."""
+        step = self._step_size()
+        if towards_t1:
+            new_t2 = max(self._min_tier, self._t2.capacity - step)
+            step = self._t2.capacity - new_t2
+            if step == 0:
+                return []
+            evicted = self._t2.resize(new_t2)
+            self._t1.resize(self._t1.capacity + step)
+        else:
+            new_t1 = max(self._min_tier, self._t1.capacity - step)
+            step = self._t1.capacity - new_t1
+            if step == 0:
+                return []
+            evicted = self._t1.resize(new_t1)
+            self._t2.resize(self._t2.capacity + step)
+        self.adjustments += 1
+        return evicted
+
+    def _maybe_adjust(self) -> List[Tuple[K, int]]:
+        if self._window_lookups < self.policy.adjust_interval:
+            return []
+        t1_density = self._window_t1_hits / max(1, self._t1.capacity)
+        t2_density = self._window_t2_hits / max(1, self._t2.capacity)
+        self._window_t1_hits = 0
+        self._window_t2_hits = 0
+        self._window_lookups = 0
+        if t1_density == t2_density:
+            return []
+        return self._shift(towards_t1=t1_density > t2_density)
+
+    # -- overridden access -----------------------------------------------------
+
+    def access(self, key: K) -> AccessResult[K]:
+        result = super().access(key)
+        self._window_lookups += 1
+        if result.hit:
+            if result.tier == TIER2 and not result.promoted:
+                self._window_t2_hits += 1
+            elif result.tier == TIER1 or result.promoted:
+                self._window_t1_hits += 1
+        evicted = self._maybe_adjust()
+        for key_evicted, tally, in evicted:
+            result.evicted.append(
+                (key_evicted, tally, TIER1)  # shrink evictions act like T1
+            )
+        return result
+
+    @property
+    def tier_split(self) -> Tuple[int, int]:
+        """Current (T1, T2) capacities."""
+        return self._t1.capacity, self._t2.capacity

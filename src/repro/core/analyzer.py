@@ -1,0 +1,113 @@
+"""The online analysis module (paper Section III-D).
+
+A single pass over the transaction stream maintains the synopsis: every
+extent of a transaction is recorded in the item table, every unique extent
+pair in the correlation table, and item-table evictions demote the pairs
+that involve the evicted extent.  The per-transaction cost is Θ(N²) for N
+extents, which the monitoring module bounds by capping transactions at a
+configurable size (8 in the paper's evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .config import AnalyzerConfig
+from .correlation_table import CorrelationTable
+from .extent import Extent, ExtentPair, unique_pairs
+from .item_table import ItemTable
+from .two_tier import TableStats
+
+
+@dataclass
+class AnalyzerReport:
+    """Aggregate counters over an analyzer's lifetime."""
+
+    transactions: int = 0
+    extents_seen: int = 0
+    pairs_seen: int = 0
+    item_stats: TableStats = field(default_factory=TableStats)
+    correlation_stats: TableStats = field(default_factory=TableStats)
+
+
+class OnlineAnalyzer:
+    """Single-pass data access characterization over extent transactions.
+
+    The analyzer is deliberately decoupled from the monitoring module: it
+    accepts any sequence of :class:`Extent` objects as one transaction, so
+    it can be driven by the live monitor, by recorded transactions, or by
+    synthetic streams in tests.
+    """
+
+    def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
+        self.config = config or AnalyzerConfig()
+        item_t1, item_t2 = self.config.split(self.config.item_capacity)
+        corr_t1, corr_t2 = self.config.split(self.config.correlation_capacity)
+        self.items = ItemTable(item_t1, item_t2, self.config.promote_threshold)
+        self.correlations = CorrelationTable(
+            corr_t1, corr_t2, self.config.promote_threshold
+        )
+        self._transactions = 0
+        self._extents_seen = 0
+        self._pairs_seen = 0
+
+    # -- stream processing ------------------------------------------------------
+
+    def process(self, extents: Sequence[Extent]) -> None:
+        """Process one transaction's extents.
+
+        Duplicates are collapsed (the monitor already deduplicates, but the
+        analyzer tolerates raw input), each distinct extent is recorded in
+        the item table, and every unique pair is recorded in the correlation
+        table.  Item-table evictions trigger correlation-table demotions.
+        """
+        distinct = sorted(set(extents))
+        self._transactions += 1
+        self._extents_seen += len(distinct)
+
+        for extent in distinct:
+            result = self.items.access(extent)
+            if self.config.demote_on_item_eviction:
+                for evicted in self.items.evicted_from(result):
+                    self.correlations.demote_involving(evicted)
+
+        for pair in unique_pairs(distinct):
+            self.correlations.access(pair)
+            self._pairs_seen += 1
+
+    def process_stream(self, transactions: Iterable[Sequence[Extent]]) -> None:
+        """Process a whole stream of transactions."""
+        for extents in transactions:
+            self.process(extents)
+
+    # -- results ------------------------------------------------------------------
+
+    def frequent_pairs(self, min_support: int = 2) -> List[Tuple[ExtentPair, int]]:
+        """Detected correlations with tally >= ``min_support``, strongest first."""
+        return self.correlations.frequent(min_support)
+
+    def frequent_extents(self, min_support: int = 2) -> List[Tuple[Extent, int]]:
+        """Frequent individual extents, strongest first."""
+        return self.items.frequent(min_support)
+
+    def pair_frequencies(self) -> Dict[ExtentPair, int]:
+        """Every resident pair and its tally."""
+        return self.correlations.frequencies()
+
+    def report(self) -> AnalyzerReport:
+        return AnalyzerReport(
+            transactions=self._transactions,
+            extents_seen=self._extents_seen,
+            pairs_seen=self._pairs_seen,
+            item_stats=self.items.stats,
+            correlation_stats=self.correlations.stats,
+        )
+
+    def reset(self) -> None:
+        """Forget everything (tables and counters)."""
+        self.items.clear()
+        self.correlations.clear()
+        self._transactions = 0
+        self._extents_seen = 0
+        self._pairs_seen = 0

@@ -1,0 +1,225 @@
+"""Classic Adaptive Replacement Cache (Megiddo & Modha, FAST '03).
+
+The paper's synopsis is "inspired by ARC" but deliberately diverges:
+fixed tier sizes instead of ghost-cache-driven adaptation, and demotion
+instead of ghost lists.  To make that design choice testable, this module
+implements the original ARC algorithm as a key-tracking structure (we track
+metadata presence, not data), so benchmarks can compare capture quality of
+the paper's two-tier table against real ARC under the same entry budget.
+
+ARC maintains four lists over a cache of capacity ``c``:
+
+* **T1** -- resident, seen exactly once recently;
+* **T2** -- resident, seen at least twice recently;
+* **B1** -- ghost history of keys evicted from T1;
+* **B2** -- ghost history of keys evicted from T2;
+
+with an adaptive target ``p`` for T1's share.  A hit in B1 (we evicted
+something we should have kept for recency) grows ``p``; a hit in B2 grows
+frequency's share.  |T1|+|T2| <= c and |T1|+|B1|+|T2|+|B2| <= 2c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+from .lru import LruQueue
+
+K = TypeVar("K", bound=Hashable)
+
+
+@dataclass
+class ArcStats:
+    """Hit/miss and adaptation counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    b1_hits: int = 0
+    b2_hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _GhostList:
+    """An LRU list of keys only (no tallies)."""
+
+    def __init__(self) -> None:
+        from collections import OrderedDict
+        self._keys: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key) -> bool:
+        return key in self._keys
+
+    def push_mru(self, key) -> None:
+        self._keys[key] = None
+        self._keys.move_to_end(key)
+
+    def remove(self, key) -> None:
+        self._keys.pop(key, None)
+
+    def pop_lru(self):
+        if not self._keys:
+            return None
+        key, _none = self._keys.popitem(last=False)
+        return key
+
+
+class ArcTable(Generic[K]):
+    """The ARC algorithm tracking key tallies (a synopsis, not a cache).
+
+    ``access(key)`` follows the four ARC cases and returns whether the key
+    was resident.  Tallies (sighting counts) ride along with resident
+    entries so the structure can answer the same ``frequent``-style queries
+    as the paper's table.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 2:
+            raise ValueError(f"ARC needs capacity >= 2, got {capacity}")
+        self.capacity = capacity
+        self._p = 0  # target size of T1
+        self._t1: LruQueue[K] = LruQueue(capacity)
+        self._t2: LruQueue[K] = LruQueue(capacity)
+        self._b1 = _GhostList()
+        self._b2 = _GhostList()
+        self.stats = ArcStats()
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._t1 or key in self._t2
+
+    @property
+    def p(self) -> int:
+        """Adaptive target for T1's share of the cache."""
+        return self._p
+
+    def tally(self, key: K) -> Optional[int]:
+        value = self._t2.tally(key)
+        if value is None:
+            value = self._t1.tally(key)
+        return value
+
+    def resident_items(self) -> List[Tuple[K, int]]:
+        out = list(self._t1.items())
+        out.extend(self._t2.items())
+        return out
+
+    def frequent(self, min_tally: int = 1) -> List[Tuple[K, int]]:
+        selected = [
+            (key, tally) for key, tally in self.resident_items()
+            if tally >= min_tally
+        ]
+        selected.sort(key=lambda entry: (-entry[1], repr(entry[0])))
+        return selected
+
+    def ghost_sizes(self) -> Tuple[int, int]:
+        return len(self._b1), len(self._b2)
+
+    # -- the ARC REPLACE subroutine ------------------------------------------------
+
+    def _replace(self, key_in_b2: bool) -> None:
+        """Evict from T1 or T2 per the ARC policy, into the ghosts."""
+        t1_size = len(self._t1)
+        if t1_size > 0 and (
+            t1_size > self._p or (key_in_b2 and t1_size == self._p)
+        ):
+            evicted = self._t1.pop_lru()
+            if evicted is not None:
+                self._b1.push_mru(evicted[0])
+        else:
+            evicted = self._t2.pop_lru()
+            if evicted is not None:
+                self._b2.push_mru(evicted[0])
+
+    # -- the four ARC cases ---------------------------------------------------------
+
+    def access(self, key: K) -> bool:
+        """Record one sighting; returns True when the key was resident."""
+        self.stats.lookups += 1
+
+        # Case I: hit in T1 or T2 -> move to T2 MRU.
+        if key in self._t1:
+            tally = self._t1.pop(key) or 0
+            displaced = self._t2.insert(key, tally + 1)
+            if displaced is not None:
+                self._b2.push_mru(displaced[0])
+            self.stats.hits += 1
+            return True
+        if key in self._t2:
+            self._t2.touch(key)
+            self.stats.hits += 1
+            return True
+
+        # Case II: ghost hit in B1 -> grow p (recency was undervalued).
+        if key in self._b1:
+            self.stats.b1_hits += 1
+            delta = max(1, len(self._b2) // max(1, len(self._b1)))
+            self._p = min(self.capacity, self._p + delta)
+            self._replace(key_in_b2=False)
+            self._b1.remove(key)
+            displaced = self._t2.insert(key, 1)
+            if displaced is not None:
+                self._b2.push_mru(displaced[0])
+            return False
+
+        # Case III: ghost hit in B2 -> shrink p (frequency undervalued).
+        if key in self._b2:
+            self.stats.b2_hits += 1
+            delta = max(1, len(self._b1) // max(1, len(self._b2)))
+            self._p = max(0, self._p - delta)
+            self._replace(key_in_b2=True)
+            self._b2.remove(key)
+            displaced = self._t2.insert(key, 1)
+            if displaced is not None:
+                self._b2.push_mru(displaced[0])
+            return False
+
+        # Case IV: complete miss.
+        t1_total = len(self._t1) + len(self._b1)
+        if t1_total == self.capacity:
+            if len(self._t1) < self.capacity:
+                self._b1.pop_lru()
+                self._replace(key_in_b2=False)
+            else:
+                evicted = self._t1.pop_lru()
+                if evicted is not None:
+                    pass  # dropped entirely (B1 is full of T1 itself)
+        else:
+            total = (len(self._t1) + len(self._b1)
+                     + len(self._t2) + len(self._b2))
+            if total >= self.capacity:
+                if total == 2 * self.capacity:
+                    self._b2.pop_lru()
+                if len(self._t1) + len(self._t2) >= self.capacity:
+                    self._replace(key_in_b2=False)
+        self._t1.insert(key, 1)
+        return False
+
+    def check_invariants(self) -> bool:
+        """ARC's size bounds (for tests)."""
+        resident = len(self._t1) + len(self._t2)
+        total = resident + len(self._b1) + len(self._b2)
+        disjoint = not (
+            set(key for key, _t in self._t1.items())
+            & set(key for key, _t in self._t2.items())
+        )
+        return (
+            resident <= self.capacity
+            and total <= 2 * self.capacity
+            and 0 <= self._p <= self.capacity
+            and disjoint
+        )

@@ -1,0 +1,46 @@
+"""Configuration for the online analysis module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AnalyzerConfig:
+    """Parameters of the synopsis data structure (paper Sections III-D, IV-C).
+
+    ``item_capacity`` and ``correlation_capacity`` are the per-tier entry
+    counts ``C``: each table has T1 and T2 of that size, so a correlation
+    capacity of 16 K matches the paper's "16 K entries" configuration.
+    ``promote_threshold`` is the tally at which a T1 entry is promoted; the
+    paper promotes on the first T1 hit (threshold 2).  ``t2_ratio`` controls
+    the T1:T2 split for the ablation study -- 0.5 reproduces the paper's
+    equal split.
+    """
+
+    item_capacity: int = 16 * 1024
+    correlation_capacity: int = 16 * 1024
+    promote_threshold: int = 2
+    t2_ratio: float = 0.5
+    demote_on_item_eviction: bool = True
+
+    def __post_init__(self) -> None:
+        if self.item_capacity < 1:
+            raise ValueError("item_capacity must be >= 1")
+        if self.correlation_capacity < 1:
+            raise ValueError("correlation_capacity must be >= 1")
+        if not 0.0 < self.t2_ratio < 1.0:
+            raise ValueError("t2_ratio must be in (0, 1)")
+
+    def split(self, capacity: int) -> tuple:
+        """Split a per-table total of ``2 * capacity`` entries into tiers.
+
+        With the default ``t2_ratio`` of 0.5 this returns equal tiers of
+        ``capacity`` entries each.  Both tiers are kept at a minimum size of
+        one entry, honouring the paper's observation that dynamic resizing
+        must respect minimum fixed tier sizes (Section IV-C1).
+        """
+        total = 2 * capacity
+        t2 = max(1, min(total - 1, round(total * self.t2_ratio)))
+        t1 = total - t2
+        return t1, t2

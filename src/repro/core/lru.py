@@ -1,0 +1,135 @@
+"""An indexed LRU queue with demotion.
+
+Both tiers of the paper's synopsis tables (Section III-D1) are LRU queues of
+``(key, tally)`` entries with three operations beyond a classic LRU:
+
+* *touch* -- on a lookup hit the entry moves to the MRU end and its tally is
+  incremented;
+* *demote* -- an entry is moved to the LRU end, "marking it next for
+  eviction", which reduces its relevancy without discarding its tally;
+* *pop* by key -- promotion removes an entry from T1 to reinsert it in T2.
+
+``collections.OrderedDict`` provides O(1) ``move_to_end`` in both directions,
+which is exactly the structure needed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class LruQueue(Generic[K]):
+    """Fixed-capacity LRU queue mapping keys to integer tallies.
+
+    The MRU end is the *front* (where fresh and touched entries go) and the
+    LRU end is the *back* (where eviction happens).  Internally the
+    ``OrderedDict`` stores MRU-last, so "front" maps to ``last=True``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[K, int]" = OrderedDict()
+
+    # -- read-only views ---------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def tally(self, key: K) -> Optional[int]:
+        """Tally for ``key``, or ``None`` when absent.  Does not touch LRU."""
+        return self._entries.get(key)
+
+    def is_full(self) -> bool:
+        return len(self._entries) >= self._capacity
+
+    def keys_mru_order(self) -> List[K]:
+        """Keys from most to least recently used."""
+        return list(reversed(self._entries))
+
+    def items(self) -> Iterator[Tuple[K, int]]:
+        """Iterate ``(key, tally)`` pairs in LRU-to-MRU order."""
+        return iter(self._entries.items())
+
+    def peek_lru(self) -> Optional[K]:
+        """Key next in line for eviction, or ``None`` when empty."""
+        return next(iter(self._entries), None)
+
+    # -- mutations ---------------------------------------------------------
+
+    def touch(self, key: K, increment: int = 1) -> int:
+        """Register a hit: move to MRU and increment the tally.
+
+        Returns the new tally.  Raises ``KeyError`` when absent (callers are
+        expected to test membership first, since a miss takes a different
+        path through the two-tier logic).
+        """
+        self._entries[key] += increment
+        self._entries.move_to_end(key, last=True)
+        return self._entries[key]
+
+    def insert(self, key: K, tally: int = 1) -> Optional[Tuple[K, int]]:
+        """Insert a new entry at the MRU end.
+
+        If the queue is full the LRU entry is evicted first and returned as
+        ``(key, tally)``; otherwise ``None`` is returned.  Inserting a key
+        that is already present is a programming error (use :meth:`touch`).
+        """
+        if key in self._entries:
+            raise KeyError(f"key already present: {key!r}")
+        evicted: Optional[Tuple[K, int]] = None
+        if len(self._entries) >= self._capacity:
+            evicted = self._entries.popitem(last=False)
+        self._entries[key] = tally
+        return evicted
+
+    def demote(self, key: K) -> bool:
+        """Move ``key`` to the LRU end (next for eviction).
+
+        Returns whether the key was present.  The tally is preserved: the
+        paper demotes "in order to reduce the relevancy of an entry without
+        immediate eviction".
+        """
+        if key not in self._entries:
+            return False
+        self._entries.move_to_end(key, last=False)
+        return True
+
+    def pop(self, key: K) -> Optional[int]:
+        """Remove ``key`` and return its tally, or ``None`` when absent."""
+        return self._entries.pop(key, None)
+
+    def pop_lru(self) -> Optional[Tuple[K, int]]:
+        """Evict and return the LRU entry, or ``None`` when empty."""
+        if not self._entries:
+            return None
+        return self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def resize(self, new_capacity: int) -> List[Tuple[K, int]]:
+        """Change the capacity, evicting from the LRU end when shrinking.
+
+        Returns the evicted ``(key, tally)`` entries (empty when growing).
+        Used by the adaptive two-tier table, which shifts capacity between
+        tiers at runtime.
+        """
+        if new_capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {new_capacity}")
+        evicted: List[Tuple[K, int]] = []
+        while len(self._entries) > new_capacity:
+            evicted.append(self._entries.popitem(last=False))
+        self._capacity = new_capacity
+        return evicted

@@ -1,0 +1,69 @@
+"""The paper's synopsis memory accounting (Section IV-C1).
+
+The paper sizes the synopsis as follows: an extent is a 64-bit block ID plus
+a 32-bit length (12 bytes); with a 32-bit frequency counter an item-table
+entry is 16 bytes and a correlation-table entry (two extents + counter) is
+28 bytes.  With ``C`` entries in each of T1 and T2, the item table occupies
+``32 C`` bytes and the correlation table ``56 C`` bytes -- ``88 C`` bytes in
+total (1.44 MB at C = 16 K, 369 MB at C = 4 M).
+
+These figures describe the *native* (C struct) representation a production
+implementation would use; the pure-Python tables in this repository carry
+interpreter overhead on top.  The model is used by the overhead benchmark
+(Section IV-C4) and by capacity-planning helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes for one extent: 64-bit block ID + 32-bit length.
+EXTENT_BYTES = 12
+#: Bytes for one frequency counter.
+COUNTER_BYTES = 4
+#: One item-table entry: extent + counter.
+ITEM_ENTRY_BYTES = EXTENT_BYTES + COUNTER_BYTES
+#: One correlation-table entry: two extents + counter.
+PAIR_ENTRY_BYTES = 2 * EXTENT_BYTES + COUNTER_BYTES
+
+
+@dataclass(frozen=True)
+class SynopsisMemoryModel:
+    """Native-representation memory footprint for per-tier capacity ``C``."""
+
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+
+    @property
+    def item_table_bytes(self) -> int:
+        """T1 + T2 of the item table: ``32 C`` bytes."""
+        return 2 * self.capacity * ITEM_ENTRY_BYTES
+
+    @property
+    def correlation_table_bytes(self) -> int:
+        """T1 + T2 of the correlation table: ``56 C`` bytes."""
+        return 2 * self.capacity * PAIR_ENTRY_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        """The full synopsis: ``88 C`` bytes."""
+        return self.item_table_bytes + self.correlation_table_bytes
+
+    @property
+    def total_megabytes(self) -> float:
+        return self.total_bytes / (1024 * 1024)
+
+
+def capacity_for_budget(budget_bytes: int) -> int:
+    """Largest per-tier capacity ``C`` whose synopsis fits ``budget_bytes``."""
+    per_entry = 2 * (ITEM_ENTRY_BYTES + PAIR_ENTRY_BYTES)
+    capacity = budget_bytes // per_entry
+    if capacity < 1:
+        raise ValueError(
+            f"budget of {budget_bytes} bytes cannot hold even one entry "
+            f"({per_entry} bytes per unit of capacity)"
+        )
+    return capacity

@@ -1,0 +1,139 @@
+"""Synopsis checkpoint/restore.
+
+A production characterization service must survive restarts without losing
+what it has learned, and may want to ship its synopsis to an optimizer on
+another host.  This module serialises an :class:`OnlineAnalyzer`'s two
+tables to the paper's native entry layout -- 16-byte item entries and
+28-byte pair entries (Section IV-C1) -- preceded by a small header, with
+LRU order preserved exactly, so a restored analyzer continues as if the
+process had never stopped.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, List, Tuple
+
+from .analyzer import OnlineAnalyzer
+from .config import AnalyzerConfig
+from .extent import Extent, ExtentPair
+
+_MAGIC = b"RTSYN\x01"
+# Header: item T1/T2 capacities, pair T1/T2 capacities, promote threshold,
+# then four section entry counts.
+_HEADER = struct.Struct("<IIIIIIIII")
+# Item entry: 64-bit start, 32-bit length, 32-bit tally (16 bytes).
+_ITEM = struct.Struct("<QII")
+# Pair entry: two extents + 32-bit tally (28 bytes).
+_PAIR = struct.Struct("<QIQII")
+
+
+def _tier_entries(queue) -> List[Tuple]:
+    """Entries of one LRU queue in LRU-to-MRU order."""
+    return list(queue.items())
+
+
+def dump_analyzer(analyzer: OnlineAnalyzer, stream: BinaryIO) -> int:
+    """Write the analyzer's synopsis to ``stream``; returns bytes written."""
+    items = analyzer.items._table           # two-tier internals
+    correlations = analyzer.correlations._table
+    sections = [
+        _tier_entries(items.t1),
+        _tier_entries(items.t2),
+        _tier_entries(correlations.t1),
+        _tier_entries(correlations.t2),
+    ]
+    written = stream.write(_MAGIC)
+    written += stream.write(_HEADER.pack(
+        items.t1.capacity, items.t2.capacity,
+        correlations.t1.capacity, correlations.t2.capacity,
+        analyzer.config.promote_threshold,
+        len(sections[0]), len(sections[1]),
+        len(sections[2]), len(sections[3]),
+    ))
+    for extent, tally in sections[0] + sections[1]:
+        written += stream.write(_ITEM.pack(extent.start, extent.length, tally))
+    for pair, tally in sections[2] + sections[3]:
+        written += stream.write(_PAIR.pack(
+            pair.first.start, pair.first.length,
+            pair.second.start, pair.second.length, tally,
+        ))
+    return written
+
+
+def load_analyzer(stream: BinaryIO) -> OnlineAnalyzer:
+    """Restore an analyzer serialised by :func:`dump_analyzer`.
+
+    The restored synopsis has identical residency, tallies, tier
+    membership, and LRU ordering; operation counters (hits/misses) start
+    fresh -- they describe a process lifetime, not the learned state.
+    """
+    magic = stream.read(len(_MAGIC))
+    if magic != _MAGIC:
+        raise ValueError(f"bad synopsis magic: {magic!r}")
+    header = stream.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise ValueError("truncated synopsis header")
+    (item_t1, item_t2, pair_t1, pair_t2, promote,
+     n_item_t1, n_item_t2, n_pair_t1, n_pair_t2) = _HEADER.unpack(header)
+
+    # Rebuild an analyzer whose tier split matches the dumped capacities.
+    analyzer = OnlineAnalyzer(AnalyzerConfig(
+        item_capacity=max(1, (item_t1 + item_t2) // 2),
+        correlation_capacity=max(1, (pair_t1 + pair_t2) // 2),
+        promote_threshold=promote,
+        t2_ratio=item_t2 / max(1, item_t1 + item_t2),
+    ))
+    items = analyzer.items._table
+    correlations = analyzer.correlations._table
+    items._t1 = type(items.t1)(item_t1)
+    items._t2 = type(items.t2)(item_t2)
+    correlations._t1 = type(correlations.t1)(pair_t1)
+    correlations._t2 = type(correlations.t2)(pair_t2)
+
+    def _read_items(count: int, queue) -> None:
+        for _ in range(count):
+            chunk = stream.read(_ITEM.size)
+            if len(chunk) != _ITEM.size:
+                raise ValueError("truncated item section")
+            start, length, tally = _ITEM.unpack(chunk)
+            queue.insert(Extent(start, length), tally)
+
+    def _read_pairs(count: int, queue) -> None:
+        for _ in range(count):
+            chunk = stream.read(_PAIR.size)
+            if len(chunk) != _PAIR.size:
+                raise ValueError("truncated pair section")
+            a_start, a_length, b_start, b_length, tally = _PAIR.unpack(chunk)
+            pair = ExtentPair(Extent(a_start, a_length),
+                              Extent(b_start, b_length))
+            queue.insert(pair, tally)
+            analyzer.correlations._index(pair)
+
+    _read_items(n_item_t1, items.t1)
+    _read_items(n_item_t2, items.t2)
+    _read_pairs(n_pair_t1, correlations.t1)
+    _read_pairs(n_pair_t2, correlations.t2)
+    return analyzer
+
+
+def dumps_analyzer(analyzer: OnlineAnalyzer) -> bytes:
+    """Serialise to bytes (convenience wrapper)."""
+    import io
+    buffer = io.BytesIO()
+    dump_analyzer(analyzer, buffer)
+    return buffer.getvalue()
+
+
+def loads_analyzer(data: bytes) -> OnlineAnalyzer:
+    """Restore from bytes (convenience wrapper)."""
+    import io
+    return load_analyzer(io.BytesIO(data))
+
+
+def synopsis_size_bytes(analyzer: OnlineAnalyzer) -> int:
+    """Checkpoint size for the analyzer's current contents."""
+    item_entries = len(analyzer.items)
+    pair_entries = len(analyzer.correlations)
+    return (len(_MAGIC) + _HEADER.size
+            + item_entries * _ITEM.size + pair_entries * _PAIR.size)

@@ -1,0 +1,69 @@
+"""Eclat frequent itemset mining (Zaki, TKDE 2000).
+
+Eclat works on the *vertical* representation: each item maps to its tidset
+(the set of transaction IDs containing it), and the search proceeds
+depth-first, extending a prefix itemset by intersecting tidsets.  Memory is
+bounded by the depth of the recursion (one tidset chain), which is why the
+paper characterises eclat as reducing memory at the cost of running time
+(Section II-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .itemset import Item, SupportMap, TransactionDatabase, validate_min_support
+
+
+def _vertical(database: TransactionDatabase) -> Dict[Item, Set[int]]:
+    tidsets: Dict[Item, Set[int]] = {}
+    for tid, transaction in enumerate(database):
+        for item in transaction:
+            tidsets.setdefault(item, set()).add(tid)
+    return tidsets
+
+
+def eclat(
+    transactions: Iterable[Iterable[Item]],
+    min_support: int,
+    max_size: int = 2,
+) -> SupportMap:
+    """Mine frequent itemsets with support >= ``min_support`` depth-first."""
+    validate_min_support(min_support)
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    database = (
+        transactions
+        if isinstance(transactions, TransactionDatabase)
+        else TransactionDatabase(transactions)
+    )
+
+    tidsets = _vertical(database)
+    frequent_items: List[Tuple[Item, Set[int]]] = sorted(
+        (item, tids)
+        for item, tids in tidsets.items()
+        if len(tids) >= min_support
+    )
+
+    result: SupportMap = {}
+    for item, tids in frequent_items:
+        result[frozenset((item,))] = len(tids)
+
+    def _extend(
+        prefix: Tuple[Item, ...],
+        prefix_tids: Set[int],
+        suffix: List[Tuple[Item, Set[int]]],
+    ) -> None:
+        if len(prefix) >= max_size:
+            return
+        for index, (item, tids) in enumerate(suffix):
+            joined = prefix_tids & tids
+            if len(joined) < min_support:
+                continue
+            extended = prefix + (item,)
+            result[frozenset(extended)] = len(joined)
+            _extend(extended, joined, suffix[index + 1:])
+
+    for index, (item, tids) in enumerate(frequent_items):
+        _extend((item,), tids, frequent_items[index + 1:])
+    return result

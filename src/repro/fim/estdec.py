@@ -1,0 +1,145 @@
+"""A simplified estDec+-style stream miner (Shin, Lee & Lee, 2014).
+
+estDec+ maintains decayed support estimates for itemsets over a data
+stream, bounding memory by pruning itemsets whose estimated support falls
+below an insertion threshold and (in the CP-tree variant) by merging nodes.
+The paper uses estDec+ as the representative stream-FIM baseline and finds
+it inadequate for block I/O rates, largely because it chases *maximal*
+itemsets.  This implementation is a faithful but deliberately simplified
+variant specialised to what correlation detection needs:
+
+* items and *pairs* only (no deeper lattice), matching the paper's
+  observation that frequent pairs suffice;
+* decayed counting: every stored count is multiplied by ``decay`` per
+  transaction, so old patterns fade (the stream-adaptivity estDec is for);
+* an insertion threshold and a hard memory cap with lowest-estimate
+  eviction standing in for CP-tree node merging.
+
+It serves two roles: a baseline whose accuracy/throughput the benchmarks
+compare against the paper's synopsis, and a second online method for the
+concept-drift experiment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+
+Item = Hashable
+
+
+@dataclass
+class EstDecConfig:
+    """Parameters of the decayed stream miner.
+
+    ``max_itemset_size`` controls how deep into the itemset lattice the
+    miner monitors.  The default of 2 is the pair-specialised variant this
+    repository's analyses need; raising it approximates real estDec+'s
+    pursuit of larger (towards maximal) itemsets -- each transaction of
+    ``n`` items then updates every subset up to that size, which is
+    exactly the cost explosion the paper identifies as the reason stream
+    FIM "is not adequate to handle the pace of disk I/O streams".
+    """
+
+    decay: float = 0.999          # per-transaction decay factor d
+    insertion_threshold: float = 1.0   # minimum decayed count to keep an entry
+    max_entries: int = 65536      # hard memory cap (items + itemsets)
+    max_itemset_size: int = 2     # lattice depth monitored
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {self.decay}")
+        if self.insertion_threshold <= 0:
+            raise ValueError("insertion_threshold must be > 0")
+        if self.max_entries < 2:
+            raise ValueError("max_entries must be >= 2")
+        if self.max_itemset_size < 2:
+            raise ValueError("max_itemset_size must be >= 2")
+
+
+class EstDecMiner:
+    """Decayed frequent-pair mining over a transaction stream.
+
+    Counts are stored lazily: each entry remembers the transaction index at
+    which it was last updated, and decay is applied on access as
+    ``count * decay ** (now - last_update)``.  This keeps per-transaction
+    work proportional to the transaction size squared, not the table size.
+    """
+
+    def __init__(self, config: EstDecConfig = None) -> None:
+        self.config = config or EstDecConfig()
+        self._counts: Dict[FrozenSet[Item], Tuple[float, int]] = {}
+        self._transactions = 0
+
+    @property
+    def transactions(self) -> int:
+        return self._transactions
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def _decayed(self, key: FrozenSet[Item]) -> float:
+        entry = self._counts.get(key)
+        if entry is None:
+            return 0.0
+        count, updated = entry
+        return count * (self.config.decay ** (self._transactions - updated))
+
+    def _bump(self, key: FrozenSet[Item]) -> None:
+        new_count = self._decayed(key) + 1.0
+        self._counts[key] = (new_count, self._transactions)
+
+    def _prune(self) -> None:
+        """Drop decayed-out entries; if still over cap, evict the weakest."""
+        threshold = self.config.insertion_threshold
+        stale = [key for key in self._counts if self._decayed(key) < threshold]
+        for key in stale:
+            del self._counts[key]
+        overflow = len(self._counts) - self.config.max_entries
+        if overflow > 0:
+            weakest = sorted(self._counts, key=self._decayed)[:overflow]
+            for key in weakest:
+                del self._counts[key]
+
+    def process(self, transaction: Sequence[Item]) -> None:
+        """Fold one transaction into the decayed counts.
+
+        Every subset of the transaction up to ``max_itemset_size`` items is
+        updated -- C(n, 1) + C(n, 2) + ... operations per transaction,
+        which is why lattice depth dominates stream-mining cost.
+        """
+        self._transactions += 1
+        distinct = sorted(set(transaction), key=repr)
+        for item in distinct:
+            self._bump(frozenset((item,)))
+        depth = min(self.config.max_itemset_size, len(distinct))
+        for size in range(2, depth + 1):
+            for subset in itertools.combinations(distinct, size):
+                self._bump(frozenset(subset))
+        if len(self._counts) > self.config.max_entries:
+            self._prune()
+
+    def process_stream(self, transactions: Iterable[Sequence[Item]]) -> None:
+        for transaction in transactions:
+            self.process(transaction)
+
+    def frequent_pairs(self, min_support: float) -> List[Tuple[FrozenSet[Item], float]]:
+        """Pairs whose decayed support estimate is >= ``min_support``."""
+        return self.frequent_itemsets(min_support, size=2)
+
+    def frequent_itemsets(
+        self, min_support: float, size: int = None
+    ) -> List[Tuple[FrozenSet[Item], float]]:
+        """Itemsets (of ``size`` items, or any size >= 2 when ``None``)
+        whose decayed support estimate is >= ``min_support``."""
+        itemsets = [
+            (key, self._decayed(key))
+            for key in self._counts
+            if (len(key) == size if size is not None else len(key) >= 2)
+        ]
+        selected = [
+            (key, count) for key, count in itemsets if count >= min_support
+        ]
+        selected.sort(key=lambda entry: (-entry[1], repr(sorted(entry[0], key=repr))))
+        return selected

@@ -1,0 +1,143 @@
+"""FP-growth frequent itemset mining (Han, Pei & Yin, SIGMOD 2000).
+
+FP-growth compresses the database into a prefix tree (the FP-tree) whose
+paths share common frequent-item prefixes, then mines the tree recursively
+by building *conditional* FP-trees for each item, without candidate
+generation.  The paper positions it as "a resource trade-off between
+apriori and eclat" (Section II-B).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .itemset import Item, SupportMap, TransactionDatabase, validate_min_support
+
+
+class _FpNode:
+    """One FP-tree node: an item, a count, and tree/header links."""
+
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: Optional[Item], parent: Optional["_FpNode"]) -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: Dict[Item, "_FpNode"] = {}
+        self.link: Optional["_FpNode"] = None
+
+
+class _FpTree:
+    """An FP-tree with its header table of per-item node chains."""
+
+    def __init__(self) -> None:
+        self.root = _FpNode(None, None)
+        self.header: Dict[Item, _FpNode] = {}
+        self._header_tail: Dict[Item, _FpNode] = {}
+
+    def insert(self, items: List[Item], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _FpNode(item, node)
+                node.children[item] = child
+                if item in self._header_tail:
+                    self._header_tail[item].link = child
+                else:
+                    self.header[item] = child
+                self._header_tail[item] = child
+            child.count += count
+            node = child
+
+    def node_chain(self, item: Item) -> List[_FpNode]:
+        nodes: List[_FpNode] = []
+        node = self.header.get(item)
+        while node is not None:
+            nodes.append(node)
+            node = node.link
+        return nodes
+
+    def prefix_paths(self, item: Item) -> List[Tuple[List[Item], int]]:
+        """Conditional pattern base: the path above each node of ``item``."""
+        paths: List[Tuple[List[Item], int]] = []
+        for node in self.node_chain(item):
+            path: List[Item] = []
+            ancestor = node.parent
+            while ancestor is not None and ancestor.item is not None:
+                path.append(ancestor.item)
+                ancestor = ancestor.parent
+            path.reverse()
+            if path:
+                paths.append((path, node.count))
+        return paths
+
+
+def _build_tree(
+    weighted_transactions: Iterable[Tuple[List[Item], int]],
+    min_support: int,
+) -> Tuple[_FpTree, Counter]:
+    counts: Counter = Counter()
+    materialized = list(weighted_transactions)
+    for items, weight in materialized:
+        for item in items:
+            counts[item] += weight
+    frequent = {item for item, count in counts.items() if count >= min_support}
+    order = {
+        item: position
+        for position, (item, _count) in enumerate(
+            sorted(counts.items(), key=lambda entry: (-entry[1], repr(entry[0])))
+        )
+    }
+    tree = _FpTree()
+    for items, weight in materialized:
+        kept = sorted(
+            (item for item in items if item in frequent),
+            key=order.__getitem__,
+        )
+        if kept:
+            tree.insert(kept, weight)
+    return tree, counts
+
+
+def fpgrowth(
+    transactions: Iterable[Iterable[Item]],
+    min_support: int,
+    max_size: int = 2,
+) -> SupportMap:
+    """Mine frequent itemsets with support >= ``min_support`` via FP-trees."""
+    validate_min_support(min_support)
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    database = (
+        transactions
+        if isinstance(transactions, TransactionDatabase)
+        else TransactionDatabase(transactions)
+    )
+
+    result: SupportMap = {}
+
+    def _mine(tree: _FpTree, counts: Counter, suffix: Tuple[Item, ...]) -> None:
+        items_by_support = sorted(
+            (item for item in tree.header if counts[item] >= min_support),
+            key=lambda item: (counts[item], repr(item)),
+        )
+        for item in items_by_support:
+            support = sum(node.count for node in tree.node_chain(item))
+            if support < min_support:
+                continue
+            found = suffix + (item,)
+            result[frozenset(found)] = support
+            if len(found) >= max_size:
+                continue
+            conditional = tree.prefix_paths(item)
+            if conditional:
+                subtree, subcounts = _build_tree(conditional, min_support)
+                _mine(subtree, subcounts, found)
+
+    tree, counts = _build_tree(
+        ((list(transaction), 1) for transaction in database), min_support
+    )
+    _mine(tree, counts, ())
+    return result

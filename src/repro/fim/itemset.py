@@ -1,0 +1,82 @@
+"""Shared scaffolding for frequent itemset mining.
+
+The offline baselines (apriori, eclat, fp-growth) all consume a
+*transaction database* -- a list of transactions, each a set of hashable,
+orderable items (extents, in this repository's use) -- and produce frequent
+itemsets: a mapping from ``frozenset`` of items to absolute support count.
+FIM algorithms take "a series of transactions as input, and output
+associated items with a frequency greater than a specified minimum support"
+(paper Section II-A).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+
+Item = Hashable
+Itemset = FrozenSet[Item]
+SupportMap = Dict[Itemset, int]
+
+
+class TransactionDatabase:
+    """An immutable, deduplicated transaction database."""
+
+    def __init__(self, transactions: Iterable[Iterable[Item]]) -> None:
+        self._transactions: List[Tuple[Item, ...]] = [
+            tuple(sorted(set(transaction))) for transaction in transactions
+        ]
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self):
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> Tuple[Item, ...]:
+        return self._transactions[index]
+
+    def item_counts(self) -> Counter:
+        """Support of every individual item."""
+        counts: Counter = Counter()
+        for transaction in self._transactions:
+            counts.update(transaction)
+        return counts
+
+    def items(self) -> List[Item]:
+        """All distinct items, sorted."""
+        return sorted(self.item_counts())
+
+
+def validate_min_support(min_support: int) -> None:
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+
+
+def filter_max_size(itemsets: SupportMap, max_size: int) -> SupportMap:
+    """Keep only itemsets of at most ``max_size`` items."""
+    return {
+        itemset: support
+        for itemset, support in itemsets.items()
+        if len(itemset) <= max_size
+    }
+
+
+def frequent_pairs(itemsets: SupportMap) -> SupportMap:
+    """Extract exactly the 2-itemsets.
+
+    The paper's key observation about FIM baselines is that they spend
+    their effort on maximal itemsets while "frequent pairs alone is
+    sufficient for identifying data access correlations".
+    """
+    return {
+        itemset: support
+        for itemset, support in itemsets.items()
+        if len(itemset) == 2
+    }
+
+
+def support_of(database: TransactionDatabase, itemset: Sequence[Item]) -> int:
+    """Exact support of one itemset by a full scan (reference oracle)."""
+    target = frozenset(itemset)
+    return sum(1 for transaction in database if target.issubset(transaction))

@@ -1,0 +1,146 @@
+"""Association rules over detected correlations.
+
+C-Miner -- the offline system the paper builds on -- emits *block
+association rules* of the form "an access to A implies an access to B"
+with a confidence.  Rules are the actionable form of a correlation: a
+prefetcher follows the rule's direction, a placement engine weighs its
+confidence.  This module derives rules from pair and item frequencies
+(whether produced by offline FIM or by the online synopsis):
+
+* ``support(A -> B)``   = count(A, B together)
+* ``confidence(A -> B)`` = count(A, B) / count(A)
+* ``lift(A -> B)``       = confidence / P(B), the independence ratio
+
+Both directions of every qualifying pair are considered, since confidence
+is asymmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.extent import Extent, ExtentPair
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """A directional rule ``antecedent -> consequent``."""
+
+    antecedent: Extent
+    consequent: Extent
+    support: int        # co-occurrence count
+    confidence: float   # support / count(antecedent)
+    lift: float         # confidence / P(consequent)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.antecedent} -> {self.consequent} "
+            f"(supp={self.support}, conf={self.confidence:.2f}, "
+            f"lift={self.lift:.1f})"
+        )
+
+
+def mine_rules(
+    pair_counts: Mapping[ExtentPair, int],
+    item_counts: Mapping[Extent, int],
+    transactions: int,
+    min_support: int = 2,
+    min_confidence: float = 0.5,
+) -> List[AssociationRule]:
+    """Derive directional rules from pair and item frequencies.
+
+    ``transactions`` is the total transaction count (the probability base
+    for lift).  A rule ``A -> B`` is emitted when the pair's support meets
+    ``min_support`` and ``count(A, B) / count(A)`` meets
+    ``min_confidence``.  Rules are returned strongest-first by
+    (confidence, support).
+    """
+    if transactions < 1:
+        raise ValueError(f"transactions must be >= 1, got {transactions}")
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+
+    rules: List[AssociationRule] = []
+    for pair, together in pair_counts.items():
+        if together < min_support:
+            continue
+        for antecedent, consequent in (
+            (pair.first, pair.second),
+            (pair.second, pair.first),
+        ):
+            antecedent_count = item_counts.get(antecedent, 0)
+            if antecedent_count <= 0:
+                continue
+            confidence = min(1.0, together / antecedent_count)
+            if confidence < min_confidence:
+                continue
+            consequent_probability = (
+                item_counts.get(consequent, 0) / transactions
+            )
+            lift = (
+                confidence / consequent_probability
+                if consequent_probability > 0
+                else float("inf")
+            )
+            rules.append(AssociationRule(
+                antecedent=antecedent,
+                consequent=consequent,
+                support=together,
+                confidence=confidence,
+                lift=lift,
+            ))
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support,
+                                 rule.antecedent, rule.consequent))
+    return rules
+
+
+def rules_from_analyzer(
+    analyzer,
+    min_support: int = 2,
+    min_confidence: float = 0.5,
+) -> List[AssociationRule]:
+    """Mine rules straight out of an online analyzer's synopsis.
+
+    The synopsis tallies are lower bounds of the true counts (eviction can
+    reset them), so the derived confidences are estimates -- which is the
+    trade the whole framework makes for bounded memory.
+    """
+    pair_counts = analyzer.pair_frequencies()
+    item_counts = {
+        extent: tally for extent, tally, _tier in analyzer.items.items()
+    }
+    transactions = max(1, analyzer.report().transactions)
+    return mine_rules(
+        pair_counts, item_counts, transactions,
+        min_support=min_support, min_confidence=min_confidence,
+    )
+
+
+class RuleIndex:
+    """Rules indexed by antecedent, for O(1) prefetch-style lookups."""
+
+    def __init__(self, rules: Iterable[AssociationRule]) -> None:
+        self._by_antecedent: Dict[Extent, List[AssociationRule]] = {}
+        for rule in rules:
+            self._by_antecedent.setdefault(rule.antecedent, []).append(rule)
+        for entries in self._by_antecedent.values():
+            entries.sort(key=lambda rule: (-rule.confidence, -rule.support))
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_antecedent.values())
+
+    def consequents_of(self, antecedent: Extent,
+                       limit: Optional[int] = None) -> List[Extent]:
+        """Predicted next extents after ``antecedent``, strongest first."""
+        entries = self._by_antecedent.get(antecedent, [])
+        if limit is not None:
+            entries = entries[:limit]
+        return [rule.consequent for rule in entries]
+
+    def rules_of(self, antecedent: Extent) -> List[AssociationRule]:
+        return list(self._by_antecedent.get(antecedent, []))

@@ -1,0 +1,36 @@
+"""Real-time monitoring: events, latency tracking, windows, transactions."""
+
+from .events import BlockIOEvent
+from .histogram import LatencyHistogram, PercentileLatencyWindow
+from .latency import EwmaLatencyTracker
+from .merge import MergerStats, RequestMerger
+from .monitor import (
+    DEFAULT_MAX_TRANSACTION_SIZE,
+    GroupingMode,
+    Monitor,
+    MonitorStats,
+    TransactionRecorder,
+    TransactionSink,
+)
+from .transaction import Transaction, dedup_events
+from .window import DynamicLatencyWindow, StaticWindow, WindowPolicy
+
+__all__ = [
+    "BlockIOEvent",
+    "LatencyHistogram",
+    "PercentileLatencyWindow",
+    "DEFAULT_MAX_TRANSACTION_SIZE",
+    "DynamicLatencyWindow",
+    "EwmaLatencyTracker",
+    "GroupingMode",
+    "Monitor",
+    "MergerStats",
+    "MonitorStats",
+    "RequestMerger",
+    "StaticWindow",
+    "Transaction",
+    "TransactionRecorder",
+    "TransactionSink",
+    "WindowPolicy",
+    "dedup_events",
+]

@@ -1,0 +1,55 @@
+"""Latency tracking for the dynamic transaction window.
+
+The paper sizes the transaction window at double the *average access
+latency* of the I/O requests, noting that the Linux kernel already keeps
+similar running statistics for hybrid polling.  The kernel uses an
+exponentially weighted moving average for that purpose, and so do we: an
+EWMA adapts to workload and device changes at a controllable rate while
+needing O(1) state -- exactly the property a real-time monitor needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class EwmaLatencyTracker:
+    """Exponentially weighted moving average of request latencies.
+
+    ``alpha`` is the weight of each new observation.  Until the first
+    observation arrives, :meth:`mean` reports ``initial`` (a conservative
+    prior; the monitor needs *some* window before it has seen a completion).
+    """
+
+    def __init__(self, alpha: float = 0.125, initial: float = 1e-3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if initial <= 0:
+            raise ValueError(f"initial latency must be > 0, got {initial}")
+        self._alpha = alpha
+        self._initial = initial
+        self._mean: Optional[float] = None
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of latency observations folded in so far."""
+        return self._count
+
+    def observe(self, latency: float) -> None:
+        """Fold one latency observation (seconds) into the average."""
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if self._mean is None:
+            self._mean = latency
+        else:
+            self._mean += self._alpha * (latency - self._mean)
+        self._count += 1
+
+    def mean(self) -> float:
+        """Current mean latency estimate in seconds."""
+        return self._initial if self._mean is None else self._mean
+
+    def reset(self) -> None:
+        self._mean = None
+        self._count = 0

@@ -1,0 +1,76 @@
+"""Transactions: sets of requests coincident in time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..core.extent import Extent
+from .events import BlockIOEvent
+
+
+@dataclass
+class Transaction:
+    """A group of issue events the monitor considers correlated.
+
+    ``events`` preserves arrival order and is already deduplicated when the
+    monitor's dedup option is on (the default, per Section III-D2: repeated
+    identical requests in one window would distort correlation frequencies).
+    """
+
+    events: List[BlockIOEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def start_time(self) -> float:
+        if not self.events:
+            raise ValueError("empty transaction has no start time")
+        return self.events[0].timestamp
+
+    @property
+    def end_time(self) -> float:
+        if not self.events:
+            raise ValueError("empty transaction has no end time")
+        return self.events[-1].timestamp
+
+    @property
+    def span(self) -> float:
+        """Time between the first and last event in the transaction."""
+        return self.end_time - self.start_time
+
+    @property
+    def extents(self) -> List[Extent]:
+        """The extents of the member events, arrival order preserved."""
+        return [event.extent for event in self.events]
+
+    def read_write_split(self) -> Tuple[int, int]:
+        """Counts of (reads, writes) -- correlation *types* per Section II-A."""
+        reads = sum(1 for event in self.events if event.op.value == "R")
+        return reads, len(self.events) - reads
+
+
+def dedup_events(events: List[BlockIOEvent]) -> Tuple[List[BlockIOEvent], int]:
+    """Remove events whose extent repeats an earlier event's extent.
+
+    Returns the filtered list and the number of duplicates dropped.  This is
+    the paper's O(N^2) per-transaction deduplication (Section III-D2): with
+    the transaction size capped at 8, the quadratic scan is constant work.
+    """
+    kept: List[BlockIOEvent] = []
+    dropped = 0
+    for event in events:
+        duplicate = False
+        for earlier in kept:
+            if earlier.start == event.start and earlier.length == event.length:
+                duplicate = True
+                break
+        if duplicate:
+            dropped += 1
+        else:
+            kept.append(event)
+    return kept, dropped

@@ -1,0 +1,71 @@
+"""Transaction window policies (paper Section III-B).
+
+A *transaction* is a set of requests coincident in time: requests arriving
+within the transaction window belong together.  The window may be static
+(a fixed duration ``t``) or dynamic; the paper proposes sizing it from the
+storage subsystem's measured performance and evaluates with a window of
+double the average I/O latency.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from .latency import EwmaLatencyTracker
+
+
+class WindowPolicy(abc.ABC):
+    """Produces the current transaction-window duration in seconds."""
+
+    @abc.abstractmethod
+    def duration(self) -> float:
+        """Current window duration, in seconds."""
+
+    def observe_latency(self, latency: float) -> None:
+        """Fold a measured request latency into the policy (no-op by default)."""
+
+
+class StaticWindow(WindowPolicy):
+    """A fixed window duration ``t``."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError(f"window must be > 0 seconds, got {seconds}")
+        self._seconds = seconds
+
+    def duration(self) -> float:
+        return self._seconds
+
+
+class DynamicLatencyWindow(WindowPolicy):
+    """Window of ``multiplier`` times the average I/O latency.
+
+    The paper uses a multiplier of 2.  ``floor`` and ``ceiling`` clamp the
+    window so that a cold tracker or a latency spike cannot collapse or
+    explode transaction grouping.
+    """
+
+    def __init__(
+        self,
+        tracker: EwmaLatencyTracker = None,
+        multiplier: float = 2.0,
+        floor: float = 1e-6,
+        ceiling: float = 1.0,
+    ) -> None:
+        if multiplier <= 0:
+            raise ValueError(f"multiplier must be > 0, got {multiplier}")
+        if floor <= 0 or ceiling <= 0 or floor > ceiling:
+            raise ValueError(
+                f"need 0 < floor <= ceiling, got floor={floor} ceiling={ceiling}"
+            )
+        self.tracker = tracker if tracker is not None else EwmaLatencyTracker()
+        self.multiplier = multiplier
+        self.floor = floor
+        self.ceiling = ceiling
+
+    def duration(self) -> float:
+        window = self.multiplier * self.tracker.mean()
+        return min(self.ceiling, max(self.floor, window))
+
+    def observe_latency(self, latency: float) -> None:
+        self.tracker.observe(latency)

@@ -1,0 +1,85 @@
+"""Automatic optimization scenarios enabled by the framework (paper §V)."""
+
+from .selfopt import ControllerStats, SelfOptimizingController
+from .multistream import (
+    death_time_workload,
+    CorrelationStreamAssigner,
+    FlashConfig,
+    FlashStats,
+    MultiStreamSsd,
+    SingleStreamAssigner,
+    StreamAssigner,
+    WearReport,
+    run_waf_experiment,
+)
+from .openchannel import (
+    CorrelationPlacement,
+    OcssdConfig,
+    ParallelIoStats,
+    Placement,
+    StripingPlacement,
+    run_parallel_read_experiment,
+    service_transaction,
+)
+from .scheduler import (
+    CorrelationScheduler,
+    FifoScheduler,
+    SchedulerStats,
+    run_dispatch_experiment,
+)
+from .energy import (
+    CorrelationEnergyPlacement,
+    DiskArrayEnergyModel,
+    EnergyStats,
+    PowerModel,
+    StripingEnergyPlacement,
+    run_energy_experiment,
+)
+from .zns import ZnsConfig, ZnsDevice, ZnsStats, run_zns_experiment
+from .prefetch import (
+    BlockCache,
+    RulePrefetcher,
+    CacheStats,
+    CorrelationPrefetcher,
+    run_cache_experiment,
+)
+
+__all__ = [
+    "BlockCache",
+    "ControllerStats",
+    "SelfOptimizingController",
+    "death_time_workload",
+    "CacheStats",
+    "CorrelationEnergyPlacement",
+    "CorrelationPlacement",
+    "CorrelationScheduler",
+    "DiskArrayEnergyModel",
+    "EnergyStats",
+    "FifoScheduler",
+    "PowerModel",
+    "SchedulerStats",
+    "StripingEnergyPlacement",
+    "run_dispatch_experiment",
+    "run_energy_experiment",
+    "CorrelationPrefetcher",
+    "CorrelationStreamAssigner",
+    "FlashConfig",
+    "FlashStats",
+    "MultiStreamSsd",
+    "OcssdConfig",
+    "ParallelIoStats",
+    "Placement",
+    "RulePrefetcher",
+    "SingleStreamAssigner",
+    "StreamAssigner",
+    "WearReport",
+    "StripingPlacement",
+    "ZnsConfig",
+    "ZnsDevice",
+    "ZnsStats",
+    "run_zns_experiment",
+    "run_cache_experiment",
+    "run_parallel_read_experiment",
+    "run_waf_experiment",
+    "service_transaction",
+]

@@ -1,0 +1,128 @@
+"""The closed loop: monitoring -> analysis -> automatic optimization.
+
+Figure 3 of the paper shows the third module -- "automatic optimization" --
+consuming the online analysis output.  This module closes that loop: a
+:class:`SelfOptimizingController` subscribes to the monitor's transaction
+stream, keeps a typed synopsis up to date, and periodically refreshes two
+live policies from it:
+
+* a stream assigner for the multi-stream flash device, rebuilt from the
+  current *write* correlations (death-time prediction, §V-1);
+* a parallel-unit placement for the open-channel device, rebuilt from the
+  current *read* correlations (§V-2).
+
+Between refreshes the policies are stable (re-clustering on every
+transaction would thrash placements); until the first refresh they degrade
+to the baselines (single stream, striping), so the controller is safe to
+attach from a cold start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.config import AnalyzerConfig
+from ..core.extent import Extent
+from ..core.typed import TypedOnlineAnalyzer
+from ..monitor.transaction import Transaction
+from .multistream import (
+    CorrelationStreamAssigner,
+    FlashConfig,
+    SingleStreamAssigner,
+)
+from .openchannel import (
+    CorrelationPlacement,
+    OcssdConfig,
+    Placement,
+    StripingPlacement,
+)
+
+
+@dataclass
+class ControllerStats:
+    """How often the controller has acted."""
+
+    transactions: int = 0
+    refreshes: int = 0
+    write_pairs_last_refresh: int = 0
+    read_pairs_last_refresh: int = 0
+
+
+class SelfOptimizingController:
+    """Keeps optimization policies synchronised with the live synopsis.
+
+    Use as a monitor sink::
+
+        controller = SelfOptimizingController(flash_config, ocssd_config)
+        monitor.add_sink(controller.on_transaction)
+        ...
+        stream = controller.assign_stream(extent)   # for writes
+        unit = controller.place(extent)             # for reads
+    """
+
+    def __init__(
+        self,
+        flash_config: Optional[FlashConfig] = None,
+        ocssd_config: Optional[OcssdConfig] = None,
+        analyzer: Optional[TypedOnlineAnalyzer] = None,
+        refresh_interval: int = 500,
+        min_support: int = 3,
+    ) -> None:
+        if refresh_interval < 1:
+            raise ValueError("refresh_interval must be >= 1")
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        self.flash_config = flash_config or FlashConfig()
+        self.ocssd_config = ocssd_config or OcssdConfig()
+        self.analyzer = analyzer if analyzer is not None else (
+            TypedOnlineAnalyzer(AnalyzerConfig())
+        )
+        self.refresh_interval = refresh_interval
+        self.min_support = min_support
+        self.stats = ControllerStats()
+        self._stream_assigner = SingleStreamAssigner()
+        self._placement: Placement = StripingPlacement(self.ocssd_config)
+
+    # -- the monitor sink -----------------------------------------------------
+
+    def on_transaction(self, transaction: Transaction) -> None:
+        """Fold one transaction into the synopsis; refresh when due."""
+        self.analyzer.process_transaction(transaction)
+        self.stats.transactions += 1
+        if self.stats.transactions % self.refresh_interval == 0:
+            self.refresh()
+
+    # -- policy refresh -----------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Rebuild both policies from the current synopsis contents."""
+        write_pairs = self.analyzer.write_correlations(self.min_support)
+        if write_pairs and self.flash_config.streams >= 2:
+            self._stream_assigner = CorrelationStreamAssigner(
+                None, self.flash_config.streams, pairs=write_pairs
+            )
+        read_pairs = self.analyzer.read_correlations(self.min_support)
+        if read_pairs:
+            self._placement = CorrelationPlacement(
+                None, self.ocssd_config, pairs=read_pairs
+            )
+        self.stats.refreshes += 1
+        self.stats.write_pairs_last_refresh = len(write_pairs)
+        self.stats.read_pairs_last_refresh = len(read_pairs)
+
+    # -- the live policies ----------------------------------------------------------
+
+    def assign_stream(self, extent: Extent) -> int:
+        """Stream ID for a write to ``extent`` (0 = the default stream)."""
+        return self._stream_assigner.assign(extent)
+
+    def place(self, extent: Extent) -> int:
+        """Parallel unit for ``extent`` under the current placement."""
+        return self._placement.unit_of(extent)
+
+    @property
+    def is_optimizing(self) -> bool:
+        """Whether any refresh has replaced the baseline policies."""
+        return not isinstance(self._stream_assigner, SingleStreamAssigner) \
+            or not isinstance(self._placement, StripingPlacement)

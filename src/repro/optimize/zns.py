@@ -1,0 +1,205 @@
+"""Zoned-namespace (ZNS) SSD placement (paper §V's third enabler).
+
+ZNS SSDs divide the LBA space into zones that must be written
+sequentially and reclaimed wholesale by a zone reset -- the host owns
+placement and garbage collection, just as with multi-stream and
+open-channel devices, but under a stricter contract: no in-place updates,
+one write pointer per zone.  The paper lists ZNS alongside multi-stream
+and open-channel SSDs as the hardware its framework would optimise.
+
+The optimization mirrors §V-1's death-time argument: a host FTL that
+groups correlated writes into the same zone produces zones that die
+together (reset with little or no valid data to relocate), while a single
+append zone mixes lifetimes and forces copy-before-reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.extent import Extent
+from .multistream import StreamAssigner
+
+
+@dataclass(frozen=True)
+class ZnsConfig:
+    """Zoned device geometry."""
+
+    zones: int = 32
+    zone_pages: int = 64
+    open_zone_limit: int = 8   # max simultaneously open zones (ZNS MAR/MOR)
+    reserved_zones: int = 2    # free zones kept for reclaim headroom
+
+    def __post_init__(self) -> None:
+        if self.zones < 2 or self.zone_pages < 1:
+            raise ValueError("need >= 2 zones and >= 1 page per zone")
+        if not 1 <= self.open_zone_limit < self.zones:
+            raise ValueError("open_zone_limit must be in [1, zones)")
+        if not 0 < self.reserved_zones < self.zones:
+            raise ValueError("reserved_zones must be in (0, zones)")
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.zones * self.zone_pages
+
+    @property
+    def logical_capacity_pages(self) -> int:
+        reserve = self.reserved_zones + self.open_zone_limit
+        return max(1, (self.zones - reserve)) * self.zone_pages
+
+
+@dataclass
+class _Zone:
+    index: int
+    write_pointer: int = 0
+    lbas: List[Optional[int]] = field(default_factory=list)
+    valid: int = 0
+
+    def is_full(self, zone_pages: int) -> bool:
+        return self.write_pointer >= zone_pages
+
+
+@dataclass
+class ZnsStats:
+    """Reclaim accounting (the ZNS analogue of WAF)."""
+
+    host_writes: int = 0
+    reclaim_copies: int = 0
+    resets: int = 0
+
+    @property
+    def waf(self) -> float:
+        if self.host_writes == 0:
+            return 1.0
+        return (self.host_writes + self.reclaim_copies) / self.host_writes
+
+
+class ZnsDevice:
+    """A host-managed zoned device with per-group open zones.
+
+    ``write(lba, group)`` appends to the group's open zone (opening one
+    when needed, within the open-zone limit -- groups beyond the limit
+    share hash-assigned open zones).  When free zones run out, the closed
+    zone with the fewest valid pages is reclaimed: its survivors are
+    appended elsewhere (counted as reclaim copies) and the zone is reset.
+    """
+
+    def __init__(self, config: Optional[ZnsConfig] = None) -> None:
+        self.config = config or ZnsConfig()
+        self.stats = ZnsStats()
+        self._zones = [_Zone(i) for i in range(self.config.zones)]
+        self._free: List[int] = list(range(self.config.zones))
+        self._open: Dict[int, int] = {}   # slot -> zone index
+        self._mapping: Dict[int, Tuple[int, int]] = {}
+
+    def _slot_of(self, group: int) -> int:
+        return group % self.config.open_zone_limit
+
+    def _open_zone(self, slot: int) -> _Zone:
+        zone_index = self._open.get(slot)
+        if zone_index is not None:
+            zone = self._zones[zone_index]
+            if not zone.is_full(self.config.zone_pages):
+                return zone
+        attempts = 0
+        while not self._free:
+            if not self._reclaim() :
+                attempts += 1
+                if attempts >= self.config.zones:
+                    break
+        if not self._free:
+            raise RuntimeError("zoned device full even after reclaim")
+        zone_index = self._free.pop(0)
+        self._open[slot] = zone_index
+        return self._zones[zone_index]
+
+    def _closed_zones(self) -> List[_Zone]:
+        open_zones = set(self._open.values())
+        return [
+            zone for zone in self._zones
+            if zone.index not in open_zones
+            and zone.index not in self._free
+            and zone.is_full(self.config.zone_pages)
+        ]
+
+    def _reclaim(self) -> bool:
+        candidates = self._closed_zones()
+        if not candidates:
+            return False
+        victim = min(candidates, key=lambda zone: zone.valid)
+        survivors = [
+            lba for lba in victim.lbas
+            if lba is not None
+            and self._mapping.get(lba, (None, None))[0] == victim.index
+        ]
+        for lba in survivors:
+            del self._mapping[lba]
+        victim.lbas = []
+        victim.write_pointer = 0
+        victim.valid = 0
+        self._free.append(victim.index)
+        self.stats.resets += 1
+        for lba in survivors:
+            self.stats.reclaim_copies += 1
+            self._append(lba, slot=-1 % self.config.open_zone_limit)
+        return True
+
+    def _append(self, lba: int, slot: int) -> None:
+        zone = self._open_zone(slot)
+        old = self._mapping.get(lba)
+        if old is not None:
+            old_zone = self._zones[old[0]]
+            if old[1] < len(old_zone.lbas) and old_zone.lbas[old[1]] == lba:
+                old_zone.lbas[old[1]] = None
+                old_zone.valid -= 1
+        position = zone.write_pointer
+        zone.lbas.append(lba)
+        zone.write_pointer += 1
+        zone.valid += 1
+        self._mapping[lba] = (zone.index, position)
+        if zone.is_full(self.config.zone_pages):
+            for slot_key, zone_index in list(self._open.items()):
+                if zone_index == zone.index:
+                    del self._open[slot_key]
+
+    # -- host interface -----------------------------------------------------------
+
+    def write(self, lba: int, group: int = 0) -> None:
+        """Host write of one logical page tagged with a placement group."""
+        live = sum(zone.valid for zone in self._zones)
+        if lba not in self._mapping and live >= self.config.logical_capacity_pages:
+            raise RuntimeError(
+                f"logical capacity exceeded: {live} live pages"
+            )
+        self.stats.host_writes += 1
+        self._append(lba, self._slot_of(group))
+
+    def write_extent(self, extent: Extent, group: int = 0,
+                     page_blocks: int = 8) -> None:
+        first = extent.start // page_blocks
+        last = (extent.end - 1) // page_blocks
+        for page in range(first, last + 1):
+            self.write(page, group)
+
+    def zone_validity(self) -> List[int]:
+        return [zone.valid for zone in self._zones]
+
+
+def run_zns_experiment(
+    write_transactions,
+    assigner: StreamAssigner,
+    config: Optional[ZnsConfig] = None,
+    page_blocks: int = 8,
+) -> ZnsStats:
+    """Replay write transactions onto a zoned device; return WAF stats.
+
+    ``assigner`` maps extents to placement groups -- the same interface as
+    the multi-stream experiment, so the single-stream baseline and the
+    correlation-informed assigner plug straight in.
+    """
+    device = ZnsDevice(config)
+    for extents in write_transactions:
+        for extent in extents:
+            device.write_extent(extent, assigner.assign(extent), page_blocks)
+    return device.stats

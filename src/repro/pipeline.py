@@ -1,0 +1,136 @@
+"""End-to-end pipeline: replay -> monitor -> online analysis.
+
+This wires the substrates together exactly as the paper's evaluation does
+(Fig. 3 and Section IV-A): a trace is replayed against a device model, the
+monitor consumes the block-layer issue events, feeds measured latencies to
+the dynamic transaction window, groups events into transactions, and hands
+them simultaneously to the online analyzer and -- optionally -- to a
+recorder whose stored transactions drive offline FIM for ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from .blkdev.device import SimulatedDevice, SsdDevice
+from .blkdev.replay import ReplayResult, replay_timed
+from .core.analyzer import OnlineAnalyzer
+from .core.config import AnalyzerConfig
+from .core.extent import ExtentPair
+from .monitor.monitor import (
+    DEFAULT_MAX_TRANSACTION_SIZE,
+    GroupingMode,
+    Monitor,
+    MonitorStats,
+    TransactionRecorder,
+)
+from .monitor.window import DynamicLatencyWindow, WindowPolicy
+from .trace.record import TraceRecord
+
+
+@dataclass
+class PipelineResult:
+    """Everything one end-to-end run produces."""
+
+    replay: ReplayResult
+    monitor_stats: MonitorStats
+    analyzer: OnlineAnalyzer
+    recorder: Optional[TransactionRecorder]
+
+    def frequent_pairs(self, min_support: int = 2):
+        """Detected correlations, strongest first."""
+        return self.analyzer.frequent_pairs(min_support)
+
+    def offline_transactions(self) -> List[List]:
+        """Recorded transactions as extent lists (offline FIM input)."""
+        if self.recorder is None:
+            raise ValueError("pipeline ran without offline recording")
+        return self.recorder.extent_transactions()
+
+
+def run_pipeline(
+    records: Sequence[TraceRecord],
+    device: Optional[SimulatedDevice] = None,
+    config: Optional[AnalyzerConfig] = None,
+    window: Optional[WindowPolicy] = None,
+    speedup: float = 1.0,
+    record_offline: bool = True,
+    max_transaction_size: int = DEFAULT_MAX_TRANSACTION_SIZE,
+    dedup: bool = True,
+    pid_filter: Optional[Set[int]] = None,
+    grouping: GroupingMode = GroupingMode.GAP,
+    collect_events: bool = False,
+    analyzer: Optional[OnlineAnalyzer] = None,
+) -> PipelineResult:
+    """Replay ``records`` through the full monitoring/analysis stack.
+
+    Defaults reproduce the paper's configuration: an SSD replay device, a
+    dynamic window of twice the average measured latency, transactions
+    capped at 8 deduplicated requests, and dual online + offline output.
+    Set ``collect_events`` to keep every issue event in the result (memory
+    proportional to the trace; off by default).
+
+    A pre-built ``analyzer`` may be injected (e.g. a
+    :class:`~repro.core.typed.TypedOnlineAnalyzer` to track R/W correlation
+    types, or an analyzer carried over from a previous run for continuous
+    operation); analyzers exposing ``process_transaction`` receive the full
+    transaction, others receive the extent list.
+    """
+    if device is None:
+        device = SsdDevice()
+    if analyzer is None:
+        analyzer = OnlineAnalyzer(config)
+    elif config is not None:
+        raise ValueError("pass either a config or a pre-built analyzer")
+    monitor = Monitor(
+        window=window if window is not None else DynamicLatencyWindow(),
+        max_transaction_size=max_transaction_size,
+        dedup=dedup,
+        pid_filter=pid_filter,
+        grouping=grouping,
+    )
+    recorder = TransactionRecorder() if record_offline else None
+    process_transaction = getattr(analyzer, "process_transaction", None)
+    if process_transaction is not None:
+        monitor.add_sink(process_transaction)
+    else:
+        monitor.add_sink(
+            lambda transaction: analyzer.process(transaction.extents)
+        )
+    if recorder is not None:
+        monitor.add_sink(recorder)
+
+    replay = replay_timed(
+        records,
+        device,
+        speedup=speedup,
+        listeners=[monitor.on_event],
+        collect=collect_events,
+    )
+    monitor.flush()
+
+    return PipelineResult(
+        replay=replay,
+        monitor_stats=monitor.stats,
+        analyzer=analyzer,
+        recorder=recorder,
+    )
+
+
+def characterize(
+    records: Sequence[TraceRecord],
+    min_support: int = 2,
+    config: Optional[AnalyzerConfig] = None,
+    **pipeline_kwargs,
+) -> List:
+    """One-call characterization: replay a trace, return frequent pairs.
+
+    This is the quickstart entry point: given any trace, it returns the
+    detected extent correlations as ``(ExtentPair, tally)`` tuples,
+    strongest first.
+    """
+    result = run_pipeline(
+        records, config=config, record_offline=False, **pipeline_kwargs
+    )
+    return result.frequent_pairs(min_support)

@@ -1,0 +1,141 @@
+"""A continuous characterization service.
+
+The pipeline in :mod:`repro.pipeline` is batch-shaped: replay a trace, get
+a result.  A deployed system (Fig. 3) instead runs *forever*: events arrive
+as the kernel emits them, consumers ask for the current picture whenever
+they like, and the learned state must survive restarts.  This module wraps
+monitor + typed analyzer into that service shape:
+
+* :meth:`CharacterizationService.submit` accepts block I/O events
+  (from blktrace, a replayer, or tests) and drives the whole stack;
+* :meth:`snapshot` returns the current frequent correlations (optionally
+  by R/W kind) without stopping ingestion;
+* :meth:`checkpoint` / :meth:`restore` persist the synopsis in the
+  paper's native entry layout (see :mod:`repro.core.serialize`);
+* registered observers are notified every ``snapshot_interval``
+  transactions -- the hook an automatic optimization module attaches to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import BinaryIO, Callable, Dict, List, Optional, Tuple
+
+from .core.config import AnalyzerConfig
+from .core.extent import ExtentPair
+from .core.serialize import dump_analyzer, load_analyzer
+from .core.typed import CorrelationKind, TypedOnlineAnalyzer
+from .monitor.events import BlockIOEvent
+from .monitor.monitor import DEFAULT_MAX_TRANSACTION_SIZE, Monitor
+from .monitor.transaction import Transaction
+from .monitor.window import DynamicLatencyWindow, WindowPolicy
+
+SnapshotObserver = Callable[["ServiceSnapshot"], None]
+
+
+@dataclass
+class ServiceSnapshot:
+    """The service's view of the workload at one instant."""
+
+    transactions: int
+    events: int
+    frequent_pairs: List[Tuple[ExtentPair, int]]
+    kind_summary: Dict[CorrelationKind, int]
+
+    @property
+    def correlations(self) -> int:
+        return len(self.frequent_pairs)
+
+
+class CharacterizationService:
+    """Long-running ingest -> characterize -> notify loop."""
+
+    def __init__(
+        self,
+        config: Optional[AnalyzerConfig] = None,
+        window: Optional[WindowPolicy] = None,
+        max_transaction_size: int = DEFAULT_MAX_TRANSACTION_SIZE,
+        dedup: bool = True,
+        min_support: int = 5,
+        snapshot_interval: int = 1000,
+    ) -> None:
+        if snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1")
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        self.min_support = min_support
+        self.snapshot_interval = snapshot_interval
+        self.analyzer = TypedOnlineAnalyzer(config or AnalyzerConfig())
+        self.monitor = Monitor(
+            window=window if window is not None else DynamicLatencyWindow(),
+            max_transaction_size=max_transaction_size,
+            dedup=dedup,
+            sinks=[self._on_transaction],
+        )
+        self._observers: List[SnapshotObserver] = []
+        self._transactions = 0
+
+    # -- ingestion --------------------------------------------------------------
+
+    def submit(self, event: BlockIOEvent) -> None:
+        """Feed one block-layer issue event."""
+        self.monitor.on_event(event)
+
+    def submit_many(self, events) -> None:
+        for event in events:
+            self.monitor.on_event(event)
+
+    def flush(self) -> None:
+        """Close any open transaction (e.g. before a checkpoint)."""
+        self.monitor.flush()
+
+    def _on_transaction(self, transaction: Transaction) -> None:
+        self.analyzer.process_transaction(transaction)
+        self._transactions += 1
+        if self._transactions % self.snapshot_interval == 0:
+            snapshot = self.snapshot()
+            for observer in self._observers:
+                observer(snapshot)
+
+    # -- queries -------------------------------------------------------------------
+
+    def snapshot(self, kind: Optional[CorrelationKind] = None
+                 ) -> ServiceSnapshot:
+        """Current frequent correlations (optionally one R/W kind only)."""
+        if kind is None:
+            frequent = self.analyzer.frequent_pairs(self.min_support)
+        else:
+            frequent = self.analyzer.frequent_pairs_of_kind(
+                kind, self.min_support
+            )
+        return ServiceSnapshot(
+            transactions=self._transactions,
+            events=self.monitor.stats.events_seen,
+            frequent_pairs=frequent,
+            kind_summary=self.analyzer.kind_summary(),
+        )
+
+    def observe(self, observer: SnapshotObserver) -> None:
+        """Register a periodic snapshot observer (the optimization hook)."""
+        self._observers.append(observer)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def checkpoint(self, stream: BinaryIO) -> int:
+        """Persist the synopsis; returns bytes written.
+
+        Open transactions are flushed first so nothing in flight is lost.
+        Note the typed sidecar (R/W mixes) is rebuilt from future traffic
+        after a restore; the tables themselves restore exactly.
+        """
+        self.flush()
+        return dump_analyzer(self.analyzer, stream)
+
+    def restore(self, stream: BinaryIO) -> None:
+        """Replace the synopsis with a previously checkpointed one."""
+        plain = load_analyzer(stream)
+        restored = TypedOnlineAnalyzer(plain.config)
+        restored.items._table = plain.items._table
+        restored.correlations._table = plain.correlations._table
+        restored.correlations._by_extent = plain.correlations._by_extent
+        self.analyzer = restored

@@ -1,0 +1,98 @@
+"""Trace filtering and sampling utilities.
+
+Real traces are heterogeneous; the paper's own methodology slices them
+("the disk with the greatest number of requests", the first 100 K requests
+for Fig. 10) and filters events by process ID.  These helpers make the
+common selections first-class: by operation, process, block range, time
+window, plus deterministic downsampling for quick experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .record import OpType, TraceRecord
+
+
+def filter_by_op(records: Iterable[TraceRecord], op: OpType
+                 ) -> List[TraceRecord]:
+    """Keep only reads or only writes."""
+    return [record for record in records if record.op is op]
+
+
+def filter_by_pid(records: Iterable[TraceRecord],
+                  pids: Sequence[int]) -> List[TraceRecord]:
+    """Keep requests issued by the given process IDs."""
+    wanted = set(pids)
+    return [record for record in records if record.pid in wanted]
+
+
+def filter_by_block_range(
+    records: Iterable[TraceRecord], low: int, high: int
+) -> List[TraceRecord]:
+    """Keep requests entirely inside block range ``[low, high)``."""
+    if high <= low:
+        raise ValueError(f"empty block range [{low}, {high})")
+    return [
+        record for record in records
+        if record.start >= low and record.start + record.length <= high
+    ]
+
+
+def filter_by_time(
+    records: Iterable[TraceRecord],
+    start: float = 0.0,
+    end: Optional[float] = None,
+    rebase: bool = True,
+) -> List[TraceRecord]:
+    """Keep requests with ``start <= timestamp < end``.
+
+    With ``rebase`` (default) the surviving records are shifted so the
+    window starts at time zero -- what slicing for replay wants.
+    """
+    if end is not None and end <= start:
+        raise ValueError(f"empty time window [{start}, {end})")
+    kept = [
+        record for record in records
+        if record.timestamp >= start
+        and (end is None or record.timestamp < end)
+    ]
+    if rebase and kept:
+        base = kept[0].timestamp
+        kept = [record.shifted(-base) for record in kept]
+    return kept
+
+
+def filter_by_disk(records: Iterable[TraceRecord], disk_id: int
+                   ) -> List[TraceRecord]:
+    """Keep one disk of a multi-disk trace (the paper keeps the busiest)."""
+    return [record for record in records if record.disk_id == disk_id]
+
+
+def busiest_disk(records: Sequence[TraceRecord]) -> int:
+    """Disk ID with the greatest number of requests (paper Section IV-B2)."""
+    if not records:
+        raise ValueError("cannot pick the busiest disk of an empty trace")
+    counts: dict = {}
+    for record in records:
+        counts[record.disk_id] = counts.get(record.disk_id, 0) + 1
+    return max(counts, key=lambda disk: (counts[disk], -disk))
+
+
+def downsample(records: Sequence[TraceRecord], keep_one_in: int
+               ) -> List[TraceRecord]:
+    """Deterministically keep every ``keep_one_in``-th request."""
+    if keep_one_in < 1:
+        raise ValueError(f"keep_one_in must be >= 1, got {keep_one_in}")
+    return list(records[::keep_one_in])
+
+
+def split_reads_writes(
+    records: Iterable[TraceRecord],
+) -> tuple:
+    """Partition into (reads, writes) preserving order."""
+    reads: List[TraceRecord] = []
+    writes: List[TraceRecord] = []
+    for record in records:
+        (reads if record.is_read else writes).append(record)
+    return reads, writes

@@ -1,0 +1,91 @@
+"""Block-layer trace records.
+
+A :class:`TraceRecord` carries the fields the paper's monitoring module
+consumes from blktrace "issue" events -- timestamp, process ID, operation
+type, starting block, and request size -- plus the per-request latency that
+recorded traces (such as the Microsoft Research Cambridge traces) report and
+that Table II's replay-speedup computation depends on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..core.extent import Extent
+
+#: Block (sector) size in bytes; the paper's traces use 512-byte sectors.
+BLOCK_SIZE = 512
+
+
+class OpType(enum.Enum):
+    """Read or write."""
+
+    READ = "R"
+    WRITE = "W"
+
+    @classmethod
+    def parse(cls, text: str) -> "OpType":
+        normalized = text.strip().upper()
+        if normalized in ("R", "READ"):
+            return cls.READ
+        if normalized in ("W", "WRITE"):
+            return cls.WRITE
+        raise ValueError(f"not a valid operation type: {text!r}")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One block I/O request.
+
+    ``timestamp`` is seconds from the start of the trace; ``start`` and
+    ``length`` are in 512-byte blocks; ``latency`` is the device response
+    time in seconds as recorded in the trace (``None`` when the trace does
+    not report latencies).
+    """
+
+    timestamp: float
+    pid: int
+    op: OpType
+    start: int
+    length: int
+    latency: Optional[float] = None
+    disk_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be >= 0, got {self.timestamp}")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.length <= 0:
+            raise ValueError(f"length must be > 0, got {self.length}")
+        if self.latency is not None and self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+
+    @property
+    def extent(self) -> Extent:
+        """The extent this request covers."""
+        return Extent(self.start, self.length)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.length * BLOCK_SIZE
+
+    @property
+    def is_read(self) -> bool:
+        return self.op is OpType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is OpType.WRITE
+
+    def shifted(self, delta_seconds: float) -> "TraceRecord":
+        """Copy of this record with the timestamp shifted by ``delta_seconds``."""
+        return replace(self, timestamp=self.timestamp + delta_seconds)
+
+    def accelerated(self, speedup: float) -> "TraceRecord":
+        """Copy with the arrival time divided by ``speedup`` (Table II replay)."""
+        if speedup <= 0:
+            raise ValueError(f"speedup must be > 0, got {speedup}")
+        return replace(self, timestamp=self.timestamp / speedup)

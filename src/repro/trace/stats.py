@@ -1,0 +1,112 @@
+"""Trace statistics (paper Table I).
+
+Table I characterises each workload by total data accessed, *unique* data
+accessed (the footprint: the size of the union of all accessed block
+ranges), and the percentage of requests whose interarrival time is below
+100 microseconds.  This module computes those statistics, plus the mean
+recorded latency that Table II's replay-speedup computation starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .record import BLOCK_SIZE, TraceRecord
+
+#: Table I's interarrival threshold: 100 microseconds.
+DEFAULT_INTERARRIVAL_THRESHOLD = 100e-6
+
+
+def merge_intervals(intervals: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge half-open integer intervals ``[start, end)`` into disjoint runs."""
+    ordered = sorted(intervals)
+    merged: List[Tuple[int, int]] = []
+    for start, end in ordered:
+        if end <= start:
+            raise ValueError(f"empty or inverted interval: [{start}, {end})")
+        if merged and start <= merged[-1][1]:
+            previous_start, previous_end = merged[-1]
+            merged[-1] = (previous_start, max(previous_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def unique_blocks(records: Iterable[TraceRecord]) -> int:
+    """Number of distinct blocks touched by the trace (footprint in blocks)."""
+    merged = merge_intervals(
+        (record.start, record.start + record.length) for record in records
+    )
+    return sum(end - start for start, end in merged)
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """The statistics reported per workload in Table I, plus extras."""
+
+    requests: int
+    total_bytes: int
+    unique_bytes: int
+    fast_interarrival_fraction: float
+    read_fraction: float
+    mean_latency: Optional[float]
+    duration: float
+
+    @property
+    def total_gb(self) -> float:
+        return self.total_bytes / 1e9
+
+    @property
+    def unique_gb(self) -> float:
+        return self.unique_bytes / 1e9
+
+    @property
+    def fast_interarrival_percent(self) -> float:
+        return 100.0 * self.fast_interarrival_fraction
+
+
+def compute_stats(
+    records: Sequence[TraceRecord],
+    interarrival_threshold: float = DEFAULT_INTERARRIVAL_THRESHOLD,
+) -> TraceStats:
+    """Compute Table I statistics for a trace.
+
+    Requests are expected in (or are sorted into) timestamp order before
+    interarrival times are measured, matching how the traces were recorded.
+    """
+    if not records:
+        raise ValueError("cannot compute statistics of an empty trace")
+
+    ordered = sorted(records, key=lambda record: record.timestamp)
+    total_bytes = sum(record.size_bytes for record in ordered)
+    footprint_bytes = unique_blocks(ordered) * BLOCK_SIZE
+
+    fast = 0
+    for previous, current in zip(ordered, ordered[1:]):
+        if current.timestamp - previous.timestamp < interarrival_threshold:
+            fast += 1
+    interarrivals = len(ordered) - 1
+    fast_fraction = fast / interarrivals if interarrivals else 0.0
+
+    reads = sum(1 for record in ordered if record.is_read)
+    latencies = [record.latency for record in ordered if record.latency is not None]
+    mean_latency = sum(latencies) / len(latencies) if latencies else None
+
+    return TraceStats(
+        requests=len(ordered),
+        total_bytes=total_bytes,
+        unique_bytes=footprint_bytes,
+        fast_interarrival_fraction=fast_fraction,
+        read_fraction=reads / len(ordered),
+        mean_latency=mean_latency,
+        duration=ordered[-1].timestamp - ordered[0].timestamp,
+    )
+
+
+def format_table1_row(name: str, description: str, stats: TraceStats) -> str:
+    """One row in the shape of the paper's Table I."""
+    return (
+        f"{name:<8} {description:<20} {stats.total_gb:>8.1f} GB "
+        f"{stats.unique_gb:>8.2f} GB {stats.fast_interarrival_percent:>6.1f}%"
+    )

@@ -1,0 +1,83 @@
+"""Workload generators: synthetic correlation workloads and MSR-like models."""
+
+from .arrival import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    interarrival_fraction_below,
+)
+from .composite import Segment, drift_workload, slice_requests, splice
+from .multitenant import (
+    Tenant,
+    check_disjoint_volumes,
+    make_tenant,
+    merge_tenants,
+    shared_workload,
+    tenant_address_ranges,
+)
+from .enterprise import (
+    PROFILES,
+    WORKLOAD_NAMES,
+    EnterpriseProfile,
+    EnterpriseTruth,
+    generate_enterprise,
+    generate_named,
+)
+from .semantic import (
+    FileObject,
+    FileServerSpec,
+    FilesystemLayout,
+    SemanticTruth,
+    Table,
+    WebsiteSpec,
+    generate_fileserver,
+    generate_website,
+)
+from .synthetic import (
+    SyntheticKind,
+    SyntheticSpec,
+    SyntheticTruth,
+    all_synthetic_specs,
+    generate_synthetic,
+)
+from .zipf import ZipfRanks, empirical_frequencies
+
+__all__ = [
+    "ArrivalProcess",
+    "DiurnalArrivals",
+    "OnOffArrivals",
+    "PoissonArrivals",
+    "interarrival_fraction_below",
+    "PROFILES",
+    "WORKLOAD_NAMES",
+    "EnterpriseProfile",
+    "EnterpriseTruth",
+    "FileObject",
+    "FileServerSpec",
+    "FilesystemLayout",
+    "SemanticTruth",
+    "Table",
+    "WebsiteSpec",
+    "generate_fileserver",
+    "generate_website",
+    "Segment",
+    "SyntheticKind",
+    "SyntheticSpec",
+    "SyntheticTruth",
+    "Tenant",
+    "check_disjoint_volumes",
+    "make_tenant",
+    "merge_tenants",
+    "shared_workload",
+    "tenant_address_ranges",
+    "ZipfRanks",
+    "all_synthetic_specs",
+    "drift_workload",
+    "empirical_frequencies",
+    "generate_enterprise",
+    "generate_named",
+    "generate_synthetic",
+    "slice_requests",
+    "splice",
+]

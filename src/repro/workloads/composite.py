@@ -1,0 +1,85 @@
+"""Composite workloads for the concept-drift experiment (paper Fig. 10).
+
+The paper demonstrates adaptation to *concept drift* by splicing traces:
+the first 100 K requests of wdev, then the first 100 K requests of hm, then
+the second 100 K requests of wdev, replayed as a single workload.  This
+module provides trace slicing and splicing with timestamp rebasing so the
+spliced trace is monotone in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..trace.record import TraceRecord
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One labelled slice of a composite workload."""
+
+    label: str
+    records: Tuple[TraceRecord, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def slice_requests(
+    records: Sequence[TraceRecord], start: int, count: int
+) -> List[TraceRecord]:
+    """Requests ``[start, start + count)`` rebased to timestamp zero."""
+    if start < 0 or count < 1:
+        raise ValueError(f"bad slice: start={start} count={count}")
+    window = list(records[start:start + count])
+    if len(window) < count:
+        raise ValueError(
+            f"trace has only {len(records)} requests; cannot slice "
+            f"[{start}, {start + count})"
+        )
+    base = window[0].timestamp
+    return [record.shifted(-base) for record in window]
+
+
+def splice(segments: Sequence[Tuple[str, Sequence[TraceRecord]]],
+           gap: float = 1e-3) -> Tuple[List[TraceRecord], List[Segment]]:
+    """Concatenate labelled record sequences into one monotone trace.
+
+    Each segment is rebased to start ``gap`` seconds after the previous
+    segment's last request.  Returns the flat record list plus the rebased
+    segments (whose boundaries the drift experiment snapshots at).
+    """
+    flat: List[TraceRecord] = []
+    rebased_segments: List[Segment] = []
+    clock = 0.0
+    for label, records in segments:
+        if not records:
+            raise ValueError(f"segment {label!r} is empty")
+        base = records[0].timestamp
+        shifted = [record.shifted(clock - base) for record in records]
+        flat.extend(shifted)
+        rebased_segments.append(Segment(label, tuple(shifted)))
+        clock = shifted[-1].timestamp + gap
+    return flat, rebased_segments
+
+
+def drift_workload(
+    first: Sequence[TraceRecord],
+    second: Sequence[TraceRecord],
+    segment_requests: int,
+    labels: Tuple[str, str] = ("A", "B"),
+) -> Tuple[List[TraceRecord], List[Segment]]:
+    """The paper's A(1st) -> B(1st) -> A(2nd) drift composition.
+
+    ``first`` must contain at least ``2 * segment_requests`` requests and
+    ``second`` at least ``segment_requests``.
+    """
+    part_a1 = slice_requests(first, 0, segment_requests)
+    part_b = slice_requests(second, 0, segment_requests)
+    part_a2 = slice_requests(first, segment_requests, segment_requests)
+    return splice([
+        (f"{labels[0]}-1", part_a1),
+        (f"{labels[1]}-1", part_b),
+        (f"{labels[0]}-2", part_a2),
+    ])

@@ -1,0 +1,275 @@
+"""Semantically-correlated workloads from simulated application structure.
+
+The paper's motivating examples of inter-request correlations are
+*semantic*: "an inode block and its associated data blocks being
+correlated, blocks for a web server request being correlated with the
+blocks of a database table that it interacts with" (Section II-A).  The
+synthetic workloads of Section IV-B1 plant such correlations directly;
+this module goes one level deeper and *derives* them from structure:
+
+* a tiny filesystem layout allocates each file an inode block (in an inode
+  table region) and one or more data extents (possibly fragmented);
+* application models generate I/O against that structure -- file reads
+  touch inode + data, a web request reads a page file and then queries a
+  database table, a table scan walks index then data pages;
+
+so the correlations the framework should detect are the by-product of the
+simulated software stack, exactly as in production systems.  The ground
+truth (which extent pairs are semantically related) falls out of the
+layout and is returned alongside the trace.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.extent import Extent, ExtentPair
+from ..trace.record import OpType, TraceRecord
+
+#: Blocks per inode-table block.
+_INODE_BLOCKS = 1
+
+
+@dataclass(frozen=True)
+class FileObject:
+    """One file: its inode block and data extents."""
+
+    name: str
+    inode: Extent
+    data: Tuple[Extent, ...]
+
+    def all_extents(self) -> List[Extent]:
+        return [self.inode, *self.data]
+
+    def semantic_pairs(self) -> List[ExtentPair]:
+        """Inode<->data and data<->data pairs implied by this file."""
+        extents = self.all_extents()
+        pairs = []
+        for i, a in enumerate(extents):
+            for b in extents[i + 1:]:
+                pairs.append(ExtentPair(a, b))
+        return pairs
+
+
+@dataclass(frozen=True)
+class Table:
+    """One database table: an index extent plus data page extents."""
+
+    name: str
+    index: Extent
+    pages: Tuple[Extent, ...]
+
+
+class FilesystemLayout:
+    """Allocates inodes and data extents in disjoint regions.
+
+    The inode table sits at the front of the volume (low block numbers),
+    data grows behind it -- the classic layout that makes inode/data
+    correlations *discontiguous* and therefore invisible to sequential
+    heuristics, which is why they need correlation mining at all.
+    """
+
+    def __init__(
+        self,
+        inode_region_blocks: int = 4096,
+        seed: int = 0,
+        fragmentation: float = 0.2,
+    ) -> None:
+        if inode_region_blocks < 1:
+            raise ValueError("inode region must hold at least one block")
+        if not 0.0 <= fragmentation <= 1.0:
+            raise ValueError("fragmentation must be in [0, 1]")
+        self._rng = random.Random(seed)
+        self._inode_region = inode_region_blocks
+        self._next_inode = 0
+        self._next_data = inode_region_blocks
+        self.fragmentation = fragmentation
+        self.files: List[FileObject] = []
+        self.tables: List[Table] = []
+
+    def _allocate_inode(self) -> Extent:
+        if self._next_inode >= self._inode_region:
+            raise RuntimeError("inode table full")
+        extent = Extent(self._next_inode, _INODE_BLOCKS)
+        self._next_inode += _INODE_BLOCKS
+        return extent
+
+    def _allocate_data(self, blocks: int) -> List[Extent]:
+        """Allocate ``blocks`` of data, fragmenting with some probability."""
+        extents: List[Extent] = []
+        remaining = blocks
+        while remaining > 0:
+            if remaining > 8 and self._rng.random() < self.fragmentation:
+                piece = self._rng.randint(remaining // 4, remaining - 4)
+            else:
+                piece = remaining
+            # A gap between allocations models interleaved writers.
+            self._next_data += self._rng.randint(0, 64)
+            extents.append(Extent(self._next_data, piece))
+            self._next_data += piece
+            remaining -= piece
+        return extents
+
+    def create_file(self, name: str, blocks: int) -> FileObject:
+        """Allocate a file with an inode and ``blocks`` of data."""
+        if blocks < 1:
+            raise ValueError("a file needs at least one data block")
+        file_object = FileObject(
+            name=name,
+            inode=self._allocate_inode(),
+            data=tuple(self._allocate_data(blocks)),
+        )
+        self.files.append(file_object)
+        return file_object
+
+    def create_table(self, name: str, pages: int,
+                     page_blocks: int = 16) -> Table:
+        """Allocate a table: one index extent and ``pages`` data pages."""
+        if pages < 1:
+            raise ValueError("a table needs at least one page")
+        index = self._allocate_data(8)[0]
+        page_extents = []
+        for _ in range(pages):
+            page_extents.extend(self._allocate_data(page_blocks))
+        table = Table(name=name, index=index, pages=tuple(page_extents))
+        self.tables.append(table)
+        return table
+
+
+@dataclass
+class SemanticTruth:
+    """The semantic relations a generated trace embodies."""
+
+    file_pairs: Dict[str, List[ExtentPair]] = field(default_factory=dict)
+    web_db_pairs: List[ExtentPair] = field(default_factory=list)
+
+    def all_pairs(self) -> Set[ExtentPair]:
+        pairs: Set[ExtentPair] = set(self.web_db_pairs)
+        for file_pairs in self.file_pairs.values():
+            pairs.update(file_pairs)
+        return pairs
+
+
+@dataclass(frozen=True)
+class WebsiteSpec:
+    """A web application over the filesystem and a database.
+
+    ``pages`` files are created (each a page plus its inode); each page is
+    statically associated with one database table.  A *request* for page i
+    reads the page's inode, its data, the table's index, and one or two of
+    the table's pages -- the four-way semantic correlation of the paper's
+    web/database example.
+    """
+
+    pages: int = 6
+    page_blocks: int = 24
+    tables: int = 3
+    table_pages: int = 8
+    requests: int = 400
+    zipf_exponent: float = 1.0
+    mean_interarrival: float = 0.05
+    intra_request_gap: float = 20e-6
+    seed: int = 0
+
+
+def generate_website(
+    spec: WebsiteSpec,
+) -> Tuple[List[TraceRecord], SemanticTruth, FilesystemLayout]:
+    """Generate a web-serving trace over a filesystem + database layout."""
+    from .zipf import ZipfRanks
+
+    rng = random.Random(spec.seed)
+    layout = FilesystemLayout(seed=spec.seed + 1)
+    truth = SemanticTruth()
+
+    page_files = [
+        layout.create_file(f"page-{index}", spec.page_blocks)
+        for index in range(spec.pages)
+    ]
+    tables = [
+        layout.create_table(f"table-{index}", spec.table_pages)
+        for index in range(spec.tables)
+    ]
+    for file_object in page_files:
+        truth.file_pairs[file_object.name] = file_object.semantic_pairs()
+
+    table_of_page = {
+        file_object.name: tables[index % len(tables)]
+        for index, file_object in enumerate(page_files)
+    }
+    for file_object in page_files:
+        table = table_of_page[file_object.name]
+        for file_extent in file_object.all_extents():
+            truth.web_db_pairs.append(ExtentPair(file_extent, table.index))
+
+    popularity = ZipfRanks(len(page_files), spec.zipf_exponent)
+    records: List[TraceRecord] = []
+    clock = 0.0
+    for _request in range(spec.requests):
+        clock += rng.expovariate(1.0 / spec.mean_interarrival)
+        page = page_files[popularity.sample(rng) - 1]
+        table = table_of_page[page.name]
+        touched = page.all_extents() + [table.index]
+        touched.append(table.pages[rng.randrange(len(table.pages))])
+        if len(table.pages) > 1 and rng.random() < 0.5:
+            touched.append(table.pages[rng.randrange(len(table.pages))])
+        offset = 0.0
+        for extent in touched:
+            records.append(TraceRecord(
+                clock + offset, 800, OpType.READ, extent.start, extent.length
+            ))
+            offset += rng.uniform(0, spec.intra_request_gap)
+    records.sort(key=lambda record: record.timestamp)
+    return records, truth, layout
+
+
+@dataclass(frozen=True)
+class FileServerSpec:
+    """Small-file traffic: every open reads inode then data (§II-A)."""
+
+    files: int = 20
+    file_blocks: Tuple[int, int] = (4, 64)   # min/max data blocks
+    requests: int = 500
+    zipf_exponent: float = 0.9
+    mean_interarrival: float = 0.02
+    intra_request_gap: float = 20e-6
+    write_fraction: float = 0.2
+    seed: int = 0
+
+
+def generate_fileserver(
+    spec: FileServerSpec,
+) -> Tuple[List[TraceRecord], SemanticTruth, FilesystemLayout]:
+    """Generate a file-server trace: inode + data per file access."""
+    from .zipf import ZipfRanks
+
+    rng = random.Random(spec.seed)
+    layout = FilesystemLayout(seed=spec.seed + 1)
+    truth = SemanticTruth()
+    files = [
+        layout.create_file(
+            f"file-{index}", rng.randint(*spec.file_blocks)
+        )
+        for index in range(spec.files)
+    ]
+    for file_object in files:
+        truth.file_pairs[file_object.name] = file_object.semantic_pairs()
+
+    popularity = ZipfRanks(len(files), spec.zipf_exponent)
+    records: List[TraceRecord] = []
+    clock = 0.0
+    for _request in range(spec.requests):
+        clock += rng.expovariate(1.0 / spec.mean_interarrival)
+        file_object = files[popularity.sample(rng) - 1]
+        op = (OpType.WRITE if rng.random() < spec.write_fraction
+              else OpType.READ)
+        offset = 0.0
+        for extent in file_object.all_extents():
+            records.append(TraceRecord(
+                clock + offset, 801, op, extent.start, extent.length
+            ))
+            offset += rng.uniform(0, spec.intra_request_gap)
+    records.sort(key=lambda record: record.timestamp)
+    return records, truth, layout

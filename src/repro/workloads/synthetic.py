@@ -1,0 +1,173 @@
+"""The paper's three synthetic workloads (Section IV-B1).
+
+Each workload constructs four inter-request correlations of a specific
+shape, ranked by a Zipf-like distribution (48/24/16/12 %):
+
+* **one-to-one** -- a single block requested with another non-contiguous
+  single block (two associated records at application level);
+* **one-to-many** -- a single block correlated with a contiguous range of
+  512 B to 1 MB chosen at random (a small file and its inode);
+* **many-to-many** -- two contiguous ranges, each 512 B to 1 MB (a web
+  resource and the database table it touches).
+
+Correlated events arrive with exponentially distributed interarrival times
+of mean 200 ms -- large enough that two constructed correlations never merge
+into one transaction -- while background *noise* requests (512 B to 8 KB)
+arrive with mean interarrival 100 ms, contributing infrequent and "false"
+correlations that the analysis must reject.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.extent import Extent, ExtentPair
+from ..trace.record import OpType, TraceRecord
+from .zipf import ZipfRanks
+
+#: 512 B .. 1 MB expressed in 512-byte blocks.
+CORRELATED_MIN_BLOCKS = 1
+CORRELATED_MAX_BLOCKS = 2048
+#: 512 B .. 8 KB noise requests.
+NOISE_MIN_BLOCKS = 1
+NOISE_MAX_BLOCKS = 16
+
+
+class SyntheticKind(enum.Enum):
+    ONE_TO_ONE = "one-to-one"
+    ONE_TO_MANY = "one-to-many"
+    MANY_TO_MANY = "many-to-many"
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of a synthetic workload run."""
+
+    kind: SyntheticKind
+    correlations: int = 4
+    zipf_exponent: float = 1.0
+    correlated_mean_interarrival: float = 0.200
+    noise_mean_interarrival: float = 0.100
+    intra_pair_gap: float = 20e-6
+    duration: float = 120.0
+    number_space: int = 8 * 1024 * 1024
+    read_fraction: float = 0.7
+    seed: int = 42
+
+
+@dataclass
+class SyntheticTruth:
+    """Ground truth: the constructed correlations and their popularity."""
+
+    pairs: List[ExtentPair] = field(default_factory=list)
+    probabilities: List[float] = field(default_factory=list)
+    occurrences: List[int] = field(default_factory=list)
+
+    def pair_rank(self, pair: ExtentPair) -> Optional[int]:
+        """1-based popularity rank of ``pair``, or ``None`` if not planted."""
+        try:
+            return self.pairs.index(pair) + 1
+        except ValueError:
+            return None
+
+
+def _build_correlation(
+    kind: SyntheticKind, region_start: int, region_size: int, rng: random.Random
+) -> ExtentPair:
+    """Construct one correlation of the requested shape inside a region.
+
+    The two extents are placed in disjoint halves of the region so they are
+    guaranteed non-contiguous, and correlations built in different regions
+    can never overlap each other.
+    """
+    half = region_size // 2
+
+    def _place(max_blocks: int, base: int) -> Extent:
+        length = (
+            1 if max_blocks == 1
+            else rng.randint(CORRELATED_MIN_BLOCKS, max_blocks)
+        )
+        start = base + rng.randint(0, half - length - 1)
+        return Extent(start, length)
+
+    if kind is SyntheticKind.ONE_TO_ONE:
+        first = _place(1, region_start)
+        second = _place(1, region_start + half)
+    elif kind is SyntheticKind.ONE_TO_MANY:
+        first = _place(1, region_start)
+        second = _place(CORRELATED_MAX_BLOCKS, region_start + half)
+    else:
+        first = _place(CORRELATED_MAX_BLOCKS, region_start)
+        second = _place(CORRELATED_MAX_BLOCKS, region_start + half)
+    return ExtentPair(first, second)
+
+
+def generate_synthetic(
+    spec: SyntheticSpec,
+) -> Tuple[List[TraceRecord], SyntheticTruth]:
+    """Generate a synthetic trace and its correlation ground truth.
+
+    The correlated stream and the noise stream are two independent Poisson
+    processes merged by timestamp.  Each correlated occurrence emits its two
+    extents ``intra_pair_gap`` seconds apart (well inside any reasonable
+    transaction window); noise arrivals land wherever the clock puts them,
+    sometimes inside a correlated transaction -- which is the point.
+    """
+    rng = random.Random(spec.seed)
+    ranks = ZipfRanks(spec.correlations, spec.zipf_exponent)
+
+    region_size = spec.number_space // (spec.correlations + 1)
+    truth = SyntheticTruth()
+    for index in range(spec.correlations):
+        pair = _build_correlation(spec.kind, index * region_size, region_size, rng)
+        truth.pairs.append(pair)
+        truth.probabilities.append(ranks.probability(index + 1))
+        truth.occurrences.append(0)
+
+    noise_region_start = spec.correlations * region_size
+    records: List[TraceRecord] = []
+
+    def _op() -> OpType:
+        return OpType.READ if rng.random() < spec.read_fraction else OpType.WRITE
+
+    # Correlated occurrences.
+    clock = rng.expovariate(1.0 / spec.correlated_mean_interarrival)
+    while clock < spec.duration:
+        rank = ranks.sample(rng)
+        pair = truth.pairs[rank - 1]
+        truth.occurrences[rank - 1] += 1
+        first, second = pair.first, pair.second
+        if rng.random() < 0.5:
+            first, second = second, first
+        op = _op()
+        records.append(TraceRecord(clock, 1000, op, first.start, first.length))
+        records.append(
+            TraceRecord(
+                clock + rng.uniform(0, spec.intra_pair_gap),
+                1000, op, second.start, second.length,
+            )
+        )
+        clock += rng.expovariate(1.0 / spec.correlated_mean_interarrival)
+
+    # Noise.
+    clock = rng.expovariate(1.0 / spec.noise_mean_interarrival)
+    noise_span = spec.number_space - noise_region_start - NOISE_MAX_BLOCKS
+    while clock < spec.duration:
+        length = rng.randint(NOISE_MIN_BLOCKS, NOISE_MAX_BLOCKS)
+        start = noise_region_start + rng.randint(0, noise_span)
+        records.append(TraceRecord(clock, 1001, _op(), start, length))
+        clock += rng.expovariate(1.0 / spec.noise_mean_interarrival)
+
+    records.sort(key=lambda record: record.timestamp)
+    return records, truth
+
+
+def all_synthetic_specs(seed: int = 42, duration: float = 120.0) -> List[SyntheticSpec]:
+    """The paper's three synthetic workloads with shared settings."""
+    return [
+        SyntheticSpec(kind=kind, seed=seed + offset, duration=duration)
+        for offset, kind in enumerate(SyntheticKind)
+    ]

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+import pytest
+
+from repro.core.extent import Extent, ExtentPair
+from repro.workloads.synthetic import (
+    SyntheticKind,
+    SyntheticSpec,
+    generate_synthetic,
+)
+
+
+def ext(start: int, length: int = 1) -> Extent:
+    """Terse extent factory for tests."""
+    return Extent(start, length)
+
+
+def pair(a_start: int, b_start: int, a_len: int = 1, b_len: int = 1) -> ExtentPair:
+    """Terse pair factory for tests."""
+    return ExtentPair(Extent(a_start, a_len), Extent(b_start, b_len))
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture(scope="session")
+def small_synthetic():
+    """A short one-to-many synthetic workload with its ground truth."""
+    spec = SyntheticSpec(
+        kind=SyntheticKind.ONE_TO_MANY, duration=30.0, seed=99
+    )
+    return generate_synthetic(spec)
+
+
+@pytest.fixture
+def simple_transactions() -> List[Sequence[Extent]]:
+    """A tiny deterministic transaction stream with known pair counts.
+
+    Pair (10+1, 20+2) appears 3 times, (10+1, 30+1) twice, everything else
+    once.
+    """
+    a, b, c, d = ext(10), ext(20, 2), ext(30), ext(40, 4)
+    return [
+        [a, b],
+        [a, b, c],
+        [a, b],
+        [a, c],
+        [d],
+        [c, d],
+    ]

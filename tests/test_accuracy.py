@@ -1,0 +1,77 @@
+"""Tests for detection accuracy metrics."""
+
+import pytest
+
+from repro.analysis.accuracy import detection_metrics
+
+from conftest import pair
+
+
+def truth_example():
+    return {
+        pair(1, 2): 10,
+        pair(3, 4): 8,
+        pair(5, 6): 2,
+        pair(7, 8): 1,   # infrequent at min_support=2
+    }
+
+
+class TestDetectionMetrics:
+    def test_perfect_detection(self):
+        truth = truth_example()
+        frequent = [pair(1, 2), pair(3, 4), pair(5, 6)]
+        metrics = detection_metrics(truth, frequent, min_support=2)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+        assert metrics.weighted_recall == 1.0
+
+    def test_missed_pair_counts_against_recall(self):
+        metrics = detection_metrics(
+            truth_example(), [pair(1, 2), pair(3, 4)], min_support=2
+        )
+        assert metrics.recall == pytest.approx(2 / 3)
+        # Weighted recall is higher: the missed pair is the weakest.
+        assert metrics.weighted_recall == pytest.approx(18 / 20)
+        assert metrics.weighted_recall > metrics.recall
+
+    def test_false_positive_hits_precision(self):
+        metrics = detection_metrics(
+            truth_example(), [pair(1, 2), pair(7, 8)], min_support=2
+        )
+        assert metrics.false_positives == 1  # (7,8) is truly infrequent
+        assert metrics.precision == pytest.approx(0.5)
+
+    def test_detected_frequent_pair_is_never_false_positive(self):
+        """Membership in truth is what matters, not the synopsis tally."""
+        metrics = detection_metrics(truth_example(), [pair(5, 6)], min_support=2)
+        assert metrics.false_positives == 0
+
+    def test_unknown_pair_is_false_positive(self):
+        metrics = detection_metrics(
+            truth_example(), [pair(100, 200)], min_support=2
+        )
+        assert metrics.false_positives == 1
+
+    def test_empty_detection(self):
+        metrics = detection_metrics(truth_example(), [], min_support=2)
+        assert metrics.recall == 0.0
+        assert metrics.precision == 1.0  # nothing claimed, nothing wrong
+        assert metrics.f1 == 0.0
+        assert metrics.weighted_recall == 0.0
+
+    def test_empty_truth(self):
+        metrics = detection_metrics({}, [], min_support=2)
+        assert metrics.recall == 1.0
+        assert metrics.weighted_recall == 1.0
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            detection_metrics(truth_example(), [], min_support=0)
+
+    def test_f1_harmonic_mean(self):
+        metrics = detection_metrics(
+            truth_example(), [pair(1, 2), pair(100, 200)], min_support=2
+        )
+        p, r = metrics.precision, metrics.recall
+        assert metrics.f1 == pytest.approx(2 * p * r / (p + r))

@@ -1,0 +1,91 @@
+"""Tests for temporal correlation activity series."""
+
+import pytest
+
+from repro.analysis.activity import pair_activity, steady_pairs
+
+from conftest import ext, pair
+
+
+def stream_with_phases():
+    """Pair (1,2) active throughout; pair (9,10) only in the first third."""
+    transactions = []
+    for i in range(30):
+        if i % 2 == 0:
+            transactions.append([ext(1), ext(2)])
+        if i < 10:
+            transactions.append([ext(9), ext(10)])
+        transactions.append([ext(1000 + i), ext(2000 + i)])
+    return transactions
+
+
+class TestPairActivity:
+    def test_counts_sum_to_occurrences(self):
+        transactions = stream_with_phases()
+        activity = pair_activity(
+            transactions, [pair(1, 2), pair(9, 10)], windows=5
+        )
+        assert activity[pair(1, 2)].total == 15
+        assert activity[pair(9, 10)].total == 10
+
+    def test_phase_confinement(self):
+        transactions = stream_with_phases()
+        activity = pair_activity(transactions, [pair(9, 10)], windows=5)
+        series = activity[pair(9, 10)]
+        assert series.counts[0] > 0
+        assert series.counts[-1] == 0
+        assert series.first_active_window() == 0
+        assert series.last_active_window() < 4
+
+    def test_active_fraction(self):
+        transactions = stream_with_phases()
+        activity = pair_activity(
+            transactions, [pair(1, 2), pair(9, 10)], windows=5
+        )
+        assert activity[pair(1, 2)].active_fraction == 1.0
+        assert activity[pair(9, 10)].active_fraction < 0.8
+
+    def test_burstiness_orders_steady_before_bursty(self):
+        transactions = stream_with_phases()
+        activity = pair_activity(
+            transactions, [pair(1, 2), pair(9, 10)], windows=5
+        )
+        assert (activity[pair(1, 2)].burstiness
+                < activity[pair(9, 10)].burstiness)
+
+    def test_unwatched_pairs_ignored(self):
+        transactions = stream_with_phases()
+        activity = pair_activity(transactions, [pair(1, 2)], windows=3)
+        assert set(activity) == {pair(1, 2)}
+
+    def test_empty_stream(self):
+        activity = pair_activity([], [pair(1, 2)], windows=4)
+        series = activity[pair(1, 2)]
+        assert series.total == 0
+        assert series.active_fraction == 0.0
+        assert series.first_active_window() is None
+        assert series.last_active_window() is None
+        assert series.burstiness == 0.0
+
+    def test_windows_validation(self):
+        with pytest.raises(ValueError):
+            pair_activity([], [], windows=0)
+
+    def test_single_window(self):
+        transactions = [[ext(1), ext(2)]] * 4
+        activity = pair_activity(transactions, [pair(1, 2)], windows=1)
+        assert activity[pair(1, 2)].counts == (4,)
+
+
+class TestSteadyPairs:
+    def test_filters_by_active_fraction(self):
+        transactions = stream_with_phases()
+        activity = pair_activity(
+            transactions, [pair(1, 2), pair(9, 10)], windows=5
+        )
+        durable = steady_pairs(activity, min_active_fraction=0.8)
+        assert durable == [pair(1, 2)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            steady_pairs({}, min_active_fraction=2.0)

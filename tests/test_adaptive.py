@@ -1,0 +1,113 @@
+"""Tests for adaptive T1/T2 sizing (paper §IV-C1's dynamic-ratio remark)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptivePolicy, AdaptiveTwoTierTable
+from repro.core.lru import LruQueue
+
+
+class TestLruResize:
+    def test_grow_keeps_entries(self):
+        queue = LruQueue(2)
+        queue.insert("a")
+        queue.insert("b")
+        assert queue.resize(4) == []
+        assert queue.capacity == 4
+        assert "a" in queue and "b" in queue
+
+    def test_shrink_evicts_lru_first(self):
+        queue = LruQueue(3)
+        for key in "abc":
+            queue.insert(key)
+        evicted = queue.resize(1)
+        assert [key for key, _t in evicted] == ["a", "b"]
+        assert "c" in queue
+
+    def test_resize_validation(self):
+        with pytest.raises(ValueError):
+            LruQueue(2).resize(0)
+
+
+class TestAdaptivePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(adjust_interval=0)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(step_fraction=0.5)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(min_tier_fraction=0.0)
+
+
+class TestAdaptiveTable:
+    def test_total_capacity_is_conserved(self):
+        table = AdaptiveTwoTierTable(
+            32, 32, policy=AdaptivePolicy(adjust_interval=16)
+        )
+        for i in range(2000):
+            table.access(i % 40)
+        t1, t2 = table.tier_split
+        assert t1 + t2 == 64
+
+    def test_minimum_tier_sizes_respected(self):
+        """The paper's warning: resizing must not starve either tier."""
+        policy = AdaptivePolicy(adjust_interval=8, step_fraction=0.2,
+                                min_tier_fraction=0.25)
+        table = AdaptiveTwoTierTable(20, 20, policy=policy)
+        # A pure-T2 workload (one hot key) pushes capacity towards T2...
+        for _ in range(5000):
+            table.access("hot")
+        t1, t2 = table.tier_split
+        assert t1 >= 10  # 25% of 40
+        assert t2 >= 10
+
+    def test_hot_heavy_workload_grows_t2(self):
+        policy = AdaptivePolicy(adjust_interval=32, step_fraction=0.1,
+                                min_tier_fraction=0.2)
+        table = AdaptiveTwoTierTable(32, 32, policy=policy)
+        hot = [f"hot{i}" for i in range(20)]
+        for round_index in range(300):
+            for key in hot:
+                table.access(key)
+            table.access(f"cold-{round_index}")
+        _t1, t2 = table.tier_split
+        assert t2 > 32  # grew beyond the initial split
+        assert table.adjustments > 0
+
+    def test_scan_heavy_workload_grows_t1(self):
+        """One-hit floods make T1 the only tier earning hits (via the
+        promotions of keys seen exactly twice)."""
+        policy = AdaptivePolicy(adjust_interval=32, step_fraction=0.1,
+                                min_tier_fraction=0.2)
+        table = AdaptiveTwoTierTable(32, 32, policy=policy)
+        for i in range(3000):
+            table.access(i)       # miss
+            table.access(i)       # T1 hit -> promotion
+        t1, _t2 = table.tier_split
+        assert t1 > 32
+        assert table.adjustments > 0
+
+    def test_behaves_like_fixed_table_between_adjustments(self):
+        from repro.core.two_tier import TwoTierTable
+        adaptive = AdaptiveTwoTierTable(
+            8, 8, policy=AdaptivePolicy(adjust_interval=10 ** 9)
+        )
+        fixed = TwoTierTable(8, 8)
+        keys = [i % 12 for i in range(500)]
+        for key in keys:
+            adaptive.access(key)
+            fixed.access(key)
+        assert dict(
+            (k, (t, tier)) for k, t, tier in adaptive.items()
+        ) == dict((k, (t, tier)) for k, t, tier in fixed.items())
+
+    def test_shrink_evictions_reported(self):
+        policy = AdaptivePolicy(adjust_interval=4, step_fraction=0.25,
+                                min_tier_fraction=0.2)
+        table = AdaptiveTwoTierTable(8, 8, policy=policy)
+        # Fill T1 with scan traffic, then trigger adjustments.
+        evictions = []
+        for i in range(200):
+            result = table.access(i)
+            evictions.extend(result.evicted)
+        assert len(table) <= 16
+        assert evictions  # both LRU and resize evictions surfaced

@@ -1,0 +1,98 @@
+"""Tests for the classic ARC comparison structure."""
+
+import random
+
+import pytest
+
+from repro.core.arc import ArcTable
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ArcTable(1)
+
+    def test_miss_then_hit_promotes_to_t2(self):
+        arc = ArcTable(4)
+        assert arc.access("x") is False
+        assert arc.access("x") is True
+        assert arc.tally("x") == 2
+        assert arc.stats.hits == 1
+        assert arc.stats.lookups == 2
+
+    def test_resident_bound(self):
+        arc = ArcTable(4)
+        for i in range(100):
+            arc.access(i)
+        assert len(arc) <= 4
+
+    def test_frequent_sorted(self):
+        arc = ArcTable(8)
+        for _ in range(3):
+            arc.access("hot")
+        arc.access("cold")
+        top = arc.frequent(min_tally=1)
+        assert top[0][0] == "hot"
+
+
+class TestGhostAdaptation:
+    def test_b1_hit_grows_p(self):
+        arc = ArcTable(2)
+        # Fill T1 and push one key into B1.
+        arc.access("a")
+        arc.access("b")
+        arc.access("c")  # evicts a (to B1? only when replace triggered)
+        arc.access("d")
+        p_before = arc.p
+        ghost_b1, _b2 = arc.ghost_sizes()
+        if ghost_b1:
+            ghost_key = "a" if "a" not in arc else "b"
+            arc.access(ghost_key)
+            assert arc.p >= p_before
+
+    def test_ghost_hit_reinserts_into_t2(self):
+        arc = ArcTable(2)
+        sequence = ["a", "b", "c", "d", "a"]
+        for key in sequence:
+            arc.access(key)
+        # 'a' went resident->ghost->resident(T2) if its ghost survived.
+        if "a" in arc:
+            assert arc.tally("a") >= 1
+
+    def test_scan_resistance(self):
+        """A hot key re-accessed through a long scan survives in ARC,
+        while the scan's one-hit wonders do not accumulate."""
+        arc = ArcTable(8)
+        for i in range(200):
+            arc.access("hot")
+            arc.access(f"scan-{i}")
+        assert "hot" in arc
+        assert arc.tally("hot") > 100
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_workload_invariants(self, seed):
+        rng = random.Random(seed)
+        arc = ArcTable(8)
+        for _ in range(3000):
+            arc.access(rng.randrange(40))
+            assert arc.check_invariants()
+
+    def test_zipf_workload_invariants_and_hits(self):
+        from repro.workloads.zipf import ZipfRanks
+        rng = random.Random(9)
+        ranks = ZipfRanks(100, exponent=1.0)
+        arc = ArcTable(16)
+        for _ in range(5000):
+            arc.access(ranks.sample(rng))
+        assert arc.check_invariants()
+        # Zipf head fits in 16 entries: hit ratio should be substantial.
+        assert arc.stats.hit_ratio > 0.4
+
+    def test_directory_bound(self):
+        arc = ArcTable(4)
+        for i in range(500):
+            arc.access(i % 30)
+        b1, b2 = arc.ghost_sizes()
+        assert len(arc) + b1 + b2 <= 8

@@ -1,0 +1,107 @@
+"""Tests for arrival-process models."""
+
+import pytest
+
+from repro.workloads.arrival import (
+    DiurnalArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    interarrival_fraction_below,
+)
+
+
+class TestPoisson:
+    def test_rate_realised(self):
+        process = PoissonArrivals(rate=100.0, seed=1)
+        count = process.count_in(50.0)
+        assert count == pytest.approx(5000, rel=0.1)
+
+    def test_strictly_increasing(self):
+        times = list(PoissonArrivals(rate=50.0, seed=2).times(5.0))
+        assert all(a < b for a, b in zip(times, times[1:]))
+        assert all(0 <= t < 5.0 for t in times)
+
+    def test_deterministic_under_seed(self):
+        a = list(PoissonArrivals(10.0, seed=3).times(10.0))
+        b = list(PoissonArrivals(10.0, seed=3).times(10.0))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestOnOff:
+    def test_mean_rate_property(self):
+        process = OnOffArrivals(burst_rate=1000.0, on_mean=0.1,
+                                off_mean=0.9, seed=1)
+        assert process.mean_rate == pytest.approx(100.0)
+
+    def test_realised_rate_near_mean(self):
+        process = OnOffArrivals(burst_rate=1000.0, on_mean=0.1,
+                                off_mean=0.9, seed=4)
+        count = process.count_in(200.0)
+        assert count == pytest.approx(200.0 * process.mean_rate, rel=0.15)
+
+    def test_burstier_than_poisson_at_same_mean(self):
+        """The whole point of MMPP: same mean rate, far more sub-threshold
+        interarrivals -- the Table I signature."""
+        onoff = OnOffArrivals(burst_rate=2000.0, on_mean=0.05,
+                              off_mean=0.95, seed=5)
+        poisson = PoissonArrivals(rate=onoff.mean_rate, seed=5)
+        horizon = 100.0
+        threshold = 1e-3
+        bursty = interarrival_fraction_below(
+            list(onoff.times(horizon)), threshold
+        )
+        smooth = interarrival_fraction_below(
+            list(poisson.times(horizon)), threshold
+        )
+        assert bursty > smooth + 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffArrivals(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            OnOffArrivals(1.0, 0.0, 1.0)
+
+
+class TestDiurnal:
+    def test_rate_envelope(self):
+        process = DiurnalArrivals(base_rate=10.0, amplitude=0.5,
+                                  period=100.0, seed=1)
+        assert process.rate_at(25.0) == pytest.approx(15.0)   # peak
+        assert process.rate_at(75.0) == pytest.approx(5.0)    # trough
+
+    def test_peak_window_busier_than_trough(self):
+        process = DiurnalArrivals(base_rate=200.0, amplitude=0.9,
+                                  period=100.0, seed=2)
+        times = list(process.times(100.0))
+        peak = sum(1 for t in times if 10.0 <= t < 40.0)
+        trough = sum(1 for t in times if 60.0 <= t < 90.0)
+        assert peak > 2 * trough
+
+    def test_total_count_matches_mean_rate(self):
+        process = DiurnalArrivals(base_rate=100.0, amplitude=0.8,
+                                  period=10.0, seed=3)
+        # Over whole periods the sinusoid integrates out.
+        count = process.count_in(100.0)
+        assert count == pytest.approx(10000, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(0.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0, period=0.0)
+
+
+class TestHelpers:
+    def test_interarrival_fraction(self):
+        times = [0.0, 0.001, 0.5, 0.5005]
+        assert interarrival_fraction_below(times, 0.01) == pytest.approx(2 / 3)
+
+    def test_degenerate_inputs(self):
+        assert interarrival_fraction_below([], 1.0) == 0.0
+        assert interarrival_fraction_below([1.0], 1.0) == 0.0

@@ -1,0 +1,78 @@
+"""Tests for the correlation-frequency CDFs (Fig. 5)."""
+
+import pytest
+
+from repro.analysis.cdf import correlation_cdf
+
+from conftest import pair
+
+
+def counts_example():
+    """6 pairs at frequency 1, 2 at frequency 5, 1 at frequency 20."""
+    counts = {}
+    for i in range(6):
+        counts[pair(i, 100 + i)] = 1
+    counts[pair(50, 60)] = 5
+    counts[pair(51, 61)] = 5
+    counts[pair(70, 80)] = 20
+    return counts
+
+
+class TestCorrelationCdf:
+    def test_totals(self):
+        cdf = correlation_cdf(counts_example())
+        assert cdf.total_pairs == 9
+        assert cdf.total_frequency == 36
+
+    def test_unique_cdf_values(self):
+        cdf = correlation_cdf(counts_example())
+        assert cdf.unique_at(1) == pytest.approx(6 / 9)
+        assert cdf.unique_at(5) == pytest.approx(8 / 9)
+        assert cdf.unique_at(20) == pytest.approx(1.0)
+
+    def test_weighted_cdf_values(self):
+        cdf = correlation_cdf(counts_example())
+        assert cdf.weighted_at(1) == pytest.approx(6 / 36)
+        assert cdf.weighted_at(5) == pytest.approx(16 / 36)
+        assert cdf.weighted_at(20) == pytest.approx(1.0)
+
+    def test_lookup_between_sample_points(self):
+        cdf = correlation_cdf(counts_example())
+        assert cdf.unique_at(3) == cdf.unique_at(1)
+        assert cdf.unique_at(0) == 0.0
+
+    def test_both_cdfs_monotone(self):
+        cdf = correlation_cdf(counts_example())
+        for series in (cdf.unique_fractions, cdf.weighted_fractions):
+            assert all(a <= b for a, b in zip(series, series[1:]))
+            assert series[-1] == pytest.approx(1.0)
+
+    def test_zipf_signature(self):
+        """For a skewed distribution, the unique CDF dominates the weighted
+        CDF at every frequency -- Fig. 5's solid-above-dashed shape."""
+        cdf = correlation_cdf(counts_example())
+        for unique, weighted in zip(cdf.unique_fractions[:-1],
+                                    cdf.weighted_fractions[:-1]):
+            assert unique > weighted
+
+    def test_support_one_fraction(self):
+        assert correlation_cdf(counts_example()).support_one_fraction == (
+            pytest.approx(6 / 9)
+        )
+
+    def test_knee(self):
+        cdf = correlation_cdf(counts_example())
+        assert cdf.knee(rise_fraction=0.6) == 1
+        assert cdf.knee(rise_fraction=0.8) == 5
+        assert cdf.knee(rise_fraction=1.0) == 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_cdf({})
+
+    def test_uniform_counts_degenerate(self):
+        counts = {pair(i, 100 + i): 4 for i in range(5)}
+        cdf = correlation_cdf(counts)
+        assert cdf.frequencies == (4,)
+        assert cdf.unique_at(4) == 1.0
+        assert cdf.weighted_at(4) == 1.0

@@ -1,0 +1,158 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, load_trace, main, save_trace
+from repro.trace.record import OpType, TraceRecord
+
+
+@pytest.fixture
+def trace_csv(tmp_path):
+    """A small generated trace on disk."""
+    path = tmp_path / "demo.csv"
+    code = main(["generate", "one-to-many", str(path),
+                 "--duration", "20", "--seed", "3"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["characterize", "x.csv"])
+        assert args.support == 5
+        assert args.capacity == 16 * 1024
+        assert args.max_transaction == 8
+        assert args.window is None  # dynamic by default
+
+
+class TestTraceFormats:
+    def test_save_load_each_suffix(self, tmp_path):
+        records = [TraceRecord(0.0, 1, OpType.READ, 10, 4)]
+        for suffix in (".csv", ".bin", ".txt"):
+            path = tmp_path / f"t{suffix}"
+            save_trace(records, str(path))
+            loaded = load_trace(str(path))
+            assert loaded[0].start == 10
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            load_trace(str(tmp_path / "trace.json"))
+        with pytest.raises(SystemExit):
+            save_trace([], str(tmp_path / "trace.json"))
+
+
+class TestGenerate:
+    def test_synthetic_generation(self, trace_csv):
+        records = load_trace(str(trace_csv))
+        assert len(records) > 50
+
+    def test_enterprise_generation(self, tmp_path):
+        path = tmp_path / "wdev.bin"
+        code = main(["generate", "wdev", str(path), "--requests", "500"])
+        assert code == 0
+        assert len(load_trace(str(path))) == 500
+
+    def test_unknown_workload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "bogus", str(tmp_path / "x.csv")])
+
+
+class TestStats(object):
+    def test_stats_output(self, trace_csv, capsys):
+        assert main(["stats", str(trace_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+        assert "total data" in out
+        assert "interarrival" in out
+
+
+class TestCharacterize:
+    def test_detects_correlations(self, trace_csv, capsys):
+        code = main(["characterize", str(trace_csv),
+                     "--support", "3", "--top", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top correlations" in out
+        assert "x" in out  # at least one "pair xN" line
+
+    def test_rules_flag(self, trace_csv, capsys):
+        code = main(["characterize", str(trace_csv),
+                     "--support", "3", "--rules"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "association rules" in out
+        assert "->" in out
+
+    def test_static_window_and_knobs(self, trace_csv, capsys):
+        code = main(["characterize", str(trace_csv), "--support", "3",
+                     "--window", "0.001", "--capacity", "256",
+                     "--max-transaction", "4", "--no-dedup"])
+        assert code == 0
+
+
+class TestMine:
+    @pytest.mark.parametrize("algorithm", ["apriori", "eclat", "fpgrowth"])
+    def test_each_algorithm(self, trace_csv, capsys, algorithm):
+        code = main(["mine", str(trace_csv), "--algorithm", algorithm,
+                     "--support", "3", "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert algorithm in out
+        assert "frequent pairs" in out
+
+
+class TestReport:
+    def test_report_subcommand(self, trace_csv, capsys):
+        code = main(["report", str(trace_csv), "--support", "3",
+                     "--capacity", "1024"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[workload]" in out
+        assert "[correlations]" in out
+        assert "[rules]" in out
+
+
+class TestSynopsisCheckpointFlags:
+    def test_save_and_load_synopsis(self, trace_csv, tmp_path, capsys):
+        ckpt = tmp_path / "synopsis.bin"
+        code = main(["characterize", str(trace_csv), "--support", "3",
+                     "--save-synopsis", str(ckpt)])
+        assert code == 0
+        assert ckpt.exists() and ckpt.stat().st_size > 0
+        out_first = capsys.readouterr().out
+        assert "saved synopsis" in out_first
+
+        code = main(["characterize", str(trace_csv), "--support", "3",
+                     "--load-synopsis", str(ckpt)])
+        assert code == 0
+        out_second = capsys.readouterr().out
+        assert "top correlations" in out_second
+
+
+class TestDrift:
+    def test_drift_subcommand(self, tmp_path, capsys):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        assert main(["generate", "wdev", str(a), "--requests", "2000"]) == 0
+        assert main(["generate", "hm", str(b), "--requests", "1000"]) == 0
+        capsys.readouterr()
+        code = main(["drift", str(a), str(b), "--segment", "1000",
+                     "--capacity", "256"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "after A-1" in out
+        assert "after B-1" in out
+        assert "after A-2" in out
+        assert "stability" in out
+
+    def test_drift_insufficient_trace(self, tmp_path, capsys):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        main(["generate", "wdev", str(a), "--requests", "100"])
+        main(["generate", "hm", str(b), "--requests", "100"])
+        with pytest.raises(SystemExit):
+            main(["drift", str(a), str(b), "--segment", "500"])

@@ -1,0 +1,105 @@
+"""Tests for the C-Miner-style offline baseline."""
+
+import pytest
+
+from repro.fim.cminer import (
+    CMinerConfig,
+    cminer_from_records,
+    cminer_mine,
+)
+
+from conftest import ext
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CMinerConfig(segment_length=1)
+        with pytest.raises(ValueError):
+            CMinerConfig(gap=0)
+        with pytest.raises(ValueError):
+            CMinerConfig(min_support=0)
+        with pytest.raises(ValueError):
+            CMinerConfig(min_confidence=1.5)
+
+
+class TestMining:
+    def test_ordered_pair_detected(self):
+        stream = ["a", "b", "x1", "a", "b", "x2", "a", "b", "x3"]
+        result = cminer_mine(
+            stream,
+            CMinerConfig(segment_length=3, gap=2, min_support=3,
+                         min_confidence=0.5),
+        )
+        assert ("a", "b") in result.pair_supports
+        assert result.pair_supports[("a", "b")] == 3
+
+    def test_order_matters(self):
+        """C-Miner mines subsequences: (a then b) != (b then a)."""
+        stream = ["a", "b"] * 5
+        result = cminer_mine(
+            stream,
+            CMinerConfig(segment_length=2, gap=1, min_support=3,
+                         min_confidence=0.1),
+        )
+        assert ("a", "b") in result.pair_supports
+        assert ("b", "a") not in result.pair_supports
+
+    def test_gap_constraint_limits_distance(self):
+        # b always follows a, but 3 positions later.
+        stream = ["a", "x", "y", "b"] * 5
+        tight = cminer_mine(stream, CMinerConfig(
+            segment_length=4, gap=1, min_support=3, min_confidence=0.1))
+        loose = cminer_mine(stream, CMinerConfig(
+            segment_length=4, gap=3, min_support=3, min_confidence=0.1))
+        assert ("a", "b") not in tight.pair_supports
+        assert ("a", "b") in loose.pair_supports
+
+    def test_support_counts_once_per_segment(self):
+        stream = ["a", "b", "a", "b"]  # one segment, pattern repeats inside
+        result = cminer_mine(stream, CMinerConfig(
+            segment_length=4, gap=3, min_support=1, min_confidence=0.1))
+        assert result.pair_supports[("a", "b")] == 1
+        assert result.segments == 1
+
+    def test_self_pairs_excluded(self):
+        stream = ["a", "a", "a"] * 3
+        result = cminer_mine(stream, CMinerConfig(
+            segment_length=3, gap=2, min_support=1, min_confidence=0.1))
+        assert ("a", "a") not in result.pair_supports
+
+    def test_rules_confidence(self):
+        # a -> b in every a-segment; b -> z in only half of b's segments.
+        stream = (["a", "b"] * 6) + (["b", "z"] * 6)
+        result = cminer_mine(stream, CMinerConfig(
+            segment_length=2, gap=1, min_support=3, min_confidence=0.1))
+        by_direction = {
+            (rule.antecedent, rule.consequent): rule for rule in result.rules
+        }
+        assert by_direction[("a", "b")].confidence == pytest.approx(1.0)
+        assert by_direction[("b", "z")].confidence == pytest.approx(0.5)
+
+    def test_min_confidence_prunes_rules(self):
+        stream = (["a", "b"] * 6) + (["b", "z"] * 6)
+        result = cminer_mine(stream, CMinerConfig(
+            segment_length=2, gap=1, min_support=3, min_confidence=0.9))
+        directions = {(r.antecedent, r.consequent) for r in result.rules}
+        assert ("a", "b") in directions
+        assert ("b", "z") not in directions
+
+
+class TestOnSyntheticTrace:
+    def test_finds_planted_correlations(self, small_synthetic):
+        """On the paper's synthetic workload, the offline C-Miner baseline
+        must find the planted correlations, just as the online framework
+        does -- the difference is it needed the stored trace."""
+        records, truth = small_synthetic
+        result = cminer_from_records(records, CMinerConfig(
+            segment_length=50, gap=8, min_support=5, min_confidence=0.3))
+        mined_extents = set()
+        for a, b in result.pair_supports:
+            mined_extents.add(a)
+            mined_extents.add(b)
+        for planted in truth.pairs:
+            assert planted.first in mined_extents
+            assert planted.second in mined_extents

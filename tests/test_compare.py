@@ -1,0 +1,68 @@
+"""Tests for rank/weight agreement measures."""
+
+import pytest
+
+from repro.analysis.compare import rank_agreement
+
+from conftest import pair
+
+
+def truth():
+    return {pair(1, 2): 50, pair(3, 4): 30, pair(5, 6): 10, pair(7, 8): 2}
+
+
+class TestRankAgreement:
+    def test_perfect_agreement(self):
+        report = rank_agreement(truth(), dict(truth()), top_k=4)
+        assert report.kendall_tau == pytest.approx(1.0)
+        assert report.top_k_overlap == 1.0
+        assert report.weighted_jaccard == pytest.approx(1.0)
+        assert report.common_pairs == 4
+
+    def test_undercounting_lowers_weighted_jaccard_only(self):
+        """Synopsis tallies half the truth but in the same order."""
+        synopsis = {key: count // 2 for key, count in truth().items()}
+        report = rank_agreement(truth(), synopsis, top_k=4)
+        assert report.kendall_tau == pytest.approx(1.0)
+        assert report.top_k_overlap == 1.0
+        assert report.weighted_jaccard == pytest.approx(0.489, abs=0.02)
+
+    def test_inverted_ranks(self):
+        synopsis = {pair(1, 2): 1, pair(3, 4): 2, pair(5, 6): 3, pair(7, 8): 4}
+        report = rank_agreement(truth(), synopsis, top_k=4)
+        assert report.kendall_tau == pytest.approx(-1.0)
+
+    def test_top_k_overlap_partial(self):
+        synopsis = {pair(1, 2): 50, pair(100, 200): 40}
+        report = rank_agreement(truth(), synopsis, top_k=2)
+        assert report.top_k_overlap == pytest.approx(0.5)
+
+    def test_missing_pairs_shrink_common_set(self):
+        synopsis = {pair(1, 2): 50}
+        report = rank_agreement(truth(), synopsis, top_k=4)
+        assert report.common_pairs == 1
+        assert report.kendall_tau == 1.0  # degenerate: defined as agreement
+
+    def test_empty_synopsis(self):
+        report = rank_agreement(truth(), {}, top_k=4)
+        assert report.top_k_overlap == 0.0
+        assert report.weighted_jaccard == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_agreement(truth(), {}, top_k=0)
+
+    def test_end_to_end_against_analyzer(self, simple_transactions):
+        from repro.core.analyzer import OnlineAnalyzer
+        from repro.core.config import AnalyzerConfig
+        from repro.fim.pairs import exact_pair_counts
+
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=64, correlation_capacity=64
+        ))
+        analyzer.process_stream(simple_transactions)
+        exact = exact_pair_counts(simple_transactions)
+        report = rank_agreement(exact, analyzer.pair_frequencies(), top_k=5)
+        # Unbounded tables track exactly.
+        assert report.weighted_jaccard == pytest.approx(1.0)
+        assert report.kendall_tau == pytest.approx(1.0)

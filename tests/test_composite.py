@@ -1,0 +1,80 @@
+"""Tests for trace slicing/splicing (Fig. 10 composition)."""
+
+import pytest
+
+from repro.trace.record import OpType, TraceRecord
+from repro.workloads.composite import drift_workload, slice_requests, splice
+
+
+def make_trace(count, base_ts=0.0, start_base=0):
+    return [
+        TraceRecord(base_ts + i * 0.01, 0, OpType.READ, start_base + i, 1)
+        for i in range(count)
+    ]
+
+
+class TestSliceRequests:
+    def test_rebases_to_zero(self):
+        trace = make_trace(10, base_ts=100.0)
+        window = slice_requests(trace, 2, 3)
+        assert window[0].timestamp == 0.0
+        assert len(window) == 3
+        assert window[0].start == 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            slice_requests(make_trace(5), 3, 4)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            slice_requests(make_trace(5), -1, 2)
+        with pytest.raises(ValueError):
+            slice_requests(make_trace(5), 0, 0)
+
+
+class TestSplice:
+    def test_monotone_timestamps(self):
+        flat, segments = splice([
+            ("a", make_trace(5)),
+            ("b", make_trace(5, base_ts=42.0)),
+        ])
+        times = [record.timestamp for record in flat]
+        assert times == sorted(times)
+        assert len(flat) == 10
+        assert [segment.label for segment in segments] == ["a", "b"]
+
+    def test_gap_between_segments(self):
+        flat, _segments = splice(
+            [("a", make_trace(2)), ("b", make_trace(2))], gap=0.5
+        )
+        assert flat[2].timestamp - flat[1].timestamp == pytest.approx(0.5)
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            splice([("a", [])])
+
+    def test_segments_preserve_block_numbers(self):
+        flat, segments = splice([("a", make_trace(3, start_base=100))])
+        assert [record.start for record in flat] == [100, 101, 102]
+
+
+class TestDriftWorkload:
+    def test_paper_composition(self):
+        """A(first N) -> B(first N) -> A(second N), per Fig. 10."""
+        trace_a = make_trace(20, start_base=0)
+        trace_b = make_trace(10, start_base=1000)
+        flat, segments = drift_workload(trace_a, trace_b, 10,
+                                        labels=("wdev", "hm"))
+        assert [segment.label for segment in segments] == [
+            "wdev-1", "hm-1", "wdev-2"
+        ]
+        assert len(flat) == 30
+        # Middle segment carries B's block numbers.
+        middle = segments[1].records
+        assert all(record.start >= 1000 for record in middle)
+        # Third segment is A's *second* slice.
+        assert segments[2].records[0].start == 10
+
+    def test_insufficient_source_rejected(self):
+        with pytest.raises(ValueError):
+            drift_workload(make_trace(15), make_trace(10), 10)

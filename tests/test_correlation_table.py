@@ -1,0 +1,114 @@
+"""Tests for the correlation table and its extent index."""
+
+from repro.core.correlation_table import CorrelationTable
+from repro.core.two_tier import TIER1, TIER2
+
+from conftest import ext, pair
+
+
+class TestBasicOperations:
+    def test_access_and_frequent(self):
+        table = CorrelationTable(8)
+        p = pair(10, 20)
+        table.access(p)
+        table.access(p)
+        table.access(p)
+        assert table.tally(p) == 3
+        assert table.tier_of(p) == TIER2
+        assert table.frequent(min_tally=3) == [(p, 3)]
+
+    def test_frequent_filters_by_support(self):
+        table = CorrelationTable(8)
+        strong, weak = pair(1, 2), pair(3, 4)
+        for _ in range(5):
+            table.access(strong)
+        table.access(weak)
+        assert table.frequent(min_tally=2) == [(strong, 5)]
+        assert dict(table.frequent(min_tally=1)) == {strong: 5, weak: 1}
+
+    def test_frequencies_snapshot(self):
+        table = CorrelationTable(8)
+        table.access(pair(1, 2))
+        table.access(pair(1, 2))
+        table.access(pair(5, 9))
+        assert table.frequencies() == {pair(1, 2): 2, pair(5, 9): 1}
+
+    def test_remove(self):
+        table = CorrelationTable(4)
+        p = pair(1, 2)
+        table.access(p)
+        assert table.remove(p) == 1
+        assert table.remove(p) is None
+        assert table.pairs_involving(ext(1)) == []
+
+
+class TestExtentIndex:
+    def test_pairs_involving(self):
+        table = CorrelationTable(8)
+        p1, p2, p3 = pair(1, 2), pair(1, 3), pair(4, 5)
+        for p in (p1, p2, p3):
+            table.access(p)
+        assert table.pairs_involving(ext(1)) == sorted([p1, p2])
+        assert table.pairs_involving(ext(4)) == [p3]
+        assert table.pairs_involving(ext(99)) == []
+
+    def test_index_tracks_evictions(self):
+        table = CorrelationTable(1, 1)
+        table.access(pair(1, 2))
+        table.access(pair(3, 4))  # evicts (1,2) from T1 (capacity 1)
+        assert table.pairs_involving(ext(1)) == []
+        assert table.check_index()
+
+    def test_index_survives_promotion(self):
+        table = CorrelationTable(4)
+        p = pair(1, 2)
+        table.access(p)
+        table.access(p)  # promoted to T2
+        assert table.pairs_involving(ext(1)) == [p]
+        assert table.check_index()
+
+    def test_check_index_on_busy_table(self):
+        table = CorrelationTable(3, 3)
+        for i in range(20):
+            table.access(pair(i % 7, 100 + (i % 5)))
+        assert table.check_index()
+
+
+class TestDemotion:
+    def test_demote_involving_marks_for_eviction(self):
+        """The Section III-D2 coupling: an item-table eviction demotes the
+        evicted extent's pairs, making them the next LRU victims."""
+        table = CorrelationTable(3, promote_threshold=10)
+        victim_pair = pair(1, 2)
+        other = pair(5, 6)
+        table.access(victim_pair)
+        table.access(other)
+        demoted = table.demote_involving(ext(1))
+        assert demoted == 1
+        # Next insert into a full T1 must evict the demoted pair first.
+        table.access(pair(7, 8))
+        table.access(pair(9, 10))  # T1 capacity 3: evicts victim_pair
+        assert victim_pair not in table
+        assert other in table
+
+    def test_demote_involving_multiple_pairs(self):
+        table = CorrelationTable(8)
+        shared = ext(1)
+        p1, p2 = pair(1, 2), pair(1, 3)
+        table.access(p1)
+        table.access(p2)
+        assert table.demote_involving(shared) == 2
+        assert table.stats.demotions == 2
+
+    def test_demote_involving_unknown_extent(self):
+        table = CorrelationTable(4)
+        table.access(pair(1, 2))
+        assert table.demote_involving(ext(42)) == 0
+
+    def test_demotion_does_not_change_tally(self):
+        table = CorrelationTable(4)
+        p = pair(1, 2)
+        table.access(p)
+        table.access(p)
+        table.demote_involving(ext(1))
+        assert table.tally(p) == 2

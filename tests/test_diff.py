@@ -1,0 +1,96 @@
+"""Tests for correlation snapshot diffing."""
+
+import pytest
+
+from repro.analysis.diff import diff_snapshots, drift_series
+
+from conftest import pair
+
+
+def before():
+    return {pair(1, 2): 10, pair(3, 4): 5, pair(5, 6): 3}
+
+
+class TestDiffSnapshots:
+    def test_appeared_and_vanished(self):
+        after = {pair(1, 2): 10, pair(7, 8): 4}
+        diff = diff_snapshots(before(), after)
+        assert diff.appeared == ((pair(7, 8), 4),)
+        vanished_pairs = {p for p, _t in diff.vanished}
+        assert vanished_pairs == {pair(3, 4), pair(5, 6)}
+        assert diff.churn == 3
+
+    def test_strengthened_and_weakened(self):
+        after = {pair(1, 2): 20, pair(3, 4): 2, pair(5, 6): 3}
+        diff = diff_snapshots(before(), after)
+        assert diff.strengthened == ((pair(1, 2), 10, 20),)
+        assert diff.weakened == ((pair(3, 4), 5, 2),)
+        assert diff.unchanged == 1
+
+    def test_min_change_tolerance(self):
+        after = {pair(1, 2): 12, pair(3, 4): 5, pair(5, 6): 3}
+        loose = diff_snapshots(before(), after, min_change=5)
+        assert loose.strengthened == ()
+        assert loose.unchanged == 3
+        tight = diff_snapshots(before(), after, min_change=1)
+        assert tight.strengthened == ((pair(1, 2), 10, 12),)
+
+    def test_identical_snapshots(self):
+        diff = diff_snapshots(before(), dict(before()))
+        assert diff.churn == 0
+        assert diff.stability == 1.0
+        assert diff.unchanged == 3
+
+    def test_disjoint_snapshots(self):
+        after = {pair(100, 200): 1}
+        diff = diff_snapshots(before(), after)
+        assert diff.stability == 0.0
+
+    def test_empty_snapshots(self):
+        diff = diff_snapshots({}, {})
+        assert diff.stability == 1.0
+        assert diff.churn == 0
+
+    def test_ordering_strongest_first(self):
+        after = {pair(1, 2): 1, pair(9, 10): 50, pair(11, 12): 5}
+        diff = diff_snapshots({}, after)
+        tallies = [t for _p, t in diff.appeared]
+        assert tallies == sorted(tallies, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diff_snapshots({}, {}, min_change=0)
+
+
+class TestDriftSeries:
+    def test_consecutive_diffs(self):
+        snapshots = [
+            {pair(1, 2): 5},
+            {pair(1, 2): 10},
+            {pair(3, 4): 2},
+        ]
+        series = drift_series(snapshots)
+        assert len(series) == 2
+        assert series[0].strengthened == ((pair(1, 2), 5, 10),)
+        assert series[1].churn == 2
+
+    def test_tracks_concept_drift_experiment(self):
+        """The Fig. 10 story expressed as snapshot stability: the
+        wdev->hm boundary is the point of lowest stability."""
+        from repro.core.analyzer import OnlineAnalyzer
+        from repro.core.config import AnalyzerConfig
+        from conftest import ext
+
+        def concept(base, rounds):
+            return [[ext(base + (i % 4) * 10), ext(base + (i % 4) * 10 + 5)]
+                    for i in range(rounds)]
+
+        analyzer = OnlineAnalyzer(AnalyzerConfig(item_capacity=8,
+                                                 correlation_capacity=8))
+        snapshots = []
+        for segment in (concept(0, 40), concept(0, 40),
+                        concept(100000, 40)):
+            analyzer.process_stream(segment)
+            snapshots.append(dict(analyzer.pair_frequencies()))
+        series = drift_series(snapshots, min_change=2)
+        assert series[0].stability > series[1].stability

@@ -1,0 +1,85 @@
+"""Tests for concept-drift adaptation metrics (Fig. 10)."""
+
+import pytest
+
+from repro.analysis.drift import (
+    concept_affinity,
+    run_drift_experiment,
+)
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+
+from conftest import ext, pair
+
+
+def concept_transactions(base, count):
+    """A concept: `count` repetitions of 4 hot pairs rooted at `base`."""
+    transactions = []
+    for i in range(count):
+        which = i % 4
+        transactions.append([ext(base + which * 10), ext(base + which * 10 + 5)])
+    return transactions
+
+
+def concept_pairs(base):
+    return {
+        pair(base + which * 10, base + which * 10 + 5) for which in range(4)
+    }
+
+
+class TestConceptAffinity:
+    def test_full_membership(self):
+        concepts = {"a": concept_pairs(0), "b": concept_pairs(1000)}
+        affinity = concept_affinity(concept_pairs(0), concepts)
+        assert affinity == {"a": 1.0, "b": 0.0}
+
+    def test_partial_membership(self):
+        concepts = {"a": concept_pairs(0)}
+        resident = list(concept_pairs(0))[:2] + [pair(77, 88)]
+        affinity = concept_affinity(resident, concepts)
+        assert affinity["a"] == pytest.approx(2 / 3)
+
+    def test_empty_resident_set(self):
+        affinity = concept_affinity([], {"a": concept_pairs(0)})
+        assert affinity == {"a": 0.0}
+
+
+class TestDriftExperiment:
+    def test_concepts_displace_each_other(self):
+        """Replays A -> B -> A through a synopsis too small to hold both
+        concepts; affinity must track the active concept (Fig. 10)."""
+        analyzer = OnlineAnalyzer(
+            AnalyzerConfig(item_capacity=4, correlation_capacity=4)
+        )
+        concepts = {"A": concept_pairs(0), "B": concept_pairs(100000)}
+        snapshots = run_drift_experiment(
+            analyzer,
+            [
+                ("A-1", concept_transactions(0, 40)),
+                ("B-1", concept_transactions(100000, 40)),
+                ("A-2", concept_transactions(0, 40)),
+            ],
+            concepts,
+        )
+        assert [snap.label for snap in snapshots] == ["A-1", "B-1", "A-2"]
+        assert snapshots[0].dominant_concept() == "A"
+        assert snapshots[1].dominant_concept() == "B"
+        assert snapshots[2].dominant_concept() == "A"
+        # After B's segment, A's pattern must have substantially faded.
+        assert snapshots[1].affinity["A"] < 0.5
+
+    def test_snapshot_counts_resident_pairs(self):
+        analyzer = OnlineAnalyzer(
+            AnalyzerConfig(item_capacity=64, correlation_capacity=64)
+        )
+        snapshots = run_drift_experiment(
+            analyzer,
+            [("only", concept_transactions(0, 10))],
+            {"only": concept_pairs(0)},
+        )
+        assert snapshots[0].resident_pairs == 4
+
+    def test_dominant_concept_requires_affinities(self):
+        from repro.analysis.drift import DriftSnapshot
+        with pytest.raises(ValueError):
+            DriftSnapshot("x", 0, {}).dominant_concept()

@@ -1,0 +1,109 @@
+"""End-to-end scenario tests exercising the whole stack together."""
+
+import io
+
+import pytest
+
+from repro.analysis.accuracy import detection_metrics
+from repro.analysis.compare import rank_agreement
+from repro.blkdev.device import SsdDevice
+from repro.cli.main import main
+from repro.core.config import AnalyzerConfig
+from repro.core.serialize import dumps_analyzer, loads_analyzer
+from repro.fim.eclat import eclat
+from repro.fim.pairs import exact_pair_counts, itemsets_to_pair_counts
+from repro.pipeline import run_pipeline
+from repro.trace.io import load_msr_csv, save_msr_csv
+from repro.workloads.enterprise import generate_named
+from repro.workloads.synthetic import (
+    SyntheticKind,
+    SyntheticSpec,
+    generate_synthetic,
+)
+
+
+class TestFullEvaluationScenario:
+    """The paper's complete evaluation methodology on one workload:
+    generate -> persist -> replay+monitor (dual output) -> offline FIM
+    ground truth -> online accuracy and fidelity."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("scenario")
+        records, _truth = generate_named("rsrch", requests=6000, seed=17)
+        trace_path = directory / "rsrch.csv"
+        save_msr_csv(records, trace_path)
+        loaded = load_msr_csv(trace_path)
+        result = run_pipeline(loaded, device=SsdDevice(seed=19))
+        return loaded, result
+
+    def test_persisted_trace_replays_identically(self, scenario):
+        loaded, result = scenario
+        assert result.monitor_stats.events_seen == len(loaded)
+
+    def test_offline_fim_agrees_with_exact_counts(self, scenario):
+        _loaded, result = scenario
+        transactions = result.offline_transactions()
+        exact = {
+            pair: count
+            for pair, count in exact_pair_counts(transactions).items()
+            if count >= 5
+        }
+        mined = itemsets_to_pair_counts(
+            eclat(transactions, min_support=5, max_size=2)
+        )
+        assert mined == exact
+
+    def test_online_accuracy_and_fidelity(self, scenario):
+        _loaded, result = scenario
+        truth = exact_pair_counts(result.offline_transactions())
+        detected = [p for p, _t in result.frequent_pairs(min_support=1)]
+        metrics = detection_metrics(truth, detected, min_support=5)
+        assert metrics.weighted_recall > 0.9
+        agreement = rank_agreement(
+            truth, result.analyzer.pair_frequencies(), top_k=50
+        )
+        assert agreement.top_k_overlap > 0.9
+
+    def test_synopsis_survives_serialization_mid_scenario(self, scenario):
+        _loaded, result = scenario
+        restored = loads_analyzer(dumps_analyzer(result.analyzer))
+        assert restored.pair_frequencies() == (
+            result.analyzer.pair_frequencies()
+        )
+
+
+class TestCliRoundtripScenario:
+    """The operator's workflow entirely through the CLI."""
+
+    def test_generate_stats_characterize_mine(self, tmp_path, capsys):
+        trace = tmp_path / "workload.csv"
+        assert main(["generate", "one-to-one", str(trace),
+                     "--duration", "40", "--seed", "23"]) == 0
+        assert main(["stats", str(trace)]) == 0
+        ckpt = tmp_path / "synopsis.bin"
+        assert main(["characterize", str(trace), "--support", "5",
+                     "--save-synopsis", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "top correlations" in out
+        assert ckpt.exists()
+        assert main(["mine", str(trace), "--algorithm", "eclat",
+                     "--support", "5"]) == 0
+        mined_out = capsys.readouterr().out
+        assert "frequent pairs" in mined_out
+
+    def test_cli_and_api_agree(self, tmp_path, capsys):
+        """The CLI's detected pairs equal the API's on the same trace."""
+        spec = SyntheticSpec(SyntheticKind.ONE_TO_ONE, duration=40.0,
+                             seed=23)
+        records, truth = generate_synthetic(spec)
+        trace = tmp_path / "t.csv"
+        save_msr_csv(records, trace)
+
+        main(["characterize", str(trace), "--support", "5", "--top", "50"])
+        cli_out = capsys.readouterr().out
+
+        loaded = load_msr_csv(trace)
+        api_result = run_pipeline(loaded, record_offline=False)
+        for pair, _tally in api_result.frequent_pairs(min_support=5)[:4]:
+            assert str(pair) in cli_out

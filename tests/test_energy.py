@@ -1,0 +1,134 @@
+"""Tests for the energy-efficiency optimization."""
+
+import pytest
+
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.optimize.energy import (
+    CorrelationEnergyPlacement,
+    DiskArrayEnergyModel,
+    PowerModel,
+    StripingEnergyPlacement,
+    run_energy_experiment,
+)
+
+from conftest import ext, pair
+
+
+class TestPowerModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(active_watts=-1)
+        with pytest.raises(ValueError):
+            PowerModel(idle_timeout=0)
+
+
+class TestDiskArrayEnergyModel:
+    def test_single_access_energy(self):
+        power = PowerModel(active_watts=10, idle_watts=5, standby_watts=1,
+                           spinup_joules=0, idle_timeout=100, access_time=1.0)
+        model = DiskArrayEnergyModel(1, power)
+        stats = model.simulate([(0.0, 0)], duration=1.0)
+        assert stats.total_joules == pytest.approx(10.0)
+        assert stats.accesses == 1
+
+    def test_idle_energy_between_accesses(self):
+        power = PowerModel(active_watts=10, idle_watts=5, standby_watts=1,
+                           spinup_joules=0, idle_timeout=100, access_time=1.0)
+        model = DiskArrayEnergyModel(1, power)
+        stats = model.simulate([(0.0, 0), (3.0, 0)], duration=4.0)
+        # 2 accesses (20 J) + 2 s idle between (10 J).
+        assert stats.total_joules == pytest.approx(30.0)
+
+    def test_spin_down_saves_energy_on_long_gaps(self):
+        power = PowerModel(active_watts=10, idle_watts=5, standby_watts=1,
+                           spinup_joules=2, idle_timeout=1.0, access_time=0.1)
+        model = DiskArrayEnergyModel(1, power)
+        stats = model.simulate([(0.0, 0), (11.1, 0)], duration=12.0)
+        # Gap 11 s: 1 s idle (5 J) + 10 s standby (10 J) + spin-up (2 J).
+        assert stats.spinups >= 1
+        always_idle = 11.0 * power.idle_watts
+        gap_energy = stats.total_joules - 2 * 0.1 * 10
+        assert gap_energy < always_idle
+
+    def test_disk_range_validated(self):
+        model = DiskArrayEnergyModel(2)
+        with pytest.raises(ValueError):
+            model.simulate([(0.0, 5)])
+
+    def test_needs_at_least_one_disk(self):
+        with pytest.raises(ValueError):
+            DiskArrayEnergyModel(0)
+
+
+class TestPlacements:
+    def _hot_pairs(self):
+        return [pair(i * 100000, i * 100000 + 50000, 8, 8)
+                for i in range(1, 5)]
+
+    def _analyzer(self):
+        analyzer = OnlineAnalyzer(AnalyzerConfig(item_capacity=64,
+                                                 correlation_capacity=64))
+        for p in self._hot_pairs():
+            for _ in range(4):
+                analyzer.process([p.first, p.second])
+        return analyzer
+
+    def test_clusters_land_on_one_disk(self):
+        placement = CorrelationEnergyPlacement(self._analyzer(), disks=4)
+        for p in self._hot_pairs():
+            assert placement.disk_of(p.first) == placement.disk_of(p.second)
+        assert placement.placed_extents == 8
+
+    def test_clusters_balanced_round_robin(self):
+        placement = CorrelationEnergyPlacement(self._analyzer(), disks=4)
+        disks_used = {
+            placement.disk_of(p.first) for p in self._hot_pairs()
+        }
+        assert len(disks_used) == 4
+
+    def test_unknown_extent_striped(self):
+        placement = CorrelationEnergyPlacement(self._analyzer(), disks=4,
+                                               stripe_blocks=4096)
+        stranger = ext(987654321, 8)
+        striping = StripingEnergyPlacement(4, 4096)
+        assert placement.disk_of(stranger) == striping.disk_of(stranger)
+
+
+class TestEnergyExperiment:
+    def test_correlation_placement_saves_energy(self):
+        """Bursts touching one correlated pair wake one disk under
+        clustering but two under striping that splits the pair."""
+        hot = pair(0, 4096, 8, 8)  # members in different stripes
+        analyzer = OnlineAnalyzer(AnalyzerConfig(item_capacity=32,
+                                                 correlation_capacity=32))
+        for _ in range(5):
+            analyzer.process([hot.first, hot.second])
+
+        timeline = []
+        clock = 0.0
+        for _ in range(40):
+            timeline.append((clock, hot.first))
+            timeline.append((clock + 0.01, hot.second))
+            clock += 30.0  # long gaps: disks can sleep between bursts
+
+        power = PowerModel(idle_timeout=2.0)
+        disks = 4
+        striped = run_energy_experiment(
+            timeline, StripingEnergyPlacement(disks, 4096), disks,
+            power=power, duration=clock,
+        )
+        clustered = run_energy_experiment(
+            timeline, CorrelationEnergyPlacement(analyzer, disks), disks,
+            power=power, duration=clock,
+        )
+        assert striped.accesses == clustered.accesses
+        assert clustered.total_joules < striped.total_joules
+        # Clustering keeps the burst on one disk.
+        active_clustered = sum(
+            1 for count in clustered.per_disk_accesses if count > 0
+        )
+        active_striped = sum(
+            1 for count in striped.per_disk_accesses if count > 0
+        )
+        assert active_clustered < active_striped

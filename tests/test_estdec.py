@@ -1,0 +1,132 @@
+"""Tests for the simplified estDec+ stream miner."""
+
+import pytest
+
+from repro.fim.estdec import EstDecConfig, EstDecMiner
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EstDecConfig(decay=0.0)
+        with pytest.raises(ValueError):
+            EstDecConfig(decay=1.5)
+        with pytest.raises(ValueError):
+            EstDecConfig(insertion_threshold=0.0)
+        with pytest.raises(ValueError):
+            EstDecConfig(max_entries=1)
+
+
+class TestCounting:
+    def test_no_decay_counts_exactly(self):
+        miner = EstDecMiner(EstDecConfig(decay=1.0))
+        for _ in range(5):
+            miner.process(["a", "b"])
+        pairs = dict(miner.frequent_pairs(min_support=1.0))
+        assert pairs[frozenset(("a", "b"))] == pytest.approx(5.0)
+
+    def test_duplicates_in_transaction_count_once(self):
+        miner = EstDecMiner(EstDecConfig(decay=1.0))
+        miner.process(["a", "a", "b"])
+        pairs = dict(miner.frequent_pairs(min_support=0.5))
+        assert pairs[frozenset(("a", "b"))] == pytest.approx(1.0)
+
+    def test_min_support_filter(self):
+        miner = EstDecMiner(EstDecConfig(decay=1.0))
+        for _ in range(4):
+            miner.process(["a", "b"])
+        miner.process(["x", "y"])
+        strong = miner.frequent_pairs(min_support=3.0)
+        assert [key for key, _count in strong] == [frozenset(("a", "b"))]
+
+    def test_frequent_pairs_sorted_strongest_first(self):
+        miner = EstDecMiner(EstDecConfig(decay=1.0))
+        for _ in range(3):
+            miner.process(["a", "b"])
+        miner.process(["x", "y"])
+        counts = [count for _key, count in miner.frequent_pairs(0.5)]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestDecay:
+    def test_old_patterns_fade(self):
+        miner = EstDecMiner(EstDecConfig(decay=0.9))
+        for _ in range(10):
+            miner.process(["old-1", "old-2"])
+        for _ in range(50):
+            miner.process(["new-1", "new-2"])
+        pairs = dict(miner.frequent_pairs(min_support=0.0))
+        old = pairs.get(frozenset(("old-1", "old-2")), 0.0)
+        new = pairs[frozenset(("new-1", "new-2"))]
+        assert new > 5 * max(old, 1e-9)
+
+    def test_decayed_entries_pruned_on_overflow(self):
+        miner = EstDecMiner(
+            EstDecConfig(decay=0.5, insertion_threshold=0.9, max_entries=8)
+        )
+        for i in range(100):
+            miner.process([f"x{i}", f"y{i}"])
+        assert len(miner) <= 8
+
+
+class TestMemoryBound:
+    def test_hard_cap_enforced(self):
+        miner = EstDecMiner(
+            EstDecConfig(decay=1.0, insertion_threshold=0.1, max_entries=16)
+        )
+        for i in range(200):
+            miner.process([f"a{i}", f"b{i}", f"c{i}"])
+        assert len(miner) <= 16
+
+    def test_hot_pair_survives_cap(self):
+        miner = EstDecMiner(
+            EstDecConfig(decay=1.0, insertion_threshold=0.5, max_entries=32)
+        )
+        for i in range(100):
+            miner.process(["hot-a", "hot-b"])
+            miner.process([f"cold-{i}", f"cold2-{i}"])
+        pairs = dict(miner.frequent_pairs(min_support=10.0))
+        assert frozenset(("hot-a", "hot-b")) in pairs
+
+    def test_transaction_counter(self):
+        miner = EstDecMiner()
+        miner.process_stream([["a"], ["b"], ["c"]])
+        assert miner.transactions == 3
+
+
+class TestLatticeDepth:
+    def test_deeper_lattice_counts_triples(self):
+        miner = EstDecMiner(EstDecConfig(decay=1.0, max_itemset_size=3))
+        for _ in range(4):
+            miner.process(["a", "b", "c"])
+        triples = dict(miner.frequent_itemsets(min_support=3.0, size=3))
+        assert triples[frozenset(("a", "b", "c"))] == pytest.approx(4.0)
+
+    def test_pair_only_default_skips_triples(self):
+        miner = EstDecMiner(EstDecConfig(decay=1.0))
+        miner.process(["a", "b", "c"])
+        assert miner.frequent_itemsets(0.5, size=3) == []
+
+    def test_lattice_depth_multiplies_work(self):
+        """The paper's point: chasing larger itemsets explodes per-
+        transaction cost.  Entry counts grow combinatorially with depth."""
+        shallow = EstDecMiner(EstDecConfig(decay=1.0, max_itemset_size=2))
+        deep = EstDecMiner(EstDecConfig(decay=1.0, max_itemset_size=4))
+        transaction = [f"x{i}" for i in range(8)]
+        shallow.process(transaction)
+        deep.process(transaction)
+        # 8 singles + C(8,2)=28 pairs vs additionally C(8,3)+C(8,4)=126.
+        assert len(shallow) == 36
+        assert len(deep) == 36 + 56 + 70
+
+    def test_frequent_itemsets_any_size(self):
+        miner = EstDecMiner(EstDecConfig(decay=1.0, max_itemset_size=3))
+        for _ in range(3):
+            miner.process(["a", "b", "c"])
+        everything = miner.frequent_itemsets(min_support=2.0)
+        sizes = {len(key) for key, _count in everything}
+        assert sizes == {2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EstDecConfig(max_itemset_size=1)

@@ -1,0 +1,142 @@
+"""Tests for the offline FIM baselines (apriori, eclat, fp-growth)."""
+
+import random
+
+import pytest
+
+from repro.fim.apriori import apriori
+from repro.fim.eclat import eclat
+from repro.fim.fpgrowth import fpgrowth
+from repro.fim.itemset import (
+    TransactionDatabase,
+    filter_max_size,
+    frequent_pairs,
+    support_of,
+)
+
+MINERS = [apriori, eclat, fpgrowth]
+
+#: The classic FIM teaching example.
+MARKET = [
+    ["beer", "diapers", "chips"],
+    ["beer", "diapers"],
+    ["beer", "chips"],
+    ["diapers", "chips"],
+    ["beer", "diapers", "chips", "salsa"],
+]
+
+
+class TestTransactionDatabase:
+    def test_deduplicates_and_sorts(self):
+        database = TransactionDatabase([["b", "a", "b"]])
+        assert database[0] == ("a", "b")
+
+    def test_item_counts(self):
+        database = TransactionDatabase(MARKET)
+        counts = database.item_counts()
+        assert counts["beer"] == 4
+        assert counts["salsa"] == 1
+
+    def test_support_of_oracle(self):
+        database = TransactionDatabase(MARKET)
+        assert support_of(database, ["beer", "diapers"]) == 3
+        assert support_of(database, ["salsa", "chips"]) == 1
+        assert support_of(database, ["missing"]) == 0
+
+
+@pytest.mark.parametrize("miner", MINERS, ids=lambda m: m.__name__)
+class TestMinersAgree:
+    def test_market_pairs(self, miner):
+        result = miner(MARKET, min_support=3, max_size=2)
+        pairs = frequent_pairs(result)
+        assert pairs == {
+            frozenset(("beer", "diapers")): 3,
+            frozenset(("beer", "chips")): 3,
+            frozenset(("diapers", "chips")): 3,
+        }
+
+    def test_singletons_reported(self, miner):
+        result = miner(MARKET, min_support=4, max_size=1)
+        assert result == {
+            frozenset(("beer",)): 4,
+            frozenset(("diapers",)): 4,
+            frozenset(("chips",)): 4,
+        }
+
+    def test_triples_when_requested(self, miner):
+        result = miner(MARKET, min_support=2, max_size=3)
+        assert result[frozenset(("beer", "diapers", "chips"))] == 2
+
+    def test_max_size_respected(self, miner):
+        result = miner(MARKET, min_support=1, max_size=2)
+        assert all(len(itemset) <= 2 for itemset in result)
+
+    def test_high_support_empty(self, miner):
+        assert miner(MARKET, min_support=6) == {}
+
+    def test_empty_database(self, miner):
+        assert miner([], min_support=1) == {}
+
+    def test_validation(self, miner):
+        with pytest.raises(ValueError):
+            miner(MARKET, min_support=0)
+        with pytest.raises(ValueError):
+            miner(MARKET, min_support=1, max_size=0)
+
+    def test_duplicate_items_in_transaction_count_once(self, miner):
+        result = miner([["a", "a", "b"]], min_support=1, max_size=2)
+        assert result[frozenset(("a", "b"))] == 1
+
+
+class TestCrossValidation:
+    """All three miners must produce identical results on random data, and
+    every reported support must match the brute-force oracle."""
+
+    def _random_database(self, seed, transactions=60, alphabet=12):
+        rng = random.Random(seed)
+        return [
+            rng.sample(range(alphabet), rng.randint(1, 5))
+            for _ in range(transactions)
+        ]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("min_support", [2, 5])
+    def test_three_way_agreement(self, seed, min_support):
+        transactions = self._random_database(seed)
+        results = [
+            miner(transactions, min_support=min_support, max_size=3)
+            for miner in MINERS
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_supports_match_oracle(self):
+        transactions = self._random_database(7)
+        database = TransactionDatabase(transactions)
+        result = apriori(database, min_support=3, max_size=3)
+        assert result  # sanity: something was frequent
+        for itemset, support in result.items():
+            assert support == support_of(database, list(itemset))
+
+    def test_downward_closure_holds(self):
+        """Every subset of a frequent itemset must be frequent with at
+        least the superset's support."""
+        transactions = self._random_database(9)
+        result = eclat(transactions, min_support=2, max_size=3)
+        for itemset, support in result.items():
+            if len(itemset) < 2:
+                continue
+            for item in itemset:
+                subset = frozenset(itemset - {item})
+                assert result[subset] >= support
+
+
+class TestHelpers:
+    def test_filter_max_size(self):
+        itemsets = {frozenset("a"): 3, frozenset("ab"): 2, frozenset("abc"): 1}
+        assert filter_max_size(itemsets, 2) == {
+            frozenset("a"): 3, frozenset("ab"): 2
+        }
+
+    def test_frequent_pairs_picks_only_pairs(self):
+        itemsets = {frozenset("a"): 3, frozenset("ab"): 2, frozenset("abc"): 1}
+        assert frequent_pairs(itemsets) == {frozenset("ab"): 2}

@@ -1,0 +1,115 @@
+"""Tests for trace/correlation rasterisation (Figs 1, 7, 8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import (
+    ascii_render,
+    pair_rectangles,
+    raster_containment,
+    raster_similarity,
+    rasterize_pairs,
+    trace_heatmap,
+)
+from repro.trace.record import OpType, TraceRecord
+
+from conftest import pair
+
+
+def records_two_bands():
+    low = [TraceRecord(i * 0.01, 0, OpType.READ, 10, 1) for i in range(50)]
+    high = [TraceRecord(0.005 + i * 0.01, 0, OpType.READ, 990, 1)
+            for i in range(50)]
+    return sorted(low + high, key=lambda r: r.timestamp)
+
+
+class TestTraceHeatmap:
+    def test_shape_and_total(self):
+        grid = trace_heatmap(records_two_bands(), sequence_bins=10, block_bins=8)
+        assert grid.shape == (8, 10)
+        assert grid.sum() == 100
+
+    def test_bands_land_in_expected_rows(self):
+        grid = trace_heatmap(records_two_bands(), sequence_bins=4, block_bins=4)
+        assert grid[0].sum() == 50    # low band
+        assert grid[3].sum() == 50    # high band
+        assert grid[1].sum() == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trace_heatmap([])
+
+
+class TestPairRectangles:
+    def test_both_orientations_emitted(self):
+        rects = pair_rectangles({pair(10, 20, 2, 3): 5})
+        assert len(rects) == 2
+        assert (10, 12, 20, 23, 5) in rects
+        assert (20, 23, 10, 12, 5) in rects
+
+    def test_min_support_filters(self):
+        counts = {pair(1, 2): 1, pair(5, 9): 7}
+        rects = pair_rectangles(counts, min_support=5)
+        assert len(rects) == 2
+        assert all(count == 7 for *_coords, count in rects)
+
+
+class TestRasterize:
+    def test_symmetric_raster(self):
+        grid = rasterize_pairs({pair(10, 90): 3}, bins=16, max_block=100)
+        assert np.array_equal(grid, grid.T)
+        assert grid.sum() > 0
+
+    def test_empty_counts(self):
+        grid = rasterize_pairs({}, bins=8)
+        assert grid.sum() == 0
+
+    def test_max_block_scales(self):
+        counts = {pair(10, 90): 1}
+        tight = rasterize_pairs(counts, bins=16, max_block=100)
+        loose = rasterize_pairs(counts, bins=16, max_block=10000)
+        # With a huge scale everything collapses near the origin.
+        assert loose[:2, :2].sum() > 0
+        assert tight[:2, :2].sum() == 0
+
+
+class TestSimilarity:
+    def test_identical_rasters(self):
+        grid = rasterize_pairs({pair(10, 90): 3}, bins=16, max_block=100)
+        assert raster_similarity(grid, grid) == 1.0
+
+    def test_disjoint_rasters(self):
+        a = rasterize_pairs({pair(1, 20): 1}, bins=32, max_block=1000)
+        b = rasterize_pairs({pair(500, 900): 1}, bins=32, max_block=1000)
+        assert raster_similarity(a, b) == 0.0
+
+    def test_both_empty_is_similar(self):
+        empty = np.zeros((4, 4), dtype=np.int64)
+        assert raster_similarity(empty, empty) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            raster_similarity(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_containment(self):
+        counts = {pair(10, 90): 3, pair(200, 800): 2}
+        full = rasterize_pairs(counts, bins=32, max_block=1000)
+        subset = rasterize_pairs({pair(10, 90): 3}, bins=32, max_block=1000)
+        assert raster_containment(subset, full) == 1.0
+        assert raster_containment(full, subset) < 1.0
+
+    def test_containment_empty_reference(self):
+        empty = np.zeros((4, 4), dtype=np.int64)
+        busy = np.ones((4, 4), dtype=np.int64)
+        assert raster_containment(empty, busy) == 1.0
+
+
+class TestAsciiRender:
+    def test_renders_rows(self):
+        grid = rasterize_pairs({pair(10, 90): 3}, bins=8, max_block=100)
+        art = ascii_render(grid)
+        assert len(art.splitlines()) == 8
+
+    def test_empty_grid(self):
+        art = ascii_render(np.zeros((3, 3), dtype=np.int64))
+        assert set(art) <= {" ", "\n"}

@@ -1,0 +1,118 @@
+"""Tests for the latency histogram and percentile window."""
+
+import random
+
+import pytest
+
+from repro.monitor.histogram import LatencyHistogram, PercentileLatencyWindow
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean() == 0.0
+        assert histogram.percentile(0.5) == 0.0
+
+    def test_mean_and_count(self):
+        histogram = LatencyHistogram()
+        for latency in (1e-3, 2e-3, 3e-3):
+            histogram.record(latency)
+        assert histogram.count == 3
+        assert histogram.mean() == pytest.approx(2e-3)
+        assert histogram.max_latency == 3e-3
+
+    def test_percentile_accuracy_within_bucket_width(self):
+        """Bucket resolution is ~±19%: percentiles land near the truth."""
+        histogram = LatencyHistogram()
+        rng = random.Random(5)
+        samples = sorted(rng.uniform(50e-6, 150e-6) for _ in range(5000))
+        for sample in samples:
+            histogram.record(sample)
+        true_median = samples[len(samples) // 2]
+        assert histogram.median() == pytest.approx(true_median, rel=0.25)
+        true_p90 = samples[int(0.9 * len(samples))]
+        assert histogram.percentile(0.9) == pytest.approx(true_p90, rel=0.25)
+
+    def test_percentiles_monotone(self):
+        histogram = LatencyHistogram()
+        rng = random.Random(7)
+        for _ in range(1000):
+            histogram.record(rng.lognormvariate(-9, 1.0))
+        values = [histogram.percentile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert values == sorted(values)
+
+    def test_median_robust_to_tail(self):
+        """A few huge outliers barely move the median -- the property that
+        motivates a percentile window over a mean-based one."""
+        histogram = LatencyHistogram()
+        for _ in range(990):
+            histogram.record(100e-6)
+        for _ in range(10):
+            histogram.record(50e-3)  # GC stalls
+        assert histogram.median() == pytest.approx(100e-6, rel=0.25)
+        assert histogram.mean() > 500e-6
+
+    def test_extreme_values_clamped_to_buckets(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.0)
+        histogram.record(1e6)
+        assert histogram.count == 2
+        assert histogram.percentile(1.0) > 0
+
+    def test_validation(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.record(-1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_reset(self):
+        histogram = LatencyHistogram()
+        histogram.record(1e-3)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.max_latency == 0.0
+
+
+class TestPercentileWindow:
+    def test_cold_start_uses_initial(self):
+        window = PercentileLatencyWindow(initial=1e-3)
+        assert window.duration() == pytest.approx(2e-3)
+
+    def test_tracks_median(self):
+        window = PercentileLatencyWindow()
+        for _ in range(500):
+            window.observe_latency(100e-6)
+        assert window.duration() == pytest.approx(200e-6, rel=0.3)
+
+    def test_ignores_heavy_tail(self):
+        """The mean-based window doubles after a stall burst; the median
+        window stays put."""
+        from repro.monitor.window import DynamicLatencyWindow
+        median_window = PercentileLatencyWindow()
+        mean_window = DynamicLatencyWindow()
+        for _ in range(200):
+            median_window.observe_latency(100e-6)
+            mean_window.observe_latency(100e-6)
+        for _ in range(20):
+            median_window.observe_latency(20e-3)
+            mean_window.observe_latency(20e-3)
+        assert median_window.duration() < 3 * 200e-6
+        assert mean_window.duration() > 3 * 200e-6
+
+    def test_clamps(self):
+        window = PercentileLatencyWindow(floor=1e-4, ceiling=1e-2)
+        window.observe_latency(1e-9)
+        assert window.duration() == 1e-4
+        for _ in range(100):
+            window.observe_latency(10.0)
+        assert window.duration() == 1e-2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PercentileLatencyWindow(multiplier=0)
+        with pytest.raises(ValueError):
+            PercentileLatencyWindow(quantile=1.0)
+        with pytest.raises(ValueError):
+            PercentileLatencyWindow(floor=2.0, ceiling=1.0)

@@ -1,0 +1,63 @@
+"""Tests for the item table."""
+
+from repro.core.item_table import ItemTable
+from repro.core.two_tier import TIER1, TIER2
+
+from conftest import ext
+
+
+class TestItemTable:
+    def test_access_and_tally(self):
+        table = ItemTable(4)
+        table.access(ext(10))
+        table.access(ext(10))
+        assert table.tally(ext(10)) == 2
+        assert table.tier_of(ext(10)) == TIER2
+        assert len(table) == 1
+
+    def test_extents_with_different_shape_are_distinct(self):
+        """Extent identity is (start, length): 100+4 is not 100+3."""
+        table = ItemTable(4)
+        table.access(ext(100, 4))
+        table.access(ext(100, 3))
+        assert len(table) == 2
+        assert table.tally(ext(100, 4)) == 1
+
+    def test_evicted_from_reports_extents(self):
+        table = ItemTable(1, 1)
+        table.access(ext(1))
+        result = table.access(ext(2))
+        assert table.evicted_from(result) == [ext(1)]
+
+    def test_frequent_sorted_by_tally(self):
+        table = ItemTable(8)
+        for _ in range(3):
+            table.access(ext(1))
+        for _ in range(2):
+            table.access(ext(2))
+        table.access(ext(3))
+        top = table.frequent(min_tally=2)
+        assert [tally for _e, tally in top] == [3, 2]
+        assert top[0][0] == ext(1)
+
+    def test_frequent_ties_break_canonically(self):
+        table = ItemTable(8)
+        table.access(ext(5))
+        table.access(ext(1))
+        top = table.frequent()
+        assert [entry[0] for entry in top] == [ext(1), ext(5)]
+
+    def test_capacity_and_clear(self):
+        table = ItemTable(3, 5)
+        assert table.capacity == 8
+        table.access(ext(1))
+        table.clear()
+        assert len(table) == 0
+        assert ext(1) not in table
+
+    def test_stats_exposed(self):
+        table = ItemTable(4)
+        table.access(ext(1))
+        table.access(ext(1))
+        assert table.stats.lookups == 2
+        assert table.stats.promotions == 1

@@ -1,0 +1,64 @@
+"""Tests for the EWMA latency tracker."""
+
+import pytest
+
+from repro.monitor.latency import EwmaLatencyTracker
+
+
+class TestEwmaLatencyTracker:
+    def test_initial_prior(self):
+        tracker = EwmaLatencyTracker(initial=5e-3)
+        assert tracker.mean() == 5e-3
+        assert tracker.count == 0
+
+    def test_first_observation_replaces_prior(self):
+        tracker = EwmaLatencyTracker(initial=1.0)
+        tracker.observe(100e-6)
+        assert tracker.mean() == pytest.approx(100e-6)
+
+    def test_ewma_recurrence(self):
+        tracker = EwmaLatencyTracker(alpha=0.5)
+        tracker.observe(100e-6)
+        tracker.observe(200e-6)
+        assert tracker.mean() == pytest.approx(150e-6)
+        tracker.observe(150e-6)
+        assert tracker.mean() == pytest.approx(150e-6)
+
+    def test_converges_to_shifted_level(self):
+        """The tracker adapts when the device's latency regime changes --
+        the property the dynamic window depends on."""
+        tracker = EwmaLatencyTracker(alpha=0.125)
+        for _ in range(100):
+            tracker.observe(1e-3)
+        for _ in range(100):
+            tracker.observe(10e-3)
+        assert tracker.mean() == pytest.approx(10e-3, rel=0.01)
+
+    def test_count_tracks_observations(self):
+        tracker = EwmaLatencyTracker()
+        for _ in range(7):
+            tracker.observe(1e-3)
+        assert tracker.count == 7
+
+    def test_reset(self):
+        tracker = EwmaLatencyTracker(initial=3e-3)
+        tracker.observe(1e-3)
+        tracker.reset()
+        assert tracker.mean() == 3e-3
+        assert tracker.count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaLatencyTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaLatencyTracker(alpha=1.5)
+        with pytest.raises(ValueError):
+            EwmaLatencyTracker(initial=0.0)
+        tracker = EwmaLatencyTracker()
+        with pytest.raises(ValueError):
+            tracker.observe(-1e-3)
+
+    def test_zero_latency_accepted(self):
+        tracker = EwmaLatencyTracker()
+        tracker.observe(0.0)
+        assert tracker.mean() == 0.0

@@ -1,0 +1,147 @@
+"""Tests for the indexed LRU queue."""
+
+import pytest
+
+from repro.core.lru import LruQueue
+
+
+class TestLruQueueBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LruQueue(0)
+        with pytest.raises(ValueError):
+            LruQueue(-5)
+
+    def test_insert_and_membership(self):
+        queue = LruQueue(3)
+        queue.insert("a")
+        assert "a" in queue
+        assert len(queue) == 1
+        assert queue.tally("a") == 1
+
+    def test_insert_with_custom_tally(self):
+        queue = LruQueue(3)
+        queue.insert("a", tally=7)
+        assert queue.tally("a") == 7
+
+    def test_insert_duplicate_raises(self):
+        queue = LruQueue(3)
+        queue.insert("a")
+        with pytest.raises(KeyError):
+            queue.insert("a")
+
+    def test_tally_of_absent_is_none(self):
+        assert LruQueue(2).tally("missing") is None
+
+
+class TestEviction:
+    def test_eviction_is_lru_order(self):
+        queue = LruQueue(2)
+        assert queue.insert("a") is None
+        assert queue.insert("b") is None
+        evicted = queue.insert("c")
+        assert evicted == ("a", 1)
+        assert "a" not in queue and "b" in queue and "c" in queue
+
+    def test_touch_protects_from_eviction(self):
+        queue = LruQueue(2)
+        queue.insert("a")
+        queue.insert("b")
+        queue.touch("a")  # now b is LRU
+        evicted = queue.insert("c")
+        assert evicted == ("b", 1)
+        assert "a" in queue
+
+    def test_evicted_tally_is_preserved(self):
+        queue = LruQueue(1)
+        queue.insert("a")
+        queue.touch("a")
+        queue.touch("a")
+        evicted = queue.insert("b")
+        assert evicted == ("a", 3)
+
+    def test_pop_lru(self):
+        queue = LruQueue(3)
+        queue.insert("a")
+        queue.insert("b")
+        assert queue.pop_lru() == ("a", 1)
+        assert queue.pop_lru() == ("b", 1)
+        assert queue.pop_lru() is None
+
+
+class TestTouchAndDemote:
+    def test_touch_increments_and_moves_to_front(self):
+        queue = LruQueue(3)
+        queue.insert("a")
+        queue.insert("b")
+        assert queue.touch("a") == 2
+        assert queue.keys_mru_order() == ["a", "b"]
+
+    def test_touch_missing_raises(self):
+        queue = LruQueue(2)
+        with pytest.raises(KeyError):
+            queue.touch("nope")
+
+    def test_touch_custom_increment(self):
+        queue = LruQueue(2)
+        queue.insert("a")
+        assert queue.touch("a", increment=5) == 6
+
+    def test_demote_moves_to_lru_end(self):
+        queue = LruQueue(3)
+        queue.insert("a")
+        queue.insert("b")
+        queue.insert("c")
+        assert queue.demote("c") is True
+        assert queue.peek_lru() == "c"
+        assert queue.keys_mru_order() == ["b", "a", "c"]
+
+    def test_demote_preserves_tally(self):
+        queue = LruQueue(2)
+        queue.insert("a")
+        queue.touch("a")
+        queue.demote("a")
+        assert queue.tally("a") == 2
+
+    def test_demote_absent_returns_false(self):
+        assert LruQueue(2).demote("nope") is False
+
+    def test_demoted_entry_evicted_next(self):
+        queue = LruQueue(2)
+        queue.insert("a")
+        queue.insert("b")
+        queue.demote("b")
+        evicted = queue.insert("c")
+        assert evicted[0] == "b"
+
+
+class TestViews:
+    def test_keys_mru_order(self):
+        queue = LruQueue(4)
+        for key in "abcd":
+            queue.insert(key)
+        assert queue.keys_mru_order() == ["d", "c", "b", "a"]
+
+    def test_items_lru_to_mru(self):
+        queue = LruQueue(3)
+        queue.insert("a")
+        queue.insert("b")
+        assert list(queue.items()) == [("a", 1), ("b", 1)]
+
+    def test_is_full_and_peek(self):
+        queue = LruQueue(2)
+        assert not queue.is_full()
+        assert queue.peek_lru() is None
+        queue.insert("a")
+        queue.insert("b")
+        assert queue.is_full()
+        assert queue.peek_lru() == "a"
+
+    def test_pop_and_clear(self):
+        queue = LruQueue(2)
+        queue.insert("a")
+        assert queue.pop("a") == 1
+        assert queue.pop("a") is None
+        queue.insert("x")
+        queue.clear()
+        assert len(queue) == 0

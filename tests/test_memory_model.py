@@ -1,0 +1,57 @@
+"""Tests pinning the paper's memory accounting (Section IV-C1)."""
+
+import pytest
+
+from repro.core.memory_model import (
+    EXTENT_BYTES,
+    ITEM_ENTRY_BYTES,
+    PAIR_ENTRY_BYTES,
+    SynopsisMemoryModel,
+    capacity_for_budget,
+)
+
+
+class TestEntrySizes:
+    def test_paper_entry_sizes(self):
+        assert EXTENT_BYTES == 12        # 64-bit block ID + 32-bit length
+        assert ITEM_ENTRY_BYTES == 16    # extent + 32-bit counter
+        assert PAIR_ENTRY_BYTES == 28    # two extents + counter
+
+
+class TestTotals:
+    def test_component_formulas(self):
+        model = SynopsisMemoryModel(capacity=1000)
+        assert model.item_table_bytes == 32 * 1000
+        assert model.correlation_table_bytes == 56 * 1000
+        assert model.total_bytes == 88 * 1000
+
+    def test_paper_16k_configuration(self):
+        """Paper: 1.44 MB for C = 16 K."""
+        model = SynopsisMemoryModel(capacity=16 * 1024)
+        assert model.total_megabytes == pytest.approx(1.44, abs=0.07)
+
+    def test_paper_4m_configuration(self):
+        """Paper: 369 MB for C = 4 M."""
+        model = SynopsisMemoryModel(capacity=4 * 1024 * 1024)
+        assert model.total_megabytes == pytest.approx(369, rel=0.05)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SynopsisMemoryModel(capacity=0)
+
+
+class TestBudget:
+    def test_capacity_for_budget_roundtrip(self):
+        capacity = capacity_for_budget(88 * 12345)
+        assert capacity == 12345
+        assert SynopsisMemoryModel(capacity).total_bytes <= 88 * 12345
+
+    def test_budget_too_small(self):
+        with pytest.raises(ValueError):
+            capacity_for_budget(10)
+
+    def test_budget_is_maximal(self):
+        budget = 1_000_000
+        capacity = capacity_for_budget(budget)
+        assert SynopsisMemoryModel(capacity).total_bytes <= budget
+        assert SynopsisMemoryModel(capacity + 1).total_bytes > budget

@@ -1,0 +1,114 @@
+"""Tests for block-layer request merging."""
+
+import pytest
+
+from repro.monitor.events import BlockIOEvent
+from repro.monitor.merge import RequestMerger
+from repro.trace.record import OpType
+
+R, W = OpType.READ, OpType.WRITE
+
+
+def event(ts, start, length=8, op=R):
+    return BlockIOEvent(ts, 1, op, start, length)
+
+
+def merger(**kwargs):
+    out = []
+    m = RequestMerger(out.append, **kwargs)
+    return m, out
+
+
+class TestMerging:
+    def test_back_merge(self):
+        m, out = merger()
+        m.on_event(event(0.0, 0, 8))
+        m.on_event(event(1e-5, 8, 8))
+        m.flush()
+        assert len(out) == 1
+        assert out[0].start == 0 and out[0].length == 16
+        assert m.stats.back_merges == 1
+        assert m.stats.merge_ratio == pytest.approx(0.5)
+
+    def test_front_merge(self):
+        m, out = merger()
+        m.on_event(event(0.0, 8, 8))
+        m.on_event(event(1e-5, 0, 8))
+        m.flush()
+        assert len(out) == 1
+        assert out[0].start == 0 and out[0].length == 16
+        assert m.stats.front_merges == 1
+
+    def test_sequential_run_collapses_to_one_request(self):
+        m, out = merger()
+        for i in range(10):
+            m.on_event(event(i * 1e-5, i * 8, 8))
+        m.flush()
+        assert len(out) == 1
+        assert out[0].length == 80
+
+    def test_non_adjacent_not_merged(self):
+        m, out = merger()
+        m.on_event(event(0.0, 0, 8))
+        m.on_event(event(1e-5, 100, 8))
+        m.flush()
+        assert len(out) == 2
+
+    def test_window_expiry_blocks_merge(self):
+        m, out = merger(merge_window=1e-4)
+        m.on_event(event(0.0, 0, 8))
+        m.on_event(event(1.0, 8, 8))  # adjacent but far too late
+        m.flush()
+        assert len(out) == 2
+
+    def test_max_blocks_cap(self):
+        m, out = merger(max_blocks=12)
+        m.on_event(event(0.0, 0, 8))
+        m.on_event(event(1e-5, 8, 8))  # would make 16 > 12
+        m.flush()
+        assert len(out) == 2
+
+    def test_different_ops_do_not_merge(self):
+        m, out = merger()
+        m.on_event(event(0.0, 0, 8, op=R))
+        m.on_event(event(1e-5, 8, 8, op=W))
+        m.flush()
+        assert len(out) == 2
+        assert {e.op for e in out} == {R, W}
+
+    def test_merged_event_keeps_first_timestamp(self):
+        m, out = merger()
+        m.on_event(event(1.0, 0, 8))
+        m.on_event(event(1.00001, 8, 8))
+        m.flush()
+        assert out[0].timestamp == 1.0
+
+    def test_stale_other_op_flushed_by_time(self):
+        m, out = merger(merge_window=1e-4)
+        m.on_event(event(0.0, 0, 8, op=W))
+        m.on_event(event(1.0, 100, 8, op=R))  # W's window long expired
+        assert len(out) == 1  # the write flushed before stream end
+        assert out[0].op is W
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestMerger(lambda e: None, merge_window=0.0)
+        with pytest.raises(ValueError):
+            RequestMerger(lambda e: None, max_blocks=0)
+
+    def test_chained_into_monitor(self):
+        """Merger upstream of the monitor: a split sequential run arrives
+        as one extent, so the item table sees one item, not four."""
+        from repro.monitor.monitor import Monitor, TransactionRecorder
+        from repro.monitor.window import StaticWindow
+
+        recorder = TransactionRecorder()
+        monitor = Monitor(window=StaticWindow(1e-3), sinks=[recorder])
+        m = RequestMerger(monitor.on_event)
+        for i in range(4):
+            m.on_event(event(i * 1e-5, i * 8, 8))
+        m.flush()
+        monitor.flush()
+        assert len(recorder.transactions) == 1
+        assert len(recorder.transactions[0]) == 1
+        assert recorder.transactions[0].extents[0].length == 32

@@ -1,0 +1,168 @@
+"""Tests for the monitoring module (paper Section III-C)."""
+
+import pytest
+
+from repro.monitor.events import BlockIOEvent
+from repro.monitor.monitor import GroupingMode, Monitor, TransactionRecorder
+from repro.monitor.window import DynamicLatencyWindow, StaticWindow
+from repro.trace.record import OpType
+
+
+def event(ts, start=0, length=1, pid=1, pgid=0, latency=None):
+    return BlockIOEvent(ts, pid, OpType.READ, start, length,
+                        latency=latency, pgid=pgid)
+
+
+def collecting_monitor(**kwargs):
+    recorder = TransactionRecorder()
+    monitor = Monitor(sinks=[recorder], **kwargs)
+    return monitor, recorder
+
+
+class TestWindowGrouping:
+    def test_gap_grouping(self):
+        monitor, recorder = collecting_monitor(window=StaticWindow(1e-3))
+        for ts, start in [(0.0, 1), (0.5e-3, 2), (10e-3, 3)]:
+            monitor.on_event(event(ts, start))
+        monitor.flush()
+        assert len(recorder) == 2
+        assert [e.start for e in recorder.transactions[0].events] == [1, 2]
+        assert [e.start for e in recorder.transactions[1].events] == [3]
+
+    def test_gap_mode_chains_bursts(self):
+        """In GAP mode a chain of sub-window gaps stays in one transaction
+        even when its total span exceeds the window."""
+        monitor, recorder = collecting_monitor(
+            window=StaticWindow(1e-3), grouping=GroupingMode.GAP
+        )
+        for i in range(5):
+            monitor.on_event(event(i * 0.9e-3, i))
+        monitor.flush()
+        assert len(recorder) == 1
+
+    def test_fixed_mode_bounds_span(self):
+        monitor, recorder = collecting_monitor(
+            window=StaticWindow(1e-3), grouping=GroupingMode.FIXED
+        )
+        for i in range(5):
+            monitor.on_event(event(i * 0.9e-3, i))
+        monitor.flush()
+        assert len(recorder) > 1
+        for txn in recorder.transactions:
+            assert txn.span <= 1e-3 + 1e-12
+
+    def test_dynamic_window_reacts_to_latency(self):
+        """Once measured latencies shrink, the window shrinks and the same
+        arrival pattern splits into more transactions."""
+        window = DynamicLatencyWindow(floor=1e-7)
+        monitor, recorder = collecting_monitor(window=window)
+        # Feed fast latencies so the EWMA settles near 10 us -> window 20 us.
+        for i in range(50):
+            monitor.on_event(event(i * 1e-4, i, latency=10e-6))
+        monitor.flush()
+        # 100 us gaps exceed the 20 us window: every event is its own txn.
+        assert len(recorder) == 50
+
+
+class TestSizeCap:
+    def test_overflow_starts_new_transaction(self):
+        monitor, recorder = collecting_monitor(
+            window=StaticWindow(1.0), max_transaction_size=3
+        )
+        for i in range(7):
+            monitor.on_event(event(i * 1e-6, i))
+        monitor.flush()
+        sizes = [len(txn) for txn in recorder.transactions]
+        assert sizes == [3, 3, 1]
+        assert monitor.stats.size_splits == 2
+
+    def test_default_cap_is_paper_value(self):
+        monitor = Monitor()
+        assert monitor.max_transaction_size == 8
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            Monitor(max_transaction_size=0)
+
+
+class TestDedup:
+    def test_duplicates_removed_within_transaction(self):
+        monitor, recorder = collecting_monitor(window=StaticWindow(1.0))
+        monitor.on_event(event(0.0, 5, 4))
+        monitor.on_event(event(1e-6, 5, 4))
+        monitor.on_event(event(2e-6, 9, 1))
+        monitor.flush()
+        assert len(recorder.transactions[0]) == 2
+        assert monitor.stats.duplicates_removed == 1
+
+    def test_dedup_can_be_disabled(self):
+        monitor, recorder = collecting_monitor(
+            window=StaticWindow(1.0), dedup=False
+        )
+        monitor.on_event(event(0.0, 5))
+        monitor.on_event(event(1e-6, 5))
+        monitor.flush()
+        assert len(recorder.transactions[0]) == 2
+
+
+class TestFilters:
+    def test_pid_filter(self):
+        monitor, recorder = collecting_monitor(
+            window=StaticWindow(1.0), pid_filter={7}
+        )
+        monitor.on_event(event(0.0, 1, pid=7))
+        monitor.on_event(event(1e-6, 2, pid=8))
+        monitor.flush()
+        assert [e.start for e in recorder.transactions[0].events] == [1]
+        assert monitor.stats.events_filtered == 1
+
+    def test_pgid_filter(self):
+        monitor, recorder = collecting_monitor(
+            window=StaticWindow(1.0), pgid_filter={100}
+        )
+        monitor.on_event(event(0.0, 1, pgid=100))
+        monitor.on_event(event(1e-6, 2, pgid=200))
+        monitor.flush()
+        assert len(recorder.transactions[0]) == 1
+
+    def test_no_filter_passes_everything(self):
+        monitor, recorder = collecting_monitor(window=StaticWindow(1.0))
+        monitor.on_event(event(0.0, 1, pid=1))
+        monitor.on_event(event(1e-6, 2, pid=9999))
+        monitor.flush()
+        assert len(recorder.transactions[0]) == 2
+
+
+class TestStatsAndSinks:
+    def test_stats_counters(self):
+        monitor, recorder = collecting_monitor(window=StaticWindow(1e-3))
+        monitor.on_event(event(0.0, 1))
+        monitor.on_event(event(5e-3, 2))
+        monitor.flush()
+        stats = monitor.stats
+        assert stats.events_seen == 2
+        assert stats.transactions_emitted == 2
+        assert stats.singleton_transactions == 2
+
+    def test_multiple_sinks_both_called(self):
+        first, second = TransactionRecorder(), TransactionRecorder()
+        monitor = Monitor(window=StaticWindow(1.0), sinks=[first])
+        monitor.add_sink(second)
+        monitor.on_event(event(0.0, 1))
+        monitor.flush()
+        assert len(first) == 1 and len(second) == 1
+
+    def test_flush_idempotent(self):
+        monitor, recorder = collecting_monitor(window=StaticWindow(1.0))
+        monitor.on_event(event(0.0, 1))
+        monitor.flush()
+        monitor.flush()
+        assert len(recorder) == 1
+
+    def test_recorder_extent_transactions(self):
+        monitor, recorder = collecting_monitor(window=StaticWindow(1.0))
+        monitor.on_event(event(0.0, 5, 4))
+        monitor.flush()
+        extent_lists = recorder.extent_transactions()
+        assert len(extent_lists) == 1
+        assert extent_lists[0][0].start == 5

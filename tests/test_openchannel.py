@@ -1,0 +1,137 @@
+"""Tests for the open-channel parallel I/O optimization (paper §V-2)."""
+
+import pytest
+
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.optimize.openchannel import (
+    CorrelationPlacement,
+    OcssdConfig,
+    StripingPlacement,
+    run_parallel_read_experiment,
+    service_transaction,
+)
+
+from conftest import ext
+
+
+def correlated_reads(pairs=4, rounds=25, stride=0):
+    """Pairs that always read together; ``stride=0`` puts both members of
+    each pair in the same stripe so striping collides them on one PU."""
+    transactions = []
+    for round_index in range(rounds):
+        which = round_index % pairs
+        base = which * 4096
+        transactions.append([ext(base, 8), ext(base + 64 + stride, 8)])
+    return transactions
+
+
+def trained_analyzer(transactions):
+    analyzer = OnlineAnalyzer(
+        AnalyzerConfig(item_capacity=64, correlation_capacity=64)
+    )
+    analyzer.process_stream(transactions)
+    return analyzer
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OcssdConfig(parallel_units=0)
+        with pytest.raises(ValueError):
+            OcssdConfig(read_latency=0.0)
+        with pytest.raises(ValueError):
+            OcssdConfig(stripe_blocks=0)
+
+
+class TestStriping:
+    def test_round_robin_over_stripes(self):
+        config = OcssdConfig(parallel_units=4, stripe_blocks=256)
+        placement = StripingPlacement(config)
+        assert placement.unit_of(ext(0, 8)) == 0
+        assert placement.unit_of(ext(256, 8)) == 1
+        assert placement.unit_of(ext(4 * 256, 8)) == 0
+
+    def test_same_stripe_same_unit(self):
+        config = OcssdConfig(parallel_units=4, stripe_blocks=256)
+        placement = StripingPlacement(config)
+        assert placement.unit_of(ext(0, 8)) == placement.unit_of(ext(100, 8))
+
+
+class TestServiceModel:
+    def test_parallel_extents_cost_one_read(self):
+        config = OcssdConfig(parallel_units=4, read_latency=100e-6)
+
+        class _Spread:
+            def unit_of(self, extent):
+                return extent.start % 4
+
+        latency = service_transaction(
+            [ext(0, 1), ext(1, 1), ext(2, 1)], _Spread(), config
+        )
+        assert latency == pytest.approx(100e-6)
+
+    def test_colliding_extents_serialise(self):
+        config = OcssdConfig(parallel_units=4, read_latency=100e-6)
+
+        class _Collide:
+            def unit_of(self, extent):
+                return 0
+
+        latency = service_transaction(
+            [ext(0, 1), ext(1, 1), ext(2, 1)], _Collide(), config
+        )
+        assert latency == pytest.approx(300e-6)
+
+    def test_empty_transaction(self):
+        config = OcssdConfig()
+        latency = service_transaction([], StripingPlacement(config), config)
+        assert latency == 0.0
+
+
+class TestCorrelationPlacement:
+    def test_correlated_extents_on_distinct_units(self):
+        transactions = correlated_reads()
+        analyzer = trained_analyzer(transactions)
+        config = OcssdConfig(parallel_units=4)
+        placement = CorrelationPlacement(analyzer, config)
+        assert placement.placed_extents >= 8
+        for extents in transactions[:4]:
+            first, second = extents
+            assert placement.unit_of(first) != placement.unit_of(second)
+
+    def test_unknown_extent_uses_striping_fallback(self):
+        analyzer = trained_analyzer(correlated_reads())
+        config = OcssdConfig(parallel_units=4, stripe_blocks=256)
+        placement = CorrelationPlacement(analyzer, config)
+        stranger = ext(10_000_000, 8)
+        assert placement.unit_of(stranger) == (
+            StripingPlacement(config).unit_of(stranger)
+        )
+
+
+class TestParallelReadExperiment:
+    def test_correlation_placement_beats_collision_prone_striping(self):
+        """The §V-2 headline: correlated reads spread over PUs finish
+        faster than striping that lands them on the same unit."""
+        transactions = correlated_reads()
+        analyzer = trained_analyzer(transactions)
+        config = OcssdConfig(parallel_units=4, stripe_blocks=4096)
+        baseline = run_parallel_read_experiment(
+            transactions, StripingPlacement(config), config
+        )
+        optimized = run_parallel_read_experiment(
+            transactions, CorrelationPlacement(analyzer, config), config
+        )
+        assert optimized.mean_latency < baseline.mean_latency
+        assert optimized.parallel_speedup > baseline.parallel_speedup
+
+    def test_stats_accounting(self):
+        transactions = correlated_reads(rounds=10)
+        config = OcssdConfig(parallel_units=2)
+        stats = run_parallel_read_experiment(
+            transactions, StripingPlacement(config), config
+        )
+        assert stats.transactions == 10
+        assert stats.total_latency > 0
+        assert stats.serialized_latency >= stats.total_latency

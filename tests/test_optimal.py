@@ -1,0 +1,88 @@
+"""Tests for the optimal coverage curve (Fig. 6)."""
+
+import pytest
+
+from repro.analysis.optimal import optimal_curve, power_of_two_sizes
+
+from conftest import pair
+
+
+def counts_example():
+    return {
+        pair(1, 2): 50,
+        pair(3, 4): 30,
+        pair(5, 6): 15,
+        pair(7, 8): 4,
+        pair(9, 10): 1,
+    }
+
+
+class TestOptimalCurve:
+    def test_sorted_descending(self):
+        curve = optimal_curve(counts_example())
+        assert curve.sorted_counts == (50, 30, 15, 4, 1)
+        assert curve.total_frequency == 100
+
+    def test_fraction_for_size(self):
+        curve = optimal_curve(counts_example())
+        assert curve.fraction_for_size(1) == pytest.approx(0.50)
+        assert curve.fraction_for_size(2) == pytest.approx(0.80)
+        assert curve.fraction_for_size(3) == pytest.approx(0.95)
+        assert curve.fraction_for_size(5) == pytest.approx(1.0)
+
+    def test_fraction_saturates_beyond_population(self):
+        curve = optimal_curve(counts_example())
+        assert curve.fraction_for_size(10 ** 6) == pytest.approx(1.0)
+
+    def test_fraction_for_zero(self):
+        assert optimal_curve(counts_example()).fraction_for_size(0) == 0.0
+
+    def test_fraction_rejects_negative(self):
+        with pytest.raises(ValueError):
+            optimal_curve(counts_example()).fraction_for_size(-1)
+
+    def test_size_for_fraction(self):
+        curve = optimal_curve(counts_example())
+        assert curve.size_for_fraction(0.5) == 1
+        assert curve.size_for_fraction(0.51) == 2
+        assert curve.size_for_fraction(1.0) == 5
+        assert curve.size_for_fraction(0.0) == 0
+
+    def test_size_fraction_inverse_relation(self):
+        curve = optimal_curve(counts_example())
+        for fraction in (0.3, 0.6, 0.9):
+            size = curve.size_for_fraction(fraction)
+            assert curve.fraction_for_size(size) >= fraction
+            if size > 0:
+                assert curve.fraction_for_size(size - 1) < fraction
+
+    def test_series(self):
+        curve = optimal_curve(counts_example())
+        series = curve.series([1, 2, 4])
+        assert series == [
+            (1, pytest.approx(0.50)),
+            (2, pytest.approx(0.80)),
+            (4, pytest.approx(0.99)),
+        ]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_curve({})
+
+
+class TestPowerOfTwoSizes:
+    def test_paper_sweep(self):
+        """The paper sweeps 16 K through 4 M in powers of two."""
+        sizes = power_of_two_sizes(16 * 1024, 4 * 1024 * 1024)
+        assert sizes[0] == 16 * 1024
+        assert sizes[-1] == 4 * 1024 * 1024
+        assert len(sizes) == 9
+
+    def test_min_not_power_of_two(self):
+        assert power_of_two_sizes(3, 20) == [4, 8, 16]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_of_two_sizes(0, 8)
+        with pytest.raises(ValueError):
+            power_of_two_sizes(16, 8)

@@ -1,0 +1,72 @@
+"""Tests for exact pair counting (the evaluation ground truth)."""
+
+import pytest
+
+from repro.core.extent import ExtentPair
+from repro.fim.apriori import apriori
+from repro.fim.pairs import (
+    exact_extent_counts,
+    exact_pair_counts,
+    itemsets_to_pair_counts,
+    pairs_with_support,
+    sorted_by_frequency,
+)
+
+from conftest import ext, pair
+
+
+class TestExactPairCounts:
+    def test_known_counts(self, simple_transactions):
+        counts = exact_pair_counts(simple_transactions)
+        assert counts[pair(10, 20, 1, 2)] == 3
+        assert counts[pair(10, 30)] == 2
+        assert counts[pair(30, 40, 1, 4)] == 1
+
+    def test_duplicates_in_transaction_count_once(self):
+        counts = exact_pair_counts([[ext(1), ext(1), ext(2)]])
+        assert counts == {pair(1, 2): 1}
+
+    def test_matches_apriori_pairs(self, simple_transactions):
+        """The exact counter and a real FIM implementation must agree on
+        every pair at support 1."""
+        exact = exact_pair_counts(simple_transactions)
+        mined = itemsets_to_pair_counts(
+            apriori(simple_transactions, min_support=1, max_size=2)
+        )
+        assert mined == exact
+
+    def test_empty(self):
+        assert exact_pair_counts([]) == {}
+
+
+class TestExtentCounts:
+    def test_known_counts(self, simple_transactions):
+        counts = exact_extent_counts(simple_transactions)
+        assert counts[ext(10)] == 4
+        assert counts[ext(40, 4)] == 2
+
+
+class TestFilters:
+    def test_pairs_with_support(self, simple_transactions):
+        counts = exact_pair_counts(simple_transactions)
+        frequent = pairs_with_support(counts, 2)
+        assert set(frequent) == {pair(10, 20, 1, 2), pair(10, 30)}
+        with pytest.raises(ValueError):
+            pairs_with_support(counts, 0)
+
+    def test_sorted_by_frequency(self, simple_transactions):
+        counts = exact_pair_counts(simple_transactions)
+        ordered = sorted_by_frequency(counts)
+        tallies = [tally for _p, tally in ordered]
+        assert tallies == sorted(tallies, reverse=True)
+        assert ordered[0] == (pair(10, 20, 1, 2), 3)
+
+    def test_itemsets_to_pair_counts_skips_non_pairs(self):
+        itemsets = {
+            frozenset((ext(1),)): 5,
+            frozenset((ext(1), ext(2))): 3,
+            frozenset((ext(1), ext(2), ext(3))): 2,
+        }
+        converted = itemsets_to_pair_counts(itemsets)
+        assert converted == {pair(1, 2): 3}
+        assert isinstance(next(iter(converted)), ExtentPair)

@@ -1,0 +1,123 @@
+"""Integration tests: replay -> monitor -> analysis end to end."""
+
+import pytest
+
+from repro.analysis.accuracy import detection_metrics
+from repro.blkdev.device import SsdDevice
+from repro.core.config import AnalyzerConfig
+from repro.fim.pairs import exact_pair_counts
+from repro.monitor.window import StaticWindow
+from repro.pipeline import characterize, run_pipeline
+from repro.workloads.synthetic import (
+    SyntheticKind,
+    SyntheticSpec,
+    generate_synthetic,
+)
+
+
+class TestPipelineOnSynthetic:
+    def test_detects_all_planted_correlations(self, small_synthetic):
+        records, truth = small_synthetic
+        result = run_pipeline(records, device=SsdDevice(seed=2))
+        detected = {p for p, _t in result.frequent_pairs(min_support=3)}
+        for planted in truth.pairs:
+            assert planted in detected
+
+    def test_detected_strength_follows_zipf_rank(self, small_synthetic):
+        records, truth = small_synthetic
+        result = run_pipeline(records, device=SsdDevice(seed=2))
+        frequencies = result.analyzer.pair_frequencies()
+        tallies = [frequencies.get(p, 0) for p in truth.pairs]
+        assert tallies[0] > tallies[-1]
+
+    def test_online_agrees_with_offline_ground_truth(self, small_synthetic):
+        """The dual pipeline of Section IV-A: recorded transactions mined
+        offline must rank the same top pairs the synopsis holds."""
+        records, truth = small_synthetic
+        result = run_pipeline(records, device=SsdDevice(seed=2))
+        offline_counts = exact_pair_counts(result.offline_transactions())
+        metrics = detection_metrics(
+            offline_counts,
+            [p for p, _t in result.frequent_pairs(min_support=1)],
+            min_support=5,
+        )
+        assert metrics.weighted_recall > 0.9
+
+    def test_characterize_convenience(self, small_synthetic):
+        records, truth = small_synthetic
+        top = characterize(records, min_support=5)
+        assert top
+        assert top[0][0] == truth.pairs[0]
+
+    def test_offline_recording_optional(self, small_synthetic):
+        records, _truth = small_synthetic
+        result = run_pipeline(records, record_offline=False)
+        with pytest.raises(ValueError):
+            result.offline_transactions()
+
+    def test_monitor_stats_populated(self, small_synthetic):
+        records, _truth = small_synthetic
+        result = run_pipeline(records)
+        assert result.monitor_stats.events_seen == len(records)
+        assert result.monitor_stats.transactions_emitted > 0
+
+    def test_collect_events_flag(self, small_synthetic):
+        records, _truth = small_synthetic
+        without = run_pipeline(records, collect_events=False)
+        assert without.replay.events == []
+        with_events = run_pipeline(records, collect_events=True)
+        assert len(with_events.replay.events) == len(records)
+
+
+class TestPipelineKnobs:
+    def test_static_window_respected(self, small_synthetic):
+        records, _truth = small_synthetic
+        result = run_pipeline(records, window=StaticWindow(10.0))
+        # A 10-second window glues everything into few giant transactions,
+        # which the size cap then splits into 8-request chunks.
+        sizes = [len(t) for t in result.recorder.transactions]
+        assert max(sizes) <= 8
+        assert result.monitor_stats.size_splits > 0
+
+    def test_transaction_size_cap_controls_pair_blowup(self, small_synthetic):
+        records, _truth = small_synthetic
+        capped = run_pipeline(records, window=StaticWindow(10.0),
+                              max_transaction_size=2)
+        assert all(len(t) <= 2 for t in capped.recorder.transactions)
+
+    def test_pid_filter_drops_noise(self, small_synthetic):
+        """Synthetic noise uses pid 1001; filtering to pid 1000 keeps only
+        the planted correlated requests."""
+        records, truth = small_synthetic
+        result = run_pipeline(records, pid_filter={1000})
+        assert result.monitor_stats.events_filtered > 0
+        planted_starts = {
+            e.start for p in truth.pairs for e in (p.first, p.second)
+        }
+        for transaction in result.recorder.transactions:
+            for event in transaction.events:
+                assert event.start in planted_starts
+
+    def test_small_tables_still_find_top_pair(self, small_synthetic):
+        records, truth = small_synthetic
+        config = AnalyzerConfig(item_capacity=32, correlation_capacity=32)
+        result = run_pipeline(records, config=config)
+        detected = [p for p, _t in result.frequent_pairs(min_support=3)]
+        assert truth.pairs[0] in detected
+
+    def test_speedup_shrinks_wall_time(self, small_synthetic):
+        records, _truth = small_synthetic
+        slow = run_pipeline(records, device=SsdDevice(seed=3))
+        fast = run_pipeline(records, device=SsdDevice(seed=3), speedup=50.0)
+        assert fast.replay.wall_time < slow.replay.wall_time
+
+
+class TestAllSyntheticKinds:
+    @pytest.mark.parametrize("kind", list(SyntheticKind), ids=lambda k: k.value)
+    def test_each_workload_end_to_end(self, kind):
+        spec = SyntheticSpec(kind=kind, duration=20.0, seed=17)
+        records, truth = generate_synthetic(spec)
+        top = characterize(records, min_support=3)
+        detected = {p for p, _t in top}
+        # The most popular planted correlation must always be found.
+        assert truth.pairs[0] in detected

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.core.extent import Extent, ExtentPair, unique_pairs
+from repro.core.lru import LruQueue
+from repro.core.two_tier import TwoTierTable
+from repro.fim.apriori import apriori
+from repro.fim.eclat import eclat
+from repro.fim.fpgrowth import fpgrowth
+from repro.fim.pairs import exact_pair_counts, itemsets_to_pair_counts
+from repro.trace.stats import merge_intervals
+
+extents = st.builds(
+    Extent,
+    start=st.integers(min_value=0, max_value=500),
+    length=st.integers(min_value=1, max_value=16),
+)
+
+transactions_strategy = st.lists(
+    st.lists(extents, min_size=0, max_size=6),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestExtentProperties:
+    @given(extents, extents)
+    def test_pair_is_commutative(self, a, b):
+        if a == b:
+            return
+        assert ExtentPair(a, b) == ExtentPair(b, a)
+        assert hash(ExtentPair(a, b)) == hash(ExtentPair(b, a))
+
+    @given(extents, extents)
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(extents, extents)
+    def test_union_span_contains_both(self, a, b):
+        span = a.union_span(b)
+        assert span.start <= a.start and span.end >= a.end
+        assert span.start <= b.start and span.end >= b.end
+
+    @given(st.lists(extents, max_size=8))
+    def test_unique_pairs_count(self, items):
+        n = len(set(items))
+        assert len(unique_pairs(items)) == n * (n - 1) // 2
+
+    @given(extents)
+    def test_parse_roundtrip(self, extent):
+        assert Extent.parse(str(extent)) == extent
+
+
+class TestLruProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=20), max_size=100),
+    )
+    def test_capacity_never_exceeded(self, capacity, keys):
+        queue = LruQueue(capacity)
+        for key in keys:
+            if key in queue:
+                queue.touch(key)
+            else:
+                queue.insert(key)
+        assert len(queue) <= capacity
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=20), max_size=100),
+    )
+    def test_most_recent_key_always_resident(self, capacity, keys):
+        queue = LruQueue(capacity)
+        for key in keys:
+            if key in queue:
+                queue.touch(key)
+            else:
+                queue.insert(key)
+            assert key in queue
+
+
+class TestTwoTierProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.lists(st.integers(min_value=0, max_value=15), max_size=120),
+    )
+    def test_size_bound_and_tier_disjointness(self, capacity, keys):
+        table = TwoTierTable(capacity)
+        for key in keys:
+            table.access(key)
+            assert len(table) <= table.capacity
+            assert not (key in table.t1 and key in table.t2)
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=120))
+    def test_resident_tally_never_exceeds_true_count(self, keys):
+        """A synopsis tally can undercount (evict + reinsert) but never
+        overcount the true number of sightings."""
+        table = TwoTierTable(4)
+        true_counts = Counter()
+        for key in keys:
+            true_counts[key] += 1
+            table.access(key)
+        for key, tally, _tier in table.items():
+            assert tally <= true_counts[key]
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=120))
+    def test_stats_are_consistent(self, keys):
+        table = TwoTierTable(4)
+        for key in keys:
+            table.access(key)
+        stats = table.stats
+        assert stats.lookups == len(keys)
+        assert stats.hits + stats.misses == stats.lookups
+
+
+class TestAnalyzerProperties:
+    @given(transactions_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_tables_bounded_and_tallies_sound(self, transactions):
+        analyzer = OnlineAnalyzer(
+            AnalyzerConfig(item_capacity=8, correlation_capacity=8)
+        )
+        analyzer.process_stream(transactions)
+        assert len(analyzer.items) <= analyzer.items.capacity
+        assert len(analyzer.correlations) <= analyzer.correlations.capacity
+        truth = exact_pair_counts(transactions)
+        for pair, tally in analyzer.pair_frequencies().items():
+            assert tally <= truth[pair]
+        assert analyzer.correlations.check_index()
+
+    @given(transactions_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_unbounded_analyzer_is_exact(self, transactions):
+        """With tables larger than the pair population, the synopsis must
+        equal exact offline pair counting."""
+        analyzer = OnlineAnalyzer(
+            AnalyzerConfig(item_capacity=4096, correlation_capacity=4096)
+        )
+        analyzer.process_stream(transactions)
+        assert analyzer.pair_frequencies() == exact_pair_counts(transactions)
+
+
+class TestFimProperties:
+    small_items = st.lists(
+        st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=4),
+        max_size=25,
+    )
+
+    @given(small_items, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_miners_agree(self, transactions, min_support):
+        a = apriori(transactions, min_support, max_size=3)
+        e = eclat(transactions, min_support, max_size=3)
+        f = fpgrowth(transactions, min_support, max_size=3)
+        assert a == e == f
+
+    @given(small_items)
+    @settings(max_examples=40, deadline=None)
+    def test_apriori_pairs_match_exact_counter(self, raw):
+        transactions = [
+            [Extent(item + 1, 1) for item in txn] for txn in raw
+        ]
+        mined = itemsets_to_pair_counts(
+            apriori(transactions, min_support=1, max_size=2)
+        )
+        assert mined == exact_pair_counts(transactions)
+
+
+class TestIntervalProperties:
+    @given(st.lists(
+        st.tuples(st.integers(0, 100), st.integers(1, 20)).map(
+            lambda t: (t[0], t[0] + t[1])
+        ),
+        max_size=30,
+    ))
+    def test_merge_intervals_is_disjoint_sorted_and_complete(self, intervals):
+        merged = merge_intervals(intervals)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2  # disjoint and strictly separated
+        covered = set()
+        for start, end in merged:
+            covered.update(range(start, end))
+        expected = set()
+        for start, end in intervals:
+            expected.update(range(start, end))
+        assert covered == expected

@@ -1,0 +1,243 @@
+"""Second wave of property-based tests: ARC, adaptive tiers, histograms,
+serialization, the monitor, and the decayed stream miner."""
+
+import io
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptivePolicy, AdaptiveTwoTierTable
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.arc import ArcTable
+from repro.core.config import AnalyzerConfig
+from repro.core.extent import Extent
+from repro.core.serialize import dumps_analyzer, loads_analyzer
+from repro.fim.estdec import EstDecConfig, EstDecMiner
+from repro.monitor.events import BlockIOEvent
+from repro.monitor.histogram import LatencyHistogram
+from repro.monitor.monitor import Monitor, TransactionRecorder
+from repro.monitor.window import StaticWindow
+from repro.trace.record import OpType
+
+keys = st.integers(min_value=0, max_value=30)
+key_streams = st.lists(keys, max_size=200)
+
+extents = st.builds(
+    Extent,
+    start=st.integers(min_value=0, max_value=300),
+    length=st.integers(min_value=1, max_value=8),
+)
+transactions_strategy = st.lists(
+    st.lists(extents, min_size=0, max_size=5), max_size=30
+)
+
+
+class TestArcProperties:
+    @given(st.integers(min_value=2, max_value=10), key_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_always_hold(self, capacity, stream):
+        arc = ArcTable(capacity)
+        for key in stream:
+            arc.access(key)
+            assert arc.check_invariants()
+
+    @given(key_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_tally_never_exceeds_true_count(self, stream):
+        from collections import Counter
+        arc = ArcTable(6)
+        true_counts = Counter()
+        for key in stream:
+            true_counts[key] += 1
+            arc.access(key)
+        for key, tally in arc.resident_items():
+            assert tally <= true_counts[key]
+
+    @given(key_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_most_recent_key_resident(self, stream):
+        arc = ArcTable(4)
+        for key in stream:
+            arc.access(key)
+            assert key in arc
+
+
+class TestAdaptiveProperties:
+    @given(
+        st.integers(min_value=4, max_value=16),
+        key_streams,
+        st.integers(min_value=4, max_value=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_conserved_and_bounded(self, capacity, stream, interval):
+        policy = AdaptivePolicy(adjust_interval=interval,
+                                step_fraction=0.1, min_tier_fraction=0.2)
+        table = AdaptiveTwoTierTable(capacity, capacity, policy=policy)
+        total = 2 * capacity
+        for key in stream:
+            table.access(key)
+            t1, t2 = table.tier_split
+            assert t1 + t2 == total
+            assert t1 >= table._min_tier and t2 >= table._min_tier
+            assert len(table) <= total
+
+
+class TestHistogramProperties:
+    @given(st.lists(st.floats(min_value=1e-7, max_value=1.0,
+                              allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_quantiles_bounded_by_extremes(self, samples):
+        histogram = LatencyHistogram()
+        for sample in samples:
+            histogram.record(sample)
+        low = histogram.percentile(0.0)
+        high = histogram.percentile(1.0)
+        # Bucket resolution is ~19% relative; allow that slack.
+        assert low <= min(samples) * 1.5 + 1e-7
+        assert high >= max(samples) * 0.6
+        for q in (0.25, 0.5, 0.75):
+            assert low <= histogram.percentile(q) <= high * 1.5
+
+    @given(st.lists(st.floats(min_value=1e-7, max_value=1.0,
+                              allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_quantiles_monotone_in_q(self, samples):
+        histogram = LatencyHistogram()
+        for sample in samples:
+            histogram.record(sample)
+        quantiles = [histogram.percentile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+
+
+class TestSerializeProperties:
+    @given(transactions_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_everything(self, transactions):
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=6, correlation_capacity=6
+        ))
+        analyzer.process_stream(transactions)
+        restored = loads_analyzer(dumps_analyzer(analyzer))
+        assert restored.pair_frequencies() == analyzer.pair_frequencies()
+        assert restored.items.items() == analyzer.items.items()
+        assert restored.correlations.check_index()
+
+
+class TestMonitorProperties:
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            st.integers(min_value=0, max_value=100),
+        ),
+        max_size=60,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_every_event_lands_in_exactly_one_transaction(self, raw):
+        monitor = Monitor(window=StaticWindow(0.05), dedup=False)
+        recorder = TransactionRecorder()
+        monitor.add_sink(recorder)
+        events = sorted(
+            (BlockIOEvent(ts, 1, OpType.READ, start, 1)
+             for ts, start in raw),
+            key=lambda event: event.timestamp,
+        )
+        for event in events:
+            monitor.on_event(event)
+        monitor.flush()
+        delivered = sum(len(txn) for txn in recorder.transactions)
+        assert delivered == len(events)
+        for txn in recorder.transactions:
+            assert len(txn) <= monitor.max_transaction_size
+
+    @given(st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        max_size=60,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_gap_rule_respected(self, timestamps):
+        """Within a transaction, consecutive gaps never exceed the window."""
+        window = 0.03
+        monitor = Monitor(window=StaticWindow(window),
+                          max_transaction_size=10 ** 9)
+        recorder = TransactionRecorder()
+        monitor.add_sink(recorder)
+        for index, ts in enumerate(sorted(timestamps)):
+            monitor.on_event(BlockIOEvent(ts, 1, OpType.READ, index, 1))
+        monitor.flush()
+        for txn in recorder.transactions:
+            times = [event.timestamp for event in txn.events]
+            for earlier, later in zip(times, times[1:]):
+                assert later - earlier <= window + 1e-12
+
+
+class TestEstDecProperties:
+    @given(st.lists(
+        st.lists(st.integers(min_value=0, max_value=8),
+                 min_size=1, max_size=4),
+        max_size=60,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_decayed_count_never_exceeds_true_count(self, transactions):
+        from collections import Counter
+        from itertools import combinations
+        miner = EstDecMiner(EstDecConfig(decay=0.97,
+                                         insertion_threshold=0.01))
+        truth = Counter()
+        for transaction in transactions:
+            distinct = sorted(set(transaction))
+            for a, b in combinations(distinct, 2):
+                truth[frozenset((a, b))] += 1
+            miner.process(transaction)
+        for key, count in miner.frequent_pairs(min_support=0.0):
+            assert count <= truth[key] + 1e-9
+
+
+class TestFlashModelProperties:
+    """Mapping-consistency invariants of the flash and zoned devices."""
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=40),
+                  st.integers(min_value=0, max_value=3)),
+        max_size=300,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_multistream_mapping_consistent(self, writes):
+        from repro.optimize.multistream import FlashConfig, MultiStreamSsd
+        config = FlashConfig(erase_units=16, pages_per_eu=8,
+                             streams=4, overprovision_eus=4)
+        device = MultiStreamSsd(config)
+        live = set()
+        for lba, stream in writes:
+            try:
+                device.write(lba, stream)
+            except RuntimeError:
+                break  # logical capacity: fine, stop writing
+            live.add(lba)
+            # Every live LBA maps to exactly one valid page.
+            total_valid = sum(device.valid_page_histogram())
+            assert total_valid == len(live)
+        # WAF is always >= 1 and erases never negative.
+        assert device.stats.waf >= 1.0
+        assert device.stats.erases >= 0
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=0, max_value=5)),
+        max_size=300,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_zns_mapping_consistent(self, writes):
+        from repro.optimize.zns import ZnsConfig, ZnsDevice
+        config = ZnsConfig(zones=12, zone_pages=8, open_zone_limit=3,
+                           reserved_zones=2)
+        device = ZnsDevice(config)
+        live = set()
+        for lba, group in writes:
+            try:
+                device.write(lba, group)
+            except RuntimeError:
+                break
+            live.add(lba)
+            assert sum(device.zone_validity()) == len(live)
+        assert device.stats.waf >= 1.0

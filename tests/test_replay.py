@@ -1,0 +1,122 @@
+"""Tests for the trace replayer."""
+
+import pytest
+
+from repro.blkdev.device import SsdDevice
+from repro.blkdev.replay import (
+    replay_no_stall,
+    replay_speedup,
+    replay_timed,
+)
+from repro.trace.record import OpType, TraceRecord
+
+
+def records_spaced(gap: float, count: int = 5):
+    return [
+        TraceRecord(i * gap, 0, OpType.READ, i * 100, 8)
+        for i in range(count)
+    ]
+
+
+class TestReplayTimed:
+    def test_events_in_arrival_order(self):
+        result = replay_timed(records_spaced(0.01), SsdDevice(seed=1))
+        times = [event.timestamp for event in result.events]
+        assert times == sorted(times)
+        assert result.request_count == 5
+
+    def test_speedup_compresses_arrivals(self):
+        device = SsdDevice(seed=1)
+        slow = replay_timed(records_spaced(0.01), device)
+        fast = replay_timed(records_spaced(0.01), SsdDevice(seed=1), speedup=10.0)
+        assert fast.events[-1].timestamp == pytest.approx(
+            slow.events[-1].timestamp / 10.0
+        )
+
+    def test_queueing_under_overload(self):
+        """Arrivals faster than service accumulate queueing delay."""
+        tight = replay_timed(records_spaced(1e-9, count=50), SsdDevice(seed=1))
+        relaxed = replay_timed(records_spaced(0.1, count=50), SsdDevice(seed=1))
+        assert tight.queue_delay_total > 0
+        assert relaxed.queue_delay_total == pytest.approx(0.0)
+        assert tight.mean_latency > relaxed.mean_latency
+
+    def test_listeners_receive_every_event(self):
+        seen = []
+        replay_timed(records_spaced(0.01), SsdDevice(seed=1),
+                     listeners=[seen.append])
+        assert len(seen) == 5
+        assert all(event.latency is not None for event in seen)
+
+    def test_collect_false_streams_only(self):
+        seen = []
+        result = replay_timed(records_spaced(0.01), SsdDevice(seed=1),
+                              listeners=[seen.append], collect=False)
+        assert result.events == []
+        assert len(seen) == 5
+
+    def test_unsorted_records_are_ordered(self):
+        records = list(reversed(records_spaced(0.01)))
+        result = replay_timed(records, SsdDevice(seed=1))
+        times = [event.timestamp for event in result.events]
+        assert times == sorted(times)
+
+    def test_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            replay_timed([], SsdDevice(), speedup=0.0)
+
+    def test_wall_time_covers_last_completion(self):
+        result = replay_timed(records_spaced(0.01), SsdDevice(seed=1))
+        assert result.wall_time >= result.events[-1].timestamp
+
+
+class TestReplayNoStall:
+    def test_back_to_back_issue(self):
+        result = replay_no_stall(records_spaced(100.0), SsdDevice(seed=1))
+        # Timestamps ignore the trace's 100-second gaps entirely.
+        assert result.wall_time < 1.0
+        for earlier, later in zip(result.events, result.events[1:]):
+            assert later.timestamp == pytest.approx(
+                earlier.timestamp + earlier.latency
+            )
+
+    def test_latency_is_pure_service_time(self):
+        result = replay_no_stall(records_spaced(0.0), SsdDevice(seed=1))
+        assert result.mean_read_latency > 0
+        assert result.mean_latency == result.mean_read_latency
+
+
+class TestReplaySpeedup:
+    def test_table2_formula(self):
+        # wdev row: 3.65 ms trace latency / 48.00 us measured = 76.0x.
+        assert replay_speedup(3.65e-3, 48.00e-6) == pytest.approx(76.0, rel=0.01)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            replay_speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            replay_speedup(1.0, -1.0)
+
+
+class TestQueueDepth:
+    def test_parallel_slots_reduce_queueing(self):
+        """Arrivals that overload one server are absorbed by queue depth."""
+        records = records_spaced(20e-6, count=100)
+        shallow = replay_timed(records, SsdDevice(seed=2, jitter=0.0),
+                               queue_depth=1)
+        deep = replay_timed(records, SsdDevice(seed=2, jitter=0.0),
+                            queue_depth=8)
+        assert deep.queue_delay_total < shallow.queue_delay_total
+        assert deep.mean_latency <= shallow.mean_latency
+
+    def test_queue_depth_one_matches_default(self):
+        records = records_spaced(0.001, count=20)
+        default = replay_timed(records, SsdDevice(seed=3))
+        explicit = replay_timed(records, SsdDevice(seed=3), queue_depth=1)
+        assert [e.latency for e in default.events] == (
+            [e.latency for e in explicit.events]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replay_timed([], SsdDevice(), queue_depth=0)

@@ -1,0 +1,75 @@
+"""Tests for seed replication and confidence intervals."""
+
+import pytest
+
+from repro.analysis.replicate import Replication, replicate, summarize
+
+
+class TestSummarize:
+    def test_constant_values(self):
+        replication = summarize([5.0, 5.0, 5.0])
+        assert replication.mean == 5.0
+        assert replication.std == 0.0
+        assert replication.ci_low == replication.ci_high == 5.0
+
+    def test_interval_contains_mean(self):
+        replication = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert replication.mean == 3.0
+        assert replication.ci_low < 3.0 < replication.ci_high
+
+    def test_higher_confidence_widens_interval(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        narrow = summarize(values, confidence=0.8)
+        wide = summarize(values, confidence=0.99)
+        assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
+
+    def test_single_value(self):
+        replication = summarize([7.0])
+        assert replication.mean == 7.0
+        assert replication.runs == 1
+        assert replication.ci_low == replication.ci_high == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.0)
+
+    def test_str_rendering(self):
+        text = str(summarize([1.0, 2.0, 3.0]))
+        assert "95% CI" in text and "n=3" in text
+
+
+class TestReplicate:
+    def test_runs_experiment_per_seed(self):
+        seen = []
+
+        def experiment(seed):
+            seen.append(seed)
+            return float(seed * 2)
+
+        replication = replicate(experiment, seeds=[1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert replication.mean == 4.0
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: 0.0, seeds=[])
+
+    def test_detection_stable_across_seeds(self):
+        """A miniature of the robustness bench: detection of the top
+        planted correlation holds for every seed."""
+        from repro.pipeline import characterize
+        from repro.workloads.synthetic import (
+            SyntheticKind, SyntheticSpec, generate_synthetic,
+        )
+
+        def experiment(seed):
+            spec = SyntheticSpec(SyntheticKind.ONE_TO_ONE,
+                                 duration=20.0, seed=seed)
+            records, truth = generate_synthetic(spec)
+            detected = {p for p, _t in characterize(records, min_support=3)}
+            return 1.0 if truth.pairs[0] in detected else 0.0
+
+        replication = replicate(experiment, seeds=[1, 2, 3])
+        assert replication.mean == 1.0

@@ -1,0 +1,95 @@
+"""Tests for representability vs optimal (Fig. 9)."""
+
+import pytest
+
+from repro.analysis.optimal import optimal_curve
+from repro.analysis.representability import (
+    representability,
+    sweep_table_sizes,
+)
+from repro.core.config import AnalyzerConfig
+
+from conftest import ext, pair
+
+
+def truth_example():
+    return {
+        pair(1, 2): 50,
+        pair(3, 4): 30,
+        pair(5, 6): 15,
+        pair(7, 8): 4,
+        pair(9, 10): 1,
+    }
+
+
+class TestRepresentability:
+    def test_perfect_capture(self):
+        truth = truth_example()
+        result = representability(truth, list(truth))
+        assert result.captured_fraction == pytest.approx(1.0)
+        assert result.quality == pytest.approx(1.0)
+
+    def test_optimal_subset(self):
+        truth = truth_example()
+        result = representability(truth, [pair(1, 2), pair(3, 4)])
+        assert result.captured_fraction == pytest.approx(0.80)
+        assert result.optimal_fraction == pytest.approx(0.80)
+        assert result.quality == pytest.approx(1.0)
+
+    def test_suboptimal_subset(self):
+        truth = truth_example()
+        result = representability(truth, [pair(7, 8), pair(9, 10)])
+        assert result.captured_fraction == pytest.approx(0.05)
+        assert result.quality == pytest.approx(0.05 / 0.80)
+
+    def test_unknown_pairs_capture_nothing(self):
+        truth = truth_example()
+        result = representability(truth, [pair(500, 600)])
+        assert result.captured_fraction == 0.0
+        assert result.quality == 0.0
+
+    def test_empty_residents(self):
+        result = representability(truth_example(), [])
+        assert result.table_entries == 0
+        assert result.quality == 1.0  # vacuous: optimal for 0 entries is 0
+
+    def test_precomputed_curve_accepted(self):
+        truth = truth_example()
+        curve = optimal_curve(truth)
+        direct = representability(truth, [pair(1, 2)], curve)
+        recomputed = representability(truth, [pair(1, 2)])
+        assert direct == recomputed
+
+
+class TestSweep:
+    def _transactions(self):
+        """Hot pair repeated heavily, plus streaming noise pairs."""
+        stream = []
+        for i in range(30):
+            stream.append([ext(1), ext(2)])
+            stream.append([ext(1000 + i), ext(5000 + i)])
+        return stream
+
+    def test_quality_grows_with_capacity(self):
+        from repro.fim.pairs import exact_pair_counts
+        transactions = self._transactions()
+        truth = exact_pair_counts(transactions)
+        results = sweep_table_sizes(transactions, truth, [1, 8, 64])
+        qualities = [score.quality for _cap, score in results]
+        assert qualities[-1] >= qualities[0]
+        assert qualities[-1] == pytest.approx(1.0)
+
+    def test_large_table_captures_everything(self):
+        from repro.fim.pairs import exact_pair_counts
+        transactions = self._transactions()
+        truth = exact_pair_counts(transactions)
+        (_cap, score), = sweep_table_sizes(transactions, truth, [256])
+        assert score.captured_fraction == pytest.approx(1.0)
+
+    def test_config_knobs_forwarded(self):
+        from repro.fim.pairs import exact_pair_counts
+        transactions = self._transactions()
+        truth = exact_pair_counts(transactions)
+        config = AnalyzerConfig(promote_threshold=3)
+        results = sweep_table_sizes(transactions, truth, [16], config)
+        assert len(results) == 1

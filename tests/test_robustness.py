@@ -1,0 +1,134 @@
+"""Robustness and failure-injection tests.
+
+The framework must degrade gracefully on hostile input: out-of-order
+events, clock anomalies, malformed trace files, degenerate configurations,
+and overload.  These tests pin the intended behaviour in each case.
+"""
+
+import io
+
+import pytest
+
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.monitor.events import BlockIOEvent
+from repro.monitor.monitor import Monitor, TransactionRecorder
+from repro.monitor.window import StaticWindow
+from repro.trace.io import read_blkparse_text, read_msr_csv
+from repro.trace.record import OpType
+
+from conftest import ext
+
+
+def event(ts, start=0, length=1):
+    return BlockIOEvent(ts, 1, OpType.READ, start, length)
+
+
+class TestMonitorClockAnomalies:
+    def test_out_of_order_events_are_not_lost(self):
+        """blktrace can deliver slightly out-of-order events across CPUs;
+        every event must still land in exactly one transaction."""
+        recorder = TransactionRecorder()
+        monitor = Monitor(window=StaticWindow(1e-3), sinks=[recorder])
+        timestamps = [0.0, 5e-4, 3e-4, 7e-4, 6e-4]  # jitter within window
+        for index, ts in enumerate(timestamps):
+            monitor.on_event(event(ts, start=index))
+        monitor.flush()
+        delivered = sum(len(txn) for txn in recorder.transactions)
+        assert delivered == len(timestamps)
+
+    def test_backwards_jump_does_not_crash(self):
+        recorder = TransactionRecorder()
+        monitor = Monitor(window=StaticWindow(1e-3), sinks=[recorder])
+        monitor.on_event(event(100.0, 1))
+        monitor.on_event(event(0.0, 2))  # clock went backwards
+        monitor.flush()
+        delivered = sum(len(txn) for txn in recorder.transactions)
+        assert delivered == 2
+
+    def test_identical_timestamps(self):
+        recorder = TransactionRecorder()
+        monitor = Monitor(window=StaticWindow(1e-3), sinks=[recorder])
+        for index in range(5):
+            monitor.on_event(event(1.0, start=index))
+        monitor.flush()
+        assert len(recorder.transactions) == 1
+        assert len(recorder.transactions[0]) == 5
+
+
+class TestDegenerateConfigurations:
+    def test_capacity_one_analyzer_survives_any_stream(self):
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=1, correlation_capacity=1
+        ))
+        for i in range(100):
+            analyzer.process([ext(i), ext(i + 1000), ext(i + 2000)])
+        assert len(analyzer.correlations) <= 2
+        assert analyzer.correlations.check_index()
+
+    def test_transaction_cap_one_degrades_to_item_counting(self):
+        recorder = TransactionRecorder()
+        monitor = Monitor(window=StaticWindow(1.0), sinks=[recorder],
+                          max_transaction_size=1)
+        for i in range(5):
+            monitor.on_event(event(i * 1e-6, start=i))
+        monitor.flush()
+        assert all(len(txn) == 1 for txn in recorder.transactions)
+
+    def test_analyzer_with_giant_transaction(self):
+        """No cap at the analyzer level: a 100-extent transaction is legal
+        (if quadratic) -- the cap lives in the monitor by design."""
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=8192, correlation_capacity=8192
+        ))
+        analyzer.process([ext(i * 10) for i in range(100)])
+        assert analyzer.report().pairs_seen == 100 * 99 // 2
+
+
+class TestMalformedTraceInput:
+    def test_msr_csv_bad_field_count(self):
+        with pytest.raises(ValueError):
+            list(read_msr_csv(io.StringIO("1,2,3,4\n")))
+
+    def test_msr_csv_negative_size_rejected_by_record(self):
+        text = "0,h,0,Read,0,-512,0\n"
+        with pytest.raises(ValueError):
+            list(read_msr_csv(io.StringIO(text)))
+
+    def test_blkparse_garbage_lines_skipped(self):
+        noise = io.StringIO(
+            "completely unrelated text\n"
+            "8,0 garbage\n"
+            "\n"
+        )
+        assert list(read_blkparse_text(noise)) == []
+
+    def test_blkparse_wrong_separator_skipped(self):
+        text = "  8,0  0  1  0.5  697  D  R 10 x 8 [x]\n"  # 'x' not '+'
+        assert list(read_blkparse_text(io.StringIO(text))) == []
+
+
+class TestOverload:
+    def test_monitor_under_event_flood(self):
+        """A burst far beyond the size cap splits cleanly; counters add up."""
+        recorder = TransactionRecorder()
+        monitor = Monitor(window=StaticWindow(10.0), sinks=[recorder])
+        flood = 10_000
+        for i in range(flood):
+            monitor.on_event(event(i * 1e-9, start=i))
+        monitor.flush()
+        assert monitor.stats.events_seen == flood
+        delivered = sum(len(txn) for txn in recorder.transactions)
+        assert delivered == flood
+        assert all(len(txn) <= 8 for txn in recorder.transactions)
+
+    def test_synopsis_stable_under_adversarial_unique_stream(self):
+        """A stream with no repetition at all: the synopsis holds its
+        bound, detects nothing, and never crashes."""
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=64, correlation_capacity=64
+        ))
+        for i in range(5000):
+            analyzer.process([ext(2 * i), ext(2 * i + 100001)])
+        assert analyzer.frequent_pairs(min_support=2) == []
+        assert len(analyzer.correlations) <= 128

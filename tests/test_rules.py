@@ -1,0 +1,132 @@
+"""Tests for association rule mining over correlations."""
+
+import pytest
+
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.fim.rules import (
+    AssociationRule,
+    RuleIndex,
+    mine_rules,
+    rules_from_analyzer,
+)
+
+from conftest import ext, pair
+
+
+def example_counts():
+    """A always co-occurs with B; C sometimes co-occurs with A."""
+    pair_counts = {pair(1, 2): 8, pair(1, 3): 2}
+    item_counts = {ext(1): 10, ext(2): 8, ext(3): 6}
+    return pair_counts, item_counts
+
+
+class TestMineRules:
+    def test_confidence_is_directional(self):
+        pair_counts, item_counts = example_counts()
+        rules = mine_rules(pair_counts, item_counts, transactions=20,
+                           min_support=2, min_confidence=0.1)
+        by_direction = {
+            (rule.antecedent, rule.consequent): rule for rule in rules
+        }
+        forward = by_direction[(ext(1), ext(2))]
+        backward = by_direction[(ext(2), ext(1))]
+        assert forward.confidence == pytest.approx(0.8)   # 8/10
+        assert backward.confidence == pytest.approx(1.0)  # 8/8
+
+    def test_min_confidence_filters(self):
+        pair_counts, item_counts = example_counts()
+        rules = mine_rules(pair_counts, item_counts, transactions=20,
+                           min_support=2, min_confidence=0.9)
+        assert all(rule.confidence >= 0.9 for rule in rules)
+        assert (ext(2), ext(1)) in {
+            (r.antecedent, r.consequent) for r in rules
+        }
+
+    def test_min_support_filters(self):
+        pair_counts, item_counts = example_counts()
+        rules = mine_rules(pair_counts, item_counts, transactions=20,
+                           min_support=5, min_confidence=0.1)
+        assert all(rule.support >= 5 for rule in rules)
+
+    def test_lift_computation(self):
+        pair_counts, item_counts = example_counts()
+        rules = mine_rules(pair_counts, item_counts, transactions=20,
+                           min_support=2, min_confidence=0.1)
+        forward = next(r for r in rules
+                       if (r.antecedent, r.consequent) == (ext(1), ext(2)))
+        # lift = confidence / P(B) = 0.8 / (8/20) = 2.0
+        assert forward.lift == pytest.approx(2.0)
+
+    def test_sorted_strongest_first(self):
+        pair_counts, item_counts = example_counts()
+        rules = mine_rules(pair_counts, item_counts, transactions=20,
+                           min_support=1, min_confidence=0.1)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_validation(self):
+        pair_counts, item_counts = example_counts()
+        with pytest.raises(ValueError):
+            mine_rules(pair_counts, item_counts, transactions=0)
+        with pytest.raises(ValueError):
+            mine_rules(pair_counts, item_counts, 10, min_support=0)
+        with pytest.raises(ValueError):
+            mine_rules(pair_counts, item_counts, 10, min_confidence=0.0)
+
+    def test_missing_antecedent_count_skipped(self):
+        rules = mine_rules({pair(1, 2): 3}, {ext(2): 3}, transactions=5,
+                           min_support=1, min_confidence=0.1)
+        # Only the direction with a known antecedent count is emitted.
+        assert [(r.antecedent, r.consequent) for r in rules] == [
+            (ext(2), ext(1))
+        ]
+
+    def test_confidence_capped_at_one(self):
+        # Synopsis undercounting can make pair > item tallies; cap at 1.
+        rules = mine_rules({pair(1, 2): 5}, {ext(1): 3, ext(2): 5},
+                           transactions=5, min_support=1, min_confidence=0.1)
+        assert all(rule.confidence <= 1.0 for rule in rules)
+
+    def test_str_rendering(self):
+        rule = AssociationRule(ext(1), ext(2), 8, 0.8, 2.0)
+        assert "->" in str(rule) and "conf=0.80" in str(rule)
+
+
+class TestRulesFromAnalyzer:
+    def test_end_to_end(self):
+        analyzer = OnlineAnalyzer(AnalyzerConfig(item_capacity=32,
+                                                 correlation_capacity=32))
+        for _ in range(6):
+            analyzer.process([ext(1), ext(2)])
+        analyzer.process([ext(1), ext(99)])
+        rules = rules_from_analyzer(analyzer, min_support=3,
+                                    min_confidence=0.5)
+        directions = {(r.antecedent, r.consequent) for r in rules}
+        assert (ext(2), ext(1)) in directions
+        assert all(rule.support >= 3 for rule in rules)
+
+
+class TestRuleIndex:
+    def _rules(self):
+        return [
+            AssociationRule(ext(1), ext(2), 8, 0.8, 2.0),
+            AssociationRule(ext(1), ext(3), 4, 0.9, 3.0),
+            AssociationRule(ext(5), ext(6), 2, 0.6, 1.5),
+        ]
+
+    def test_lookup_sorted_by_confidence(self):
+        index = RuleIndex(self._rules())
+        assert index.consequents_of(ext(1)) == [ext(3), ext(2)]
+
+    def test_limit(self):
+        index = RuleIndex(self._rules())
+        assert index.consequents_of(ext(1), limit=1) == [ext(3)]
+
+    def test_unknown_antecedent(self):
+        index = RuleIndex(self._rules())
+        assert index.consequents_of(ext(42)) == []
+        assert index.rules_of(ext(42)) == []
+
+    def test_len(self):
+        assert len(RuleIndex(self._rules())) == 3

@@ -1,0 +1,119 @@
+"""Tests for correlation-aware I/O scheduling."""
+
+import pytest
+
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.optimize.scheduler import (
+    CorrelationScheduler,
+    FifoScheduler,
+    run_dispatch_experiment,
+)
+
+from conftest import ext, pair
+
+
+def trained_analyzer(pairs):
+    analyzer = OnlineAnalyzer(AnalyzerConfig(item_capacity=64,
+                                             correlation_capacity=64))
+    for p in pairs:
+        for _ in range(5):
+            analyzer.process([p.first, p.second])
+    return analyzer
+
+
+def interleaved_arrivals(pairs, spacing=6, rounds=20):
+    """Pair members arrive `spacing` positions apart, noise between."""
+    arrivals = []
+    noise = 100000
+    for round_index in range(rounds):
+        p = pairs[round_index % len(pairs)]
+        arrivals.append(p.first)
+        for _ in range(spacing - 1):
+            arrivals.append(ext(noise))
+            noise += 1
+        arrivals.append(p.second)
+    return arrivals
+
+
+class TestSchedulers:
+    def test_fifo_preserves_order(self):
+        scheduler = FifoScheduler()
+        for extent in (ext(3), ext(1), ext(2)):
+            scheduler.submit(extent)
+        assert scheduler.dispatch() == ext(3)
+        assert scheduler.dispatch() == ext(1)
+        assert scheduler.dispatch() == ext(2)
+        assert scheduler.dispatch() is None
+
+    def test_correlation_scheduler_promotes_partner(self):
+        watched = pair(1, 2)
+        analyzer = trained_analyzer([watched])
+        scheduler = CorrelationScheduler(analyzer, min_support=2)
+        scheduler.submit(ext(1))
+        scheduler.submit(ext(500))
+        scheduler.submit(ext(2))
+        assert scheduler.dispatch() == ext(1)
+        assert scheduler.dispatch() == ext(2)  # promoted past ext(500)
+        assert scheduler.dispatch() == ext(500)
+        assert scheduler.stats_promotions == 1
+
+    def test_fairness_window_bounds_promotion(self):
+        watched = pair(1, 2)
+        analyzer = trained_analyzer([watched])
+        scheduler = CorrelationScheduler(analyzer, min_support=2,
+                                         fairness_window=2)
+        scheduler.submit(ext(1))
+        for i in range(5):
+            scheduler.submit(ext(500 + i))
+        scheduler.submit(ext(2))  # deeper than the window
+        scheduler.dispatch()
+        assert scheduler.dispatch() == ext(500)  # no promotion
+        assert scheduler.stats_promotions == 0
+
+    def test_validation(self):
+        analyzer = trained_analyzer([pair(1, 2)])
+        with pytest.raises(ValueError):
+            CorrelationScheduler(analyzer, fairness_window=0)
+
+
+class TestDispatchExperiment:
+    def test_correlation_scheduling_tightens_partner_distance(self):
+        pairs = [pair(i * 1000, i * 1000 + 500) for i in range(1, 5)]
+        arrivals = interleaved_arrivals(pairs)
+        analyzer = trained_analyzer(pairs)
+
+        fifo = run_dispatch_experiment(
+            arrivals, FifoScheduler(), pairs, queue_depth=16
+        )
+        smart = run_dispatch_experiment(
+            arrivals,
+            CorrelationScheduler(analyzer, min_support=2,
+                                 fairness_window=16),
+            pairs,
+            queue_depth=16,
+        )
+        assert fifo.dispatched == smart.dispatched == len(arrivals)
+        assert smart.mean_partner_distance < fifo.mean_partner_distance
+        assert smart.adjacent_fraction > fifo.adjacent_fraction
+        assert smart.promotions > 0
+
+    def test_all_arrivals_dispatched_exactly_once(self):
+        pairs = [pair(1000, 1500)]
+        arrivals = interleaved_arrivals(pairs, rounds=8)
+        analyzer = trained_analyzer(pairs)
+        stats = run_dispatch_experiment(
+            arrivals, CorrelationScheduler(analyzer), pairs, queue_depth=4
+        )
+        assert stats.dispatched == len(arrivals)
+
+    def test_queue_depth_validation(self):
+        with pytest.raises(ValueError):
+            run_dispatch_experiment([], FifoScheduler(), [], queue_depth=0)
+
+    def test_no_watched_pairs(self):
+        stats = run_dispatch_experiment(
+            [ext(1), ext(2)], FifoScheduler(), [], queue_depth=2
+        )
+        assert stats.mean_partner_distance == 0.0
+        assert stats.adjacent_fraction == 0.0

@@ -1,0 +1,121 @@
+"""Tests for the self-optimizing controller (closing Fig. 3's loop)."""
+
+import pytest
+
+from repro.monitor.events import BlockIOEvent
+from repro.monitor.monitor import Monitor
+from repro.monitor.transaction import Transaction
+from repro.monitor.window import StaticWindow
+from repro.optimize.multistream import FlashConfig
+from repro.optimize.openchannel import OcssdConfig, StripingPlacement
+from repro.optimize.selfopt import SelfOptimizingController
+from repro.trace.record import OpType
+
+from conftest import ext
+
+R, W = OpType.READ, OpType.WRITE
+
+
+def txn(*items):
+    """Transaction of (start, length, op) tuples."""
+    events = [
+        BlockIOEvent(i * 1e-5, 1, op, start, length)
+        for i, (start, length, op) in enumerate(items)
+    ]
+    return Transaction(events)
+
+
+def small_controller(refresh_interval=10, min_support=2):
+    return SelfOptimizingController(
+        flash_config=FlashConfig(erase_units=32, pages_per_eu=16,
+                                 streams=8, overprovision_eus=6),
+        ocssd_config=OcssdConfig(parallel_units=4),
+        refresh_interval=refresh_interval,
+        min_support=min_support,
+    )
+
+
+def feed_mixed(controller, rounds):
+    """Write-correlated group (A) and read-correlated group (B)."""
+    for _ in range(rounds):
+        controller.on_transaction(
+            txn((1000, 8, W), (2000, 8, W))      # write pair
+        )
+        controller.on_transaction(
+            txn((50000, 8, R), (60000, 8, R))    # read pair
+        )
+
+
+class TestColdStart:
+    def test_baselines_before_first_refresh(self):
+        controller = small_controller(refresh_interval=1000)
+        feed_mixed(controller, 3)
+        assert not controller.is_optimizing
+        assert controller.assign_stream(ext(1000, 8)) == 0
+        striping = StripingPlacement(controller.ocssd_config)
+        assert controller.place(ext(50000, 8)) == (
+            striping.unit_of(ext(50000, 8))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelfOptimizingController(refresh_interval=0)
+        with pytest.raises(ValueError):
+            SelfOptimizingController(min_support=0)
+
+
+class TestRefresh:
+    def test_refresh_fires_on_interval(self):
+        controller = small_controller(refresh_interval=6)
+        feed_mixed(controller, 6)  # 12 transactions -> 2 refreshes
+        assert controller.stats.refreshes == 2
+        assert controller.stats.transactions == 12
+
+    def test_policies_learn_from_types(self):
+        controller = small_controller(refresh_interval=10, min_support=2)
+        feed_mixed(controller, 10)
+        assert controller.is_optimizing
+        # Write partners share a (non-default) stream.
+        stream_a = controller.assign_stream(ext(1000, 8))
+        stream_b = controller.assign_stream(ext(2000, 8))
+        assert stream_a == stream_b != 0
+        # Read partners land on distinct parallel units.
+        assert controller.place(ext(50000, 8)) != controller.place(ext(60000, 8))
+        assert controller.stats.write_pairs_last_refresh >= 1
+        assert controller.stats.read_pairs_last_refresh >= 1
+
+    def test_read_pairs_do_not_enter_stream_policy(self):
+        controller = small_controller(refresh_interval=10, min_support=2)
+        feed_mixed(controller, 10)
+        # The read-correlated extents were never write-correlated: they go
+        # to the default stream.
+        assert controller.assign_stream(ext(50000, 8)) == 0
+
+    def test_manual_refresh(self):
+        controller = small_controller(refresh_interval=10 ** 6)
+        feed_mixed(controller, 5)
+        controller.refresh()
+        assert controller.stats.refreshes == 1
+        assert controller.is_optimizing
+
+
+class TestWithMonitor:
+    def test_as_monitor_sink_end_to_end(self):
+        controller = small_controller(refresh_interval=20, min_support=2)
+        monitor = Monitor(window=StaticWindow(1e-3),
+                          sinks=[controller.on_transaction])
+        clock = 0.0
+        for round_index in range(40):
+            writes = [
+                BlockIOEvent(clock, 1, W, 1000, 8),
+                BlockIOEvent(clock + 1e-5, 1, W, 2000, 8),
+            ]
+            for event in writes:
+                monitor.on_event(event)
+            clock += 0.1
+        monitor.flush()
+        assert controller.stats.transactions > 0
+        assert controller.is_optimizing
+        assert controller.assign_stream(ext(1000, 8)) == (
+            controller.assign_stream(ext(2000, 8))
+        )

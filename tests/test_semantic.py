@@ -1,0 +1,132 @@
+"""Tests for the semantic workload layer (filesystem + applications)."""
+
+import pytest
+
+from repro.core.extent import ExtentPair
+from repro.pipeline import run_pipeline
+from repro.workloads.semantic import (
+    FileServerSpec,
+    FilesystemLayout,
+    WebsiteSpec,
+    generate_fileserver,
+    generate_website,
+)
+
+
+class TestFilesystemLayout:
+    def test_inodes_low_data_high(self):
+        layout = FilesystemLayout(inode_region_blocks=128, seed=1)
+        file_object = layout.create_file("f", 32)
+        assert file_object.inode.start < 128
+        for extent in file_object.data:
+            assert extent.start >= 128
+
+    def test_data_extents_never_overlap(self):
+        layout = FilesystemLayout(seed=2, fragmentation=0.6)
+        extents = []
+        for index in range(30):
+            file_object = layout.create_file(f"f{index}", 40)
+            extents.extend(file_object.all_extents())
+        ordered = sorted(extents)
+        for a, b in zip(ordered, ordered[1:]):
+            assert not a.overlaps(b)
+
+    def test_total_data_blocks_preserved(self):
+        layout = FilesystemLayout(seed=3, fragmentation=0.9)
+        file_object = layout.create_file("f", 100)
+        assert sum(extent.length for extent in file_object.data) == 100
+
+    def test_fragmentation_splits_large_files(self):
+        fragmented = FilesystemLayout(seed=4, fragmentation=1.0)
+        file_object = fragmented.create_file("f", 64)
+        assert len(file_object.data) > 1
+        contiguous = FilesystemLayout(seed=4, fragmentation=0.0)
+        assert len(contiguous.create_file("f", 64).data) == 1
+
+    def test_semantic_pairs_cover_inode_and_data(self):
+        layout = FilesystemLayout(seed=5, fragmentation=1.0)
+        file_object = layout.create_file("f", 64)
+        pairs = file_object.semantic_pairs()
+        extents = file_object.all_extents()
+        assert len(pairs) == len(extents) * (len(extents) - 1) // 2
+        assert any(pair.involves(file_object.inode) for pair in pairs)
+
+    def test_inode_table_exhaustion(self):
+        layout = FilesystemLayout(inode_region_blocks=2, seed=1)
+        layout.create_file("a", 4)
+        layout.create_file("b", 4)
+        with pytest.raises(RuntimeError):
+            layout.create_file("c", 4)
+
+    def test_table_allocation(self):
+        layout = FilesystemLayout(seed=6)
+        table = layout.create_table("t", pages=4, page_blocks=16)
+        assert len(table.pages) >= 4
+        assert sum(page.length for page in table.pages) == 4 * 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FilesystemLayout(inode_region_blocks=0)
+        with pytest.raises(ValueError):
+            FilesystemLayout(fragmentation=1.5)
+        layout = FilesystemLayout()
+        with pytest.raises(ValueError):
+            layout.create_file("x", 0)
+        with pytest.raises(ValueError):
+            layout.create_table("x", 0)
+
+
+class TestFileServer:
+    def test_generated_trace_shape(self):
+        records, truth, layout = generate_fileserver(
+            FileServerSpec(files=5, requests=50, seed=7)
+        )
+        assert records
+        times = [record.timestamp for record in records]
+        assert times == sorted(times)
+        assert len(truth.file_pairs) == 5
+
+    def test_inode_data_correlations_detected_online(self):
+        """The paper's inode/data example, end to end: the framework must
+        detect the hottest file's inode<->data correlation."""
+        spec = FileServerSpec(files=8, requests=400, seed=9)
+        records, truth, layout = generate_fileserver(spec)
+        result = run_pipeline(records, record_offline=False)
+        detected = {p for p, _t in result.frequent_pairs(min_support=5)}
+        hottest = layout.files[0]  # rank 1 under Zipf popularity
+        expected = set(hottest.semantic_pairs())
+        assert expected & detected, "no inode/data correlation detected"
+
+    def test_mixed_read_write(self):
+        records, _truth, _layout = generate_fileserver(
+            FileServerSpec(files=5, requests=200, write_fraction=0.5, seed=3)
+        )
+        ops = {record.op for record in records}
+        assert len(ops) == 2
+
+
+class TestWebsite:
+    def test_truth_includes_web_db_pairs(self):
+        records, truth, layout = generate_website(
+            WebsiteSpec(pages=4, tables=2, requests=50, seed=11)
+        )
+        assert truth.web_db_pairs
+        # Every web/db pair links a file extent with a table index.
+        table_indexes = {table.index for table in layout.tables}
+        for pair in truth.web_db_pairs:
+            assert pair.first in table_indexes or pair.second in table_indexes
+
+    def test_web_db_correlation_detected_online(self):
+        """The paper's web-server/database example, end to end."""
+        spec = WebsiteSpec(pages=4, tables=2, requests=300, seed=13)
+        records, truth, layout = generate_website(spec)
+        result = run_pipeline(records, record_offline=False)
+        detected = {p for p, _t in result.frequent_pairs(min_support=5)}
+        cross = set(truth.web_db_pairs) & detected
+        assert cross, "no web<->database correlation detected"
+
+    def test_deterministic(self):
+        spec = WebsiteSpec(requests=40, seed=21)
+        first, _t1, _l1 = generate_website(spec)
+        second, _t2, _l2 = generate_website(spec)
+        assert first == second

@@ -1,0 +1,106 @@
+"""Tests for sequential-vs-semantic correlation classification."""
+
+import pytest
+
+from repro.analysis.sequential import (
+    ClassifierConfig,
+    PatternKind,
+    classify_correlations,
+    classify_pair,
+    split_by_kind,
+)
+from repro.core.extent import Extent, ExtentPair
+
+from conftest import pair
+
+
+class TestClassifyPair:
+    def test_adjacent_is_sequential(self):
+        assert classify_pair(
+            ExtentPair(Extent(0, 8), Extent(8, 8))
+        ) is PatternKind.SEQUENTIAL
+
+    def test_small_gap_is_sequential(self):
+        config = ClassifierConfig(sequential_gap=8)
+        assert classify_pair(
+            ExtentPair(Extent(0, 8), Extent(12, 8)), config
+        ) is PatternKind.SEQUENTIAL
+
+    def test_overlapping_is_sequential(self):
+        assert classify_pair(
+            ExtentPair(Extent(0, 16), Extent(8, 16))
+        ) is PatternKind.SEQUENTIAL
+
+    def test_medium_gap_is_near(self):
+        config = ClassifierConfig(sequential_gap=8, locality_span=2048)
+        assert classify_pair(
+            ExtentPair(Extent(0, 8), Extent(500, 8)), config
+        ) is PatternKind.NEAR
+
+    def test_large_gap_is_scattered(self):
+        assert classify_pair(
+            ExtentPair(Extent(0, 8), Extent(10_000_000, 8))
+        ) is PatternKind.SCATTERED
+
+    def test_gap_measured_from_lower_end(self):
+        config = ClassifierConfig(sequential_gap=0, locality_span=100)
+        # end of low = 10; start of high = 10 -> gap 0 -> sequential.
+        assert classify_pair(
+            ExtentPair(Extent(0, 10), Extent(10, 5)), config
+        ) is PatternKind.SEQUENTIAL
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(sequential_gap=-1)
+        with pytest.raises(ValueError):
+            ClassifierConfig(sequential_gap=100, locality_span=50)
+
+
+class TestComposition:
+    def _counts(self):
+        return {
+            ExtentPair(Extent(0, 8), Extent(8, 8)): 10,          # sequential
+            ExtentPair(Extent(100, 8), Extent(400, 8)): 5,       # near
+            ExtentPair(Extent(0, 8), Extent(9_000_000, 8)): 3,   # scattered
+            ExtentPair(Extent(50, 8), Extent(8_000_000, 8)): 2,  # scattered
+        }
+
+    def test_counts_and_weights(self):
+        composition = classify_correlations(self._counts())
+        assert composition.counts[PatternKind.SEQUENTIAL] == 1
+        assert composition.counts[PatternKind.NEAR] == 1
+        assert composition.counts[PatternKind.SCATTERED] == 2
+        assert composition.weights[PatternKind.SEQUENTIAL] == 10
+        assert composition.weights[PatternKind.SCATTERED] == 5
+
+    def test_fractions(self):
+        composition = classify_correlations(self._counts())
+        assert composition.fraction(PatternKind.SCATTERED) == pytest.approx(0.5)
+        assert composition.weighted_fraction(PatternKind.SEQUENTIAL) == (
+            pytest.approx(0.5)
+        )
+        total = sum(composition.fraction(kind) for kind in PatternKind)
+        assert total == pytest.approx(1.0)
+
+    def test_empty_composition(self):
+        composition = classify_correlations({})
+        assert composition.total_pairs == 0
+        assert composition.fraction(PatternKind.NEAR) == 0.0
+
+    def test_split_by_kind_partitions(self):
+        counts = self._counts()
+        partitions = split_by_kind(counts)
+        merged = {}
+        for subset in partitions.values():
+            merged.update(subset)
+        assert merged == counts
+        assert len(partitions[PatternKind.SCATTERED]) == 2
+
+
+class TestOnSyntheticTruth:
+    def test_planted_correlations_are_not_sequential(self, small_synthetic):
+        """The synthetic generator places pair members in disjoint halves
+        of their region -- they must classify as semantic, not sequential."""
+        _records, truth = small_synthetic
+        for planted in truth.pairs:
+            assert classify_pair(planted) is not PatternKind.SEQUENTIAL

@@ -1,0 +1,118 @@
+"""Tests for synopsis checkpoint/restore."""
+
+import io
+
+import pytest
+
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.core.serialize import (
+    dump_analyzer,
+    dumps_analyzer,
+    load_analyzer,
+    loads_analyzer,
+    synopsis_size_bytes,
+)
+
+from conftest import ext
+
+
+def trained_analyzer(capacity=32):
+    analyzer = OnlineAnalyzer(AnalyzerConfig(
+        item_capacity=capacity, correlation_capacity=capacity
+    ))
+    for i in range(40):
+        analyzer.process([ext(1), ext(2)])
+        analyzer.process([ext(i * 10 + 100), ext(i * 10 + 5000)])
+    return analyzer
+
+
+class TestRoundtrip:
+    def test_pair_frequencies_preserved(self):
+        analyzer = trained_analyzer()
+        restored = loads_analyzer(dumps_analyzer(analyzer))
+        assert restored.pair_frequencies() == analyzer.pair_frequencies()
+
+    def test_item_tallies_preserved(self):
+        analyzer = trained_analyzer()
+        restored = loads_analyzer(dumps_analyzer(analyzer))
+        assert restored.items.items() == analyzer.items.items()
+
+    def test_tier_membership_preserved(self):
+        analyzer = trained_analyzer()
+        restored = loads_analyzer(dumps_analyzer(analyzer))
+        for extent, _tally, tier in analyzer.items.items():
+            assert restored.items.tier_of(extent) == tier
+        for pair, _tally, tier in analyzer.correlations.items():
+            assert restored.correlations.tier_of(pair) == tier
+
+    def test_lru_order_preserved(self):
+        """The restored synopsis must evict in the same order."""
+        analyzer = trained_analyzer(capacity=8)
+        restored = loads_analyzer(dumps_analyzer(analyzer))
+        original_order = analyzer.correlations._table.t1.keys_mru_order()
+        restored_order = restored.correlations._table.t1.keys_mru_order()
+        assert original_order == restored_order
+
+    def test_restored_analyzer_keeps_learning(self):
+        analyzer = trained_analyzer()
+        restored = loads_analyzer(dumps_analyzer(analyzer))
+        before = restored.correlations.tally(
+            next(iter(restored.pair_frequencies()))
+        )
+        restored.process([ext(1), ext(2)])
+        from conftest import pair
+        assert restored.correlations.tally(pair(1, 2)) is not None
+        assert restored.correlations.check_index()
+
+    def test_capacities_and_threshold_preserved(self):
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=16, correlation_capacity=64, promote_threshold=3
+        ))
+        analyzer.process([ext(1), ext(2)])
+        restored = loads_analyzer(dumps_analyzer(analyzer))
+        assert restored.items.capacity == analyzer.items.capacity
+        assert restored.correlations.capacity == analyzer.correlations.capacity
+        assert restored.config.promote_threshold == 3
+
+    def test_empty_analyzer_roundtrip(self):
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=8, correlation_capacity=8
+        ))
+        restored = loads_analyzer(dumps_analyzer(analyzer))
+        assert restored.pair_frequencies() == {}
+
+
+class TestFormat:
+    def test_size_accounting(self):
+        analyzer = trained_analyzer()
+        data = dumps_analyzer(analyzer)
+        assert len(data) == synopsis_size_bytes(analyzer)
+
+    def test_size_tracks_paper_entry_layout(self):
+        """Entries serialise at the paper's 16/28-byte sizes."""
+        empty = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=8, correlation_capacity=8
+        ))
+        base = len(dumps_analyzer(empty))
+        empty.process([ext(1)])
+        with_one_item = len(dumps_analyzer(empty))
+        assert with_one_item - base == 16
+        empty.process([ext(1), ext(2)])
+        with_pair = len(dumps_analyzer(empty))
+        assert with_pair - with_one_item == 16 + 28  # one item + one pair
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            load_analyzer(io.BytesIO(b"NOTASYNOPSIS"))
+
+    def test_truncated_stream_rejected(self):
+        data = dumps_analyzer(trained_analyzer())
+        with pytest.raises(ValueError):
+            loads_analyzer(data[:-10])
+
+    def test_stream_dump(self):
+        analyzer = trained_analyzer()
+        buffer = io.BytesIO()
+        written = dump_analyzer(analyzer, buffer)
+        assert written == len(buffer.getvalue())

@@ -1,0 +1,141 @@
+"""Tests for the continuous characterization service."""
+
+import io
+
+import pytest
+
+from repro.core.config import AnalyzerConfig
+from repro.core.typed import CorrelationKind
+from repro.monitor.events import BlockIOEvent
+from repro.monitor.window import StaticWindow
+from repro.service import CharacterizationService
+from repro.trace.record import OpType
+
+from conftest import ext, pair
+
+R, W = OpType.READ, OpType.WRITE
+
+
+def event(ts, start, length=8, op=R, latency=None):
+    return BlockIOEvent(ts, 1, op, start, length, latency=latency)
+
+
+def small_service(**overrides):
+    defaults = dict(
+        config=AnalyzerConfig(item_capacity=256, correlation_capacity=256),
+        window=StaticWindow(1e-3),
+        min_support=3,
+        snapshot_interval=10,
+    )
+    defaults.update(overrides)
+    return CharacterizationService(**defaults)
+
+
+def feed_hot_pair(service, rounds, base_ts=0.0):
+    clock = base_ts
+    for _ in range(rounds):
+        service.submit(event(clock, 100, 8))
+        service.submit(event(clock + 1e-5, 9000, 16))
+        clock += 0.05
+    service.flush()
+    return clock
+
+
+class TestIngestion:
+    def test_learns_correlations_from_event_stream(self):
+        service = small_service()
+        feed_hot_pair(service, 10)
+        snapshot = service.snapshot()
+        assert snapshot.correlations >= 1
+        assert snapshot.frequent_pairs[0][0] == pair(100, 9000, 8, 16)
+        assert snapshot.events == 20
+
+    def test_kind_filtered_snapshot(self):
+        service = small_service()
+        clock = 0.0
+        for _ in range(6):
+            service.submit(event(clock, 100, op=R))
+            service.submit(event(clock + 1e-5, 9000, op=R))
+            service.submit(event(clock + 0.01, 5_000_000, op=W))
+            service.submit(event(clock + 0.01 + 1e-5, 6_000_000, op=W))
+            clock += 0.05
+        service.flush()
+        reads = service.snapshot(CorrelationKind.READ)
+        writes = service.snapshot(CorrelationKind.WRITE)
+        read_pairs = {p for p, _t in reads.frequent_pairs}
+        write_pairs = {p for p, _t in writes.frequent_pairs}
+        assert pair(100, 9000, 8, 8) in read_pairs
+        assert pair(5_000_000, 6_000_000, 8, 8) in write_pairs
+        assert read_pairs.isdisjoint(write_pairs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CharacterizationService(snapshot_interval=0)
+        with pytest.raises(ValueError):
+            CharacterizationService(min_support=0)
+
+
+class TestObservers:
+    def test_observer_called_on_interval(self):
+        service = small_service(snapshot_interval=5)
+        seen = []
+        service.observe(seen.append)
+        feed_hot_pair(service, 12)  # 12 transactions
+        assert len(seen) == 2  # at transactions 5 and 10
+        assert seen[-1].transactions == 10
+
+    def test_multiple_observers(self):
+        service = small_service(snapshot_interval=3)
+        first, second = [], []
+        service.observe(first.append)
+        service.observe(second.append)
+        feed_hot_pair(service, 6)
+        assert len(first) == len(second) == 2
+
+
+class TestPersistence:
+    def test_checkpoint_restore_roundtrip(self):
+        service = small_service()
+        feed_hot_pair(service, 10)
+        before = {p for p, _t in service.snapshot().frequent_pairs}
+
+        buffer = io.BytesIO()
+        written = service.checkpoint(buffer)
+        assert written == len(buffer.getvalue())
+
+        fresh = small_service()
+        assert fresh.snapshot().correlations == 0
+        buffer.seek(0)
+        fresh.restore(buffer)
+        after = {p for p, _t in fresh.snapshot().frequent_pairs}
+        assert after == before
+
+    def test_restored_service_keeps_learning(self):
+        service = small_service()
+        end = feed_hot_pair(service, 10)
+
+        buffer = io.BytesIO()
+        service.checkpoint(buffer)
+        buffer.seek(0)
+        resumed = small_service()
+        resumed.restore(buffer)
+
+        tally_before = dict(resumed.snapshot().frequent_pairs)[
+            pair(100, 9000, 8, 16)
+        ]
+        feed_hot_pair(resumed, 5, base_ts=end + 1.0)
+        tally_after = dict(resumed.snapshot().frequent_pairs)[
+            pair(100, 9000, 8, 16)
+        ]
+        assert tally_after > tally_before
+
+    def test_checkpoint_flushes_open_transaction(self):
+        service = small_service()
+        service.submit(event(0.0, 100))
+        service.submit(event(1e-5, 9000))
+        buffer = io.BytesIO()
+        service.checkpoint(buffer)  # no explicit flush beforehand
+        buffer.seek(0)
+        fresh = small_service()
+        fresh.restore(buffer)
+        assert fresh.analyzer.correlations.tally(pair(100, 9000, 8, 8)) == 1

@@ -1,0 +1,119 @@
+"""Tests for the paper's synthetic workloads (Section IV-B1)."""
+
+import pytest
+
+from repro.workloads.synthetic import (
+    CORRELATED_MAX_BLOCKS,
+    SyntheticKind,
+    SyntheticSpec,
+    all_synthetic_specs,
+    generate_synthetic,
+)
+
+
+def generate(kind, **overrides):
+    settings = dict(duration=30.0, seed=5)
+    settings.update(overrides)
+    spec = SyntheticSpec(kind=kind, **settings)
+    return generate_synthetic(spec), spec
+
+
+class TestConstruction:
+    def test_four_correlations_with_zipf_popularity(self):
+        (records, truth), _spec = generate(SyntheticKind.MANY_TO_MANY)
+        assert len(truth.pairs) == 4
+        assert truth.probabilities == pytest.approx([0.48, 0.24, 0.16, 0.12])
+        assert truth.occurrences[0] > truth.occurrences[-1]
+
+    def test_one_to_one_shape(self):
+        (records, truth), _spec = generate(SyntheticKind.ONE_TO_ONE)
+        for pair in truth.pairs:
+            assert pair.first.length == 1
+            assert pair.second.length == 1
+            assert not pair.first.is_adjacent(pair.second)
+            assert not pair.first.overlaps(pair.second)
+
+    def test_one_to_many_shape(self):
+        (records, truth), _spec = generate(SyntheticKind.ONE_TO_MANY)
+        for pair in truth.pairs:
+            lengths = sorted((pair.first.length, pair.second.length))
+            assert lengths[0] == 1
+            assert 1 <= lengths[1] <= CORRELATED_MAX_BLOCKS
+
+    def test_many_to_many_shape(self):
+        (records, truth), _spec = generate(SyntheticKind.MANY_TO_MANY)
+        assert any(
+            pair.first.length > 1 and pair.second.length > 1
+            for pair in truth.pairs
+        )
+
+    def test_correlations_do_not_overlap_each_other(self):
+        (records, truth), _spec = generate(SyntheticKind.MANY_TO_MANY)
+        extents = [e for pair in truth.pairs for e in (pair.first, pair.second)]
+        for i, a in enumerate(extents):
+            for b in extents[i + 1:]:
+                assert not a.overlaps(b)
+
+
+class TestStream:
+    def test_records_sorted_by_time(self):
+        (records, _truth), spec = generate(SyntheticKind.ONE_TO_ONE)
+        times = [record.timestamp for record in records]
+        assert times == sorted(times)
+        assert times[-1] <= spec.duration + 1e-6
+
+    def test_correlated_members_arrive_close_together(self):
+        (records, truth), spec = generate(SyntheticKind.ONE_TO_ONE)
+        starts = {pair.first.start: pair for pair in truth.pairs}
+        for record in records:
+            pair = starts.get(record.start)
+            if pair is None:
+                continue
+            # The partner must appear within the intra-pair gap.
+            partners = [
+                other for other in records
+                if other.start == pair.second.start
+                and abs(other.timestamp - record.timestamp)
+                <= spec.intra_pair_gap + 1e-9
+            ]
+            assert partners
+            break
+
+    def test_noise_present_and_disjoint_from_correlations(self):
+        (records, truth), _spec = generate(SyntheticKind.ONE_TO_ONE)
+        correlated_starts = {
+            e.start for pair in truth.pairs for e in (pair.first, pair.second)
+        }
+        noise = [r for r in records if r.start not in correlated_starts]
+        assert noise  # mean interarrival 100 ms over 30 s => plenty
+        for record in noise:
+            assert record.pid == 1001
+
+    def test_occurrences_roughly_zipf(self):
+        (records, truth), _spec = generate(
+            SyntheticKind.ONE_TO_ONE, duration=200.0
+        )
+        total = sum(truth.occurrences)
+        observed = [count / total for count in truth.occurrences]
+        for got, want in zip(observed, truth.probabilities):
+            assert got == pytest.approx(want, abs=0.08)
+
+    def test_deterministic_for_seed(self):
+        spec = SyntheticSpec(SyntheticKind.ONE_TO_MANY, duration=10.0, seed=1)
+        first, _ = generate_synthetic(spec)
+        second, _ = generate_synthetic(spec)
+        assert first == second
+
+    def test_pair_rank_lookup(self):
+        (_records, truth), _spec = generate(SyntheticKind.ONE_TO_ONE)
+        assert truth.pair_rank(truth.pairs[2]) == 3
+        from repro.core.extent import Extent, ExtentPair
+        foreign = ExtentPair(Extent(1, 1), Extent(2, 1))
+        assert truth.pair_rank(foreign) is None
+
+
+class TestSpecs:
+    def test_all_synthetic_specs_covers_three_kinds(self):
+        specs = all_synthetic_specs()
+        assert {spec.kind for spec in specs} == set(SyntheticKind)
+        assert len({spec.seed for spec in specs}) == 3

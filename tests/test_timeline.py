@@ -1,0 +1,100 @@
+"""Tests for time-to-detection measurement."""
+
+import pytest
+
+from repro.analysis.timeline import measure_detection_latency
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+
+from conftest import ext, pair
+
+
+def analyzer_64():
+    return OnlineAnalyzer(AnalyzerConfig(item_capacity=64,
+                                         correlation_capacity=64))
+
+
+class TestDetectionLatency:
+    def test_detection_at_exact_support(self):
+        hot = [ext(1), ext(2)]
+        stream = [hot] * 10
+        timeline = measure_detection_latency(
+            stream, [pair(1, 2)], analyzer_64(), min_support=5
+        )
+        event = timeline.detections[pair(1, 2)]
+        assert event is not None
+        assert event.transaction_index == 5
+        assert event.occurrence == 5
+        assert event.stream_fraction == pytest.approx(0.5)
+
+    def test_interleaved_noise_delays_but_not_prevents(self):
+        stream = []
+        for i in range(10):
+            stream.append([ext(1), ext(2)])
+            stream.append([ext(1000 + i), ext(2000 + i)])
+        timeline = measure_detection_latency(
+            stream, [pair(1, 2)], analyzer_64(), min_support=5
+        )
+        event = timeline.detections[pair(1, 2)]
+        assert event is not None
+        assert event.transaction_index == 9  # 5th hot txn is stream #9
+
+    def test_never_frequent_is_missed(self):
+        stream = [[ext(1), ext(2)]] * 3
+        timeline = measure_detection_latency(
+            stream, [pair(1, 2)], analyzer_64(), min_support=5
+        )
+        assert timeline.detections[pair(1, 2)] is None
+        assert timeline.missed() == [pair(1, 2)]
+        assert timeline.detection_ratio == 0.0
+
+    def test_multiple_watched_pairs(self):
+        stream = []
+        for _ in range(8):
+            stream.append([ext(1), ext(2)])
+        for _ in range(8):
+            stream.append([ext(10), ext(20)])
+        timeline = measure_detection_latency(
+            stream, [pair(1, 2), pair(10, 20)], analyzer_64(), min_support=5
+        )
+        first = timeline.detections[pair(1, 2)]
+        second = timeline.detections[pair(10, 20)]
+        assert first.transaction_index < second.transaction_index
+        assert timeline.detection_ratio == 1.0
+
+    def test_mean_stream_fraction(self):
+        stream = [[ext(1), ext(2)]] * 10
+        timeline = measure_detection_latency(
+            stream, [pair(1, 2)], analyzer_64(), min_support=2
+        )
+        assert timeline.mean_stream_fraction() == pytest.approx(0.2)
+
+    def test_empty_watch_list(self):
+        timeline = measure_detection_latency(
+            [[ext(1), ext(2)]], [], analyzer_64()
+        )
+        assert timeline.detection_ratio == 1.0
+        assert timeline.mean_stream_fraction() == 1.0
+
+    def test_eviction_can_defer_detection(self):
+        """With a tiny table, noise can evict the watched pair and reset
+        its tally -- detection happens later (or never), which is exactly
+        the accuracy/memory trade the paper studies."""
+        tiny = OnlineAnalyzer(AnalyzerConfig(item_capacity=2,
+                                             correlation_capacity=2))
+        stream = []
+        for i in range(12):
+            stream.append([ext(1), ext(2)])
+            stream.append([ext(100 + i), ext(5000 + i)])
+            stream.append([ext(300 + i), ext(9000 + i)])
+        timeline = measure_detection_latency(
+            stream, [pair(1, 2)], tiny, min_support=5
+        )
+        big_timeline = measure_detection_latency(
+            stream, [pair(1, 2)], analyzer_64(), min_support=5
+        )
+        big_event = big_timeline.detections[pair(1, 2)]
+        tiny_event = timeline.detections[pair(1, 2)]
+        assert big_event is not None
+        if tiny_event is not None:
+            assert tiny_event.transaction_index >= big_event.transaction_index

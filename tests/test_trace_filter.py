@@ -1,0 +1,88 @@
+"""Tests for trace filtering and sampling utilities."""
+
+import pytest
+
+from repro.trace.filter import (
+    busiest_disk,
+    downsample,
+    filter_by_block_range,
+    filter_by_disk,
+    filter_by_op,
+    filter_by_pid,
+    filter_by_time,
+    split_reads_writes,
+)
+from repro.trace.record import OpType, TraceRecord
+
+
+def records():
+    return [
+        TraceRecord(0.0, 1, OpType.READ, 0, 8, disk_id=0),
+        TraceRecord(1.0, 2, OpType.WRITE, 100, 8, disk_id=1),
+        TraceRecord(2.0, 1, OpType.READ, 200, 8, disk_id=1),
+        TraceRecord(3.0, 3, OpType.WRITE, 300, 8, disk_id=1),
+        TraceRecord(4.0, 1, OpType.READ, 400, 8, disk_id=0),
+    ]
+
+
+class TestFilters:
+    def test_filter_by_op(self):
+        reads = filter_by_op(records(), OpType.READ)
+        assert len(reads) == 3
+        assert all(record.is_read for record in reads)
+
+    def test_filter_by_pid(self):
+        kept = filter_by_pid(records(), [1])
+        assert len(kept) == 3
+        assert all(record.pid == 1 for record in kept)
+
+    def test_filter_by_block_range(self):
+        kept = filter_by_block_range(records(), 100, 308)
+        assert [record.start for record in kept] == [100, 200, 300]
+
+    def test_block_range_requires_full_containment(self):
+        kept = filter_by_block_range(records(), 100, 305)
+        assert [record.start for record in kept] == [100, 200]
+
+    def test_block_range_validation(self):
+        with pytest.raises(ValueError):
+            filter_by_block_range(records(), 10, 10)
+
+    def test_filter_by_time_rebases(self):
+        kept = filter_by_time(records(), start=1.0, end=3.5)
+        assert [record.start for record in kept] == [100, 200, 300]
+        assert kept[0].timestamp == 0.0
+        assert kept[-1].timestamp == pytest.approx(2.0)
+
+    def test_filter_by_time_no_rebase(self):
+        kept = filter_by_time(records(), start=1.0, end=3.5, rebase=False)
+        assert kept[0].timestamp == 1.0
+
+    def test_time_validation(self):
+        with pytest.raises(ValueError):
+            filter_by_time(records(), start=2.0, end=1.0)
+
+    def test_filter_by_disk(self):
+        kept = filter_by_disk(records(), 1)
+        assert len(kept) == 3
+
+
+class TestHelpers:
+    def test_busiest_disk(self):
+        assert busiest_disk(records()) == 1
+
+    def test_busiest_disk_empty(self):
+        with pytest.raises(ValueError):
+            busiest_disk([])
+
+    def test_downsample(self):
+        kept = downsample(records(), 2)
+        assert [record.start for record in kept] == [0, 200, 400]
+        with pytest.raises(ValueError):
+            downsample(records(), 0)
+
+    def test_split_reads_writes(self):
+        reads, writes = split_reads_writes(records())
+        assert len(reads) == 3 and len(writes) == 2
+        assert all(record.is_read for record in reads)
+        assert all(record.is_write for record in writes)

@@ -1,0 +1,116 @@
+"""Tests for trace serialisation (MSR CSV and binary formats)."""
+
+import io
+
+import pytest
+
+from repro.trace.io import (
+    binary_trace_bytes,
+    load_binary,
+    load_msr_csv,
+    read_binary,
+    read_msr_csv,
+    save_binary,
+    save_msr_csv,
+    write_binary,
+    write_msr_csv,
+)
+from repro.trace.record import BLOCK_SIZE, OpType, TraceRecord
+
+
+def sample_records():
+    return [
+        TraceRecord(0.0, 7, OpType.READ, 100, 8, latency=3.5e-3),
+        TraceRecord(0.001, 7, OpType.WRITE, 2048, 16, latency=None),
+        TraceRecord(2.5, 8, OpType.READ, 0, 1, latency=50e-6),
+    ]
+
+
+class TestMsrCsv:
+    def test_roundtrip(self):
+        stream = io.StringIO()
+        rows = write_msr_csv(sample_records(), stream)
+        assert rows == 3
+        stream.seek(0)
+        loaded = list(read_msr_csv(stream, pid=7))
+        original = sample_records()
+        for got, want in zip(loaded, original):
+            assert got.timestamp == pytest.approx(want.timestamp, abs=1e-7)
+            assert got.op == want.op
+            assert got.start == want.start
+            assert got.length == want.length
+            if want.latency is None:
+                assert got.latency is None
+            else:
+                assert got.latency == pytest.approx(want.latency, abs=1e-7)
+
+    def test_field_convention(self):
+        stream = io.StringIO()
+        write_msr_csv([sample_records()[0]], stream, hostname="srv1")
+        line = stream.getvalue().strip()
+        fields = line.split(",")
+        assert len(fields) == 7
+        assert fields[1] == "srv1"
+        assert fields[3] == "Read"
+        assert int(fields[4]) == 100 * BLOCK_SIZE   # offset in bytes
+        assert int(fields[5]) == 8 * BLOCK_SIZE     # size in bytes
+
+    def test_skips_blank_and_comment_lines(self):
+        text = "# header\n\n0,host,0,Read,512,512,0\n"
+        records = list(read_msr_csv(io.StringIO(text)))
+        assert len(records) == 1
+        assert records[0].start == 1
+        assert records[0].latency is None  # zero response = unknown
+
+    def test_rejects_malformed_rows(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(read_msr_csv(io.StringIO("1,2,3\n")))
+
+    def test_size_rounds_up_to_blocks(self):
+        text = "0,h,0,Write,0,100,0\n"  # 100 bytes -> 1 block
+        record = next(read_msr_csv(io.StringIO(text)))
+        assert record.length == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_msr_csv(sample_records(), path)
+        loaded = load_msr_csv(path, pid=7)
+        assert len(loaded) == 3
+
+
+class TestBinary:
+    def test_roundtrip_exact(self):
+        stream = io.BytesIO()
+        written = write_binary(sample_records(), stream)
+        assert written == binary_trace_bytes(3)
+        stream.seek(0)
+        loaded = list(read_binary(stream))
+        assert loaded == sample_records()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            list(read_binary(io.BytesIO(b"NOTATRACE")))
+
+    def test_truncated_record_rejected(self):
+        stream = io.BytesIO()
+        write_binary(sample_records(), stream)
+        data = stream.getvalue()[:-5]
+        with pytest.raises(ValueError, match="truncated"):
+            list(read_binary(io.BytesIO(data)))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        save_binary(sample_records(), path)
+        assert load_binary(path) == sample_records()
+
+    def test_empty_trace(self):
+        stream = io.BytesIO()
+        write_binary([], stream)
+        stream.seek(0)
+        assert list(read_binary(stream)) == []
+
+    def test_storage_overhead_grows_linearly(self):
+        """The offline path's storage cost -- the paper's motivation for
+        avoiding trace files -- is linear in request count."""
+        per_record = binary_trace_bytes(2) - binary_trace_bytes(1)
+        assert binary_trace_bytes(1_000_000) >= 1_000_000 * per_record

@@ -1,0 +1,53 @@
+"""Tests for trace records."""
+
+import pytest
+
+from repro.core.extent import Extent
+from repro.trace.record import BLOCK_SIZE, OpType, TraceRecord
+
+
+class TestOpType:
+    def test_parse_variants(self):
+        assert OpType.parse("R") is OpType.READ
+        assert OpType.parse("read") is OpType.READ
+        assert OpType.parse(" Write ") is OpType.WRITE
+        assert OpType.parse("w") is OpType.WRITE
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            OpType.parse("erase")
+
+
+class TestTraceRecord:
+    def test_basic_fields(self):
+        record = TraceRecord(1.5, 42, OpType.READ, 100, 8, latency=2e-3)
+        assert record.extent == Extent(100, 8)
+        assert record.size_bytes == 8 * BLOCK_SIZE
+        assert record.is_read and not record.is_write
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1.0, 0, OpType.READ, 0, 1)
+        with pytest.raises(ValueError):
+            TraceRecord(0.0, 0, OpType.READ, -5, 1)
+        with pytest.raises(ValueError):
+            TraceRecord(0.0, 0, OpType.READ, 0, 0)
+        with pytest.raises(ValueError):
+            TraceRecord(0.0, 0, OpType.READ, 0, 1, latency=-1.0)
+
+    def test_shifted(self):
+        record = TraceRecord(5.0, 0, OpType.WRITE, 10, 2)
+        moved = record.shifted(-2.0)
+        assert moved.timestamp == 3.0
+        assert moved.start == record.start  # everything else untouched
+        assert record.timestamp == 5.0      # original is immutable
+
+    def test_accelerated(self):
+        record = TraceRecord(10.0, 0, OpType.READ, 0, 1)
+        assert record.accelerated(4.0).timestamp == 2.5
+        with pytest.raises(ValueError):
+            record.accelerated(0.0)
+
+    def test_latency_optional(self):
+        record = TraceRecord(0.0, 0, OpType.READ, 0, 1)
+        assert record.latency is None

@@ -1,0 +1,100 @@
+"""Tests for trace statistics (paper Table I)."""
+
+import pytest
+
+from repro.trace.record import BLOCK_SIZE, OpType, TraceRecord
+from repro.trace.stats import (
+    TraceStats,
+    compute_stats,
+    format_table1_row,
+    merge_intervals,
+    unique_blocks,
+)
+
+
+class TestMergeIntervals:
+    def test_disjoint(self):
+        assert merge_intervals([(0, 2), (5, 7)]) == [(0, 2), (5, 7)]
+
+    def test_overlapping(self):
+        assert merge_intervals([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_adjacent_merge(self):
+        assert merge_intervals([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(10, 12), (0, 3), (2, 5)]) == [(0, 5), (10, 12)]
+
+    def test_contained(self):
+        assert merge_intervals([(0, 10), (2, 4)]) == [(0, 10)]
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            merge_intervals([(5, 5)])
+
+
+class TestUniqueBlocks:
+    def test_counts_footprint_not_traffic(self):
+        records = [
+            TraceRecord(0.0, 0, OpType.READ, 0, 10),
+            TraceRecord(1.0, 0, OpType.READ, 0, 10),   # same blocks again
+            TraceRecord(2.0, 0, OpType.READ, 5, 10),   # half-overlapping
+        ]
+        assert unique_blocks(records) == 15
+
+
+class TestComputeStats:
+    def _records(self):
+        return [
+            TraceRecord(0.0, 0, OpType.READ, 0, 2, latency=1e-3),
+            TraceRecord(50e-6, 0, OpType.WRITE, 0, 2, latency=3e-3),  # fast gap
+            TraceRecord(1.0, 0, OpType.READ, 100, 4, latency=2e-3),   # slow gap
+        ]
+
+    def test_totals(self):
+        stats = compute_stats(self._records())
+        assert stats.requests == 3
+        assert stats.total_bytes == (2 + 2 + 4) * BLOCK_SIZE
+        assert stats.unique_bytes == (2 + 4) * BLOCK_SIZE
+
+    def test_interarrival_fraction(self):
+        stats = compute_stats(self._records())
+        assert stats.fast_interarrival_fraction == pytest.approx(0.5)
+        assert stats.fast_interarrival_percent == pytest.approx(50.0)
+
+    def test_mean_latency_and_read_fraction(self):
+        stats = compute_stats(self._records())
+        assert stats.mean_latency == pytest.approx(2e-3)
+        assert stats.read_fraction == pytest.approx(2 / 3)
+
+    def test_unsorted_input_is_sorted_first(self):
+        records = list(reversed(self._records()))
+        assert compute_stats(records).fast_interarrival_fraction == pytest.approx(0.5)
+
+    def test_latency_optional(self):
+        records = [TraceRecord(0.0, 0, OpType.READ, 0, 1)] * 2
+        assert compute_stats(records).mean_latency is None
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            compute_stats([])
+
+    def test_duration(self):
+        assert compute_stats(self._records()).duration == pytest.approx(1.0)
+
+    def test_gb_properties(self):
+        stats = TraceStats(
+            requests=1, total_bytes=11_300_000_000, unique_bytes=530_000_000,
+            fast_interarrival_fraction=0.784, read_fraction=0.3,
+            mean_latency=None, duration=1.0,
+        )
+        assert stats.total_gb == pytest.approx(11.3)
+        assert stats.unique_gb == pytest.approx(0.53)
+
+    def test_format_table1_row(self):
+        stats = compute_stats(self._records())
+        row = format_table1_row("wdev", "test web server", stats)
+        assert "wdev" in row and "GB" in row and "%" in row

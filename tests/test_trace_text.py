@@ -1,0 +1,109 @@
+"""Tests for the blkparse-style text format and PGM image output."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import load_pgm, rasterize_pairs, save_pgm
+from repro.trace.io import (
+    load_blkparse_text,
+    read_blkparse_text,
+    save_blkparse_text,
+    write_blkparse_text,
+)
+from repro.trace.record import OpType, TraceRecord
+
+from conftest import pair
+
+
+def sample_records():
+    return [
+        TraceRecord(0.000102837, 697, OpType.READ, 223490, 8),
+        TraceRecord(0.50, 698, OpType.WRITE, 1024, 16),
+    ]
+
+
+class TestBlkparseText:
+    def test_roundtrip(self):
+        stream = io.StringIO()
+        assert write_blkparse_text(sample_records(), stream) == 2
+        stream.seek(0)
+        loaded = list(read_blkparse_text(stream))
+        for got, want in zip(loaded, sample_records()):
+            assert got.timestamp == pytest.approx(want.timestamp)
+            assert got.pid == want.pid
+            assert got.op == want.op
+            assert got.start == want.start
+            assert got.length == want.length
+
+    def test_line_shape(self):
+        stream = io.StringIO()
+        write_blkparse_text([sample_records()[0]], stream, device="8,16")
+        line = stream.getvalue()
+        fields = line.split()
+        assert fields[0] == "8,16"
+        assert fields[5] == "D"          # issue action
+        assert fields[6] == "R"
+        assert fields[8] == "+"
+
+    def test_non_event_lines_skipped(self):
+        text = (
+            "Total (8,0):\n"
+            " Reads Queued:      100,      400KiB\n"
+            "\n"
+            "  8,0    0        1   0.000102837   697  D   R 223490 + 8 [fio]\n"
+            "  8,0    0        2   0.000200000   697  C   R 223490 + 8 [0]\n"
+        )
+        records = list(read_blkparse_text(io.StringIO(text)))
+        assert len(records) == 1   # only the D (issue) event
+        assert records[0].start == 223490
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_blkparse_text(sample_records(), path)
+        assert len(load_blkparse_text(path)) == 2
+
+    def test_malformed_numeric_fields_skipped(self):
+        text = "  8,0  0  1  notatime  697  D  R 10 + 8 [x]\n"
+        assert list(read_blkparse_text(io.StringIO(text))) == []
+
+
+class TestPgm:
+    def test_roundtrip_shape(self, tmp_path):
+        grid = rasterize_pairs({pair(10, 90): 3}, bins=32, max_block=100)
+        path = tmp_path / "plot.pgm"
+        save_pgm(grid, path)
+        loaded = load_pgm(path)
+        assert loaded.shape == grid.shape
+        # Occupied cells stay occupied, empty cells stay empty.
+        assert np.array_equal(loaded > 0, grid > 0)
+
+    def test_header(self, tmp_path):
+        grid = np.zeros((4, 6), dtype=np.int64)
+        path = tmp_path / "empty.pgm"
+        save_pgm(grid, path)
+        with open(path, "rb") as stream:
+            assert stream.readline().strip() == b"P5"
+            assert stream.readline().split() == [b"6", b"4"]
+
+    def test_gamma_validation(self, tmp_path):
+        grid = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(ValueError):
+            save_pgm(grid, tmp_path / "x.pgm", gamma=0.0)
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(np.zeros(4, dtype=np.int64), tmp_path / "x.pgm")
+
+    def test_empty_grid_all_black(self, tmp_path):
+        grid = np.zeros((3, 3), dtype=np.int64)
+        path = tmp_path / "black.pgm"
+        save_pgm(grid, path)
+        assert load_pgm(path).max() == 0
+
+    def test_load_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P2\n1 1\n255\n0")
+        with pytest.raises(ValueError):
+            load_pgm(path)

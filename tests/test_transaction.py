@@ -1,0 +1,91 @@
+"""Tests for transactions and deduplication (paper Section III-D2)."""
+
+import pytest
+
+from repro.core.extent import Extent
+from repro.monitor.events import BlockIOEvent
+from repro.monitor.transaction import Transaction, dedup_events
+from repro.trace.record import OpType, TraceRecord
+
+
+def event(ts=0.0, start=0, length=1, op=OpType.READ, pid=1):
+    return BlockIOEvent(ts, pid, op, start, length)
+
+
+class TestBlockIOEvent:
+    def test_extent_property(self):
+        assert event(start=100, length=4).extent == Extent(100, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            event(length=0)
+        with pytest.raises(ValueError):
+            event(start=-1)
+
+    def test_from_record_overrides(self):
+        record = TraceRecord(5.0, 9, OpType.WRITE, 10, 2, latency=1e-3)
+        raw = BlockIOEvent.from_record(record)
+        assert raw.timestamp == 5.0 and raw.latency == 1e-3
+        overridden = BlockIOEvent.from_record(record, timestamp=1.0, latency=2e-3)
+        assert overridden.timestamp == 1.0
+        assert overridden.latency == 2e-3
+        assert overridden.pid == 9
+
+
+class TestTransaction:
+    def test_times_and_span(self):
+        txn = Transaction([event(ts=1.0), event(ts=1.2, start=5)])
+        assert txn.start_time == 1.0
+        assert txn.end_time == 1.2
+        assert txn.span == pytest.approx(0.2)
+
+    def test_empty_transaction_has_no_times(self):
+        txn = Transaction()
+        assert not txn
+        with pytest.raises(ValueError):
+            _ = txn.start_time
+        with pytest.raises(ValueError):
+            _ = txn.end_time
+
+    def test_extents_preserve_arrival_order(self):
+        txn = Transaction([event(start=30), event(start=10), event(start=20)])
+        assert [e.start for e in txn.extents] == [30, 10, 20]
+
+    def test_read_write_split(self):
+        txn = Transaction([
+            event(op=OpType.READ),
+            event(start=5, op=OpType.WRITE),
+            event(start=9, op=OpType.WRITE),
+        ])
+        assert txn.read_write_split() == (1, 2)
+
+
+class TestDedup:
+    def test_exact_shape_duplicates_removed(self):
+        events = [event(start=0, length=4), event(ts=1e-5, start=0, length=4)]
+        kept, dropped = dedup_events(events)
+        assert len(kept) == 1 and dropped == 1
+
+    def test_different_shape_is_not_duplicate(self):
+        """Dedup is by extent shape: 0+4 and 0+3 both stay."""
+        events = [event(start=0, length=4), event(start=0, length=3)]
+        kept, dropped = dedup_events(events)
+        assert len(kept) == 2 and dropped == 0
+
+    def test_first_occurrence_kept(self):
+        events = [
+            event(ts=0.0, start=7),
+            event(ts=1e-5, start=8),
+            event(ts=2e-5, start=7),
+        ]
+        kept, dropped = dedup_events(events)
+        assert [e.timestamp for e in kept] == [0.0, 1e-5]
+        assert dropped == 1
+
+    def test_triplicate(self):
+        events = [event(start=3)] * 3
+        kept, dropped = dedup_events(events)
+        assert len(kept) == 1 and dropped == 2
+
+    def test_empty(self):
+        assert dedup_events([]) == ([], 0)

@@ -1,0 +1,177 @@
+"""Tests for the two-tier synopsis table (paper Section III-D1)."""
+
+import pytest
+
+from repro.core.two_tier import TIER1, TIER2, TwoTierTable
+
+
+class TestConstruction:
+    def test_default_equal_tiers(self):
+        table = TwoTierTable(8)
+        assert table.t1.capacity == 8
+        assert table.t2.capacity == 8
+        assert table.capacity == 16
+
+    def test_explicit_t2_capacity(self):
+        table = TwoTierTable(8, 4)
+        assert table.t2.capacity == 4
+
+    def test_promote_threshold_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            TwoTierTable(8, promote_threshold=1)
+
+
+class TestAccessPath:
+    def test_first_sighting_lands_in_t1(self):
+        table = TwoTierTable(4)
+        result = table.access("x")
+        assert not result.hit
+        assert result.tier == TIER1
+        assert result.tally == 1
+        assert table.tier_of("x") == TIER1
+
+    def test_second_sighting_promotes_to_t2(self):
+        table = TwoTierTable(4)
+        table.access("x")
+        result = table.access("x")
+        assert result.hit and result.promoted
+        assert result.tier == TIER2
+        assert result.tally == 2
+        assert table.tier_of("x") == TIER2
+        assert "x" not in table.t1
+
+    def test_t2_hit_increments_tally(self):
+        table = TwoTierTable(4)
+        for _ in range(5):
+            table.access("x")
+        assert table.tier_of("x") == TIER2
+        assert table.tally("x") == 5
+
+    def test_higher_promote_threshold(self):
+        table = TwoTierTable(4, promote_threshold=3)
+        table.access("x")
+        table.access("x")
+        assert table.tier_of("x") == TIER1  # tally 2 < 3
+        result = table.access("x")
+        assert result.promoted and table.tier_of("x") == TIER2
+
+    def test_stats_counters(self):
+        table = TwoTierTable(4)
+        table.access("x")      # miss
+        table.access("x")      # t1 hit + promotion
+        table.access("x")      # t2 hit
+        table.access("y")      # miss
+        stats = table.stats
+        assert stats.lookups == 4
+        assert stats.misses == 2
+        assert stats.t1_hits == 1
+        assert stats.t2_hits == 1
+        assert stats.promotions == 1
+        assert stats.hit_ratio == pytest.approx(0.5)
+
+
+class TestEvictions:
+    def test_t1_eviction_on_insert_overflow(self):
+        table = TwoTierTable(2)
+        table.access("a")
+        table.access("b")
+        result = table.access("c")
+        assert result.evicted == [("a", 1, TIER1)]
+        assert "a" not in table
+
+    def test_t2_eviction_on_promotion_overflow(self):
+        table = TwoTierTable(4, 1)
+        table.access("a")
+        table.access("a")  # a -> T2 (fills it)
+        table.access("b")
+        result = table.access("b")  # b -> T2, evicting a
+        assert result.promoted
+        assert result.evicted == [("a", 2, TIER2)]
+        assert "a" not in table
+        assert table.tier_of("b") == TIER2
+
+    def test_t1_lru_eviction_respects_touch_order(self):
+        table = TwoTierTable(2, promote_threshold=10)
+        table.access("a")
+        table.access("b")
+        table.access("a")  # refresh a; b is now T1's LRU
+        result = table.access("c")
+        assert result.evicted[0][0] == "b"
+
+    def test_promotion_frees_t1_slot(self):
+        table = TwoTierTable(1, 4)
+        table.access("a")
+        table.access("a")  # promoted: T1 now empty
+        result = table.access("b")
+        assert result.evicted == []
+
+
+class TestDemoteAndRemove:
+    def test_demote_in_t1(self):
+        table = TwoTierTable(3, promote_threshold=10)
+        for key in "abc":
+            table.access(key)
+        table.demote("c")
+        result = table.access("d")
+        assert result.evicted[0][0] == "c"
+        assert table.stats.demotions == 1
+
+    def test_demote_in_t2(self):
+        table = TwoTierTable(4, 2)
+        for key in ("a", "a", "b", "b"):
+            table.access(key)
+        assert table.tier_of("a") == TIER2 and table.tier_of("b") == TIER2
+        table.demote("b")  # b is now T2's next victim
+        table.access("c")
+        table.access("c")  # c promoted, evicting b
+        assert "b" not in table
+        assert "a" in table
+
+    def test_demote_absent(self):
+        table = TwoTierTable(2)
+        assert table.demote("ghost") is False
+        assert table.stats.demotions == 0
+
+    def test_remove(self):
+        table = TwoTierTable(2)
+        table.access("a")
+        assert table.remove("a") == 1
+        assert table.remove("a") is None
+        assert "a" not in table
+
+    def test_clear(self):
+        table = TwoTierTable(2)
+        table.access("a")
+        table.access("a")
+        table.clear()
+        assert len(table) == 0
+        assert table.tier_of("a") is None
+
+
+class TestViews:
+    def test_items_lists_both_tiers(self):
+        table = TwoTierTable(4)
+        table.access("hot")
+        table.access("hot")
+        table.access("cold")
+        entries = {key: (tally, tier) for key, tally, tier in table.items()}
+        assert entries == {"hot": (2, TIER2), "cold": (1, TIER1)}
+
+    def test_len_spans_tiers(self):
+        table = TwoTierTable(4)
+        table.access("a")
+        table.access("a")
+        table.access("b")
+        assert len(table) == 2
+
+    def test_recency_and_frequency_balance(self):
+        """The two-tier design keeps a frequent-but-stale entry while a
+        purely-LRU structure of the same total size would have lost it."""
+        table = TwoTierTable(2, 2)
+        table.access("hot")
+        table.access("hot")  # hot parked in T2
+        # Flood T1 with one-hit wonders -- more than total capacity.
+        for i in range(10):
+            table.access(f"noise-{i}")
+        assert "hot" in table
+        assert table.tier_of("hot") == TIER2

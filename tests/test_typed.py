@@ -1,0 +1,151 @@
+"""Tests for read/write-typed correlation analysis (paper §II-A, §V)."""
+
+import pytest
+
+from repro.core.config import AnalyzerConfig
+from repro.core.typed import (
+    CorrelationKind,
+    TypedOnlineAnalyzer,
+    TypeTally,
+)
+from repro.monitor.events import BlockIOEvent
+from repro.monitor.transaction import Transaction
+from repro.trace.record import OpType
+
+from conftest import ext, pair
+
+R, W = OpType.READ, OpType.WRITE
+
+
+def typed_analyzer(**overrides):
+    defaults = dict(item_capacity=64, correlation_capacity=64)
+    defaults.update(overrides)
+    return TypedOnlineAnalyzer(AnalyzerConfig(**defaults))
+
+
+class TestTypeTally:
+    def test_bump_and_total(self):
+        tally = TypeTally()
+        tally.bump(CorrelationKind.READ)
+        tally.bump(CorrelationKind.READ)
+        tally.bump(CorrelationKind.WRITE)
+        assert tally.total == 3
+        assert tally.dominant() is CorrelationKind.READ
+
+    def test_dominant_tiebreak(self):
+        tally = TypeTally(read=2, write=2, mixed=1)
+        assert tally.dominant() is CorrelationKind.READ
+        tally = TypeTally(read=0, write=2, mixed=2)
+        assert tally.dominant() is CorrelationKind.WRITE
+
+
+class TestTypedProcessing:
+    def test_read_pair_classified(self):
+        analyzer = typed_analyzer()
+        analyzer.process_typed([(ext(1), R), (ext(2), R)])
+        tally = analyzer.type_tally(pair(1, 2))
+        assert tally.read == 1 and tally.write == 0 and tally.mixed == 0
+
+    def test_write_pair_classified(self):
+        analyzer = typed_analyzer()
+        analyzer.process_typed([(ext(1), W), (ext(2), W)])
+        assert analyzer.type_tally(pair(1, 2)).write == 1
+
+    def test_mixed_pair_classified(self):
+        analyzer = typed_analyzer()
+        analyzer.process_typed([(ext(1), R), (ext(2), W)])
+        assert analyzer.type_tally(pair(1, 2)).mixed == 1
+
+    def test_duplicate_extents_keep_first_op(self):
+        analyzer = typed_analyzer()
+        analyzer.process_typed([(ext(1), R), (ext(1), W), (ext(2), R)])
+        tally = analyzer.type_tally(pair(1, 2))
+        assert tally.read == 1 and tally.mixed == 0
+
+    def test_tables_match_untyped_behaviour(self):
+        """Typed processing must drive the same synopsis updates."""
+        from repro.core.analyzer import OnlineAnalyzer
+        typed = typed_analyzer()
+        plain = OnlineAnalyzer(AnalyzerConfig(item_capacity=64,
+                                              correlation_capacity=64))
+        stream = [
+            [(ext(1), R), (ext(2), R)],
+            [(ext(1), W), (ext(3), W)],
+            [(ext(1), R), (ext(2), R)],
+        ]
+        for txn in stream:
+            typed.process_typed(txn)
+            plain.process([extent for extent, _op in txn])
+        assert typed.pair_frequencies() == plain.pair_frequencies()
+
+    def test_process_transaction_adapter(self):
+        analyzer = typed_analyzer()
+        txn = Transaction([
+            BlockIOEvent(0.0, 1, R, 10, 1),
+            BlockIOEvent(1e-5, 1, W, 20, 1),
+        ])
+        analyzer.process_transaction(txn)
+        assert analyzer.type_tally(pair(10, 20)).mixed == 1
+
+    def test_eviction_prunes_type_sidecar(self):
+        analyzer = typed_analyzer(item_capacity=64, correlation_capacity=1)
+        analyzer.process_typed([(ext(1), R), (ext(2), R)])
+        analyzer.process_typed([(ext(3), R), (ext(4), R)])
+        analyzer.process_typed([(ext(5), R), (ext(6), R)])
+        # Only resident pairs keep type info.
+        resident = set(analyzer.pair_frequencies())
+        typed = {p for p in (pair(1, 2), pair(3, 4), pair(5, 6))
+                 if analyzer.type_tally(p) is not None}
+        assert typed <= resident
+
+
+class TestTypedQueries:
+    def _mixed_stream(self, analyzer):
+        for _ in range(5):
+            analyzer.process_typed([(ext(1), R), (ext(2), R)])     # read pair
+            analyzer.process_typed([(ext(10), W), (ext(20), W)])   # write pair
+        analyzer.process_typed([(ext(30), R), (ext(40), W)])       # mixed once
+
+    def test_read_and_write_correlations(self):
+        analyzer = typed_analyzer()
+        self._mixed_stream(analyzer)
+        reads = [p for p, _t in analyzer.read_correlations(min_support=2)]
+        writes = [p for p, _t in analyzer.write_correlations(min_support=2)]
+        assert reads == [pair(1, 2)]
+        assert writes == [pair(10, 20)]
+
+    def test_purity_filter(self):
+        analyzer = typed_analyzer()
+        for _ in range(3):
+            analyzer.process_typed([(ext(1), R), (ext(2), R)])
+        for _ in range(2):
+            analyzer.process_typed([(ext(1), W), (ext(2), W)])
+        # 3/5 read: passes purity 0.5, fails purity 0.8.
+        assert analyzer.frequent_pairs_of_kind(
+            CorrelationKind.READ, min_support=2, purity=0.5
+        )
+        assert not analyzer.frequent_pairs_of_kind(
+            CorrelationKind.READ, min_support=2, purity=0.8
+        )
+
+    def test_purity_validation(self):
+        analyzer = typed_analyzer()
+        with pytest.raises(ValueError):
+            analyzer.frequent_pairs_of_kind(CorrelationKind.READ, purity=1.5)
+
+    def test_kind_summary(self):
+        analyzer = typed_analyzer()
+        self._mixed_stream(analyzer)
+        summary = analyzer.kind_summary()
+        assert summary[CorrelationKind.READ] >= 1
+        assert summary[CorrelationKind.WRITE] >= 1
+        assert summary[CorrelationKind.MIXED] >= 1
+
+    def test_reset_clears_types(self):
+        analyzer = typed_analyzer()
+        self._mixed_stream(analyzer)
+        analyzer.reset()
+        assert analyzer.type_tally(pair(1, 2)) is None
+        assert analyzer.kind_summary() == {
+            kind: 0 for kind in CorrelationKind
+        }

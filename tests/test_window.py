@@ -1,0 +1,67 @@
+"""Tests for transaction window policies (paper Section III-B)."""
+
+import pytest
+
+from repro.monitor.latency import EwmaLatencyTracker
+from repro.monitor.window import DynamicLatencyWindow, StaticWindow
+
+
+class TestStaticWindow:
+    def test_fixed_duration(self):
+        window = StaticWindow(0.5e-3)
+        assert window.duration() == 0.5e-3
+        window.observe_latency(10.0)  # latencies are ignored
+        assert window.duration() == 0.5e-3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            StaticWindow(0.0)
+
+
+class TestDynamicLatencyWindow:
+    def test_paper_multiplier_of_two(self):
+        """Paper: 'a transaction window size of double the average I/O
+        latency'."""
+        tracker = EwmaLatencyTracker()
+        window = DynamicLatencyWindow(tracker)
+        tracker.observe(100e-6)
+        assert window.duration() == pytest.approx(200e-6)
+
+    def test_window_tracks_latency_shift(self):
+        window = DynamicLatencyWindow(EwmaLatencyTracker(alpha=1.0))
+        window.observe_latency(50e-6)
+        before = window.duration()
+        window.observe_latency(500e-6)
+        assert window.duration() == pytest.approx(10 * before)
+
+    def test_floor_clamp(self):
+        window = DynamicLatencyWindow(floor=1e-4)
+        window.observe_latency(1e-9)
+        assert window.duration() == 1e-4
+
+    def test_ceiling_clamp(self):
+        window = DynamicLatencyWindow(ceiling=10e-3)
+        window.observe_latency(100.0)
+        assert window.duration() == 10e-3
+
+    def test_cold_start_uses_tracker_prior(self):
+        window = DynamicLatencyWindow(EwmaLatencyTracker(initial=1e-3))
+        assert window.duration() == pytest.approx(2e-3)
+
+    def test_custom_multiplier(self):
+        window = DynamicLatencyWindow(multiplier=4.0)
+        window.observe_latency(100e-6)
+        assert window.duration() == pytest.approx(400e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicLatencyWindow(multiplier=0.0)
+        with pytest.raises(ValueError):
+            DynamicLatencyWindow(floor=0.0)
+        with pytest.raises(ValueError):
+            DynamicLatencyWindow(floor=1.0, ceiling=0.5)
+
+    def test_default_tracker_created(self):
+        window = DynamicLatencyWindow()
+        window.observe_latency(1e-3)
+        assert window.tracker.count == 1

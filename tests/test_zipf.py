@@ -1,0 +1,69 @@
+"""Tests for the Zipf rank distribution."""
+
+import random
+
+import pytest
+
+from repro.workloads.zipf import ZipfRanks, empirical_frequencies
+
+
+class TestZipfRanks:
+    def test_paper_four_rank_probabilities(self):
+        """Paper Section IV-B1: with four correlations, 48/24/16/12 %."""
+        ranks = ZipfRanks(4)
+        assert ranks.probabilities == pytest.approx(
+            [0.48, 0.24, 0.16, 0.12]
+        )
+
+    def test_probabilities_sum_to_one(self):
+        for n in (1, 5, 100):
+            assert sum(ZipfRanks(n).probabilities) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probs = ZipfRanks(20, exponent=0.8).probabilities
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        probs = ZipfRanks(4, exponent=0.0).probabilities
+        assert probs == pytest.approx([0.25] * 4)
+
+    def test_probability_accessor_bounds(self):
+        ranks = ZipfRanks(3)
+        assert ranks.probability(1) == max(ranks.probabilities)
+        with pytest.raises(ValueError):
+            ranks.probability(0)
+        with pytest.raises(ValueError):
+            ranks.probability(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfRanks(0)
+        with pytest.raises(ValueError):
+            ZipfRanks(3, exponent=-1.0)
+
+    def test_sampling_matches_distribution(self):
+        ranks = ZipfRanks(4)
+        rng = random.Random(7)
+        samples = ranks.sample_many(rng, 40000)
+        observed = empirical_frequencies(samples, 4)
+        for got, want in zip(observed, ranks.probabilities):
+            assert got == pytest.approx(want, abs=0.01)
+
+    def test_samples_in_range(self):
+        ranks = ZipfRanks(6)
+        rng = random.Random(3)
+        assert all(1 <= s <= 6 for s in ranks.sample_many(rng, 1000))
+
+
+class TestEmpiricalFrequencies:
+    def test_basic(self):
+        assert empirical_frequencies([1, 1, 2, 3], 3) == pytest.approx(
+            [0.5, 0.25, 0.25]
+        )
+
+    def test_empty(self):
+        assert empirical_frequencies([], 3) == [0.0, 0.0, 0.0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_frequencies([5], 3)

@@ -1,0 +1,123 @@
+"""Tests for the zoned-namespace (ZNS) placement model."""
+
+import pytest
+
+from repro.core.analyzer import OnlineAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.optimize.multistream import (
+    CorrelationStreamAssigner,
+    SingleStreamAssigner,
+    death_time_workload,
+)
+from repro.optimize.zns import ZnsConfig, ZnsDevice, run_zns_experiment
+
+from conftest import ext
+
+
+def small_zns(**overrides):
+    defaults = dict(zones=16, zone_pages=16, open_zone_limit=4,
+                    reserved_zones=2)
+    defaults.update(overrides)
+    return ZnsConfig(**defaults)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZnsConfig(zones=1)
+        with pytest.raises(ValueError):
+            ZnsConfig(open_zone_limit=0)
+        with pytest.raises(ValueError):
+            ZnsConfig(open_zone_limit=32, zones=32)
+        with pytest.raises(ValueError):
+            ZnsConfig(reserved_zones=0)
+
+    def test_capacities(self):
+        config = small_zns()
+        assert config.capacity_pages == 256
+        assert config.logical_capacity_pages == (16 - 6) * 16
+
+
+class TestDevice:
+    def test_sequential_write_pointer(self):
+        device = ZnsDevice(small_zns())
+        for lba in range(10):
+            device.write(lba, group=0)
+        validity = device.zone_validity()
+        assert sum(validity) == 10
+        # All ten pages landed sequentially in one zone.
+        assert max(validity) == 10
+
+    def test_groups_use_distinct_open_zones(self):
+        device = ZnsDevice(small_zns())
+        for lba in range(8):
+            device.write(lba, group=0)
+        for lba in range(100, 108):
+            device.write(lba, group=1)
+        populated = [count for count in device.zone_validity() if count > 0]
+        assert len(populated) == 2
+
+    def test_groups_beyond_limit_share_zones(self):
+        config = small_zns(open_zone_limit=2)
+        device = ZnsDevice(config)
+        device.write(0, group=0)
+        device.write(1, group=2)  # 2 % 2 == 0 -> same slot as group 0
+        populated = [count for count in device.zone_validity() if count > 0]
+        assert len(populated) == 1
+
+    def test_overwrite_invalidates(self):
+        device = ZnsDevice(small_zns())
+        device.write(5)
+        device.write(5)
+        assert sum(device.zone_validity()) == 1
+
+    def test_reclaim_resets_zones(self):
+        config = small_zns()
+        device = ZnsDevice(config)
+        logical = config.logical_capacity_pages
+        for _round in range(3):
+            for lba in range(logical):
+                device.write(lba)
+        assert device.stats.resets > 0
+        assert device.stats.waf >= 1.0
+
+    def test_capacity_enforced(self):
+        config = small_zns()
+        device = ZnsDevice(config)
+        for lba in range(config.logical_capacity_pages):
+            device.write(lba)
+        with pytest.raises(RuntimeError):
+            device.write(10 ** 9)
+
+    def test_write_extent_pages(self):
+        device = ZnsDevice(small_zns())
+        device.write_extent(ext(0, 17), page_blocks=8)
+        assert device.stats.host_writes == 3
+
+
+class TestZnsExperiment:
+    def test_correlation_groups_reduce_reclaim_copies(self):
+        """The §V death-time argument transfers to zones: grouping
+        correlated writes into zones cuts reclaim copying."""
+        transactions = death_time_workload(
+            hot_groups=4, extent_blocks=64, rounds=240,
+            cold_extents=120, seed=3,
+        )
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=256, correlation_capacity=256
+        ))
+        analyzer.process_stream(transactions)
+
+        config = ZnsConfig(zones=32, zone_pages=16, open_zone_limit=8,
+                           reserved_zones=4)
+        single = run_zns_experiment(
+            transactions, SingleStreamAssigner(), config
+        )
+        grouped = run_zns_experiment(
+            transactions,
+            CorrelationStreamAssigner(analyzer, streams=8),
+            config,
+        )
+        assert single.host_writes == grouped.host_writes
+        assert single.waf > 1.0
+        assert grouped.waf < single.waf
