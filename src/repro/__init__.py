@@ -28,8 +28,10 @@ from .core import (
     SynopsisMemoryModel,
     TwoTierTable,
 )
+from .core.serialize import CheckpointCorruptError
 from .monitor import (
     BlockIOEvent,
+    ClockPolicy,
     DynamicLatencyWindow,
     Monitor,
     StaticWindow,
@@ -37,8 +39,15 @@ from .monitor import (
     TransactionRecorder,
 )
 from .pipeline import PipelineResult, characterize, run_pipeline
+from .resilience import (
+    FaultInjector,
+    FaultSpec,
+    ResilientCharacterizationService,
+    ServiceHealth,
+    SinkGuard,
+)
 from .service import CharacterizationService, ServiceSnapshot
-from .trace import OpType, TraceRecord
+from .trace import ErrorPolicy, IngestReport, OpType, TraceRecord
 
 __version__ = "1.0.0"
 
@@ -46,8 +55,17 @@ __all__ = [
     "AnalyzerConfig",
     "AnalyzerReport",
     "BlockIOEvent",
+    "CheckpointCorruptError",
+    "ClockPolicy",
     "CorrelationTable",
     "DynamicLatencyWindow",
+    "ErrorPolicy",
+    "FaultInjector",
+    "FaultSpec",
+    "IngestReport",
+    "ResilientCharacterizationService",
+    "ServiceHealth",
+    "SinkGuard",
     "Extent",
     "ExtentPair",
     "ItemTable",

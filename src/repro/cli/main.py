@@ -31,6 +31,7 @@ from ..fim.pairs import exact_pair_counts, sorted_by_frequency
 from ..fim.rules import rules_from_analyzer
 from ..monitor.window import DynamicLatencyWindow, StaticWindow
 from ..pipeline import run_pipeline
+from ..trace.errors import ErrorPolicy, IngestReport
 from ..trace.io import (
     load_binary,
     load_blkparse_text,
@@ -51,18 +52,54 @@ from ..workloads.synthetic import (
 _MINERS = {"apriori": apriori, "eclat": eclat, "fpgrowth": fpgrowth}
 
 
-def load_trace(path: str) -> List[TraceRecord]:
-    """Load a trace file, dispatching on its suffix."""
+def load_trace(path: str,
+               policy: ErrorPolicy = ErrorPolicy.STRICT) -> List[TraceRecord]:
+    """Load a trace file, dispatching on its suffix.
+
+    Under a non-strict ``policy``, malformed rows are skipped (and sampled
+    into a dead-letter buffer under ``quarantine``) with a summary printed
+    to stderr instead of aborting the run.
+    """
     suffix = Path(path).suffix.lower()
+    report = IngestReport()
     if suffix == ".csv":
-        return load_msr_csv(path)
-    if suffix == ".bin":
-        return load_binary(path)
-    if suffix in (".txt", ".blkparse"):
-        return load_blkparse_text(path)
-    raise SystemExit(
-        f"cannot infer trace format of {path!r}; "
-        f"use .csv (MSR), .bin (binary), or .txt (blkparse)"
+        records = load_msr_csv(path, policy=policy, report=report)
+    elif suffix == ".bin":
+        records = load_binary(path, policy=policy, report=report)
+    elif suffix in (".txt", ".blkparse"):
+        records = load_blkparse_text(path)
+    else:
+        raise SystemExit(
+            f"cannot infer trace format of {path!r}; "
+            f"use .csv (MSR), .bin (binary), or .txt (blkparse)"
+        )
+    if report.rows_bad:
+        print(
+            f"warning: skipped {report.rows_bad} malformed rows "
+            f"({100 * report.error_rate:.2f}% of {report.rows_total})",
+            file=sys.stderr,
+        )
+        if report.dead_letters is not None and len(report.dead_letters):
+            sample = report.dead_letters.rows()[0]
+            print(
+                f"warning: first quarantined row (line {sample.line_number}): "
+                f"{sample.error}",
+                file=sys.stderr,
+            )
+    return records
+
+
+def _policy_from(args: argparse.Namespace) -> ErrorPolicy:
+    return ErrorPolicy.parse(getattr(args, "error_policy", "strict"))
+
+
+def _add_error_policy_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--error-policy",
+        choices=[policy.value for policy in ErrorPolicy],
+        default="strict",
+        help="malformed trace rows: strict=abort (default), "
+             "lenient=count+skip, quarantine=count+skip+sample",
     )
 
 
@@ -107,7 +144,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    records = load_trace(args.trace)
+    records = load_trace(args.trace, _policy_from(args))
     stats = compute_stats(records)
     print(f"requests            : {stats.requests}")
     print(f"duration            : {stats.duration:.3f} s")
@@ -131,7 +168,7 @@ def _window_from(args: argparse.Namespace):
 def cmd_characterize(args: argparse.Namespace) -> int:
     from ..core.serialize import dump_analyzer, load_analyzer
 
-    records = load_trace(args.trace)
+    records = load_trace(args.trace, _policy_from(args))
     analyzer = None
     config = None
     if args.load_synopsis:
@@ -181,7 +218,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    records = load_trace(args.trace)
+    records = load_trace(args.trace, _policy_from(args))
     report = build_report(
         records,
         support=args.support,
@@ -202,8 +239,8 @@ def cmd_drift(args: argparse.Namespace) -> int:
     from ..monitor.monitor import Monitor
     from ..workloads.composite import drift_workload
 
-    first = load_trace(args.trace_a)
-    second = load_trace(args.trace_b)
+    first = load_trace(args.trace_a, _policy_from(args))
+    second = load_trace(args.trace_b, _policy_from(args))
     segment = args.segment or min(len(first) // 2, len(second))
     if len(first) < 2 * segment or len(second) < segment:
         raise SystemExit(
@@ -236,7 +273,7 @@ def cmd_drift(args: argparse.Namespace) -> int:
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
-    records = load_trace(args.trace)
+    records = load_trace(args.trace, _policy_from(args))
     result = run_pipeline(records, window=_window_from(args),
                           max_transaction_size=args.max_transaction)
     transactions = result.offline_transactions()
@@ -284,12 +321,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = subparsers.add_parser("stats", help="Table I-style statistics")
     stats.add_argument("trace")
+    _add_error_policy_flag(stats)
     stats.set_defaults(handler=cmd_stats)
 
     characterize = subparsers.add_parser(
         "characterize", help="real-time online characterization"
     )
     characterize.add_argument("trace")
+    _add_error_policy_flag(characterize)
     characterize.add_argument("--support", type=int, default=5)
     characterize.add_argument("--capacity", type=int, default=16 * 1024,
                               help="per-tier table entries C (default 16K)")
@@ -313,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="full characterization report"
     )
     report.add_argument("trace")
+    _add_error_policy_flag(report)
     report.add_argument("--support", type=int, default=5)
     report.add_argument("--capacity", type=int, default=16 * 1024)
     report.add_argument("--top", type=int, default=20)
@@ -324,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     drift.add_argument("trace_a")
     drift.add_argument("trace_b")
+    _add_error_policy_flag(drift)
     drift.add_argument("--segment", type=int, default=None,
                        help="requests per segment (default: fits the traces)")
     drift.add_argument("--capacity", type=int, default=1024)
@@ -334,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
         "mine", help="offline frequent itemset mining (ground truth)"
     )
     mine.add_argument("trace")
+    _add_error_policy_flag(mine)
     mine.add_argument("--algorithm", choices=sorted(_MINERS),
                       default="eclat")
     mine.add_argument("--support", type=int, default=5)

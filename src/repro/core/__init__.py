@@ -9,10 +9,13 @@ from .extent import Extent, ExtentPair, block_correlations, unique_pairs
 from .item_table import ItemTable
 from .lru import LruQueue
 from .serialize import (
+    CheckpointCorruptError,
     dump_analyzer,
     dumps_analyzer,
     load_analyzer,
+    load_checkpoint,
     loads_analyzer,
+    save_checkpoint,
     synopsis_size_bytes,
 )
 from .memory_model import (
@@ -53,9 +56,12 @@ __all__ = [
     "block_correlations",
     "capacity_for_budget",
     "unique_pairs",
+    "CheckpointCorruptError",
     "dump_analyzer",
     "dumps_analyzer",
     "load_analyzer",
+    "load_checkpoint",
     "loads_analyzer",
+    "save_checkpoint",
     "synopsis_size_bytes",
 ]

@@ -104,6 +104,23 @@ class OnlineAnalyzer:
             correlation_stats=self.correlations.stats,
         )
 
+    def adopt(self, other: "OnlineAnalyzer") -> None:
+        """Take over another analyzer's learned state (tables and config).
+
+        The public restore hook: after :func:`~repro.core.serialize.\
+load_analyzer` rebuilds a plain analyzer from a checkpoint, a richer
+        analyzer (e.g. :class:`~repro.core.typed.TypedOnlineAnalyzer`)
+        adopts its synopsis wholesale instead of callers poking table
+        internals.  ``other`` donates its tables; it must not be used
+        afterwards.
+        """
+        self.config = other.config
+        self.items = other.items
+        self.correlations = other.correlations
+        self._transactions = other._transactions
+        self._extents_seen = other._extents_seen
+        self._pairs_seen = other._pairs_seen
+
     def reset(self) -> None:
         """Forget everything (tables and counters)."""
         self.items.clear()

@@ -7,18 +7,45 @@ tables to the paper's native entry layout -- 16-byte item entries and
 28-byte pair entries (Section IV-C1) -- preceded by a small header, with
 LRU order preserved exactly, so a restored analyzer continues as if the
 process had never stopped.
+
+Checkpoint format **v2** wraps the payload in an integrity envelope:
+``magic || crc32 || payload-length || payload``.  A bit flip anywhere in
+the file -- disk rot, a torn copy, an interrupted upload -- is detected at
+load time and rejected with :class:`CheckpointCorruptError` instead of
+silently restoring a subtly wrong synopsis.  v1 checkpoints (no CRC) are
+still readable.  :func:`save_checkpoint` additionally writes atomically
+(temp file + fsync + rename) so a crash mid-write can never clobber the
+previous good checkpoint.
 """
 
 from __future__ import annotations
 
+import io
+import os
 import struct
-from typing import BinaryIO, List, Tuple
+import zlib
+from pathlib import Path
+from typing import BinaryIO, List, Tuple, Union
 
 from .analyzer import OnlineAnalyzer
 from .config import AnalyzerConfig
 from .extent import Extent, ExtentPair
 
-_MAGIC = b"RTSYN\x01"
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint failed its integrity or structure checks.
+
+    Subclasses :class:`ValueError` so callers that guarded against the old
+    parse errors keep working; new callers should catch this type to
+    distinguish corruption (fall back to a fresh synopsis) from I/O errors
+    (retry).
+    """
+
+
+_MAGIC_V1 = b"RTSYN\x01"
+_MAGIC = b"RTSYN\x02"
+# Integrity envelope (v2): CRC32 of the payload, payload byte length.
+_INTEGRITY = struct.Struct("<II")
 # Header: item T1/T2 capacities, pair T1/T2 capacities, promote threshold,
 # then four section entry counts.
 _HEADER = struct.Struct("<IIIIIIIII")
@@ -33,8 +60,8 @@ def _tier_entries(queue) -> List[Tuple]:
     return list(queue.items())
 
 
-def dump_analyzer(analyzer: OnlineAnalyzer, stream: BinaryIO) -> int:
-    """Write the analyzer's synopsis to ``stream``; returns bytes written."""
+def _payload_bytes(analyzer: OnlineAnalyzer) -> bytes:
+    """The header + entry sections (everything the CRC protects)."""
     items = analyzer.items._table           # two-tier internals
     correlations = analyzer.correlations._table
     sections = [
@@ -43,8 +70,8 @@ def dump_analyzer(analyzer: OnlineAnalyzer, stream: BinaryIO) -> int:
         _tier_entries(correlations.t1),
         _tier_entries(correlations.t2),
     ]
-    written = stream.write(_MAGIC)
-    written += stream.write(_HEADER.pack(
+    payload = io.BytesIO()
+    payload.write(_HEADER.pack(
         items.t1.capacity, items.t2.capacity,
         correlations.t1.capacity, correlations.t2.capacity,
         analyzer.config.promote_threshold,
@@ -52,61 +79,102 @@ def dump_analyzer(analyzer: OnlineAnalyzer, stream: BinaryIO) -> int:
         len(sections[2]), len(sections[3]),
     ))
     for extent, tally in sections[0] + sections[1]:
-        written += stream.write(_ITEM.pack(extent.start, extent.length, tally))
+        payload.write(_ITEM.pack(extent.start, extent.length, tally))
     for pair, tally in sections[2] + sections[3]:
-        written += stream.write(_PAIR.pack(
+        payload.write(_PAIR.pack(
             pair.first.start, pair.first.length,
             pair.second.start, pair.second.length, tally,
         ))
+    return payload.getvalue()
+
+
+def dump_analyzer(analyzer: OnlineAnalyzer, stream: BinaryIO) -> int:
+    """Write the analyzer's synopsis (v2 format); returns bytes written."""
+    payload = _payload_bytes(analyzer)
+    written = stream.write(_MAGIC)
+    written += stream.write(_INTEGRITY.pack(
+        zlib.crc32(payload), len(payload)
+    ))
+    written += stream.write(payload)
     return written
 
 
 def load_analyzer(stream: BinaryIO) -> OnlineAnalyzer:
     """Restore an analyzer serialised by :func:`dump_analyzer`.
 
-    The restored synopsis has identical residency, tallies, tier
-    membership, and LRU ordering; operation counters (hits/misses) start
-    fresh -- they describe a process lifetime, not the learned state.
+    Accepts both the CRC-protected v2 format and legacy v1 checkpoints.
+    Any integrity or structure violation raises
+    :class:`CheckpointCorruptError`.  The restored synopsis has identical
+    residency, tallies, tier membership, and LRU ordering; operation
+    counters (hits/misses) start fresh -- they describe a process
+    lifetime, not the learned state.
     """
     magic = stream.read(len(_MAGIC))
-    if magic != _MAGIC:
-        raise ValueError(f"bad synopsis magic: {magic!r}")
+    if magic == _MAGIC:
+        envelope = stream.read(_INTEGRITY.size)
+        if len(envelope) != _INTEGRITY.size:
+            raise CheckpointCorruptError("truncated integrity envelope")
+        crc_expected, payload_length = _INTEGRITY.unpack(envelope)
+        payload = stream.read(payload_length)
+        if len(payload) != payload_length:
+            raise CheckpointCorruptError(
+                f"truncated checkpoint payload: expected {payload_length} "
+                f"bytes, got {len(payload)}"
+            )
+        crc_actual = zlib.crc32(payload)
+        if crc_actual != crc_expected:
+            raise CheckpointCorruptError(
+                f"checkpoint CRC mismatch: stored {crc_expected:#010x}, "
+                f"computed {crc_actual:#010x}"
+            )
+        stream = io.BytesIO(payload)
+    elif magic != _MAGIC_V1:
+        raise CheckpointCorruptError(f"bad synopsis magic: {magic!r}")
     header = stream.read(_HEADER.size)
     if len(header) != _HEADER.size:
-        raise ValueError("truncated synopsis header")
+        raise CheckpointCorruptError("truncated synopsis header")
     (item_t1, item_t2, pair_t1, pair_t2, promote,
      n_item_t1, n_item_t2, n_pair_t1, n_pair_t2) = _HEADER.unpack(header)
 
     # Rebuild an analyzer whose tier split matches the dumped capacities.
-    analyzer = OnlineAnalyzer(AnalyzerConfig(
-        item_capacity=max(1, (item_t1 + item_t2) // 2),
-        correlation_capacity=max(1, (pair_t1 + pair_t2) // 2),
-        promote_threshold=promote,
-        t2_ratio=item_t2 / max(1, item_t1 + item_t2),
-    ))
-    items = analyzer.items._table
-    correlations = analyzer.correlations._table
-    items._t1 = type(items.t1)(item_t1)
-    items._t2 = type(items.t2)(item_t2)
-    correlations._t1 = type(correlations.t1)(pair_t1)
-    correlations._t2 = type(correlations.t2)(pair_t2)
+    try:
+        analyzer = OnlineAnalyzer(AnalyzerConfig(
+            item_capacity=max(1, (item_t1 + item_t2) // 2),
+            correlation_capacity=max(1, (pair_t1 + pair_t2) // 2),
+            promote_threshold=promote,
+            t2_ratio=item_t2 / max(1, item_t1 + item_t2),
+        ))
+        items = analyzer.items._table
+        correlations = analyzer.correlations._table
+        items._t1 = type(items.t1)(item_t1)
+        items._t2 = type(items.t2)(item_t2)
+        correlations._t1 = type(correlations.t1)(pair_t1)
+        correlations._t2 = type(correlations.t2)(pair_t2)
+    except ValueError as exc:
+        raise CheckpointCorruptError(f"bad synopsis header: {exc}") from exc
 
     def _read_items(count: int, queue) -> None:
         for _ in range(count):
             chunk = stream.read(_ITEM.size)
             if len(chunk) != _ITEM.size:
-                raise ValueError("truncated item section")
+                raise CheckpointCorruptError("truncated item section")
             start, length, tally = _ITEM.unpack(chunk)
-            queue.insert(Extent(start, length), tally)
+            try:
+                queue.insert(Extent(start, length), tally)
+            except ValueError as exc:
+                raise CheckpointCorruptError(f"bad item entry: {exc}") from exc
 
     def _read_pairs(count: int, queue) -> None:
         for _ in range(count):
             chunk = stream.read(_PAIR.size)
             if len(chunk) != _PAIR.size:
-                raise ValueError("truncated pair section")
+                raise CheckpointCorruptError("truncated pair section")
             a_start, a_length, b_start, b_length, tally = _PAIR.unpack(chunk)
-            pair = ExtentPair(Extent(a_start, a_length),
-                              Extent(b_start, b_length))
+            try:
+                pair = ExtentPair(Extent(a_start, a_length),
+                                  Extent(b_start, b_length))
+            except ValueError as exc:
+                raise CheckpointCorruptError(f"bad pair entry: {exc}") from exc
             queue.insert(pair, tally)
             analyzer.correlations._index(pair)
 
@@ -119,7 +187,6 @@ def load_analyzer(stream: BinaryIO) -> OnlineAnalyzer:
 
 def dumps_analyzer(analyzer: OnlineAnalyzer) -> bytes:
     """Serialise to bytes (convenience wrapper)."""
-    import io
     buffer = io.BytesIO()
     dump_analyzer(analyzer, buffer)
     return buffer.getvalue()
@@ -127,7 +194,6 @@ def dumps_analyzer(analyzer: OnlineAnalyzer) -> bytes:
 
 def loads_analyzer(data: bytes) -> OnlineAnalyzer:
     """Restore from bytes (convenience wrapper)."""
-    import io
     return load_analyzer(io.BytesIO(data))
 
 
@@ -135,5 +201,43 @@ def synopsis_size_bytes(analyzer: OnlineAnalyzer) -> int:
     """Checkpoint size for the analyzer's current contents."""
     item_entries = len(analyzer.items)
     pair_entries = len(analyzer.correlations)
-    return (len(_MAGIC) + _HEADER.size
+    return (len(_MAGIC) + _INTEGRITY.size + _HEADER.size
             + item_entries * _ITEM.size + pair_entries * _PAIR.size)
+
+
+# ---------------------------------------------------------------------------
+# Atomic file checkpoints
+# ---------------------------------------------------------------------------
+
+PathOrStr = Union[str, Path]
+
+
+def save_checkpoint(analyzer: OnlineAnalyzer, path: PathOrStr) -> int:
+    """Atomically write a checkpoint file; returns bytes written.
+
+    The synopsis is written to a temporary file in the target directory,
+    fsynced, and renamed over ``path``.  A crash at any point leaves either
+    the previous checkpoint or the new one -- never a torn file.
+    """
+    path = Path(path)
+    tmp_path = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp_path, "wb") as stream:
+            written = dump_analyzer(analyzer, stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
+    return written
+
+
+def load_checkpoint(path: PathOrStr) -> OnlineAnalyzer:
+    """Load and integrity-check a checkpoint file.
+
+    Raises :class:`CheckpointCorruptError` on any corruption and the usual
+    :class:`OSError` family on I/O failure.
+    """
+    with open(path, "rb") as stream:
+        return load_analyzer(stream)

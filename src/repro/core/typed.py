@@ -177,6 +177,16 @@ class TypedOnlineAnalyzer(OnlineAnalyzer):
                 summary[types.dominant()] += 1
         return summary
 
+    def adopt(self, other: OnlineAnalyzer) -> None:
+        """Adopt a restored synopsis; the typed sidecar starts fresh.
+
+        Type mixes are rebuilt from future traffic -- the checkpoint format
+        stores the paper's native entry layout, which has no R/W sidecar.
+        """
+        super().adopt(other)
+        self._types = (dict(other._types)
+                       if isinstance(other, TypedOnlineAnalyzer) else {})
+
     def reset(self) -> None:
         super().reset()
         self._types.clear()

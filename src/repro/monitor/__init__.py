@@ -6,6 +6,7 @@ from .latency import EwmaLatencyTracker
 from .merge import MergerStats, RequestMerger
 from .monitor import (
     DEFAULT_MAX_TRANSACTION_SIZE,
+    ClockPolicy,
     GroupingMode,
     Monitor,
     MonitorStats,
@@ -17,6 +18,7 @@ from .window import DynamicLatencyWindow, StaticWindow, WindowPolicy
 
 __all__ = [
     "BlockIOEvent",
+    "ClockPolicy",
     "LatencyHistogram",
     "PercentileLatencyWindow",
     "DEFAULT_MAX_TRANSACTION_SIZE",

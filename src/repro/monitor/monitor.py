@@ -41,6 +41,31 @@ class GroupingMode(enum.Enum):
     FIXED = "fixed"
 
 
+class ClockPolicy(enum.Enum):
+    """What the monitor does with a non-monotonic (backwards) timestamp.
+
+    blktrace merges per-CPU buffers, so slightly out-of-order delivery is
+    normal; a large backwards jump instead means the clock source changed
+    (suspend/resume, NTP step, a spliced trace).  The policies:
+
+    * ``TOLERATE`` -- historical behaviour: the event goes through the
+      normal gap comparison, where a negative gap never closes the open
+      transaction (it can silently extend it indefinitely).
+    * ``DROP`` -- discard the event.
+    * ``REORDER`` -- fold the event into the open transaction when the
+      backwards skew is within ``max_clock_skew`` (events that close
+      together belong together regardless of delivery order); a jump
+      beyond the skew bound escalates to a window reset.  The default.
+    * ``RESET`` -- flush the open transaction and restart the window at
+      the event's timestamp, adopting the new clock domain.
+    """
+
+    TOLERATE = "tolerate"
+    DROP = "drop"
+    REORDER = "reorder"
+    RESET = "reset"
+
+
 @dataclass
 class MonitorStats:
     """Counters describing a monitor's activity."""
@@ -51,6 +76,11 @@ class MonitorStats:
     singleton_transactions: int = 0
     duplicates_removed: int = 0
     size_splits: int = 0
+    clock_anomalies: int = 0
+    events_dropped: int = 0
+    events_reordered: int = 0
+    window_resets: int = 0
+    window_clamps: int = 0
 
 
 class Monitor:
@@ -65,10 +95,21 @@ class Monitor:
         pid_filter: Optional[Set[int]] = None,
         pgid_filter: Optional[Set[int]] = None,
         grouping: GroupingMode = GroupingMode.GAP,
+        clock_policy: ClockPolicy = ClockPolicy.REORDER,
+        max_clock_skew: Optional[float] = None,
     ) -> None:
+        """``max_clock_skew`` bounds how far backwards a timestamp may jump
+        and still be folded into the open transaction under
+        :attr:`ClockPolicy.REORDER`; ``None`` uses the current window
+        duration (jitter within one window is benign by definition).
+        """
         if max_transaction_size < 1:
             raise ValueError(
                 f"max_transaction_size must be >= 1, got {max_transaction_size}"
+            )
+        if max_clock_skew is not None and max_clock_skew < 0:
+            raise ValueError(
+                f"max_clock_skew must be >= 0, got {max_clock_skew}"
             )
         self.window = window if window is not None else DynamicLatencyWindow()
         self._sinks: List[TransactionSink] = list(sinks or ())
@@ -77,8 +118,11 @@ class Monitor:
         self.pid_filter = pid_filter
         self.pgid_filter = pgid_filter
         self.grouping = grouping
+        self.clock_policy = clock_policy
+        self.max_clock_skew = max_clock_skew
         self.stats = MonitorStats()
         self._pending: List[BlockIOEvent] = []
+        self._high_water: Optional[float] = None
 
     def add_sink(self, sink: TransactionSink) -> None:
         self._sinks.append(sink)
@@ -94,8 +138,25 @@ class Monitor:
 
     def _window_anchor(self) -> float:
         if self.grouping is GroupingMode.GAP:
-            return self._pending[-1].timestamp
+            # Max, not last: a reordered event folded into the transaction
+            # must neither stretch the window backwards nor shrink it.
+            return max(pending.timestamp for pending in self._pending)
         return self._pending[0].timestamp
+
+    def _window_duration(self) -> float:
+        """The window duration, guarded against degenerate policies.
+
+        A custom :class:`WindowPolicy` may return zero, a negative value,
+        or NaN; any of those would make the gap comparison nonsense (a
+        negative window can never be exceeded by a zero gap, NaN compares
+        false with everything).  Such durations are clamped to zero --
+        every positive gap then closes the transaction -- and counted.
+        """
+        duration = self.window.duration()
+        if not (duration > 0.0):  # catches negative, zero, and NaN
+            self.stats.window_clamps += 1
+            return 0.0
+        return duration
 
     def on_event(self, event: BlockIOEvent) -> None:
         """Consume one issue event (the blktrace callback)."""
@@ -106,9 +167,18 @@ class Monitor:
         if event.latency is not None:
             self.window.observe_latency(event.latency)
 
+        duration = self._window_duration()
+
+        if (self._high_water is not None
+                and event.timestamp < self._high_water):
+            self.stats.clock_anomalies += 1
+            if self.clock_policy is not ClockPolicy.TOLERATE:
+                self._on_clock_anomaly(event, duration)
+                return
+
         if self._pending:
             gap = event.timestamp - self._window_anchor()
-            if gap > self.window.duration():
+            if gap > duration:
                 self._flush()
             elif len(self._pending) >= self.max_transaction_size:
                 # Overflow: additional items go into a new transaction
@@ -116,6 +186,33 @@ class Monitor:
                 self.stats.size_splits += 1
                 self._flush()
         self._pending.append(event)
+        if self._high_water is None or event.timestamp > self._high_water:
+            self._high_water = event.timestamp
+
+    def _on_clock_anomaly(self, event: BlockIOEvent, duration: float) -> None:
+        """Apply the configured policy to a backwards-timestamp event."""
+        if self.clock_policy is ClockPolicy.DROP:
+            self.stats.events_dropped += 1
+            return
+        skew = self._high_water - event.timestamp
+        slack = (self.max_clock_skew if self.max_clock_skew is not None
+                 else duration)
+        if self.clock_policy is ClockPolicy.REORDER and skew <= slack:
+            # Delivery jitter within the window: the event belongs to the
+            # open transaction; the high-water mark is left untouched so
+            # the stale timestamp cannot stretch the window backwards.
+            self.stats.events_reordered += 1
+            if self._pending and len(self._pending) >= self.max_transaction_size:
+                self.stats.size_splits += 1
+                self._flush()
+            self._pending.append(event)
+            return
+        # RESET, or a REORDER jump beyond the skew bound: the clock domain
+        # changed.  Close the open transaction and restart at the event.
+        self.stats.window_resets += 1
+        self._flush()
+        self._pending.append(event)
+        self._high_water = event.timestamp
 
     def flush(self) -> None:
         """Emit any open transaction (call at end of stream)."""

@@ -1,0 +1,64 @@
+"""Resilience layer: fault-tolerant ingestion, integrity, and isolation.
+
+The paper's premise is an *always-on* monitor characterizing correlations
+on a live block layer; this package holds everything that keeps the stack
+standing under real-world failure modes:
+
+* error-policy ingestion and the dead-letter buffer
+  (:mod:`repro.trace.errors`, re-exported here);
+* sink/observer isolation (:class:`SinkGuard`);
+* the fault-tolerant service wrapper
+  (:class:`ResilientCharacterizationService`) with CRC-checked, atomic
+  checkpoints (:class:`~repro.core.serialize.CheckpointCorruptError`);
+* the deterministic fault-injection harness (:class:`FaultInjector`) used
+  by ``tests/test_resilience.py`` to prove accuracy bounds under faults.
+"""
+
+from ..core.serialize import (
+    CheckpointCorruptError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from ..monitor.monitor import ClockPolicy
+from ..trace.errors import (
+    DeadLetterBuffer,
+    ErrorPolicy,
+    IngestReport,
+    RowError,
+)
+from .faults import (
+    FaultCounters,
+    FaultInjector,
+    FaultSpec,
+    corrupt_msr_csv,
+    flip_bits,
+)
+from .guard import DEFAULT_FAILURE_LIMIT, SinkGuard
+from .service import (
+    HEALTH_DEGRADED,
+    HEALTH_OK,
+    ResilientCharacterizationService,
+    ServiceHealth,
+)
+
+__all__ = [
+    "CheckpointCorruptError",
+    "ClockPolicy",
+    "DEFAULT_FAILURE_LIMIT",
+    "DeadLetterBuffer",
+    "ErrorPolicy",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultSpec",
+    "HEALTH_DEGRADED",
+    "HEALTH_OK",
+    "IngestReport",
+    "ResilientCharacterizationService",
+    "RowError",
+    "ServiceHealth",
+    "SinkGuard",
+    "corrupt_msr_csv",
+    "flip_bits",
+    "load_checkpoint",
+    "save_checkpoint",
+]

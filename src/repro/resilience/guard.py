@@ -1,0 +1,78 @@
+"""Sink and observer isolation.
+
+The monitor and service fan transactions and snapshots out to arbitrary
+callables -- optimizer hooks, recorders, exporters.  Any of them can throw,
+and in an always-on deployment (Fig. 3) a buggy consumer must not take the
+characterization pipeline down with it.  :class:`SinkGuard` wraps a callable
+so that exceptions are caught and counted, and after ``failure_limit``
+*consecutive* failures the target is quarantined: it stops being invoked
+(suppressed calls are counted) until an operator calls :meth:`reset`.
+
+The guard is payload-agnostic -- it isolates monitor transaction sinks and
+service snapshot observers alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+#: Consecutive failures after which a guarded target is quarantined.
+DEFAULT_FAILURE_LIMIT = 3
+
+
+class SinkGuard:
+    """Wrap a callable so its failures cannot stop the caller."""
+
+    def __init__(
+        self,
+        target: Callable[..., Any],
+        failure_limit: int = DEFAULT_FAILURE_LIMIT,
+        name: Optional[str] = None,
+    ) -> None:
+        if failure_limit < 1:
+            raise ValueError(
+                f"failure_limit must be >= 1, got {failure_limit}"
+            )
+        self.target = target
+        self.failure_limit = failure_limit
+        self.name = name if name is not None else _describe(target)
+        self.calls = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.suppressed = 0
+        self.quarantined = False
+        self.last_error: Optional[str] = None
+
+    def __call__(self, *args: Any, **kwargs: Any) -> None:
+        if self.quarantined:
+            self.suppressed += 1
+            return
+        self.calls += 1
+        try:
+            self.target(*args, **kwargs)
+        except Exception as exc:  # deliberate: isolate *any* consumer bug
+            self.failures += 1
+            self.consecutive_failures += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            if self.consecutive_failures >= self.failure_limit:
+                self.quarantined = True
+        else:
+            self.consecutive_failures = 0
+
+    def reset(self) -> None:
+        """Lift a quarantine and forget the consecutive-failure streak."""
+        self.quarantined = False
+        self.consecutive_failures = 0
+
+    @property
+    def healthy(self) -> bool:
+        return not self.quarantined
+
+    def __repr__(self) -> str:
+        state = "quarantined" if self.quarantined else "ok"
+        return (f"SinkGuard({self.name!r}, {state}, "
+                f"failures={self.failures}/{self.calls})")
+
+
+def _describe(target: Callable[..., Any]) -> str:
+    return getattr(target, "__qualname__", None) or repr(target)

@@ -1,0 +1,213 @@
+"""A fault-tolerant wrapper around the characterization service.
+
+:class:`ResilientCharacterizationService` is the deployment-grade shape of
+:class:`~repro.service.CharacterizationService` (Fig. 3's always-on
+monitor).  It adds:
+
+* **checkpoint I/O with retries** -- :meth:`checkpoint_to` writes
+  atomically (temp file + rename) and retries transient I/O failures with
+  capped exponential backoff;
+* **corruption fallback** -- :meth:`restore_from` rejects a corrupt
+  checkpoint (:class:`~repro.core.serialize.CheckpointCorruptError` is
+  never retried: corruption is deterministic) and continues serving with a
+  fresh analyzer, flagged *degraded* rather than crashed;
+* **observer isolation** -- snapshot observers registered through
+  :meth:`observe` are wrapped in :class:`~repro.resilience.guard.SinkGuard`
+  so a crashing optimizer hook is counted and, after repeated failures,
+  quarantined without stopping ingestion;
+* **health reporting** -- :meth:`health` summarises all of the above as
+  ``ok`` or ``degraded`` with machine-readable reasons.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.serialize import (
+    CheckpointCorruptError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from ..core.typed import TypedOnlineAnalyzer
+from ..service import CharacterizationService, SnapshotObserver
+from .guard import DEFAULT_FAILURE_LIMIT, SinkGuard
+
+HEALTH_OK = "ok"
+HEALTH_DEGRADED = "degraded"
+
+
+@dataclass
+class ServiceHealth:
+    """One service's condition at a glance."""
+
+    status: str
+    reasons: List[str] = field(default_factory=list)
+    checkpoint_failures: int = 0
+    checkpoint_retries: int = 0
+    restore_failures: int = 0
+    quarantined_observers: int = 0
+    observer_failures: int = 0
+    last_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == HEALTH_OK
+
+
+class ResilientCharacterizationService(CharacterizationService):
+    """Characterization service that survives I/O faults and bad consumers."""
+
+    def __init__(
+        self,
+        *args,
+        max_io_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        observer_failure_limit: int = DEFAULT_FAILURE_LIMIT,
+        sleep: Callable[[float], None] = time.sleep,
+        **kwargs,
+    ) -> None:
+        """``sleep`` is injectable so tests (and async hosts) can replace
+        the real backoff delay; retries are attempted ``max_io_retries``
+        times after the initial try, waiting ``backoff_base * 2**attempt``
+        seconds, capped at ``backoff_cap``.
+        """
+        if max_io_retries < 0:
+            raise ValueError(
+                f"max_io_retries must be >= 0, got {max_io_retries}"
+            )
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise ValueError(
+                f"need 0 < backoff_base <= backoff_cap, got "
+                f"base={backoff_base} cap={backoff_cap}"
+            )
+        super().__init__(*args, **kwargs)
+        self.max_io_retries = max_io_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.observer_failure_limit = observer_failure_limit
+        self._sleep = sleep
+        self._guards: List[SinkGuard] = []
+        self._degraded_reasons: List[str] = []
+        self._checkpoint_failures = 0
+        self._checkpoint_retries = 0
+        self._restore_failures = 0
+        self._last_error: Optional[str] = None
+
+    # -- observer isolation ---------------------------------------------------
+
+    def observe(self, observer: SnapshotObserver) -> SinkGuard:
+        """Register an observer behind a :class:`SinkGuard`; returns it."""
+        guard = SinkGuard(observer, failure_limit=self.observer_failure_limit)
+        self._guards.append(guard)
+        super().observe(guard)
+        return guard
+
+    @property
+    def observer_guards(self) -> List[SinkGuard]:
+        return list(self._guards)
+
+    # -- retrying checkpoint I/O ----------------------------------------------
+
+    def _with_retries(self, operation: Callable[[], object]) -> object:
+        """Run ``operation``, retrying OSError with capped backoff."""
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except OSError as exc:
+                self._last_error = f"{type(exc).__name__}: {exc}"
+                if attempt >= self.max_io_retries:
+                    raise
+                delay = min(self.backoff_cap,
+                            self.backoff_base * (2 ** attempt))
+                self._sleep(delay)
+                attempt += 1
+                self._checkpoint_retries += 1
+
+    def checkpoint_to(self, path) -> int:
+        """Atomically checkpoint to ``path``, retrying transient failures.
+
+        A crash mid-write can never clobber a previous good checkpoint
+        (see :func:`~repro.core.serialize.save_checkpoint`).  If every
+        retry fails the last error is re-raised, but the failure is
+        recorded and surfaced by :meth:`health` -- the service itself
+        keeps ingesting.
+        """
+        self.flush()
+        try:
+            return self._with_retries(
+                lambda: save_checkpoint(self.analyzer, path)
+            )
+        except OSError:
+            self._checkpoint_failures += 1
+            self._mark_degraded(f"checkpoint write failed: {self._last_error}")
+            raise
+
+    def restore_from(self, path) -> bool:
+        """Restore from ``path``; returns True when the checkpoint loaded.
+
+        A corrupt checkpoint (bad CRC, torn structure) is *never* loaded
+        -- and never retried, since corruption is deterministic.  On
+        corruption or persistent I/O failure, the service falls back to a
+        fresh analyzer and reports itself degraded, because a monitor
+        with an empty synopsis still beats a dead monitor.
+        """
+        try:
+            plain = self._with_retries(lambda: load_checkpoint(path))
+        except CheckpointCorruptError as exc:
+            self._restore_failures += 1
+            self._last_error = f"{type(exc).__name__}: {exc}"
+            self._fallback_fresh(f"checkpoint corrupt: {exc}")
+            return False
+        except OSError as exc:
+            self._restore_failures += 1
+            self._fallback_fresh(f"checkpoint unreadable: {exc}")
+            return False
+        restored = TypedOnlineAnalyzer(plain.config)
+        restored.adopt(plain)
+        self.analyzer = restored
+        return True
+
+    def _fallback_fresh(self, reason: str) -> None:
+        fresh = TypedOnlineAnalyzer(self.analyzer.config)
+        self.analyzer = fresh
+        self._mark_degraded(reason)
+
+    def _mark_degraded(self, reason: str) -> None:
+        if reason not in self._degraded_reasons:
+            self._degraded_reasons.append(reason)
+
+    # -- health ---------------------------------------------------------------
+
+    def health(self) -> ServiceHealth:
+        """The service's current condition (``ok`` or ``degraded``)."""
+        reasons = list(self._degraded_reasons)
+        quarantined = sum(1 for guard in self._guards if guard.quarantined)
+        observer_failures = sum(guard.failures for guard in self._guards)
+        for guard in self._guards:
+            if guard.quarantined:
+                reasons.append(
+                    f"observer {guard.name} quarantined after "
+                    f"{guard.consecutive_failures} consecutive failures: "
+                    f"{guard.last_error}"
+                )
+        status = HEALTH_DEGRADED if reasons else HEALTH_OK
+        return ServiceHealth(
+            status=status,
+            reasons=reasons,
+            checkpoint_failures=self._checkpoint_failures,
+            checkpoint_retries=self._checkpoint_retries,
+            restore_failures=self._restore_failures,
+            quarantined_observers=quarantined,
+            observer_failures=observer_failures,
+            last_error=self._last_error,
+        )
+
+    def clear_degraded(self) -> None:
+        """Operator acknowledgement: drop degraded reasons, reset guards."""
+        self._degraded_reasons.clear()
+        for guard in self._guards:
+            guard.reset()

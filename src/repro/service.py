@@ -26,7 +26,11 @@ from .core.extent import ExtentPair
 from .core.serialize import dump_analyzer, load_analyzer
 from .core.typed import CorrelationKind, TypedOnlineAnalyzer
 from .monitor.events import BlockIOEvent
-from .monitor.monitor import DEFAULT_MAX_TRANSACTION_SIZE, Monitor
+from .monitor.monitor import (
+    DEFAULT_MAX_TRANSACTION_SIZE,
+    ClockPolicy,
+    Monitor,
+)
 from .monitor.transaction import Transaction
 from .monitor.window import DynamicLatencyWindow, WindowPolicy
 
@@ -58,6 +62,8 @@ class CharacterizationService:
         dedup: bool = True,
         min_support: int = 5,
         snapshot_interval: int = 1000,
+        clock_policy: ClockPolicy = ClockPolicy.REORDER,
+        max_clock_skew: Optional[float] = None,
     ) -> None:
         if snapshot_interval < 1:
             raise ValueError("snapshot_interval must be >= 1")
@@ -71,6 +77,8 @@ class CharacterizationService:
             max_transaction_size=max_transaction_size,
             dedup=dedup,
             sinks=[self._on_transaction],
+            clock_policy=clock_policy,
+            max_clock_skew=max_clock_skew,
         )
         self._observers: List[SnapshotObserver] = []
         self._transactions = 0
@@ -135,7 +143,5 @@ class CharacterizationService:
         """Replace the synopsis with a previously checkpointed one."""
         plain = load_analyzer(stream)
         restored = TypedOnlineAnalyzer(plain.config)
-        restored.items._table = plain.items._table
-        restored.correlations._table = plain.correlations._table
-        restored.correlations._by_extent = plain.correlations._by_extent
+        restored.adopt(plain)
         self.analyzer = restored

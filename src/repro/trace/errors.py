@@ -1,0 +1,115 @@
+"""Ingestion error policies and the dead-letter buffer.
+
+A production monitor ingests traces produced by other systems -- kernels,
+collectors, network copies -- and real-world trace files contain malformed
+rows: truncated lines, garbage op names, negative offsets, torn writes in
+binary logs.  The paper's always-on premise (Fig. 3) means the replay must
+not die on the first bad row; instead the reader is parameterised by an
+:class:`ErrorPolicy`:
+
+* ``STRICT`` -- raise on the first malformed row (the historical behaviour,
+  right for tests and for traces you generated yourself);
+* ``LENIENT`` -- count malformed rows and keep going;
+* ``QUARANTINE`` -- like lenient, but additionally retain a bounded,
+  deterministically sampled set of the offending rows (the *dead-letter
+  buffer*) so an operator can inspect what the reader rejected.
+
+The counters live in an :class:`IngestReport` the caller may pass in; the
+dead-letter buffer uses seeded reservoir sampling so two runs over the same
+file quarantine the same rows.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class ErrorPolicy(enum.Enum):
+    """What a trace reader does with a row it cannot parse."""
+
+    STRICT = "strict"
+    LENIENT = "lenient"
+    QUARANTINE = "quarantine"
+
+    @classmethod
+    def parse(cls, text: str) -> "ErrorPolicy":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            known = ", ".join(policy.value for policy in cls)
+            raise ValueError(
+                f"unknown error policy {text!r}; know {known}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class RowError:
+    """One rejected row: where it was, what it said, why it failed."""
+
+    line_number: int
+    row: str
+    error: str
+
+
+class DeadLetterBuffer:
+    """A bounded, deterministic reservoir sample of rejected rows.
+
+    Keeps at most ``capacity`` :class:`RowError` entries.  Once full, each
+    further offer replaces a random resident with the classic reservoir
+    rule, driven by a seeded RNG so the retained sample is reproducible.
+    ``total`` always counts every offer, retained or not.
+    """
+
+    def __init__(self, capacity: int = 64, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.total = 0
+        self._rows: List[RowError] = []
+        self._rng = random.Random(seed)
+
+    def offer(self, row_error: RowError) -> None:
+        self.total += 1
+        if len(self._rows) < self.capacity:
+            self._rows.append(row_error)
+            return
+        slot = self._rng.randrange(self.total)
+        if slot < self.capacity:
+            self._rows[slot] = row_error
+
+    def rows(self) -> List[RowError]:
+        """The retained sample, in retention order."""
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+@dataclass
+class IngestReport:
+    """Counters (and optionally quarantined rows) from one read pass."""
+
+    rows_ok: int = 0
+    rows_bad: int = 0
+    dead_letters: Optional[DeadLetterBuffer] = None
+    errors_sampled: List[RowError] = field(default_factory=list)
+
+    @property
+    def rows_total(self) -> int:
+        return self.rows_ok + self.rows_bad
+
+    @property
+    def error_rate(self) -> float:
+        total = self.rows_total
+        return self.rows_bad / total if total else 0.0
+
+    def record_bad(self, row_error: RowError, policy: ErrorPolicy) -> None:
+        """Count one rejected row, quarantining it when the policy says so."""
+        self.rows_bad += 1
+        if policy is ErrorPolicy.QUARANTINE:
+            if self.dead_letters is None:
+                self.dead_letters = DeadLetterBuffer()
+            self.dead_letters.offer(row_error)

@@ -15,10 +15,12 @@ Two formats are supported:
 
 from __future__ import annotations
 
+import math
 import struct
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Union
+from typing import IO, Iterable, Iterator, List, Optional, Union
 
+from .errors import ErrorPolicy, IngestReport, RowError
 from .record import BLOCK_SIZE, OpType, TraceRecord
 
 #: Windows filetime resolution: 100 ns ticks per second.
@@ -55,31 +57,22 @@ def write_msr_csv(records: Iterable[TraceRecord], stream: IO[str],
     return rows
 
 
-def read_msr_csv(stream: IO[str], pid: int = 0) -> Iterator[TraceRecord]:
-    """Parse MSR Cambridge CSV rows into :class:`TraceRecord` objects.
-
-    The MSR format does not carry a PID; the caller may assign one (the
-    paper's monitor filters by PID when isolating a workload).  Offsets are
-    converted to 512-byte block numbers; sizes are rounded up to whole
-    blocks.  A zero response time is treated as "latency unknown".
-    """
-    for line_number, line in enumerate(stream, start=1):
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        fields = line.split(",")
-        if len(fields) != 7:
-            raise ValueError(
-                f"line {line_number}: expected 7 MSR fields, got {len(fields)}"
-            )
-        ticks, _hostname, disk, op_name, offset, size, response = fields
-        if int(size) <= 0:
-            raise ValueError(
-                f"line {line_number}: request size must be positive, "
-                f"got {size}"
-            )
-        latency_ticks = int(response)
-        yield TraceRecord(
+def _parse_msr_row(line: str, line_number: int, pid: int) -> TraceRecord:
+    """Parse one stripped, non-comment MSR CSV row (raises ValueError)."""
+    fields = line.split(",")
+    if len(fields) != 7:
+        raise ValueError(
+            f"line {line_number}: expected 7 MSR fields, got {len(fields)}"
+        )
+    ticks, _hostname, disk, op_name, offset, size, response = fields
+    if int(size) <= 0:
+        raise ValueError(
+            f"line {line_number}: request size must be positive, "
+            f"got {size}"
+        )
+    latency_ticks = int(response)
+    try:
+        return TraceRecord(
             timestamp=int(ticks) / FILETIME_TICKS_PER_SECOND,
             pid=pid,
             op=OpType.parse(op_name),
@@ -92,6 +85,45 @@ def read_msr_csv(stream: IO[str], pid: int = 0) -> Iterator[TraceRecord]:
             ),
             disk_id=int(disk),
         )
+    except ValueError as exc:
+        raise ValueError(f"line {line_number}: {exc}") from exc
+
+
+def read_msr_csv(
+    stream: IO[str],
+    pid: int = 0,
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[IngestReport] = None,
+) -> Iterator[TraceRecord]:
+    """Parse MSR Cambridge CSV rows into :class:`TraceRecord` objects.
+
+    The MSR format does not carry a PID; the caller may assign one (the
+    paper's monitor filters by PID when isolating a workload).  Offsets are
+    converted to 512-byte block numbers; sizes are rounded up to whole
+    blocks.  A zero response time is treated as "latency unknown".
+
+    ``policy`` decides what happens on a malformed row: ``STRICT`` raises
+    (the default), ``LENIENT`` counts and skips, ``QUARANTINE`` counts,
+    skips, and samples the row into ``report.dead_letters``.  Pass a
+    :class:`~repro.trace.errors.IngestReport` to receive the counters.
+    """
+    if report is None:
+        report = IngestReport()
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = _parse_msr_row(line, line_number, pid)
+        except ValueError as exc:
+            if policy is ErrorPolicy.STRICT:
+                raise
+            report.record_bad(
+                RowError(line_number, line, str(exc)), policy
+            )
+            continue
+        report.rows_ok += 1
+        yield record
 
 
 def save_msr_csv(records: Iterable[TraceRecord], path: PathOrStr,
@@ -100,9 +132,15 @@ def save_msr_csv(records: Iterable[TraceRecord], path: PathOrStr,
         return write_msr_csv(records, stream, hostname=hostname)
 
 
-def load_msr_csv(path: PathOrStr, pid: int = 0) -> List[TraceRecord]:
-    with open(path, "r", encoding="ascii") as stream:
-        return list(read_msr_csv(stream, pid=pid))
+def load_msr_csv(
+    path: PathOrStr,
+    pid: int = 0,
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[IngestReport] = None,
+) -> List[TraceRecord]:
+    with open(path, "r", encoding="ascii", errors="replace") as stream:
+        return list(read_msr_csv(stream, pid=pid, policy=policy,
+                                 report=report))
 
 
 # ---------------------------------------------------------------------------
@@ -126,26 +164,62 @@ def write_binary(records: Iterable[TraceRecord], stream: IO[bytes]) -> int:
     return written
 
 
-def read_binary(stream: IO[bytes]) -> Iterator[TraceRecord]:
-    """Read records written by :func:`write_binary`."""
+def read_binary(
+    stream: IO[bytes],
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[IngestReport] = None,
+) -> Iterator[TraceRecord]:
+    """Read records written by :func:`write_binary`.
+
+    A bad magic always raises (there is nothing to resynchronise on).
+    Under a non-strict ``policy``, a record whose fields fail validation
+    (torn write, bit rot) is counted and skipped -- the fixed record width
+    makes resynchronisation trivial -- and a truncated trailing record ends
+    the stream instead of raising.
+    """
+    if report is None:
+        report = IngestReport()
     magic = stream.read(len(_BINARY_MAGIC))
     if magic != _BINARY_MAGIC:
         raise ValueError(f"bad trace magic: {magic!r}")
+    record_number = 0
     while True:
         chunk = stream.read(_RECORD_STRUCT.size)
         if not chunk:
             return
+        record_number += 1
         if len(chunk) != _RECORD_STRUCT.size:
-            raise ValueError("truncated trace record")
+            if policy is ErrorPolicy.STRICT:
+                raise ValueError("truncated trace record")
+            report.record_bad(
+                RowError(record_number, chunk.hex(),
+                         "truncated trace record"),
+                policy,
+            )
+            return
         timestamp, pid, op_byte, start, length, latency = _RECORD_STRUCT.unpack(chunk)
-        yield TraceRecord(
-            timestamp=timestamp,
-            pid=pid,
-            op=OpType.READ if op_byte == 0 else OpType.WRITE,
-            start=start,
-            length=length,
-            latency=None if latency < 0 else latency,
-        )
+        try:
+            if not math.isfinite(timestamp):
+                raise ValueError(f"non-finite timestamp {timestamp!r}")
+            if not (latency < 0 or math.isfinite(latency)):
+                raise ValueError(f"non-finite latency {latency!r}")
+            record = TraceRecord(
+                timestamp=timestamp,
+                pid=pid,
+                op=OpType.READ if op_byte == 0 else OpType.WRITE,
+                start=start,
+                length=length,
+                latency=None if latency < 0 else latency,
+            )
+        except ValueError as exc:
+            if policy is ErrorPolicy.STRICT:
+                raise ValueError(f"record {record_number}: {exc}") from exc
+            report.record_bad(
+                RowError(record_number, chunk.hex(), str(exc)), policy
+            )
+            continue
+        report.rows_ok += 1
+        yield record
 
 
 def save_binary(records: Iterable[TraceRecord], path: PathOrStr) -> int:
@@ -153,9 +227,13 @@ def save_binary(records: Iterable[TraceRecord], path: PathOrStr) -> int:
         return write_binary(records, stream)
 
 
-def load_binary(path: PathOrStr) -> List[TraceRecord]:
+def load_binary(
+    path: PathOrStr,
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[IngestReport] = None,
+) -> List[TraceRecord]:
     with open(path, "rb") as stream:
-        return list(read_binary(stream))
+        return list(read_binary(stream, policy=policy, report=report))
 
 
 # ---------------------------------------------------------------------------

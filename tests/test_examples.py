@@ -1,5 +1,6 @@
 """Smoke tests: every example script must run cleanly end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -8,6 +9,22 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+SRC_DIR = EXAMPLES_DIR.parent / "src"
+
+
+def example_env():
+    """Subprocess env with an *absolute* src path.
+
+    The tests run example scripts with a temp-dir cwd; a relative
+    ``PYTHONPATH=src`` from the invoking shell would resolve against that
+    cwd and break the import, so prepend the absolute path.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
 
 
 def test_examples_exist():
@@ -26,6 +43,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,  # any output files land in the temp dir
+        env=example_env(),
     )
     assert result.returncode == 0, (
         f"{script.name} failed:\n{result.stderr[-2000:]}"
@@ -36,6 +54,6 @@ def test_example_runs(script, tmp_path):
 def test_quickstart_detects_everything():
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
-        capture_output=True, text=True, timeout=120,
+        capture_output=True, text=True, timeout=120, env=example_env(),
     )
     assert "4/4 planted correlations detected" in result.stdout

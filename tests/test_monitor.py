@@ -166,3 +166,42 @@ class TestStatsAndSinks:
         extent_lists = recorder.extent_transactions()
         assert len(extent_lists) == 1
         assert extent_lists[0][0].start == 5
+
+
+class TestClockAnomalies:
+    """Regression tests for non-monotonic timestamp input.
+
+    The full policy matrix lives in tests/test_resilience.py; these pin
+    the default behaviour so a refactor cannot silently regress it.
+    """
+
+    def test_backwards_timestamp_within_window_is_kept(self):
+        monitor, recorder = collecting_monitor(window=StaticWindow(1e-3))
+        monitor.on_event(event(0.0, 1))
+        monitor.on_event(event(5e-4, 2))
+        monitor.on_event(event(3e-4, 3))  # delivered late, same burst
+        monitor.flush()
+        assert len(recorder) == 1
+        assert len(recorder.transactions[0]) == 3
+        assert monitor.stats.clock_anomalies == 1
+        assert monitor.stats.events_reordered == 1
+
+    def test_large_backwards_jump_resets_the_window(self):
+        monitor, recorder = collecting_monitor(window=StaticWindow(1e-3))
+        monitor.on_event(event(100.0, 1))
+        monitor.on_event(event(0.0, 2))  # clock went backwards
+        monitor.flush()
+        assert len(recorder) == 2  # both events delivered, split apart
+        assert monitor.stats.window_resets == 1
+
+    def test_degenerate_window_duration_is_clamped(self):
+        class NegativeWindow(StaticWindow):
+            def duration(self):
+                return -1.0
+
+        monitor, recorder = collecting_monitor(window=NegativeWindow(1.0))
+        monitor.on_event(event(0.0, 1))
+        monitor.on_event(event(1e-6, 2))  # any positive gap closes now
+        monitor.flush()
+        assert len(recorder) == 2
+        assert monitor.stats.window_clamps > 0

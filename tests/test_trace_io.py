@@ -78,6 +78,55 @@ class TestMsrCsv:
         assert len(loaded) == 3
 
 
+class TestMsrEdgeRows:
+    """Boundary rows the MSR corpus (and corrupted copies of it) contain."""
+
+    GOOD = "0,host,0,Read,512,512,1000\n"
+
+    def test_negative_offset_rejected(self):
+        text = "0,host,0,Read,-512,512,0\n"
+        with pytest.raises(ValueError, match="line 1"):
+            list(read_msr_csv(io.StringIO(text)))
+
+    def test_unknown_op_name_rejected(self):
+        text = "0,host,0,Frobnicate,512,512,0\n"
+        with pytest.raises(ValueError, match="line 1"):
+            list(read_msr_csv(io.StringIO(text)))
+
+    def test_zero_response_time_means_unknown_latency(self):
+        text = "0,host,0,Write,0,512,0\n"
+        record = next(read_msr_csv(io.StringIO(text)))
+        assert record.latency is None
+
+    def test_positive_response_time_converted(self):
+        # Response times are filetime ticks (100 ns units).
+        record = next(read_msr_csv(io.StringIO(self.GOOD)))
+        assert record.latency == pytest.approx(1000 * 100e-9)
+
+    def test_trailing_blank_and_comment_lines_ignored(self):
+        text = self.GOOD + "\n\n# trailing comment\n   \n"
+        records = list(read_msr_csv(io.StringIO(text)))
+        assert len(records) == 1
+
+    def test_lenient_policy_skips_edge_rows(self):
+        from repro.trace.errors import ErrorPolicy, IngestReport
+
+        text = (
+            "0,host,0,Read,-512,512,0\n"      # negative offset
+            + self.GOOD
+            + "0,host,0,Frobnicate,512,512,0\n"  # unknown op
+            + "# comment\n\n"                    # not errors, just skipped
+        )
+        report = IngestReport()
+        records = list(read_msr_csv(io.StringIO(text),
+                                    policy=ErrorPolicy.LENIENT,
+                                    report=report))
+        assert len(records) == 1
+        assert report.rows_ok == 1
+        assert report.rows_bad == 2
+        assert report.error_rate == pytest.approx(2 / 3)
+
+
 class TestBinary:
     def test_roundtrip_exact(self):
         stream = io.BytesIO()
