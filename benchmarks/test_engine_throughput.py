@@ -1,0 +1,149 @@
+"""Engine ingest throughput: per-event vs batched, 1-shard vs N-shard.
+
+The seed hot path fed the monitor one event per call and the analyzer one
+transaction per callback.  The engine refactor adds a batch lane through
+every layer (``Monitor.on_events`` -> ``submit_many`` ->
+``process_batch``) and a hash-partitioned N-shard engine.  This benchmark
+measures events/second for each ingest mode over the same pre-generated
+event stream and records the results in ``BENCH_engine_throughput.json``
+(uploaded as a CI artifact by the bench-smoke job).
+
+The acceptance claim: batched ingest through the engine is measurably
+faster than the seed per-event path.
+"""
+
+import gc
+import json
+import pathlib
+import statistics
+import time
+
+from repro.blkdev.device import SsdDevice
+from repro.blkdev.replay import replay_timed
+from repro.core.config import AnalyzerConfig
+from repro.service import CharacterizationService
+from repro.workloads.enterprise import generate_named
+
+from conftest import print_header, print_row, scaled
+
+RESULTS_PATH = pathlib.Path("BENCH_engine_throughput.json")
+
+#: Floored so even smoke-scale runs amortize enough work to rank modes.
+EVENT_COUNT = max(20_000, scaled(40_000))
+CONFIG = AnalyzerConfig(item_capacity=4096, correlation_capacity=4096)
+ROUNDS = 5
+
+
+def _event_stream():
+    records, _truth = generate_named("rsrch", requests=EVENT_COUNT, seed=5)
+    events = []
+    replay_timed(records, SsdDevice(seed=3),
+                 listeners=[events.append], collect=False)
+    return events
+
+
+def _service(shards=1, parallel=False):
+    return CharacterizationService(
+        config=CONFIG, min_support=5, snapshot_interval=10**9,
+        shards=shards, parallel_shards=parallel,
+    )
+
+
+def _measure(factories, events):
+    """Per-mode events/second over N rounds, fresh service state each round.
+
+    Rounds are interleaved across modes (all modes' round 1, then round 2,
+    ...) so a load spike on the host machine penalizes every mode equally
+    instead of whichever mode happened to be measured during it.  Returns
+    ``{name: (rates_per_round, snapshot)}``; comparisons should pair rates
+    from the same round, which ran adjacent in time.
+    """
+    rates = {name: [] for name in factories}
+    snapshots = {}
+    for round_index in range(ROUNDS + 1):
+        for name, factory in factories.items():
+            service, ingest = factory()
+            # Collect the garbage of the previous run now so its pauses
+            # cannot land inside the timed region.
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                ingest(events)
+                service.flush()
+                elapsed = time.perf_counter() - start
+            finally:
+                gc.enable()
+            if round_index == 0:
+                continue  # warmup round: caches, allocator, imports
+            rates[name].append(len(events) / elapsed)
+            snapshots[name] = service.snapshot()
+    return {name: (rates[name], snapshots[name]) for name in factories}
+
+
+def test_engine_throughput(benchmark):
+    events = _event_stream()
+
+    def per_event_mode():
+        service = _service()
+
+        def ingest(batch):
+            submit = service.submit
+            for event in batch:
+                submit(event)
+        return service, ingest
+
+    def batched_mode(shards=1, parallel=False):
+        def factory():
+            service = _service(shards=shards, parallel=parallel)
+            return service, service.submit_many
+        return factory
+
+    modes = _measure({
+        "per_event_1shard": per_event_mode,
+        "batched_1shard": batched_mode(),
+        "batched_4shard": batched_mode(shards=4),
+        "batched_4shard_parallel": batched_mode(shards=4, parallel=True),
+    }, events)
+
+    print_header("Engine ingest throughput (events/second, median of "
+                 f"{ROUNDS} rounds)")
+    print_row("mode", "events/s", "correlations", widths=(26, 14, 14))
+    for name, (rates, snapshot) in modes.items():
+        print_row(name, int(statistics.median(rates)), snapshot.correlations,
+                  widths=(26, 14, 14))
+
+    # Paired per-round ratios: each round's batched and per-event runs are
+    # adjacent in time, so host load drift cancels out of the ratio.
+    per_event = modes["per_event_1shard"][0]
+    batched = modes["batched_1shard"][0]
+    speedup = statistics.median(
+        b / p for b, p in zip(batched, per_event)
+    )
+    results = {
+        "events": len(events),
+        "rounds": ROUNDS,
+        "events_per_second": {
+            name: round(statistics.median(rates), 1)
+            for name, (rates, _s) in modes.items()
+        },
+        "batched_speedup_vs_per_event": round(speedup, 3),
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
+    print(f"batched speedup vs per-event (median of {ROUNDS} paired "
+          f"rounds): {speedup:.3f}x")
+    print(f"wrote {RESULTS_PATH}")
+
+    # Identical characterization regardless of ingest mode ...
+    reference = modes["per_event_1shard"][1].frequent_pairs
+    assert modes["batched_1shard"][1].frequent_pairs == reference
+    # ... and the batch lane must beat the seed per-event path.
+    assert speedup > 1.0, (
+        f"batched path not faster: median paired speedup {speedup:.3f}x "
+        f"(batched {batched}, per-event {per_event})"
+    )
+
+    # Record the batched single-shard mode as the canonical benchmark.
+    service = _service()
+    benchmark.pedantic(service.submit_many, args=(events,),
+                       rounds=1, iterations=1)

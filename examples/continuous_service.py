@@ -6,17 +6,18 @@ deployed system needs the *continuous* form: events stream in forever,
 optimization modules subscribe to periodic snapshots, and the learned
 synopsis survives restarts.  This example:
 
-1. streams the first half of a workload into a service, with an observer
+1. streams the first half of a workload into a *sharded* service in
+   batches -- events flow through the monitor's amortized batch path and
+   land in a hash-partitioned four-shard synopsis -- with an observer
    printing each periodic snapshot (the hook an optimizer attaches to);
-2. checkpoints the synopsis to a file -- at the paper's native entry sizes
-   it is a few hundred KB even for large tables;
+2. checkpoints the synopsis to a file in format v3 (one CRC envelope per
+   shard, so a corrupt shard degrades instead of destroying a restore);
 3. "restarts" into a fresh service, restores the checkpoint, streams the
    second half, and shows the correlations carried across the restart.
 
 Run:  python examples/continuous_service.py
 """
 
-import io
 import os
 import tempfile
 
@@ -25,17 +26,49 @@ from repro.blkdev import SsdDevice, replay_timed
 from repro.core import AnalyzerConfig
 from repro.workloads import generate_named
 
+BATCH_SIZE = 500
+
+
+class Batcher:
+    """Buffer replay events into ``submit_many`` batches.
+
+    A real deployment would drain a ring buffer on a timer; here the
+    replay listener fills the buffer and every ``BATCH_SIZE`` events go
+    through the service's batched ingest path in one call.
+    """
+
+    def __init__(self, service):
+        self.service = service
+        self.buffer = []
+        self.batches = 0
+
+    def __call__(self, event):
+        self.buffer.append(event)
+        if len(self.buffer) >= BATCH_SIZE:
+            self.drain()
+
+    def drain(self):
+        if self.buffer:
+            self.service.submit_many(self.buffer)
+            self.buffer.clear()
+            self.batches += 1
+
+
+def make_service():
+    return CharacterizationService(
+        config=AnalyzerConfig(item_capacity=4096, correlation_capacity=4096),
+        min_support=5,
+        snapshot_interval=1000,
+        shards=4,  # hash-partitioned synopsis: 4 shards at capacity/4 each
+    )
+
 
 def main() -> None:
     records, _truth = generate_named("rsrch", requests=12000, seed=5)
     midpoint = len(records) // 2
     first_half, second_half = records[:midpoint], records[midpoint:]
 
-    service = CharacterizationService(
-        config=AnalyzerConfig(item_capacity=4096, correlation_capacity=4096),
-        min_support=5,
-        snapshot_interval=1000,
-    )
+    service = make_service()
 
     def observer(snapshot):
         print(f"  [snapshot] {snapshot.transactions} transactions, "
@@ -43,25 +76,27 @@ def main() -> None:
 
     service.observe(observer)
 
-    print(f"Streaming first half ({len(first_half)} events) ...")
+    print(f"Streaming first half ({len(first_half)} events) in batches "
+          f"of {BATCH_SIZE} across {service.shards} shards ...")
+    batcher = Batcher(service)
     replay_timed(first_half, SsdDevice(seed=3),
-                 listeners=[service.submit], collect=False)
+                 listeners=[batcher], collect=False)
+    batcher.drain()
     service.flush()
     before = service.snapshot()
+    occupancy = service.analyzer.shard_occupancy()
     print(f"before restart: {before.correlations} frequent correlations, "
-          f"{before.events} events seen")
+          f"{before.events} events seen ({batcher.batches} batches)")
+    print(f"shard occupancy (items, pairs): {occupancy}")
 
     checkpoint_path = os.path.join(tempfile.gettempdir(), "synopsis.ckpt")
     with open(checkpoint_path, "wb") as stream:
         written = service.checkpoint(stream)
-    print(f"checkpointed synopsis: {written} bytes -> {checkpoint_path}")
+    print(f"checkpointed synopsis (format v3, one envelope per shard): "
+          f"{written} bytes -> {checkpoint_path}")
 
     print("\n-- simulated restart --\n")
-    resumed = CharacterizationService(
-        config=AnalyzerConfig(item_capacity=4096, correlation_capacity=4096),
-        min_support=5,
-        snapshot_interval=1000,
-    )
+    resumed = make_service()
     with open(checkpoint_path, "rb") as stream:
         resumed.restore(stream)
     restored = resumed.snapshot()
@@ -70,8 +105,10 @@ def main() -> None:
 
     print(f"\nStreaming second half ({len(second_half)} events) ...")
     resumed.observe(observer)
+    batcher = Batcher(resumed)
     replay_timed(second_half, SsdDevice(seed=3),
-                 listeners=[resumed.submit], collect=False)
+                 listeners=[batcher], collect=False)
+    batcher.drain()
     resumed.flush()
     final = resumed.snapshot()
     print(f"\nfinal: {final.correlations} frequent correlations; "

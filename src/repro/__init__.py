@@ -29,6 +29,13 @@ from .core import (
     TwoTierTable,
 )
 from .core.serialize import CheckpointCorruptError
+from .engine import (
+    ShardedAnalyzer,
+    SingleAnalyzerEngine,
+    SynopsisEngine,
+    dump_engine,
+    load_engine,
+)
 from .monitor import (
     BlockIOEvent,
     ClockPolicy,
@@ -65,7 +72,12 @@ __all__ = [
     "IngestReport",
     "ResilientCharacterizationService",
     "ServiceHealth",
+    "ShardedAnalyzer",
+    "SingleAnalyzerEngine",
     "SinkGuard",
+    "SynopsisEngine",
+    "dump_engine",
+    "load_engine",
     "Extent",
     "ExtentPair",
     "ItemTable",

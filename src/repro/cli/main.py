@@ -166,14 +166,14 @@ def _window_from(args: argparse.Namespace):
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
-    from ..core.serialize import dump_analyzer, load_analyzer
+    from ..engine.checkpoint import dump_engine, load_engine
 
     records = load_trace(args.trace, _policy_from(args))
     analyzer = None
     config = None
     if args.load_synopsis:
         with open(args.load_synopsis, "rb") as stream:
-            analyzer = load_analyzer(stream)
+            analyzer = load_engine(stream).engine
     else:
         config = AnalyzerConfig(
             item_capacity=args.capacity,
@@ -188,10 +188,12 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         max_transaction_size=args.max_transaction,
         dedup=not args.no_dedup,
         record_offline=False,
+        shards=args.shards,
+        batch_size=args.batch_size,
     )
     if args.save_synopsis:
         with open(args.save_synopsis, "wb") as stream:
-            written = dump_analyzer(result.analyzer, stream)
+            written = dump_engine(result.analyzer, stream)
         print(f"saved synopsis ({written} bytes) to {args.save_synopsis}")
     monitor = result.monitor_stats
     print(f"processed {monitor.events_seen} events into "
@@ -337,6 +339,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="static window seconds "
                                    "(default: dynamic 2x latency)")
     characterize.add_argument("--max-transaction", type=int, default=8)
+    characterize.add_argument("--shards", type=int, default=1,
+                              help="hash-partition the synopsis across N "
+                                   "shard table pairs at capacity/N each "
+                                   "(default 1: single analyzer)")
+    characterize.add_argument("--batch-size", type=int, default=None,
+                              help="feed events to the monitor in batches "
+                                   "of this size (default: per-event)")
     characterize.add_argument("--no-dedup", action="store_true")
     characterize.add_argument("--top", type=int, default=20)
     characterize.add_argument("--rules", action="store_true",

@@ -79,6 +79,23 @@ class LruQueue(Generic[K]):
         self._entries.move_to_end(key, last=True)
         return self._entries[key]
 
+    def hit(self, key: K, increment: int = 1) -> Optional[int]:
+        """Single-lookup :meth:`touch`: returns the new tally, or ``None``
+        when the key is absent.
+
+        The two-tier hot path calls this instead of the ``in`` + ``touch``
+        double dict lookup; the miss case costs one ``dict.get`` instead of
+        one failed membership test per tier.
+        """
+        entries = self._entries
+        tally = entries.get(key)
+        if tally is None:
+            return None
+        tally += increment
+        entries[key] = tally
+        entries.move_to_end(key, last=True)
+        return tally
+
     def insert(self, key: K, tally: int = 1) -> Optional[Tuple[K, int]]:
         """Insert a new entry at the MRU end.
 
@@ -101,9 +118,10 @@ class LruQueue(Generic[K]):
         paper demotes "in order to reduce the relevancy of an entry without
         immediate eviction".
         """
-        if key not in self._entries:
+        try:
+            self._entries.move_to_end(key, last=False)
+        except KeyError:
             return False
-        self._entries.move_to_end(key, last=False)
         return True
 
     def pop(self, key: K) -> Optional[int]:

@@ -154,33 +154,34 @@ class TwoTierTable(Generic[K]):
         * miss: entry inserted at T1 MRU with tally 1 (possibly evicting
           T1's LRU entry).
         """
-        self.stats.lookups += 1
-        if key in self._t2:
-            tally = self._t2.touch(key)
-            self.stats.t2_hits += 1
+        stats = self.stats
+        stats.lookups += 1
+        tally = self._t2.hit(key)
+        if tally is not None:
+            stats.t2_hits += 1
             return AccessResult(key, hit=True, tier=TIER2, tally=tally)
 
-        if key in self._t1:
-            tally = self._t1.touch(key)
-            self.stats.t1_hits += 1
+        tally = self._t1.hit(key)
+        if tally is not None:
+            stats.t1_hits += 1
             if tally >= self._promote_threshold:
                 self._t1.pop(key)
                 displaced = self._t2.insert(key, tally)
-                self.stats.promotions += 1
+                stats.promotions += 1
                 result = AccessResult(
                     key, hit=True, tier=TIER2, tally=tally, promoted=True
                 )
                 if displaced is not None:
-                    self.stats.t2_evictions += 1
+                    stats.t2_evictions += 1
                     result.evicted.append((displaced[0], displaced[1], TIER2))
                 return result
             return AccessResult(key, hit=True, tier=TIER1, tally=tally)
 
-        self.stats.misses += 1
+        stats.misses += 1
         displaced = self._t1.insert(key, 1)
         result = AccessResult(key, hit=False, tier=TIER1, tally=1)
         if displaced is not None:
-            self.stats.t1_evictions += 1
+            stats.t1_evictions += 1
             result.evicted.append((displaced[0], displaced[1], TIER1))
         return result
 

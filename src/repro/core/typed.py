@@ -126,6 +126,58 @@ class TypedOnlineAnalyzer(OnlineAnalyzer):
             (event.extent, event.op) for event in transaction.events
         ])
 
+    def process_batch(self, transactions: Iterable, *,
+                      parallel: bool = False) -> int:
+        """Process monitor transactions as one batch; returns the count.
+
+        Exactly equivalent to calling :meth:`process_transaction` once per
+        transaction -- same table operations in the same order -- but with
+        the per-call attribute lookups, counter updates, and per-pair tally
+        allocations hoisted out of the loop.  ``parallel`` is accepted for
+        engine-protocol compatibility and ignored (a single analyzer has
+        nothing to fan out over).
+        """
+        items_access = self.items.access
+        corr_access = self.correlations.access
+        demote = self.config.demote_on_item_eviction
+        demote_involving = self.correlations.demote_involving
+        types = self._types
+        types_get = types.get
+        types_pop = types.pop
+        count = 0
+        extents_seen = 0
+        pairs_seen = 0
+        for transaction in transactions:
+            count += 1
+            op_of: Dict[Extent, OpType] = {}
+            keep_first = op_of.setdefault
+            for event in transaction.events:
+                keep_first(event.extent, event.op)
+            distinct = sorted(op_of)
+            extents_seen += len(distinct)
+
+            for extent in distinct:
+                result = items_access(extent)
+                if demote and result.evicted:
+                    for evicted, _tally, _tier in result.evicted:
+                        demote_involving(evicted)
+
+            pairs = unique_pairs(distinct)
+            pairs_seen += len(pairs)
+            for pair in pairs:
+                result = corr_access(pair)
+                for evicted_pair, _tally, _tier in result.evicted:
+                    types_pop(evicted_pair, None)
+                tally = types_get(pair)
+                if tally is None:
+                    types[pair] = tally = TypeTally()
+                tally.bump(_pair_kind(op_of[pair.first], op_of[pair.second]))
+
+        self._transactions += count
+        self._extents_seen += extents_seen
+        self._pairs_seen += pairs_seen
+        return count
+
     # -- typed queries -----------------------------------------------------------
 
     def type_tally(self, pair: ExtentPair) -> Optional[TypeTally]:

@@ -1,0 +1,35 @@
+"""The synopsis engine layer: single or hash-partitioned table backends.
+
+``SynopsisEngine`` is the contract the monitor/service/pipeline layers
+program against; ``SingleAnalyzerEngine`` wraps the classic one-analyzer
+hot path unchanged, and ``ShardedAnalyzer`` hash-partitions the item and
+correlation tables across N independent shard synopses, merging on query.
+Checkpoint format v3 (per-shard CRC envelopes) lives in
+:mod:`repro.engine.checkpoint`.
+"""
+
+from .base import SingleAnalyzerEngine, SynopsisEngine
+from .checkpoint import (
+    LoadedEngine,
+    dump_engine,
+    dump_sharded,
+    load_engine,
+    load_engine_checkpoint,
+    load_sharded,
+    save_engine_checkpoint,
+)
+from .sharded import ShardedAnalyzer, shard_config
+
+__all__ = [
+    "LoadedEngine",
+    "ShardedAnalyzer",
+    "SingleAnalyzerEngine",
+    "SynopsisEngine",
+    "dump_engine",
+    "dump_sharded",
+    "load_engine",
+    "load_engine_checkpoint",
+    "load_sharded",
+    "save_engine_checkpoint",
+    "shard_config",
+]

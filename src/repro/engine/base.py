@@ -1,0 +1,175 @@
+"""The synopsis engine protocol.
+
+The analyzer (:mod:`repro.core.analyzer`) characterizes one transaction at
+a time against one pair of synopsis tables.  Everything above it -- the
+monitor's sinks, the characterization service, the pipeline, checkpointing
+-- only needs a narrow contract: *feed transactions in, query frequent
+extents and pairs out*.  :class:`SynopsisEngine` names that contract so the
+upper layers can be generic over how the synopsis is physically organised:
+
+* :class:`SingleAnalyzerEngine` wraps the existing single
+  :class:`~repro.core.analyzer.OnlineAnalyzer` (or its typed subclass) with
+  zero behaviour change;
+* :class:`~repro.engine.sharded.ShardedAnalyzer` hash-partitions the
+  synopsis across N independent shard table pairs and merges on query.
+
+Both also accept whole *batches* of transactions via :meth:`process_batch`,
+the entry point the batched ingest path
+(:meth:`repro.service.CharacterizationService.submit_many`,
+:meth:`repro.monitor.monitor.Monitor.on_events`) drives.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+try:  # Protocol is 3.8+; runtime_checkable keeps isinstance() working.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - Python < 3.8 fallback
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from ..core.analyzer import AnalyzerReport, OnlineAnalyzer
+from ..core.config import AnalyzerConfig
+from ..core.extent import Extent, ExtentPair
+from ..core.typed import TypedOnlineAnalyzer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..monitor.transaction import Transaction
+
+
+@runtime_checkable
+class SynopsisEngine(Protocol):
+    """What the service/pipeline layers require of a synopsis backend.
+
+    A transaction may be a monitor :class:`~repro.monitor.Transaction`
+    (engines read ``.events`` for extents and R/W ops) or a bare sequence
+    of :class:`~repro.core.extent.Extent` objects (untyped).
+    """
+
+    config: AnalyzerConfig
+
+    def process(self, extents: Sequence[Extent]) -> None:
+        """Characterize one transaction given as bare extents."""
+        ...
+
+    def process_transaction(self, transaction: "Transaction") -> None:
+        """Characterize one monitor transaction (typed when possible)."""
+        ...
+
+    def process_batch(self, transactions: Iterable, *,
+                      parallel: bool = False) -> int:
+        """Characterize a whole batch; returns transactions processed."""
+        ...
+
+    def frequent_pairs(
+        self, min_support: int = 2
+    ) -> List[Tuple[ExtentPair, int]]:
+        ...
+
+    def frequent_extents(
+        self, min_support: int = 2
+    ) -> List[Tuple[Extent, int]]:
+        ...
+
+    def pair_frequencies(self) -> Dict[ExtentPair, int]:
+        ...
+
+    def report(self) -> AnalyzerReport:
+        ...
+
+    def reset(self) -> None:
+        ...
+
+
+def _dispatch_one(analyzer: OnlineAnalyzer, transaction) -> None:
+    """Feed one transaction (monitor Transaction or extent sequence)."""
+    events = getattr(transaction, "events", None)
+    if events is not None:
+        process_transaction = getattr(analyzer, "process_transaction", None)
+        if process_transaction is not None:
+            process_transaction(transaction)
+            return
+        analyzer.process([event.extent for event in events])
+        return
+    analyzer.process(transaction)
+
+
+class SingleAnalyzerEngine:
+    """The existing single-analyzer hot path, wrapped as an engine.
+
+    Pure delegation: every operation behaves exactly as calling the wrapped
+    analyzer directly, so existing results are reproduced bit-for-bit.  The
+    wrapper only adds the :meth:`process_batch` entry point (a tight loop)
+    and a uniform construction surface next to
+    :class:`~repro.engine.sharded.ShardedAnalyzer`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AnalyzerConfig] = None,
+        analyzer: Optional[OnlineAnalyzer] = None,
+        typed: bool = True,
+    ) -> None:
+        if analyzer is not None:
+            if config is not None:
+                raise ValueError("pass either a config or an analyzer")
+            self.analyzer = analyzer
+        else:
+            cls = TypedOnlineAnalyzer if typed else OnlineAnalyzer
+            self.analyzer = cls(config or AnalyzerConfig())
+
+    @property
+    def config(self) -> AnalyzerConfig:
+        return self.analyzer.config
+
+    # -- ingestion ---------------------------------------------------------
+
+    def process(self, extents: Sequence[Extent]) -> None:
+        self.analyzer.process(extents)
+
+    def process_transaction(self, transaction) -> None:
+        _dispatch_one(self.analyzer, transaction)
+
+    def process_batch(self, transactions: Iterable, *,
+                      parallel: bool = False) -> int:
+        # ``parallel`` is accepted for interface parity; a single synopsis
+        # has no independent partitions to fan out over.
+        count = 0
+        analyzer = self.analyzer
+        process_transaction = getattr(analyzer, "process_transaction", None)
+        for transaction in transactions:
+            if process_transaction is not None and hasattr(
+                    transaction, "events"):
+                process_transaction(transaction)
+            else:
+                _dispatch_one(analyzer, transaction)
+            count += 1
+        return count
+
+    # -- queries -----------------------------------------------------------
+
+    def frequent_pairs(self, min_support: int = 2):
+        return self.analyzer.frequent_pairs(min_support)
+
+    def frequent_extents(self, min_support: int = 2):
+        return self.analyzer.frequent_extents(min_support)
+
+    def pair_frequencies(self):
+        return self.analyzer.pair_frequencies()
+
+    def report(self) -> AnalyzerReport:
+        return self.analyzer.report()
+
+    def reset(self) -> None:
+        self.analyzer.reset()

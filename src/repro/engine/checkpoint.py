@@ -1,0 +1,186 @@
+"""Checkpoint format v3: per-shard integrity envelopes.
+
+Format v2 (:mod:`repro.core.serialize`) protects one analyzer's synopsis
+with a single CRC -- one flipped bit rejects the whole checkpoint.  A
+sharded engine can do better: v3 frames N complete v2 envelopes, one per
+shard, each carrying its own CRC::
+
+    RTSHD\\x03 || u32 shard_count || { u32 blob_length || v2-envelope } * N
+
+Corruption inside one shard's envelope is caught by *that shard's* CRC, so
+a degraded restore (``strict=False``) replaces only the damaged shard with
+a fresh synopsis and keeps every other shard's learned state -- one corrupt
+shard degrades, not destroys, the synopsis.  Damage to the v3 framing
+itself (magic, counts, lengths) still rejects the file, as the shard
+boundaries can no longer be trusted.
+
+:func:`dump_engine` / :func:`load_engine` dispatch between v1/v2 single-
+analyzer checkpoints and v3 sharded ones by magic, so services need a
+single pair of calls regardless of engine shape.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from pathlib import Path
+from typing import BinaryIO, List, NamedTuple, Union
+
+from ..core.analyzer import OnlineAnalyzer
+from ..core.serialize import (
+    CheckpointCorruptError,
+    dump_analyzer,
+    dumps_analyzer,
+    load_analyzer,
+    loads_analyzer,
+)
+from ..core.typed import TypedOnlineAnalyzer
+from .sharded import ShardedAnalyzer
+
+_MAGIC_V3 = b"RTSHD\x03"
+_U32 = struct.Struct("<I")
+
+#: Sanity bound on the shard count field; a corrupt count must not drive a
+#: multi-gigabyte allocation loop.
+MAX_SHARDS = 4096
+
+PathOrStr = Union[str, Path]
+
+
+class LoadedEngine(NamedTuple):
+    """Result of :func:`load_engine`.
+
+    ``engine`` is an :class:`OnlineAnalyzer` (v1/v2 checkpoints) or a
+    :class:`ShardedAnalyzer` (v3); ``corrupt_shards`` lists shard indices
+    that failed integrity checks and were restored fresh (always empty
+    under ``strict=True``, which raises instead).
+    """
+
+    engine: object
+    corrupt_shards: List[int]
+
+
+def dump_sharded(engine: ShardedAnalyzer, stream: BinaryIO) -> int:
+    """Write a sharded engine as a v3 checkpoint; returns bytes written."""
+    written = stream.write(_MAGIC_V3)
+    shards = engine.shard_analyzers
+    written += stream.write(_U32.pack(len(shards)))
+    for shard in shards:
+        blob = dumps_analyzer(shard)
+        written += stream.write(_U32.pack(len(blob)))
+        written += stream.write(blob)
+    return written
+
+
+def _read_exact(stream: BinaryIO, size: int, what: str) -> bytes:
+    chunk = stream.read(size)
+    if len(chunk) != size:
+        raise CheckpointCorruptError(f"truncated {what}")
+    return chunk
+
+
+def load_sharded(stream: BinaryIO, strict: bool = True) -> LoadedEngine:
+    """Restore a v3 checkpoint written by :func:`dump_sharded`.
+
+    Under ``strict=True`` any corruption raises
+    :class:`CheckpointCorruptError`.  Under ``strict=False`` a shard whose
+    envelope fails its CRC (or structure checks) is replaced with a fresh
+    synopsis at the same per-shard configuration and its index reported in
+    ``corrupt_shards``; framing-level corruption still raises.
+    """
+    magic = _read_exact(stream, len(_MAGIC_V3), "sharded checkpoint magic")
+    if magic != _MAGIC_V3:
+        raise CheckpointCorruptError(f"bad sharded synopsis magic: {magic!r}")
+    (count,) = _U32.unpack(_read_exact(stream, _U32.size, "shard count"))
+    if not 1 <= count <= MAX_SHARDS:
+        raise CheckpointCorruptError(f"implausible shard count: {count}")
+
+    blobs: List[bytes] = []
+    for index in range(count):
+        (length,) = _U32.unpack(
+            _read_exact(stream, _U32.size, f"shard {index} length")
+        )
+        blobs.append(_read_exact(stream, length, f"shard {index} payload"))
+
+    shards: List[object] = []
+    corrupt: List[int] = []
+    for index, blob in enumerate(blobs):
+        try:
+            shards.append(loads_analyzer(blob))
+        except CheckpointCorruptError:
+            if strict:
+                raise
+            corrupt.append(index)
+            shards.append(None)
+
+    if len(corrupt) == count:
+        raise CheckpointCorruptError(
+            f"all {count} shards corrupt; nothing to restore"
+        )
+    template = next(shard for shard in shards if shard is not None)
+    for index in corrupt:
+        shards[index] = OnlineAnalyzer(template.config)
+
+    engine = ShardedAnalyzer.from_shards(shards)
+    return LoadedEngine(engine, corrupt)
+
+
+# ---------------------------------------------------------------------------
+# Format-dispatching entry points
+# ---------------------------------------------------------------------------
+
+def dump_engine(engine, stream: BinaryIO) -> int:
+    """Checkpoint any engine: v3 for sharded, v2 for a single analyzer."""
+    if isinstance(engine, ShardedAnalyzer):
+        return dump_sharded(engine, stream)
+    analyzer = getattr(engine, "analyzer", engine)
+    return dump_analyzer(analyzer, stream)
+
+
+def load_engine(stream: BinaryIO, strict: bool = True) -> LoadedEngine:
+    """Restore a checkpoint of either format, dispatching on its magic."""
+    prefix = stream.read(len(_MAGIC_V3))
+    if prefix == _MAGIC_V3:
+        body = io.BytesIO(prefix + stream.read())
+        return load_sharded(body, strict=strict)
+    rest = io.BytesIO(prefix + stream.read())
+    return LoadedEngine(load_analyzer(rest), [])
+
+
+def save_engine_checkpoint(engine, path: PathOrStr) -> int:
+    """Atomically write an engine checkpoint file (temp + fsync + rename)."""
+    path = Path(path)
+    tmp_path = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp_path, "wb") as stream:
+            written = dump_engine(engine, stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
+    return written
+
+
+def load_engine_checkpoint(path: PathOrStr, strict: bool = True) -> LoadedEngine:
+    """Load and integrity-check an engine checkpoint file."""
+    with open(path, "rb") as stream:
+        return load_engine(stream, strict=strict)
+
+
+def as_typed_engine(loaded: LoadedEngine):
+    """Promote a loaded engine to the service's typed analyzer shape.
+
+    v3 checkpoints restore straight to a (typed-capable)
+    :class:`ShardedAnalyzer`; v1/v2 plain analyzers are adopted into a
+    fresh :class:`TypedOnlineAnalyzer` (the sidecar rebuilds from future
+    traffic, as with format v2).
+    """
+    engine = loaded.engine
+    if isinstance(engine, ShardedAnalyzer):
+        return engine
+    typed = TypedOnlineAnalyzer(engine.config)
+    typed.adopt(engine)
+    return typed

@@ -1,0 +1,384 @@
+"""A hash-partitioned synopsis engine.
+
+The paper's synopsis is bounded-memory and single-pass, but one Python
+analyzer object is still a serial bottleneck.  Streaming CHH mining and
+MITHRIL-style association mining scale the same shape of problem by
+partitioning the key space across independent bounded synopses and merging
+on query; the decomposition applies directly here because the item table
+keys on extents and the correlation table keys on canonical pairs:
+
+* the **item table** is partitioned by ``hash(extent) % N``;
+* the **correlation table** is partitioned by ``hash(pair) % N`` -- a
+  pair's home shard is *not* derived from its members' home shards, so the
+  pair population spreads evenly even when a few extents dominate;
+* each shard is a full item + correlation table pair at ``capacity / N``,
+  so N shards cost the same total memory as one analyzer at ``capacity``;
+* the eviction-demotion coupling rule (Section III-D2) crosses shards:
+  when a shard's item table evicts an extent, pairs involving that extent
+  may reside in *any* shard's correlation table, so the demotion is routed
+  to every shard (each lookup is one dict probe in the inverted index).
+
+``ShardedAnalyzer(shards=1)`` performs exactly the same table operations in
+exactly the same order as a single :class:`OnlineAnalyzer` and is therefore
+tally-identical to it on any stream.  With N > 1 the partitioned LRU state
+diverges slightly from the single table (each shard evicts locally), but
+hot pairs -- the synopsis output -- land in the same shards consistently
+and survive; recall of the single analyzer's frequent pairs stays high at
+equal total capacity.
+
+Queries (:meth:`frequent_pairs`, :meth:`frequent_extents`,
+:meth:`report`, ...) merge across shards; since shards partition the key
+space, their result sets are disjoint and merging is a sort.
+
+:meth:`process_batch` with ``parallel=True`` runs one worker per shard:
+shards share no state during the batch, so each worker walks its own
+pre-routed access sequence.  Cross-shard demotions discovered during the
+batch are applied after all workers join (deferred demotion) -- tallies
+are unaffected, only intra-batch LRU positions differ, which is the
+approximation that buys shard independence.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import fields as dataclass_fields
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.analyzer import AnalyzerReport, OnlineAnalyzer
+from ..core.config import AnalyzerConfig
+from ..core.extent import Extent, ExtentPair, unique_pairs
+from ..core.two_tier import TableStats
+from ..core.typed import (
+    CorrelationKind,
+    TypeTally,
+    TypedOnlineAnalyzer,
+    _pair_kind,
+)
+from ..trace.record import OpType
+
+
+def shard_config(config: AnalyzerConfig, shards: int) -> AnalyzerConfig:
+    """The per-shard configuration: ``capacity / N`` tables (ceil), same
+    promotion threshold and tier split, so N shards together hold at least
+    the single-analyzer entry count."""
+    return AnalyzerConfig(
+        item_capacity=max(1, -(-config.item_capacity // shards)),
+        correlation_capacity=max(1, -(-config.correlation_capacity // shards)),
+        promote_threshold=config.promote_threshold,
+        t2_ratio=config.t2_ratio,
+        demote_on_item_eviction=config.demote_on_item_eviction,
+    )
+
+
+def _merged_stats(parts: Iterable[TableStats]) -> TableStats:
+    merged = TableStats()
+    for part in parts:
+        for field in dataclass_fields(TableStats):
+            setattr(merged, field.name,
+                    getattr(merged, field.name) + getattr(part, field.name))
+    return merged
+
+
+class ShardedAnalyzer:
+    """N independent shard synopses behind the single-analyzer interface.
+
+    Drop-in for :class:`~repro.core.typed.TypedOnlineAnalyzer` wherever the
+    service/pipeline layers consume one: ``process`` / ``process_typed`` /
+    ``process_transaction`` ingest, merged ``frequent_*`` queries, typed
+    kind queries, ``report()`` and ``reset()``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AnalyzerConfig] = None,
+        shards: int = 4,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.config = config or AnalyzerConfig()
+        self.shards = shards
+        per_shard = shard_config(self.config, shards)
+        self._shards: List[TypedOnlineAnalyzer] = [
+            TypedOnlineAnalyzer(per_shard) for _ in range(shards)
+        ]
+        self._transactions = 0
+        self._extents_seen = 0
+        self._pairs_seen = 0
+
+    @classmethod
+    def from_shards(
+        cls,
+        analyzers: Sequence[OnlineAnalyzer],
+        config: Optional[AnalyzerConfig] = None,
+    ) -> "ShardedAnalyzer":
+        """Rebuild an engine around restored per-shard analyzers.
+
+        Used by checkpoint v3 restore: each donated analyzer becomes (or is
+        adopted into) one shard, in order.  ``config`` is the engine-level
+        configuration; when omitted it is scaled up from shard 0's.
+        """
+        if not analyzers:
+            raise ValueError("need at least one shard analyzer")
+        n = len(analyzers)
+        if config is None:
+            base = analyzers[0].config
+            config = AnalyzerConfig(
+                item_capacity=base.item_capacity * n,
+                correlation_capacity=base.correlation_capacity * n,
+                promote_threshold=base.promote_threshold,
+                t2_ratio=base.t2_ratio,
+                demote_on_item_eviction=base.demote_on_item_eviction,
+            )
+        engine = cls(config, shards=n)
+        for index, donated in enumerate(analyzers):
+            if isinstance(donated, TypedOnlineAnalyzer):
+                engine._shards[index] = donated
+            else:
+                engine._shards[index].adopt(donated)
+        return engine
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def shard_analyzers(self) -> List[TypedOnlineAnalyzer]:
+        """The per-shard analyzers (checkpointing iterates these)."""
+        return list(self._shards)
+
+    def shard_of_extent(self, extent: Extent) -> int:
+        return hash(extent) % self.shards
+
+    def shard_of_pair(self, pair: ExtentPair) -> int:
+        return hash(pair) % self.shards
+
+    # -- ingestion ---------------------------------------------------------
+
+    def process(self, extents: Sequence[Extent]) -> None:
+        """Characterize one untyped transaction (see ``OnlineAnalyzer``)."""
+        self._process(sorted(set(extents)), None)
+
+    def process_typed(self, items) -> None:
+        """Characterize one transaction of ``(extent, op)`` items."""
+        op_of: Dict[Extent, OpType] = {}
+        for extent, op in items:
+            op_of.setdefault(extent, op)
+        self._process(sorted(op_of), op_of)
+
+    def process_transaction(self, transaction) -> None:
+        """Characterize one monitor transaction (typed)."""
+        self.process_typed([
+            (event.extent, event.op) for event in transaction.events
+        ])
+
+    def process_stream(self, transactions: Iterable[Sequence[Extent]]) -> None:
+        for extents in transactions:
+            self.process(extents)
+
+    def _process(self, distinct: List[Extent],
+                 op_of: Optional[Dict[Extent, OpType]]) -> None:
+        """The sequential hot path, operation-for-operation identical to
+        the single analyzer when ``shards == 1``."""
+        shards = self._shards
+        n = self.shards
+        demote = self.config.demote_on_item_eviction
+
+        self._transactions += 1
+        self._extents_seen += len(distinct)
+
+        for extent in distinct:
+            result = shards[hash(extent) % n].items.access(extent)
+            if demote and result.evicted:
+                for key, _tally, _tier in result.evicted:
+                    for target in shards:
+                        target.correlations.demote_involving(key)
+
+        pairs = unique_pairs(distinct)
+        self._pairs_seen += len(pairs)
+        for pair in pairs:
+            shard = shards[hash(pair) % n]
+            result = shard.correlations.access(pair)
+            for evicted_pair, _tally, _tier in result.evicted:
+                shard._types.pop(evicted_pair, None)
+            if op_of is not None:
+                tally = shard._types.setdefault(pair, TypeTally())
+                tally.bump(_pair_kind(op_of[pair.first], op_of[pair.second]))
+
+    # -- batched ingestion -------------------------------------------------
+
+    def process_batch(self, transactions: Iterable, *,
+                      parallel: bool = False) -> int:
+        """Characterize a whole batch of transactions.
+
+        Transactions may be monitor :class:`~repro.monitor.Transaction`
+        objects (typed) or bare extent sequences (untyped).  With
+        ``parallel=True`` and more than one shard, the batch is routed
+        up front and processed with one thread per shard (shards share no
+        state); cross-shard eviction demotions are deferred to the end of
+        the batch, so per-pair tallies are identical to the sequential
+        path and only intra-batch LRU ordering may differ.
+        """
+        if not parallel or self.shards == 1:
+            count = 0
+            for transaction in transactions:
+                self._dispatch(transaction)
+                count += 1
+            return count
+        return self._process_batch_parallel(transactions)
+
+    def _dispatch(self, transaction) -> None:
+        events = getattr(transaction, "events", None)
+        if events is not None:
+            self.process_typed([(e.extent, e.op) for e in events])
+        else:
+            self.process(transaction)
+
+    def _route(self, transactions: Iterable):
+        """Pre-route a batch into per-shard access sequences."""
+        n = self.shards
+        item_work: List[List[Extent]] = [[] for _ in range(n)]
+        pair_work: List[List[Tuple[ExtentPair, Optional[CorrelationKind]]]] = [
+            [] for _ in range(n)
+        ]
+        count = 0
+        for transaction in transactions:
+            count += 1
+            events = getattr(transaction, "events", None)
+            if events is not None:
+                op_of: Dict[Extent, OpType] = {}
+                for event in events:
+                    op_of.setdefault(event.extent, event.op)
+                distinct = sorted(op_of)
+            else:
+                op_of = None
+                distinct = sorted(set(transaction))
+            self._extents_seen += len(distinct)
+            for extent in distinct:
+                item_work[hash(extent) % n].append(extent)
+            pairs = unique_pairs(distinct)
+            self._pairs_seen += len(pairs)
+            for pair in pairs:
+                kind = (None if op_of is None else
+                        _pair_kind(op_of[pair.first], op_of[pair.second]))
+                pair_work[hash(pair) % n].append((pair, kind))
+        self._transactions += count
+        return item_work, pair_work, count
+
+    def _process_batch_parallel(self, transactions: Iterable) -> int:
+        item_work, pair_work, count = self._route(transactions)
+        shards = self._shards
+        demote = self.config.demote_on_item_eviction
+
+        def shard_task(index: int) -> List[Extent]:
+            shard = shards[index]
+            evicted_extents: List[Extent] = []
+            items = shard.items
+            correlations = shard.correlations
+            types = shard._types
+            for extent in item_work[index]:
+                result = items.access(extent)
+                if demote and result.evicted:
+                    for key, _tally, _tier in result.evicted:
+                        # Local demotion now; other shards after the join.
+                        correlations.demote_involving(key)
+                        evicted_extents.append(key)
+            for pair, kind in pair_work[index]:
+                result = correlations.access(pair)
+                for evicted_pair, _tally, _tier in result.evicted:
+                    types.pop(evicted_pair, None)
+                if kind is not None:
+                    types.setdefault(pair, TypeTally()).bump(kind)
+            return evicted_extents
+
+        with ThreadPoolExecutor(max_workers=self.shards) as pool:
+            evicted_by_shard = list(pool.map(shard_task, range(self.shards)))
+
+        if demote:
+            for origin, evicted in enumerate(evicted_by_shard):
+                for key in evicted:
+                    for index, shard in enumerate(shards):
+                        if index != origin:
+                            shard.correlations.demote_involving(key)
+        return count
+
+    # -- merged queries ----------------------------------------------------
+
+    def frequent_pairs(
+        self, min_support: int = 2
+    ) -> List[Tuple[ExtentPair, int]]:
+        merged: List[Tuple[ExtentPair, int]] = []
+        for shard in self._shards:
+            merged.extend(shard.frequent_pairs(min_support))
+        merged.sort(key=lambda entry: (-entry[1], entry[0]))
+        return merged
+
+    def frequent_extents(
+        self, min_support: int = 2
+    ) -> List[Tuple[Extent, int]]:
+        merged: List[Tuple[Extent, int]] = []
+        for shard in self._shards:
+            merged.extend(shard.frequent_extents(min_support))
+        merged.sort(key=lambda entry: (-entry[1], entry[0]))
+        return merged
+
+    def pair_frequencies(self) -> Dict[ExtentPair, int]:
+        merged: Dict[ExtentPair, int] = {}
+        for shard in self._shards:
+            merged.update(shard.pair_frequencies())
+        return merged
+
+    def frequent_pairs_of_kind(
+        self,
+        kind: CorrelationKind,
+        min_support: int = 2,
+        purity: float = 0.5,
+    ) -> List[Tuple[ExtentPair, int]]:
+        merged: List[Tuple[ExtentPair, int]] = []
+        for shard in self._shards:
+            merged.extend(
+                shard.frequent_pairs_of_kind(kind, min_support, purity)
+            )
+        merged.sort(key=lambda entry: (-entry[1], entry[0]))
+        return merged
+
+    def read_correlations(self, min_support: int = 2):
+        return self.frequent_pairs_of_kind(CorrelationKind.READ, min_support)
+
+    def write_correlations(self, min_support: int = 2):
+        return self.frequent_pairs_of_kind(CorrelationKind.WRITE, min_support)
+
+    def kind_summary(self) -> Dict[CorrelationKind, int]:
+        summary = {kind: 0 for kind in CorrelationKind}
+        for shard in self._shards:
+            for kind, value in shard.kind_summary().items():
+                summary[kind] += value
+        return summary
+
+    def type_tally(self, pair: ExtentPair) -> Optional[TypeTally]:
+        return self._shards[hash(pair) % self.shards].type_tally(pair)
+
+    # -- reporting and lifecycle -------------------------------------------
+
+    def report(self) -> AnalyzerReport:
+        """Aggregate counters merged across every shard."""
+        return AnalyzerReport(
+            transactions=self._transactions,
+            extents_seen=self._extents_seen,
+            pairs_seen=self._pairs_seen,
+            item_stats=_merged_stats(s.items.stats for s in self._shards),
+            correlation_stats=_merged_stats(
+                s.correlations.stats for s in self._shards
+            ),
+        )
+
+    def shard_occupancy(self) -> List[Tuple[int, int]]:
+        """Resident ``(items, pairs)`` per shard -- balance diagnostics."""
+        return [
+            (len(shard.items), len(shard.correlations))
+            for shard in self._shards
+        ]
+
+    def reset(self) -> None:
+        for shard in self._shards:
+            shard.reset()
+        self._transactions = 0
+        self._extents_seen = 0
+        self._pairs_seen = 0

@@ -18,6 +18,7 @@ from .blkdev.replay import ReplayResult, replay_timed
 from .core.analyzer import OnlineAnalyzer
 from .core.config import AnalyzerConfig
 from .core.extent import ExtentPair
+from .engine.sharded import ShardedAnalyzer
 from .monitor.monitor import (
     DEFAULT_MAX_TRANSACTION_SIZE,
     GroupingMode,
@@ -31,11 +32,16 @@ from .trace.record import TraceRecord
 
 @dataclass
 class PipelineResult:
-    """Everything one end-to-end run produces."""
+    """Everything one end-to-end run produces.
+
+    ``analyzer`` is whichever synopsis engine the run used: a (typed)
+    :class:`OnlineAnalyzer` or a sharded engine -- both answer
+    ``frequent_pairs`` / ``pair_frequencies`` / ``report()``.
+    """
 
     replay: ReplayResult
     monitor_stats: MonitorStats
-    analyzer: OnlineAnalyzer
+    analyzer: object
     recorder: Optional[TransactionRecorder]
 
     def frequent_pairs(self, min_support: int = 2):
@@ -47,6 +53,27 @@ class PipelineResult:
         if self.recorder is None:
             raise ValueError("pipeline ran without offline recording")
         return self.recorder.extent_transactions()
+
+
+class _EventBatcher:
+    """Buffers replay listener callbacks into ``Monitor.on_events`` batches."""
+
+    def __init__(self, monitor: Monitor, batch_size: int) -> None:
+        self._monitor = monitor
+        self._batch_size = batch_size
+        self._buffer: List = []
+
+    def add(self, event) -> None:
+        buffer = self._buffer
+        buffer.append(event)
+        if len(buffer) >= self._batch_size:
+            self._monitor.on_events(buffer)
+            buffer.clear()
+
+    def drain(self) -> None:
+        if self._buffer:
+            self._monitor.on_events(self._buffer)
+            self._buffer.clear()
 
 
 def run_pipeline(
@@ -62,6 +89,8 @@ def run_pipeline(
     grouping: GroupingMode = GroupingMode.GAP,
     collect_events: bool = False,
     analyzer: Optional[OnlineAnalyzer] = None,
+    shards: int = 1,
+    batch_size: Optional[int] = None,
 ) -> PipelineResult:
     """Replay ``records`` through the full monitoring/analysis stack.
 
@@ -71,6 +100,13 @@ def run_pipeline(
     Set ``collect_events`` to keep every issue event in the result (memory
     proportional to the trace; off by default).
 
+    ``shards > 1`` characterizes with a hash-partitioned
+    :class:`~repro.engine.sharded.ShardedAnalyzer` (N shard synopses at
+    ``capacity / N`` each) instead of a single analyzer.  ``batch_size``
+    buffers that many issue events and feeds them through the monitor's
+    amortized batch path (:meth:`Monitor.on_events`) instead of one call
+    per event -- results are identical, ingest is faster.
+
     A pre-built ``analyzer`` may be injected (e.g. a
     :class:`~repro.core.typed.TypedOnlineAnalyzer` to track R/W correlation
     types, or an analyzer carried over from a previous run for continuous
@@ -79,8 +115,16 @@ def run_pipeline(
     """
     if device is None:
         device = SsdDevice()
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     if analyzer is None:
-        analyzer = OnlineAnalyzer(config)
+        if shards > 1:
+            analyzer = ShardedAnalyzer(config or AnalyzerConfig(),
+                                       shards=shards)
+        else:
+            analyzer = OnlineAnalyzer(config)
     elif config is not None:
         raise ValueError("pass either a config or a pre-built analyzer")
     monitor = Monitor(
@@ -101,13 +145,22 @@ def run_pipeline(
     if recorder is not None:
         monitor.add_sink(recorder)
 
+    if batch_size is not None and batch_size > 1:
+        batcher = _EventBatcher(monitor, batch_size)
+        listener = batcher.add
+    else:
+        batcher = None
+        listener = monitor.on_event
+
     replay = replay_timed(
         records,
         device,
         speedup=speedup,
-        listeners=[monitor.on_event],
+        listeners=[listener],
         collect=collect_events,
     )
+    if batcher is not None:
+        batcher.drain()
     monitor.flush()
 
     return PipelineResult(

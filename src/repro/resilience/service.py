@@ -25,12 +25,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from ..core.serialize import (
-    CheckpointCorruptError,
-    load_checkpoint,
-    save_checkpoint,
-)
+from ..core.serialize import CheckpointCorruptError
 from ..core.typed import TypedOnlineAnalyzer
+from ..engine.checkpoint import (
+    as_typed_engine,
+    load_engine_checkpoint,
+    save_engine_checkpoint,
+)
+from ..engine.sharded import ShardedAnalyzer
 from ..service import CharacterizationService, SnapshotObserver
 from .guard import DEFAULT_FAILURE_LIMIT, SinkGuard
 
@@ -139,7 +141,7 @@ class ResilientCharacterizationService(CharacterizationService):
         self.flush()
         try:
             return self._with_retries(
-                lambda: save_checkpoint(self.analyzer, path)
+                lambda: save_engine_checkpoint(self.analyzer, path)
             )
         except OSError:
             self._checkpoint_failures += 1
@@ -150,13 +152,19 @@ class ResilientCharacterizationService(CharacterizationService):
         """Restore from ``path``; returns True when the checkpoint loaded.
 
         A corrupt checkpoint (bad CRC, torn structure) is *never* loaded
-        -- and never retried, since corruption is deterministic.  On
-        corruption or persistent I/O failure, the service falls back to a
-        fresh analyzer and reports itself degraded, because a monitor
-        with an empty synopsis still beats a dead monitor.
+        -- and never retried, since corruption is deterministic.  A
+        sharded (format v3) checkpoint restores *per shard*: a corrupt
+        shard envelope is replaced with a fresh synopsis while every
+        intact shard keeps its learned state, and the service reports
+        itself degraded rather than discarding everything.  Only
+        whole-file corruption (v2, or broken v3 framing, or every shard
+        corrupt) falls back to a completely fresh analyzer -- because a
+        monitor with an empty synopsis still beats a dead monitor.
         """
         try:
-            plain = self._with_retries(lambda: load_checkpoint(path))
+            loaded = self._with_retries(
+                lambda: load_engine_checkpoint(path, strict=False)
+            )
         except CheckpointCorruptError as exc:
             self._restore_failures += 1
             self._last_error = f"{type(exc).__name__}: {exc}"
@@ -166,13 +174,25 @@ class ResilientCharacterizationService(CharacterizationService):
             self._restore_failures += 1
             self._fallback_fresh(f"checkpoint unreadable: {exc}")
             return False
-        restored = TypedOnlineAnalyzer(plain.config)
-        restored.adopt(plain)
-        self.analyzer = restored
+        self.analyzer = as_typed_engine(loaded)
+        if isinstance(self.analyzer, ShardedAnalyzer):
+            self.shards = self.analyzer.shards
+        else:
+            self.shards = 1
+        if loaded.corrupt_shards:
+            self._restore_failures += 1
+            self._mark_degraded(
+                f"checkpoint shards {loaded.corrupt_shards} corrupt; "
+                f"restored degraded with fresh replacements"
+            )
         return True
 
     def _fallback_fresh(self, reason: str) -> None:
-        fresh = TypedOnlineAnalyzer(self.analyzer.config)
+        if isinstance(self.analyzer, ShardedAnalyzer):
+            fresh = ShardedAnalyzer(self.analyzer.config,
+                                    shards=self.analyzer.shards)
+        else:
+            fresh = TypedOnlineAnalyzer(self.analyzer.config)
         self.analyzer = fresh
         self._mark_degraded(reason)
 

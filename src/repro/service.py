@@ -4,14 +4,23 @@ The pipeline in :mod:`repro.pipeline` is batch-shaped: replay a trace, get
 a result.  A deployed system (Fig. 3) instead runs *forever*: events arrive
 as the kernel emits them, consumers ask for the current picture whenever
 they like, and the learned state must survive restarts.  This module wraps
-monitor + typed analyzer into that service shape:
+monitor + synopsis engine into that service shape:
 
 * :meth:`CharacterizationService.submit` accepts block I/O events
   (from blktrace, a replayer, or tests) and drives the whole stack;
+  :meth:`submit_many` is the batched form -- events flow through the
+  monitor's amortized batch path and finished transactions are handed to
+  the engine as one batch (optionally processed thread-per-shard when the
+  engine is sharded);
+* ``shards > 1`` backs the service with a
+  :class:`~repro.engine.sharded.ShardedAnalyzer` instead of a single
+  analyzer -- same queries, hash-partitioned tables;
 * :meth:`snapshot` returns the current frequent correlations (optionally
   by R/W kind) without stopping ingestion;
-* :meth:`checkpoint` / :meth:`restore` persist the synopsis in the
-  paper's native entry layout (see :mod:`repro.core.serialize`);
+* :meth:`checkpoint` / :meth:`restore` persist the synopsis -- format v2
+  for a single analyzer, format v3 (per-shard CRC envelopes) for a
+  sharded engine (see :mod:`repro.core.serialize` and
+  :mod:`repro.engine.checkpoint`);
 * registered observers are notified every ``snapshot_interval``
   transactions -- the hook an automatic optimization module attaches to.
 """
@@ -19,12 +28,22 @@ monitor + typed analyzer into that service shape:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import BinaryIO, Callable, Dict, List, Optional, Tuple
+from typing import (
+    BinaryIO,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from .core.config import AnalyzerConfig
 from .core.extent import ExtentPair
-from .core.serialize import dump_analyzer, load_analyzer
 from .core.typed import CorrelationKind, TypedOnlineAnalyzer
+from .engine.checkpoint import as_typed_engine, dump_engine, load_engine
+from .engine.sharded import ShardedAnalyzer
 from .monitor.events import BlockIOEvent
 from .monitor.monitor import (
     DEFAULT_MAX_TRANSACTION_SIZE,
@@ -35,6 +54,9 @@ from .monitor.transaction import Transaction
 from .monitor.window import DynamicLatencyWindow, WindowPolicy
 
 SnapshotObserver = Callable[["ServiceSnapshot"], None]
+
+#: The engine types a service may be backed by.
+ServiceEngine = Union[TypedOnlineAnalyzer, ShardedAnalyzer]
 
 
 @dataclass
@@ -64,14 +86,30 @@ class CharacterizationService:
         snapshot_interval: int = 1000,
         clock_policy: ClockPolicy = ClockPolicy.REORDER,
         max_clock_skew: Optional[float] = None,
+        shards: int = 1,
+        parallel_shards: bool = False,
     ) -> None:
+        """``shards`` selects the synopsis engine: 1 keeps the classic
+        single typed analyzer; N > 1 hash-partitions the tables across N
+        shard synopses at ``capacity / N`` each.  ``parallel_shards``
+        additionally processes batched ingest (:meth:`submit_many`) with
+        one worker thread per shard.
+        """
         if snapshot_interval < 1:
             raise ValueError("snapshot_interval must be >= 1")
         if min_support < 1:
             raise ValueError("min_support must be >= 1")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.min_support = min_support
         self.snapshot_interval = snapshot_interval
-        self.analyzer = TypedOnlineAnalyzer(config or AnalyzerConfig())
+        self.shards = shards
+        self.parallel_shards = parallel_shards
+        config = config or AnalyzerConfig()
+        self.analyzer: ServiceEngine = (
+            TypedOnlineAnalyzer(config) if shards == 1
+            else ShardedAnalyzer(config, shards=shards)
+        )
         self.monitor = Monitor(
             window=window if window is not None else DynamicLatencyWindow(),
             max_transaction_size=max_transaction_size,
@@ -82,6 +120,7 @@ class CharacterizationService:
         )
         self._observers: List[SnapshotObserver] = []
         self._transactions = 0
+        self._batch_buffer: Optional[List[Transaction]] = None
 
     # -- ingestion --------------------------------------------------------------
 
@@ -89,21 +128,68 @@ class CharacterizationService:
         """Feed one block-layer issue event."""
         self.monitor.on_event(event)
 
-    def submit_many(self, events) -> None:
-        for event in events:
-            self.monitor.on_event(event)
+    def submit_many(
+        self,
+        events: Iterable[BlockIOEvent],
+        parallel: Optional[bool] = None,
+    ) -> int:
+        """Feed a batch of issue events; returns how many were consumed.
+
+        The batch flows through the monitor's amortized
+        :meth:`~repro.monitor.monitor.Monitor.on_events` path, and the
+        finished transactions are handed to the engine as one
+        :meth:`process_batch` call rather than one callback per
+        transaction.  ``parallel`` overrides the service-level
+        ``parallel_shards`` default (it only has an effect on a sharded
+        engine).  Snapshot observers fire at most once per batch, after
+        the whole batch lands, if one or more snapshot intervals were
+        crossed.
+        """
+        if parallel is None:
+            parallel = self.parallel_shards
+        batch: List[Transaction] = []
+        self._batch_buffer = batch
+        try:
+            count = self.monitor.on_events(events)
+        finally:
+            self._batch_buffer = None
+        if batch:
+            self._process_batch(batch, parallel)
+        return count
 
     def flush(self) -> None:
         """Close any open transaction (e.g. before a checkpoint)."""
         self.monitor.flush()
 
     def _on_transaction(self, transaction: Transaction) -> None:
+        if self._batch_buffer is not None:
+            self._batch_buffer.append(transaction)
+            return
         self.analyzer.process_transaction(transaction)
         self._transactions += 1
         if self._transactions % self.snapshot_interval == 0:
-            snapshot = self.snapshot()
-            for observer in self._observers:
-                observer(snapshot)
+            self._notify()
+
+    def _process_batch(self, batch: List[Transaction],
+                       parallel: bool) -> None:
+        process_batch = getattr(self.analyzer, "process_batch", None)
+        if process_batch is not None:
+            process_batch(batch, parallel=parallel)
+        else:  # a bare analyzer injected by a subclass/test
+            for transaction in batch:
+                self.analyzer.process_transaction(transaction)
+        interval = self.snapshot_interval
+        before = self._transactions
+        self._transactions += len(batch)
+        if self._transactions // interval != before // interval:
+            self._notify()
+
+    def _notify(self) -> None:
+        if not self._observers:
+            return
+        snapshot = self.snapshot()
+        for observer in self._observers:
+            observer(snapshot)
 
     # -- queries -------------------------------------------------------------------
 
@@ -133,15 +219,24 @@ class CharacterizationService:
         """Persist the synopsis; returns bytes written.
 
         Open transactions are flushed first so nothing in flight is lost.
-        Note the typed sidecar (R/W mixes) is rebuilt from future traffic
-        after a restore; the tables themselves restore exactly.
+        A sharded engine is written as a format-v3 checkpoint (one CRC
+        envelope per shard); a single analyzer keeps format v2.  Note the
+        typed sidecar (R/W mixes) is rebuilt from future traffic after a
+        restore; the tables themselves restore exactly.
         """
         self.flush()
-        return dump_analyzer(self.analyzer, stream)
+        return dump_engine(self.analyzer, stream)
 
     def restore(self, stream: BinaryIO) -> None:
-        """Replace the synopsis with a previously checkpointed one."""
-        plain = load_analyzer(stream)
-        restored = TypedOnlineAnalyzer(plain.config)
-        restored.adopt(plain)
-        self.analyzer = restored
+        """Replace the synopsis with a previously checkpointed one.
+
+        Either checkpoint format restores: a v3 checkpoint rebuilds a
+        sharded engine (with that checkpoint's shard count), v1/v2 a
+        single typed analyzer.
+        """
+        loaded = load_engine(stream, strict=True)
+        self.analyzer = as_typed_engine(loaded)
+        if isinstance(self.analyzer, ShardedAnalyzer):
+            self.shards = self.analyzer.shards
+        else:
+            self.shards = 1
