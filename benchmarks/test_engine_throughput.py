@@ -22,6 +22,7 @@ from repro.blkdev.device import SsdDevice
 from repro.blkdev.replay import replay_timed
 from repro.core.config import AnalyzerConfig
 from repro.service import CharacterizationService
+from repro.telemetry import NULL_REGISTRY
 from repro.workloads.enterprise import generate_named
 
 from conftest import print_header, print_row, scaled
@@ -42,10 +43,10 @@ def _event_stream():
     return events
 
 
-def _service(shards=1, parallel=False):
+def _service(shards=1, parallel=False, registry=None):
     return CharacterizationService(
         config=CONFIG, min_support=5, snapshot_interval=10**9,
-        shards=shards, parallel_shards=parallel,
+        shards=shards, parallel_shards=parallel, registry=registry,
     )
 
 
@@ -93,15 +94,17 @@ def test_engine_throughput(benchmark):
                 submit(event)
         return service, ingest
 
-    def batched_mode(shards=1, parallel=False):
+    def batched_mode(shards=1, parallel=False, registry=None):
         def factory():
-            service = _service(shards=shards, parallel=parallel)
+            service = _service(shards=shards, parallel=parallel,
+                               registry=registry)
             return service, service.submit_many
         return factory
 
     modes = _measure({
         "per_event_1shard": per_event_mode,
         "batched_1shard": batched_mode(),
+        "batched_1shard_null_registry": batched_mode(registry=NULL_REGISTRY),
         "batched_4shard": batched_mode(shards=4),
         "batched_4shard_parallel": batched_mode(shards=4, parallel=True),
     }, events)
@@ -120,6 +123,16 @@ def test_engine_throughput(benchmark):
     speedup = statistics.median(
         b / p for b, p in zip(batched, per_event)
     )
+    # Telemetry cost: default (enabled, collector-based) registry vs the
+    # null registry, same paired-round treatment.  The enabled path's only
+    # per-batch cost is a handful of clock reads, so this should sit in
+    # the noise floor; the JSON records it so CI history shows any creep.
+    with_telemetry = modes["batched_1shard"][0]
+    without_telemetry = modes["batched_1shard_null_registry"][0]
+    telemetry_overhead = statistics.median(
+        1.0 - enabled / null
+        for enabled, null in zip(with_telemetry, without_telemetry)
+    )
     results = {
         "events": len(events),
         "rounds": ROUNDS,
@@ -128,19 +141,31 @@ def test_engine_throughput(benchmark):
             for name, (rates, _s) in modes.items()
         },
         "batched_speedup_vs_per_event": round(speedup, 3),
+        "telemetry_overhead_percent": round(100 * telemetry_overhead, 2),
     }
     RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
     print(f"batched speedup vs per-event (median of {ROUNDS} paired "
           f"rounds): {speedup:.3f}x")
     print(f"wrote {RESULTS_PATH}")
 
+    print(f"telemetry overhead (enabled vs null registry): "
+          f"{100 * telemetry_overhead:.2f}%")
+
     # Identical characterization regardless of ingest mode ...
     reference = modes["per_event_1shard"][1].frequent_pairs
     assert modes["batched_1shard"][1].frequent_pairs == reference
+    assert modes["batched_1shard_null_registry"][1].frequent_pairs == \
+        reference
     # ... and the batch lane must beat the seed per-event path.
     assert speedup > 1.0, (
         f"batched path not faster: median paired speedup {speedup:.3f}x "
         f"(batched {batched}, per-event {per_event})"
+    )
+    # Telemetry must stay out of the hot path: within 5% of the null
+    # registry (the paired-median overhead is usually sub-1%).
+    assert telemetry_overhead <= 0.05, (
+        f"telemetry overhead {100 * telemetry_overhead:.2f}% > 5% "
+        f"(enabled {with_telemetry}, null {without_telemetry})"
     )
 
     # Record the batched single-shard mode as the canonical benchmark.

@@ -54,6 +54,20 @@ from .resilience import (
     SinkGuard,
 )
 from .service import CharacterizationService, ServiceSnapshot
+from .telemetry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    SnapshotEmitter,
+    StageTimer,
+    get_default_registry,
+    render_digest,
+    render_json,
+    render_prometheus,
+    set_default_registry,
+    snapshot,
+    snapshot_value,
+)
 from .trace import ErrorPolicy, IngestReport, OpType, TraceRecord
 
 __version__ = "1.0.0"
@@ -70,6 +84,9 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "IngestReport",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
     "ResilientCharacterizationService",
     "ServiceHealth",
     "ShardedAnalyzer",
@@ -85,6 +102,8 @@ __all__ = [
     "OnlineAnalyzer",
     "OpType",
     "PipelineResult",
+    "SnapshotEmitter",
+    "StageTimer",
     "StaticWindow",
     "SynopsisMemoryModel",
     "TraceRecord",
@@ -94,6 +113,13 @@ __all__ = [
     "TransactionRecorder",
     "TwoTierTable",
     "characterize",
+    "get_default_registry",
+    "render_digest",
+    "render_json",
+    "render_prometheus",
     "run_pipeline",
+    "set_default_registry",
+    "snapshot",
+    "snapshot_value",
     "__version__",
 ]

@@ -31,6 +31,8 @@ from ..fim.pairs import exact_pair_counts, sorted_by_frequency
 from ..fim.rules import rules_from_analyzer
 from ..monitor.window import DynamicLatencyWindow, StaticWindow
 from ..pipeline import run_pipeline
+from ..telemetry.export import render_digest, render_json, render_prometheus
+from ..telemetry.metrics import MetricsRegistry
 from ..trace.errors import ErrorPolicy, IngestReport
 from ..trace.io import (
     load_binary,
@@ -165,10 +167,32 @@ def _window_from(args: argparse.Namespace):
     return StaticWindow(args.window)
 
 
+def _wants_metrics(args: argparse.Namespace) -> bool:
+    return bool(args.metrics or args.metrics_json or args.metrics_prometheus)
+
+
+def _export_metrics(registry: MetricsRegistry,
+                    args: argparse.Namespace) -> None:
+    """Write the run's telemetry wherever the flags asked for it."""
+    if args.metrics_json:
+        Path(args.metrics_json).write_text(render_json(registry) + "\n")
+        print(f"wrote metrics snapshot to {args.metrics_json}")
+    if args.metrics_prometheus:
+        Path(args.metrics_prometheus).write_text(render_prometheus(registry))
+        print(f"wrote Prometheus exposition to {args.metrics_prometheus}")
+    if args.metrics:
+        print("\ntelemetry:")
+        for line in render_digest(registry).splitlines():
+            print(f"  {line}")
+
+
 def cmd_characterize(args: argparse.Namespace) -> int:
     from ..engine.checkpoint import dump_engine, load_engine
 
     records = load_trace(args.trace, _policy_from(args))
+    # A fresh registry per run keeps the export scoped to this trace
+    # instead of whatever the process-local default accumulated.
+    registry = MetricsRegistry() if _wants_metrics(args) else None
     analyzer = None
     config = None
     if args.load_synopsis:
@@ -190,6 +214,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         record_offline=False,
         shards=args.shards,
         batch_size=args.batch_size,
+        registry=registry,
     )
     if args.save_synopsis:
         with open(args.save_synopsis, "wb") as stream:
@@ -216,6 +241,8 @@ def cmd_characterize(args: argparse.Namespace) -> int:
             print(f"  {rule}")
         if not rules:
             print("  (none)")
+    if registry is not None:
+        _export_metrics(registry, args)
     return 0
 
 
@@ -355,6 +382,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="checkpoint the synopsis after the run")
     characterize.add_argument("--load-synopsis", metavar="PATH",
                               help="resume from a checkpointed synopsis")
+    characterize.add_argument("--metrics", action="store_true",
+                              help="print a telemetry digest after the run")
+    characterize.add_argument("--metrics-json", metavar="PATH",
+                              help="write the run's metrics snapshot "
+                                   "as JSON")
+    characterize.add_argument("--metrics-prometheus", metavar="PATH",
+                              help="write the run's metrics in Prometheus "
+                                   "text exposition format")
     characterize.set_defaults(handler=cmd_characterize)
 
     report = subparsers.add_parser(

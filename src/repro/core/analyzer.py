@@ -11,8 +11,9 @@ configurable size (8 in the paper's evaluation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..telemetry.metrics import MetricsRegistry, get_default_registry
 from .config import AnalyzerConfig
 from .correlation_table import CorrelationTable
 from .extent import Extent, ExtentPair, unique_pairs
@@ -40,7 +41,17 @@ class OnlineAnalyzer:
     synthetic streams in tests.
     """
 
-    def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[AnalyzerConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """``registry`` selects the telemetry registry (``None``: the
+        process-local default).  ``metric_labels`` adds constant labels
+        to every published sample -- the sharded engine passes
+        ``{"shard": "<i>"}`` so per-shard series stay distinguishable.
+        """
         self.config = config or AnalyzerConfig()
         item_t1, item_t2 = self.config.split(self.config.item_capacity)
         corr_t1, corr_t2 = self.config.split(self.config.correlation_capacity)
@@ -51,6 +62,105 @@ class OnlineAnalyzer:
         self._transactions = 0
         self._extents_seen = 0
         self._pairs_seen = 0
+        self._bind_metrics(registry, metric_labels)
+
+    # -- telemetry ----------------------------------------------------------
+
+    #: Counter families derived 1:1 from TableStats fields.
+    _TABLE_STAT_HELP = {
+        "lookups": "Synopsis table lookups",
+        "t1_hits": "Lookups that hit tier T1",
+        "t2_hits": "Lookups that hit tier T2",
+        "misses": "Lookups that missed both tiers",
+        "promotions": "Entries promoted T1 -> T2",
+        "t1_evictions": "Entries evicted from T1",
+        "t2_evictions": "Entries evicted from T2",
+        "demotions": "Entries demoted to their tier's LRU end",
+    }
+
+    def _bind_metrics(
+        self,
+        registry: Optional[MetricsRegistry],
+        metric_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        registry = registry if registry is not None else \
+            get_default_registry()
+        self.registry = registry
+        if not registry.enabled:
+            return
+        shard = str((metric_labels or {}).get("shard", ""))
+        table_labels = ("table", "shard")
+        self._stat_children = {}
+        for name, help in self._TABLE_STAT_HELP.items():
+            family = registry.counter(
+                f"repro_synopsis_{name}_total", help, labelnames=table_labels
+            )
+            for table in ("items", "correlations"):
+                self._stat_children[(table, name)] = family.labels(
+                    table=table, shard=shard
+                )
+        occupancy = registry.gauge(
+            "repro_synopsis_occupancy",
+            "Resident entries per synopsis tier",
+            labelnames=("table", "tier", "shard"),
+        )
+        capacity = registry.gauge(
+            "repro_synopsis_capacity",
+            "Configured entries per synopsis tier",
+            labelnames=("table", "tier", "shard"),
+        )
+        self._tier_gauges = {}
+        for table in ("items", "correlations"):
+            for tier in ("t1", "t2"):
+                self._tier_gauges[(table, tier)] = (
+                    occupancy.labels(table=table, tier=tier, shard=shard),
+                    capacity.labels(table=table, tier=tier, shard=shard),
+                )
+        counters = {
+            "transactions": "Transactions characterized",
+            "extents": "Distinct extents recorded (post-dedup)",
+            "pairs": "Extent pairs recorded",
+        }
+        self._flow_counters = {
+            name: registry.counter(
+                f"repro_analyzer_{name}_total", help, labelnames=("shard",)
+            ).labels(shard=shard)
+            for name, help in counters.items()
+        }
+        registry.register_collector(self._collect_metrics)
+
+    def rebind_metrics(
+        self,
+        registry: MetricsRegistry,
+        metric_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Re-home this analyzer's telemetry on ``registry``.
+
+        A checkpoint restore constructs the loaded analyzer against the
+        process default registry; the adopting service calls this so the
+        restored tables publish into *its* registry.  No-op when already
+        bound there.
+        """
+        if registry is self.registry:
+            return
+        self._bind_metrics(registry, metric_labels)
+
+    def _collect_metrics(self) -> None:
+        """Publish table and flow counters into the registry (pull seam)."""
+        for table_name in ("items", "correlations"):
+            table = getattr(self, table_name)
+            for name, value in table.stats.as_dict().items():
+                self._stat_children[(table_name, name)].set_total(value)
+            for tier_name in ("t1", "t2"):
+                tier = getattr(table, tier_name)
+                occupancy, capacity = self._tier_gauges[
+                    (table_name, tier_name)
+                ]
+                occupancy.set(len(tier))
+                capacity.set(tier.capacity)
+        self._flow_counters["transactions"].set_total(self._transactions)
+        self._flow_counters["extents"].set_total(self._extents_seen)
+        self._flow_counters["pairs"].set_total(self._pairs_seen)
 
     # -- stream processing ------------------------------------------------------
 

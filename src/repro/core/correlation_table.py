@@ -38,6 +38,16 @@ class CorrelationTable:
     def capacity(self) -> int:
         return self._table.capacity
 
+    @property
+    def t1(self):
+        """The probationary tier's LRU queue (telemetry / inspection)."""
+        return self._table.t1
+
+    @property
+    def t2(self):
+        """The protected tier's LRU queue (telemetry / inspection)."""
+        return self._table.t2
+
     def __len__(self) -> int:
         return len(self._table)
 

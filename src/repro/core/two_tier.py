@@ -18,7 +18,7 @@ frequency against recency with a single pass over the transaction stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Generic, Hashable, List, Optional, Tuple, TypeVar
 
 from .lru import LruQueue
@@ -50,6 +50,11 @@ class TableStats:
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """Field name -> value, in declaration order (telemetry seam)."""
+        return {f.name: getattr(self, f.name) for f in
+                dataclass_fields(self)}
 
 
 @dataclass

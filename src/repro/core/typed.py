@@ -84,8 +84,14 @@ class TypedOnlineAnalyzer(OnlineAnalyzer):
     counts occurrences without type information.
     """
 
-    def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
-        super().__init__(config)
+    def __init__(
+        self,
+        config: Optional[AnalyzerConfig] = None,
+        registry=None,
+        metric_labels=None,
+    ) -> None:
+        super().__init__(config, registry=registry,
+                         metric_labels=metric_labels)
         self._types: Dict[ExtentPair, TypeTally] = {}
 
     # -- typed stream processing ---------------------------------------------

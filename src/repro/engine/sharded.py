@@ -54,6 +54,7 @@ from ..core.typed import (
     TypedOnlineAnalyzer,
     _pair_kind,
 )
+from ..telemetry.metrics import MetricsRegistry, get_default_registry
 from ..trace.record import OpType
 
 
@@ -92,30 +93,109 @@ class ShardedAnalyzer:
         self,
         config: Optional[AnalyzerConfig] = None,
         shards: int = 4,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        """``registry`` selects the telemetry registry (``None``: the
+        process-local default).  Each shard analyzer publishes its table
+        counters under a ``shard="<i>"`` label; the engine itself adds
+        per-shard occupancy and imbalance gauges.
+        """
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.config = config or AnalyzerConfig()
         self.shards = shards
         per_shard = shard_config(self.config, shards)
+        registry = registry if registry is not None else \
+            get_default_registry()
         self._shards: List[TypedOnlineAnalyzer] = [
-            TypedOnlineAnalyzer(per_shard) for _ in range(shards)
+            TypedOnlineAnalyzer(per_shard, registry=registry,
+                                metric_labels={"shard": str(index)})
+            for index in range(shards)
         ]
         self._transactions = 0
         self._extents_seen = 0
         self._pairs_seen = 0
+        self._bind_metrics(registry)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _bind_metrics(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        if not registry.enabled:
+            return
+        self._shards_gauge = registry.gauge(
+            "repro_engine_shards", "Shard count of the synopsis engine"
+        )
+        self._occupancy_gauge = registry.gauge(
+            "repro_engine_shard_occupancy",
+            "Resident entries per shard",
+            labelnames=("table", "shard"),
+        )
+        self._imbalance_gauge = registry.gauge(
+            "repro_engine_shard_imbalance",
+            "Max-over-mean shard occupancy (1.0 = perfectly balanced)",
+            labelnames=("table",),
+        )
+        self._flow_counters = {
+            name: registry.counter(
+                f"repro_engine_{name}_total", help
+            )
+            for name, help in {
+                "transactions": "Transactions characterized by the engine",
+                "extents": "Distinct extents routed to shards",
+                "pairs": "Extent pairs routed to shards",
+            }.items()
+        }
+        registry.register_collector(self._collect_metrics)
+
+    def rebind_metrics(self, registry: MetricsRegistry) -> None:
+        """Re-home the engine's telemetry (and every shard's) on ``registry``.
+
+        Called by the service after a checkpoint restore, where
+        :func:`~repro.engine.checkpoint.load_engine` built the engine
+        against the process default registry.  No-op when already bound.
+        """
+        if registry is self.registry:
+            return
+        for index, shard in enumerate(self._shards):
+            shard.rebind_metrics(registry, {"shard": str(index)})
+        self._bind_metrics(registry)
+
+    def _collect_metrics(self) -> None:
+        """Publish shard occupancy/imbalance gauges (pull seam)."""
+        self._shards_gauge.set(self.shards)
+        occupancy = self.shard_occupancy()
+        for table, counts in (
+            ("items", [items for items, _pairs in occupancy]),
+            ("correlations", [pairs for _items, pairs in occupancy]),
+        ):
+            for index, count in enumerate(counts):
+                self._occupancy_gauge.labels(
+                    table=table, shard=str(index)
+                ).set(count)
+            mean = sum(counts) / len(counts)
+            self._imbalance_gauge.labels(table=table).set(
+                max(counts) / mean if mean else 1.0
+            )
+        self._flow_counters["transactions"].set_total(self._transactions)
+        self._flow_counters["extents"].set_total(self._extents_seen)
+        self._flow_counters["pairs"].set_total(self._pairs_seen)
 
     @classmethod
     def from_shards(
         cls,
         analyzers: Sequence[OnlineAnalyzer],
         config: Optional[AnalyzerConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "ShardedAnalyzer":
         """Rebuild an engine around restored per-shard analyzers.
 
         Used by checkpoint v3 restore: each donated analyzer becomes (or is
         adopted into) one shard, in order.  ``config`` is the engine-level
         configuration; when omitted it is scaled up from shard 0's.
+        Donated :class:`TypedOnlineAnalyzer` shards keep whatever metric
+        binding they were constructed with; adopted plain analyzers take
+        over the fresh shard's per-shard labels.
         """
         if not analyzers:
             raise ValueError("need at least one shard analyzer")
@@ -129,7 +209,7 @@ class ShardedAnalyzer:
                 t2_ratio=base.t2_ratio,
                 demote_on_item_eviction=base.demote_on_item_eviction,
             )
-        engine = cls(config, shards=n)
+        engine = cls(config, shards=n, registry=registry)
         for index, donated in enumerate(analyzers):
             if isinstance(donated, TypedOnlineAnalyzer):
                 engine._shards[index] = donated

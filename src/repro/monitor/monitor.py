@@ -13,9 +13,11 @@ that stores transactions for offline FIM.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Set
+import math
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
+from ..telemetry.metrics import MetricsRegistry, get_default_registry
 from .events import BlockIOEvent
 from .transaction import Transaction, dedup_events
 from .window import DynamicLatencyWindow, WindowPolicy
@@ -68,7 +70,14 @@ class ClockPolicy(enum.Enum):
 
 @dataclass
 class MonitorStats:
-    """Counters describing a monitor's activity."""
+    """Counters describing a monitor's activity.
+
+    This dataclass stays the authoritative hot-path store; a monitor
+    bound to a :class:`~repro.telemetry.metrics.MetricsRegistry`
+    publishes each field as a ``repro_monitor_<field>_total`` counter at
+    collect time (see :meth:`Monitor._collect_metrics`), so ingest never
+    pays a registry call per event.
+    """
 
     events_seen: int = 0
     events_filtered: int = 0
@@ -81,6 +90,27 @@ class MonitorStats:
     events_reordered: int = 0
     window_resets: int = 0
     window_clamps: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Field name -> value, in declaration order."""
+        return {f.name: getattr(self, f.name) for f in
+                dataclass_fields(self)}
+
+
+#: Help strings for the registry counters derived from MonitorStats.
+_STAT_HELP = {
+    "events_seen": "Block I/O issue events consumed",
+    "events_filtered": "Events rejected by the PID/PGID filter",
+    "transactions_emitted": "Transactions handed to sinks",
+    "singleton_transactions": "Emitted transactions with one request",
+    "duplicates_removed": "Requests dropped by in-transaction dedup",
+    "size_splits": "Transactions closed by the size cap",
+    "clock_anomalies": "Backwards-timestamp events detected",
+    "events_dropped": "Anomalous events discarded (ClockPolicy.DROP)",
+    "events_reordered": "Anomalous events folded into the open transaction",
+    "window_resets": "Window restarts after a clock-domain change",
+    "window_clamps": "Degenerate window durations clamped to zero",
+}
 
 
 class Monitor:
@@ -97,11 +127,17 @@ class Monitor:
         grouping: GroupingMode = GroupingMode.GAP,
         clock_policy: ClockPolicy = ClockPolicy.REORDER,
         max_clock_skew: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         """``max_clock_skew`` bounds how far backwards a timestamp may jump
         and still be folded into the open transaction under
         :attr:`ClockPolicy.REORDER`; ``None`` uses the current window
         duration (jitter within one window is benign by definition).
+
+        ``registry`` selects the telemetry registry the monitor publishes
+        to (``None``: the process-local default; pass
+        :data:`~repro.telemetry.NULL_REGISTRY` to disable).  All counters
+        are published lazily at collect time from :attr:`stats`.
         """
         if max_transaction_size < 1:
             raise ValueError(
@@ -123,9 +159,40 @@ class Monitor:
         self.stats = MonitorStats()
         self._pending: List[BlockIOEvent] = []
         self._high_water: Optional[float] = None
+        self._bind_metrics(registry)
 
     def add_sink(self, sink: TransactionSink) -> None:
         self._sinks.append(sink)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _bind_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        registry = registry if registry is not None else \
+            get_default_registry()
+        self.registry = registry
+        if not registry.enabled:
+            return
+        self._stat_counters = {
+            name: registry.counter(f"repro_monitor_{name}_total", help)
+            for name, help in _STAT_HELP.items()
+        }
+        self._pending_gauge = registry.gauge(
+            "repro_monitor_pending_events",
+            "Events buffered in the open transaction",
+        )
+        self._window_gauge = registry.gauge(
+            "repro_monitor_window_seconds",
+            "Current transaction window duration",
+        )
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Publish the dataclass counters into the registry (pull seam)."""
+        for name, value in self.stats.as_dict().items():
+            self._stat_counters[name].set_total(value)
+        self._pending_gauge.set(len(self._pending))
+        duration = self.window.duration()
+        self._window_gauge.set(duration if math.isfinite(duration) else 0.0)
 
     # -- event intake -------------------------------------------------------
 
@@ -159,48 +226,31 @@ class Monitor:
         return duration
 
     def on_event(self, event: BlockIOEvent) -> None:
-        """Consume one issue event (the blktrace callback)."""
-        self.stats.events_seen += 1
-        if not self._passes_filter(event):
-            self.stats.events_filtered += 1
-            return
-        if event.latency is not None:
-            self.window.observe_latency(event.latency)
+        """Consume one issue event (the blktrace callback).
 
-        duration = self._window_duration()
-
-        if (self._high_water is not None
-                and event.timestamp < self._high_water):
-            self.stats.clock_anomalies += 1
-            if self.clock_policy is not ClockPolicy.TOLERATE:
-                self._on_clock_anomaly(event, duration)
-                return
-
-        if self._pending:
-            gap = event.timestamp - self._window_anchor()
-            if gap > duration:
-                self._flush()
-            elif len(self._pending) >= self.max_transaction_size:
-                # Overflow: additional items go into a new transaction
-                # (Section III-D2) rather than being dropped.
-                self.stats.size_splits += 1
-                self._flush()
-        self._pending.append(event)
-        if self._high_water is None or event.timestamp > self._high_water:
-            self._high_water = event.timestamp
+        Delegates to the same ingest core as :meth:`on_events`, so the
+        clock-anomaly and degenerate-window accounting of the two entry
+        points cannot drift apart: batch and per-event ingest of the
+        same trace produce identical :class:`MonitorStats` by
+        construction (``tests/test_monitor.py`` asserts the parity).
+        """
+        self._ingest((event,))
 
     def on_events(self, events: Iterable[BlockIOEvent]) -> int:
         """Consume a batch of issue events; returns how many were seen.
 
-        Semantically identical to calling :meth:`on_event` per event, but
-        the per-event bookkeeping is amortized over the batch: method and
-        attribute lookups are hoisted out of the loop, and the window
-        duration is only recomputed when a new latency observation (or a
-        transaction boundary) can actually have changed it, instead of
-        once per event.  (The ``window_clamps`` diagnostic counter is the
-        one observable difference: a degenerate window policy is counted
-        once per *recomputation* here rather than once per event.)
+        Semantically identical to calling :meth:`on_event` per event --
+        both run the same ingest core -- but the per-event bookkeeping is
+        amortized over the batch: method and attribute lookups are
+        hoisted out of the loop, and the window duration is only
+        recomputed when a new latency observation (or a clamped
+        degenerate duration, which is counted and never cached) can
+        actually have changed it, instead of once per event.
         """
+        return self._ingest(events)
+
+    def _ingest(self, events: Iterable[BlockIOEvent]) -> int:
+        """The single ingest code path behind ``on_event``/``on_events``."""
         count = 0
         stats = self.stats
         unfiltered = self.pid_filter is None and self.pgid_filter is None

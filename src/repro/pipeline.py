@@ -27,6 +27,7 @@ from .monitor.monitor import (
     TransactionRecorder,
 )
 from .monitor.window import DynamicLatencyWindow, WindowPolicy
+from .telemetry.metrics import MetricsRegistry
 from .trace.record import TraceRecord
 
 
@@ -43,6 +44,11 @@ class PipelineResult:
     monitor_stats: MonitorStats
     analyzer: object
     recorder: Optional[TransactionRecorder]
+    registry: Optional[MetricsRegistry] = None
+    #: The monitor the run used.  Kept on the result so its telemetry
+    #: collector (weakly held by the registry) stays alive for post-run
+    #: export.
+    monitor: Optional[Monitor] = None
 
     def frequent_pairs(self, min_support: int = 2):
         """Detected correlations, strongest first."""
@@ -91,6 +97,7 @@ def run_pipeline(
     analyzer: Optional[OnlineAnalyzer] = None,
     shards: int = 1,
     batch_size: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> PipelineResult:
     """Replay ``records`` through the full monitoring/analysis stack.
 
@@ -112,6 +119,12 @@ def run_pipeline(
     types, or an analyzer carried over from a previous run for continuous
     operation); analyzers exposing ``process_transaction`` receive the full
     transaction, others receive the extent list.
+
+    ``registry`` selects the telemetry registry the monitor and any
+    internally constructed analyzer publish to (``None``: the
+    process-local default).  The registry used is returned on
+    :attr:`PipelineResult.registry` so callers can export after the run
+    (see :mod:`repro.telemetry.export`).
     """
     if device is None:
         device = SsdDevice()
@@ -122,9 +135,9 @@ def run_pipeline(
     if analyzer is None:
         if shards > 1:
             analyzer = ShardedAnalyzer(config or AnalyzerConfig(),
-                                       shards=shards)
+                                       shards=shards, registry=registry)
         else:
-            analyzer = OnlineAnalyzer(config)
+            analyzer = OnlineAnalyzer(config, registry=registry)
     elif config is not None:
         raise ValueError("pass either a config or a pre-built analyzer")
     monitor = Monitor(
@@ -133,6 +146,7 @@ def run_pipeline(
         dedup=dedup,
         pid_filter=pid_filter,
         grouping=grouping,
+        registry=registry,
     )
     recorder = TransactionRecorder() if record_offline else None
     process_transaction = getattr(analyzer, "process_transaction", None)
@@ -168,6 +182,8 @@ def run_pipeline(
         monitor_stats=monitor.stats,
         analyzer=analyzer,
         recorder=recorder,
+        registry=monitor.registry,
+        monitor=monitor,
     )
 
 

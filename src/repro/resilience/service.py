@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from ..core.serialize import CheckpointCorruptError
+from ..core.serialize import CheckpointCorruptError, save_checkpoint
 from ..core.typed import TypedOnlineAnalyzer
 from ..engine.checkpoint import (
     as_typed_engine,
@@ -96,7 +96,54 @@ class ResilientCharacterizationService(CharacterizationService):
         self._checkpoint_failures = 0
         self._checkpoint_retries = 0
         self._restore_failures = 0
+        self._degraded_restores = 0
         self._last_error: Optional[str] = None
+        self._bind_resilience_metrics()
+
+    # -- telemetry ------------------------------------------------------------
+
+    def _bind_resilience_metrics(self) -> None:
+        registry = self.registry
+        if not registry.enabled:
+            return
+        self._resilience_counters = {
+            name: registry.counter(f"repro_resilience_{name}_total", help)
+            for name, help in {
+                "checkpoint_retries": "Checkpoint I/O attempts retried",
+                "checkpoint_failures": "Checkpoint writes that exhausted "
+                                       "retries",
+                "restore_failures": "Restores that hit corruption or I/O "
+                                    "errors",
+                "degraded_restores": "Restores completed with fresh "
+                                     "replacement shards",
+                "observer_failures": "Snapshot observer invocations that "
+                                     "raised",
+            }.items()
+        }
+        self._degraded_gauge = registry.gauge(
+            "repro_resilience_degraded",
+            "1 while the service reports itself degraded",
+        )
+        self._quarantined_gauge = registry.gauge(
+            "repro_resilience_quarantined_observers",
+            "Observers quarantined after repeated failures",
+        )
+        registry.register_collector(self._collect_resilience_metrics)
+
+    def _collect_resilience_metrics(self) -> None:
+        counters = self._resilience_counters
+        counters["checkpoint_retries"].set_total(self._checkpoint_retries)
+        counters["checkpoint_failures"].set_total(self._checkpoint_failures)
+        counters["restore_failures"].set_total(self._restore_failures)
+        counters["degraded_restores"].set_total(self._degraded_restores)
+        counters["observer_failures"].set_total(
+            sum(guard.failures for guard in self._guards)
+        )
+        quarantined = sum(1 for guard in self._guards if guard.quarantined)
+        self._quarantined_gauge.set(quarantined)
+        self._degraded_gauge.set(
+            1.0 if (self._degraded_reasons or quarantined) else 0.0
+        )
 
     # -- observer isolation ---------------------------------------------------
 
@@ -129,6 +176,17 @@ class ResilientCharacterizationService(CharacterizationService):
                 attempt += 1
                 self._checkpoint_retries += 1
 
+    def _save_current(self, path) -> int:
+        """Write the current engine: v3 via the engine container for a
+        sharded analyzer, format v2 via
+        :func:`~repro.core.serialize.save_checkpoint` for a single one.
+        Both names resolve through module globals so tests (and hosts)
+        can substitute the I/O layer.
+        """
+        if isinstance(self.analyzer, ShardedAnalyzer):
+            return save_engine_checkpoint(self.analyzer, path)
+        return save_checkpoint(self.analyzer, path)
+
     def checkpoint_to(self, path) -> int:
         """Atomically checkpoint to ``path``, retrying transient failures.
 
@@ -140,9 +198,7 @@ class ResilientCharacterizationService(CharacterizationService):
         """
         self.flush()
         try:
-            return self._with_retries(
-                lambda: save_engine_checkpoint(self.analyzer, path)
-            )
+            return self._with_retries(lambda: self._save_current(path))
         except OSError:
             self._checkpoint_failures += 1
             self._mark_degraded(f"checkpoint write failed: {self._last_error}")
@@ -175,12 +231,14 @@ class ResilientCharacterizationService(CharacterizationService):
             self._fallback_fresh(f"checkpoint unreadable: {exc}")
             return False
         self.analyzer = as_typed_engine(loaded)
+        self.analyzer.rebind_metrics(self.registry)
         if isinstance(self.analyzer, ShardedAnalyzer):
             self.shards = self.analyzer.shards
         else:
             self.shards = 1
         if loaded.corrupt_shards:
             self._restore_failures += 1
+            self._degraded_restores += 1
             self._mark_degraded(
                 f"checkpoint shards {loaded.corrupt_shards} corrupt; "
                 f"restored degraded with fresh replacements"
@@ -190,9 +248,11 @@ class ResilientCharacterizationService(CharacterizationService):
     def _fallback_fresh(self, reason: str) -> None:
         if isinstance(self.analyzer, ShardedAnalyzer):
             fresh = ShardedAnalyzer(self.analyzer.config,
-                                    shards=self.analyzer.shards)
+                                    shards=self.analyzer.shards,
+                                    registry=self.registry)
         else:
-            fresh = TypedOnlineAnalyzer(self.analyzer.config)
+            fresh = TypedOnlineAnalyzer(self.analyzer.config,
+                                        registry=self.registry)
         self.analyzer = fresh
         self._mark_degraded(reason)
 

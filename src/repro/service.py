@@ -22,11 +22,16 @@ monitor + synopsis engine into that service shape:
   sharded engine (see :mod:`repro.core.serialize` and
   :mod:`repro.engine.checkpoint`);
 * registered observers are notified every ``snapshot_interval``
-  transactions -- the hook an automatic optimization module attaches to.
+  transactions -- the hook an automatic optimization module attaches to;
+* the whole stack publishes telemetry through one injectable
+  :class:`~repro.telemetry.metrics.MetricsRegistry` (``registry=``):
+  monitor and synopsis counters via collectors, submit/batch latency
+  histograms, and per-stage spans (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import (
     BinaryIO,
@@ -52,6 +57,12 @@ from .monitor.monitor import (
 )
 from .monitor.transaction import Transaction
 from .monitor.window import DynamicLatencyWindow, WindowPolicy
+from .telemetry.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    get_default_registry,
+)
+from .telemetry.tracing import StageTimer
 
 SnapshotObserver = Callable[["ServiceSnapshot"], None]
 
@@ -88,12 +99,19 @@ class CharacterizationService:
         max_clock_skew: Optional[float] = None,
         shards: int = 1,
         parallel_shards: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         """``shards`` selects the synopsis engine: 1 keeps the classic
         single typed analyzer; N > 1 hash-partitions the tables across N
         shard synopses at ``capacity / N`` each.  ``parallel_shards``
         additionally processes batched ingest (:meth:`submit_many`) with
         one worker thread per shard.
+
+        ``registry`` selects the telemetry registry for the whole stack
+        (monitor, engine, and the service's own latency histograms);
+        ``None`` uses the process-local default, and
+        :data:`~repro.telemetry.NULL_REGISTRY` disables telemetry with
+        near-zero hot-path cost.
         """
         if snapshot_interval < 1:
             raise ValueError("snapshot_interval must be >= 1")
@@ -105,10 +123,13 @@ class CharacterizationService:
         self.snapshot_interval = snapshot_interval
         self.shards = shards
         self.parallel_shards = parallel_shards
+        registry = registry if registry is not None else \
+            get_default_registry()
+        self.registry = registry
         config = config or AnalyzerConfig()
         self.analyzer: ServiceEngine = (
-            TypedOnlineAnalyzer(config) if shards == 1
-            else ShardedAnalyzer(config, shards=shards)
+            TypedOnlineAnalyzer(config, registry=registry) if shards == 1
+            else ShardedAnalyzer(config, shards=shards, registry=registry)
         )
         self.monitor = Monitor(
             window=window if window is not None else DynamicLatencyWindow(),
@@ -117,16 +138,70 @@ class CharacterizationService:
             sinks=[self._on_transaction],
             clock_policy=clock_policy,
             max_clock_skew=max_clock_skew,
+            registry=registry,
         )
         self._observers: List[SnapshotObserver] = []
         self._transactions = 0
         self._batch_buffer: Optional[List[Transaction]] = None
+        self._bind_metrics(registry)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _bind_metrics(self, registry: MetricsRegistry) -> None:
+        self._stage_timer = StageTimer(
+            registry, stages=("monitor", "analyze", "notify")
+        )
+        if not registry.enabled:
+            self._submit_hist = None
+            return
+        self._submit_hist = registry.histogram(
+            "repro_service_submit_latency_seconds",
+            "Wall time per ingest call",
+            labelnames=("path",),
+        ).labels(path="event")
+        self._batch_hist = registry.histogram(
+            "repro_service_submit_latency_seconds",
+            "Wall time per ingest call",
+            labelnames=("path",),
+        ).labels(path="batch")
+        self._batch_size_hist = registry.histogram(
+            "repro_service_batch_events",
+            "Events per submit_many call",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._snapshots_counter = registry.counter(
+            "repro_service_snapshots_total",
+            "Snapshots computed (periodic notifications and queries)",
+        )
+        self._checkpoint_counter = registry.counter(
+            "repro_service_checkpoints_total",
+            "Checkpoint operations",
+            labelnames=("op",),
+        )
+        self._transactions_counter = registry.counter(
+            "repro_service_transactions_total",
+            "Transactions the service has characterized",
+        )
+        self._observers_gauge = registry.gauge(
+            "repro_service_observers", "Registered snapshot observers"
+        )
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        self._transactions_counter.set_total(self._transactions)
+        self._observers_gauge.set(len(self._observers))
 
     # -- ingestion --------------------------------------------------------------
 
     def submit(self, event: BlockIOEvent) -> None:
         """Feed one block-layer issue event."""
+        hist = self._submit_hist
+        if hist is None:  # null registry: no clock reads on the hot path
+            self.monitor.on_event(event)
+            return
+        started = time.perf_counter()
         self.monitor.on_event(event)
+        hist.observe(time.perf_counter() - started)
 
     def submit_many(
         self,
@@ -147,14 +222,20 @@ class CharacterizationService:
         """
         if parallel is None:
             parallel = self.parallel_shards
+        batch_started = time.perf_counter() if self._submit_hist is not None \
+            else None
         batch: List[Transaction] = []
         self._batch_buffer = batch
         try:
-            count = self.monitor.on_events(events)
+            with self._stage_timer.span("monitor"):
+                count = self.monitor.on_events(events)
         finally:
             self._batch_buffer = None
         if batch:
             self._process_batch(batch, parallel)
+        if batch_started is not None:
+            self._batch_hist.observe(time.perf_counter() - batch_started)
+            self._batch_size_hist.observe(count)
         return count
 
     def flush(self) -> None:
@@ -172,12 +253,13 @@ class CharacterizationService:
 
     def _process_batch(self, batch: List[Transaction],
                        parallel: bool) -> None:
-        process_batch = getattr(self.analyzer, "process_batch", None)
-        if process_batch is not None:
-            process_batch(batch, parallel=parallel)
-        else:  # a bare analyzer injected by a subclass/test
-            for transaction in batch:
-                self.analyzer.process_transaction(transaction)
+        with self._stage_timer.span("analyze"):
+            process_batch = getattr(self.analyzer, "process_batch", None)
+            if process_batch is not None:
+                process_batch(batch, parallel=parallel)
+            else:  # a bare analyzer injected by a subclass/test
+                for transaction in batch:
+                    self.analyzer.process_transaction(transaction)
         interval = self.snapshot_interval
         before = self._transactions
         self._transactions += len(batch)
@@ -187,15 +269,18 @@ class CharacterizationService:
     def _notify(self) -> None:
         if not self._observers:
             return
-        snapshot = self.snapshot()
-        for observer in self._observers:
-            observer(snapshot)
+        with self._stage_timer.span("notify"):
+            snapshot = self.snapshot()
+            for observer in self._observers:
+                observer(snapshot)
 
     # -- queries -------------------------------------------------------------------
 
     def snapshot(self, kind: Optional[CorrelationKind] = None
                  ) -> ServiceSnapshot:
         """Current frequent correlations (optionally one R/W kind only)."""
+        if self._submit_hist is not None:
+            self._snapshots_counter.inc()
         if kind is None:
             frequent = self.analyzer.frequent_pairs(self.min_support)
         else:
@@ -225,6 +310,8 @@ class CharacterizationService:
         restore; the tables themselves restore exactly.
         """
         self.flush()
+        if self._submit_hist is not None:
+            self._checkpoint_counter.labels(op="save").inc()
         return dump_engine(self.analyzer, stream)
 
     def restore(self, stream: BinaryIO) -> None:
@@ -234,8 +321,11 @@ class CharacterizationService:
         sharded engine (with that checkpoint's shard count), v1/v2 a
         single typed analyzer.
         """
+        if self._submit_hist is not None:
+            self._checkpoint_counter.labels(op="restore").inc()
         loaded = load_engine(stream, strict=True)
         self.analyzer = as_typed_engine(loaded)
+        self.analyzer.rebind_metrics(self.registry)
         if isinstance(self.analyzer, ShardedAnalyzer):
             self.shards = self.analyzer.shards
         else:

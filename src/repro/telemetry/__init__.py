@@ -1,0 +1,63 @@
+"""repro.telemetry -- metrics registry, stage tracing, and exporters.
+
+The observability layer for the real-time characterization stack: a
+dependency-free :class:`MetricsRegistry` of named, labelled
+:class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments, a
+:class:`StageTimer` span API for per-stage latency, and exporters for
+the Prometheus text format, JSON snapshots, and periodic NDJSON
+emission (:class:`SnapshotEmitter`).
+
+Every instrumented component (monitor, analyzer, sharded engine,
+services, pipeline) accepts a ``registry`` keyword: ``None`` selects
+the process-local default (:func:`get_default_registry`), an explicit
+:class:`MetricsRegistry` isolates the instance, and
+:data:`NULL_REGISTRY` disables telemetry with near-zero hot-path cost.
+
+See ``docs/observability.md`` for the instrument catalog and label
+conventions.
+"""
+
+from .export import (
+    SnapshotEmitter,
+    render_digest,
+    render_json,
+    render_prometheus,
+    snapshot,
+    snapshot_value,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+from .tracing import Span, StageTimer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "get_default_registry",
+    "set_default_registry",
+    "Span",
+    "StageTimer",
+    "SnapshotEmitter",
+    "render_digest",
+    "render_json",
+    "render_prometheus",
+    "snapshot",
+    "snapshot_value",
+]

@@ -1,0 +1,265 @@
+"""Exporters: Prometheus text exposition, JSON snapshots, NDJSON stream.
+
+Three ways out of a :class:`~repro.telemetry.metrics.MetricsRegistry`:
+
+* :func:`render_prometheus` -- the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  cumulative ``_bucket``/``_sum``/``_count`` series for histograms),
+  ready to serve from any HTTP handler or write to a textfile-collector
+  drop directory;
+* :func:`snapshot` / :func:`render_json` -- a JSON document of every
+  instrument, for dashboards and the CLI's ``--metrics-json``;
+* :class:`SnapshotEmitter` -- appends timestamped snapshot lines to an
+  NDJSON file at a configurable interval, either cooperatively
+  (:meth:`~SnapshotEmitter.maybe_emit` from the ingest loop) or from a
+  daemon thread (:meth:`~SnapshotEmitter.start`).
+
+Everything here is pull-shaped: exporting runs the registry's
+collectors, so the rendered numbers are fresh even though the hot path
+never touched the registry.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from .metrics import MetricsRegistry, format_bound, get_default_registry
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "render_digest",
+    "snapshot",
+    "snapshot_value",
+    "SnapshotEmitter",
+]
+
+PathOrStr = Union[str, Path]
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _label_block(labels: Dict[str, str],
+                 extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    registry = registry if registry is not None else get_default_registry()
+    out = io.StringIO()
+    for family in registry.collect():
+        if family.help:
+            out.write(f"# HELP {family.name} {_escape_help(family.help)}\n")
+        out.write(f"# TYPE {family.name} {family.kind}\n")
+        for labels, child in family.samples():
+            if family.kind == "histogram":
+                for bound, cumulative in child.buckets():
+                    le = _label_block(labels, {"le": format_bound(bound)})
+                    out.write(f"{family.name}_bucket{le} {cumulative}\n")
+                out.write(f"{family.name}_sum{_label_block(labels)} "
+                          f"{_format_value(child.sum)}\n")
+                out.write(f"{family.name}_count{_label_block(labels)} "
+                          f"{child.count}\n")
+            else:
+                out.write(f"{family.name}{_label_block(labels)} "
+                          f"{_format_value(child.value)}\n")
+    return out.getvalue()
+
+
+def snapshot(registry: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+    """A JSON-able dict of every instrument (see ``MetricsRegistry.snapshot``)."""
+    registry = registry if registry is not None else get_default_registry()
+    return registry.snapshot()
+
+
+def render_json(registry: Optional[MetricsRegistry] = None,
+                indent: Optional[int] = None) -> str:
+    """The JSON snapshot as a string."""
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=True)
+
+
+def snapshot_value(
+    snap: Dict[str, object],
+    name: str,
+    labels: Optional[Dict[str, str]] = None,
+    default: float = 0.0,
+) -> float:
+    """Sum the samples of ``name`` whose labels contain ``labels``.
+
+    A convenience for digests and tests: reads counter/gauge values (and
+    histogram counts) out of a snapshot dict without walking the schema
+    by hand.  Missing metrics return ``default``.
+    """
+    family = snap.get("metrics", {}).get(name)
+    if family is None:
+        return default
+    wanted = labels or {}
+    total = 0.0
+    matched = False
+    for sample in family["samples"]:
+        sample_labels = sample.get("labels", {})
+        if all(sample_labels.get(k) == str(v) for k, v in wanted.items()):
+            matched = True
+            total += sample.get("value", sample.get("count", 0.0))
+    return total if matched else default
+
+
+def render_digest(registry: Optional[MetricsRegistry] = None) -> str:
+    """A human-readable one-value-per-line rendering of the registry.
+
+    The ``stats``-style view for terminals: counters and gauges print as
+    ``name{labels} value``; histograms print count, sum, and mean.
+    """
+    registry = registry if registry is not None else get_default_registry()
+    lines: List[str] = []
+    for family in registry.collect():
+        for labels, child in family.samples():
+            block = _label_block(labels)
+            if family.kind == "histogram":
+                mean = child.sum / child.count if child.count else 0.0
+                lines.append(
+                    f"{family.name}{block} count={child.count} "
+                    f"sum={child.sum:.6f} mean={mean:.6f}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{block} {_format_value(child.value)}"
+                )
+    return "\n".join(lines)
+
+
+SnapshotCallback = Callable[[Dict[str, object]], None]
+
+
+class SnapshotEmitter:
+    """Appends registry snapshots to an NDJSON file on an interval.
+
+    Each emitted line is one JSON object::
+
+        {"ts": <unix seconds>, "seq": <1-based index>, "metrics": {...}}
+
+    Two operating modes:
+
+    * **cooperative** -- call :meth:`maybe_emit` from the ingest loop;
+      a snapshot is appended when at least ``interval`` seconds passed
+      since the last one (clock injectable for tests);
+    * **background** -- :meth:`start` spawns a daemon thread that emits
+      every ``interval`` seconds until :meth:`stop` (or context exit).
+
+    ``on_snapshot`` receives every emitted snapshot dict -- the hook a
+    console digest or alerting shim attaches to.  Emission never throws
+    into the ingest loop: I/O errors are counted on ``write_errors`` and
+    surfaced to the caller only through that counter.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        path: Optional[PathOrStr] = None,
+        interval: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_snapshot: Optional[SnapshotCallback] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.registry = registry if registry is not None else \
+            get_default_registry()
+        self.path = Path(path) if path is not None else None
+        self.interval = interval
+        self.on_snapshot = on_snapshot
+        self._clock = clock
+        self._last_emit: Optional[float] = None
+        self.emitted = 0
+        self.write_errors = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+
+    # -- cooperative mode ---------------------------------------------------
+
+    def maybe_emit(self, now: Optional[float] = None
+                   ) -> Optional[Dict[str, object]]:
+        """Emit if the interval elapsed; returns the snapshot or None."""
+        if now is None:
+            now = self._clock()
+        if self._last_emit is not None and \
+                now - self._last_emit < self.interval:
+            return None
+        return self.emit(now=now)
+
+    def emit(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Unconditionally snapshot, append, and notify."""
+        self._last_emit = self._clock() if now is None else now
+        self.emitted += 1
+        snap = self.registry.snapshot()
+        snap = {"ts": time.time(), "seq": self.emitted, **snap}
+        if self.path is not None:
+            try:
+                with open(self.path, "a", encoding="utf-8") as stream:
+                    stream.write(json.dumps(snap, sort_keys=True) + "\n")
+            except OSError:
+                self.write_errors += 1
+        if self.on_snapshot is not None:
+            self.on_snapshot(snap)
+        return snap
+
+    # -- background mode ----------------------------------------------------
+
+    def start(self) -> "SnapshotEmitter":
+        """Emit from a daemon thread every ``interval`` seconds."""
+        if self._thread is not None:
+            raise RuntimeError("emitter already started")
+        self._stop_event.clear()
+
+        def loop() -> None:
+            while not self._stop_event.wait(self.interval):
+                self.emit()
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-snapshot-emitter", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_emit: bool = True) -> None:
+        """Stop the background thread (and emit one last snapshot)."""
+        if self._thread is not None:
+            self._stop_event.set()
+            self._thread.join()
+            self._thread = None
+        if final_emit:
+            self.emit()
+
+    def __enter__(self) -> "SnapshotEmitter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(final_emit=exc_type is None)

@@ -1,0 +1,576 @@
+"""A dependency-free metrics registry (the observability substrate).
+
+The paper's core claim is *real-time* characterization under bounded
+memory; operating that claim requires watching throughput, table
+occupancy, promotion/eviction churn, and per-stage latency while the
+service runs.  This module provides the instruments:
+
+* :class:`Counter` -- a monotonically increasing total (events seen,
+  evictions, retries);
+* :class:`Gauge` -- a point-in-time value that can go up or down (tier
+  occupancy, shard imbalance, degraded flag);
+* :class:`Histogram` -- a bucketed distribution with sum and count
+  (submit latency, batch size), rendered in Prometheus cumulative form;
+* :class:`MetricsRegistry` -- the named, labelled instrument store that
+  exporters (:mod:`repro.telemetry.export`) walk.
+
+Every instrument family supports labels (``family.labels(shard="3")``)
+with prometheus_client-style child caching, so the label lookup happens
+once at bind time and the hot path touches a child object directly.
+
+Two design rules keep the characterization hot path fast:
+
+1. **Collectors, not per-event increments.**  Components that already
+   maintain cheap dataclass counters (``MonitorStats``, ``TableStats``)
+   keep doing so; they register a *collector* callback that publishes
+   those counters into the registry only when an exporter asks
+   (:meth:`MetricsRegistry.collect`).  Steady-state ingest cost: zero.
+   Collectors are held by weak reference, so a registry outliving its
+   components (the process-local default) never leaks them.
+2. **A null registry that disappears.**  :class:`NullRegistry` returns
+   no-op instruments and registers nothing; instrumented code guards its
+   few direct timer calls on ``registry.enabled``, keeping the disabled
+   hot path within a few percent of an uninstrumented build.
+
+The process-local default registry (:func:`get_default_registry`) is
+what every component uses when no registry is injected; pass
+``registry=`` explicitly to isolate instances or to disable telemetry
+with :data:`NULL_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import weakref
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "get_default_registry",
+    "set_default_registry",
+]
+
+
+class MetricError(ValueError):
+    """Invalid metric name, labels, or conflicting re-registration."""
+
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bounds for latency-shaped observations (seconds).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default histogram bounds for size/count-shaped observations.
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MetricError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_RE.match(label) or label.startswith("__"):
+            raise MetricError(f"invalid label name {label!r}")
+    if len(set(names)) != len(names):
+        raise MetricError(f"duplicate label names in {names!r}")
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Children: the per-label-set cells the hot path touches
+# ---------------------------------------------------------------------------
+
+class _CounterChild:
+    """One labelled counter cell."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"counters only go up; inc({amount})")
+        self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Publish an externally maintained running total.
+
+        The collector seam: components that keep their own dataclass
+        counters (``MonitorStats``, ``TableStats``) push the current
+        totals at collect time instead of paying a registry call per
+        event.  The value is trusted to be monotonic at the source.
+        """
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _GaugeChild:
+    """One labelled gauge cell."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _HistogramChild:
+    """One labelled histogram cell (fixed bounds, non-cumulative store)."""
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self._bounds, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, self._count))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Families: named instruments with label-set children
+# ---------------------------------------------------------------------------
+
+class _Family:
+    """A named instrument and its labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = _check_labelnames(labelnames)
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labels: str):
+        """The child cell for one label-value assignment.
+
+        Values are coerced to ``str``; the full label set must match the
+        family's declared ``labelnames`` exactly.  Children are cached,
+        so binding once and keeping the child is free thereafter.
+        """
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[label]) for label in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    def samples(self) -> List[Tuple[Dict[str, str], object]]:
+        """Every ``(labels_dict, child)`` in insertion order."""
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in list(self._children.items())
+        ]
+
+    # -- unlabelled convenience: the family acts as its sole child ---------
+
+    def _default_child(self):
+        if self.labelnames:
+            raise MetricError(
+                f"{self.name} is labelled {self.labelnames}; use .labels()"
+            )
+        return self.labels()
+
+
+class Counter(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def set_total(self, value: float) -> None:
+        self._default_child().set_total(value)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class Gauge(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class Histogram(_Family):
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise MetricError(f"{name}: need at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricError(
+                f"{name}: bucket bounds must be strictly increasing"
+            )
+        if math.isinf(bounds[-1]):
+            bounds = bounds[:-1]  # +Inf is implicit
+        super().__init__(name, help, labelnames)
+        self.bounds = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.bounds)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+
+# ---------------------------------------------------------------------------
+# Null instruments: telemetry that compiles to nothing
+# ---------------------------------------------------------------------------
+
+class _NullInstrument:
+    """Absorbs the whole instrument API as no-ops; its own ``labels()``."""
+
+    __slots__ = ()
+
+    kind = "null"
+    name = ""
+    help = ""
+    labelnames: Tuple[str, ...] = ()
+    bounds: Tuple[float, ...] = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def labels(self, **_labels: str) -> "_NullInstrument":
+        return self
+
+    def inc(self, _amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, _amount: float = 1.0) -> None:
+        pass
+
+    def set(self, _value: float) -> None:
+        pass
+
+    def set_total(self, _value: float) -> None:
+        pass
+
+    def observe(self, _value: float) -> None:
+        pass
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        return []
+
+    def samples(self) -> List[Tuple[Dict[str, str], object]]:
+        return []
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+Collector = Callable[[], None]
+
+
+class MetricsRegistry:
+    """Named instrument store + collector hub.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    an existing name returns the existing family (a conflicting kind,
+    label set, or bucket layout raises :class:`MetricError`), so any
+    number of components can share one process-local registry.
+
+    Collectors registered via :meth:`register_collector` run at the top
+    of every :meth:`collect` / :meth:`snapshot`; they are the pull seam
+    through which components publish their internally maintained
+    counters without any per-event registry traffic.  Bound methods are
+    held weakly, so a dead component silently drops out.
+    """
+
+    #: Instrumented code may guard direct (timer) instrumentation on this.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[object] = []  # WeakMethod | callable
+        self._lock = threading.Lock()
+
+    # -- instrument creation ------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: Sequence[str], **kwargs) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, labelnames, **kwargs)
+                self._families[name] = family
+                return family
+        if not isinstance(family, cls):
+            raise MetricError(
+                f"{name} already registered as a {family.kind}"
+            )
+        if family.labelnames != tuple(labelnames):
+            raise MetricError(
+                f"{name} already registered with labels "
+                f"{family.labelnames}, asked for {tuple(labelnames)}"
+            )
+        buckets = kwargs.get("buckets")
+        if buckets is not None:
+            bounds = tuple(float(bound) for bound in buckets)
+            if math.isinf(bounds[-1]):
+                bounds = bounds[:-1]
+            if bounds != family.bounds:
+                raise MetricError(
+                    f"{name} already registered with buckets "
+                    f"{family.bounds}, asked for {bounds}"
+                )
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Family]:
+        """The family registered under ``name``, if any."""
+        return self._families.get(name)
+
+    # -- collectors ---------------------------------------------------------
+
+    def register_collector(self, collector: Collector) -> None:
+        """Register a callback run before every collect/snapshot.
+
+        Bound methods are stored as weak references: when the owning
+        object dies, the collector is pruned instead of keeping the
+        object alive through the (often process-lifetime) registry.
+        """
+        ref: object
+        if hasattr(collector, "__self__"):
+            ref = weakref.WeakMethod(collector)
+        else:
+            ref = collector
+        with self._lock:
+            self._collectors.append(ref)
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            refs = list(self._collectors)
+        dead: List[object] = []
+        for ref in refs:
+            callback = ref() if isinstance(ref, weakref.WeakMethod) else ref
+            if callback is None:
+                dead.append(ref)
+                continue
+            callback()
+        if dead:
+            with self._lock:
+                self._collectors = [
+                    ref for ref in self._collectors if ref not in dead
+                ]
+
+    # -- collection ---------------------------------------------------------
+
+    def collect(self) -> List[_Family]:
+        """Run collectors, then return every family sorted by name."""
+        self._run_collectors()
+        return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-able view of every instrument (runs collectors).
+
+        Schema::
+
+            {"metrics": {name: {"type": kind, "help": str,
+                                "samples": [sample, ...]}}}
+
+        where counter/gauge samples are ``{"labels": {...}, "value": v}``
+        and histogram samples are ``{"labels": {...}, "count": n,
+        "sum": s, "buckets": {"0.001": c, ..., "+Inf": n}}`` with
+        cumulative bucket counts.
+        """
+        metrics: Dict[str, object] = {}
+        for family in self.collect():
+            samples: List[Dict[str, object]] = []
+            for labels, child in family.samples():
+                if family.kind == "histogram":
+                    samples.append({
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": _finite(child.sum),
+                        "buckets": {
+                            format_bound(bound): count
+                            for bound, count in child.buckets()
+                        },
+                    })
+                else:
+                    samples.append({
+                        "labels": labels,
+                        "value": _finite(child.value),
+                    })
+            metrics[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return {"metrics": metrics}
+
+
+def _finite(value: float) -> float:
+    """NaN/inf would poison strict-JSON consumers; clamp them to 0."""
+    return value if math.isfinite(value) else 0.0
+
+
+def format_bound(bound: float) -> str:
+    """A histogram bucket bound as its exposition label value."""
+    if math.isinf(bound):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing and costs nothing.
+
+    Every instrument request returns the shared no-op instrument;
+    collectors are discarded.  Inject :data:`NULL_REGISTRY` to switch a
+    component's telemetry off entirely.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  ) -> Histogram:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def register_collector(self, collector: Collector) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: Optional[MetricsRegistry] = None
+_default_lock = threading.Lock()
+
+
+def get_default_registry() -> MetricsRegistry:
+    """The process-local registry components fall back to."""
+    global _default_registry
+    if _default_registry is None:
+        with _default_lock:
+            if _default_registry is None:
+                _default_registry = MetricsRegistry()
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-local default; returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous if previous is not None else registry

@@ -1,0 +1,134 @@
+"""Stage timing: spans over the monitor -> analyzer -> sinks pipeline.
+
+An event's journey through the stack crosses distinct stages -- monitor
+grouping, synopsis analysis, observer notification, checkpoint I/O --
+and the question "where does ingest time go" needs per-stage latency,
+not just end-to-end throughput.  :class:`StageTimer` hands out
+:class:`Span` context managers that record elapsed wall time into one
+stage-labelled histogram in a :class:`~repro.telemetry.metrics.\
+MetricsRegistry`::
+
+    timer = StageTimer(registry)
+    with timer.span("monitor"):
+        monitor.on_events(batch)
+    with timer.span("analyze"):
+        engine.process_batch(transactions)
+
+Against a disabled (null) registry, :meth:`StageTimer.span` returns a
+shared no-op span that skips even the clock reads, so instrumented code
+needs no ``if enabled`` guards of its own at batch granularity.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence
+
+from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry, \
+    get_default_registry
+
+__all__ = ["Span", "StageTimer", "DEFAULT_STAGE_METRIC"]
+
+#: The histogram every stage timer records into by default.
+DEFAULT_STAGE_METRIC = "repro_stage_duration_seconds"
+
+
+class Span:
+    """One timed stage execution (context manager or start/stop pair)."""
+
+    __slots__ = ("_child", "_clock", "_started", "elapsed")
+
+    def __init__(self, child, clock: Callable[[], float]) -> None:
+        self._child = child
+        self._clock = clock
+        self._started: Optional[float] = None
+        self.elapsed: Optional[float] = None
+
+    def start(self) -> "Span":
+        self._started = self._clock()
+        return self
+
+    def stop(self) -> float:
+        """Record and return the elapsed seconds since :meth:`start`."""
+        if self._started is None:
+            raise RuntimeError("span was never started")
+        self.elapsed = self._clock() - self._started
+        self._started = None
+        if self._child is not None:
+            self._child.observe(self.elapsed)
+        return self.elapsed
+
+    def __enter__(self) -> "Span":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Failures are timed too: a span that dies half-way still spent
+        # the time, and error latency is exactly what tracing is for.
+        self.stop()
+
+
+class _NullSpan:
+    """A span that costs two attribute lookups and nothing else."""
+
+    __slots__ = ()
+
+    elapsed = None
+
+    def start(self) -> "_NullSpan":
+        return self
+
+    def stop(self) -> float:
+        return 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class StageTimer:
+    """Hands out stage-labelled spans backed by one registry histogram.
+
+    ``stages`` may pre-declare the expected stage names so the exposition
+    shows zeroed series before first use; any stage name is accepted at
+    :meth:`span` time regardless.  The clock is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        metric: str = DEFAULT_STAGE_METRIC,
+        help: str = "Wall time spent per pipeline stage",
+        stages: Sequence[str] = (),
+        clock: Callable[[], float] = time.perf_counter,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        registry = registry if registry is not None else \
+            get_default_registry()
+        self.enabled = registry.enabled
+        self._clock = clock
+        self._histogram = registry.histogram(
+            metric, help, labelnames=("stage",), buckets=buckets
+        )
+        self._children = {}
+        for stage in stages:
+            self._children[stage] = self._histogram.labels(stage=stage)
+
+    def span(self, stage: str) -> Span:
+        """A context manager timing one execution of ``stage``."""
+        if not self.enabled:
+            return _NULL_SPAN  # type: ignore[return-value]
+        child = self._children.get(stage)
+        if child is None:
+            child = self._histogram.labels(stage=stage)
+            self._children[stage] = child
+        return Span(child, self._clock)
+
+    def time(self, stage: str, fn: Callable, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` inside a span; returns its result."""
+        with self.span(stage):
+            return fn(*args, **kwargs)

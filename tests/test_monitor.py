@@ -205,3 +205,87 @@ class TestClockAnomalies:
         monitor.flush()
         assert len(recorder) == 2
         assert monitor.stats.window_clamps > 0
+
+
+class TestBatchSingleParity:
+    """``on_event`` and ``on_events`` share one ingest core.
+
+    Regression tests for the counter-drift class of bug: with two
+    hand-maintained copies of the ingest loop, a stats update added to
+    one path but not the other silently skews ``MonitorStats``
+    depending on how events are fed.  Both entry points now delegate to
+    ``Monitor._ingest``, so identical input must produce identical
+    stats, whatever the batching.
+    """
+
+    @staticmethod
+    def awkward_stream():
+        """A stream that trips every counter at least once."""
+        stream = []
+        clock = 0.0
+        for round_index in range(8):
+            base = 100 * round_index
+            stream.append(event(clock, base, latency=5e-4))
+            stream.append(event(clock + 1e-5, base + 1, latency=5e-4))
+            stream.append(event(clock + 2e-5, base + 1))   # duplicate
+            stream.append(event(clock + 5e-6, base + 2))   # reordered
+            stream.append(event(clock + 3e-5, base + 3, pid=99))  # filtered
+            clock += 0.05
+        stream.append(event(0.0, 999))  # huge backwards jump: window reset
+        for index in range(12):  # size-cap splits (cap is 8 below)
+            stream.append(event(clock + index * 1e-6, 2000 + index))
+        clock += 0.05
+        for index in range(4):  # latency spike: the window turns degenerate
+            stream.append(
+                event(clock + index * 1e-4, 3000 + index, latency=1.0)
+            )
+        return stream
+
+    @staticmethod
+    def run_monitor(feed):
+        class SometimesDegenerate(DynamicLatencyWindow):
+            def duration(self):
+                duration = super().duration()
+                return -1.0 if duration > 1e-2 else duration
+
+        monitor, recorder = collecting_monitor(
+            window=SometimesDegenerate(),
+            max_transaction_size=8,
+            pid_filter={1},
+        )
+        feed(monitor)
+        monitor.flush()
+        return monitor, recorder
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 7, 1000])
+    def test_identical_stats_for_any_batching(self, batch_size):
+        stream = self.awkward_stream()
+
+        def per_event(monitor):
+            for item in stream:
+                monitor.on_event(item)
+
+        def batched(monitor):
+            for start in range(0, len(stream), batch_size):
+                monitor.on_events(stream[start:start + batch_size])
+
+        single_monitor, single_recorder = self.run_monitor(per_event)
+        batch_monitor, batch_recorder = self.run_monitor(batched)
+
+        assert batch_monitor.stats.as_dict() == \
+            single_monitor.stats.as_dict()
+        assert [t.extents for t in batch_recorder.transactions] == \
+            [t.extents for t in single_recorder.transactions]
+
+    def test_stream_actually_exercises_every_counter(self):
+        monitor, _recorder = self.run_monitor(
+            lambda m: m.on_events(self.awkward_stream())
+        )
+        stats = monitor.stats.as_dict()
+        exercised = [
+            "events_seen", "events_filtered", "duplicates_removed",
+            "size_splits", "clock_anomalies", "events_reordered",
+            "window_resets", "window_clamps", "transactions_emitted",
+        ]
+        for name in exercised:
+            assert stats[name] > 0, f"stream never tripped {name}"
