@@ -8,9 +8,12 @@ Subcommands mirror the workflows of the paper's evaluation:
   and report the detected correlations (optionally as association rules)
 * ``repro mine``         -- offline FIM over a trace's transactions (the
   ground-truth path)
+* ``repro serve``        -- run the streaming ingest/query server
+* ``repro send``         -- stream a trace into a running server
 
 Trace files are detected by suffix: ``.csv`` (MSR Cambridge convention),
 ``.bin`` (this repo's binary format), ``.txt`` (blkparse-style text).
+A trailing ``.gz`` on any of them reads/writes through gzip.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from ..trace.io import (
     save_binary,
     save_blkparse_text,
     save_msr_csv,
+    trace_format_suffix,
 )
 from ..trace.record import TraceRecord
 from ..trace.stats import compute_stats
@@ -60,9 +64,10 @@ def load_trace(path: str,
 
     Under a non-strict ``policy``, malformed rows are skipped (and sampled
     into a dead-letter buffer under ``quarantine``) with a summary printed
-    to stderr instead of aborting the run.
+    to stderr instead of aborting the run.  A ``.gz`` suffix on any
+    format reads through gzip (``trace.csv.gz`` etc.).
     """
-    suffix = Path(path).suffix.lower()
+    suffix = trace_format_suffix(path)
     report = IngestReport()
     if suffix == ".csv":
         records = load_msr_csv(path, policy=policy, report=report)
@@ -73,7 +78,8 @@ def load_trace(path: str,
     else:
         raise SystemExit(
             f"cannot infer trace format of {path!r}; "
-            f"use .csv (MSR), .bin (binary), or .txt (blkparse)"
+            f"use .csv (MSR), .bin (binary), or .txt (blkparse), "
+            f"optionally with a .gz suffix"
         )
     if report.rows_bad:
         print(
@@ -106,7 +112,7 @@ def _add_error_policy_flag(parser: argparse.ArgumentParser) -> None:
 
 
 def save_trace(records: List[TraceRecord], path: str) -> None:
-    suffix = Path(path).suffix.lower()
+    suffix = trace_format_suffix(path)
     if suffix == ".csv":
         save_msr_csv(records, path)
     elif suffix == ".bin":
@@ -116,7 +122,8 @@ def save_trace(records: List[TraceRecord], path: str) -> None:
     else:
         raise SystemExit(
             f"cannot infer trace format of {path!r}; "
-            f"use .csv (MSR), .bin (binary), or .txt (blkparse)"
+            f"use .csv (MSR), .bin (binary), or .txt (blkparse), "
+            f"optionally with a .gz suffix"
         )
 
 
@@ -323,6 +330,100 @@ def cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _address_from(args: argparse.Namespace):
+    if args.unix:
+        return args.unix
+    if args.port is None:
+        raise SystemExit("need --unix PATH or --port N")
+    return (args.host, args.port)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from ..resilience.service import ResilientCharacterizationService
+    from ..server.server import CharacterizationServer
+    from ..telemetry.metrics import get_default_registry
+
+    registry = get_default_registry()
+    config = AnalyzerConfig(
+        item_capacity=args.capacity,
+        correlation_capacity=args.capacity,
+    )
+
+    def service_factory():
+        return ResilientCharacterizationService(
+            config=AnalyzerConfig(
+                item_capacity=args.capacity,
+                correlation_capacity=args.capacity,
+            ),
+            min_support=args.support,
+            shards=args.shards,
+            snapshot_interval=args.snapshot_interval,
+            registry=registry,
+        )
+
+    service = ResilientCharacterizationService(
+        config=config,
+        min_support=args.support,
+        shards=args.shards,
+        snapshot_interval=args.snapshot_interval,
+        registry=registry,
+    )
+    server = CharacterizationServer(
+        service,
+        unix_path=args.unix,
+        host=args.host,
+        port=args.port if args.port is not None else 0,
+        soft_limit=args.soft_limit,
+        hard_limit=args.hard_limit,
+        checkpoint_path=args.checkpoint,
+        service_factory=service_factory,
+        max_tenants=args.max_tenants,
+        registry=registry,
+    )
+    where = args.unix if args.unix else f"{args.host}:{args.port}"
+    print(f"serving on {where} "
+          f"(shards={args.shards}, capacity={args.capacity}, "
+          f"soft={args.soft_limit}, hard={args.hard_limit}); "
+          f"Ctrl-C to drain and exit", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    stats = service.monitor.stats
+    print(f"drained: {stats.events_seen} events, "
+          f"{service.transactions} transactions characterized")
+    if args.checkpoint:
+        print(f"checkpointed to {args.checkpoint}")
+    return 0
+
+
+def cmd_send(args: argparse.Namespace) -> int:
+    from ..monitor.events import BlockIOEvent
+    from ..server.client import BatchingWriter, CharacterizationClient
+
+    records = load_trace(args.trace, _policy_from(args))
+    client = CharacterizationClient(
+        _address_from(args), tenant=args.tenant
+    )
+    with client:
+        with BatchingWriter(client, max_batch=args.batch_size) as writer:
+            for record in records:
+                writer.add(BlockIOEvent.from_record(record))
+        print(f"sent {client.events_sent} events in "
+              f"{client.frames_sent} frames "
+              f"({client.throttle_count} throttles, "
+              f"{client.reconnects} reconnects)")
+        if args.top:
+            detected = client.query_top(k=args.top,
+                                        min_support=args.support)
+            print(f"\ntop correlations (support >= {args.support}):")
+            for pair, tally in detected:
+                print(f"  {pair}  x{tally}")
+            if not detected:
+                print("  (none)")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -427,6 +528,50 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-transaction", type=int, default=8)
     mine.add_argument("--top", type=int, default=20)
     mine.set_defaults(handler=cmd_mine)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the streaming ingest/query server"
+    )
+    serve.add_argument("--unix", metavar="PATH",
+                       help="serve on a Unix socket at PATH")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="serve on TCP host:port (ignored with --unix)")
+    serve.add_argument("--capacity", type=int, default=16 * 1024)
+    serve.add_argument("--support", type=int, default=5)
+    serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument("--snapshot-interval", type=int, default=1000)
+    serve.add_argument("--soft-limit", type=int, default=8192,
+                       help="queued events per connection before THROTTLE "
+                            "replies (default 8192)")
+    serve.add_argument("--hard-limit", type=int, default=65536,
+                       help="queued events per connection before frames "
+                            "are rejected (default 65536)")
+    serve.add_argument("--checkpoint", metavar="PATH",
+                       help="restore from PATH at startup if present; "
+                            "checkpoint there on shutdown and on "
+                            "CHECKPOINT frames")
+    serve.add_argument("--max-tenants", type=int, default=16)
+    serve.set_defaults(handler=cmd_serve)
+
+    send = subparsers.add_parser(
+        "send", help="stream a trace file into a running server"
+    )
+    send.add_argument("trace")
+    _add_error_policy_flag(send)
+    send.add_argument("--unix", metavar="PATH",
+                      help="connect to a Unix socket at PATH")
+    send.add_argument("--host", default="127.0.0.1")
+    send.add_argument("--port", type=int, default=None)
+    send.add_argument("--batch-size", type=int, default=512,
+                      help="events per BATCH frame (default 512)")
+    send.add_argument("--tenant", default=None,
+                      help="route events onto this tenant's engine")
+    send.add_argument("--top", type=int, default=0,
+                      help="after streaming, query and print the top-K "
+                           "correlations (default 0: skip)")
+    send.add_argument("--support", type=int, default=5)
+    send.set_defaults(handler=cmd_send)
 
     return parser
 

@@ -34,6 +34,7 @@ from .faults import (
     flip_bits,
 )
 from .guard import DEFAULT_FAILURE_LIMIT, SinkGuard
+from .policy import BackoffPolicy
 from .service import (
     HEALTH_DEGRADED,
     HEALTH_OK,
@@ -42,6 +43,7 @@ from .service import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "CheckpointCorruptError",
     "ClockPolicy",
     "DEFAULT_FAILURE_LIMIT",

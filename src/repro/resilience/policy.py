@@ -1,0 +1,44 @@
+"""Retry/backoff policy shared by every layer that talks to flaky I/O.
+
+The resilient service retries checkpoint writes, and the serving layer's
+client retries connects and overloaded-server rejections; both follow the
+same capped-exponential-backoff discipline, so the schedule lives in one
+place.  A :class:`BackoffPolicy` is a pure value object: it computes
+delays, it never sleeps -- the caller owns the clock so tests can inject
+a fake one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff: ``base * 2**attempt``, capped at ``cap``.
+
+    ``retries`` is the number of *re*-tries after the initial attempt; a
+    policy with ``retries=0`` means "try once, never retry".
+    """
+
+    base: float = 0.05
+    cap: float = 2.0
+    retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base <= 0 or self.cap < self.base:
+            raise ValueError(
+                f"need 0 < base <= cap, got base={self.base} cap={self.cap}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        return min(self.cap, self.base * (2 ** attempt))
+
+    def delays(self) -> Iterator[float]:
+        """The full schedule: one delay per permitted retry."""
+        for attempt in range(self.retries):
+            yield self.delay(attempt)

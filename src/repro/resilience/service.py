@@ -35,6 +35,7 @@ from ..engine.checkpoint import (
 from ..engine.sharded import ShardedAnalyzer
 from ..service import CharacterizationService, SnapshotObserver
 from .guard import DEFAULT_FAILURE_LIMIT, SinkGuard
+from .policy import BackoffPolicy
 
 HEALTH_OK = "ok"
 HEALTH_DEGRADED = "degraded"
@@ -76,15 +77,12 @@ class ResilientCharacterizationService(CharacterizationService):
         times after the initial try, waiting ``backoff_base * 2**attempt``
         seconds, capped at ``backoff_cap``.
         """
-        if max_io_retries < 0:
-            raise ValueError(
-                f"max_io_retries must be >= 0, got {max_io_retries}"
+        try:
+            self.backoff_policy = BackoffPolicy(
+                base=backoff_base, cap=backoff_cap, retries=max_io_retries
             )
-        if backoff_base <= 0 or backoff_cap < backoff_base:
-            raise ValueError(
-                f"need 0 < backoff_base <= backoff_cap, got "
-                f"base={backoff_base} cap={backoff_cap}"
-            )
+        except ValueError as exc:
+            raise ValueError(f"bad retry configuration: {exc}") from exc
         super().__init__(*args, **kwargs)
         self.max_io_retries = max_io_retries
         self.backoff_base = backoff_base
@@ -161,18 +159,17 @@ class ResilientCharacterizationService(CharacterizationService):
     # -- retrying checkpoint I/O ----------------------------------------------
 
     def _with_retries(self, operation: Callable[[], object]) -> object:
-        """Run ``operation``, retrying OSError with capped backoff."""
+        """Run ``operation``, retrying OSError per the backoff policy."""
+        policy = self.backoff_policy
         attempt = 0
         while True:
             try:
                 return operation()
             except OSError as exc:
                 self._last_error = f"{type(exc).__name__}: {exc}"
-                if attempt >= self.max_io_retries:
+                if attempt >= policy.retries:
                     raise
-                delay = min(self.backoff_cap,
-                            self.backoff_base * (2 ** attempt))
-                self._sleep(delay)
+                self._sleep(policy.delay(attempt))
                 attempt += 1
                 self._checkpoint_retries += 1
 

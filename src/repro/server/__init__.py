@@ -1,0 +1,75 @@
+"""Serving layer: stream block I/O events in, query correlations out.
+
+The paper's framework is explicitly *online* -- the synopsis answers
+queries while events are still arriving -- and this package gives it the
+network boundary a deployment needs:
+
+* :class:`CharacterizationServer` -- asyncio TCP/Unix-socket server
+  speaking length-prefixed NDJSON frames, with per-connection bounded
+  ingest queues (soft ``THROTTLE`` / hard reject backpressure), optional
+  per-tenant engines, graceful drain-and-checkpoint shutdown, and full
+  telemetry;
+* :class:`CharacterizationClient` / :class:`BatchingWriter` -- the
+  blocking producer side, with resilience-layer retry/backoff, automatic
+  reconnect, and count/age-bounded batch flushing;
+* :class:`ServerThread` -- run the server on a background event loop for
+  synchronous hosts (tests, benchmarks, notebooks);
+* :mod:`~repro.server.protocol` -- the wire format itself.
+
+See ``docs/serving.md`` for the protocol spec and deployment examples.
+"""
+
+from .backpressure import (
+    Admission,
+    BoundedIngestQueue,
+    DEFAULT_HARD_LIMIT,
+    DEFAULT_SOFT_LIMIT,
+    QueueStats,
+)
+from .client import (
+    BatchingWriter,
+    CharacterizationClient,
+    ServerError,
+    ServerOverloadedError,
+)
+from .metrics import ServerMetrics
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    Frame,
+    FrameDecoder,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+)
+from .server import CharacterizationServer, ServerThread
+from .tenants import (
+    DEFAULT_MAX_TENANTS,
+    DEFAULT_TENANT,
+    TenantLimitError,
+    TenantRouter,
+)
+
+__all__ = [
+    "Admission",
+    "BatchingWriter",
+    "BoundedIngestQueue",
+    "CharacterizationClient",
+    "CharacterizationServer",
+    "DEFAULT_HARD_LIMIT",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_MAX_TENANTS",
+    "DEFAULT_SOFT_LIMIT",
+    "DEFAULT_TENANT",
+    "Frame",
+    "FrameDecoder",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueueStats",
+    "ServerError",
+    "ServerMetrics",
+    "ServerOverloadedError",
+    "ServerThread",
+    "TenantLimitError",
+    "TenantRouter",
+    "encode_frame",
+]

@@ -1,0 +1,133 @@
+"""Bounded per-connection ingest queues with two-level backpressure.
+
+The serving layer must never buffer without bound: a producer faster than
+the synopsis engine would otherwise grow the heap until the whole server
+dies, taking every well-behaved connection with it.  Each connection gets
+one :class:`BoundedIngestQueue` measured in *events* (not frames -- a
+single 8k-event BATCH is 8k units of work), with two thresholds:
+
+* **soft limit** -- an offer that lands the queue above it is *accepted*
+  but acknowledged with ``THROTTLE``, telling the client to slow down
+  before things get worse.  Nothing is lost.
+* **hard limit** -- an offer that would push the queue past it is
+  *rejected* whole (never partially: a half-applied batch would corrupt
+  transaction grouping).  Rejected frames and events are counted as dead
+  letters; the client sees ``ERROR code=overloaded`` and may retry after
+  backoff.
+
+The queue itself is a plain synchronous data structure; the asyncio server
+owns the waiting/waking.  That keeps it unit-testable without a loop and
+makes the admission decision atomic by construction (one event loop
+thread).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..monitor.events import BlockIOEvent
+
+#: Defaults sized for roughly one second of a fast producer.
+DEFAULT_SOFT_LIMIT = 8192
+DEFAULT_HARD_LIMIT = 65536
+
+
+class Admission(enum.Enum):
+    """Outcome of offering a frame's events to the queue."""
+
+    ACCEPTED = "accepted"
+    THROTTLED = "throttled"   # accepted, but the client should back off
+    REJECTED = "rejected"     # dropped whole; nothing was enqueued
+
+
+@dataclass
+class QueueStats:
+    """Counters one queue has accumulated over its lifetime."""
+
+    offered_frames: int = 0
+    offered_events: int = 0
+    accepted_events: int = 0
+    throttled_frames: int = 0
+    rejected_frames: int = 0
+    rejected_events: int = 0
+    high_watermark: int = 0
+
+
+class BoundedIngestQueue:
+    """FIFO of event batches, bounded in total events."""
+
+    def __init__(self, soft_limit: int = DEFAULT_SOFT_LIMIT,
+                 hard_limit: int = DEFAULT_HARD_LIMIT) -> None:
+        if soft_limit < 1:
+            raise ValueError(f"soft_limit must be >= 1, got {soft_limit}")
+        if hard_limit < soft_limit:
+            raise ValueError(
+                f"hard_limit ({hard_limit}) must be >= soft_limit "
+                f"({soft_limit})"
+            )
+        self.soft_limit = soft_limit
+        self.hard_limit = hard_limit
+        self.stats = QueueStats()
+        self._batches: Deque[Tuple[str, List[BlockIOEvent]]] = deque()
+        self._depth = 0
+
+    @property
+    def depth(self) -> int:
+        """Events currently queued."""
+        return self._depth
+
+    @property
+    def pending_frames(self) -> int:
+        return len(self._batches)
+
+    @property
+    def empty(self) -> bool:
+        return not self._batches
+
+    def offer(self, events: Sequence[BlockIOEvent],
+              tag: str = "") -> Admission:
+        """Admit one frame's events, whole or not at all.
+
+        ``tag`` rides along with the batch (the server stores the tenant
+        name there) and comes back out of :meth:`pop` unchanged.
+        """
+        stats = self.stats
+        stats.offered_frames += 1
+        stats.offered_events += len(events)
+        if self._depth + len(events) > self.hard_limit:
+            stats.rejected_frames += 1
+            stats.rejected_events += len(events)
+            return Admission.REJECTED
+        self._batches.append((tag, list(events)))
+        self._depth += len(events)
+        stats.accepted_events += len(events)
+        if self._depth > stats.high_watermark:
+            stats.high_watermark = self._depth
+        if self._depth > self.soft_limit:
+            stats.throttled_frames += 1
+            return Admission.THROTTLED
+        return Admission.ACCEPTED
+
+    def pop(self) -> Optional[Tuple[str, List[BlockIOEvent]]]:
+        """Dequeue the oldest ``(tag, batch)``, or ``None`` when empty."""
+        if not self._batches:
+            return None
+        tag, batch = self._batches.popleft()
+        self._depth -= len(batch)
+        return tag, batch
+
+    def drain(self) -> List[Tuple[str, List[BlockIOEvent]]]:
+        """Dequeue everything, oldest first."""
+        drained = list(self._batches)
+        self._batches.clear()
+        self._depth = 0
+        return drained
+
+    def retry_after(self) -> float:
+        """Suggested client pause, scaled to how far past soft we are."""
+        over = max(0, self._depth - self.soft_limit)
+        span = max(1, self.hard_limit - self.soft_limit)
+        return round(0.01 + 0.5 * (over / span), 4)

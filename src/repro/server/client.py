@@ -1,0 +1,289 @@
+"""Blocking client for the serving layer.
+
+:class:`CharacterizationClient` speaks the frame protocol over TCP or a
+Unix socket with the retry discipline of the resilience layer
+(:class:`~repro.resilience.BackoffPolicy`): a connection failure
+reconnects and resends with capped exponential backoff, and a hard
+``overloaded`` rejection backs off and re-offers the same frame -- so a
+producer pointed at a struggling server degrades to the server's pace
+instead of losing data.  ``THROTTLE`` acknowledgements are obeyed by
+sleeping the server-suggested ``retry_after`` before the next send.
+
+The protocol is strict request/reply per connection, which keeps the
+client a simple loop: write one frame, read frames until one reply.
+
+:class:`BatchingWriter` is the producer-side ergonomic: hand it events one
+at a time and it flushes ``BATCH`` frames by count or age, the exact
+client-side mirror of the service's ``submit_many`` fast path.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.extent import Extent, ExtentPair
+from ..monitor.events import BlockIOEvent
+from ..resilience.policy import BackoffPolicy
+from . import protocol
+from .protocol import DEFAULT_MAX_FRAME_BYTES, FrameDecoder
+
+Address = Union[Tuple[str, int], str]
+
+_RECV_CHUNK = 256 * 1024
+
+
+class ServerError(RuntimeError):
+    """The server answered with an ERROR frame."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServerOverloadedError(ServerError):
+    """Hard backpressure: the frame was rejected, retries exhausted."""
+
+
+class CharacterizationClient:
+    """Synchronous request/reply client with reconnect and backpressure.
+
+    ``address`` is either a ``(host, port)`` tuple (TCP) or a filesystem
+    path (Unix socket).  The client connects lazily on first use and can
+    be used as a context manager.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        *,
+        tenant: Optional[str] = None,
+        timeout: float = 30.0,
+        policy: Optional[BackoffPolicy] = None,
+        obey_throttle: bool = True,
+        sleep=time.sleep,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.address = address
+        self.tenant = tenant
+        self.timeout = timeout
+        self.policy = policy if policy is not None else BackoffPolicy()
+        self.obey_throttle = obey_throttle
+        self._sleep = sleep
+        self._max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
+        # -- producer-visible counters -----------------------------------
+        self.events_sent = 0
+        self.frames_sent = 0
+        self.throttle_count = 0
+        self.reconnects = 0
+        self.overload_retries = 0
+
+    # -- connection management ------------------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.address)
+        else:
+            host, port = self.address
+            sock = socket.create_connection((host, port),
+                                            timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._decoder = FrameDecoder(max_frame_bytes=self._max_frame_bytes)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "CharacterizationClient":
+        self.connect()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request/reply core ---------------------------------------------------
+
+    def _send_and_receive(self, data: bytes) -> Dict[str, Any]:
+        self.connect()
+        sock = self._sock
+        sock.sendall(data)
+        while True:
+            chunk = sock.recv(_RECV_CHUNK)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            frames = self._decoder.feed(chunk)
+            if frames:
+                frame = frames[0]
+                if not frame.ok:
+                    raise protocol.ProtocolError(frame.error)
+                return frame.payload
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame and return its reply, reconnecting on failure.
+
+        Connection errors retry per the backoff policy (note: a frame may
+        be delivered twice if the failure hit after the server read it --
+        ingest is at-least-once under reconnect).  An ``overloaded``
+        rejection also retries after backoff, since the server sheds load
+        transiently by design.  Any other ERROR raises
+        :class:`ServerError` immediately.
+        """
+        if self.tenant is not None:
+            payload.setdefault("tenant", self.tenant)
+        data = protocol.encode_frame(payload)
+        policy = self.policy
+        attempt = 0
+        while True:
+            try:
+                reply = self._send_and_receive(data)
+            except (ConnectionError, socket.timeout, OSError):
+                self.close()
+                if attempt >= policy.retries:
+                    raise
+                self._sleep(policy.delay(attempt))
+                attempt += 1
+                self.reconnects += 1
+                continue
+            if reply.get("type") == protocol.REPLY_ERROR:
+                code = reply.get("code", protocol.ERR_INTERNAL)
+                message = reply.get("error", "")
+                if code == protocol.ERR_OVERLOADED:
+                    if attempt >= policy.retries:
+                        raise ServerOverloadedError(code, message)
+                    self._sleep(policy.delay(attempt))
+                    attempt += 1
+                    self.overload_retries += 1
+                    continue
+                raise ServerError(code, message)
+            if reply.get("type") == protocol.REPLY_THROTTLE:
+                self.throttle_count += 1
+                if self.obey_throttle:
+                    self._sleep(float(reply.get("retry_after", 0.05)))
+            return reply
+
+    # -- protocol verbs -------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        reply = self.request({"type": protocol.FRAME_PING})
+        if reply.get("type") != protocol.REPLY_PONG:
+            raise protocol.ProtocolError(f"expected PONG, got {reply!r}")
+        return reply
+
+    def send_event(self, event: BlockIOEvent) -> Dict[str, Any]:
+        reply = self.request({
+            "type": protocol.FRAME_EVENT,
+            "event": protocol.event_to_payload(event),
+        })
+        self.frames_sent += 1
+        self.events_sent += 1
+        return reply
+
+    def send_events(self, events: List[BlockIOEvent]) -> Dict[str, Any]:
+        """Send one BATCH frame; returns the (OK or THROTTLE) reply."""
+        reply = self.request(protocol.batch_frame(events))
+        self.frames_sent += 1
+        self.events_sent += int(reply.get("accepted", len(events)))
+        return reply
+
+    def query_top(
+        self,
+        k: int = 20,
+        min_support: int = 2,
+        kind: Optional[str] = None,
+    ) -> List[Tuple[ExtentPair, int]]:
+        """Top-``k`` frequent correlations, strongest first."""
+        payload: Dict[str, Any] = {
+            "type": protocol.FRAME_QUERY, "what": "correlations",
+            "k": k, "min_support": min_support,
+        }
+        if kind is not None:
+            payload["kind"] = kind
+        reply = self.request(payload)
+        return [protocol.pair_from_payload(entry)
+                for entry in reply.get("pairs", [])]
+
+    def query_items(self, k: int = 20,
+                    min_support: int = 2) -> List[Tuple[Extent, int]]:
+        """Top-``k`` frequent extents, strongest first."""
+        reply = self.request({
+            "type": protocol.FRAME_QUERY, "what": "items",
+            "k": k, "min_support": min_support,
+        })
+        return [protocol.extent_from_payload(entry)
+                for entry in reply.get("items", [])]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"type": protocol.FRAME_STATS})["stats"]
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return self.request({"type": protocol.FRAME_CHECKPOINT})
+
+    def metrics_prometheus(self) -> str:
+        reply = self.request({"type": protocol.FRAME_METRICS})
+        return reply.get("prometheus", "")
+
+
+class BatchingWriter:
+    """Client-side event batcher: flush by count or age.
+
+    ``max_batch`` bounds the events per BATCH frame; ``max_age`` bounds
+    how long the oldest buffered event waits (checked on every ``add``,
+    so a stalled producer should call :meth:`flush` -- or use the context
+    manager, which flushes on exit).
+    """
+
+    def __init__(self, client: CharacterizationClient,
+                 max_batch: int = 512, max_age: float = 0.25) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_age <= 0:
+            raise ValueError(f"max_age must be > 0, got {max_age}")
+        self.client = client
+        self.max_batch = max_batch
+        self.max_age = max_age
+        self.batches_flushed = 0
+        self._buffer: List[BlockIOEvent] = []
+        self._oldest: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def add(self, event: BlockIOEvent) -> None:
+        buffer = self._buffer
+        if not buffer:
+            self._oldest = time.monotonic()
+        buffer.append(event)
+        if len(buffer) >= self.max_batch or \
+                time.monotonic() - self._oldest >= self.max_age:
+            self.flush()
+
+    def add_many(self, events: List[BlockIOEvent]) -> None:
+        for event in events:
+            self.add(event)
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        self._oldest = None
+        self.client.send_events(batch)
+        self.batches_flushed += 1
+
+    def __enter__(self) -> "BatchingWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()

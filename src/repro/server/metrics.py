@@ -1,0 +1,147 @@
+"""Telemetry binding for the serving layer.
+
+One :class:`ServerMetrics` instance per server, publishing into whatever
+:class:`~repro.telemetry.metrics.MetricsRegistry` the server was built
+with -- the same registry the backing service's monitor and engine publish
+to, so a single ``METRICS`` frame (or ``render_prometheus``) exposes the
+whole stack.  Instrument families:
+
+* ``repro_server_connections`` / ``repro_server_connections_total`` --
+  live and lifetime connection counts;
+* ``repro_server_frames_total{type=...}`` -- request frames by type,
+  plus ``repro_server_frame_errors_total{code=...}`` for decode or
+  dispatch failures;
+* ``repro_server_frame_latency_seconds{type=...}`` -- dispatch wall time
+  per frame type (ingest frames measure admission, not drain);
+* ``repro_server_throttles_total`` / ``repro_server_rejected_frames_total``
+  / ``repro_server_rejected_events_total`` -- backpressure outcomes
+  (rejections are the dead-letter count);
+* ``repro_server_queue_depth`` -- events queued across live connections,
+  with ``repro_server_queue_high_watermark`` the worst depth any
+  connection ever reached;
+* ``repro_server_ingested_events_total`` -- events drained into the
+  engine, and ``repro_server_poisoned_frames_total`` batches the engine
+  raised on (degrading that batch, not the server);
+* ``repro_server_bytes_read_total`` / ``repro_server_bytes_written_total``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..telemetry.metrics import MetricsRegistry, get_default_registry
+
+
+class ServerMetrics:
+    """All serving-layer instruments, no-ops under a null registry."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 depth_probe: Optional[Callable[[], int]] = None) -> None:
+        registry = registry if registry is not None else \
+            get_default_registry()
+        self.registry = registry
+        self.enabled = registry.enabled
+        self._frames = registry.counter(
+            "repro_server_frames_total",
+            "Request frames handled, by frame type",
+            labelnames=("type",),
+        )
+        self._frame_errors = registry.counter(
+            "repro_server_frame_errors_total",
+            "Frames answered with ERROR, by code",
+            labelnames=("code",),
+        )
+        self._latency = registry.histogram(
+            "repro_server_frame_latency_seconds",
+            "Dispatch wall time per frame type",
+            labelnames=("type",),
+        )
+        self._connections = registry.gauge(
+            "repro_server_connections", "Connections currently open"
+        )
+        self._connections_total = registry.counter(
+            "repro_server_connections_total", "Connections ever accepted"
+        )
+        self._throttles = registry.counter(
+            "repro_server_throttles_total",
+            "Ingest frames acknowledged with THROTTLE",
+        )
+        self._rejected_frames = registry.counter(
+            "repro_server_rejected_frames_total",
+            "Ingest frames rejected at the hard limit (dead letters)",
+        )
+        self._rejected_events = registry.counter(
+            "repro_server_rejected_events_total",
+            "Events inside rejected ingest frames",
+        )
+        self._ingested = registry.counter(
+            "repro_server_ingested_events_total",
+            "Events drained from connection queues into the engine",
+        )
+        self._poisoned = registry.counter(
+            "repro_server_poisoned_frames_total",
+            "Queued batches the engine raised on (dropped, counted)",
+        )
+        self._bytes_read = registry.counter(
+            "repro_server_bytes_read_total", "Bytes read off client sockets"
+        )
+        self._bytes_written = registry.counter(
+            "repro_server_bytes_written_total",
+            "Bytes written back to clients",
+        )
+        self._queue_depth = registry.gauge(
+            "repro_server_queue_depth",
+            "Events queued across live connections",
+        )
+        self._queue_watermark = registry.gauge(
+            "repro_server_queue_high_watermark",
+            "Highest per-connection queue depth seen",
+        )
+        self._depth_probe = depth_probe
+        self._watermark = 0
+        if depth_probe is not None and self.enabled:
+            registry.register_collector(self._collect)
+
+    def _collect(self) -> None:
+        if self._depth_probe is not None:
+            self._queue_depth.set(self._depth_probe())
+        self._queue_watermark.set(self._watermark)
+
+    # -- recording hooks (cheap, callable on every frame) --------------------
+
+    def frame(self, kind: str, seconds: float) -> None:
+        self._frames.labels(type=kind).inc()
+        self._latency.labels(type=kind).observe(seconds)
+
+    def frame_error(self, code: str) -> None:
+        self._frame_errors.labels(code=code).inc()
+
+    def connection_opened(self) -> None:
+        self._connections_total.inc()
+        self._connections.inc()
+
+    def connection_closed(self) -> None:
+        self._connections.dec()
+
+    def throttled(self) -> None:
+        self._throttles.inc()
+
+    def rejected(self, events: int) -> None:
+        self._rejected_frames.inc()
+        self._rejected_events.inc(events)
+
+    def ingested(self, events: int) -> None:
+        self._ingested.inc(events)
+
+    def poisoned(self) -> None:
+        self._poisoned.inc()
+
+    def bytes_read(self, count: int) -> None:
+        self._bytes_read.inc(count)
+
+    def bytes_written(self, count: int) -> None:
+        self._bytes_written.inc(count)
+
+    def note_depth(self, depth: int) -> None:
+        if depth > self._watermark:
+            self._watermark = depth

@@ -1,0 +1,282 @@
+"""Wire protocol for the serving layer: length-prefixed NDJSON frames.
+
+Every frame on the wire is::
+
+    <4-byte big-endian unsigned length> <UTF-8 JSON object> '\\n'
+
+The length covers the JSON body *including* the trailing newline.  The
+newline buys nothing for machines but keeps captures greppable -- ``nc -U``
+against a server socket prints one JSON object per line.  The JSON object
+always carries a ``"type"`` key naming the frame; everything else is
+frame-specific payload (see ``docs/serving.md`` for the full spec).
+
+Request frames (client -> server): ``EVENT``, ``BATCH``, ``QUERY``,
+``STATS``, ``CHECKPOINT``, ``METRICS``, ``PING``.  Reply frames
+(server -> client): ``OK``, ``THROTTLE``, ``RESULT``, ``PONG``, ``ERROR``.
+``THROTTLE`` is a *positive* acknowledgement -- the events were accepted --
+that also tells the client to back off; a hard rejection is an ``ERROR``
+with ``code="overloaded"``.
+
+:class:`FrameDecoder` is an incremental push parser: feed it whatever the
+transport produced (half a length prefix, three frames at once) and it
+yields complete frames.  Decode problems surface as :class:`Frame` objects
+with ``error`` set rather than exceptions, because a server must answer a
+malformed frame and *keep the connection*; an oversized frame is skipped
+byte-exactly (the length prefix tells us how much to discard), so the
+stream stays in sync without buffering an attacker-sized body.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.extent import Extent, ExtentPair
+from ..monitor.events import BlockIOEvent
+from ..trace.record import OpType
+
+PROTOCOL_VERSION = 1
+
+#: Default ceiling on one frame's body; a BATCH of ~8k events fits easily.
+DEFAULT_MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+# Request frame types.
+FRAME_EVENT = "EVENT"
+FRAME_BATCH = "BATCH"
+FRAME_QUERY = "QUERY"
+FRAME_STATS = "STATS"
+FRAME_CHECKPOINT = "CHECKPOINT"
+FRAME_METRICS = "METRICS"
+FRAME_PING = "PING"
+
+REQUEST_TYPES = (
+    FRAME_EVENT, FRAME_BATCH, FRAME_QUERY, FRAME_STATS,
+    FRAME_CHECKPOINT, FRAME_METRICS, FRAME_PING,
+)
+
+# Reply frame types.
+REPLY_OK = "OK"
+REPLY_THROTTLE = "THROTTLE"
+REPLY_RESULT = "RESULT"
+REPLY_PONG = "PONG"
+REPLY_ERROR = "ERROR"
+
+# Machine-readable ERROR codes.
+ERR_MALFORMED = "malformed"
+ERR_TOO_LARGE = "too_large"
+ERR_OVERLOADED = "overloaded"
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNAVAILABLE = "unavailable"
+ERR_INTERNAL = "internal"
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire protocol."""
+
+
+@dataclass
+class Frame:
+    """One decoded frame: either a payload or a decode error, never both."""
+
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    error_code: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def type(self) -> Optional[str]:
+        if self.payload is None:
+            return None
+        kind = self.payload.get("type")
+        return kind if isinstance(kind, str) else None
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialise one frame, length prefix included."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+    return _LENGTH.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder resilient to fragmentation and bad frames.
+
+    ``feed`` accepts any byte string (including the empty one) and returns
+    the frames completed by it.  State carries across calls, so a frame
+    split over N TCP reads decodes exactly once, after the final read.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 2:
+            raise ValueError(
+                f"max_frame_bytes must be >= 2, got {max_frame_bytes}"
+            )
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        #: Remaining bytes of an oversized body still being discarded,
+        #: paired with its declared size (for the eventual error frame).
+        self._discarding = 0
+        self._discarded_size = 0
+
+    def feed(self, data: bytes) -> List[Frame]:
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Optional[Frame]:
+        buffer = self._buffer
+        if self._discarding:
+            drop = min(self._discarding, len(buffer))
+            del buffer[:drop]
+            self._discarding -= drop
+            if self._discarding:
+                return None
+            size = self._discarded_size
+            return Frame(
+                error=f"frame of {size} bytes exceeds limit "
+                      f"{self.max_frame_bytes}",
+                error_code=ERR_TOO_LARGE,
+            )
+        if len(buffer) < _LENGTH.size:
+            return None
+        (length,) = _LENGTH.unpack_from(buffer)
+        if length > self.max_frame_bytes:
+            del buffer[:_LENGTH.size]
+            self._discarding = length
+            self._discarded_size = length
+            return self._next_frame()
+        if len(buffer) < _LENGTH.size + length:
+            return None
+        body = bytes(buffer[_LENGTH.size:_LENGTH.size + length])
+        del buffer[:_LENGTH.size + length]
+        try:
+            payload = json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return Frame(error=f"malformed JSON: {exc}",
+                         error_code=ERR_MALFORMED)
+        if not isinstance(payload, dict) or \
+                not isinstance(payload.get("type"), str):
+            return Frame(error="frame must be a JSON object with a "
+                               "string 'type'",
+                         error_code=ERR_MALFORMED)
+        return Frame(payload=payload)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered while waiting for the rest of a frame."""
+        return len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# Payload codecs
+# ---------------------------------------------------------------------------
+
+def event_to_payload(event: BlockIOEvent) -> Dict[str, Any]:
+    """A compact JSON shape for one issue event."""
+    payload: Dict[str, Any] = {
+        "ts": event.timestamp,
+        "op": event.op.value,
+        "start": event.start,
+        "len": event.length,
+    }
+    if event.pid:
+        payload["pid"] = event.pid
+    if event.latency is not None:
+        payload["lat"] = event.latency
+    if event.pgid:
+        payload["pgid"] = event.pgid
+    return payload
+
+
+def event_from_payload(payload: Any) -> BlockIOEvent:
+    """Parse one event payload; raises :class:`ProtocolError` when invalid."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"event must be an object, got {type(payload).__name__}")
+    try:
+        return BlockIOEvent(
+            timestamp=float(payload["ts"]),
+            pid=int(payload.get("pid", 0)),
+            op=OpType.parse(payload["op"]),
+            start=int(payload["start"]),
+            length=int(payload["len"]),
+            latency=(float(payload["lat"])
+                     if payload.get("lat") is not None else None),
+            pgid=int(payload.get("pgid", 0)),
+        )
+    except KeyError as exc:
+        raise ProtocolError(f"event missing field {exc.args[0]!r}") from exc
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad event field: {exc}") from exc
+
+
+def events_from_frame(payload: Dict[str, Any]) -> List[BlockIOEvent]:
+    """The events an EVENT or BATCH frame carries."""
+    kind = payload.get("type")
+    if kind == FRAME_EVENT:
+        return [event_from_payload(payload.get("event"))]
+    raw = payload.get("events")
+    if not isinstance(raw, list):
+        raise ProtocolError("BATCH frame needs an 'events' array")
+    return [event_from_payload(entry) for entry in raw]
+
+
+def pair_to_payload(pair: ExtentPair, count: int) -> Dict[str, Any]:
+    return {
+        "a": [pair.first.start, pair.first.length],
+        "b": [pair.second.start, pair.second.length],
+        "count": count,
+    }
+
+
+def pair_from_payload(payload: Dict[str, Any]) -> Tuple[ExtentPair, int]:
+    try:
+        a_start, a_length = payload["a"]
+        b_start, b_length = payload["b"]
+        pair = ExtentPair(Extent(int(a_start), int(a_length)),
+                          Extent(int(b_start), int(b_length)))
+        return pair, int(payload["count"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad pair payload: {exc}") from exc
+
+
+def extent_to_payload(extent: Extent, count: int) -> Dict[str, Any]:
+    return {"extent": [extent.start, extent.length], "count": count}
+
+
+def extent_from_payload(payload: Dict[str, Any]) -> Tuple[Extent, int]:
+    try:
+        start, length = payload["extent"]
+        return Extent(int(start), int(length)), int(payload["count"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad extent payload: {exc}") from exc
+
+
+def error_frame(code: str, message: str,
+                request_id: Optional[Any] = None) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "type": REPLY_ERROR, "code": code, "error": message,
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def batch_frame(events: Iterable[BlockIOEvent],
+                tenant: Optional[str] = None) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "type": FRAME_BATCH,
+        "events": [event_to_payload(event) for event in events],
+    }
+    if tenant:
+        payload["tenant"] = tenant
+    return payload

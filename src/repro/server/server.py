@@ -1,0 +1,550 @@
+"""The asyncio serving layer: stream events in, query correlations out.
+
+:class:`CharacterizationServer` turns the in-process
+:class:`~repro.service.CharacterizationService` into a long-lived network
+service (the deployment shape every online-mining system in this line of
+work assumes): clients connect over TCP or a Unix socket, stream ``EVENT``
+/ ``BATCH`` frames in, and ask ``QUERY`` / ``STATS`` / ``METRICS`` /
+``CHECKPOINT`` questions of the live synopsis.
+
+Design points:
+
+* **one event loop, no locks** -- frame dispatch and ingest both run on
+  the loop thread, so engine state needs no synchronisation.  Ingest is
+  decoupled from the socket by a per-connection
+  :class:`~repro.server.backpressure.BoundedIngestQueue` drained by a
+  per-connection task: admission (and the client's acknowledgement) is
+  immediate, the synopsis catches up concurrently with network round
+  trips, and a producer that outruns the engine sees ``THROTTLE`` then
+  hard rejection instead of growing the heap.
+* **read-your-writes** -- a ``QUERY``/``STATS``/``CHECKPOINT`` frame first
+  drains the *same connection's* pending ingest, so a client that streams
+  a trace and immediately asks for the top-K sees every event it sent.
+* **failure isolation** -- the default backend is
+  :class:`~repro.resilience.ResilientCharacterizationService`; a batch the
+  engine raises on (a poisoned frame) is dropped and counted against that
+  connection, and a malformed or oversized frame gets an ``ERROR`` reply
+  while the connection lives on.
+* **graceful drain** -- :meth:`shutdown` stops accepting, drains every
+  queue, flushes every tenant's monitor (the final open transaction
+  window reaches the analyzer), and checkpoints via the resilience
+  layer's atomic, retried writer when a checkpoint path is configured.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from ..core.typed import CorrelationKind
+from ..monitor.events import BlockIOEvent
+from ..resilience.service import ResilientCharacterizationService
+from ..service import CharacterizationService
+from ..telemetry.export import render_prometheus
+from ..telemetry.metrics import MetricsRegistry, get_default_registry
+from . import protocol
+from .backpressure import (
+    Admission,
+    BoundedIngestQueue,
+    DEFAULT_HARD_LIMIT,
+    DEFAULT_SOFT_LIMIT,
+)
+from .metrics import ServerMetrics
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from .tenants import (
+    DEFAULT_MAX_TENANTS,
+    DEFAULT_TENANT,
+    ServiceFactory,
+    TenantLimitError,
+    TenantRouter,
+)
+
+#: ``host:port`` for TCP, or a filesystem path for a Unix socket.
+Address = Union[Tuple[str, int], str]
+
+_READ_CHUNK = 256 * 1024
+
+
+class _Connection:
+    """Per-connection state: decoder, bounded queue, drainer plumbing."""
+
+    _next_id = 0
+
+    def __init__(self, soft_limit: int, hard_limit: int,
+                 max_frame_bytes: int) -> None:
+        _Connection._next_id += 1
+        self.id = _Connection._next_id
+        self.decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
+        self.queue = BoundedIngestQueue(soft_limit=soft_limit,
+                                        hard_limit=hard_limit)
+        self.wake = asyncio.Event()
+        self.closing = False
+        self.poisoned_batches = 0
+        self.drainer: Optional[asyncio.Task] = None
+
+
+class CharacterizationServer:
+    """Streaming ingest/query server over TCP or a Unix socket."""
+
+    def __init__(
+        self,
+        service: Optional[CharacterizationService] = None,
+        *,
+        unix_path: Optional[Union[str, os.PathLike]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        soft_limit: int = DEFAULT_SOFT_LIMIT,
+        hard_limit: int = DEFAULT_HARD_LIMIT,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        checkpoint_path: Optional[Union[str, os.PathLike]] = None,
+        service_factory: Optional[ServiceFactory] = None,
+        max_tenants: int = DEFAULT_MAX_TENANTS,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        """``unix_path`` selects a Unix socket; otherwise TCP on
+        ``host:port`` (port 0: ephemeral, read :attr:`address` after
+        :meth:`start`).  ``service`` is the default tenant's backend
+        (default: a fresh
+        :class:`~repro.resilience.ResilientCharacterizationService`);
+        ``service_factory`` builds engines for additional tenants, and
+        defaults to more of whatever the default tenant runs.
+        """
+        registry = registry if registry is not None else \
+            get_default_registry()
+        self.registry = registry
+        if service is None:
+            service = ResilientCharacterizationService(registry=registry)
+        self.service = service
+        if service_factory is None:
+            service_factory = lambda: ResilientCharacterizationService(  # noqa: E731
+                registry=self.registry
+            )
+        self.router = TenantRouter(service_factory, max_tenants=max_tenants)
+        self.router.adopt(DEFAULT_TENANT, service)
+        self.unix_path = os.fspath(unix_path) if unix_path is not None \
+            else None
+        self.host = host
+        self.port = port
+        self.soft_limit = soft_limit
+        self.hard_limit = hard_limit
+        self.max_frame_bytes = max_frame_bytes
+        self.checkpoint_path = os.fspath(checkpoint_path) \
+            if checkpoint_path is not None else None
+        self._connections: Set[_Connection] = set()
+        self._writers: Dict[_Connection, asyncio.StreamWriter] = {}
+        self._handler_tasks: Set[asyncio.Task] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.metrics = ServerMetrics(registry, depth_probe=self._total_depth)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        """Where clients should connect (valid after :meth:`start`)."""
+        if self.unix_path is not None:
+            return self.unix_path
+        if self._server is not None and self._server.sockets:
+            bound = self._server.sockets[0].getsockname()
+            return (bound[0], bound[1])
+        return (self.host, self.port)
+
+    def _total_depth(self) -> int:
+        return sum(conn.queue.depth for conn in self._connections)
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        if self.checkpoint_path and os.path.exists(self.checkpoint_path):
+            self._restore_default(self.checkpoint_path)
+        if self.unix_path is not None:
+            if os.path.exists(self.unix_path):
+                os.unlink(self.unix_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+
+    def _restore_default(self, path: str) -> None:
+        service = self.service
+        if isinstance(service, ResilientCharacterizationService):
+            service.restore_from(path)
+        else:
+            with open(path, "rb") as stream:
+                service.restore(stream)
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain all queues, flush, checkpoint."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections):
+            self._drain_now(conn)
+            conn.closing = True
+            conn.wake.set()
+            if conn.drainer is not None:
+                await conn.drainer
+            writer = self._writers.get(conn)
+            if writer is not None:
+                writer.close()
+        if self._handler_tasks:
+            await asyncio.gather(*self._handler_tasks,
+                                 return_exceptions=True)
+        self.router.close_all()
+        if self.checkpoint_path:
+            self._checkpoint_tenants()
+        if self.unix_path is not None and os.path.exists(self.unix_path):
+            os.unlink(self.unix_path)
+
+    def _checkpoint_tenants(self) -> None:
+        for tenant, service in self.router.items():
+            path = self.checkpoint_path if tenant == DEFAULT_TENANT \
+                else f"{self.checkpoint_path}.{tenant}"
+            self._checkpoint_service(service, path)
+
+    @staticmethod
+    def _checkpoint_service(service: CharacterizationService,
+                            path: str) -> int:
+        if isinstance(service, ResilientCharacterizationService):
+            return service.checkpoint_to(path)
+        with open(path, "wb") as stream:
+            return service.checkpoint(stream)
+
+    def serve_forever(self) -> None:
+        """Run until interrupted (SIGINT/SIGTERM), then drain gracefully."""
+        asyncio.run(self._serve_until_interrupt())
+
+    async def _serve_until_interrupt(self) -> None:
+        import signal
+
+        await self.start()
+        interrupted = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, interrupted.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal support
+        try:
+            await interrupted.wait()
+        finally:
+            await self.shutdown()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(self.soft_limit, self.hard_limit,
+                           self.max_frame_bytes)
+        self._connections.add(conn)
+        self._writers[conn] = writer
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        self.metrics.connection_opened()
+        conn.drainer = asyncio.create_task(self._drain_loop(conn))
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                self.metrics.bytes_read(len(data))
+                for frame in conn.decoder.feed(data):
+                    await self._dispatch(conn, frame, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            # The peer is gone, but its acknowledged events are not:
+            # drain whatever it managed to enqueue before disconnecting.
+            self._drain_now(conn)
+            conn.closing = True
+            conn.wake.set()
+            if conn.drainer is not None:
+                await conn.drainer
+            self._connections.discard(conn)
+            self._writers.pop(conn, None)
+            self.metrics.connection_closed()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _drain_loop(self, conn: _Connection) -> None:
+        """Feed queued batches to the engine, yielding between batches."""
+        while True:
+            item = conn.queue.pop()
+            if item is None:
+                if conn.closing:
+                    return
+                conn.wake.clear()
+                await conn.wake.wait()
+                continue
+            tenant, batch = item
+            self._ingest_batch(conn, tenant, batch)
+            # Yield so the reader (and other connections) interleave.
+            await asyncio.sleep(0)
+
+    def _ingest_batch(self, conn: _Connection, tenant: str,
+                      batch: List[BlockIOEvent]) -> None:
+        try:
+            service = self.router.get(tenant)
+            service.submit_many(batch)
+        except Exception:
+            # A poisoned batch (or a sink failure inside the engine)
+            # degrades this batch only; the server keeps serving.
+            conn.poisoned_batches += 1
+            self.metrics.poisoned()
+        else:
+            self.metrics.ingested(len(batch))
+
+    def _drain_now(self, conn: _Connection) -> None:
+        """Synchronously ingest everything this connection has queued."""
+        for tenant, batch in conn.queue.drain():
+            self._ingest_batch(conn, tenant, batch)
+
+    # -- frame dispatch -------------------------------------------------------
+
+    async def _reply(self, writer: asyncio.StreamWriter,
+                     payload: Dict[str, Any]) -> None:
+        data = protocol.encode_frame(payload)
+        writer.write(data)
+        self.metrics.bytes_written(len(data))
+        await writer.drain()
+
+    async def _dispatch(self, conn: _Connection, frame: protocol.Frame,
+                        writer: asyncio.StreamWriter) -> None:
+        if not frame.ok:
+            self.metrics.frame_error(frame.error_code or
+                                     protocol.ERR_MALFORMED)
+            await self._reply(writer, protocol.error_frame(
+                frame.error_code or protocol.ERR_MALFORMED, frame.error
+            ))
+            return
+        payload = frame.payload
+        kind = frame.type
+        started = time.perf_counter()
+        try:
+            reply = self._handle_frame(conn, kind, payload)
+        except ProtocolError as exc:
+            reply = protocol.error_frame(protocol.ERR_BAD_REQUEST, str(exc))
+        except TenantLimitError as exc:
+            reply = protocol.error_frame(protocol.ERR_UNAVAILABLE, str(exc))
+        except Exception as exc:  # never let one frame kill the connection
+            reply = protocol.error_frame(
+                protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        self.metrics.frame(kind, time.perf_counter() - started)
+        if reply.get("type") == protocol.REPLY_ERROR:
+            self.metrics.frame_error(reply.get("code", protocol.ERR_INTERNAL))
+        request_id = payload.get("id")
+        if request_id is not None:
+            reply.setdefault("id", request_id)
+        await self._reply(writer, reply)
+        conn.wake.set()
+
+    def _handle_frame(self, conn: _Connection, kind: str,
+                      payload: Dict[str, Any]) -> Dict[str, Any]:
+        if kind == protocol.FRAME_PING:
+            return {"type": protocol.REPLY_PONG,
+                    "version": PROTOCOL_VERSION}
+        if kind in (protocol.FRAME_EVENT, protocol.FRAME_BATCH):
+            return self._handle_ingest(conn, payload)
+        if kind == protocol.FRAME_QUERY:
+            self._drain_now(conn)
+            return self._handle_query(payload)
+        if kind == protocol.FRAME_STATS:
+            self._drain_now(conn)
+            return self._handle_stats(conn, payload)
+        if kind == protocol.FRAME_CHECKPOINT:
+            self._drain_now(conn)
+            return self._handle_checkpoint(payload)
+        if kind == protocol.FRAME_METRICS:
+            return {"type": protocol.REPLY_RESULT,
+                    "prometheus": render_prometheus(self.registry)}
+        return protocol.error_frame(
+            protocol.ERR_BAD_REQUEST, f"unknown frame type {kind!r}"
+        )
+
+    def _tenant_of(self, payload: Dict[str, Any]) -> str:
+        tenant = payload.get("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant, str):
+            raise ProtocolError("tenant must be a string")
+        return tenant
+
+    def _handle_ingest(self, conn: _Connection,
+                       payload: Dict[str, Any]) -> Dict[str, Any]:
+        tenant = self._tenant_of(payload)
+        self.router.get(tenant)  # admit the tenant before accepting events
+        events = protocol.events_from_frame(payload)
+        admission = conn.queue.offer(events, tag=tenant)
+        if admission is Admission.REJECTED:
+            self.metrics.rejected(len(events))
+            return protocol.error_frame(
+                protocol.ERR_OVERLOADED,
+                f"ingest queue full ({conn.queue.depth} events pending, "
+                f"hard limit {conn.queue.hard_limit}); frame dropped",
+            )
+        self.metrics.note_depth(conn.queue.depth)
+        if admission is Admission.THROTTLED:
+            self.metrics.throttled()
+            return {
+                "type": protocol.REPLY_THROTTLE,
+                "accepted": len(events),
+                "queue_depth": conn.queue.depth,
+                "retry_after": conn.queue.retry_after(),
+            }
+        return {"type": protocol.REPLY_OK, "accepted": len(events)}
+
+    def _handle_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        service = self.router.get(self._tenant_of(payload))
+        what = payload.get("what", "correlations")
+        k = payload.get("k", 20)
+        min_support = payload.get("min_support", service.min_support)
+        if not isinstance(k, int) or k < 1:
+            raise ProtocolError(f"k must be a positive integer, got {k!r}")
+        if not isinstance(min_support, int) or min_support < 1:
+            raise ProtocolError(
+                f"min_support must be a positive integer, got {min_support!r}"
+            )
+        if what == "correlations":
+            kind_name = payload.get("kind")
+            if kind_name is None:
+                pairs = service.analyzer.frequent_pairs(min_support)
+            else:
+                try:
+                    kind = CorrelationKind(kind_name)
+                except ValueError:
+                    raise ProtocolError(
+                        f"unknown correlation kind {kind_name!r}"
+                    ) from None
+                pairs = service.analyzer.frequent_pairs_of_kind(
+                    kind, min_support
+                )
+            return {
+                "type": protocol.REPLY_RESULT,
+                "pairs": [protocol.pair_to_payload(pair, count)
+                          for pair, count in pairs[:k]],
+            }
+        if what == "items":
+            items = service.analyzer.frequent_extents(min_support)
+            return {
+                "type": protocol.REPLY_RESULT,
+                "items": [protocol.extent_to_payload(extent, count)
+                          for extent, count in items[:k]],
+            }
+        raise ProtocolError(
+            f"unknown query {what!r}; know 'correlations' and 'items'"
+        )
+
+    def _handle_stats(self, conn: _Connection,
+                      payload: Dict[str, Any]) -> Dict[str, Any]:
+        service = self.router.get(self._tenant_of(payload))
+        stats: Dict[str, Any] = {
+            "monitor": service.monitor.stats.as_dict(),
+            "transactions": service.transactions,
+            "queue_depth": conn.queue.depth,
+            "queue_high_watermark": conn.queue.stats.high_watermark,
+            "rejected_events": conn.queue.stats.rejected_events,
+            "poisoned_batches": conn.poisoned_batches,
+            "connections": len(self._connections),
+            "tenants": self.router.tenants,
+        }
+        if isinstance(service, ResilientCharacterizationService):
+            health = service.health()
+            stats["health"] = {"status": health.status,
+                               "reasons": health.reasons}
+        return {"type": protocol.REPLY_RESULT, "stats": stats}
+
+    def _handle_checkpoint(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if not self.checkpoint_path:
+            return protocol.error_frame(
+                protocol.ERR_UNAVAILABLE,
+                "server started without a checkpoint path",
+            )
+        tenant = self._tenant_of(payload)
+        service = self.router.get(tenant)
+        path = self.checkpoint_path if tenant == DEFAULT_TENANT \
+            else f"{self.checkpoint_path}.{tenant}"
+        written = self._checkpoint_service(service, path)
+        return {"type": protocol.REPLY_RESULT, "bytes": written,
+                "path": path}
+
+
+class ServerThread:
+    """Run a :class:`CharacterizationServer` on a background event loop.
+
+    The serving layer is asyncio-native, but tests, benchmarks, and the
+    blocking client all live in synchronous code; this wrapper owns a
+    daemon thread running the loop.  Use as a context manager::
+
+        with ServerThread(CharacterizationServer(unix_path=sock)) as handle:
+            client = CharacterizationClient(handle.address)
+            ...
+
+    Exit drains and checkpoints through :meth:`CharacterizationServer.shutdown`.
+    """
+
+    def __init__(self, server: CharacterizationServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Address:
+        return self.server.address
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-server")
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 10s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surface bind errors to the caller
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        loop.run_forever()
+        loop.run_until_complete(self.server.shutdown())
+        loop.close()
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None or not thread.is_alive():
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,78 @@
+"""Per-tenant session routing: one independent engine per tenant name.
+
+A multi-tenant deployment (the MSR traces are exactly that: one trace per
+server) must not let one tenant's working set evict another's synopsis
+entries.  The router maps a tenant name carried on each frame to its own
+:class:`~repro.service.CharacterizationService`, built lazily from a
+caller-supplied factory.  The unnamed tenant (``""``) is the default
+service every frame without a ``tenant`` key lands on.
+
+The router is deliberately dumb -- no eviction, no persistence of its own
+-- but it is *bounded*: past ``max_tenants`` a new name is refused rather
+than silently growing one engine per typo'd client.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..service import CharacterizationService
+
+DEFAULT_TENANT = ""
+DEFAULT_MAX_TENANTS = 16
+
+ServiceFactory = Callable[[], CharacterizationService]
+
+
+class TenantLimitError(RuntimeError):
+    """Raised when a new tenant would exceed the configured cap."""
+
+
+class TenantRouter:
+    """Lazily builds and hands out one service per tenant name."""
+
+    def __init__(self, factory: ServiceFactory,
+                 max_tenants: int = DEFAULT_MAX_TENANTS) -> None:
+        if max_tenants < 1:
+            raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
+        self._factory = factory
+        self.max_tenants = max_tenants
+        self._services: Dict[str, CharacterizationService] = {}
+
+    def get(self, tenant: str = DEFAULT_TENANT) -> CharacterizationService:
+        """The tenant's service, creating it on first sight."""
+        service = self._services.get(tenant)
+        if service is not None:
+            return service
+        if len(self._services) >= self.max_tenants:
+            raise TenantLimitError(
+                f"tenant limit {self.max_tenants} reached; "
+                f"cannot admit {tenant!r}"
+            )
+        service = self._factory()
+        self._services[tenant] = service
+        return service
+
+    def adopt(self, tenant: str,
+              service: CharacterizationService) -> None:
+        """Install a pre-built service (the server seeds the default)."""
+        self._services[tenant] = service
+
+    def peek(self, tenant: str = DEFAULT_TENANT):
+        """The tenant's service if it exists, else ``None`` (no creation)."""
+        return self._services.get(tenant)
+
+    @property
+    def tenants(self) -> List[str]:
+        return sorted(self._services)
+
+    def items(self) -> List[Tuple[str, CharacterizationService]]:
+        return sorted(self._services.items())
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def close_all(self) -> None:
+        """Flush every tenant's monitor (final partial transactions)."""
+        for service in self._services.values():
+            service.close()

@@ -143,6 +143,7 @@ class CharacterizationService:
         self._observers: List[SnapshotObserver] = []
         self._transactions = 0
         self._batch_buffer: Optional[List[Transaction]] = None
+        self._closed = False
         self._bind_metrics(registry)
 
     # -- telemetry ----------------------------------------------------------
@@ -241,6 +242,33 @@ class CharacterizationService:
     def flush(self) -> None:
         """Close any open transaction (e.g. before a checkpoint)."""
         self.monitor.flush()
+
+    def close(self) -> None:
+        """Shut the service down: flush the final open transaction window.
+
+        Without this, events that arrived after the last window closed --
+        the tail of every real stream -- would sit in the monitor's open
+        transaction forever and never reach the analyzer.  Idempotent;
+        the service remains queryable (and even ingestable) afterwards,
+        ``close`` only guarantees nothing is left in flight *now*.
+        """
+        self.flush()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def transactions(self) -> int:
+        """Transactions characterized so far (cheap, no snapshot)."""
+        return self._transactions
+
+    def __enter__(self) -> "CharacterizationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _on_transaction(self, transaction: Transaction) -> None:
         if self._batch_buffer is not None:

@@ -11,10 +11,19 @@ Two formats are supported:
   8-byte magic/version header.  This is the format the paper's offline path
   would write to disk; its size is what "wastes storage space" in the
   paper's motivation, so the writer reports bytes written.
+
+Every path-based loader and saver transparently handles gzip: a ``.gz``
+suffix (``trace.csv.gz``, ``trace.bin.gz``) opens through ``gzip.open``,
+so MSR-style traces can be streamed compressed -- the distributed MSR
+Cambridge archives are gzipped CSVs, and the serving layer's ``repro
+send`` feeds them without an intermediate decompress step.  Use
+:func:`trace_format_suffix` to dispatch on the *format* suffix with the
+``.gz`` stripped.
 """
 
 from __future__ import annotations
 
+import gzip
 import math
 import struct
 from pathlib import Path
@@ -31,6 +40,38 @@ _RECORD_STRUCT = struct.Struct("<dIBQId")  # ts, pid, op, start, length, latency
 _NO_LATENCY = -1.0
 
 PathOrStr = Union[str, Path]
+
+
+def is_gzip_path(path: PathOrStr) -> bool:
+    """Whether ``path`` names a gzip-compressed trace (``.gz`` suffix)."""
+    return Path(path).suffix.lower() == ".gz"
+
+
+def trace_format_suffix(path: PathOrStr) -> str:
+    """The lowercase format suffix, looking through a ``.gz`` wrapper.
+
+    ``trace.csv.gz`` -> ``".csv"``; ``trace.bin`` -> ``".bin"``.
+    """
+    path = Path(path)
+    if is_gzip_path(path):
+        path = path.with_suffix("")
+    return path.suffix.lower()
+
+
+def _open_text(path: PathOrStr, mode: str) -> IO[str]:
+    """Open a text trace file, transparently gzipped when ``.gz``."""
+    if is_gzip_path(path):
+        return gzip.open(path, mode + "t", encoding="ascii",
+                         errors="replace" if mode == "r" else "strict")
+    errors = "replace" if mode == "r" else "strict"
+    return open(path, mode, encoding="ascii", errors=errors)
+
+
+def _open_bytes(path: PathOrStr, mode: str) -> IO[bytes]:
+    """Open a binary trace file, transparently gzipped when ``.gz``."""
+    if is_gzip_path(path):
+        return gzip.open(path, mode + "b")
+    return open(path, mode + "b")
 
 
 # ---------------------------------------------------------------------------
@@ -128,7 +169,7 @@ def read_msr_csv(
 
 def save_msr_csv(records: Iterable[TraceRecord], path: PathOrStr,
                  hostname: str = "repro") -> int:
-    with open(path, "w", encoding="ascii") as stream:
+    with _open_text(path, "w") as stream:
         return write_msr_csv(records, stream, hostname=hostname)
 
 
@@ -138,7 +179,7 @@ def load_msr_csv(
     policy: ErrorPolicy = ErrorPolicy.STRICT,
     report: Optional[IngestReport] = None,
 ) -> List[TraceRecord]:
-    with open(path, "r", encoding="ascii", errors="replace") as stream:
+    with _open_text(path, "r") as stream:
         return list(read_msr_csv(stream, pid=pid, policy=policy,
                                  report=report))
 
@@ -223,7 +264,7 @@ def read_binary(
 
 
 def save_binary(records: Iterable[TraceRecord], path: PathOrStr) -> int:
-    with open(path, "wb") as stream:
+    with _open_bytes(path, "w") as stream:
         return write_binary(records, stream)
 
 
@@ -232,7 +273,7 @@ def load_binary(
     policy: ErrorPolicy = ErrorPolicy.STRICT,
     report: Optional[IngestReport] = None,
 ) -> List[TraceRecord]:
-    with open(path, "rb") as stream:
+    with _open_bytes(path, "r") as stream:
         return list(read_binary(stream, policy=policy, report=report))
 
 
@@ -291,12 +332,12 @@ def read_blkparse_text(stream: IO[str], action: str = "D") -> Iterator[TraceReco
 
 def save_blkparse_text(records: Iterable[TraceRecord], path: PathOrStr,
                        device: str = "8,0") -> int:
-    with open(path, "w", encoding="ascii") as stream:
+    with _open_text(path, "w") as stream:
         return write_blkparse_text(records, stream, device=device)
 
 
 def load_blkparse_text(path: PathOrStr) -> List[TraceRecord]:
-    with open(path, "r", encoding="ascii") as stream:
+    with _open_text(path, "r") as stream:
         return list(read_blkparse_text(stream))
 
 

@@ -93,6 +93,40 @@ class TestObservers:
         assert len(first) == len(second) == 2
 
 
+class TestLifecycle:
+    def test_close_flushes_final_partial_transaction(self):
+        """Regression: the tail of the stream -- events sitting in the
+        monitor's open window -- must reach the analyzer on close."""
+        service = small_service(min_support=1)
+        service.submit(event(0.0, 100))
+        service.submit(event(1e-5, 9000))
+        assert not service.analyzer.correlations.tally(pair(100, 9000, 8, 8))
+        service.close()
+        assert service.closed
+        assert service.analyzer.correlations.tally(pair(100, 9000, 8, 8)) == 1
+
+    def test_close_is_idempotent(self):
+        service = small_service(min_support=1)
+        service.submit(event(0.0, 100))
+        service.submit(event(1e-5, 9000))
+        service.close()
+        service.close()
+        assert service.analyzer.correlations.tally(pair(100, 9000, 8, 8)) == 1
+
+    def test_context_manager_closes(self):
+        with small_service(min_support=1) as service:
+            service.submit(event(0.0, 100))
+            service.submit(event(1e-5, 9000))
+        assert service.closed
+        assert service.analyzer.correlations.tally(pair(100, 9000, 8, 8)) == 1
+
+    def test_transactions_property_is_live(self):
+        service = small_service()
+        assert service.transactions == 0
+        feed_hot_pair(service, 4)
+        assert service.transactions == 4
+
+
 class TestPersistence:
     def test_checkpoint_restore_roundtrip(self):
         service = small_service()

@@ -6,12 +6,14 @@ import pytest
 
 from repro.trace.io import (
     binary_trace_bytes,
+    is_gzip_path,
     load_binary,
     load_msr_csv,
     read_binary,
     read_msr_csv,
     save_binary,
     save_msr_csv,
+    trace_format_suffix,
     write_binary,
     write_msr_csv,
 )
@@ -163,3 +165,42 @@ class TestBinary:
         avoiding trace files -- is linear in request count."""
         per_record = binary_trace_bytes(2) - binary_trace_bytes(1)
         assert binary_trace_bytes(1_000_000) >= 1_000_000 * per_record
+
+
+class TestGzip:
+    """Transparent compression: a ``.gz`` suffix gzips any trace format."""
+
+    def test_msr_csv_gz_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv.gz"
+        save_msr_csv(sample_records(), path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # really gzipped
+        loaded = load_msr_csv(path, pid=7)
+        assert len(loaded) == 3
+        assert loaded[0].start == sample_records()[0].start
+
+    def test_binary_gz_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.bin.gz"
+        save_binary(sample_records(), path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert load_binary(path) == sample_records()
+
+    def test_gz_actually_compresses(self, tmp_path):
+        records = sample_records() * 500
+        plain = tmp_path / "trace.csv"
+        packed = tmp_path / "trace.csv.gz"
+        save_msr_csv(records, plain)
+        save_msr_csv(records, packed)
+        assert packed.stat().st_size < plain.stat().st_size / 2
+        assert load_msr_csv(packed) == load_msr_csv(plain)
+
+    def test_is_gzip_path(self, tmp_path):
+        assert is_gzip_path("trace.csv.gz")
+        assert is_gzip_path(tmp_path / "t.bin.gz")
+        assert not is_gzip_path("trace.csv")
+        assert not is_gzip_path("trace.gz.csv")
+
+    def test_trace_format_suffix_strips_gz(self):
+        assert trace_format_suffix("a/b/trace.csv.gz") == ".csv"
+        assert trace_format_suffix("trace.BIN") == ".bin"
+        assert trace_format_suffix("trace.txt.gz") == ".txt"
+        assert trace_format_suffix("trace.gz") == ""
