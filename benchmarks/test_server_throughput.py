@@ -162,3 +162,99 @@ def test_server_throughput(benchmark, tmp_path):
                 client.stats()
 
     benchmark.pedantic(canonical, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead journal overhead
+# ---------------------------------------------------------------------------
+
+#: Journal durability modes benchmarked against the no-journal baseline.
+WAL_MODES = ("off", "never", "interval", "always")
+#: The durability tax the interval policy (the shipping default) is
+#: allowed to cost against journal-off ingest.
+WAL_INTERVAL_OVERHEAD_CEILING = 0.15
+WAL_ROUNDS = 3
+
+
+def _run_wal_mode(events, sock_path, wal_dir, mode):
+    """Single-client batched ingest with one journal mode; returns
+    events/second (the connection is drained before the clock stops)."""
+    registry = MetricsRegistry()
+    wal_kwargs = {} if mode == "off" else {
+        "wal_dir": wal_dir, "fsync": mode,
+    }
+    server = CharacterizationServer(
+        _service(registry), unix_path=sock_path, registry=registry,
+        **wal_kwargs,
+    )
+    with ServerThread(server):
+        with CharacterizationClient(str(sock_path)) as client:
+            started = time.perf_counter()
+            for offset in range(0, len(events), BATCH_SIZE):
+                client.send_events(events[offset:offset + BATCH_SIZE])
+            client.stats()  # drain before the clock stops
+            elapsed = time.perf_counter() - started
+        if server.wal is not None:
+            assert server.wal.last_seq == \
+                (len(events) + BATCH_SIZE - 1) // BATCH_SIZE
+    return len(events) / elapsed
+
+
+def test_wal_overhead(tmp_path):
+    """What durability costs: journal off vs each fsync policy.
+
+    Policy ``interval`` is the shipping default, so it carries the
+    acceptance bound: at most ``WAL_INTERVAL_OVERHEAD_CEILING`` of the
+    journal-off ingest rate.  ``always`` pays one fsync per frame and is
+    reported unconstrained (it buys machine-crash durability; the trade
+    is the operator's to make).  Best-of-``WAL_ROUNDS`` per mode damps
+    scheduler noise.
+    """
+    events = _event_stream()
+    print_header(f"Write-ahead journal overhead ({len(events)} events, "
+                 f"batches of {BATCH_SIZE}, best of {WAL_ROUNDS})")
+    print_row("fsync mode", "events/s", "overhead %", widths=(12, 14, 14))
+
+    rates = {}
+    for mode in WAL_MODES:
+        best = 0.0
+        for attempt in range(WAL_ROUNDS):
+            sock = tmp_path / f"wal-{mode}-{attempt}.sock"
+            wal_dir = tmp_path / f"wal-{mode}-{attempt}"
+            best = max(best, _run_wal_mode(events, sock, wal_dir, mode))
+        rates[mode] = best
+
+    baseline = rates["off"]
+    overheads = {
+        mode: max(0.0, 1.0 - rates[mode] / baseline)
+        for mode in WAL_MODES
+    }
+    for mode in WAL_MODES:
+        print_row(mode, int(rates[mode]),
+                  round(100 * overheads[mode], 1), widths=(12, 14, 14))
+
+    assert overheads["interval"] <= WAL_INTERVAL_OVERHEAD_CEILING, (
+        f"interval-fsync journal costs {100 * overheads['interval']:.1f}% "
+        f"of ingest (budget {100 * WAL_INTERVAL_OVERHEAD_CEILING:.0f}%): "
+        f"{rates}"
+    )
+    # Sanity ordering: relaxing durability must never cost throughput
+    # beyond noise (never <= interval <= always overhead, loosely).
+    assert overheads["never"] <= overheads["always"] + 0.10
+
+    merged = {}
+    if RESULTS_PATH.exists():
+        merged = json.loads(RESULTS_PATH.read_text())
+    merged["wal"] = {
+        "baseline_events_per_second": round(baseline, 1),
+        "modes": {
+            mode: {
+                "events_per_second": round(rates[mode], 1),
+                "overhead_fraction": round(overheads[mode], 4),
+            }
+            for mode in WAL_MODES if mode != "off"
+        },
+        "interval_overhead_ceiling": WAL_INTERVAL_OVERHEAD_CEILING,
+    }
+    RESULTS_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True))
+    print(f"wrote {RESULTS_PATH} (wal section)")

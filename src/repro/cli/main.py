@@ -59,12 +59,14 @@ _MINERS = {"apriori": apriori, "eclat": eclat, "fpgrowth": fpgrowth}
 
 
 def load_trace(path: str,
-               policy: ErrorPolicy = ErrorPolicy.STRICT) -> List[TraceRecord]:
+               policy: ErrorPolicy = ErrorPolicy.STRICT,
+               dead_letters_path: Optional[str] = None) -> List[TraceRecord]:
     """Load a trace file, dispatching on its suffix.
 
     Under a non-strict ``policy``, malformed rows are skipped (and sampled
     into a dead-letter buffer under ``quarantine``) with a summary printed
-    to stderr instead of aborting the run.  A ``.gz`` suffix on any
+    to stderr instead of aborting the run; ``dead_letters_path`` addition-
+    ally dumps the quarantined sample as NDJSON.  A ``.gz`` suffix on any
     format reads through gzip (``trace.csv.gz`` etc.).
     """
     suffix = trace_format_suffix(path)
@@ -94,6 +96,10 @@ def load_trace(path: str,
                 f"{sample.error}",
                 file=sys.stderr,
             )
+            if dead_letters_path:
+                dumped = report.dead_letters.dump_ndjson(dead_letters_path)
+                print(f"wrote {dumped} quarantined rows to "
+                      f"{dead_letters_path}", file=sys.stderr)
     return records
 
 
@@ -196,7 +202,8 @@ def _export_metrics(registry: MetricsRegistry,
 def cmd_characterize(args: argparse.Namespace) -> int:
     from ..engine.checkpoint import dump_engine, load_engine
 
-    records = load_trace(args.trace, _policy_from(args))
+    records = load_trace(args.trace, _policy_from(args),
+                         dead_letters_path=args.dead_letters)
     # A fresh registry per run keeps the export scoped to this trace
     # instead of whatever the process-local default accumulated.
     registry = MetricsRegistry() if _wants_metrics(args) else None
@@ -343,6 +350,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from ..server.server import CharacterizationServer
     from ..telemetry.metrics import get_default_registry
 
+    if args.supervise:
+        return _serve_supervised(args)
+
     registry = get_default_registry()
     config = AnalyzerConfig(
         item_capacity=args.capacity,
@@ -379,11 +389,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         service_factory=service_factory,
         max_tenants=args.max_tenants,
         registry=registry,
+        wal_dir=args.wal_dir,
+        fsync=args.fsync,
+        fsync_interval=args.fsync_interval,
+        wal_truncate=not args.keep_wal,
+        heartbeat_path=args.heartbeat,
+        dead_letter_path=args.dead_letters,
     )
     where = args.unix if args.unix else f"{args.host}:{args.port}"
+    durability = f", wal={args.wal_dir} fsync={args.fsync}" \
+        if args.wal_dir else ""
     print(f"serving on {where} "
           f"(shards={args.shards}, capacity={args.capacity}, "
-          f"soft={args.soft_limit}, hard={args.hard_limit}); "
+          f"soft={args.soft_limit}, hard={args.hard_limit}{durability}); "
           f"Ctrl-C to drain and exit", flush=True)
     try:
         server.serve_forever()
@@ -397,13 +415,77 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_supervised(args: argparse.Namespace) -> int:
+    """Run the server under the in-tree supervisor: the worker process is
+    restarted (with backoff) when it crashes or its heartbeat goes stale,
+    until it exits cleanly or crash-loops past the restart budget."""
+    from ..server.supervisor import (
+        Supervisor,
+        SupervisorGaveUp,
+        WorkerConfig,
+    )
+
+    if not args.wal_dir:
+        print("warning: --supervise without --wal-dir restarts workers "
+              "but cannot recover acknowledged events", file=sys.stderr)
+    heartbeat = args.heartbeat
+    if heartbeat is None and args.wal_dir:
+        heartbeat = str(Path(args.wal_dir) / "heartbeat.json")
+    config = WorkerConfig(
+        unix_path=args.unix,
+        host=args.host,
+        port=args.port if args.port is not None else 0,
+        checkpoint_path=args.checkpoint,
+        wal_dir=args.wal_dir,
+        fsync=args.fsync,
+        fsync_interval=args.fsync_interval,
+        wal_truncate=not args.keep_wal,
+        heartbeat_path=heartbeat,
+        dead_letter_path=args.dead_letters,
+        soft_limit=args.soft_limit,
+        hard_limit=args.hard_limit,
+        max_tenants=args.max_tenants,
+        capacity=args.capacity,
+        support=args.support,
+        shards=args.shards,
+        snapshot_interval=args.snapshot_interval,
+    )
+    supervisor = Supervisor(
+        config,
+        max_restarts=args.max_restarts,
+        restart_window=args.restart_window,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    where = args.unix if args.unix else f"{args.host}:{args.port}"
+    print(f"supervising server on {where} "
+          f"(wal={args.wal_dir}, fsync={args.fsync}, "
+          f"restart budget {args.max_restarts}/{args.restart_window}s); "
+          f"Ctrl-C to stop", flush=True)
+    try:
+        code = supervisor.run()
+    except KeyboardInterrupt:
+        code = supervisor.stop()
+    except SupervisorGaveUp as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if supervisor.restarts:
+        print(f"worker restarted {supervisor.restarts} time(s); "
+              f"last reason: {supervisor.last_restart_reason}")
+    return 0 if code in (0, None) else 1
+
+
 def cmd_send(args: argparse.Namespace) -> int:
     from ..monitor.events import BlockIOEvent
+    from ..resilience.policy import BackoffPolicy
+    from ..server.circuit import CircuitBreaker
     from ..server.client import BatchingWriter, CharacterizationClient
 
     records = load_trace(args.trace, _policy_from(args))
     client = CharacterizationClient(
-        _address_from(args), tenant=args.tenant
+        _address_from(args), tenant=args.tenant,
+        request_deadline=args.deadline,
+        policy=BackoffPolicy(retries=args.retries),
+        breaker=CircuitBreaker() if args.breaker else None,
     )
     with client:
         with BatchingWriter(client, max_batch=args.batch_size) as writer:
@@ -412,7 +494,8 @@ def cmd_send(args: argparse.Namespace) -> int:
         print(f"sent {client.events_sent} events in "
               f"{client.frames_sent} frames "
               f"({client.throttle_count} throttles, "
-              f"{client.reconnects} reconnects)")
+              f"{client.reconnects} reconnects, "
+              f"{client.duplicates_acked} duplicate acks)")
         if args.top:
             detected = client.query_top(k=args.top,
                                         min_support=args.support)
@@ -491,6 +574,11 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--metrics-prometheus", metavar="PATH",
                               help="write the run's metrics in Prometheus "
                                    "text exposition format")
+    characterize.add_argument("--dead-letters", metavar="PATH",
+                              default=None,
+                              help="with --error-policy quarantine: dump "
+                                   "the quarantined row sample to PATH as "
+                                   "NDJSON")
     characterize.set_defaults(handler=cmd_characterize)
 
     report = subparsers.add_parser(
@@ -552,6 +640,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "checkpoint there on shutdown and on "
                             "CHECKPOINT frames")
     serve.add_argument("--max-tenants", type=int, default=16)
+    serve.add_argument("--wal-dir", metavar="DIR", default=None,
+                       help="journal every accepted frame to a write-ahead "
+                            "log in DIR and recover from it at startup")
+    serve.add_argument("--fsync", choices=["always", "interval", "never"],
+                       default="interval",
+                       help="WAL durability: always=fsync per frame, "
+                            "interval=fsync on a timer (default; survives "
+                            "process death), never=OS flush only")
+    serve.add_argument("--fsync-interval", type=float, default=0.05,
+                       help="seconds between WAL fsyncs with "
+                            "--fsync interval (default 0.05)")
+    serve.add_argument("--keep-wal", action="store_true",
+                       help="retain checkpoint-covered WAL segments "
+                            "instead of truncating them (full history; "
+                            "lets an intact journal rescue a corrupt "
+                            "checkpoint)")
+    serve.add_argument("--heartbeat", metavar="PATH", default=None,
+                       help="touch PATH periodically for an external "
+                            "supervisor to watch")
+    serve.add_argument("--dead-letters", metavar="PATH", default=None,
+                       help="dump backpressure-rejected frames here as "
+                            "NDJSON on shutdown (default: "
+                            "<wal-dir>/dead-letters.ndjson)")
+    serve.add_argument("--supervise", action="store_true",
+                       help="run the server in a supervised worker "
+                            "process: restart on crash or stale "
+                            "heartbeat, give up on a crash loop")
+    serve.add_argument("--max-restarts", type=int, default=5,
+                       help="restart budget within --restart-window "
+                            "before the supervisor gives up (default 5)")
+    serve.add_argument("--restart-window", type=float, default=30.0,
+                       help="crash-loop detection window, seconds "
+                            "(default 30)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=None,
+                       help="with --supervise: restart a worker whose "
+                            "heartbeat is older than this many seconds "
+                            "(default: liveness only)")
     serve.set_defaults(handler=cmd_serve)
 
     send = subparsers.add_parser(
@@ -571,6 +696,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="after streaming, query and print the top-K "
                            "correlations (default 0: skip)")
     send.add_argument("--support", type=int, default=5)
+    send.add_argument("--deadline", type=float, default=None,
+                      help="per-request deadline in seconds, retries and "
+                           "backoff included (default: unbounded)")
+    send.add_argument("--retries", type=int, default=3,
+                      help="reconnect/overload retries per request "
+                           "(default 3)")
+    send.add_argument("--breaker", action="store_true",
+                      help="fail fast through a circuit breaker while "
+                           "the server is down")
     send.set_defaults(handler=cmd_send)
 
     return parser

@@ -211,6 +211,17 @@ def synopsis_size_bytes(analyzer: OnlineAnalyzer) -> int:
 
 PathOrStr = Union[str, Path]
 
+#: Test seam: called (with the temp path and the final path) after the
+#: temp file is written and fsynced, just before the atomic rename.  The
+#: fault harness (:mod:`repro.resilience.faults`) raises here to prove a
+#: crash in that window can never clobber the previous good checkpoint.
+_pre_rename_hook = None
+
+
+def _run_pre_rename_hook(tmp_path: Path, path: Path) -> None:
+    if _pre_rename_hook is not None:
+        _pre_rename_hook(tmp_path, path)
+
 
 def save_checkpoint(analyzer: OnlineAnalyzer, path: PathOrStr) -> int:
     """Atomically write a checkpoint file; returns bytes written.
@@ -226,6 +237,7 @@ def save_checkpoint(analyzer: OnlineAnalyzer, path: PathOrStr) -> int:
             written = dump_analyzer(analyzer, stream)
             stream.flush()
             os.fsync(stream.fileno())
+        _run_pre_rename_hook(tmp_path, path)
         os.replace(tmp_path, path)
     finally:
         if tmp_path.exists():

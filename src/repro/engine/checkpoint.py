@@ -30,6 +30,7 @@ from typing import BinaryIO, List, NamedTuple, Union
 from ..core.analyzer import OnlineAnalyzer
 from ..core.serialize import (
     CheckpointCorruptError,
+    _run_pre_rename_hook,
     dump_analyzer,
     dumps_analyzer,
     load_analyzer,
@@ -157,6 +158,7 @@ def save_engine_checkpoint(engine, path: PathOrStr) -> int:
             written = dump_engine(engine, stream)
             stream.flush()
             os.fsync(stream.fileno())
+        _run_pre_rename_hook(tmp_path, path)
         os.replace(tmp_path, path)
     finally:
         if tmp_path.exists():

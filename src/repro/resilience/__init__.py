@@ -30,11 +30,23 @@ from .faults import (
     FaultCounters,
     FaultInjector,
     FaultSpec,
+    SimulatedCrash,
     corrupt_msr_csv,
+    crash_before_rename,
     flip_bits,
+    truncate_tail,
 )
 from .guard import DEFAULT_FAILURE_LIMIT, SinkGuard
 from .policy import BackoffPolicy
+from .wal import (
+    FsyncPolicy,
+    WalMeta,
+    WalRecord,
+    WalReplayStats,
+    WriteAheadLog,
+    read_wal_meta,
+    write_wal_meta,
+)
 from .service import (
     HEALTH_DEGRADED,
     HEALTH_OK,
@@ -52,15 +64,25 @@ __all__ = [
     "FaultCounters",
     "FaultInjector",
     "FaultSpec",
+    "FsyncPolicy",
+    "WalMeta",
+    "WalRecord",
+    "WalReplayStats",
+    "WriteAheadLog",
+    "read_wal_meta",
+    "write_wal_meta",
     "HEALTH_DEGRADED",
     "HEALTH_OK",
     "IngestReport",
     "ResilientCharacterizationService",
     "RowError",
     "ServiceHealth",
+    "SimulatedCrash",
     "SinkGuard",
     "corrupt_msr_csv",
+    "crash_before_rename",
     "flip_bits",
+    "truncate_tail",
     "load_checkpoint",
     "save_checkpoint",
 ]

@@ -7,21 +7,30 @@ manufactures exactly those faults, reproducibly -- every decision comes
 from a ``random.Random`` seeded by the caller, so a failing run can be
 replayed bit-for-bit.
 
-Three layers of fault:
+Four layers of fault:
 
 * :class:`FaultInjector` -- perturbs a :class:`BlockIOEvent` stream
   (drop / duplicate / reorder / corrupt), counting what it did;
 * :func:`corrupt_msr_csv` -- mangles a fraction of the rows of an MSR CSV
   text so each mangled row is guaranteed unparseable;
-* :func:`flip_bits` -- flips bits in a byte string (checkpoint corruption).
+* :func:`flip_bits` -- flips bits in a byte string (checkpoint corruption);
+* crash injection -- :func:`crash_before_rename` raises
+  :class:`SimulatedCrash` inside the atomic checkpoint writers' narrowest
+  window (temp file durable, rename not yet issued), and
+  :func:`truncate_tail` tears the final bytes off a file the way a crash
+  mid-append does to a journal segment.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
 import random
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, List, Tuple
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple, Union
 
+from ..core import serialize as _serialize
 from ..monitor.events import BlockIOEvent
 
 
@@ -169,6 +178,60 @@ def corrupt_msr_csv(text: str, fraction: float,
 # ---------------------------------------------------------------------------
 # Byte-level corruption (checkpoints)
 # ---------------------------------------------------------------------------
+
+class SimulatedCrash(RuntimeError):
+    """Raised by crash-injection hooks to model sudden process death at a
+    chosen point.  Not an :class:`OSError`: the retry machinery must not
+    swallow it (a real crash isn't retried either)."""
+
+
+@contextlib.contextmanager
+def crash_before_rename(after_writes: int = 0):
+    """Arm the checkpoint writers' pre-rename crash hook.
+
+    Within the context, checkpoint save number ``after_writes`` (0-based;
+    earlier saves complete normally) raises :class:`SimulatedCrash` in the
+    exact window where the temp file is fully written and fsynced but the
+    atomic rename has not happened -- the narrowest interval in which a
+    real crash could conceivably hurt.  Both the v2
+    (:func:`~repro.core.serialize.save_checkpoint`) and v3
+    (:func:`~repro.engine.checkpoint.save_engine_checkpoint`) writers
+    share the hook.  Yields a one-element list that ends up holding the
+    number of saves that ran (crashed one included).
+    """
+    if after_writes < 0:
+        raise ValueError(f"after_writes must be >= 0, got {after_writes}")
+    calls = [0]
+
+    def hook(tmp_path, path):
+        calls[0] += 1
+        if calls[0] > after_writes:
+            raise SimulatedCrash(
+                f"simulated crash before renaming {tmp_path} -> {path}"
+            )
+
+    previous = _serialize._pre_rename_hook
+    _serialize._pre_rename_hook = hook
+    try:
+        yield calls
+    finally:
+        _serialize._pre_rename_hook = previous
+
+
+def truncate_tail(path: Union[str, Path], drop_bytes: int) -> int:
+    """Tear the last ``drop_bytes`` bytes off ``path`` in place; returns
+    the new size.  This is the on-disk signature of a crash mid-append
+    (the exact fault a journal's torn-tail-tolerant replay must absorb);
+    truncating more than the file holds leaves an empty file.
+    """
+    if drop_bytes < 0:
+        raise ValueError(f"drop_bytes must be >= 0, got {drop_bytes}")
+    size = os.path.getsize(path)
+    new_size = max(0, size - drop_bytes)
+    with open(path, "r+b") as stream:
+        stream.truncate(new_size)
+    return new_size
+
 
 def flip_bits(data: bytes, flips: int = 1, seed: int = 0) -> bytes:
     """Return ``data`` with ``flips`` random bits flipped (deterministic)."""

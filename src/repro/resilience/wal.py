@@ -1,0 +1,580 @@
+"""Segmented write-ahead event journal.
+
+The serving layer acknowledges an ingest frame the moment its events are
+admitted to a connection queue -- which, without a journal, makes every
+acknowledgement a small lie: a crash between the ack and the next
+checkpoint silently discards the events.  The WAL closes that gap.  The
+server appends each accepted EVENT/BATCH frame here *before* replying, so
+"acked" always means "replayable": on restart, the last good checkpoint is
+restored and the journal tail is replayed through the normal batch ingest
+lane.
+
+On-disk layout (one directory per log)::
+
+    wal-00000000000000000001.seg      segments, named by first record seq
+    wal-00000000000000004097.seg
+    wal.meta.json                     checkpoint cut + producer high-marks
+
+Each segment starts with a magic header and holds a run of records with
+strictly increasing sequence numbers.  A record is::
+
+    u32 body-length || u32 crc32(body) || body
+
+where the body is one UTF-8 JSON line (NDJSON -- ``strings`` a segment and
+you can read the traffic) carrying the sequence number, tenant, optional
+producer identity, and the event payloads in the wire-protocol shape.
+
+Durability is a policy, not an accident (:class:`FsyncPolicy`):
+
+* ``always``   -- fsync after every append; an acked event survives even a
+  machine crash (the cost is one fsync per frame);
+* ``interval`` -- flush to the OS on every append, fsync at most once per
+  ``fsync_interval`` seconds; an acked event survives process death
+  (``kill -9``) always, and machine crash up to the interval;
+* ``never``    -- flush to the OS only; survives process death, not power
+  loss.
+
+Replay (:meth:`WriteAheadLog.replay`) is *truncated-tail tolerant*: a torn
+final record -- the signature of a crash mid-append -- ends replay cleanly
+rather than raising, and is counted.  Corruption in the middle of a
+segment abandons the rest of that segment (the length-prefixed framing
+cannot be resynchronised) but continues with the next one, counting what
+it skipped; recovery prefers a degraded synopsis over no synopsis, the
+same stance the checkpoint loader takes.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from ..monitor.events import BlockIOEvent
+from ..telemetry.metrics import MetricsRegistry
+from ..trace.record import OpType
+
+PathOrStr = Union[str, Path]
+
+_SEGMENT_MAGIC = b"RTWAL\x01"
+_RECORD_HEADER = struct.Struct("<II")  # body length, crc32(body)
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+_SEQ_DIGITS = 20
+
+META_FILENAME = "wal.meta.json"
+
+#: Default rotation threshold; small enough that checkpoint truncation
+#: reclaims space promptly, large enough to amortise file churn.
+DEFAULT_SEGMENT_BYTES = 16 * 1024 * 1024
+DEFAULT_FSYNC_INTERVAL = 0.05
+
+
+class FsyncPolicy(enum.Enum):
+    """When an append becomes durable against machine (not just process)
+    crash."""
+
+    ALWAYS = "always"
+    INTERVAL = "interval"
+    NEVER = "never"
+
+    @classmethod
+    def parse(cls, value: "Union[str, FsyncPolicy]") -> "FsyncPolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).strip().lower())
+        except ValueError:
+            known = ", ".join(policy.value for policy in cls)
+            raise ValueError(
+                f"unknown fsync policy {value!r}; know {known}"
+            ) from None
+
+
+class WalCorruptError(ValueError):
+    """A WAL structure check failed somewhere replay could not tolerate."""
+
+
+# The event codec mirrors the wire protocol's compact shape
+# (``repro.server.protocol``), but lives here so the resilience layer
+# stays importable without the serving stack (server depends on
+# resilience, never the reverse).
+
+def event_to_payload(event: BlockIOEvent) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "ts": event.timestamp,
+        "op": event.op.value,
+        "start": event.start,
+        "len": event.length,
+    }
+    if event.pid:
+        payload["pid"] = event.pid
+    if event.latency is not None:
+        payload["lat"] = event.latency
+    if event.pgid:
+        payload["pgid"] = event.pgid
+    return payload
+
+
+def event_from_payload(payload: Dict[str, object]) -> BlockIOEvent:
+    return BlockIOEvent(
+        timestamp=float(payload["ts"]),
+        pid=int(payload.get("pid", 0)),
+        op=OpType.parse(payload["op"]),
+        start=int(payload["start"]),
+        length=int(payload["len"]),
+        latency=(float(payload["lat"])
+                 if payload.get("lat") is not None else None),
+        pgid=int(payload.get("pgid", 0)),
+    )
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One journalled ingest frame."""
+
+    seq: int
+    events: List[BlockIOEvent]
+    tenant: str = ""
+    producer: Optional[str] = None
+    pseq: Optional[int] = None
+
+
+@dataclass
+class WalReplayStats:
+    """What one replay pass saw (and what it had to give up on)."""
+
+    segments_scanned: int = 0
+    records_replayed: int = 0
+    events_replayed: int = 0
+    records_skipped: int = 0
+    corrupt_records: int = 0
+    torn_tail: bool = False
+
+
+@dataclass
+class WalMeta:
+    """The checkpoint cut: everything at or below ``checkpoint_seq`` is
+    covered by the on-disk checkpoint, and ``producers`` holds each
+    producer's highest acknowledged frame sequence at that cut (so dedup
+    state survives truncation of the records that carried it)."""
+
+    checkpoint_seq: int = 0
+    producers: Dict[str, int] = field(default_factory=dict)
+
+
+def _meta_path(directory: PathOrStr) -> Path:
+    return Path(directory) / META_FILENAME
+
+
+def write_wal_meta(directory: PathOrStr, meta: WalMeta) -> None:
+    """Atomically persist the checkpoint cut (temp + fsync + rename)."""
+    path = _meta_path(directory)
+    tmp_path = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    body = json.dumps({
+        "checkpoint_seq": meta.checkpoint_seq,
+        "producers": meta.producers,
+    }, sort_keys=True)
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as stream:
+            stream.write(body)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
+
+
+def read_wal_meta(directory: PathOrStr) -> WalMeta:
+    """Read the checkpoint cut; a missing or corrupt meta file degrades to
+    "nothing is covered" (replay everything), which is always safe."""
+    try:
+        with open(_meta_path(directory), encoding="utf-8") as stream:
+            raw = json.load(stream)
+        producers = {
+            str(name): int(seq)
+            for name, seq in dict(raw.get("producers", {})).items()
+        }
+        return WalMeta(checkpoint_seq=int(raw["checkpoint_seq"]),
+                       producers=producers)
+    except (OSError, ValueError, KeyError, TypeError):
+        return WalMeta()
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_seq:0{_SEQ_DIGITS}d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_first_seq(path: Path) -> Optional[int]:
+    name = path.name
+    if not (name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def _record_bytes(record_body: bytes) -> bytes:
+    return _RECORD_HEADER.pack(len(record_body),
+                               zlib.crc32(record_body)) + record_body
+
+
+def _iter_segment_records(path: Path) -> Iterator[Union[WalRecord, str]]:
+    """Yield records from one segment; a final string marks where (and
+    why) reading stopped early.  ``"torn"`` means a short read at the
+    tail, ``"corrupt"`` a CRC or structure failure."""
+    with open(path, "rb") as stream:
+        magic = stream.read(len(_SEGMENT_MAGIC))
+        if magic != _SEGMENT_MAGIC:
+            yield "corrupt"
+            return
+        while True:
+            header = stream.read(_RECORD_HEADER.size)
+            if not header:
+                return
+            if len(header) < _RECORD_HEADER.size:
+                yield "torn"
+                return
+            length, crc_expected = _RECORD_HEADER.unpack(header)
+            body = stream.read(length)
+            if len(body) < length:
+                yield "torn"
+                return
+            if zlib.crc32(body) != crc_expected:
+                yield "corrupt"
+                return
+            try:
+                raw = json.loads(body)
+                record = WalRecord(
+                    seq=int(raw["seq"]),
+                    tenant=str(raw.get("tenant", "")),
+                    producer=raw.get("producer"),
+                    pseq=(int(raw["pseq"])
+                          if raw.get("pseq") is not None else None),
+                    events=[event_from_payload(entry)
+                            for entry in raw["events"]],
+                )
+            except Exception:
+                yield "corrupt"
+                return
+            yield record
+
+
+class WriteAheadLog:
+    """Append-only, segmented, CRC-framed event journal."""
+
+    def __init__(
+        self,
+        directory: PathOrStr,
+        *,
+        fsync: Union[str, FsyncPolicy] = FsyncPolicy.INTERVAL,
+        fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        registry: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+        readonly: bool = False,
+    ) -> None:
+        """``readonly`` opens the log for replay/tailing only -- no active
+        segment is created or opened, so a warm standby can watch a
+        primary's live journal without touching its files."""
+        if segment_bytes < 1024:
+            raise ValueError(
+                f"segment_bytes must be >= 1024, got {segment_bytes}"
+            )
+        if fsync_interval <= 0:
+            raise ValueError(
+                f"fsync_interval must be > 0, got {fsync_interval}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = FsyncPolicy.parse(fsync)
+        self.fsync_interval = fsync_interval
+        self.segment_bytes = segment_bytes
+        self._clock = clock
+        self._last_fsync = clock()
+        self._stream = None
+        self._stream_path: Optional[Path] = None
+        self._stream_size = 0
+        self._closed = False
+        self.readonly = readonly
+        self.replay_stats = WalReplayStats()
+        self._bind_metrics(registry)
+        self._last_seq = self._scan_last_seq()
+        if not readonly:
+            self._open_active_segment()
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _bind_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        if registry is None or not registry.enabled:
+            self._counters = None
+            return
+        self._counters = {
+            name: registry.counter(f"repro_wal_{name}_total", help)
+            for name, help in {
+                "appended_records": "Ingest frames journalled",
+                "appended_events": "Events journalled",
+                "fsyncs": "fsync calls issued by the journal",
+                "rotations": "Segment rotations",
+                "replayed_records": "Records replayed into the engine",
+                "replayed_events": "Events replayed into the engine",
+                "skipped_records": "Replayed records already covered by "
+                                   "the checkpoint cut",
+                "corrupt_records": "Records (or segment remainders) "
+                                   "abandoned as corrupt during replay",
+                "torn_tails": "Replays that ended at a torn final record",
+            }.items()
+        }
+        self._segments_gauge = registry.gauge(
+            "repro_wal_segments", "Segment files on disk"
+        )
+        self._bytes_gauge = registry.gauge(
+            "repro_wal_bytes", "Journal bytes on disk"
+        )
+        registry.register_collector(self._collect)
+
+    def _collect(self) -> None:
+        segments = self.segments()
+        self._segments_gauge.set(len(segments))
+        self._bytes_gauge.set(
+            sum(path.stat().st_size for path in segments
+                if path.exists())
+        )
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._counters is not None:
+            self._counters[name].inc(amount)
+
+    # -- segment management -------------------------------------------------
+
+    def segments(self) -> List[Path]:
+        """Segment files, oldest first."""
+        found = [
+            path for path in self.directory.iterdir()
+            if _segment_first_seq(path) is not None
+        ]
+        return sorted(found, key=lambda path: _segment_first_seq(path))
+
+    def _scan_last_seq(self) -> int:
+        """Highest sequence durably recorded (reads only the last
+        segment; earlier segments are bounded by its name)."""
+        segments = self.segments()
+        if not segments:
+            return 0
+        last_seq = _segment_first_seq(segments[-1]) - 1
+        for item in _iter_segment_records(segments[-1]):
+            if isinstance(item, WalRecord):
+                last_seq = item.seq
+        return last_seq
+
+    def _open_active_segment(self) -> None:
+        segments = self.segments()
+        if segments:
+            path = segments[-1]
+            # Appending after a torn tail would interleave a fresh record
+            # with half of an old one; start a new segment instead.
+            tail_ok = all(isinstance(item, WalRecord)
+                          for item in _iter_segment_records(path))
+            if not tail_ok:
+                self._start_segment(self._last_seq + 1)
+                return
+            self._stream = open(path, "ab")
+            self._stream_path = path
+            self._stream_size = path.stat().st_size
+            return
+        self._start_segment(self._last_seq + 1)
+
+    def _start_segment(self, first_seq: int) -> None:
+        if self._stream is not None:
+            self._sync_stream()
+            self._stream.close()
+        path = self.directory / _segment_name(first_seq)
+        if path.exists() and path.stat().st_size > 0:
+            # The segment that should start at this seq is damaged from
+            # its first record (that's the only way the name recurs);
+            # quarantine it rather than appending after garbage.
+            path.rename(path.with_suffix(".corrupt"))
+        self._stream = open(path, "ab")
+        if self._stream.tell() == 0:
+            self._stream.write(_SEGMENT_MAGIC)
+            self._stream.flush()
+        self._stream_path = path
+        self._stream_size = self._stream.tell()
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        return self._last_seq
+
+    @property
+    def active_segment(self) -> Optional[Path]:
+        return self._stream_path
+
+    # -- appending ----------------------------------------------------------
+
+    def append(
+        self,
+        events: Sequence[BlockIOEvent],
+        tenant: str = "",
+        producer: Optional[str] = None,
+        pseq: Optional[int] = None,
+    ) -> int:
+        """Journal one accepted ingest frame; returns its sequence number.
+
+        The record is flushed to the OS before this returns (process
+        death cannot lose it); whether it is fsynced follows the policy.
+        Raises :class:`OSError` on write failure -- the caller must *not*
+        acknowledge the frame in that case.
+        """
+        if self._closed:
+            raise ValueError("write-ahead log is closed")
+        if self.readonly:
+            raise ValueError("write-ahead log opened readonly")
+        seq = self._last_seq + 1
+        body = json.dumps({
+            "seq": seq,
+            "tenant": tenant,
+            "producer": producer,
+            "pseq": pseq,
+            "events": [event_to_payload(event) for event in events],
+        }, separators=(",", ":")).encode("utf-8") + b"\n"
+        framed = _record_bytes(body)
+        self._stream.write(framed)
+        self._stream.flush()
+        self._stream_size += len(framed)
+        self._last_seq = seq
+        if self.fsync is FsyncPolicy.ALWAYS:
+            self._fsync_now()
+        elif self.fsync is FsyncPolicy.INTERVAL:
+            self.sync_if_due()
+        if self._stream_size >= self.segment_bytes:
+            self._start_segment(seq + 1)
+            self._count("rotations")
+        self._count("appended_records")
+        self._count("appended_events", len(events))
+        return seq
+
+    def _fsync_now(self) -> None:
+        os.fsync(self._stream.fileno())
+        self._last_fsync = self._clock()
+        self._count("fsyncs")
+
+    def _sync_stream(self) -> None:
+        self._stream.flush()
+        if self.fsync is not FsyncPolicy.NEVER:
+            self._fsync_now()
+
+    def sync(self) -> None:
+        """Force the journal durable now, regardless of policy."""
+        if self._stream is not None and not self._closed:
+            self._stream.flush()
+            self._fsync_now()
+
+    def sync_if_due(self) -> None:
+        """Fsync when the interval policy's clock says so (no-op
+        otherwise); hosts call this from a periodic task so an idle tail
+        still becomes durable."""
+        if self._stream is not None and not self._closed and \
+                self.fsync is FsyncPolicy.INTERVAL and \
+                self._clock() - self._last_fsync >= self.fsync_interval:
+            self._stream.flush()
+            self._fsync_now()
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self, after_seq: int = 0,
+               stats: Optional[WalReplayStats] = None
+               ) -> Iterator[WalRecord]:
+        """Yield journalled records with ``seq > after_seq``, oldest first.
+
+        Tolerates a torn final record (crash mid-append) and abandons the
+        remainder of a mid-log corrupt segment while continuing with the
+        next; everything it saw, skipped, or gave up on is counted in
+        ``stats`` (also kept as :attr:`replay_stats`).  Safe to call on a
+        live log written by another process -- segments are re-read from
+        disk each call.
+        """
+        stats = stats if stats is not None else WalReplayStats()
+        self.replay_stats = stats
+        segments = self.segments()
+        for index, path in enumerate(segments):
+            is_last = index == len(segments) - 1
+            next_first = (_segment_first_seq(segments[index + 1])
+                          if not is_last else None)
+            if next_first is not None and next_first - 1 <= after_seq:
+                # Every record in this segment is at or below the cut.
+                stats.records_skipped += \
+                    next_first - _segment_first_seq(path)
+                continue
+            stats.segments_scanned += 1
+            for item in _iter_segment_records(path):
+                if item == "torn":
+                    stats.torn_tail = True
+                    self._count("torn_tails")
+                    if not is_last:
+                        stats.corrupt_records += 1
+                        self._count("corrupt_records")
+                    break
+                if item == "corrupt":
+                    stats.corrupt_records += 1
+                    self._count("corrupt_records")
+                    break
+                if item.seq <= after_seq:
+                    stats.records_skipped += 1
+                    self._count("skipped_records")
+                    continue
+                stats.records_replayed += 1
+                stats.events_replayed += len(item.events)
+                self._count("replayed_records")
+                self._count("replayed_events", len(item.events))
+                yield item
+
+    # -- truncation ---------------------------------------------------------
+
+    def truncate_through(self, seq: int) -> int:
+        """Delete segments every record of which is ``<= seq``; returns
+        how many were removed.
+
+        Called after a successful checkpoint covering ``seq``.  When the
+        active segment itself is fully covered it is rotated first, so a
+        checkpoint of a quiescent server reclaims the whole journal.
+        """
+        removed = 0
+        if self._stream is not None and not self._closed and \
+                self._last_seq <= seq and self._stream_size > \
+                len(_SEGMENT_MAGIC):
+            self._start_segment(self._last_seq + 1)
+            self._count("rotations")
+        segments = self.segments()
+        for index, path in enumerate(segments):
+            if path == self._stream_path:
+                continue
+            next_first = (_segment_first_seq(segments[index + 1])
+                          if index + 1 < len(segments) else None)
+            last_in_segment = (next_first - 1 if next_first is not None
+                               else self._last_seq)
+            if last_in_segment <= seq:
+                path.unlink()
+                removed += 1
+        return removed
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed or self._stream is None:
+            return
+        self._sync_stream()
+        self._stream.close()
+        self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

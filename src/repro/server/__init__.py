@@ -14,9 +14,16 @@ network boundary a deployment needs:
   reconnect, and count/age-bounded batch flushing;
 * :class:`ServerThread` -- run the server on a background event loop for
   synchronous hosts (tests, benchmarks, notebooks);
-* :mod:`~repro.server.protocol` -- the wire format itself.
+* :mod:`~repro.server.protocol` -- the wire format itself;
+* the durability additions: write-ahead journalling with crash recovery
+  (:mod:`~repro.server.recovery`), a :class:`Supervisor` that restarts a
+  crashed or hung worker process (with crash-loop give-up), a
+  :class:`WarmStandby` that tails the journal for fast promotion, and a
+  client-side :class:`CircuitBreaker` + request deadlines for the
+  failover window.
 
-See ``docs/serving.md`` for the protocol spec and deployment examples.
+See ``docs/serving.md`` for the protocol spec and deployment examples,
+and ``docs/robustness.md`` for the durability/failover runbook.
 """
 
 from .backpressure import (
@@ -26,9 +33,11 @@ from .backpressure import (
     DEFAULT_SOFT_LIMIT,
     QueueStats,
 )
+from .circuit import CircuitBreaker, CircuitOpenError, CircuitState
 from .client import (
     BatchingWriter,
     CharacterizationClient,
+    DeadlineExceededError,
     ServerError,
     ServerOverloadedError,
 )
@@ -41,7 +50,21 @@ from .protocol import (
     ProtocolError,
     encode_frame,
 )
+from .recovery import (
+    RecoveryReport,
+    WalRecovery,
+    discover_tenant_checkpoints,
+    tenant_checkpoint_path,
+)
 from .server import CharacterizationServer, ServerThread
+from .supervisor import (
+    RestartTracker,
+    Supervisor,
+    SupervisorGaveUp,
+    WarmStandby,
+    WorkerConfig,
+    run_server_worker,
+)
 from .tenants import (
     DEFAULT_MAX_TENANTS,
     DEFAULT_TENANT,
@@ -55,21 +78,35 @@ __all__ = [
     "BoundedIngestQueue",
     "CharacterizationClient",
     "CharacterizationServer",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CircuitState",
     "DEFAULT_HARD_LIMIT",
     "DEFAULT_MAX_FRAME_BYTES",
     "DEFAULT_MAX_TENANTS",
     "DEFAULT_SOFT_LIMIT",
     "DEFAULT_TENANT",
+    "DeadlineExceededError",
     "Frame",
     "FrameDecoder",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QueueStats",
+    "RecoveryReport",
+    "RestartTracker",
     "ServerError",
     "ServerMetrics",
     "ServerOverloadedError",
     "ServerThread",
+    "Supervisor",
+    "SupervisorGaveUp",
     "TenantLimitError",
     "TenantRouter",
+    "WalRecovery",
+    "WarmStandby",
+    "WorkerConfig",
+    "discover_tenant_checkpoints",
     "encode_frame",
+    "run_server_worker",
+    "tenant_checkpoint_path",
 ]

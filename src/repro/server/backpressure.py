@@ -87,6 +87,17 @@ class BoundedIngestQueue:
     def empty(self) -> bool:
         return not self._batches
 
+    def would_reject(self, count: int) -> bool:
+        """Would an offer of ``count`` events be rejected right now?
+
+        The durable server asks this *before* journaling a frame, so a
+        frame destined for rejection is never written to the WAL (a
+        journaled-but-dropped frame would reappear on replay).  The check
+        and the subsequent :meth:`offer` are atomic by construction: both
+        run on the one event-loop thread with no await between them.
+        """
+        return self._depth + count > self.hard_limit
+
     def offer(self, events: Sequence[BlockIOEvent],
               tag: str = "") -> Admission:
         """Admit one frame's events, whole or not at all.

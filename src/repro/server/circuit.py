@@ -1,0 +1,130 @@
+"""Client-side circuit breaker: fail fast while the server is down.
+
+During a failover window -- the worker crashed, the supervisor is
+restarting it or promoting a standby -- every request is doomed for a few
+hundred milliseconds to a few seconds.  Without a breaker each caller
+discovers that the slow way: a full socket timeout times its retry
+schedule, per request.  The breaker remembers recent outcomes and converts
+"the server is down" into an immediate, cheap
+:class:`CircuitOpenError`, so callers can shed work (or queue it) instead
+of stacking up blocked threads.
+
+Classic three-state machine:
+
+* **closed** -- requests flow; ``failure_threshold`` *consecutive*
+  failures trip it open;
+* **open** -- requests are refused instantly until ``reset_timeout``
+  elapses;
+* **half-open** -- one probe request is let through; success closes the
+  breaker, failure re-opens it (and restarts the timer).
+
+The breaker is a passive value object: it never sleeps, never spawns
+timers -- callers report outcomes and ask permission.  The clock is
+injectable so tests run instantly.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+
+class CircuitState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(ConnectionError):
+    """Refused locally: the breaker is open (the server looked down)."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"circuit open; retry in {retry_after:.3f}s"
+        )
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be > 0, got {reset_timeout}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        # -- lifetime counters (telemetry / tests) ------------------------
+        self.opens = 0
+        self.refused = 0
+
+    @property
+    def state(self) -> CircuitState:
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def _maybe_half_open(self) -> None:
+        if self._state is CircuitState.OPEN and \
+                self._clock() - self._opened_at >= self.reset_timeout:
+            self._state = CircuitState.HALF_OPEN
+            self._probe_outstanding = False
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In half-open state exactly one caller gets a ``True`` (the probe);
+        the rest are refused until its outcome is reported.
+        """
+        self._maybe_half_open()
+        if self._state is CircuitState.CLOSED:
+            return True
+        if self._state is CircuitState.HALF_OPEN and \
+                not self._probe_outstanding:
+            self._probe_outstanding = True
+            return True
+        self.refused += 1
+        return False
+
+    def check(self) -> None:
+        """:meth:`allow`, raising :class:`CircuitOpenError` on refusal."""
+        if not self.allow():
+            remaining = max(
+                0.0,
+                self.reset_timeout - (self._clock() - self._opened_at),
+            )
+            raise CircuitOpenError(remaining)
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probe_outstanding = False
+        self._state = CircuitState.CLOSED
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        self._probe_outstanding = False
+        if self._state is CircuitState.HALF_OPEN or \
+                self._consecutive_failures >= self.failure_threshold:
+            if self._state is not CircuitState.OPEN:
+                self.opens += 1
+            self._state = CircuitState.OPEN
+            self._opened_at = self._clock()

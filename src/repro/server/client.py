@@ -15,18 +15,34 @@ client a simple loop: write one frame, read frames until one reply.
 :class:`BatchingWriter` is the producer-side ergonomic: hand it events one
 at a time and it flushes ``BATCH`` frames by count or age, the exact
 client-side mirror of the service's ``submit_many`` fast path.
+
+Failure-window behaviour (the durable-serving additions):
+
+* every ingest frame carries a **producer identity** (a random id plus a
+  per-frame sequence number), so a frame retried after a mid-reply crash
+  is recognised and deduplicated by the server's write-ahead journal --
+  at-least-once delivery with exactly-once application;
+* ``request_deadline`` bounds one logical request *end to end* -- connect,
+  retries, and backoff sleeps included -- raising
+  :class:`DeadlineExceededError` instead of blocking on a hung
+  (e.g. SIGSTOPped) server;
+* an optional :class:`~repro.server.circuit.CircuitBreaker` converts a
+  down server into instant :class:`~repro.server.circuit.CircuitOpenError`
+  refusals while the supervisor restarts it.
 """
 
 from __future__ import annotations
 
 import socket
 import time
+import uuid
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.extent import Extent, ExtentPair
 from ..monitor.events import BlockIOEvent
 from ..resilience.policy import BackoffPolicy
 from . import protocol
+from .circuit import CircuitBreaker
 from .protocol import DEFAULT_MAX_FRAME_BYTES, FrameDecoder
 
 Address = Union[Tuple[str, int], str]
@@ -47,6 +63,14 @@ class ServerOverloadedError(ServerError):
     """Hard backpressure: the frame was rejected, retries exhausted."""
 
 
+class DeadlineExceededError(RuntimeError):
+    """The request (including retries) outran its configured deadline.
+
+    Deliberately *not* an :class:`OSError` subclass: the retry loop
+    swallows transport errors, and a deadline must escape it.
+    """
+
+
 class CharacterizationClient:
     """Synchronous request/reply client with reconnect and backpressure.
 
@@ -61,26 +85,48 @@ class CharacterizationClient:
         *,
         tenant: Optional[str] = None,
         timeout: float = 30.0,
+        request_deadline: Optional[float] = None,
         policy: Optional[BackoffPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
         obey_throttle: bool = True,
         sleep=time.sleep,
+        clock=time.monotonic,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> None:
+        """``timeout`` bounds each socket operation; ``request_deadline``
+        (seconds, ``None`` = unbounded) bounds one :meth:`request` end to
+        end, backoff sleeps and reconnects included.  ``breaker`` is an
+        optional shared :class:`CircuitBreaker` fed by every outcome.
+        """
+        if request_deadline is not None and request_deadline <= 0:
+            raise ValueError(
+                f"request_deadline must be > 0, got {request_deadline}"
+            )
         self.address = address
         self.tenant = tenant
         self.timeout = timeout
+        self.request_deadline = request_deadline
         self.policy = policy if policy is not None else BackoffPolicy()
+        self.breaker = breaker
         self.obey_throttle = obey_throttle
         self._sleep = sleep
+        self._clock = clock
         self._max_frame_bytes = max_frame_bytes
         self._sock: Optional[socket.socket] = None
         self._decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
+        #: Producer identity for exactly-once ingest across retries: the
+        #: server's journal remembers the highest ``pseq`` applied per
+        #: producer and acknowledges (without re-applying) anything at or
+        #: below it.
+        self.producer_id = uuid.uuid4().hex
+        self._pseq = 0
         # -- producer-visible counters -----------------------------------
         self.events_sent = 0
         self.frames_sent = 0
         self.throttle_count = 0
         self.reconnects = 0
         self.overload_retries = 0
+        self.duplicates_acked = 0
 
     # -- connection management ------------------------------------------------
 
@@ -115,11 +161,32 @@ class CharacterizationClient:
 
     # -- request/reply core ---------------------------------------------------
 
-    def _send_and_receive(self, data: bytes) -> Dict[str, Any]:
+    def _remaining(self, deadline: Optional[float]) -> Optional[float]:
+        return None if deadline is None else deadline - self._clock()
+
+    def _apply_deadline(self, sock: socket.socket,
+                        deadline: Optional[float]) -> None:
+        """Cap the next socket operation by both the per-op timeout and
+        whatever is left of the request deadline."""
+        remaining = self._remaining(deadline)
+        if remaining is None:
+            sock.settimeout(self.timeout)
+            return
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                f"request deadline of {self.request_deadline}s exceeded"
+            )
+        sock.settimeout(min(self.timeout, remaining))
+
+    def _send_and_receive(self, data: bytes,
+                          deadline: Optional[float] = None
+                          ) -> Dict[str, Any]:
         self.connect()
         sock = self._sock
+        self._apply_deadline(sock, deadline)
         sock.sendall(data)
         while True:
+            self._apply_deadline(sock, deadline)
             chunk = sock.recv(_RECV_CHUNK)
             if not chunk:
                 raise ConnectionError("server closed the connection")
@@ -133,34 +200,62 @@ class CharacterizationClient:
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send one frame and return its reply, reconnecting on failure.
 
-        Connection errors retry per the backoff policy (note: a frame may
-        be delivered twice if the failure hit after the server read it --
-        ingest is at-least-once under reconnect).  An ``overloaded``
-        rejection also retries after backoff, since the server sheds load
-        transiently by design.  Any other ERROR raises
-        :class:`ServerError` immediately.
+        Connection errors retry per the backoff policy; the producer
+        sequence carried by ingest frames makes the redelivery harmless
+        (the server acknowledges a duplicate without re-applying it).  An
+        ``overloaded`` rejection also retries after backoff, since the
+        server sheds load transiently by design.  Any other ERROR raises
+        :class:`ServerError` immediately.  ``request_deadline`` bounds
+        the whole loop; an open circuit breaker refuses instantly.
         """
         if self.tenant is not None:
             payload.setdefault("tenant", self.tenant)
         data = protocol.encode_frame(payload)
         policy = self.policy
+        breaker = self.breaker
+        deadline = (self._clock() + self.request_deadline
+                    if self.request_deadline is not None else None)
         attempt = 0
         while True:
+            if breaker is not None:
+                breaker.check()
             try:
-                reply = self._send_and_receive(data)
-            except (ConnectionError, socket.timeout, OSError):
+                reply = self._send_and_receive(data, deadline)
+            except DeadlineExceededError:
                 self.close()
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                self.close()
+                if breaker is not None:
+                    breaker.record_failure()
+                remaining = self._remaining(deadline)
+                if remaining is not None and remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"request deadline of {self.request_deadline}s "
+                        f"exceeded after {attempt + 1} attempts"
+                    ) from exc
                 if attempt >= policy.retries:
                     raise
-                self._sleep(policy.delay(attempt))
+                delay = policy.delay(attempt)
+                if remaining is not None:
+                    delay = min(delay, max(0.0, remaining))
+                self._sleep(delay)
                 attempt += 1
                 self.reconnects += 1
                 continue
+            # Any decoded reply means the server is up: the breaker
+            # tracks availability, not load shedding.
+            if breaker is not None:
+                breaker.record_success()
             if reply.get("type") == protocol.REPLY_ERROR:
                 code = reply.get("code", protocol.ERR_INTERNAL)
                 message = reply.get("error", "")
                 if code == protocol.ERR_OVERLOADED:
-                    if attempt >= policy.retries:
+                    remaining = self._remaining(deadline)
+                    if attempt >= policy.retries or \
+                            (remaining is not None and remaining <= 0):
                         raise ServerOverloadedError(code, message)
                     self._sleep(policy.delay(attempt))
                     attempt += 1
@@ -171,6 +266,8 @@ class CharacterizationClient:
                 self.throttle_count += 1
                 if self.obey_throttle:
                     self._sleep(float(reply.get("retry_after", 0.05)))
+            if reply.get("duplicate"):
+                self.duplicates_acked += 1
             return reply
 
     # -- protocol verbs -------------------------------------------------------
@@ -181,18 +278,27 @@ class CharacterizationClient:
             raise protocol.ProtocolError(f"expected PONG, got {reply!r}")
         return reply
 
+    def _stamp_producer(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Attach the producer identity to one ingest frame.  The pseq is
+        assigned once per frame -- retries resend the same number, which
+        is exactly what lets the server deduplicate them."""
+        self._pseq += 1
+        payload["producer"] = self.producer_id
+        payload["pseq"] = self._pseq
+        return payload
+
     def send_event(self, event: BlockIOEvent) -> Dict[str, Any]:
-        reply = self.request({
+        reply = self.request(self._stamp_producer({
             "type": protocol.FRAME_EVENT,
             "event": protocol.event_to_payload(event),
-        })
+        }))
         self.frames_sent += 1
         self.events_sent += 1
         return reply
 
     def send_events(self, events: List[BlockIOEvent]) -> Dict[str, Any]:
         """Send one BATCH frame; returns the (OK or THROTTLE) reply."""
-        reply = self.request(protocol.batch_frame(events))
+        reply = self.request(self._stamp_producer(protocol.batch_frame(events)))
         self.frames_sent += 1
         self.events_sent += int(reply.get("accepted", len(events)))
         return reply

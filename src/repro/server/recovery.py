@@ -1,0 +1,179 @@
+"""Crash recovery: restore the checkpoint, replay the journal tail.
+
+On startup (or standby warm-up) the durable server rebuilds its state in
+two moves:
+
+1. **checkpoint restore** -- each tenant's last good checkpoint is loaded
+   through the resilience layer (corrupt shards degrade, a corrupt file
+   falls back fresh rather than refusing to start);
+2. **journal replay** -- the write-ahead log's records are streamed
+   through the normal batch ingest lane (``submit_many``), skipping
+   whatever the checkpoint already covers.  A tenant whose checkpoint
+   failed to load is replayed *from the beginning of the journal*, so an
+   intact WAL rescues a corrupt checkpoint outright.
+
+The same machinery doubles as the warm standby's tailing loop: call
+:meth:`WalRecovery.recover` once, then :meth:`WalRecovery.catch_up`
+periodically to apply whatever a (still running, or recently dead)
+primary appended since.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.serialize import CheckpointCorruptError
+from ..resilience.service import ResilientCharacterizationService
+from ..resilience.wal import WalMeta, WriteAheadLog, read_wal_meta
+from ..service import CharacterizationService
+from .tenants import DEFAULT_TENANT, TenantLimitError, TenantRouter
+
+
+def tenant_checkpoint_path(checkpoint_path: str, tenant: str) -> str:
+    """Where one tenant's checkpoint lives (default tenant: the path
+    itself; others: a dotted suffix)."""
+    return checkpoint_path if tenant == DEFAULT_TENANT \
+        else f"{checkpoint_path}.{tenant}"
+
+
+def discover_tenant_checkpoints(checkpoint_path: str) -> Dict[str, str]:
+    """Map tenant name -> checkpoint file for every checkpoint on disk."""
+    base = Path(checkpoint_path)
+    found: Dict[str, str] = {}
+    if base.exists():
+        found[DEFAULT_TENANT] = str(base)
+    if base.parent.exists():
+        for path in base.parent.glob(f"{base.name}.*"):
+            tenant = path.name[len(base.name) + 1:]
+            if tenant:
+                found[tenant] = str(path)
+    return found
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass restored, replayed, and gave up on."""
+
+    restored_tenants: List[str] = field(default_factory=list)
+    failed_tenants: List[str] = field(default_factory=list)
+    checkpoint_seq: int = 0
+    applied_seq: int = 0
+    replayed_records: int = 0
+    replayed_events: int = 0
+    skipped_records: int = 0
+    corrupt_records: int = 0
+    torn_tail: bool = False
+    refused_tenants: int = 0
+    producers: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def checkpoint_loaded(self) -> bool:
+        return bool(self.restored_tenants) and not self.failed_tenants
+
+
+def _restore_service(service: CharacterizationService, path: str) -> bool:
+    """Load one tenant's checkpoint; True when its state actually loaded
+    (a degraded-but-loaded restore counts, a fresh fallback does not)."""
+    if isinstance(service, ResilientCharacterizationService):
+        return service.restore_from(path)
+    try:
+        with open(path, "rb") as stream:
+            service.restore(stream)
+        return True
+    except (OSError, CheckpointCorruptError):
+        return False
+
+
+class WalRecovery:
+    """Restores a tenant router from checkpoint + journal, then tails."""
+
+    def __init__(
+        self,
+        router: TenantRouter,
+        wal: WriteAheadLog,
+        checkpoint_path: Optional[str] = None,
+    ) -> None:
+        self.router = router
+        self.wal = wal
+        self.checkpoint_path = checkpoint_path
+        self.applied_seq = 0
+        self.producers: Dict[str, int] = {}
+        self._tenant_ok: Dict[str, bool] = {}
+        self.report = RecoveryReport()
+
+    # -- initial recovery ---------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """One-shot startup recovery; returns the report (also kept as
+        :attr:`report`)."""
+        report = self.report = RecoveryReport()
+        meta = read_wal_meta(self.wal.directory) if self.checkpoint_path \
+            else WalMeta()
+        report.checkpoint_seq = meta.checkpoint_seq
+        self.producers = dict(meta.producers)
+        if self.checkpoint_path:
+            self._restore_checkpoints(report)
+        self._apply_records(report, meta.checkpoint_seq)
+        report.producers = dict(self.producers)
+        return report
+
+    def _restore_checkpoints(self, report: RecoveryReport) -> None:
+        for tenant, path in sorted(
+                discover_tenant_checkpoints(self.checkpoint_path).items()):
+            try:
+                service = self.router.get(tenant)
+            except TenantLimitError:
+                report.refused_tenants += 1
+                continue
+            ok = _restore_service(service, path)
+            self._tenant_ok[tenant] = ok
+            (report.restored_tenants if ok
+             else report.failed_tenants).append(tenant)
+
+    def _apply_records(self, report: RecoveryReport, cut: int) -> None:
+        """Replay the whole journal, skipping records the checkpoint
+        already covers *for tenants whose checkpoint actually loaded*."""
+        for record in self.wal.replay(after_seq=0):
+            self.applied_seq = record.seq
+            self._note_producer(record)
+            if record.seq <= cut and self._tenant_ok.get(record.tenant):
+                report.skipped_records += 1
+                continue
+            if self._apply(record):
+                report.replayed_records += 1
+                report.replayed_events += len(record.events)
+            else:
+                report.refused_tenants += 1
+        stats = self.wal.replay_stats
+        report.corrupt_records = stats.corrupt_records
+        report.torn_tail = stats.torn_tail
+
+    def _note_producer(self, record) -> None:
+        if record.producer is not None and record.pseq is not None:
+            previous = self.producers.get(record.producer, 0)
+            if record.pseq > previous:
+                self.producers[record.producer] = record.pseq
+
+    def _apply(self, record) -> bool:
+        try:
+            service = self.router.get(record.tenant)
+        except TenantLimitError:
+            return False
+        service.submit_many(record.events)
+        return True
+
+    # -- standby tailing ----------------------------------------------------
+
+    def catch_up(self) -> int:
+        """Apply every record appended since the last call (or since
+        :meth:`recover`); returns how many were applied.  This is the warm
+        standby's whole job: poll, apply, repeat, stay seconds-fresh."""
+        applied = 0
+        for record in self.wal.replay(after_seq=self.applied_seq):
+            self.applied_seq = record.seq
+            self._note_producer(record)
+            if self._apply(record):
+                applied += 1
+        return applied

@@ -34,6 +34,7 @@ Design points:
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import threading
 import time
@@ -42,9 +43,18 @@ from typing import Any, Dict, List, Optional, Set, Tuple, Union
 from ..core.typed import CorrelationKind
 from ..monitor.events import BlockIOEvent
 from ..resilience.service import ResilientCharacterizationService
+from ..resilience.wal import (
+    DEFAULT_FSYNC_INTERVAL,
+    DEFAULT_SEGMENT_BYTES,
+    FsyncPolicy,
+    WalMeta,
+    WriteAheadLog,
+    write_wal_meta,
+)
 from ..service import CharacterizationService
 from ..telemetry.export import render_prometheus
 from ..telemetry.metrics import MetricsRegistry, get_default_registry
+from ..trace.errors import DeadLetterBuffer, RowError
 from . import protocol
 from .backpressure import (
     Admission,
@@ -59,6 +69,7 @@ from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
 )
+from .recovery import RecoveryReport, WalRecovery, tenant_checkpoint_path
 from .tenants import (
     DEFAULT_MAX_TENANTS,
     DEFAULT_TENANT,
@@ -66,6 +77,10 @@ from .tenants import (
     TenantLimitError,
     TenantRouter,
 )
+
+#: How often the durable server touches its heartbeat file (and gives the
+#: interval-fsync policy a chance to run while ingest is idle).
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
 
 #: ``host:port`` for TCP, or a filesystem path for a Unix socket.
 Address = Union[Tuple[str, int], str]
@@ -108,6 +123,15 @@ class CharacterizationServer:
         service_factory: Optional[ServiceFactory] = None,
         max_tenants: int = DEFAULT_MAX_TENANTS,
         registry: Optional[MetricsRegistry] = None,
+        wal_dir: Optional[Union[str, os.PathLike]] = None,
+        fsync: Union[str, FsyncPolicy] = FsyncPolicy.INTERVAL,
+        fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        wal_truncate: bool = True,
+        heartbeat_path: Optional[Union[str, os.PathLike]] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        dead_letter_path: Optional[Union[str, os.PathLike]] = None,
+        standby_recovery: Optional[WalRecovery] = None,
     ) -> None:
         """``unix_path`` selects a Unix socket; otherwise TCP on
         ``host:port`` (port 0: ephemeral, read :attr:`address` after
@@ -116,6 +140,24 @@ class CharacterizationServer:
         :class:`~repro.resilience.ResilientCharacterizationService`);
         ``service_factory`` builds engines for additional tenants, and
         defaults to more of whatever the default tenant runs.
+
+        ``wal_dir`` turns on the write-ahead journal: every accepted
+        ingest frame is appended (durability per ``fsync`` /
+        ``fsync_interval``) *before* it is acknowledged, and
+        :meth:`start` recovers by restoring the last checkpoint then
+        replaying the journal tail.  ``wal_truncate=False`` keeps
+        checkpoint-covered segments on disk (full-history retention; also
+        what lets an intact journal rescue a *corrupt* checkpoint).
+        ``heartbeat_path`` is touched every ``heartbeat_interval`` seconds
+        for an external supervisor to watch.  Frames rejected by
+        backpressure are quarantined in a byte-bounded dead-letter buffer
+        and dumped to ``dead_letter_path`` (default:
+        ``<wal_dir>/dead-letters.ndjson``) on graceful shutdown.
+
+        ``standby_recovery`` promotes a warm standby: instead of
+        restoring from scratch, :meth:`start` adopts the tailer's
+        already-recovered tenants and producer map, does one final
+        catch-up against the journal, and serves.
         """
         registry = registry if registry is not None else \
             get_default_registry()
@@ -138,6 +180,32 @@ class CharacterizationServer:
         self.max_frame_bytes = max_frame_bytes
         self.checkpoint_path = os.fspath(checkpoint_path) \
             if checkpoint_path is not None else None
+        self.wal_dir = os.fspath(wal_dir) if wal_dir is not None else None
+        self.wal: Optional[WriteAheadLog] = None
+        self._wal_config = {
+            "fsync": fsync,
+            "fsync_interval": fsync_interval,
+            "segment_bytes": wal_segment_bytes,
+        }
+        self.wal_truncate = wal_truncate
+        self.heartbeat_path = os.fspath(heartbeat_path) \
+            if heartbeat_path is not None else None
+        self.heartbeat_interval = heartbeat_interval
+        if dead_letter_path is not None:
+            self.dead_letter_path: Optional[str] = os.fspath(dead_letter_path)
+        elif self.wal_dir is not None:
+            self.dead_letter_path = os.path.join(self.wal_dir,
+                                                 "dead-letters.ndjson")
+        else:
+            self.dead_letter_path = None
+        self.dead_letters = DeadLetterBuffer(capacity=256)
+        self._standby_recovery = standby_recovery
+        if standby_recovery is not None and self.wal_dir is None:
+            raise ValueError("standby promotion requires wal_dir")
+        self._producers: Dict[str, int] = {}
+        self.duplicate_frames = 0
+        self.recovery_report: Optional[RecoveryReport] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
         self._connections: Set[_Connection] = set()
         self._writers: Dict[_Connection, asyncio.StreamWriter] = {}
         self._handler_tasks: Set[asyncio.Task] = set()
@@ -160,10 +228,33 @@ class CharacterizationServer:
         return sum(conn.queue.depth for conn in self._connections)
 
     async def start(self) -> None:
-        """Bind and start accepting connections."""
+        """Bind and start accepting connections.
+
+        With a WAL configured this is where crash recovery happens:
+        restore every tenant's last good checkpoint, then replay the
+        journal tail through the batch ingest lane before the first
+        client can connect.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
-        if self.checkpoint_path and os.path.exists(self.checkpoint_path):
+        if self.wal_dir is not None:
+            self.wal = WriteAheadLog(self.wal_dir, registry=self.registry,
+                                     **self._wal_config)
+            if self._standby_recovery is not None:
+                # Promotion: the standby already recovered and has been
+                # tailing; adopt its state and close the last gap.
+                recovery = self._standby_recovery
+                recovery.wal = self.wal
+                recovery.catch_up()
+                self.router = recovery.router
+                self.service = self.router.get(DEFAULT_TENANT)
+                self.recovery_report = recovery.report
+            else:
+                recovery = WalRecovery(self.router, self.wal,
+                                       self.checkpoint_path)
+                self.recovery_report = recovery.recover()
+            self._producers = dict(recovery.producers)
+        elif self.checkpoint_path and os.path.exists(self.checkpoint_path):
             self._restore_default(self.checkpoint_path)
         if self.unix_path is not None:
             if os.path.exists(self.unix_path):
@@ -175,6 +266,34 @@ class CharacterizationServer:
             self._server = await asyncio.start_server(
                 self._handle_connection, host=self.host, port=self.port
             )
+        if self.heartbeat_path is not None or self.wal is not None:
+            self._heartbeat_task = asyncio.create_task(
+                self._heartbeat_loop()
+            )
+
+    async def _heartbeat_loop(self) -> None:
+        """Touch the heartbeat file and let an idle journal tail reach
+        disk (the interval fsync policy only runs inside ``append``
+        otherwise)."""
+        while True:
+            self._write_heartbeat()
+            if self.wal is not None:
+                self.wal.sync_if_due()
+            await asyncio.sleep(self.heartbeat_interval)
+
+    def _write_heartbeat(self) -> None:
+        if self.heartbeat_path is None:
+            return
+        beat = {
+            "pid": os.getpid(),
+            "time": time.time(),
+            "last_seq": self.wal.last_seq if self.wal is not None else 0,
+        }
+        try:
+            with open(self.heartbeat_path, "w", encoding="utf-8") as stream:
+                stream.write(json.dumps(beat, sort_keys=True))
+        except OSError:
+            pass  # a failed beat must never take down the server
 
     def _restore_default(self, path: str) -> None:
         service = self.service
@@ -186,6 +305,13 @@ class CharacterizationServer:
 
     async def shutdown(self) -> None:
         """Stop accepting, drain all queues, flush, checkpoint."""
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -204,14 +330,40 @@ class CharacterizationServer:
         self.router.close_all()
         if self.checkpoint_path:
             self._checkpoint_tenants()
+            self._commit_wal_cut()
+        if self.wal is not None:
+            self.wal.close()
+        self._dump_dead_letters()
         if self.unix_path is not None and os.path.exists(self.unix_path):
             os.unlink(self.unix_path)
 
-    def _checkpoint_tenants(self) -> None:
+    def _checkpoint_tenants(self) -> int:
+        written = 0
         for tenant, service in self.router.items():
-            path = self.checkpoint_path if tenant == DEFAULT_TENANT \
-                else f"{self.checkpoint_path}.{tenant}"
-            self._checkpoint_service(service, path)
+            written += self._checkpoint_service(
+                service, tenant_checkpoint_path(self.checkpoint_path, tenant)
+            )
+        return written
+
+    def _commit_wal_cut(self) -> int:
+        """Record that the checkpoint just written covers the whole
+        journal; truncate covered segments unless retention is on.
+        Returns the number of segments removed."""
+        if self.wal is None:
+            return 0
+        cut = self.wal.last_seq
+        write_wal_meta(self.wal.directory, WalMeta(
+            checkpoint_seq=cut, producers=dict(self._producers)
+        ))
+        return self.wal.truncate_through(cut) if self.wal_truncate else 0
+
+    def _dump_dead_letters(self) -> None:
+        if self.dead_letter_path is None or not len(self.dead_letters):
+            return
+        try:
+            self.dead_letters.dump_ndjson(self.dead_letter_path)
+        except OSError:
+            pass  # best effort: quarantine must not block shutdown
 
     @staticmethod
     def _checkpoint_service(service: CharacterizationService,
@@ -384,19 +536,59 @@ class CharacterizationServer:
             raise ProtocolError("tenant must be a string")
         return tenant
 
+    def _producer_of(self, payload: Dict[str, Any]
+                     ) -> Tuple[Optional[str], Optional[int]]:
+        producer = payload.get("producer")
+        pseq = payload.get("pseq")
+        if producer is None or pseq is None:
+            return None, None
+        if not isinstance(producer, str) or not producer:
+            raise ProtocolError("producer must be a non-empty string")
+        if not isinstance(pseq, int) or isinstance(pseq, bool) or pseq < 1:
+            raise ProtocolError(
+                f"pseq must be a positive integer, got {pseq!r}"
+            )
+        return producer, pseq
+
     def _handle_ingest(self, conn: _Connection,
                        payload: Dict[str, Any]) -> Dict[str, Any]:
         tenant = self._tenant_of(payload)
         self.router.get(tenant)  # admit the tenant before accepting events
+        producer, pseq = self._producer_of(payload)
+        if producer is not None and \
+                pseq <= self._producers.get(producer, 0):
+            # A retry of a frame we already accepted (the ack was lost,
+            # not the events).  Ack again, apply nothing: exactly-once
+            # application under the client's at-least-once delivery.
+            self.duplicate_frames += 1
+            return {"type": protocol.REPLY_OK, "accepted": 0,
+                    "duplicate": True}
         events = protocol.events_from_frame(payload)
+        rejected = conn.queue.would_reject(len(events))
+        if not rejected and self.wal is not None:
+            # Journal *before* acknowledging: an OSError here means the
+            # frame is neither enqueued nor acked, so nothing is lost --
+            # the client retries against a server that can't promise
+            # durability right now.
+            try:
+                self.wal.append(events, tenant=tenant,
+                                producer=producer, pseq=pseq)
+            except OSError as exc:
+                return protocol.error_frame(
+                    protocol.ERR_UNAVAILABLE,
+                    f"journal append failed: {exc}; frame not accepted",
+                )
         admission = conn.queue.offer(events, tag=tenant)
         if admission is Admission.REJECTED:
             self.metrics.rejected(len(events))
+            self._dead_letter_frame(conn, tenant, payload, len(events))
             return protocol.error_frame(
                 protocol.ERR_OVERLOADED,
                 f"ingest queue full ({conn.queue.depth} events pending, "
                 f"hard limit {conn.queue.hard_limit}); frame dropped",
             )
+        if producer is not None:
+            self._producers[producer] = pseq
         self.metrics.note_depth(conn.queue.depth)
         if admission is Admission.THROTTLED:
             self.metrics.throttled()
@@ -407,6 +599,15 @@ class CharacterizationServer:
                 "retry_after": conn.queue.retry_after(),
             }
         return {"type": protocol.REPLY_OK, "accepted": len(events)}
+
+    def _dead_letter_frame(self, conn: _Connection, tenant: str,
+                           payload: Dict[str, Any], count: int) -> None:
+        self.dead_letters.offer(RowError(
+            line_number=conn.id,
+            row=json.dumps(payload, sort_keys=True, default=str),
+            error=f"overloaded: {count} events rejected for tenant "
+                  f"{tenant!r} at queue depth {conn.queue.depth}",
+        ))
 
     def _handle_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         service = self.router.get(self._tenant_of(payload))
@@ -466,6 +667,24 @@ class CharacterizationServer:
             health = service.health()
             stats["health"] = {"status": health.status,
                                "reasons": health.reasons}
+        if self.wal is not None:
+            stats["wal"] = {
+                "last_seq": self.wal.last_seq,
+                "duplicate_frames": self.duplicate_frames,
+                "dead_letters": len(self.dead_letters),
+            }
+        if self.recovery_report is not None:
+            report = self.recovery_report
+            stats["recovery"] = {
+                "checkpoint_seq": report.checkpoint_seq,
+                "replayed_records": report.replayed_records,
+                "replayed_events": report.replayed_events,
+                "skipped_records": report.skipped_records,
+                "corrupt_records": report.corrupt_records,
+                "torn_tail": report.torn_tail,
+                "restored_tenants": list(report.restored_tenants),
+                "failed_tenants": list(report.failed_tenants),
+            }
         return {"type": protocol.REPLY_RESULT, "stats": stats}
 
     def _handle_checkpoint(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -474,13 +693,32 @@ class CharacterizationServer:
                 protocol.ERR_UNAVAILABLE,
                 "server started without a checkpoint path",
             )
+        if self.wal is not None:
+            return self._handle_checkpoint_cut()
         tenant = self._tenant_of(payload)
         service = self.router.get(tenant)
-        path = self.checkpoint_path if tenant == DEFAULT_TENANT \
-            else f"{self.checkpoint_path}.{tenant}"
+        path = tenant_checkpoint_path(self.checkpoint_path, tenant)
         written = self._checkpoint_service(service, path)
         return {"type": protocol.REPLY_RESULT, "bytes": written,
                 "path": path}
+
+    def _handle_checkpoint_cut(self) -> Dict[str, Any]:
+        """Checkpoint *every* tenant at a consistent journal cut.
+
+        The cut is only correct if every journalled record at or below it
+        has reached an engine, so all connections' queues are drained
+        first (the dispatcher already drained the requester's).  All of
+        this runs synchronously on the loop thread: no new frame can be
+        journalled between the drain and the cut.
+        """
+        for conn in list(self._connections):
+            self._drain_now(conn)
+        cut = self.wal.last_seq
+        written = self._checkpoint_tenants()
+        removed = self._commit_wal_cut()
+        return {"type": protocol.REPLY_RESULT, "bytes": written,
+                "path": self.checkpoint_path, "wal_cut": cut,
+                "segments_removed": removed}
 
 
 class ServerThread:

@@ -1,0 +1,384 @@
+"""Supervised failover: keep the durable server alive, or hand over.
+
+The durability story has three legs.  The journal (``resilience.wal``)
+makes acknowledged events replayable; recovery (``server.recovery``)
+turns the journal back into a synopsis; this module makes sure *somebody
+actually runs recovery* -- without an operator watching.
+
+* :class:`Supervisor` runs the server in a child process and watches two
+  signals: process liveness and the worker's heartbeat file.  A dead
+  worker (crash, OOM-kill, ``kill -9``) or a stale heartbeat (a hung
+  worker is as dead as a crashed one) triggers a restart after a
+  :class:`~repro.resilience.BackoffPolicy` delay.  The restarted worker
+  recovers from checkpoint + journal before it accepts its first frame.
+* :class:`RestartTracker` is the crash-loop detector: more than
+  ``max_restarts`` restarts inside ``window`` seconds means the failure
+  is deterministic (bad config, corrupt disk, poison pill at the journal
+  head) and restarting is just a space heater -- the supervisor gives up
+  with :class:`SupervisorGaveUp` and a clear message instead.
+* :class:`WarmStandby` is the faster failover: a second process tails the
+  primary's journal read-only, staying seconds behind.  Promotion
+  (explicit, or via a touched *promote file*) does one final catch-up and
+  starts serving -- recovery time is the journal *tail*, not the whole
+  journal.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..resilience.policy import BackoffPolicy
+from ..resilience.wal import WriteAheadLog
+from ..service import CharacterizationService
+from .backpressure import DEFAULT_HARD_LIMIT, DEFAULT_SOFT_LIMIT
+from .recovery import RecoveryReport, WalRecovery
+from .server import (
+    CharacterizationServer,
+    DEFAULT_HEARTBEAT_INTERVAL,
+)
+from .tenants import DEFAULT_MAX_TENANTS, TenantRouter
+
+
+class SupervisorGaveUp(RuntimeError):
+    """The worker crash-looped past the restart budget; restarting is not
+    going to fix whatever this is."""
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a worker process needs to build its server.
+
+    Kept to plain picklable fields so it crosses a ``spawn`` boundary;
+    mirrors the :class:`~repro.server.server.CharacterizationServer`
+    constructor.
+    """
+
+    unix_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    checkpoint_path: Optional[str] = None
+    wal_dir: Optional[str] = None
+    fsync: str = "interval"
+    fsync_interval: float = 0.05
+    wal_truncate: bool = True
+    heartbeat_path: Optional[str] = None
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+    dead_letter_path: Optional[str] = None
+    soft_limit: int = DEFAULT_SOFT_LIMIT
+    hard_limit: int = DEFAULT_HARD_LIMIT
+    max_tenants: int = DEFAULT_MAX_TENANTS
+    # -- engine shape (None: the server's stock defaults) -----------------
+    capacity: Optional[int] = None
+    support: int = 5
+    shards: int = 1
+    snapshot_interval: int = 1000
+
+    def _build_service(self):
+        if self.capacity is None:
+            return None, None
+        from ..core.config import AnalyzerConfig
+        from ..resilience.service import ResilientCharacterizationService
+
+        def factory():
+            return ResilientCharacterizationService(
+                config=AnalyzerConfig(
+                    item_capacity=self.capacity,
+                    correlation_capacity=self.capacity,
+                ),
+                min_support=self.support,
+                shards=self.shards,
+                snapshot_interval=self.snapshot_interval,
+            )
+
+        return factory(), factory
+
+    def build_server(self) -> CharacterizationServer:
+        service, factory = self._build_service()
+        return CharacterizationServer(
+            service,
+            service_factory=factory,
+            unix_path=self.unix_path,
+            host=self.host,
+            port=self.port,
+            checkpoint_path=self.checkpoint_path,
+            wal_dir=self.wal_dir,
+            fsync=self.fsync,
+            fsync_interval=self.fsync_interval,
+            wal_truncate=self.wal_truncate,
+            heartbeat_path=self.heartbeat_path,
+            heartbeat_interval=self.heartbeat_interval,
+            dead_letter_path=self.dead_letter_path,
+            soft_limit=self.soft_limit,
+            hard_limit=self.hard_limit,
+            max_tenants=self.max_tenants,
+        )
+
+
+def run_server_worker(config: WorkerConfig) -> None:
+    """Child-process entry point: recover, serve until SIGTERM, drain."""
+    config.build_server().serve_forever()
+
+
+class RestartTracker:
+    """Sliding-window crash-loop detector."""
+
+    def __init__(self, max_restarts: int = 5, window: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_restarts < 1:
+            raise ValueError(f"max_restarts must be >= 1, got {max_restarts}")
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.max_restarts = max_restarts
+        self.window = window
+        self._clock = clock
+        self._marks: List[float] = []
+        self.total = 0
+
+    def recent(self) -> int:
+        """Restarts inside the current window."""
+        horizon = self._clock() - self.window
+        self._marks = [mark for mark in self._marks if mark > horizon]
+        return len(self._marks)
+
+    def note(self) -> bool:
+        """Record one restart; ``False`` means the budget is blown."""
+        if self.recent() >= self.max_restarts:
+            return False
+        self._marks.append(self._clock())
+        self.total += 1
+        return True
+
+
+class Supervisor:
+    """Run the server worker in a child process; restart it when it dies.
+
+    ``heartbeat_timeout`` (seconds; ``None`` disables the check) also
+    restarts a worker whose heartbeat file has gone stale -- a worker
+    wedged in a syscall looks alive to ``is_alive()`` but not to its
+    clients.  ``target`` is injectable so tests can supervise a
+    deliberately crashing worker.
+    """
+
+    def __init__(
+        self,
+        config: WorkerConfig,
+        *,
+        target: Callable[[WorkerConfig], None] = run_server_worker,
+        backoff: Optional[BackoffPolicy] = None,
+        max_restarts: int = 5,
+        restart_window: float = 30.0,
+        heartbeat_timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+        start_method: Optional[str] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config
+        self.target = target
+        self.backoff = backoff if backoff is not None else \
+            BackoffPolicy(base=0.05, cap=2.0, retries=max_restarts)
+        self.tracker = RestartTracker(max_restarts=max_restarts,
+                                      window=restart_window)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.poll_interval = poll_interval
+        self._context = multiprocessing.get_context(start_method)
+        self._sleep = sleep
+        self._proc: Optional[multiprocessing.process.BaseProcess] = None
+        self._spawned_at = 0.0
+        self.restarts = 0
+        self.last_exitcode: Optional[int] = None
+        self.last_restart_reason: Optional[str] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    def start(self) -> None:
+        if self._proc is not None and self._proc.is_alive():
+            raise RuntimeError("worker already running")
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self._proc = self._context.Process(
+            target=self.target, args=(self.config,),
+            name="repro-server-worker", daemon=True,
+        )
+        self._proc.start()
+        self._spawned_at = time.time()
+
+    def stop(self, grace: float = 10.0) -> Optional[int]:
+        """SIGTERM the worker (graceful drain + checkpoint), escalate to
+        SIGKILL after ``grace`` seconds; returns its exit code."""
+        proc = self._proc
+        if proc is None:
+            return self.last_exitcode
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=grace)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=grace)
+        self.last_exitcode = proc.exitcode
+        self._proc = None
+        return self.last_exitcode
+
+    # -- the watch loop -----------------------------------------------------
+
+    def _heartbeat_stale(self) -> bool:
+        if self.heartbeat_timeout is None or \
+                self.config.heartbeat_path is None:
+            return False
+        try:
+            beat_at = os.stat(self.config.heartbeat_path).st_mtime
+        except OSError:
+            # No heartbeat yet: measure from spawn, so a worker that
+            # never manages its first beat still gets restarted.
+            beat_at = self._spawned_at
+        return time.time() - beat_at > self.heartbeat_timeout
+
+    def poll_once(self) -> str:
+        """One watch step: ``"running"``, ``"restarted"``, or
+        ``"stopped"`` (clean worker exit)."""
+        proc = self._proc
+        if proc is None:
+            raise RuntimeError("supervisor not started")
+        if not proc.is_alive():
+            self.last_exitcode = proc.exitcode
+            if proc.exitcode == 0:
+                self._proc = None
+                return "stopped"
+            return self._restart(
+                f"worker pid {proc.pid} exited with code {proc.exitcode}"
+            )
+        if self._heartbeat_stale():
+            proc.kill()
+            proc.join(timeout=10.0)
+            self.last_exitcode = proc.exitcode
+            return self._restart(
+                f"worker pid {proc.pid} heartbeat stale "
+                f"(> {self.heartbeat_timeout}s)"
+            )
+        return "running"
+
+    def _restart(self, reason: str) -> str:
+        self.last_restart_reason = reason
+        if not self.tracker.note():
+            raise SupervisorGaveUp(
+                f"giving up: {self.tracker.recent()} restarts within "
+                f"{self.tracker.window}s (budget {self.tracker.max_restarts});"
+                f" last failure: {reason}"
+            )
+        self._sleep(self.backoff.delay(min(self.tracker.recent() - 1,
+                                           self.backoff.retries)))
+        self.restarts += 1
+        self._spawn()
+        return "restarted"
+
+    def run(self) -> Optional[int]:
+        """Supervise until the worker exits cleanly (returns its exit
+        code) or the restart budget blows (:class:`SupervisorGaveUp`)."""
+        if self._proc is None:
+            self.start()
+        while True:
+            if self.poll_once() == "stopped":
+                return self.last_exitcode
+            self._sleep(self.poll_interval)
+
+    def __enter__(self) -> "Supervisor":
+        if self._proc is None:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class WarmStandby:
+    """A read-only tail of a primary's journal, ready to take over.
+
+    The standby never touches the primary's files: its journal handle is
+    opened ``readonly`` and its checkpoint restores are plain reads.
+    Call :meth:`warm_up` once, :meth:`poll` periodically (each call
+    applies whatever the primary appended since), and :meth:`promote`
+    when the primary is gone -- the promoted server adopts the standby's
+    tenants, catches up the final gap, and binds.
+    """
+
+    def __init__(
+        self,
+        wal_dir: str,
+        checkpoint_path: Optional[str] = None,
+        service_factory: Optional[Callable[[], CharacterizationService]]
+        = None,
+        max_tenants: int = DEFAULT_MAX_TENANTS,
+    ) -> None:
+        if service_factory is None:
+            from ..resilience.service import ResilientCharacterizationService
+            service_factory = ResilientCharacterizationService
+        self.wal_dir = os.fspath(wal_dir)
+        self.checkpoint_path = checkpoint_path
+        self.router = TenantRouter(service_factory, max_tenants=max_tenants)
+        self.wal = WriteAheadLog(self.wal_dir, readonly=True)
+        self.recovery = WalRecovery(self.router, self.wal, checkpoint_path)
+        self.warmed = False
+
+    def warm_up(self) -> RecoveryReport:
+        """Initial restore + full replay; after this, :meth:`poll` only
+        ever reads the tail."""
+        report = self.recovery.recover()
+        self.warmed = True
+        return report
+
+    def poll(self) -> int:
+        """Apply records the primary appended since the last look;
+        returns how many."""
+        if not self.warmed:
+            self.warm_up()
+            return self.recovery.report.replayed_records
+        return self.recovery.catch_up()
+
+    @property
+    def applied_seq(self) -> int:
+        return self.recovery.applied_seq
+
+    def promote(self, **server_kwargs) -> CharacterizationServer:
+        """Build the successor server around this standby's warm state.
+
+        Accepts the usual :class:`CharacterizationServer` keyword
+        arguments (``unix_path``, ``host``/``port``, limits...);
+        ``wal_dir`` and ``checkpoint_path`` come from the standby.  The
+        returned server is not yet started -- the final catch-up happens
+        inside its :meth:`~CharacterizationServer.start`, after which the
+        journal is owned (writable) by the promoted server.
+        """
+        if not self.warmed:
+            self.warm_up()
+        self.poll()
+        server_kwargs.setdefault("checkpoint_path", self.checkpoint_path)
+        return CharacterizationServer(
+            wal_dir=self.wal_dir,
+            standby_recovery=self.recovery,
+            **server_kwargs,
+        )
+
+    def tail_until_promoted(
+        self,
+        promote_file: str,
+        poll_interval: float = 0.1,
+        sleep: Callable[[float], None] = time.sleep,
+        **server_kwargs,
+    ) -> CharacterizationServer:
+        """Tail the journal until ``promote_file`` appears (the
+        operator's -- or supervisor's -- "take over" signal), then
+        promote."""
+        if not self.warmed:
+            self.warm_up()
+        while not os.path.exists(promote_file):
+            self.poll()
+            sleep(poll_interval)
+        return self.promote(**server_kwargs)

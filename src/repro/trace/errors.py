@@ -22,6 +22,8 @@ file quarantine the same rows.
 from __future__ import annotations
 
 import enum
+import json
+import os
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -61,28 +63,89 @@ class DeadLetterBuffer:
     further offer replaces a random resident with the classic reservoir
     rule, driven by a seeded RNG so the retained sample is reproducible.
     ``total`` always counts every offer, retained or not.
+
+    The buffer is additionally bounded in *bytes* (``max_bytes``, counting
+    the retained row texts): a handful of pathological multi-megabyte rows
+    must not hold the whole budget hostage.  A row that would push the
+    retained sample past the byte budget evicts residents oldest-first
+    until it fits; a single row larger than the whole budget is counted
+    but retained truncated to the budget.
     """
 
-    def __init__(self, capacity: int = 64, seed: int = 0) -> None:
+    DEFAULT_MAX_BYTES = 1 << 20
+
+    def __init__(self, capacity: int = 64, seed: int = 0,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self.total = 0
         self._rows: List[RowError] = []
+        self._bytes = 0
         self._rng = random.Random(seed)
+
+    @staticmethod
+    def _cost(row_error: RowError) -> int:
+        return len(row_error.row.encode("utf-8", errors="replace"))
+
+    def _fit(self, row_error: RowError) -> RowError:
+        if self._cost(row_error) > self.max_bytes:
+            clipped = row_error.row.encode(
+                "utf-8", errors="replace")[:self.max_bytes]
+            row_error = RowError(
+                line_number=row_error.line_number,
+                row=clipped.decode("utf-8", errors="replace"),
+                error=row_error.error + " [row truncated]",
+            )
+        return row_error
+
+    def _evict_until(self, incoming_cost: int) -> None:
+        while self._rows and self._bytes + incoming_cost > self.max_bytes:
+            self._bytes -= self._cost(self._rows.pop(0))
 
     def offer(self, row_error: RowError) -> None:
         self.total += 1
+        row_error = self._fit(row_error)
+        cost = self._cost(row_error)
         if len(self._rows) < self.capacity:
+            self._evict_until(cost)
             self._rows.append(row_error)
+            self._bytes += cost
             return
         slot = self._rng.randrange(self.total)
         if slot < self.capacity:
+            self._bytes -= self._cost(self._rows[slot])
             self._rows[slot] = row_error
+            self._bytes += cost
+            self._evict_until(0)
 
     def rows(self) -> List[RowError]:
         """The retained sample, in retention order."""
         return list(self._rows)
+
+    @property
+    def retained_bytes(self) -> int:
+        """Bytes of row text currently retained."""
+        return self._bytes
+
+    def dump_ndjson(self, path) -> int:
+        """Write the retained sample to ``path`` as NDJSON; returns the
+        number of rows written.  One object per line --
+        ``{"line_number", "error", "row"}`` -- so operators can grep or
+        feed the quarantine straight back through a reader."""
+        path = os.fspath(path)
+        with open(path, "w", encoding="utf-8") as sink:
+            for row_error in self._rows:
+                sink.write(json.dumps({
+                    "line_number": row_error.line_number,
+                    "error": row_error.error,
+                    "row": row_error.row,
+                }, sort_keys=True))
+                sink.write("\n")
+        return len(self._rows)
 
     def __len__(self) -> int:
         return len(self._rows)

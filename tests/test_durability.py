@@ -1,0 +1,596 @@
+"""Durable serving: acked means replayable.
+
+The chaos suite behind the write-ahead journal.  Each scenario breaks
+the serving stack the way reality does -- ``SIGKILL`` mid-stream, a torn
+final journal record, a corrupt checkpoint next to an intact journal --
+and demands that recovery reproduce *exactly* the state an uninterrupted
+run would have reached (single-shard engines are deterministic, so the
+bar is identity, not similarity).  Alongside the chaos scenarios:
+producer-sequence deduplication (exactly-once application under
+at-least-once retries), journal-append failure semantics, dead-letter
+dumps on graceful shutdown, and the client's request deadline + circuit
+breaker.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.config import AnalyzerConfig
+from repro.monitor.events import BlockIOEvent
+from repro.resilience.faults import flip_bits, truncate_tail
+from repro.resilience.service import ResilientCharacterizationService
+from repro.resilience.wal import (
+    FsyncPolicy,
+    WalMeta,
+    WriteAheadLog,
+    write_wal_meta,
+)
+from repro.server import protocol
+from repro.server.circuit import (
+    CircuitBreaker,
+    CircuitOpenError,
+    CircuitState,
+)
+from repro.server.client import (
+    CharacterizationClient,
+    DeadlineExceededError,
+    ServerError,
+)
+from repro.server.recovery import (
+    RecoveryReport,
+    WalRecovery,
+    discover_tenant_checkpoints,
+    tenant_checkpoint_path,
+)
+from repro.server.server import CharacterizationServer, ServerThread
+from repro.server.supervisor import WorkerConfig, run_server_worker
+from repro.server.tenants import DEFAULT_TENANT, TenantRouter
+from repro.telemetry.metrics import MetricsRegistry
+from repro.trace.errors import RowError
+from repro.trace.record import OpType
+
+SUPPORT = 2
+CAPACITY = 512
+
+
+def event(ts, start, length=8, op=OpType.READ):
+    return BlockIOEvent(ts, 1, op, start, length)
+
+
+def workload(rounds=120, base=0.0):
+    """Deterministic hot-pair traffic: ``rounds`` two-request
+    transactions cycling over three extent pairs."""
+    pairs = [(100, 9000), (200, 7000), (300, 5000)]
+    out, clock = [], base
+    for i in range(rounds):
+        a, b = pairs[i % len(pairs)]
+        out.append(event(clock, a, 8))
+        out.append(event(clock + 1e-5, b, 16))
+        clock += 0.05
+    return out
+
+
+def chunks(events, size=50):
+    return [events[i:i + size] for i in range(0, len(events), size)]
+
+
+def make_engine():
+    return ResilientCharacterizationService(
+        config=AnalyzerConfig(item_capacity=CAPACITY,
+                              correlation_capacity=CAPACITY),
+        min_support=SUPPORT,
+        snapshot_interval=1000,
+    )
+
+
+def reference_pairs(batches):
+    """The state an uninterrupted run reaches: same engine, same
+    batched ingest lane, no journal, no crash."""
+    service = make_engine()
+    for batch in batches:
+        service.submit_many(batch)
+    service.flush()
+    return service.analyzer.frequent_pairs(SUPPORT)
+
+
+def recover_pairs(wal_dir, checkpoint_path=None):
+    """Recover through the real path: checkpoint restore + WAL replay
+    through ``submit_many``.  Returns (frequent_pairs, report)."""
+    router = TenantRouter(make_engine)
+    wal = WriteAheadLog(wal_dir, readonly=True)
+    recovery = WalRecovery(router, wal,
+                           str(checkpoint_path) if checkpoint_path else None)
+    report = recovery.recover()
+    service = router.get(DEFAULT_TENANT)
+    service.flush()
+    return service.analyzer.frequent_pairs(SUPPORT), report
+
+
+def wait_for_socket(path, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.connect(str(path))
+                return
+            except OSError:
+                pass
+            finally:
+                probe.close()
+        time.sleep(0.02)
+    raise TimeoutError(f"server socket {path} never came up")
+
+
+def worker_config(tmp_path, **overrides):
+    defaults = dict(
+        unix_path=str(tmp_path / "server.sock"),
+        checkpoint_path=str(tmp_path / "checkpoint.bin"),
+        wal_dir=str(tmp_path / "wal"),
+        fsync="never",
+        capacity=CAPACITY,
+        support=SUPPORT,
+        shards=1,
+    )
+    defaults.update(overrides)
+    return WorkerConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Chaos scenario 1: SIGKILL mid-stream
+# ---------------------------------------------------------------------------
+
+class TestKillMidStream:
+    def test_sigkill_recovers_every_acked_event(self, tmp_path):
+        """Kill -9 a live worker between acked frames; recovery must
+        reproduce the uninterrupted run bit-for-bit (shards=1)."""
+        config = worker_config(tmp_path)
+        proc = multiprocessing.Process(
+            target=run_server_worker, args=(config,), daemon=True
+        )
+        proc.start()
+        try:
+            wait_for_socket(config.unix_path)
+            batches = chunks(workload(rounds=150))
+            acked = []
+            with CharacterizationClient(config.unix_path) as client:
+                for batch in batches:
+                    reply = client.send_events(batch)
+                    assert reply["accepted"] == len(batch)
+                    acked.append(batch)
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=15.0)
+            assert proc.exitcode == -signal.SIGKILL
+        finally:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=15.0)
+
+        recovered, report = recover_pairs(config.wal_dir,
+                                          config.checkpoint_path)
+        assert report.replayed_records == len(acked)
+        assert report.replayed_events == sum(len(b) for b in acked)
+        assert report.corrupt_records == 0
+        expected = reference_pairs(acked)
+        assert recovered == expected
+        assert recovered  # the workload produced real correlations
+
+    def test_killed_worker_leaves_no_checkpoint_requirement(self, tmp_path):
+        """No checkpoint ever happened: recovery is pure journal replay."""
+        config = worker_config(tmp_path)
+        proc = multiprocessing.Process(
+            target=run_server_worker, args=(config,), daemon=True
+        )
+        proc.start()
+        try:
+            wait_for_socket(config.unix_path)
+            with CharacterizationClient(config.unix_path) as client:
+                client.send_events(workload(rounds=20))
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=15.0)
+        finally:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=15.0)
+        assert not os.path.exists(config.checkpoint_path)
+        _, report = recover_pairs(config.wal_dir, config.checkpoint_path)
+        assert report.checkpoint_seq == 0
+        assert report.replayed_records == 1
+
+
+# ---------------------------------------------------------------------------
+# Chaos scenario 2: torn final record
+# ---------------------------------------------------------------------------
+
+class TestTornFinalRecord:
+    def test_torn_tail_loses_exactly_the_torn_frame(self, tmp_path):
+        batches = chunks(workload(rounds=120), size=40)
+        wal_dir = tmp_path / "wal"
+        with WriteAheadLog(wal_dir, fsync=FsyncPolicy.NEVER) as wal:
+            for batch in batches:
+                wal.append(batch)
+            last_segment = wal.active_segment
+        truncate_tail(last_segment, 9)  # crash mid-append of the last frame
+
+        recovered, report = recover_pairs(wal_dir)
+        assert report.torn_tail
+        assert report.replayed_records == len(batches) - 1
+        assert report.corrupt_records == 0
+        assert recovered == reference_pairs(batches[:-1])
+
+    def test_torn_tail_then_resume_appending(self, tmp_path):
+        """After recovery the journal accepts new frames and replays the
+        union -- the torn frame stays gone, nothing else is disturbed."""
+        wal_dir = tmp_path / "wal"
+        batches = chunks(workload(rounds=60), size=30)
+        with WriteAheadLog(wal_dir, fsync=FsyncPolicy.NEVER) as wal:
+            for batch in batches:
+                wal.append(batch)
+            last_segment = wal.active_segment
+        truncate_tail(last_segment, 3)
+        extra = workload(rounds=10, base=1000.0)
+        with WriteAheadLog(wal_dir, fsync=FsyncPolicy.NEVER) as wal:
+            wal.append(extra)
+        recovered, report = recover_pairs(wal_dir)
+        assert report.replayed_records == len(batches)  # -1 torn, +1 new
+        assert recovered == reference_pairs(batches[:-1] + [extra])
+
+
+# ---------------------------------------------------------------------------
+# Chaos scenario 3: corrupt checkpoint, intact journal
+# ---------------------------------------------------------------------------
+
+class TestCorruptCheckpointIntactWal:
+    def test_full_history_journal_rescues_corrupt_checkpoint(self, tmp_path):
+        """With ``wal_truncate=False`` the journal retains checkpointed
+        history, so a bit-flipped checkpoint costs nothing: the tenant is
+        replayed from record one and ends identical."""
+        checkpoint = tmp_path / "checkpoint.bin"
+        wal_dir = tmp_path / "wal"
+        batches = chunks(workload(rounds=150))
+        mid = len(batches) // 2
+
+        server = CharacterizationServer(
+            make_engine(), unix_path=tmp_path / "server.sock",
+            checkpoint_path=checkpoint, wal_dir=wal_dir, fsync="never",
+            wal_truncate=False, registry=MetricsRegistry(),
+        )
+        with ServerThread(server) as thread:
+            with CharacterizationClient(thread.address) as client:
+                for batch in batches[:mid]:
+                    client.send_events(batch)
+                reply = client.checkpoint()
+                assert reply["wal_cut"] > 0
+                assert reply["segments_removed"] == 0  # retention mode
+                for batch in batches[mid:]:
+                    client.send_events(batch)
+        assert checkpoint.exists()
+
+        checkpoint.write_bytes(flip_bits(checkpoint.read_bytes(),
+                                         flips=4, seed=11))
+
+        recovered, report = recover_pairs(wal_dir, checkpoint)
+        assert not report.checkpoint_loaded
+        assert DEFAULT_TENANT in report.failed_tenants
+        assert report.checkpoint_seq > 0       # the cut said "covered"...
+        assert report.skipped_records == 0     # ...but nothing was skipped
+        assert report.replayed_records == len(batches)
+        assert recovered == reference_pairs(batches)
+
+    def test_intact_checkpoint_skips_covered_records(self, tmp_path):
+        """Control for the scenario above: with a healthy checkpoint
+        covering a mid-journal cut, covered records are skipped, the
+        tail is replayed, and the result is still identical."""
+        checkpoint = tmp_path / "checkpoint.bin"
+        wal_dir = tmp_path / "wal"
+        batches = chunks(workload(rounds=150))
+        mid = len(batches) // 2
+
+        service = make_engine()
+        with WriteAheadLog(wal_dir, fsync=FsyncPolicy.NEVER) as wal:
+            for batch in batches[:mid]:
+                wal.append(batch)
+                service.submit_many(batch)
+            service.checkpoint_to(str(checkpoint))
+            write_wal_meta(wal_dir, WalMeta(checkpoint_seq=wal.last_seq))
+            for batch in batches[mid:]:
+                wal.append(batch)
+
+        recovered, report = recover_pairs(wal_dir, checkpoint)
+        assert report.checkpoint_loaded
+        assert report.skipped_records == mid
+        assert report.replayed_records == len(batches) - mid
+        assert recovered == reference_pairs(batches)
+
+    def test_graceful_shutdown_cut_covers_whole_journal(self, tmp_path):
+        """A clean shutdown checkpoints every tenant at the final cut,
+        so the next start replays nothing yet restores everything."""
+        checkpoint = tmp_path / "checkpoint.bin"
+        wal_dir = tmp_path / "wal"
+        batches = chunks(workload(rounds=150))
+
+        server = CharacterizationServer(
+            make_engine(), unix_path=tmp_path / "server.sock",
+            checkpoint_path=checkpoint, wal_dir=wal_dir, fsync="never",
+            wal_truncate=False, registry=MetricsRegistry(),
+        )
+        with ServerThread(server) as thread:
+            with CharacterizationClient(thread.address) as client:
+                for batch in batches:
+                    client.send_events(batch)
+
+        recovered, report = recover_pairs(wal_dir, checkpoint)
+        assert report.checkpoint_loaded
+        assert report.skipped_records == len(batches)
+        assert report.replayed_records == 0
+        assert recovered == reference_pairs(batches)
+
+
+# ---------------------------------------------------------------------------
+# Producer dedup: exactly-once application under at-least-once delivery
+# ---------------------------------------------------------------------------
+
+class TestProducerDedup:
+    def make_server(self, tmp_path):
+        return CharacterizationServer(
+            make_engine(), unix_path=tmp_path / "server.sock",
+            checkpoint_path=tmp_path / "checkpoint.bin",
+            wal_dir=tmp_path / "wal", fsync="never",
+            registry=MetricsRegistry(),
+        )
+
+    def test_replayed_frame_acked_but_not_reapplied(self, tmp_path):
+        server = self.make_server(tmp_path)
+        with ServerThread(server) as thread:
+            with CharacterizationClient(thread.address) as client:
+                frame = client._stamp_producer(
+                    protocol.batch_frame(workload(rounds=10))
+                )
+                first = client.request(dict(frame))
+                assert first["accepted"] == 20
+                # The ack was lost; the client retries the same frame.
+                second = client.request(dict(frame))
+                assert second["accepted"] == 0
+                assert second.get("duplicate") is True
+                stats = client.stats()
+                assert stats["wal"]["duplicate_frames"] == 1
+                assert stats["wal"]["last_seq"] == 1  # journalled once
+
+    def test_dedup_state_survives_recovery(self, tmp_path):
+        """The producer high-mark is rebuilt from the journal, so a
+        post-crash retry of a pre-crash frame is still refused."""
+        frame = None
+        server = self.make_server(tmp_path)
+        with ServerThread(server) as thread:
+            with CharacterizationClient(thread.address) as client:
+                frame = client._stamp_producer(
+                    protocol.batch_frame(workload(rounds=10))
+                )
+                client.request(dict(frame))
+        # ServerThread.stop is graceful: checkpoint + cut committed.
+        restarted = self.make_server(tmp_path)
+        with ServerThread(restarted) as thread:
+            with CharacterizationClient(thread.address) as client:
+                reply = client.request(dict(frame))
+                assert reply["accepted"] == 0
+                assert reply.get("duplicate") is True
+
+    def test_wal_append_failure_refuses_the_frame(self, tmp_path):
+        """A journal that cannot append must not acknowledge: the client
+        sees UNAVAILABLE and nothing reaches the engine."""
+        server = self.make_server(tmp_path)
+        with ServerThread(server) as thread:
+            def broken_append(*args, **kwargs):
+                raise OSError("disk full")
+            server.wal.append = broken_append
+            client = CharacterizationClient(thread.address)
+            with pytest.raises(ServerError) as excinfo:
+                client.send_events(workload(rounds=5))
+            assert excinfo.value.code == protocol.ERR_UNAVAILABLE
+            client.close()
+            assert server.service.transactions == 0
+            assert server._producers == {}
+
+
+# ---------------------------------------------------------------------------
+# Dead letters on graceful shutdown
+# ---------------------------------------------------------------------------
+
+class TestDeadLetterDump:
+    def test_quarantined_frames_dumped_on_shutdown(self, tmp_path):
+        server = CharacterizationServer(
+            make_engine(), unix_path=tmp_path / "server.sock",
+            wal_dir=tmp_path / "wal", fsync="never",
+            registry=MetricsRegistry(),
+        )
+        with ServerThread(server):
+            server.dead_letters.offer(RowError(
+                line_number=1, row='{"type": "BATCH"}',
+                error="overloaded: 64 events rejected",
+            ))
+        dump = tmp_path / "wal" / "dead-letters.ndjson"
+        assert dump.exists()
+        rows = [json.loads(line) for line in
+                dump.read_text().splitlines()]
+        assert len(rows) == 1
+        assert "overloaded" in rows[0]["error"]
+        assert json.loads(rows[0]["row"])["type"] == "BATCH"
+
+    def test_no_dump_file_when_nothing_quarantined(self, tmp_path):
+        server = CharacterizationServer(
+            make_engine(), unix_path=tmp_path / "server.sock",
+            wal_dir=tmp_path / "wal", fsync="never",
+            registry=MetricsRegistry(),
+        )
+        with ServerThread(server):
+            pass
+        assert not (tmp_path / "wal" / "dead-letters.ndjson").exists()
+
+
+# ---------------------------------------------------------------------------
+# Tenant checkpoint discovery
+# ---------------------------------------------------------------------------
+
+class TestTenantCheckpointPaths:
+    def test_default_tenant_uses_base_path(self, tmp_path):
+        base = str(tmp_path / "checkpoint.bin")
+        assert tenant_checkpoint_path(base, DEFAULT_TENANT) == base
+        assert tenant_checkpoint_path(base, "acme") == base + ".acme"
+
+    def test_discovery_finds_all_tenants(self, tmp_path):
+        base = tmp_path / "checkpoint.bin"
+        base.write_bytes(b"x")
+        (tmp_path / "checkpoint.bin.acme").write_bytes(b"x")
+        (tmp_path / "checkpoint.bin.globex").write_bytes(b"x")
+        found = discover_tenant_checkpoints(str(base))
+        assert set(found) == {DEFAULT_TENANT, "acme", "globex"}
+        assert found["acme"].endswith(".acme")
+
+    def test_discovery_of_nothing(self, tmp_path):
+        assert discover_tenant_checkpoints(
+            str(tmp_path / "checkpoint.bin")) == {}
+
+    def test_report_checkpoint_loaded(self):
+        assert not RecoveryReport().checkpoint_loaded
+        assert RecoveryReport(restored_tenants=[""]).checkpoint_loaded
+        assert not RecoveryReport(restored_tenants=[""],
+                                  failed_tenants=["acme"]).checkpoint_loaded
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is CircuitState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check()
+        assert excinfo.value.retry_after > 0
+        assert breaker.refused == 1
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        clock.now = 1.5
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert breaker.allow()       # the single probe
+        assert not breaker.allow()   # no second probe
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now = 1.5
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        assert breaker.opens == 2
+
+
+# ---------------------------------------------------------------------------
+# Client deadlines
+# ---------------------------------------------------------------------------
+
+class SilentServer:
+    """Accepts connections and never replies -- a wedged server."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.bind(self.path)
+        self.sock.listen(4)
+        self._accepted = []
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        daemon=True)
+        self._thread.start()
+
+    def _accept_loop(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self._accepted.append(conn)  # hold it open, say nothing
+
+    def close(self):
+        self.sock.close()
+        for conn in self._accepted:
+            conn.close()
+
+
+class TestClientDeadline:
+    def test_deadline_bounds_a_wedged_request(self, tmp_path):
+        silent = SilentServer(tmp_path / "wedged.sock")
+        try:
+            client = CharacterizationClient(
+                silent.path, request_deadline=0.3, timeout=0.1,
+            )
+            started = time.monotonic()
+            with pytest.raises(DeadlineExceededError):
+                client.ping()
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0  # nowhere near timeout * retries
+            client.close()
+        finally:
+            silent.close()
+
+    def test_deadline_not_an_oserror(self):
+        """The retry loop swallows OSErrors; a blown deadline must
+        escape it."""
+        assert not issubclass(DeadlineExceededError, OSError)
+        assert issubclass(DeadlineExceededError, RuntimeError)
+
+    def test_invalid_deadline_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="request_deadline"):
+            CharacterizationClient(str(tmp_path / "x.sock"),
+                                   request_deadline=0.0)
+
+    def test_breaker_fails_fast_after_repeated_failures(self, tmp_path):
+        from repro.resilience.policy import BackoffPolicy
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0)
+        client = CharacterizationClient(
+            str(tmp_path / "nobody-home.sock"),
+            timeout=0.1, policy=BackoffPolicy(base=0.001, retries=0),
+            breaker=breaker,
+        )
+        for _ in range(2):
+            with pytest.raises(OSError):
+                client.ping()
+        assert breaker.state is CircuitState.OPEN
+        with pytest.raises(CircuitOpenError):
+            client.ping()  # refused locally, no socket attempt
+        client.close()

@@ -33,8 +33,10 @@ from repro.resilience import (
     IngestReport,
     ResilientCharacterizationService,
     RowError,
+    SimulatedCrash,
     SinkGuard,
     corrupt_msr_csv,
+    crash_before_rename,
     flip_bits,
 )
 from repro.service import CharacterizationService
@@ -610,3 +612,161 @@ class TestWindowGuards:
         monitor.flush()
         assert len(recorder) == 1
         assert len(recorder.transactions[0]) == 3
+
+
+# ---------------------------------------------------------------------------
+# Crash injection: the pre-rename window
+# ---------------------------------------------------------------------------
+
+class TestCrashBeforeRename:
+    """A crash between "temp file fsynced" and "rename issued" is the
+    narrowest window a checkpoint writer exposes; in it, the previous
+    checkpoint must remain untouched and loadable."""
+
+    def test_v2_previous_checkpoint_survives(self, tmp_path):
+        service = trained_service()
+        path = tmp_path / "synopsis.ckpt"
+        save_checkpoint(service.analyzer, path)
+        good = path.read_bytes()
+
+        service.submit(event(1000.0, 31337))
+        service.flush()
+        with crash_before_rename() as calls:
+            with pytest.raises(SimulatedCrash):
+                save_checkpoint(service.analyzer, path)
+        assert calls[0] == 1
+        assert path.read_bytes() == good
+        load_checkpoint(path)
+        # The aborted temp file was cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_v3_previous_checkpoint_survives(self, tmp_path):
+        from repro.engine.checkpoint import (
+            load_engine_checkpoint,
+            save_engine_checkpoint,
+        )
+        service = ResilientCharacterizationService(
+            shards=4, **service_kwargs()
+        )
+        clock = 0.0
+        for _round in range(20):
+            service.submit(event(clock, 100))
+            service.submit(event(clock + 1e-5, 9000, length=16))
+            clock += 0.05
+        service.flush()
+        path = tmp_path / "engine.ckpt"
+        save_engine_checkpoint(service.analyzer, path)
+        good = path.read_bytes()
+
+        with crash_before_rename():
+            with pytest.raises(SimulatedCrash):
+                save_engine_checkpoint(service.analyzer, path)
+        assert path.read_bytes() == good
+        loaded = load_engine_checkpoint(path)
+        assert loaded.corrupt_shards == []
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_after_writes_lets_earlier_saves_through(self, tmp_path):
+        service = trained_service()
+        first = tmp_path / "a.ckpt"
+        second = tmp_path / "b.ckpt"
+        with crash_before_rename(after_writes=1) as calls:
+            save_checkpoint(service.analyzer, first)  # save 1: allowed
+            with pytest.raises(SimulatedCrash):
+                save_checkpoint(service.analyzer, second)  # save 2: crash
+        assert calls[0] == 2
+        load_checkpoint(first)
+        assert not second.exists()
+
+    def test_crash_is_not_swallowed_by_checkpoint_retries(self, tmp_path):
+        """The resilient service retries transient OSErrors; a simulated
+        crash must rip straight through that machinery, exactly like a
+        real one would."""
+        service = trained_service()
+        path = tmp_path / "synopsis.ckpt"
+        service.checkpoint_to(path)
+        good = path.read_bytes()
+        with crash_before_rename():
+            with pytest.raises(SimulatedCrash):
+                service.checkpoint_to(path)
+        # Not retried, not recorded as an I/O failure -- the process
+        # would simply be gone.
+        assert service.health().checkpoint_failures == 0
+        assert path.read_bytes() == good
+
+    def test_hook_is_restored_on_exit(self, tmp_path):
+        service = trained_service()
+        path = tmp_path / "synopsis.ckpt"
+        with crash_before_rename():
+            pass
+        save_checkpoint(service.analyzer, path)  # hook gone: no crash
+        load_checkpoint(path)
+
+    def test_negative_after_writes_rejected(self):
+        with pytest.raises(ValueError, match="after_writes"):
+            with crash_before_rename(after_writes=-1):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Dead-letter buffer: byte bound and quarantine dump
+# ---------------------------------------------------------------------------
+
+def letter(n, size=10):
+    return RowError(line_number=n, row="x" * size, error=f"bad row {n}")
+
+
+class TestDeadLetterBufferBytes:
+    def test_byte_budget_evicts_oldest_first(self):
+        buffer = DeadLetterBuffer(capacity=1000, max_bytes=100)
+        for n in range(20):  # 20 * 10 bytes, budget holds 10 rows
+            buffer.offer(letter(n))
+        assert buffer.retained_bytes <= 100
+        kept = [row.line_number for row in buffer.rows()]
+        assert kept == list(range(10, 20))  # newest survive
+        assert buffer.total == 20
+
+    def test_oversized_row_retained_truncated(self):
+        buffer = DeadLetterBuffer(capacity=8, max_bytes=64)
+        buffer.offer(letter(1, size=10_000))
+        assert len(buffer) == 1
+        row = buffer.rows()[0]
+        assert len(row.row.encode()) <= 64
+        assert row.error.endswith("[row truncated]")
+        assert buffer.retained_bytes <= 64
+
+    def test_big_row_pushes_out_small_ones(self):
+        buffer = DeadLetterBuffer(capacity=100, max_bytes=50)
+        for n in range(4):
+            buffer.offer(letter(n))           # 40 bytes resident
+        buffer.offer(letter(99, size=30))     # needs 20 evicted
+        kept = [row.line_number for row in buffer.rows()]
+        assert kept == [2, 3, 99]
+        assert buffer.retained_bytes == 50
+
+    def test_accounting_matches_contents(self):
+        buffer = DeadLetterBuffer(capacity=4, max_bytes=1 << 20, seed=3)
+        for n in range(50):                   # exercise reservoir swaps
+            buffer.offer(letter(n, size=5 + n % 7))
+        assert buffer.retained_bytes == sum(
+            len(row.row.encode()) for row in buffer.rows()
+        )
+        assert len(buffer) == 4
+
+    def test_dump_ndjson_roundtrips(self, tmp_path):
+        import json as json_module
+        buffer = DeadLetterBuffer(capacity=16)
+        for n in range(3):
+            buffer.offer(letter(n))
+        path = tmp_path / "quarantine.ndjson"
+        assert buffer.dump_ndjson(path) == 3
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        parsed = [json_module.loads(line) for line in lines]
+        assert [entry["line_number"] for entry in parsed] == [0, 1, 2]
+        assert all(set(entry) == {"line_number", "error", "row"}
+                   for entry in parsed)
+
+    def test_invalid_max_bytes_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DeadLetterBuffer(max_bytes=0)

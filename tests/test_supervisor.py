@@ -1,0 +1,287 @@
+"""Supervised failover: restart budgets, liveness, warm standby.
+
+The supervisor's contract is narrow but load-bearing: a worker that dies
+comes back (with backoff), a worker that wedges gets killed and comes
+back, a worker that crash-loops stops being restarted
+(:class:`SupervisorGaveUp`), and a worker that exits cleanly is left in
+peace.  The warm standby's contract is stricter still: it tails the
+primary's journal read-only and promotes to a server whose state is
+identical to what the primary would have served.
+"""
+
+import multiprocessing
+import os
+import signal
+import sys
+import time
+
+import pytest
+
+from repro.resilience.policy import BackoffPolicy
+from repro.resilience.wal import FsyncPolicy, WriteAheadLog
+from repro.server.client import CharacterizationClient
+from repro.server.server import ServerThread
+from repro.server.supervisor import (
+    RestartTracker,
+    Supervisor,
+    SupervisorGaveUp,
+    WarmStandby,
+    WorkerConfig,
+)
+
+from test_durability import (
+    SUPPORT,
+    chunks,
+    make_engine,
+    reference_pairs,
+    wait_for_socket,
+    worker_config,
+    workload,
+)
+
+FAST_BACKOFF = BackoffPolicy(base=0.001, cap=0.01, retries=8)
+
+
+# Worker targets must be module-level so they cross a spawn boundary too.
+
+def crash_worker(config):
+    sys.exit(3)
+
+
+def clean_worker(config):
+    sys.exit(0)
+
+
+def hang_worker(config):
+    time.sleep(120)
+
+
+def no_sleep(seconds):
+    pass
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# Restart budget
+# ---------------------------------------------------------------------------
+
+class TestRestartTracker:
+    def test_budget_blows_at_max(self):
+        tracker = RestartTracker(max_restarts=3, window=30.0,
+                                 clock=FakeClock())
+        assert [tracker.note() for _ in range(4)] == [True, True, True,
+                                                      False]
+        assert tracker.total == 3
+
+    def test_window_forgives_old_restarts(self):
+        clock = FakeClock()
+        tracker = RestartTracker(max_restarts=2, window=10.0, clock=clock)
+        assert tracker.note() and tracker.note()
+        assert not tracker.note()
+        clock.now = 11.0
+        assert tracker.recent() == 0
+        assert tracker.note()  # budget refilled
+        assert tracker.total == 3
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            RestartTracker(max_restarts=0)
+        with pytest.raises(ValueError):
+            RestartTracker(window=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Supervisor state machine (injected crashing/hanging workers)
+# ---------------------------------------------------------------------------
+
+class TestSupervisorStateMachine:
+    def wait_dead(self, supervisor, timeout=15.0):
+        supervisor._proc.join(timeout=timeout)
+        assert not supervisor._proc.is_alive()
+
+    def test_restarts_a_crashed_worker(self, tmp_path):
+        supervisor = Supervisor(
+            WorkerConfig(), target=crash_worker, backoff=FAST_BACKOFF,
+            max_restarts=5, sleep=no_sleep,
+        )
+        supervisor.start()
+        self.wait_dead(supervisor)
+        assert supervisor.poll_once() == "restarted"
+        assert supervisor.restarts == 1
+        assert "exited with code 3" in supervisor.last_restart_reason
+        supervisor.stop()
+
+    def test_crash_loop_gives_up(self, tmp_path):
+        supervisor = Supervisor(
+            WorkerConfig(), target=crash_worker, backoff=FAST_BACKOFF,
+            max_restarts=2, restart_window=60.0, sleep=no_sleep,
+        )
+        supervisor.start()
+        with pytest.raises(SupervisorGaveUp, match="2 restarts"):
+            while True:
+                self.wait_dead(supervisor)
+                supervisor.poll_once()
+        assert supervisor.restarts == 2
+        supervisor.stop()
+
+    def test_clean_exit_is_not_restarted(self, tmp_path):
+        supervisor = Supervisor(
+            WorkerConfig(), target=clean_worker, backoff=FAST_BACKOFF,
+            sleep=no_sleep,
+        )
+        supervisor.start()
+        self.wait_dead(supervisor)
+        assert supervisor.poll_once() == "stopped"
+        assert supervisor.last_exitcode == 0
+        assert supervisor.restarts == 0
+
+    def test_stale_heartbeat_kills_and_restarts(self, tmp_path):
+        """A wedged worker never beats; liveness must not trust
+        ``is_alive`` alone."""
+        config = WorkerConfig(heartbeat_path=str(tmp_path / "hb.json"))
+        supervisor = Supervisor(
+            config, target=hang_worker, backoff=FAST_BACKOFF,
+            heartbeat_timeout=0.3, sleep=no_sleep,
+        )
+        supervisor.start()
+        try:
+            assert supervisor.poll_once() == "running"
+            time.sleep(0.5)  # the heartbeat file never appears
+            assert supervisor.poll_once() == "restarted"
+            assert "heartbeat stale" in supervisor.last_restart_reason
+        finally:
+            supervisor.stop()
+
+    def test_fresh_heartbeat_keeps_worker_alive(self, tmp_path):
+        """A worker that beats on time is never killed by liveness."""
+        heartbeat = tmp_path / "hb.json"
+        config = WorkerConfig(heartbeat_path=str(heartbeat))
+        supervisor = Supervisor(
+            config, target=hang_worker, backoff=FAST_BACKOFF,
+            heartbeat_timeout=10.0, sleep=no_sleep,
+        )
+        supervisor.start()
+        try:
+            heartbeat.write_text("{}")
+            for _ in range(3):
+                assert supervisor.poll_once() == "running"
+        finally:
+            supervisor.stop()
+
+    def test_poll_before_start_raises(self):
+        supervisor = Supervisor(WorkerConfig(), target=clean_worker)
+        with pytest.raises(RuntimeError, match="not started"):
+            supervisor.poll_once()
+
+
+# ---------------------------------------------------------------------------
+# Supervising the real server
+# ---------------------------------------------------------------------------
+
+class TestSupervisedServer:
+    def test_sigkill_restart_recovers_acked_events(self, tmp_path):
+        """Kill -9 the real worker; the supervisor restarts it and the
+        replacement reports every acked event replayed from the journal."""
+        config = worker_config(tmp_path)
+        supervisor = Supervisor(config, backoff=FAST_BACKOFF,
+                                max_restarts=5)
+        supervisor.start()
+        try:
+            wait_for_socket(config.unix_path)
+            batches = chunks(workload(rounds=60))
+            with CharacterizationClient(config.unix_path) as client:
+                for batch in batches:
+                    client.send_events(batch)
+            first_pid = supervisor.pid
+            os.kill(first_pid, signal.SIGKILL)
+
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if supervisor.poll_once() == "restarted":
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("supervisor never noticed the kill")
+            assert supervisor.pid != first_pid
+
+            wait_for_socket(config.unix_path)
+            with CharacterizationClient(config.unix_path) as client:
+                recovery = client.stats()["recovery"]
+                assert recovery["replayed_events"] == \
+                    sum(len(batch) for batch in batches)
+                assert recovery["corrupt_records"] == 0
+        finally:
+            assert supervisor.stop(grace=20.0) == 0  # graceful drain
+
+    def test_worker_config_is_picklable(self, tmp_path):
+        """The config must survive a spawn boundary, not just fork."""
+        import pickle
+        config = worker_config(tmp_path)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+# ---------------------------------------------------------------------------
+# Warm standby
+# ---------------------------------------------------------------------------
+
+class TestWarmStandby:
+    def test_standby_tails_without_touching_the_journal(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        batches = chunks(workload(rounds=90), size=30)
+        writer = WriteAheadLog(wal_dir, fsync=FsyncPolicy.NEVER)
+        for batch in batches[:3]:
+            writer.append(batch)
+
+        standby = WarmStandby(str(wal_dir), service_factory=make_engine)
+        before = sorted(path.name for path in wal_dir.iterdir())
+        report = standby.warm_up()
+        assert report.replayed_records == 3
+        assert standby.applied_seq == 3
+
+        for batch in batches[3:]:
+            writer.append(batch)
+        assert standby.poll() == len(batches) - 3
+        assert standby.applied_seq == len(batches)
+        assert standby.poll() == 0  # idempotent once caught up
+        # Tailing is strictly read-only: not one file changed its name.
+        assert sorted(path.name for path in wal_dir.iterdir()) == before
+        writer.close()
+
+    def test_promotion_serves_identical_state(self, tmp_path):
+        """The promoted server answers queries exactly as the dead
+        primary would have (single-shard determinism, so: identity)."""
+        wal_dir = tmp_path / "wal"
+        batches = chunks(workload(rounds=120))
+        writer = WriteAheadLog(wal_dir, fsync=FsyncPolicy.NEVER)
+        for batch in batches[:-1]:
+            writer.append(batch)
+
+        standby = WarmStandby(str(wal_dir), service_factory=make_engine)
+        standby.warm_up()
+        # The primary appends one last frame, then dies unnoticed: the
+        # promotion's final catch-up must pick it up.
+        writer.append(batches[-1])
+        writer.close()
+
+        promoted = standby.promote(unix_path=tmp_path / "takeover.sock")
+        with ServerThread(promoted) as thread:
+            promoted.service.flush()
+            with CharacterizationClient(thread.address) as client:
+                served = client.query_top(k=10_000, min_support=SUPPORT)
+        assert served == reference_pairs(batches)
+        assert served  # real correlations, not vacuous equality
+
+    def test_promote_requires_wal(self, tmp_path):
+        from repro.server.server import CharacterizationServer
+        standby = WarmStandby(str(tmp_path / "wal"),
+                              service_factory=make_engine)
+        standby.warm_up()
+        with pytest.raises(ValueError, match="wal_dir"):
+            CharacterizationServer(standby_recovery=standby.recovery)

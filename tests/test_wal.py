@@ -1,0 +1,370 @@
+"""Tests for the segmented write-ahead journal (repro.resilience.wal).
+
+Pins the on-disk contract the durability story stands on: CRC-framed
+records inside magic-headed segments, monotone sequence numbers that
+survive reopen, rotation by size, torn-tail-tolerant replay, mid-log
+corruption containment, checkpoint-cut truncation, and the read-only
+mode a warm standby tails with.
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.monitor.events import BlockIOEvent
+from repro.resilience.faults import flip_bits, truncate_tail
+from repro.resilience.wal import (
+    DEFAULT_FSYNC_INTERVAL,
+    FsyncPolicy,
+    META_FILENAME,
+    WalMeta,
+    WalReplayStats,
+    WriteAheadLog,
+    event_from_payload,
+    event_to_payload,
+    read_wal_meta,
+    write_wal_meta,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.trace.record import OpType
+
+
+def event(ts, start, length=8, op=OpType.READ, pid=0, latency=None, pgid=0):
+    return BlockIOEvent(ts, pid, op, start, length, latency, pgid)
+
+
+def events(n, base=0.0):
+    return [event(base + i * 1e-3, 100 + i * 8) for i in range(n)]
+
+
+def make_wal(directory, **kw):
+    kw.setdefault("fsync", FsyncPolicy.NEVER)
+    return WriteAheadLog(directory, **kw)
+
+
+def replay_all(wal, after_seq=0):
+    stats = WalReplayStats()
+    records = list(wal.replay(after_seq=after_seq, stats=stats))
+    return records, stats
+
+
+# ---------------------------------------------------------------------------
+# Event codec
+# ---------------------------------------------------------------------------
+
+class TestEventCodec:
+    def test_roundtrip_minimal(self):
+        original = event(1.5, 4096, 16)
+        assert event_from_payload(event_to_payload(original)) == original
+
+    def test_roundtrip_full(self):
+        original = event(2.25, 8192, 32, op=OpType.WRITE, pid=42,
+                         latency=0.004, pgid=7)
+        assert event_from_payload(event_to_payload(original)) == original
+
+    def test_payload_is_compact(self):
+        """Default fields are elided so journalled bytes stay small."""
+        payload = event_to_payload(event(1.0, 100))
+        assert set(payload) == {"ts", "op", "start", "len"}
+
+
+# ---------------------------------------------------------------------------
+# Append / replay roundtrip
+# ---------------------------------------------------------------------------
+
+class TestAppendReplay:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        with make_wal(tmp_path) as wal:
+            seqs = [
+                wal.append(events(3), tenant="acme",
+                           producer="p-1", pseq=1),
+                wal.append(events(2, base=1.0), tenant="",
+                           producer="p-1", pseq=2),
+                wal.append(events(1, base=2.0)),
+            ]
+        records, stats = replay_all(make_wal(tmp_path))
+        assert [record.seq for record in records] == seqs == [1, 2, 3]
+        assert records[0].tenant == "acme"
+        assert records[0].producer == "p-1" and records[0].pseq == 1
+        assert records[0].events == events(3)
+        assert records[2].producer is None and records[2].pseq is None
+        assert stats.records_replayed == 3
+        assert stats.events_replayed == 6
+        assert not stats.torn_tail and stats.corrupt_records == 0
+
+    def test_after_seq_skips_covered_records(self, tmp_path):
+        with make_wal(tmp_path) as wal:
+            for i in range(5):
+                wal.append(events(1, base=float(i)))
+            records, stats = replay_all(wal, after_seq=3)
+        assert [record.seq for record in records] == [4, 5]
+        assert stats.records_skipped == 3
+
+    def test_seq_monotone_across_reopen(self, tmp_path):
+        with make_wal(tmp_path) as wal:
+            assert wal.append(events(1)) == 1
+            assert wal.append(events(1)) == 2
+        with make_wal(tmp_path) as wal:
+            assert wal.last_seq == 2
+            assert wal.append(events(1)) == 3
+        records, _ = replay_all(make_wal(tmp_path))
+        assert [record.seq for record in records] == [1, 2, 3]
+
+    def test_bodies_are_ndjson(self, tmp_path):
+        """Each record body is one JSON line -- a segment is greppable."""
+        with make_wal(tmp_path) as wal:
+            wal.append(events(2), tenant="t0")
+            path = wal.active_segment
+        blob = path.read_bytes()
+        line = blob[blob.index(b"{"):blob.index(b"\n") + 1]
+        parsed = json.loads(line)
+        assert parsed["seq"] == 1 and parsed["tenant"] == "t0"
+        assert len(parsed["events"]) == 2
+
+    def test_append_on_closed_log_raises(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.close()
+        with pytest.raises(ValueError, match="closed"):
+            wal.append(events(1))
+
+    def test_empty_directory_replays_nothing(self, tmp_path):
+        records, stats = replay_all(make_wal(tmp_path))
+        assert records == [] and stats.records_replayed == 0
+
+
+# ---------------------------------------------------------------------------
+# Fsync policy
+# ---------------------------------------------------------------------------
+
+class TestFsyncPolicy:
+    @pytest.mark.parametrize("raw,expected", [
+        ("always", FsyncPolicy.ALWAYS),
+        ("INTERVAL", FsyncPolicy.INTERVAL),
+        ("  never ", FsyncPolicy.NEVER),
+        (FsyncPolicy.ALWAYS, FsyncPolicy.ALWAYS),
+    ])
+    def test_parse(self, raw, expected):
+        assert FsyncPolicy.parse(raw) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown fsync policy"):
+            FsyncPolicy.parse("sometimes")
+
+    def test_always_fsyncs_every_append(self, tmp_path):
+        registry = MetricsRegistry()
+        with make_wal(tmp_path, fsync="always", registry=registry) as wal:
+            for i in range(3):
+                wal.append(events(1, base=float(i)))
+        counter = registry.counter("repro_wal_fsyncs_total", "")
+        assert counter.value >= 3
+
+    def test_interval_batches_fsyncs(self, tmp_path):
+        """A fake clock that never advances: one leading fsync at most."""
+        registry = MetricsRegistry()
+        with make_wal(tmp_path, fsync="interval", fsync_interval=3600.0,
+                      clock=lambda: 0.0, registry=registry) as wal:
+            for i in range(50):
+                wal.append(events(1, base=float(i)))
+            mid_run = registry.counter("repro_wal_fsyncs_total", "").value
+        assert mid_run == 0  # interval never elapsed under the fake clock
+
+    def test_sync_forces_durability_now(self, tmp_path):
+        registry = MetricsRegistry()
+        with make_wal(tmp_path, fsync="never", registry=registry) as wal:
+            wal.append(events(1))
+            wal.sync()
+            assert registry.counter("repro_wal_fsyncs_total", "").value == 1
+
+    def test_invalid_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync_interval"):
+            make_wal(tmp_path, fsync_interval=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Segments: rotation, naming, torn tails, corruption
+# ---------------------------------------------------------------------------
+
+class TestSegments:
+    def test_rotation_by_size(self, tmp_path):
+        with make_wal(tmp_path, segment_bytes=1024) as wal:
+            for i in range(40):
+                wal.append(events(4, base=float(i)))
+            segments = wal.segments()
+        assert len(segments) > 1
+        firsts = [int(path.name[len("wal-"):-len(".seg")])
+                  for path in segments]
+        assert firsts == sorted(firsts) and firsts[0] == 1
+        records, stats = replay_all(make_wal(tmp_path, segment_bytes=1024))
+        assert [record.seq for record in records] == list(range(1, 41))
+        assert stats.segments_scanned == len(segments)
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        with make_wal(tmp_path) as wal:
+            for i in range(5):
+                wal.append(events(2, base=float(i)))
+            path = wal.active_segment
+        truncate_tail(path, 7)  # tear into the final record's body
+        records, stats = replay_all(make_wal(tmp_path, readonly=True))
+        assert [record.seq for record in records] == [1, 2, 3, 4]
+        assert stats.torn_tail
+        assert stats.corrupt_records == 0  # a torn *tail* is not corruption
+
+    def test_append_after_torn_tail_starts_fresh_segment(self, tmp_path):
+        """New records must never interleave with half of an old one."""
+        with make_wal(tmp_path) as wal:
+            wal.append(events(1))
+            wal.append(events(1, base=1.0))
+            torn = wal.active_segment
+        truncate_tail(torn, 5)
+        with make_wal(tmp_path) as wal:
+            assert wal.last_seq == 1  # the torn record never happened
+            assert wal.append(events(1, base=2.0)) == 2
+            assert wal.active_segment != torn
+        records, stats = replay_all(make_wal(tmp_path, readonly=True))
+        assert [record.seq for record in records] == [1, 2]
+        assert stats.torn_tail  # the old segment still ends torn
+
+    def test_crc_failure_abandons_rest_of_segment(self, tmp_path):
+        with make_wal(tmp_path, segment_bytes=1024) as wal:
+            for i in range(40):
+                wal.append(events(4, base=float(i)))
+            segments = wal.segments()
+        assert len(segments) >= 3
+        victim = segments[1]
+        blob = victim.read_bytes()
+        # Flip a bit inside the middle segment's payload area.
+        victim.write_bytes(blob[:40] + flip_bits(blob[40:], flips=1, seed=7))
+        records, stats = replay_all(make_wal(tmp_path, readonly=True,
+                                             segment_bytes=1024))
+        seqs = [record.seq for record in records]
+        assert stats.corrupt_records >= 1
+        # Everything before the corruption and everything in later
+        # segments survives; only the damaged segment's remainder is lost.
+        later_first = int(segments[2].name[len("wal-"):-len(".seg")])
+        assert all(seq in seqs for seq in range(later_first, 41))
+        assert seqs == sorted(seqs)
+
+    def test_bad_magic_rejects_segment_but_not_log(self, tmp_path):
+        with make_wal(tmp_path, segment_bytes=1024) as wal:
+            for i in range(40):
+                wal.append(events(4, base=float(i)))
+            segments = wal.segments()
+        assert len(segments) >= 2
+        blob = segments[0].read_bytes()
+        segments[0].write_bytes(b"NOTWAL" + blob[6:])
+        records, stats = replay_all(make_wal(tmp_path, readonly=True,
+                                             segment_bytes=1024))
+        assert stats.corrupt_records >= 1
+        assert records  # later segments still replay
+
+    def test_record_framing_layout(self, tmp_path):
+        """u32 length || u32 crc32 || body, after the segment magic."""
+        with make_wal(tmp_path) as wal:
+            wal.append(events(1))
+            path = wal.active_segment
+        blob = path.read_bytes()
+        assert blob.startswith(b"RTWAL\x01")
+        length, crc = struct.unpack_from("<II", blob, 6)
+        body = blob[14:14 + length]
+        assert len(body) == length
+        assert zlib.crc32(body) == crc
+        assert json.loads(body)["seq"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Truncation (checkpoint cut)
+# ---------------------------------------------------------------------------
+
+class TestTruncation:
+    def test_truncate_removes_covered_segments(self, tmp_path):
+        with make_wal(tmp_path, segment_bytes=1024) as wal:
+            for i in range(40):
+                wal.append(events(4, base=float(i)))
+            before = len(wal.segments())
+            assert before > 2
+            cut_seq = 20
+            removed = wal.truncate_through(cut_seq)
+            assert removed >= 1
+            records, _ = replay_all(wal)
+        # Nothing above the cut was lost.
+        assert {record.seq for record in records} >= set(range(21, 41))
+
+    def test_full_cut_on_quiescent_log_reclaims_everything(self, tmp_path):
+        with make_wal(tmp_path, segment_bytes=1024) as wal:
+            for i in range(10):
+                wal.append(events(2, base=float(i)))
+            wal.truncate_through(wal.last_seq)
+            # Only the freshly rotated (empty) active segment remains.
+            assert len(wal.segments()) == 1
+            records, _ = replay_all(wal)
+            assert records == []
+            # Sequence numbering is preserved across the cut.
+            assert wal.append(events(1, base=99.0)) == 11
+
+    def test_truncate_noop_below_any_segment(self, tmp_path):
+        with make_wal(tmp_path) as wal:
+            wal.append(events(1))
+            assert wal.truncate_through(0) == 0
+            records, _ = replay_all(wal)
+            assert len(records) == 1
+
+
+# ---------------------------------------------------------------------------
+# Meta file (checkpoint cut + producer high-marks)
+# ---------------------------------------------------------------------------
+
+class TestWalMeta:
+    def test_roundtrip(self, tmp_path):
+        write_wal_meta(tmp_path, WalMeta(checkpoint_seq=17,
+                                         producers={"p-1": 9, "p-2": 3}))
+        meta = read_wal_meta(tmp_path)
+        assert meta.checkpoint_seq == 17
+        assert meta.producers == {"p-1": 9, "p-2": 3}
+
+    def test_missing_meta_degrades_to_empty_cut(self, tmp_path):
+        meta = read_wal_meta(tmp_path)
+        assert meta.checkpoint_seq == 0 and meta.producers == {}
+
+    def test_corrupt_meta_degrades_to_empty_cut(self, tmp_path):
+        (tmp_path / META_FILENAME).write_text("{not json")
+        assert read_wal_meta(tmp_path).checkpoint_seq == 0
+
+    def test_rewrite_is_atomic_replace(self, tmp_path):
+        write_wal_meta(tmp_path, WalMeta(checkpoint_seq=1))
+        write_wal_meta(tmp_path, WalMeta(checkpoint_seq=2))
+        assert read_wal_meta(tmp_path).checkpoint_seq == 2
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+
+# ---------------------------------------------------------------------------
+# Read-only mode (warm standby)
+# ---------------------------------------------------------------------------
+
+class TestReadonly:
+    def test_readonly_never_creates_segments(self, tmp_path):
+        wal = make_wal(tmp_path, readonly=True)
+        assert wal.segments() == []
+        assert list(tmp_path.iterdir()) == []  # no active segment created
+
+    def test_readonly_append_raises(self, tmp_path):
+        wal = make_wal(tmp_path, readonly=True)
+        with pytest.raises(ValueError, match="readonly"):
+            wal.append(events(1))
+
+    def test_readonly_sees_live_appends(self, tmp_path):
+        """A tailer re-reads segments from disk on every replay call."""
+        writer = make_wal(tmp_path)
+        tailer = make_wal(tmp_path, readonly=True)
+        writer.append(events(1))
+        first, _ = replay_all(tailer)
+        assert [record.seq for record in first] == [1]
+        writer.append(events(1, base=1.0))
+        second = list(tailer.replay(after_seq=1))
+        assert [record.seq for record in second] == [2]
+        writer.close()
+
+    def test_defaults_are_sane(self):
+        assert DEFAULT_FSYNC_INTERVAL > 0
