@@ -412,6 +412,14 @@ class WriteAheadLog:
         """Sequence number of the most recently appended record."""
         return self._last_seq
 
+    def oldest_seq(self) -> Optional[int]:
+        """First sequence number still on disk (the oldest segment's
+        first record), or ``None`` for an empty journal.  A reader whose
+        position is below ``oldest_seq() - 1`` cannot tail its way
+        forward: the records in between were truncated away."""
+        segments = self.segments()
+        return _segment_first_seq(segments[0]) if segments else None
+
     @property
     def active_segment(self) -> Optional[Path]:
         return self._stream_path

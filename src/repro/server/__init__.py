@@ -52,6 +52,7 @@ from .protocol import (
 )
 from .recovery import (
     RecoveryReport,
+    StandbyGapError,
     WalRecovery,
     discover_tenant_checkpoints,
     tenant_checkpoint_path,
@@ -98,6 +99,7 @@ __all__ = [
     "ServerMetrics",
     "ServerOverloadedError",
     "ServerThread",
+    "StandbyGapError",
     "Supervisor",
     "SupervisorGaveUp",
     "TenantLimitError",

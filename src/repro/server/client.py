@@ -257,7 +257,10 @@ class CharacterizationClient:
                     if attempt >= policy.retries or \
                             (remaining is not None and remaining <= 0):
                         raise ServerOverloadedError(code, message)
-                    self._sleep(policy.delay(attempt))
+                    delay = policy.delay(attempt)
+                    if remaining is not None:
+                        delay = min(delay, max(0.0, remaining))
+                    self._sleep(delay)
                     attempt += 1
                     self.overload_retries += 1
                     continue

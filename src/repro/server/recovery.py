@@ -22,13 +22,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.serialize import CheckpointCorruptError
 from ..resilience.service import ResilientCharacterizationService
 from ..resilience.wal import WalMeta, WriteAheadLog, read_wal_meta
 from ..service import CharacterizationService
 from .tenants import DEFAULT_TENANT, TenantLimitError, TenantRouter
+
+#: How many replayed records between ``progress`` callbacks (a worker
+#: recovering a large journal uses this to keep its heartbeat fresh, so
+#: a supervisor doesn't mistake slow recovery for a wedged process).
+PROGRESS_EVERY = 1000
+
+
+class StandbyGapError(RuntimeError):
+    """The journal was truncated past this reader's position and no
+    checkpoint can bridge the gap -- continuing would silently serve
+    with acknowledged events missing."""
 
 
 def tenant_checkpoint_path(checkpoint_path: str, tenant: str) -> str:
@@ -94,10 +105,12 @@ class WalRecovery:
         router: TenantRouter,
         wal: WriteAheadLog,
         checkpoint_path: Optional[str] = None,
+        progress: Optional[Callable[[], None]] = None,
     ) -> None:
         self.router = router
         self.wal = wal
         self.checkpoint_path = checkpoint_path
+        self.progress = progress
         self.applied_seq = 0
         self.producers: Dict[str, int] = {}
         self._tenant_ok: Dict[str, bool] = {}
@@ -119,11 +132,17 @@ class WalRecovery:
         report.producers = dict(self.producers)
         return report
 
-    def _restore_checkpoints(self, report: RecoveryReport) -> None:
+    def _restore_checkpoints(self, report: RecoveryReport,
+                             fresh: bool = False) -> None:
+        """Load every on-disk tenant checkpoint; ``fresh`` rebuilds each
+        tenant's service first, discarding partially-applied state (a
+        resyncing standby must not restore over a monitor that already
+        holds half a transaction window)."""
         for tenant, path in sorted(
                 discover_tenant_checkpoints(self.checkpoint_path).items()):
             try:
-                service = self.router.get(tenant)
+                service = self.router.reset(tenant) if fresh \
+                    else self.router.get(tenant)
             except TenantLimitError:
                 report.refused_tenants += 1
                 continue
@@ -135,9 +154,11 @@ class WalRecovery:
     def _apply_records(self, report: RecoveryReport, cut: int) -> None:
         """Replay the whole journal, skipping records the checkpoint
         already covers *for tenants whose checkpoint actually loaded*."""
-        for record in self.wal.replay(after_seq=0):
+        for index, record in enumerate(self.wal.replay(after_seq=0)):
             self.applied_seq = record.seq
             self._note_producer(record)
+            if self.progress is not None and index % PROGRESS_EVERY == 0:
+                self.progress()
             if record.seq <= cut and self._tenant_ok.get(record.tenant):
                 report.skipped_records += 1
                 continue
@@ -169,11 +190,60 @@ class WalRecovery:
     def catch_up(self) -> int:
         """Apply every record appended since the last call (or since
         :meth:`recover`); returns how many were applied.  This is the warm
-        standby's whole job: poll, apply, repeat, stay seconds-fresh."""
+        standby's whole job: poll, apply, repeat, stay seconds-fresh.
+
+        A primary that checkpoints with ``wal_truncate=True`` deletes
+        segments this tailer may not have read yet; tailing blindly would
+        skip that range without a whisper.  So each call first checks the
+        checkpoint cut against our position: if the cut moved past us
+        *and* the journal no longer holds the records in between, the
+        gap is bridged by re-restoring the (newer) checkpoint that covers
+        it -- or, when no checkpoint is available, by raising
+        :class:`StandbyGapError` rather than silently losing acked
+        events."""
+        self._resync_if_truncated()
         applied = 0
-        for record in self.wal.replay(after_seq=self.applied_seq):
+        for index, record in enumerate(
+                self.wal.replay(after_seq=self.applied_seq)):
             self.applied_seq = record.seq
             self._note_producer(record)
+            if self.progress is not None and index % PROGRESS_EVERY == 0:
+                self.progress()
             if self._apply(record):
                 applied += 1
         return applied
+
+    def _resync_if_truncated(self) -> None:
+        meta = read_wal_meta(self.wal.directory)
+        if meta.checkpoint_seq <= self.applied_seq:
+            return  # the cut has not moved past us
+        oldest = self.wal.oldest_seq()
+        if oldest is not None and oldest <= self.applied_seq + 1:
+            return  # full history retained; a plain tail sees everything
+        if not self.checkpoint_path:
+            raise StandbyGapError(
+                f"journal truncated through seq {meta.checkpoint_seq} "
+                f"while this tailer had applied only {self.applied_seq}, "
+                f"and no checkpoint_path is configured to bridge the gap;"
+                f" give the standby the primary's checkpoint path, or run"
+                f" the primary with wal_truncate=False"
+            )
+        # The checkpoint files for the new cut are already on disk: the
+        # primary writes them *before* committing the cut to wal.meta.
+        resync = RecoveryReport()
+        self._tenant_ok = {}
+        self._restore_checkpoints(resync, fresh=True)
+        if resync.failed_tenants:
+            raise StandbyGapError(
+                f"journal truncated through seq {meta.checkpoint_seq} "
+                f"and re-restoring the covering checkpoint failed for "
+                f"tenants {resync.failed_tenants}; acked events would be "
+                f"lost"
+            )
+        for producer, pseq in meta.producers.items():
+            if pseq > self.producers.get(producer, 0):
+                self.producers[producer] = pseq
+        self.applied_seq = meta.checkpoint_seq
+        self.report.checkpoint_seq = meta.checkpoint_seq
+        self.report.restored_tenants = list(resync.restored_tenants)
+        self.report.refused_tenants += resync.refused_tenants

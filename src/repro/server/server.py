@@ -82,6 +82,17 @@ from .tenants import (
 #: interval-fsync policy a chance to run while ingest is idle).
 DEFAULT_HEARTBEAT_INTERVAL = 0.5
 
+#: Bound on the producer-dedup map.  Every client instance mints a fresh
+#: producer id, so a long-lived server sees an unbounded stream of them;
+#: past this many the least recently seen entry is evicted (its producer
+#: is almost certainly gone -- the cost of being wrong is one re-applied
+#: retry, not data loss).
+DEFAULT_MAX_PRODUCERS = 4096
+
+#: Producers idle at least this long (seconds) are dropped at each
+#: checkpoint cut, so wal.meta.json carries only live dedup state.
+DEFAULT_PRODUCER_TTL = 3600.0
+
 #: ``host:port`` for TCP, or a filesystem path for a Unix socket.
 Address = Union[Tuple[str, int], str]
 
@@ -132,6 +143,8 @@ class CharacterizationServer:
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         dead_letter_path: Optional[Union[str, os.PathLike]] = None,
         standby_recovery: Optional[WalRecovery] = None,
+        max_producers: int = DEFAULT_MAX_PRODUCERS,
+        producer_ttl: float = DEFAULT_PRODUCER_TTL,
     ) -> None:
         """``unix_path`` selects a Unix socket; otherwise TCP on
         ``host:port`` (port 0: ephemeral, read :attr:`address` after
@@ -202,7 +215,19 @@ class CharacterizationServer:
         self._standby_recovery = standby_recovery
         if standby_recovery is not None and self.wal_dir is None:
             raise ValueError("standby promotion requires wal_dir")
+        if max_producers < 1:
+            raise ValueError(f"max_producers must be >= 1, "
+                             f"got {max_producers}")
+        if producer_ttl <= 0:
+            raise ValueError(f"producer_ttl must be > 0, "
+                             f"got {producer_ttl}")
+        self.max_producers = max_producers
+        self.producer_ttl = producer_ttl
+        # Insertion order doubles as recency order: every touch pops and
+        # re-inserts, so the first key is always the LRU eviction victim.
         self._producers: Dict[str, int] = {}
+        self._producer_seen: Dict[str, float] = {}
+        self.expired_producers = 0
         self.duplicate_frames = 0
         self.recovery_report: Optional[RecoveryReport] = None
         self._heartbeat_task: Optional[asyncio.Task] = None
@@ -237,6 +262,11 @@ class CharacterizationServer:
         """
         if self._server is not None:
             raise RuntimeError("server already started")
+        # First beat before recovery: a supervisor must see "alive, still
+        # recovering" (the journal replay below keeps beating via the
+        # progress hook), not "no heartbeat yet" while a large journal
+        # replays.
+        self._write_heartbeat()
         if self.wal_dir is not None:
             self.wal = WriteAheadLog(self.wal_dir, registry=self.registry,
                                      **self._wal_config)
@@ -245,15 +275,17 @@ class CharacterizationServer:
                 # tailing; adopt its state and close the last gap.
                 recovery = self._standby_recovery
                 recovery.wal = self.wal
+                recovery.progress = self._write_heartbeat
                 recovery.catch_up()
                 self.router = recovery.router
                 self.service = self.router.get(DEFAULT_TENANT)
                 self.recovery_report = recovery.report
             else:
                 recovery = WalRecovery(self.router, self.wal,
-                                       self.checkpoint_path)
+                                       self.checkpoint_path,
+                                       progress=self._write_heartbeat)
                 self.recovery_report = recovery.recover()
-            self._producers = dict(recovery.producers)
+            self._adopt_producers(recovery.producers)
         elif self.checkpoint_path and os.path.exists(self.checkpoint_path):
             self._restore_default(self.checkpoint_path)
         if self.unix_path is not None:
@@ -294,6 +326,44 @@ class CharacterizationServer:
                 stream.write(json.dumps(beat, sort_keys=True))
         except OSError:
             pass  # a failed beat must never take down the server
+
+    # -- producer dedup map (bounded) ---------------------------------------
+
+    def _adopt_producers(self, producers: Dict[str, int]) -> None:
+        """Take over recovered dedup state; replay order means later
+        entries are more recent, so those survive a cap overflow."""
+        entries = list(producers.items())[-self.max_producers:]
+        self._producers = dict(entries)
+        now = time.monotonic()
+        self._producer_seen = {name: now for name in self._producers}
+
+    def _note_producer(self, producer: str, pseq: int) -> None:
+        """Record a producer's newest applied frame and mark it
+        recently seen (moved to the back of the eviction order)."""
+        self._producers.pop(producer, None)
+        self._producers[producer] = pseq
+        self._producer_seen[producer] = time.monotonic()
+        while len(self._producers) > self.max_producers:
+            victim = next(iter(self._producers))
+            del self._producers[victim]
+            del self._producer_seen[victim]
+            self.expired_producers += 1
+
+    def _prune_producers(self) -> int:
+        """Forget producers idle past ``producer_ttl``.  Called at each
+        checkpoint cut, which is also what bounds ``wal.meta.json``: the
+        persisted map only ever carries live producers (evicting one
+        risks re-applying a retry that arrives after the TTL -- an
+        acceptable trade against unbounded growth, and impossible for a
+        client that has been gone that long)."""
+        now = time.monotonic()
+        expired = [name for name, seen in self._producer_seen.items()
+                   if now - seen >= self.producer_ttl]
+        for name in expired:
+            self._producers.pop(name, None)
+            self._producer_seen.pop(name, None)
+        self.expired_producers += len(expired)
+        return len(expired)
 
     def _restore_default(self, path: str) -> None:
         service = self.service
@@ -351,6 +421,7 @@ class CharacterizationServer:
         Returns the number of segments removed."""
         if self.wal is None:
             return 0
+        self._prune_producers()
         cut = self.wal.last_seq
         write_wal_meta(self.wal.directory, WalMeta(
             checkpoint_seq=cut, producers=dict(self._producers)
@@ -560,6 +631,7 @@ class CharacterizationServer:
             # A retry of a frame we already accepted (the ack was lost,
             # not the events).  Ack again, apply nothing: exactly-once
             # application under the client's at-least-once delivery.
+            self._note_producer(producer, self._producers[producer])
             self.duplicate_frames += 1
             return {"type": protocol.REPLY_OK, "accepted": 0,
                     "duplicate": True}
@@ -588,7 +660,7 @@ class CharacterizationServer:
                 f"hard limit {conn.queue.hard_limit}); frame dropped",
             )
         if producer is not None:
-            self._producers[producer] = pseq
+            self._note_producer(producer, pseq)
         self.metrics.note_depth(conn.queue.depth)
         if admission is Admission.THROTTLED:
             self.metrics.throttled()
@@ -672,6 +744,8 @@ class CharacterizationServer:
                 "last_seq": self.wal.last_seq,
                 "duplicate_frames": self.duplicate_frames,
                 "dead_letters": len(self.dead_letters),
+                "producers": len(self._producers),
+                "expired_producers": self.expired_producers,
             }
         if self.recovery_report is not None:
             report = self.recovery_report

@@ -39,6 +39,8 @@ from .recovery import RecoveryReport, WalRecovery
 from .server import (
     CharacterizationServer,
     DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_MAX_PRODUCERS,
+    DEFAULT_PRODUCER_TTL,
 )
 from .tenants import DEFAULT_MAX_TENANTS, TenantRouter
 
@@ -71,6 +73,8 @@ class WorkerConfig:
     soft_limit: int = DEFAULT_SOFT_LIMIT
     hard_limit: int = DEFAULT_HARD_LIMIT
     max_tenants: int = DEFAULT_MAX_TENANTS
+    max_producers: int = DEFAULT_MAX_PRODUCERS
+    producer_ttl: float = DEFAULT_PRODUCER_TTL
     # -- engine shape (None: the server's stock defaults) -----------------
     capacity: Optional[int] = None
     support: int = 5
@@ -115,6 +119,8 @@ class WorkerConfig:
             soft_limit=self.soft_limit,
             hard_limit=self.hard_limit,
             max_tenants=self.max_tenants,
+            max_producers=self.max_producers,
+            producer_ttl=self.producer_ttl,
         )
 
 
@@ -239,6 +245,13 @@ class Supervisor:
             # No heartbeat yet: measure from spawn, so a worker that
             # never manages its first beat still gets restarted.
             beat_at = self._spawned_at
+        else:
+            # An existing file may be the *previous* worker's last beat;
+            # staleness must never predate the current worker's spawn, or
+            # every restart whose (backoff + recovery) exceeds the
+            # timeout gets killed before its first beat -- a crash loop
+            # manufactured by the supervisor itself.
+            beat_at = max(beat_at, self._spawned_at)
         return time.time() - beat_at > self.heartbeat_timeout
 
     def poll_once(self) -> str:

@@ -58,6 +58,17 @@ class TenantRouter:
         """Install a pre-built service (the server seeds the default)."""
         self._services[tenant] = service
 
+    def reset(self, tenant: str) -> CharacterizationService:
+        """Replace the tenant's service with a fresh one from the
+        factory (recovery uses this to drop half-applied state --
+        including the monitor's open transaction window -- before
+        restoring a checkpoint over it)."""
+        if tenant not in self._services:
+            return self.get(tenant)  # cap-checked creation
+        service = self._factory()
+        self._services[tenant] = service
+        return service
+
     def peek(self, tenant: str = DEFAULT_TENANT):
         """The tenant's service if it exists, else ``None`` (no creation)."""
         return self._services.get(tenant)

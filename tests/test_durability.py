@@ -30,6 +30,7 @@ from repro.resilience.wal import (
     FsyncPolicy,
     WalMeta,
     WriteAheadLog,
+    read_wal_meta,
     write_wal_meta,
 )
 from repro.server import protocol
@@ -42,6 +43,7 @@ from repro.server.client import (
     CharacterizationClient,
     DeadlineExceededError,
     ServerError,
+    ServerOverloadedError,
 )
 from repro.server.recovery import (
     RecoveryReport,
@@ -435,6 +437,58 @@ class TestDeadLetterDump:
 
 
 # ---------------------------------------------------------------------------
+# Producer dedup map stays bounded
+# ---------------------------------------------------------------------------
+
+class TestProducerMapBound:
+    def test_lru_eviction_caps_the_map(self, tmp_path):
+        """Every short-lived client mints a fresh producer id; the dedup
+        map must not grow with them forever."""
+        server = CharacterizationServer(
+            make_engine(), registry=MetricsRegistry(), max_producers=4,
+        )
+        for i in range(10):
+            server._note_producer(f"p{i}", 1)
+        assert len(server._producers) == 4
+        assert list(server._producers) == ["p6", "p7", "p8", "p9"]
+        assert server.expired_producers == 6
+        # Touching a survivor refreshes it past the next eviction.
+        server._note_producer("p6", 2)
+        server._note_producer("p10", 1)
+        assert "p6" in server._producers
+        assert "p7" not in server._producers
+
+    def test_idle_producers_pruned_at_checkpoint_cut(self, tmp_path):
+        """The cut's wal.meta.json carries only live producers, so the
+        meta file cannot grow without bound either."""
+        server = CharacterizationServer(
+            make_engine(), checkpoint_path=tmp_path / "checkpoint.bin",
+            wal_dir=tmp_path / "wal", fsync="never",
+            registry=MetricsRegistry(), producer_ttl=10.0,
+        )
+        server.wal = WriteAheadLog(tmp_path / "wal",
+                                   fsync=FsyncPolicy.NEVER)
+        server._note_producer("live", 7)
+        server._note_producer("idle", 3)
+        server._producer_seen["idle"] -= 60.0
+        server._commit_wal_cut()
+        assert "idle" not in server._producers
+        assert server.expired_producers == 1
+        assert read_wal_meta(tmp_path / "wal").producers == {"live": 7}
+        server.wal.close()
+
+    def test_nonsense_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_producers"):
+            CharacterizationServer(make_engine(),
+                                   registry=MetricsRegistry(),
+                                   max_producers=0)
+        with pytest.raises(ValueError, match="producer_ttl"):
+            CharacterizationServer(make_engine(),
+                                   registry=MetricsRegistry(),
+                                   producer_ttl=0.0)
+
+
+# ---------------------------------------------------------------------------
 # Tenant checkpoint discovery
 # ---------------------------------------------------------------------------
 
@@ -578,6 +632,32 @@ class TestClientDeadline:
         with pytest.raises(ValueError, match="request_deadline"):
             CharacterizationClient(str(tmp_path / "x.sock"),
                                    request_deadline=0.0)
+
+    def test_overloaded_retry_sleep_respects_deadline(self, tmp_path):
+        """The backoff sleep after an OVERLOADED rejection is clamped to
+        the remaining request deadline, exactly like the reconnect
+        path's -- the client must not block past its deadline."""
+        from repro.resilience.policy import BackoffPolicy
+        sleeps = []
+        clock = FakeClock()
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock.now += seconds
+
+        client = CharacterizationClient(
+            str(tmp_path / "unused.sock"), request_deadline=1.0,
+            policy=BackoffPolicy(base=30.0, cap=30.0, retries=5),
+            sleep=fake_sleep, clock=clock,
+        )
+        client._send_and_receive = lambda data, deadline=None: {
+            "type": protocol.REPLY_ERROR,
+            "code": protocol.ERR_OVERLOADED,
+            "error": "ingest queue full",
+        }
+        with pytest.raises(ServerOverloadedError):
+            client.request({"type": protocol.FRAME_PING})
+        assert sleeps == [1.0]  # clamped to the deadline, not 30s
 
     def test_breaker_fails_fast_after_repeated_failures(self, tmp_path):
         from repro.resilience.policy import BackoffPolicy

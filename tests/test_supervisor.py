@@ -18,8 +18,14 @@ import time
 import pytest
 
 from repro.resilience.policy import BackoffPolicy
-from repro.resilience.wal import FsyncPolicy, WriteAheadLog
+from repro.resilience.wal import (
+    FsyncPolicy,
+    WalMeta,
+    WriteAheadLog,
+    write_wal_meta,
+)
 from repro.server.client import CharacterizationClient
+from repro.server.recovery import StandbyGapError
 from repro.server.server import ServerThread
 from repro.server.supervisor import (
     RestartTracker,
@@ -28,6 +34,7 @@ from repro.server.supervisor import (
     WarmStandby,
     WorkerConfig,
 )
+from repro.server.tenants import DEFAULT_TENANT
 
 from test_durability import (
     SUPPORT,
@@ -180,6 +187,27 @@ class TestSupervisorStateMachine:
         with pytest.raises(RuntimeError, match="not started"):
             supervisor.poll_once()
 
+    def test_restart_ignores_dead_workers_heartbeat(self, tmp_path):
+        """After a restart the heartbeat file still carries the *dead*
+        worker's last beat; staleness must be measured from the new
+        worker's spawn, or every restart slower than the timeout gets
+        killed before its first beat (a supervisor-made crash loop)."""
+        heartbeat = tmp_path / "hb.json"
+        heartbeat.write_text("{}")
+        old = time.time() - 100.0
+        os.utime(heartbeat, (old, old))
+        config = WorkerConfig(heartbeat_path=str(heartbeat))
+        supervisor = Supervisor(
+            config, target=hang_worker, backoff=FAST_BACKOFF,
+            heartbeat_timeout=5.0, sleep=no_sleep,
+        )
+        supervisor.start()
+        try:
+            for _ in range(3):
+                assert supervisor.poll_once() == "running"
+        finally:
+            supervisor.stop()
+
 
 # ---------------------------------------------------------------------------
 # Supervising the real server
@@ -285,3 +313,73 @@ class TestWarmStandby:
         standby.warm_up()
         with pytest.raises(ValueError, match="wal_dir"):
             CharacterizationServer(standby_recovery=standby.recovery)
+
+    def test_standby_resyncs_across_primary_truncation(self, tmp_path):
+        """The primary checkpoints (and truncates) while the standby
+        lags; the next poll must bridge the missing range by
+        re-restoring the covering checkpoint, not skip it silently."""
+        checkpoint = tmp_path / "checkpoint.bin"
+        wal_dir = tmp_path / "wal"
+        batches = chunks(workload(rounds=120), size=30)
+        seen, cut = 1, 3  # standby saw [0,1); primary checkpoints at 3
+
+        primary = make_engine()
+        wal = WriteAheadLog(wal_dir, fsync=FsyncPolicy.NEVER)
+        for batch in batches[:seen]:
+            wal.append(batch)
+            primary.submit_many(batch)
+
+        standby = WarmStandby(str(wal_dir),
+                              checkpoint_path=str(checkpoint),
+                              service_factory=make_engine)
+        assert standby.poll() == seen
+        assert standby.applied_seq == seen
+
+        # Behind the standby's back: ingest, checkpoint, truncate.
+        for batch in batches[seen:cut]:
+            wal.append(batch)
+            primary.submit_many(batch)
+        primary.checkpoint_to(str(checkpoint))
+        write_wal_meta(wal_dir, WalMeta(checkpoint_seq=wal.last_seq))
+        assert wal.truncate_through(wal.last_seq) >= 1
+        for batch in batches[cut:]:
+            wal.append(batch)
+        wal.close()
+
+        assert standby.poll() == len(batches) - cut  # tail only
+        assert standby.applied_seq == len(batches)
+        service = standby.router.get(DEFAULT_TENANT)
+        service.flush()
+        served = service.analyzer.frequent_pairs(SUPPORT)
+        assert served == reference_pairs(batches)
+        assert served  # real correlations, not vacuous equality
+
+    def test_retained_history_needs_no_resync(self, tmp_path):
+        """A moved checkpoint cut with full journal retention is not a
+        gap: the standby tails straight through without a checkpoint."""
+        wal_dir = tmp_path / "wal"
+        batches = chunks(workload(rounds=60), size=30)
+        wal = WriteAheadLog(wal_dir, fsync=FsyncPolicy.NEVER)
+        wal.append(batches[0])
+        standby = WarmStandby(str(wal_dir), service_factory=make_engine)
+        standby.warm_up()
+        wal.append(batches[1])
+        write_wal_meta(wal_dir, WalMeta(checkpoint_seq=wal.last_seq))
+        assert standby.poll() == 1  # no checkpoint needed, no raise
+        wal.close()
+
+    def test_truncation_without_checkpoint_is_refused(self, tmp_path):
+        """A standby that cannot bridge a truncated range must refuse
+        loudly instead of serving with acked events missing."""
+        wal_dir = tmp_path / "wal"
+        batches = chunks(workload(rounds=60), size=30)
+        wal = WriteAheadLog(wal_dir, fsync=FsyncPolicy.NEVER)
+        wal.append(batches[0])
+        standby = WarmStandby(str(wal_dir), service_factory=make_engine)
+        standby.warm_up()
+        wal.append(batches[1])
+        write_wal_meta(wal_dir, WalMeta(checkpoint_seq=wal.last_seq))
+        wal.truncate_through(wal.last_seq)
+        wal.close()
+        with pytest.raises(StandbyGapError, match="truncated"):
+            standby.poll()
