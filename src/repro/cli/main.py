@@ -228,6 +228,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         record_offline=False,
         shards=args.shards,
         batch_size=args.batch_size,
+        parallel=args.parallel,
         registry=registry,
     )
     if args.save_synopsis:
@@ -257,6 +258,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
             print("  (none)")
     if registry is not None:
         _export_metrics(registry, args)
+    result.release()  # shut down process-shard workers, if any
     return 0
 
 
@@ -367,6 +369,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ),
             min_support=args.support,
             shards=args.shards,
+            shard_processes=args.shard_processes,
             snapshot_interval=args.snapshot_interval,
             registry=registry,
         )
@@ -375,6 +378,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         config=config,
         min_support=args.support,
         shards=args.shards,
+        shard_processes=args.shard_processes,
         snapshot_interval=args.snapshot_interval,
         registry=registry,
     )
@@ -448,6 +452,7 @@ def _serve_supervised(args: argparse.Namespace) -> int:
         capacity=args.capacity,
         support=args.support,
         shards=args.shards,
+        shard_processes=args.shard_processes,
         snapshot_interval=args.snapshot_interval,
     )
     supervisor = Supervisor(
@@ -554,6 +559,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="hash-partition the synopsis across N "
                                    "shard table pairs at capacity/N each "
                                    "(default 1: single analyzer)")
+    characterize.add_argument("--parallel", choices=["thread", "process"],
+                              default=None,
+                              help="process shard batches with one worker "
+                                   "thread per shard, or back the run with "
+                                   "one worker process per shard "
+                                   "(GIL-free; pair with --shards/"
+                                   "--batch-size)")
     characterize.add_argument("--batch-size", type=int, default=None,
                               help="feed events to the monitor in batches "
                                    "of this size (default: per-event)")
@@ -628,6 +640,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--capacity", type=int, default=16 * 1024)
     serve.add_argument("--support", type=int, default=5)
     serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument("--shard-processes", action="store_true",
+                       help="back each tenant's shards with one worker "
+                            "process per shard (GIL-free ingest)")
     serve.add_argument("--snapshot-interval", type=int, default=1000)
     serve.add_argument("--soft-limit", type=int, default=8192,
                        help="queued events per connection before THROTTLE "

@@ -86,6 +86,20 @@ class CorrelationTable:
             self._unindex(evicted_pair)
         return result
 
+    def access_fast(self, pair: ExtentPair) -> Optional[ExtentPair]:
+        """Allocation-light :meth:`access`: returns the evicted pair or None.
+
+        State, stats, and inverted-index transitions are identical to
+        :meth:`access`; only the :class:`AccessResult` is elided (see
+        :meth:`TwoTierTable.access_fast`).
+        """
+        hit, evicted = self._table.access_fast(pair)
+        if not hit:
+            self._index(pair)
+        if evicted is not None:
+            self._unindex(evicted)
+        return evicted
+
     def pairs_involving(self, extent: Extent) -> List[ExtentPair]:
         """Resident pairs that have ``extent`` as a member."""
         return sorted(self._by_extent.get(extent, ()))

@@ -38,6 +38,12 @@ class Extent:
             raise ValueError(f"extent start must be >= 0, got {self.start}")
         if self.length <= 0:
             raise ValueError(f"extent length must be > 0, got {self.length}")
+        # Cache the hash: the synopsis tables hash each key several times
+        # per access, and the tuple hash of a frozen dataclass is the single
+        # largest cost in the table hot path.  The cached value is exactly
+        # the dataclass-generated hash -- hash of the field tuple -- so
+        # shard routing (hash % N) and dict behaviour are unchanged.
+        object.__setattr__(self, "_h", hash((self.start, self.length)))
 
     @property
     def end(self) -> int:
@@ -107,6 +113,7 @@ class ExtentPair:
             a, b = b, a
         object.__setattr__(self, "first", a)
         object.__setattr__(self, "second", b)
+        object.__setattr__(self, "_h", hash((a, b)))
 
     def involves(self, extent: Extent) -> bool:
         """Return whether ``extent`` is one of the two members."""
@@ -139,6 +146,85 @@ class ExtentPair:
 
     def __str__(self) -> str:
         return f"({self.first}, {self.second})"
+
+
+def _cached_hash(self) -> int:
+    return self._h
+
+
+# Replace the dataclass-generated __hash__ (which rebuilds and hashes the
+# field tuple on every call) with a read of the value cached at construction.
+# The cached value *is* the field-tuple hash, so hash-based shard routing and
+# every dict/set keyed on these types behave identically.
+Extent.__hash__ = _cached_hash  # type: ignore[assignment]
+ExtentPair.__hash__ = _cached_hash  # type: ignore[assignment]
+
+
+def pair_of_ordered(a: Extent, b: Extent) -> ExtentPair:
+    """Build an :class:`ExtentPair` from already-canonical members.
+
+    Requires ``a < b`` (distinct, ordered) -- the caller guarantees it, so
+    the comparison/swap/validation in ``ExtentPair.__init__`` is skipped.
+    The columnar engine hot loop builds pairs from a sorted distinct-extent
+    list, where ordering is guaranteed by construction.
+    """
+    pair = object.__new__(ExtentPair)
+    object.__setattr__(pair, "first", a)
+    object.__setattr__(pair, "second", b)
+    object.__setattr__(pair, "_h", hash((a, b)))
+    return pair
+
+
+class ExtentInterner:
+    """Bounded value-identity cache for extents and pairs.
+
+    The columnar lane decodes extents from integer arrays; interning makes
+    repeated sightings of the same extent reuse one object (and therefore
+    one cached hash) instead of allocating a fresh dataclass per sighting.
+    When either cache exceeds ``max_entries`` it is simply cleared --
+    amnesia costs a few reallocations, never correctness, because the
+    tables key by value equality.
+    """
+
+    __slots__ = ("_extents", "_pairs", "_max_entries")
+
+    def __init__(self, max_entries: int = 1 << 17) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self._extents: dict = {}
+        self._pairs: dict = {}
+        self._max_entries = max_entries
+
+    def extent(self, start: int, length: int) -> Extent:
+        """Shared :class:`Extent` for ``(start, length)``."""
+        key = (start, length)
+        cached = self._extents.get(key)
+        if cached is not None:
+            return cached
+        if len(self._extents) >= self._max_entries:
+            self._extents.clear()
+        made = object.__new__(Extent)
+        object.__setattr__(made, "start", start)
+        object.__setattr__(made, "length", length)
+        object.__setattr__(made, "_h", hash(key))
+        self._extents[key] = made
+        return made
+
+    def pair(self, a: Extent, b: Extent) -> ExtentPair:
+        """Shared :class:`ExtentPair` for ordered distinct extents ``a < b``."""
+        key = (a.start, a.length, b.start, b.length)
+        cached = self._pairs.get(key)
+        if cached is not None:
+            return cached
+        if len(self._pairs) >= self._max_entries:
+            self._pairs.clear()
+        made = pair_of_ordered(a, b)
+        self._pairs[key] = made
+        return made
+
+    def clear(self) -> None:
+        self._extents.clear()
+        self._pairs.clear()
 
 
 def unique_pairs(extents: Iterable[Extent]) -> List[ExtentPair]:

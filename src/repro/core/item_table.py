@@ -63,6 +63,11 @@ class ItemTable:
         """Record one sighting; see :meth:`TwoTierTable.access`."""
         return self._table.access(extent)
 
+    def access_fast(self, extent: Extent) -> Optional[Extent]:
+        """Allocation-light :meth:`access`: returns the evicted extent or
+        ``None`` (see :meth:`TwoTierTable.access_fast`)."""
+        return self._table.access_fast(extent)[1]
+
     def evicted_from(self, result: AccessResult[Extent]) -> List[Extent]:
         """Extents evicted as a consequence of ``result``."""
         return [key for key, _tally, _tier in result.evicted]

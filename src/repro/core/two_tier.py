@@ -190,6 +190,54 @@ class TwoTierTable(Generic[K]):
             result.evicted.append((displaced[0], displaced[1], TIER1))
         return result
 
+    def access_fast(self, key: K) -> Tuple[bool, Optional[K]]:
+        """Allocation-light :meth:`access` for the columnar hot loop.
+
+        Performs *exactly* the same state transitions and stats mutations as
+        :meth:`access`, but returns only ``(hit, evicted_key)`` -- no
+        :class:`AccessResult` is built (its construction costs about as much
+        as the dict work itself) and the LRU queues' ``OrderedDict``s are
+        manipulated directly to skip per-call method dispatch.  At most one
+        key can be evicted per access, so the second element is a single key
+        or ``None``.
+        """
+        stats = self.stats
+        stats.lookups += 1
+        t2 = self._t2._entries
+        tally = t2.get(key)
+        if tally is not None:
+            stats.t2_hits += 1
+            t2[key] = tally + 1
+            t2.move_to_end(key)
+            return True, None
+        t1 = self._t1._entries
+        tally = t1.get(key)
+        if tally is not None:
+            tally += 1
+            stats.t1_hits += 1
+            if tally >= self._promote_threshold:
+                # Promote: remove from T1, insert at T2 MRU.  access() touches
+                # T1 before popping; the pop makes that touch unobservable, so
+                # it is skipped here -- final OrderedDict state is identical.
+                del t1[key]
+                stats.promotions += 1
+                evicted_key: Optional[K] = None
+                if len(t2) >= self._t2._capacity:
+                    evicted_key = t2.popitem(last=False)[0]
+                    stats.t2_evictions += 1
+                t2[key] = tally
+                return True, evicted_key
+            t1[key] = tally
+            t1.move_to_end(key)
+            return True, None
+        stats.misses += 1
+        evicted_key = None
+        if len(t1) >= self._t1._capacity:
+            evicted_key = t1.popitem(last=False)[0]
+            stats.t1_evictions += 1
+        t1[key] = 1
+        return False, evicted_key
+
     # -- demotion and removal -------------------------------------------------
 
     def demote(self, key: K) -> bool:

@@ -184,6 +184,71 @@ class TypedOnlineAnalyzer(OnlineAnalyzer):
         self._pairs_seen += pairs_seen
         return count
 
+    def process_transaction_batch(self, batch, *,
+                                  parallel: bool = False) -> int:
+        """Columnar :meth:`process_batch`: same tables, same order, no
+        per-event objects.
+
+        Consumes a :class:`~repro.monitor.batch.TransactionBatch` whose
+        distinct view (sorted, deduplicated, keep-first ops) matches this
+        analyzer's iteration order, so the synopsis and the typed sidecar
+        end up identical to processing the materialized transactions.
+        The pair kind falls out of the op-code sum (read=0, write=1):
+        0 is read/read, 2 write/write, 1 mixed.  ``parallel`` is accepted
+        for engine-protocol compatibility and ignored.
+        """
+        starts = batch.starts.tolist()
+        lengths = batch.lengths.tolist()
+        ops = batch.ops.tolist()
+        offsets = batch.offsets.tolist()
+        intern_extent = self._interner.extent
+        intern_pair = self._interner.pair
+        items_access = self.items.access_fast
+        corr_access = self.correlations.access_fast
+        demote = self.config.demote_on_item_eviction
+        demote_involving = self.correlations.demote_involving
+        types = self._types
+        types_get = types.get
+        types_pop = types.pop
+        count = len(offsets) - 1
+        extents_seen = 0
+        pairs_seen = 0
+        for t in range(count):
+            lo = offsets[t]
+            hi = offsets[t + 1]
+            extents = [intern_extent(starts[k], lengths[k])
+                       for k in range(lo, hi)]
+            n = hi - lo
+            extents_seen += n
+            for extent in extents:
+                evicted = items_access(extent)
+                if demote and evicted is not None:
+                    demote_involving(evicted)
+            if n > 1:
+                pairs_seen += n * (n - 1) // 2
+                for i in range(n - 1):
+                    a = extents[i]
+                    op_a = ops[lo + i]
+                    for j in range(i + 1, n):
+                        pair = intern_pair(a, extents[j])
+                        evicted_pair = corr_access(pair)
+                        if evicted_pair is not None:
+                            types_pop(evicted_pair, None)
+                        tally = types_get(pair)
+                        if tally is None:
+                            types[pair] = tally = TypeTally()
+                        mix = op_a + ops[lo + j]
+                        if mix == 0:
+                            tally.read += 1
+                        elif mix == 2:
+                            tally.write += 1
+                        else:
+                            tally.mixed += 1
+        self._transactions += count
+        self._extents_seen += extents_seen
+        self._pairs_seen += pairs_seen
+        return count
+
     # -- typed queries -----------------------------------------------------------
 
     def type_tally(self, pair: ExtentPair) -> Optional[TypeTally]:

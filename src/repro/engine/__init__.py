@@ -18,10 +18,13 @@ from .checkpoint import (
     load_sharded,
     save_engine_checkpoint,
 )
+from .procshard import ProcessShardedAnalyzer, ShardWorkerError, route_batch
 from .sharded import ShardedAnalyzer, shard_config
 
 __all__ = [
     "LoadedEngine",
+    "ProcessShardedAnalyzer",
+    "ShardWorkerError",
     "ShardedAnalyzer",
     "SingleAnalyzerEngine",
     "SynopsisEngine",
@@ -30,6 +33,7 @@ __all__ = [
     "load_engine",
     "load_engine_checkpoint",
     "load_sharded",
+    "route_batch",
     "save_engine_checkpoint",
     "shard_config",
 ]

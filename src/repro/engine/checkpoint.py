@@ -62,8 +62,14 @@ class LoadedEngine(NamedTuple):
     corrupt_shards: List[int]
 
 
-def dump_sharded(engine: ShardedAnalyzer, stream: BinaryIO) -> int:
-    """Write a sharded engine as a v3 checkpoint; returns bytes written."""
+def dump_sharded(engine, stream: BinaryIO) -> int:
+    """Write a sharded engine as a v3 checkpoint; returns bytes written.
+
+    Accepts anything exposing ``shard_analyzers`` -- the in-process
+    :class:`ShardedAnalyzer` and the process-backed
+    :class:`~repro.engine.procshard.ProcessShardedAnalyzer` (which
+    materializes its workers' synopses for the duration of the dump).
+    """
     written = stream.write(_MAGIC_V3)
     shards = engine.shard_analyzers
     written += stream.write(_U32.pack(len(shards)))
@@ -132,8 +138,9 @@ def load_sharded(stream: BinaryIO, strict: bool = True) -> LoadedEngine:
 # ---------------------------------------------------------------------------
 
 def dump_engine(engine, stream: BinaryIO) -> int:
-    """Checkpoint any engine: v3 for sharded, v2 for a single analyzer."""
-    if isinstance(engine, ShardedAnalyzer):
+    """Checkpoint any engine: v3 for sharded (thread- or process-backed,
+    dispatched on the ``shard_analyzers`` seam), v2 for a single analyzer."""
+    if hasattr(engine, "shard_analyzers"):
         return dump_sharded(engine, stream)
     analyzer = getattr(engine, "analyzer", engine)
     return dump_analyzer(analyzer, stream)

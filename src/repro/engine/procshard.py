@@ -1,0 +1,675 @@
+"""Shard-per-process execution: the GIL-free synopsis engine.
+
+:class:`~repro.engine.sharded.ShardedAnalyzer`'s thread-parallel batch
+path cannot speed up the pure-Python table loops -- the GIL serializes
+them.  This module runs each shard in its **own process**: a spawned
+worker owns one :class:`~repro.core.typed.TypedOnlineAnalyzer` and applies
+pre-routed columnar work shipped to it as pickled numpy arrays, so N
+shards use N cores.
+
+Routing.  The in-process engine routes with Python's ``hash() % N``; a
+process engine cannot, because worker-side structures must agree with
+main-process routing across interpreter boundaries and restarts.  Extents
+and pairs are instead routed by a SplitMix64-style avalanche hash over
+their integer columns (:func:`route_batch`) -- deterministic, vectorized,
+and identical everywhere.  The two engines therefore partition the key
+space *differently*: per-shard residency differs between them, while the
+analysis itself (tally arithmetic, promotion, eviction-demotion coupling)
+is the same code via :func:`_apply_shard_work`.  Pair expansion is also
+vectorized by grouping transactions of equal size, which orders a batch's
+pairs by transaction size rather than strictly by transaction; tallies
+are unaffected (each pair occurrence is still applied exactly once).
+
+Protocol.  Batches run in lockstep over duplex pipes: the main process
+ships each worker its routed slice, waits for every worker's ack (which
+carries the extents evicted from that worker's item table), then
+broadcasts cross-shard demotions fire-and-forget -- pipe FIFO ordering
+guarantees a worker applies them before its next batch, mirroring the
+thread engine's demote-after-join batch semantics.  A worker that dies
+mid-batch is detected by liveness polling and surfaces as
+:class:`ShardWorkerError` (counted in
+``repro_engine_worker_deaths_total``) instead of a hang.
+
+Queries and checkpointing fetch state from the workers: query methods
+execute remotely and merge like the in-process engine; the
+:attr:`~ProcessShardedAnalyzer.shard_analyzers` property materializes
+each worker's synopsis in the main process, so checkpoint format v3
+(``RTSHD\\x03``) works unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.analyzer import AnalyzerReport, OnlineAnalyzer
+from ..core.config import AnalyzerConfig
+from ..core.extent import Extent, ExtentPair
+from ..core.serialize import dumps_analyzer, loads_analyzer
+from ..core.typed import CorrelationKind, TypeTally, TypedOnlineAnalyzer
+from ..telemetry.metrics import MetricsRegistry, get_default_registry
+from .sharded import _merged_stats, shard_config
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker process died or misbehaved.
+
+    Raised instead of hanging when a worker exits mid-protocol (OOM kill,
+    signal, crash).  The engine is not usable for further ingest after
+    this; call :meth:`ProcessShardedAnalyzer.close` to reap the survivors.
+    """
+
+
+# SplitMix64-style avalanche constants; the multiply-xor-shift rounds give
+# uniform shard assignment even for near-sequential block numbers.
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_C = np.uint64(0x94D049BB133111EB)
+_SH_30 = np.uint64(30)
+_SH_27 = np.uint64(27)
+_SH_31 = np.uint64(31)
+
+
+def _mix_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
+    """Avalanche-hash parallel integer columns into one uint64 per row."""
+    h = np.zeros(len(columns[0]), dtype=np.uint64)
+    for column in columns:
+        h ^= column.astype(np.uint64)
+        h ^= h >> _SH_30
+        h *= _MIX_B
+        h ^= h >> _SH_27
+        h *= _MIX_C
+        h ^= h >> _SH_31
+        h += _MIX_A
+    return h
+
+
+def shard_of_columns(columns: Sequence[np.ndarray], shards: int) -> np.ndarray:
+    """Shard index per row for the given key columns."""
+    return (_mix_columns(columns) % np.uint64(shards)).astype(np.int64)
+
+
+#: Routed work for one shard: ``((item_starts, item_lengths),
+#: (a_starts, a_lengths, b_starts, b_lengths, mixes))``.
+ShardWork = Tuple[Tuple[np.ndarray, np.ndarray],
+                  Tuple[np.ndarray, np.ndarray, np.ndarray,
+                        np.ndarray, np.ndarray]]
+
+
+def route_batch(batch, shards: int) -> List[ShardWork]:
+    """Partition a :class:`~repro.monitor.batch.TransactionBatch`'s
+    distinct view into per-shard columnar work lists.
+
+    Pure function of (batch, shards): the engine, the in-process reference
+    used in tests, and a restored engine all route identically.  Item rows
+    keep stream order within each shard; pair rows are grouped by
+    transaction size (the vectorized expansion), then keep order within
+    each group.
+    """
+    starts = batch.starts
+    lengths = batch.lengths
+    ops = batch.ops
+    offsets = batch.offsets
+
+    item_shard = shard_of_columns((starts, lengths), shards)
+
+    counts = np.diff(offsets)
+    base = offsets[:-1]
+    ai_parts: List[np.ndarray] = []
+    aj_parts: List[np.ndarray] = []
+    for size in np.unique(counts):
+        if size < 2:
+            continue
+        txn_rows = base[counts == size][:, None]
+        tmpl_i, tmpl_j = np.triu_indices(int(size), k=1)
+        ai_parts.append((txn_rows + tmpl_i[None, :]).ravel())
+        aj_parts.append((txn_rows + tmpl_j[None, :]).ravel())
+    if ai_parts:
+        ai = np.concatenate(ai_parts)
+        aj = np.concatenate(aj_parts)
+        a_starts = starts[ai]
+        a_lengths = lengths[ai]
+        b_starts = starts[aj]
+        b_lengths = lengths[aj]
+        mixes = ops[ai] + ops[aj]
+        pair_shard = shard_of_columns(
+            (a_starts, a_lengths, b_starts, b_lengths), shards
+        )
+    else:
+        empty64 = np.empty(0, dtype=np.int64)
+        a_starts = a_lengths = b_starts = b_lengths = empty64
+        mixes = np.empty(0, dtype=np.uint8)
+        pair_shard = empty64
+
+    work: List[ShardWork] = []
+    for index in range(shards):
+        item_sel = item_shard == index
+        pair_sel = pair_shard == index
+        work.append((
+            (starts[item_sel], lengths[item_sel]),
+            (a_starts[pair_sel], a_lengths[pair_sel],
+             b_starts[pair_sel], b_lengths[pair_sel], mixes[pair_sel]),
+        ))
+    return work
+
+
+def _apply_shard_work(
+    analyzer: TypedOnlineAnalyzer,
+    item_starts: np.ndarray,
+    item_lengths: np.ndarray,
+    a_starts: np.ndarray,
+    a_lengths: np.ndarray,
+    b_starts: np.ndarray,
+    b_lengths: np.ndarray,
+    mixes: np.ndarray,
+) -> List[Tuple[int, int]]:
+    """Apply one shard's routed work to its analyzer.
+
+    The single definition of shard-side semantics: the worker process runs
+    this, and tests run it in-process against the same routed arrays to
+    pin down what the workers must produce.  Items first (with local
+    eviction demotion), then pairs -- the same intra-batch order as the
+    thread engine's shard task.  Returns the item-table evictions as
+    ``(start, length)`` tuples for cross-shard demotion.
+    """
+    intern_extent = analyzer._interner.extent
+    intern_pair = analyzer._interner.pair
+    items_access = analyzer.items.access_fast
+    corr_access = analyzer.correlations.access_fast
+    demote = analyzer.config.demote_on_item_eviction
+    demote_involving = analyzer.correlations.demote_involving
+    evicted_out: List[Tuple[int, int]] = []
+
+    for start, length in zip(item_starts.tolist(), item_lengths.tolist()):
+        evicted = items_access(intern_extent(start, length))
+        if demote and evicted is not None:
+            demote_involving(evicted)
+            evicted_out.append((evicted.start, evicted.length))
+
+    types = analyzer._types
+    types_get = types.get
+    types_pop = types.pop
+    pair_rows = zip(a_starts.tolist(), a_lengths.tolist(),
+                    b_starts.tolist(), b_lengths.tolist(), mixes.tolist())
+    for a_start, a_length, b_start, b_length, mix in pair_rows:
+        pair = intern_pair(intern_extent(a_start, a_length),
+                           intern_extent(b_start, b_length))
+        evicted_pair = corr_access(pair)
+        if evicted_pair is not None:
+            types_pop(evicted_pair, None)
+        tally = types_get(pair)
+        if tally is None:
+            types[pair] = tally = TypeTally()
+        if mix == 0:
+            tally.read += 1
+        elif mix == 2:
+            tally.write += 1
+        else:
+            tally.mixed += 1
+    return evicted_out
+
+
+def _side_state(analyzer: TypedOnlineAnalyzer) -> Tuple:
+    """Analyzer state the v2 envelope does not carry: typed sidecar rows,
+    table stats, and flow counters."""
+    return (
+        _types_rows(analyzer),
+        analyzer.items.stats.as_dict(),
+        analyzer.correlations.stats.as_dict(),
+        (analyzer._transactions, analyzer._extents_seen,
+         analyzer._pairs_seen),
+    )
+
+
+def _restore_side_state(analyzer: TypedOnlineAnalyzer, side: Tuple) -> None:
+    rows, item_stats, corr_stats, counters = side
+    _restore_types(analyzer, rows)
+    for name, value in item_stats.items():
+        setattr(analyzer.items.stats, name, value)
+    for name, value in corr_stats.items():
+        setattr(analyzer.correlations.stats, name, value)
+    (analyzer._transactions, analyzer._extents_seen,
+     analyzer._pairs_seen) = counters
+
+
+def _types_rows(analyzer: TypedOnlineAnalyzer) -> List[Tuple]:
+    """The typed sidecar as plain tuples (pickle-lean wire form)."""
+    return [
+        (pair.first.start, pair.first.length,
+         pair.second.start, pair.second.length,
+         tally.read, tally.write, tally.mixed)
+        for pair, tally in analyzer._types.items()
+    ]
+
+
+def _restore_types(analyzer: TypedOnlineAnalyzer,
+                   rows: List[Tuple]) -> None:
+    intern_extent = analyzer._interner.extent
+    intern_pair = analyzer._interner.pair
+    analyzer._types = {
+        intern_pair(intern_extent(a_start, a_length),
+                    intern_extent(b_start, b_length)):
+        TypeTally(read=read, write=write, mixed=mixed)
+        for a_start, a_length, b_start, b_length, read, write, mixed in rows
+    }
+
+
+def _shard_worker_main(conn, config: AnalyzerConfig) -> None:
+    """Worker process entry point: serve one shard analyzer over a pipe."""
+    from ..telemetry import NULL_REGISTRY
+
+    analyzer = TypedOnlineAnalyzer(config, registry=NULL_REGISTRY)
+    intern_extent = analyzer._interner.extent
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        try:
+            if op == "process":
+                item_work, pair_work = message[1], message[2]
+                evicted = _apply_shard_work(analyzer, *item_work, *pair_work)
+                conn.send(("ok", evicted))
+            elif op == "demote":
+                demote_involving = analyzer.correlations.demote_involving
+                for start, length in message[1]:
+                    demote_involving(intern_extent(start, length))
+                # Fire-and-forget: no ack, FIFO ordering is the guarantee.
+            elif op == "query":
+                _op, name, args, kwargs = message
+                conn.send(("ok", getattr(analyzer, name)(*args, **kwargs)))
+            elif op == "occupancy":
+                conn.send(
+                    ("ok", (len(analyzer.items), len(analyzer.correlations)))
+                )
+            elif op == "fetch":
+                conn.send(
+                    ("ok",
+                     (dumps_analyzer(analyzer), _side_state(analyzer)))
+                )
+            elif op == "adopt":
+                analyzer.adopt(loads_analyzer(message[1]))
+                _restore_side_state(analyzer, message[2])
+                conn.send(("ok", None))
+            elif op == "reset":
+                analyzer.reset()
+                conn.send(("ok", None))
+            elif op == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("err", f"unknown op {op!r}"))
+        except Exception as exc:  # surface, don't kill the worker
+            try:
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+class ProcessShardedAnalyzer:
+    """N shard synopses in N worker processes, engine interface on top.
+
+    Drop-in for :class:`~repro.engine.sharded.ShardedAnalyzer` on the
+    columnar lane: ``process_transaction_batch`` ingest, merged
+    ``frequent_*`` / typed queries, ``report()``, ``reset()``, and the
+    ``shard_analyzers`` property that checkpoint format v3 consumes.  The
+    object path (``process_transaction`` etc.) is intentionally absent --
+    per-event shipping would pay a pickle per event; batch through a
+    monitor or :meth:`~repro.monitor.batch.TransactionBatch.\
+from_transactions` instead.
+
+    Note the routing difference from the in-process engine (module
+    docstring): the two engines agree on analysis semantics but not on
+    which shard holds which key, so their per-shard occupancies differ.
+
+    Workers are daemons: an abandoned engine cannot keep the interpreter
+    alive, but call :meth:`close` (or use the engine as a context manager)
+    for a clean shutdown.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AnalyzerConfig] = None,
+        shards: int = 4,
+        registry: Optional[MetricsRegistry] = None,
+        mp_context: str = "spawn",
+    ) -> None:
+        """``mp_context`` selects the multiprocessing start method; spawn
+        is the default because it is fork-safe with threads (the serving
+        layer runs them) and behaves identically across platforms.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.config = config or AnalyzerConfig()
+        self.shards = shards
+        self._per_shard = shard_config(self.config, shards)
+        self._transactions = 0
+        self._extents_seen = 0
+        self._pairs_seen = 0
+        self._worker_deaths = 0
+        self._closed = False
+        ctx = multiprocessing.get_context(mp_context)
+        self._procs: List = []
+        self._conns: List = []
+        try:
+            for _index in range(shards):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, self._per_shard),
+                    daemon=True,
+                    name=f"repro-shard-{_index}",
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except BaseException:
+            self.close()
+            raise
+        registry = registry if registry is not None else \
+            get_default_registry()
+        self._bind_metrics(registry)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _bind_metrics(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        if not registry.enabled:
+            return
+        self._shards_gauge = registry.gauge(
+            "repro_engine_shards", "Shard count of the synopsis engine"
+        )
+        self._deaths_counter = registry.counter(
+            "repro_engine_worker_deaths_total",
+            "Shard worker processes that died mid-protocol",
+        )
+        self._flow_counters = {
+            name: registry.counter(f"repro_engine_{name}_total", help)
+            for name, help in {
+                "transactions": "Transactions characterized by the engine",
+                "extents": "Distinct extents routed to shards",
+                "pairs": "Extent pairs routed to shards",
+            }.items()
+        }
+        registry.register_collector(self._collect_metrics)
+
+    def rebind_metrics(self, registry: MetricsRegistry) -> None:
+        """Re-home the engine's telemetry on ``registry`` (restore path)."""
+        if registry is self.registry:
+            return
+        self._bind_metrics(registry)
+
+    def _collect_metrics(self) -> None:
+        self._shards_gauge.set(self.shards)
+        self._deaths_counter.set_total(self._worker_deaths)
+        self._flow_counters["transactions"].set_total(self._transactions)
+        self._flow_counters["extents"].set_total(self._extents_seen)
+        self._flow_counters["pairs"].set_total(self._pairs_seen)
+
+    # -- worker protocol plumbing -------------------------------------------
+
+    def _died(self, index: int, why: str) -> None:
+        self._worker_deaths += 1
+        exit_code = self._procs[index].exitcode
+        raise ShardWorkerError(
+            f"shard worker {index} {why} (exit code {exit_code}); "
+            f"the engine must be closed"
+        )
+
+    def _send(self, index: int, message) -> None:
+        try:
+            self._conns[index].send(message)
+        except (BrokenPipeError, OSError):
+            self._died(index, "is unreachable")
+
+    def _recv(self, index: int):
+        """Receive one reply, detecting worker death instead of hanging."""
+        conn = self._conns[index]
+        proc = self._procs[index]
+        while True:
+            if conn.poll(0.2):
+                try:
+                    return conn.recv()
+                except (EOFError, OSError):
+                    self._died(index, "closed its pipe mid-reply")
+            if not proc.is_alive():
+                # Final drain: the reply may have been written before death.
+                if conn.poll(0.5):
+                    try:
+                        return conn.recv()
+                    except (EOFError, OSError):
+                        pass
+                self._died(index, "died awaiting its reply")
+
+    def _reply(self, index: int):
+        reply = self._recv(index)
+        if reply[0] != "ok":
+            raise ShardWorkerError(f"shard worker {index}: {reply[1]}")
+        return reply[1]
+
+    def _request_all(self, message) -> List:
+        """Send one message to every worker, then collect every ack."""
+        self._check_open()
+        for index in range(self.shards):
+            self._send(index, message)
+        return [self._reply(index) for index in range(self.shards)]
+
+    def _query(self, name: str, *args, **kwargs) -> List:
+        return self._request_all(("query", name, args, kwargs))
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ShardWorkerError("engine is closed")
+
+    # -- ingestion ----------------------------------------------------------
+
+    def process_transaction_batch(self, batch, *,
+                                  parallel: bool = True) -> int:
+        """Characterize a columnar batch across the worker fleet.
+
+        ``parallel`` is accepted for engine-protocol compatibility; the
+        workers always run concurrently (that is the point of the engine).
+        """
+        self._check_open()
+        count = len(batch)
+        if count == 0:
+            return 0
+        work = route_batch(batch, self.shards)
+        for index, (item_work, pair_work) in enumerate(work):
+            self._send(index, ("process", item_work, pair_work))
+        evicted_by_shard = [self._reply(index)
+                            for index in range(self.shards)]
+        for origin, evicted in enumerate(evicted_by_shard):
+            if not evicted:
+                continue
+            for index in range(self.shards):
+                if index != origin:
+                    self._send(index, ("demote", evicted))
+        self._transactions += count
+        self._extents_seen += len(batch.starts)
+        self._pairs_seen += sum(
+            len(pair_work[0]) for _item, pair_work in work
+        )
+        return count
+
+    # -- merged queries ------------------------------------------------------
+
+    @staticmethod
+    def _merge_ranked(parts: List[List[Tuple]]) -> List[Tuple]:
+        merged: List[Tuple] = []
+        for part in parts:
+            merged.extend(part)
+        merged.sort(key=lambda entry: (-entry[1], entry[0]))
+        return merged
+
+    def frequent_pairs(
+        self, min_support: int = 2
+    ) -> List[Tuple[ExtentPair, int]]:
+        return self._merge_ranked(self._query("frequent_pairs", min_support))
+
+    def frequent_extents(
+        self, min_support: int = 2
+    ) -> List[Tuple[Extent, int]]:
+        return self._merge_ranked(self._query("frequent_extents", min_support))
+
+    def pair_frequencies(self) -> Dict[ExtentPair, int]:
+        merged: Dict[ExtentPair, int] = {}
+        for part in self._query("pair_frequencies"):
+            merged.update(part)
+        return merged
+
+    def frequent_pairs_of_kind(
+        self,
+        kind: CorrelationKind,
+        min_support: int = 2,
+        purity: float = 0.5,
+    ) -> List[Tuple[ExtentPair, int]]:
+        return self._merge_ranked(
+            self._query("frequent_pairs_of_kind", kind, min_support, purity)
+        )
+
+    def read_correlations(self, min_support: int = 2):
+        return self.frequent_pairs_of_kind(CorrelationKind.READ, min_support)
+
+    def write_correlations(self, min_support: int = 2):
+        return self.frequent_pairs_of_kind(CorrelationKind.WRITE, min_support)
+
+    def kind_summary(self) -> Dict[CorrelationKind, int]:
+        summary = {kind: 0 for kind in CorrelationKind}
+        for part in self._query("kind_summary"):
+            for kind, value in part.items():
+                summary[kind] += value
+        return summary
+
+    def type_tally(self, pair: ExtentPair) -> Optional[TypeTally]:
+        index = int(shard_of_columns(
+            (np.asarray([pair.first.start]), np.asarray([pair.first.length]),
+             np.asarray([pair.second.start]),
+             np.asarray([pair.second.length])),
+            self.shards,
+        )[0])
+        self._check_open()
+        self._send(index, ("query", "type_tally", (pair,), {}))
+        return self._reply(index)
+
+    # -- state transfer ------------------------------------------------------
+
+    @property
+    def shard_analyzers(self) -> List[TypedOnlineAnalyzer]:
+        """Materialize every worker's synopsis in this process.
+
+        Checkpoint v3 (:func:`~repro.engine.checkpoint.dump_sharded`)
+        iterates this to frame one v2 envelope per shard, identically to
+        the in-process engine.  The returned analyzers are *copies*;
+        mutating them does not affect the workers.
+        """
+        from ..telemetry import NULL_REGISTRY
+
+        analyzers: List[TypedOnlineAnalyzer] = []
+        for blob, side in self._request_all(("fetch",)):
+            restored = loads_analyzer(blob)
+            typed = TypedOnlineAnalyzer(restored.config,
+                                        registry=NULL_REGISTRY)
+            typed.adopt(restored)
+            _restore_side_state(typed, side)
+            analyzers.append(typed)
+        return analyzers
+
+    def adopt_shards(self, analyzers: Sequence[OnlineAnalyzer]) -> None:
+        """Ship restored per-shard synopses into the workers (in order)."""
+        if len(analyzers) != self.shards:
+            raise ValueError(
+                f"got {len(analyzers)} shard analyzers for "
+                f"{self.shards} workers"
+            )
+        self._check_open()
+        for index, analyzer in enumerate(analyzers):
+            if isinstance(analyzer, TypedOnlineAnalyzer):
+                side = _side_state(analyzer)
+            else:
+                side = ([], analyzer.items.stats.as_dict(),
+                        analyzer.correlations.stats.as_dict(),
+                        (analyzer._transactions, analyzer._extents_seen,
+                         analyzer._pairs_seen))
+            self._send(index, ("adopt", dumps_analyzer(analyzer), side))
+        for index in range(self.shards):
+            self._reply(index)
+
+    # -- reporting and lifecycle ---------------------------------------------
+
+    def report(self) -> AnalyzerReport:
+        """Aggregate counters merged across every worker shard."""
+        reports = self._query("report")
+        return AnalyzerReport(
+            transactions=self._transactions,
+            extents_seen=self._extents_seen,
+            pairs_seen=self._pairs_seen,
+            item_stats=_merged_stats(r.item_stats for r in reports),
+            correlation_stats=_merged_stats(
+                r.correlation_stats for r in reports
+            ),
+        )
+
+    def shard_occupancy(self) -> List[Tuple[int, int]]:
+        """Resident ``(items, pairs)`` per worker shard."""
+        return self._request_all(("occupancy",))
+
+    def reset(self) -> None:
+        self._request_all(("reset",))
+        self._transactions = 0
+        self._extents_seen = 0
+        self._pairs_seen = 0
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the worker fleet down; idempotent, tolerates dead workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for index, conn in enumerate(self._conns):
+            if self._procs[index].is_alive():
+                try:
+                    conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=timeout)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def worker_deaths(self) -> int:
+        """Workers that died mid-protocol (also a telemetry counter)."""
+        return self._worker_deaths
+
+    def workers_alive(self) -> List[bool]:
+        """Liveness of each shard worker (diagnostics)."""
+        return [proc.is_alive() for proc in self._procs]
+
+    def __enter__(self) -> "ProcessShardedAnalyzer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            if not getattr(self, "_closed", True):
+                self.close(timeout=0.5)
+        except Exception:
+            pass

@@ -46,7 +46,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.analyzer import AnalyzerReport, OnlineAnalyzer
 from ..core.config import AnalyzerConfig
-from ..core.extent import Extent, ExtentPair, unique_pairs
+from ..core.extent import Extent, ExtentInterner, ExtentPair, unique_pairs
 from ..core.two_tier import TableStats
 from ..core.typed import (
     CorrelationKind,
@@ -115,6 +115,7 @@ class ShardedAnalyzer:
         self._transactions = 0
         self._extents_seen = 0
         self._pairs_seen = 0
+        self._interner = ExtentInterner()
         self._bind_metrics(registry)
 
     # -- telemetry ----------------------------------------------------------
@@ -366,6 +367,161 @@ class ShardedAnalyzer:
                     types.pop(evicted_pair, None)
                 if kind is not None:
                     types.setdefault(pair, TypeTally()).bump(kind)
+            return evicted_extents
+
+        with ThreadPoolExecutor(max_workers=self.shards) as pool:
+            evicted_by_shard = list(pool.map(shard_task, range(self.shards)))
+
+        if demote:
+            for origin, evicted in enumerate(evicted_by_shard):
+                for key in evicted:
+                    for index, shard in enumerate(shards):
+                        if index != origin:
+                            shard.correlations.demote_involving(key)
+        return count
+
+    # -- columnar ingestion ------------------------------------------------
+
+    def process_transaction_batch(self, batch, *,
+                                  parallel: bool = False) -> int:
+        """Characterize a columnar :class:`~repro.monitor.batch.\
+TransactionBatch`.
+
+        The sequential path routes each distinct extent and pair of the
+        batch through ``hash % N`` exactly like :meth:`process_typed`, so
+        at ``shards == 1`` it is tally- and stats-identical to both the
+        object path and a single :class:`TypedOnlineAnalyzer` on the same
+        stream.  With ``parallel=True`` and more than one shard the batch
+        is pre-routed and processed with one thread per shard, deferring
+        cross-shard eviction demotions to the end of the batch (same
+        approximation as the object :meth:`process_batch`).
+        """
+        if parallel and self.shards > 1:
+            return self._process_transaction_batch_parallel(batch)
+        starts = batch.starts.tolist()
+        lengths = batch.lengths.tolist()
+        ops = batch.ops.tolist()
+        offsets = batch.offsets.tolist()
+        shards = self._shards
+        n = self.shards
+        demote = self.config.demote_on_item_eviction
+        intern_extent = self._interner.extent
+        intern_pair = self._interner.pair
+        count = len(offsets) - 1
+        extents_seen = 0
+        pairs_seen = 0
+        for t in range(count):
+            lo = offsets[t]
+            hi = offsets[t + 1]
+            extents = [intern_extent(starts[k], lengths[k])
+                       for k in range(lo, hi)]
+            m = hi - lo
+            extents_seen += m
+            for extent in extents:
+                evicted = shards[hash(extent) % n].items.access_fast(extent)
+                if demote and evicted is not None:
+                    for target in shards:
+                        target.correlations.demote_involving(evicted)
+            if m > 1:
+                pairs_seen += m * (m - 1) // 2
+                for i in range(m - 1):
+                    a = extents[i]
+                    op_a = ops[lo + i]
+                    for j in range(i + 1, m):
+                        pair = intern_pair(a, extents[j])
+                        shard = shards[hash(pair) % n]
+                        evicted_pair = shard.correlations.access_fast(pair)
+                        types = shard._types
+                        if evicted_pair is not None:
+                            types.pop(evicted_pair, None)
+                        tally = types.get(pair)
+                        if tally is None:
+                            types[pair] = tally = TypeTally()
+                        mix = op_a + ops[lo + j]
+                        if mix == 0:
+                            tally.read += 1
+                        elif mix == 2:
+                            tally.write += 1
+                        else:
+                            tally.mixed += 1
+        self._transactions += count
+        self._extents_seen += extents_seen
+        self._pairs_seen += pairs_seen
+        return count
+
+    def _route_batch(self, batch):
+        """Pre-route a columnar batch into per-shard access sequences."""
+        starts = batch.starts.tolist()
+        lengths = batch.lengths.tolist()
+        ops = batch.ops.tolist()
+        offsets = batch.offsets.tolist()
+        n = self.shards
+        intern_extent = self._interner.extent
+        intern_pair = self._interner.pair
+        item_work: List[List[Extent]] = [[] for _ in range(n)]
+        pair_work: List[List[Tuple[ExtentPair, int]]] = [
+            [] for _ in range(n)
+        ]
+        count = len(offsets) - 1
+        extents_seen = 0
+        pairs_seen = 0
+        for t in range(count):
+            lo = offsets[t]
+            hi = offsets[t + 1]
+            extents = [intern_extent(starts[k], lengths[k])
+                       for k in range(lo, hi)]
+            m = hi - lo
+            extents_seen += m
+            for extent in extents:
+                item_work[hash(extent) % n].append(extent)
+            if m > 1:
+                pairs_seen += m * (m - 1) // 2
+                for i in range(m - 1):
+                    a = extents[i]
+                    op_a = ops[lo + i]
+                    for j in range(i + 1, m):
+                        pair = intern_pair(a, extents[j])
+                        pair_work[hash(pair) % n].append(
+                            (pair, op_a + ops[lo + j])
+                        )
+        self._transactions += count
+        self._extents_seen += extents_seen
+        self._pairs_seen += pairs_seen
+        return item_work, pair_work, count
+
+    def _process_transaction_batch_parallel(self, batch) -> int:
+        item_work, pair_work, count = self._route_batch(batch)
+        shards = self._shards
+        demote = self.config.demote_on_item_eviction
+
+        def shard_task(index: int) -> List[Extent]:
+            shard = shards[index]
+            items_access = shard.items.access_fast
+            corr_access = shard.correlations.access_fast
+            demote_involving = shard.correlations.demote_involving
+            types = shard._types
+            types_get = types.get
+            types_pop = types.pop
+            evicted_extents: List[Extent] = []
+            for extent in item_work[index]:
+                evicted = items_access(extent)
+                if demote and evicted is not None:
+                    # Local demotion now; other shards after the join.
+                    demote_involving(evicted)
+                    evicted_extents.append(evicted)
+            for pair, mix in pair_work[index]:
+                evicted_pair = corr_access(pair)
+                if evicted_pair is not None:
+                    types_pop(evicted_pair, None)
+                tally = types_get(pair)
+                if tally is None:
+                    types[pair] = tally = TypeTally()
+                if mix == 0:
+                    tally.read += 1
+                elif mix == 2:
+                    tally.write += 1
+                else:
+                    tally.mixed += 1
             return evicted_extents
 
         with ThreadPoolExecutor(max_workers=self.shards) as pool:

@@ -1,5 +1,6 @@
 """Real-time monitoring: events, latency tracking, windows, transactions."""
 
+from .batch import OP_READ, OP_WRITE, EventBatch, TransactionBatch
 from .events import BlockIOEvent
 from .histogram import LatencyHistogram, PercentileLatencyWindow
 from .latency import EwmaLatencyTracker
@@ -19,6 +20,10 @@ from .window import DynamicLatencyWindow, StaticWindow, WindowPolicy
 __all__ = [
     "BlockIOEvent",
     "ClockPolicy",
+    "EventBatch",
+    "OP_READ",
+    "OP_WRITE",
+    "TransactionBatch",
     "LatencyHistogram",
     "PercentileLatencyWindow",
     "DEFAULT_MAX_TRANSACTION_SIZE",

@@ -1,0 +1,289 @@
+"""Columnar event and transaction batches (the columnar ingest lane).
+
+The per-event ingest path allocates one :class:`~repro.monitor.events.\
+BlockIOEvent` dataclass per request and pays Python attribute/dispatch
+overhead per field access; at hundreds of thousands of events per second
+that object churn dominates the hot path.  This module provides the
+structure-of-arrays alternative:
+
+* :class:`EventBatch` -- issue events as parallel numpy columns
+  (timestamp/pid/op/start/length/latency/pgid).  Produced by trace
+  readers, workload generators, and the server's BATCH lane; consumed by
+  :meth:`Monitor.on_batch <repro.monitor.monitor.Monitor.on_batch>`,
+  which cuts transactions with vectorized window arithmetic.
+* :class:`TransactionBatch` -- finished transactions in columnar form,
+  carrying two views of the same cut:
+
+  - the **distinct view** (``starts``/``lengths``/``ops`` +
+    ``offsets``): per-transaction extents already deduplicated (keep-first
+    operation) and sorted -- exactly the ``sorted(op_of)`` order the
+    analyzers iterate, so the engine hot loop consumes it directly;
+  - the **raw view** (``raw_*`` + ``raw_offsets``): the transactions'
+    events in arrival order after the monitor's dedup, sufficient to
+    materialize :class:`~repro.monitor.transaction.Transaction` objects
+    for object sinks (recorders, custom callbacks).
+
+Both batch types round-trip losslessly to the object representation
+(``latency=None`` maps to NaN), and every consumer produces results
+identical to the per-event path -- the columnar lane is a faster encoding
+of the same semantics, not a different algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..trace.record import OpType, TraceRecord
+from .events import BlockIOEvent
+from .transaction import Transaction
+
+#: Operation codes used in the ``ops`` columns.
+OP_READ = 0
+OP_WRITE = 1
+
+_OP_TO_CODE = {OpType.READ: OP_READ, OpType.WRITE: OP_WRITE}
+_OP_FROM_CODE = (OpType.READ, OpType.WRITE)
+
+
+class EventBatch:
+    """A batch of block I/O issue events in columnar form.
+
+    Columns (parallel arrays, one row per event):
+
+    * ``timestamps`` -- float64 issue times in seconds;
+    * ``pids`` -- int64 process IDs;
+    * ``ops`` -- uint8 operation codes (:data:`OP_READ` / :data:`OP_WRITE`);
+    * ``starts`` / ``lengths`` -- int64 extent coordinates in blocks;
+    * ``latencies`` -- float64 measured completion latencies, NaN when
+      unknown (the columnar spelling of ``latency=None``);
+    * ``pgids`` -- int64 process-group IDs.
+    """
+
+    __slots__ = ("timestamps", "pids", "ops", "starts", "lengths",
+                 "latencies", "pgids")
+
+    def __init__(
+        self,
+        timestamps,
+        pids,
+        ops,
+        starts,
+        lengths,
+        latencies=None,
+        pgids=None,
+    ) -> None:
+        self.timestamps = np.ascontiguousarray(timestamps, dtype=np.float64)
+        n = len(self.timestamps)
+        self.pids = np.ascontiguousarray(pids, dtype=np.int64)
+        self.ops = np.ascontiguousarray(ops, dtype=np.uint8)
+        self.starts = np.ascontiguousarray(starts, dtype=np.int64)
+        self.lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        self.latencies = (
+            np.full(n, np.nan, dtype=np.float64) if latencies is None
+            else np.ascontiguousarray(latencies, dtype=np.float64)
+        )
+        self.pgids = (
+            np.zeros(n, dtype=np.int64) if pgids is None
+            else np.ascontiguousarray(pgids, dtype=np.int64)
+        )
+        for name in ("pids", "ops", "starts", "lengths", "latencies",
+                     "pgids"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(
+                    f"column {name!r} has {len(getattr(self, name))} rows, "
+                    f"expected {n}"
+                )
+        if n:
+            if int(self.starts.min()) < 0:
+                raise ValueError("event starts must be >= 0")
+            if int(self.lengths.min()) <= 0:
+                raise ValueError("event lengths must be > 0")
+            if int(self.ops.max()) > OP_WRITE:
+                raise ValueError("op codes must be OP_READ or OP_WRITE")
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def __repr__(self) -> str:
+        return f"EventBatch(n={len(self)})"
+
+    @classmethod
+    def from_events(cls, events: Sequence[BlockIOEvent]) -> "EventBatch":
+        """Columnar form of a sequence of event objects."""
+        op_code = _OP_TO_CODE
+        nan = float("nan")
+        return cls(
+            [e.timestamp for e in events],
+            [e.pid for e in events],
+            [op_code[e.op] for e in events],
+            [e.start for e in events],
+            [e.length for e in events],
+            [nan if e.latency is None else e.latency for e in events],
+            [e.pgid for e in events],
+        )
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[TraceRecord],
+        timestamps: Optional[Sequence[float]] = None,
+        latencies: Optional[Sequence[Optional[float]]] = None,
+        pgid: int = 0,
+    ) -> "EventBatch":
+        """Columnar issue events from trace records.
+
+        ``timestamps``/``latencies`` override the records' own values (the
+        replayer supplies accelerated issue times and measured latencies),
+        mirroring :meth:`BlockIOEvent.from_record`.
+        """
+        op_code = _OP_TO_CODE
+        nan = float("nan")
+        if timestamps is None:
+            timestamps = [r.timestamp for r in records]
+        if latencies is None:
+            lat = [nan if r.latency is None else r.latency for r in records]
+        else:
+            lat = [nan if value is None else value for value in latencies]
+        n = len(records)
+        return cls(
+            timestamps,
+            [r.pid for r in records],
+            [op_code[r.op] for r in records],
+            [r.start for r in records],
+            [r.length for r in records],
+            lat,
+            np.full(n, pgid, dtype=np.int64),
+        )
+
+    def iter_events(self) -> Iterator[BlockIOEvent]:
+        """Yield the batch as event objects (the scalar-lane adapter)."""
+        op_from = _OP_FROM_CODE
+        rows = zip(
+            self.timestamps.tolist(), self.pids.tolist(), self.ops.tolist(),
+            self.starts.tolist(), self.lengths.tolist(),
+            self.latencies.tolist(), self.pgids.tolist(),
+        )
+        for ts, pid, op, start, length, latency, pgid in rows:
+            yield BlockIOEvent(
+                ts, pid, op_from[op], start, length,
+                None if latency != latency else latency, pgid,
+            )
+
+    def to_events(self) -> List[BlockIOEvent]:
+        return list(self.iter_events())
+
+
+class TransactionBatch:
+    """Finished transactions in columnar form (see module docstring).
+
+    ``offsets`` has one more entry than there are transactions;
+    transaction ``t``'s distinct extents are rows
+    ``offsets[t]:offsets[t+1]`` of ``starts``/``lengths``/``ops``
+    (sorted by ``(start, length)``, deduplicated, keep-first op).  The
+    ``raw_*`` columns hold the same transactions' events in arrival
+    order, sliced by ``raw_offsets``.
+    """
+
+    __slots__ = ("starts", "lengths", "ops", "offsets",
+                 "raw_timestamps", "raw_pids", "raw_ops", "raw_starts",
+                 "raw_lengths", "raw_latencies", "raw_pgids", "raw_offsets")
+
+    def __init__(self, starts, lengths, ops, offsets,
+                 raw_timestamps, raw_pids, raw_ops, raw_starts,
+                 raw_lengths, raw_latencies, raw_pgids,
+                 raw_offsets) -> None:
+        self.starts = np.ascontiguousarray(starts, dtype=np.int64)
+        self.lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        self.ops = np.ascontiguousarray(ops, dtype=np.uint8)
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.raw_timestamps = np.ascontiguousarray(raw_timestamps,
+                                                   dtype=np.float64)
+        self.raw_pids = np.ascontiguousarray(raw_pids, dtype=np.int64)
+        self.raw_ops = np.ascontiguousarray(raw_ops, dtype=np.uint8)
+        self.raw_starts = np.ascontiguousarray(raw_starts, dtype=np.int64)
+        self.raw_lengths = np.ascontiguousarray(raw_lengths, dtype=np.int64)
+        self.raw_latencies = np.ascontiguousarray(raw_latencies,
+                                                  dtype=np.float64)
+        self.raw_pgids = np.ascontiguousarray(raw_pgids, dtype=np.int64)
+        self.raw_offsets = np.ascontiguousarray(raw_offsets, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    def __repr__(self) -> str:
+        return (f"TransactionBatch(transactions={len(self)}, "
+                f"extents={len(self.starts)})")
+
+    def counts(self) -> np.ndarray:
+        """Distinct extents per transaction."""
+        return np.diff(self.offsets)
+
+    @classmethod
+    def from_transactions(
+        cls, transactions: Iterable[Transaction]
+    ) -> "TransactionBatch":
+        """Columnar form of monitor transaction objects.
+
+        Builds the distinct view with the analyzers' exact dedup rule
+        (keep-first operation, extents sorted by ``(start, length)``) so
+        engines consuming the result perform the same table accesses as
+        :meth:`process_transaction` on the originals.
+        """
+        op_code = _OP_TO_CODE
+        nan = float("nan")
+        d_starts: List[int] = []
+        d_lengths: List[int] = []
+        d_ops: List[int] = []
+        offsets: List[int] = [0]
+        r_ts: List[float] = []
+        r_pid: List[int] = []
+        r_op: List[int] = []
+        r_start: List[int] = []
+        r_len: List[int] = []
+        r_lat: List[float] = []
+        r_pgid: List[int] = []
+        raw_offsets: List[int] = [0]
+        for transaction in transactions:
+            op_of: dict = {}
+            keep_first = op_of.setdefault
+            for event in transaction.events:
+                keep_first((event.start, event.length), op_code[event.op])
+                r_ts.append(event.timestamp)
+                r_pid.append(event.pid)
+                r_op.append(op_code[event.op])
+                r_start.append(event.start)
+                r_len.append(event.length)
+                r_lat.append(nan if event.latency is None else event.latency)
+                r_pgid.append(event.pgid)
+            for start, length in sorted(op_of):
+                d_starts.append(start)
+                d_lengths.append(length)
+                d_ops.append(op_of[(start, length)])
+            offsets.append(len(d_starts))
+            raw_offsets.append(len(r_ts))
+        return cls(d_starts, d_lengths, d_ops, offsets,
+                   r_ts, r_pid, r_op, r_start, r_len, r_lat, r_pgid,
+                   raw_offsets)
+
+    def transactions(self) -> List[Transaction]:
+        """Materialize :class:`Transaction` objects from the raw view."""
+        op_from = _OP_FROM_CODE
+        out: List[Transaction] = []
+        offsets = self.raw_offsets.tolist()
+        rows = list(zip(
+            self.raw_timestamps.tolist(), self.raw_pids.tolist(),
+            self.raw_ops.tolist(), self.raw_starts.tolist(),
+            self.raw_lengths.tolist(), self.raw_latencies.tolist(),
+            self.raw_pgids.tolist(),
+        ))
+        for t in range(len(self)):
+            events = [
+                BlockIOEvent(ts, pid, op_from[op], start, length,
+                             None if latency != latency else latency, pgid)
+                for ts, pid, op, start, length, latency, pgid
+                in rows[offsets[t]:offsets[t + 1]]
+            ]
+            out.append(Transaction(events))
+        return out

@@ -15,13 +15,23 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, fields as dataclass_fields
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
+
+import numpy as np
 
 from ..telemetry.metrics import MetricsRegistry, get_default_registry
+from .batch import _OP_FROM_CODE, _OP_TO_CODE, EventBatch, TransactionBatch
 from .events import BlockIOEvent
 from .transaction import Transaction, dedup_events
 from .window import DynamicLatencyWindow, WindowPolicy
 
+#: A transaction consumer.  Plain callables receive one
+#: :class:`Transaction` object per finished transaction.  A sink object
+#: that additionally exposes an ``on_transaction_batch(TransactionBatch)``
+#: method is a *batch sink*: the columnar lane hands it whole
+#: :class:`~repro.monitor.batch.TransactionBatch` objects instead of
+#: materializing per-transaction objects (the scalar lane still calls it
+#: per transaction through ``__call__``).
 TransactionSink = Callable[[Transaction], None]
 
 #: The paper's evaluation cap on requests per transaction.
@@ -236,7 +246,9 @@ class Monitor:
         """
         self._ingest((event,))
 
-    def on_events(self, events: Iterable[BlockIOEvent]) -> int:
+    def on_events(
+        self, events: Union[EventBatch, Iterable[BlockIOEvent]]
+    ) -> int:
         """Consume a batch of issue events; returns how many were seen.
 
         Semantically identical to calling :meth:`on_event` per event --
@@ -246,7 +258,13 @@ class Monitor:
         recomputed when a new latency observation (or a clamped
         degenerate duration, which is counted and never cached) can
         actually have changed it, instead of once per event.
+
+        An :class:`~repro.monitor.batch.EventBatch` argument routes to the
+        columnar lane (:meth:`on_batch`), which cuts the same transactions
+        with vectorized window arithmetic.
         """
+        if isinstance(events, EventBatch):
+            return self.on_batch(events)
         return self._ingest(events)
 
     def _ingest(self, events: Iterable[BlockIOEvent]) -> int:
@@ -301,6 +319,240 @@ class Monitor:
             if not cacheable:
                 duration = None
         return count
+
+    # -- the columnar ingest lane -------------------------------------------
+
+    def on_batch(self, batch: EventBatch) -> int:
+        """Consume a columnar :class:`EventBatch`; returns events seen.
+
+        The vectorized fast path computes every transaction cut of the
+        batch with array arithmetic -- identical transactions, stats, and
+        sink deliveries to feeding the same events through
+        :meth:`on_event` one at a time.  It applies when the batch is
+        well-ordered (the common case for trace replay and generated
+        workloads): GAP grouping, timestamps non-decreasing and not
+        behind the monitor's high-water mark, and a window policy whose
+        :meth:`~repro.monitor.window.WindowPolicy.durations_after`
+        supports batching.  Any other batch falls back to the scalar
+        ingest core, so correctness never depends on the fast path
+        being taken.
+        """
+        n = len(batch)
+        if n == 0:
+            return 0
+        if self.grouping is not GroupingMode.GAP:
+            return self._ingest(batch.iter_events())
+
+        # The filter mask is computed up front so the fast-path checks see
+        # only the events that would survive; nothing is counted yet, so a
+        # fallback can still replay the whole batch through the scalar lane.
+        if self.pid_filter is None and self.pgid_filter is None:
+            keep_all = True
+            ts_kept = batch.timestamps
+            lat_kept = batch.latencies
+            kept = n
+        else:
+            mask = np.ones(n, dtype=bool)
+            if self.pid_filter is not None:
+                mask &= np.isin(batch.pids,
+                                np.fromiter(self.pid_filter, dtype=np.int64))
+            if self.pgid_filter is not None:
+                mask &= np.isin(batch.pgids,
+                                np.fromiter(self.pgid_filter, dtype=np.int64))
+            keep_all = bool(mask.all())
+            ts_kept = batch.timestamps if keep_all else batch.timestamps[mask]
+            lat_kept = batch.latencies if keep_all else batch.latencies[mask]
+            kept = n if keep_all else int(mask.sum())
+
+        stats = self.stats
+        if kept == 0:
+            stats.events_seen += n
+            stats.events_filtered += n
+            return n
+
+        # Fast-path preconditions.  Each failure replays through the scalar
+        # core, which owns the anomaly policies, degenerate-window clamping,
+        # and the ValueError position for negative latencies.  All checks
+        # precede durations_after() because that call advances window state.
+        if np.any(np.diff(ts_kept) < 0):
+            return self._ingest(batch.iter_events())
+        if self._high_water is not None and ts_kept[0] < self._high_water:
+            return self._ingest(batch.iter_events())
+        if np.any(lat_kept < 0):
+            return self._ingest(batch.iter_events())
+        d0 = self.window.duration()
+        if not (d0 > 0.0):
+            return self._ingest(batch.iter_events())
+        observed = ~np.isnan(lat_kept)
+        durations_observed = self.window.durations_after(
+            lat_kept[observed].tolist()
+        )
+        if durations_observed is None:
+            return self._ingest(batch.iter_events())
+
+        # Window duration in effect at each event: the value after the most
+        # recent latency observation at or before it (d0 before the first).
+        rank = np.cumsum(observed)
+        dur_kept = np.concatenate(
+            ([d0], np.asarray(durations_observed, dtype=np.float64))
+        )[rank]
+
+        pending = self._pending
+        p = len(pending)
+        if keep_all:
+            pid_kept = batch.pids
+            op_kept = batch.ops
+            start_kept = batch.starts
+            len_kept = batch.lengths
+            pgid_kept = batch.pgids
+        else:
+            pid_kept = batch.pids[mask]
+            op_kept = batch.ops[mask]
+            start_kept = batch.starts[mask]
+            len_kept = batch.lengths[mask]
+            pgid_kept = batch.pgids[mask]
+
+        if p:
+            op_code = _OP_TO_CODE
+            nan = float("nan")
+            ts_all = np.concatenate(
+                ([e.timestamp for e in pending], ts_kept))
+            pid_all = np.concatenate(
+                (np.asarray([e.pid for e in pending], dtype=np.int64),
+                 pid_kept))
+            op_all = np.concatenate(
+                (np.asarray([op_code[e.op] for e in pending], dtype=np.uint8),
+                 op_kept))
+            start_all = np.concatenate(
+                (np.asarray([e.start for e in pending], dtype=np.int64),
+                 start_kept))
+            len_all = np.concatenate(
+                (np.asarray([e.length for e in pending], dtype=np.int64),
+                 len_kept))
+            lat_all = np.concatenate(
+                ([nan if e.latency is None else e.latency for e in pending],
+                 lat_kept))
+            pgid_all = np.concatenate(
+                (np.asarray([e.pgid for e in pending], dtype=np.int64),
+                 pgid_kept))
+            anchor0 = max(e.timestamp for e in pending)
+            prev_ts = np.concatenate(([anchor0], ts_kept[:-1]))
+        else:
+            ts_all = ts_kept
+            pid_all = pid_kept
+            op_all = op_kept
+            start_all = start_kept
+            len_all = len_kept
+            lat_all = lat_kept
+            pgid_all = pgid_kept
+            # A zero first gap with a positive window never cuts, matching
+            # the scalar lane's "no check when pending is empty".
+            prev_ts = np.concatenate(([ts_kept[0]], ts_kept[:-1]))
+
+        total = p + kept
+        max_size = self.max_transaction_size
+        gap_cut = (ts_kept - prev_ts) > dur_kept
+
+        # Transaction boundaries.  A cut before combined position j starts a
+        # new transaction at j; gap cuts are position-independent (anchor is
+        # always the previous event in a monotonic batch), and size cuts fall
+        # at multiples of max_size within each gap-delimited segment.
+        starts_flag = np.zeros(total, dtype=bool)
+        starts_flag[0] = True
+        starts_flag[p:] |= gap_cut
+        idx = np.arange(total)
+        run_start = np.maximum.accumulate(np.where(starts_flag, idx, 0))
+        offset_in_run = idx - run_start
+        size_cut = (~starts_flag) & (offset_in_run > 0) \
+            & (offset_in_run % max_size == 0)
+        cut = starts_flag | size_cut
+        txn_id = np.cumsum(cut) - 1
+
+        stats.events_seen += n
+        stats.events_filtered += n - kept
+        stats.size_splits += int(size_cut.sum())
+        self._high_water = float(ts_kept[-1])
+
+        # The last transaction stays open: materialize its events back into
+        # the pending list (reusing the existing objects when the tail still
+        # begins inside the old pending prefix).
+        tail_start = int(np.flatnonzero(cut)[-1])
+        op_from = _OP_FROM_CODE
+        # Cuts happen only at position 0 or at batch positions (>= p), so a
+        # tail reaching into the old pending prefix keeps all of it.
+        tail_events: List[BlockIOEvent] = pending[tail_start:] if \
+            tail_start < p else []
+        for j in range(max(tail_start, p), total):
+            latency = float(lat_all[j])
+            tail_events.append(BlockIOEvent(
+                float(ts_all[j]), int(pid_all[j]), op_from[int(op_all[j])],
+                int(start_all[j]), int(len_all[j]),
+                None if latency != latency else latency, int(pgid_all[j]),
+            ))
+        self._pending = tail_events
+
+        if tail_start == 0:
+            return n  # everything still fits in the open transaction
+
+        # Flushed region: combined rows [0, tail_start).  One lexsort gives
+        # both views: within each transaction the rows group by (start,
+        # length) in sorted order -- the analyzers' iteration order -- and
+        # the first row of each group (lowest arrival) is the dedup keeper.
+        flushed = tail_start
+        txn_f = txn_id[:flushed]
+        start_f = start_all[:flushed]
+        len_f = len_all[:flushed]
+        emitted = int(txn_f[-1]) + 1
+        order = np.lexsort((np.arange(flushed), len_f, start_f, txn_f))
+        t_s = txn_f[order]
+        s_s = start_f[order]
+        l_s = len_f[order]
+        first_of_group = np.empty(flushed, dtype=bool)
+        first_of_group[0] = True
+        np.not_equal(t_s[1:], t_s[:-1], out=first_of_group[1:])
+        first_of_group[1:] |= s_s[1:] != s_s[:-1]
+        first_of_group[1:] |= l_s[1:] != l_s[:-1]
+        distinct_rows = order[first_of_group]
+        distinct_counts = np.bincount(t_s[first_of_group],
+                                      minlength=emitted)
+        offsets = np.zeros(emitted + 1, dtype=np.int64)
+        np.cumsum(distinct_counts, out=offsets[1:])
+
+        if self.dedup:
+            raw_keep = np.zeros(flushed, dtype=bool)
+            raw_keep[distinct_rows] = True
+            stats.duplicates_removed += flushed - len(distinct_rows)
+            raw_counts = distinct_counts  # kept rows == distinct rows per txn
+            raw_slice = raw_keep
+        else:
+            raw_counts = np.bincount(txn_f, minlength=emitted)
+            raw_slice = slice(None)
+        raw_offsets = np.zeros(emitted + 1, dtype=np.int64)
+        np.cumsum(raw_counts, out=raw_offsets[1:])
+
+        stats.transactions_emitted += emitted
+        stats.singleton_transactions += int((raw_counts == 1).sum())
+
+        transaction_batch = TransactionBatch(
+            start_f[distinct_rows], len_f[distinct_rows],
+            op_all[:flushed][distinct_rows], offsets,
+            ts_all[:flushed][raw_slice], pid_all[:flushed][raw_slice],
+            op_all[:flushed][raw_slice], start_f[raw_slice],
+            len_f[raw_slice], lat_all[:flushed][raw_slice],
+            pgid_all[:flushed][raw_slice], raw_offsets,
+        )
+
+        object_sinks = []
+        for sink in self._sinks:
+            if hasattr(sink, "on_transaction_batch"):
+                sink.on_transaction_batch(transaction_batch)
+            else:
+                object_sinks.append(sink)
+        if object_sinks:
+            for transaction in transaction_batch.transactions():
+                for sink in object_sinks:
+                    sink(transaction)
+        return n
 
     def _on_clock_anomaly(self, event: BlockIOEvent, duration: float) -> None:
         """Apply the configured policy to a backwards-timestamp event."""

@@ -10,6 +10,8 @@ double the average I/O latency.
 from __future__ import annotations
 
 import abc
+from typing import List, Optional, Sequence
+
 
 from .latency import EwmaLatencyTracker
 
@@ -24,6 +26,24 @@ class WindowPolicy(abc.ABC):
     def observe_latency(self, latency: float) -> None:
         """Fold a measured request latency into the policy (no-op by default)."""
 
+    def durations_after(
+        self, latencies: Sequence[float]
+    ) -> Optional[List[float]]:
+        """Batched window durations for the columnar ingest lane.
+
+        Given the non-negative latencies of a batch (in event order), fold
+        each into the policy and return the window duration *after* each
+        observation -- ``result[i]`` must equal what ``duration()`` would
+        report after ``observe_latency(latencies[i])`` in the scalar lane.
+        Returning ``None`` declares the batched form unsupported, and the
+        monitor falls back to per-event ingest; the base implementation does
+        so, and custom subclasses inherit that safe default.  The policy's
+        internal state IS advanced by a successful call, so the monitor must
+        invoke this exactly once per ingested batch, after all other
+        fallback checks have passed.
+        """
+        return None
+
 
 class StaticWindow(WindowPolicy):
     """A fixed window duration ``t``."""
@@ -35,6 +55,11 @@ class StaticWindow(WindowPolicy):
 
     def duration(self) -> float:
         return self._seconds
+
+    def durations_after(
+        self, latencies: Sequence[float]
+    ) -> Optional[List[float]]:
+        return [self._seconds] * len(latencies)
 
 
 class DynamicLatencyWindow(WindowPolicy):
@@ -69,3 +94,36 @@ class DynamicLatencyWindow(WindowPolicy):
 
     def observe_latency(self, latency: float) -> None:
         self.tracker.observe(latency)
+
+    def durations_after(
+        self, latencies: Sequence[float]
+    ) -> Optional[List[float]]:
+        # Only the stock EWMA tracker has state we know how to advance
+        # faithfully; a subclassed tracker gets the scalar fallback.
+        tracker = self.tracker
+        if type(tracker) is not EwmaLatencyTracker:
+            return None
+        # Sequential recurrence on purpose: the EWMA update is order-
+        # dependent and must produce bit-identical floats to the scalar
+        # lane, so no vectorized reformulation is safe here.  The loop is
+        # still far cheaper than per-event ingest because it touches plain
+        # floats, not event objects.
+        mean = tracker._mean
+        alpha = tracker._alpha
+        multiplier = self.multiplier
+        floor = self.floor
+        ceiling = self.ceiling
+        initial = tracker._initial
+        out: List[float] = []
+        append = out.append
+        for latency in latencies:
+            if latency < 0:
+                raise ValueError(f"latency must be >= 0, got {latency}")
+            if mean is None:
+                mean = latency
+            else:
+                mean += alpha * (latency - mean)
+            append(min(ceiling, max(floor, multiplier * mean)))
+        tracker._mean = mean
+        tracker._count += len(out)
+        return out

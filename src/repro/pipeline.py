@@ -18,7 +18,9 @@ from .blkdev.replay import ReplayResult, replay_timed
 from .core.analyzer import OnlineAnalyzer
 from .core.config import AnalyzerConfig
 from .core.extent import ExtentPair
+from .engine.procshard import ProcessShardedAnalyzer
 from .engine.sharded import ShardedAnalyzer
+from .monitor.batch import EventBatch, TransactionBatch
 from .monitor.monitor import (
     DEFAULT_MAX_TRANSACTION_SIZE,
     GroupingMode,
@@ -60,26 +62,83 @@ class PipelineResult:
             raise ValueError("pipeline ran without offline recording")
         return self.recorder.extent_transactions()
 
+    def release(self) -> None:
+        """Shut down a process-backed engine's shard worker fleet.
+
+        A run with ``parallel="process"`` leaves live worker processes
+        behind the returned analyzer; call this once the result has been
+        queried.  A no-op for in-process engines.
+        """
+        close = getattr(self.analyzer, "close", None)
+        if close is not None:
+            close()
+
 
 class _EventBatcher:
-    """Buffers replay listener callbacks into ``Monitor.on_events`` batches."""
+    """Buffers replay listener callbacks into ``Monitor.on_events`` batches.
 
-    def __init__(self, monitor: Monitor, batch_size: int) -> None:
+    With ``columnar=True`` each flushed batch is first converted to an
+    :class:`EventBatch` so the monitor takes its vectorized lane; a batch
+    numpy cannot represent (e.g. an offset beyond int64) falls back to
+    the object list for that flush only.
+    """
+
+    def __init__(self, monitor: Monitor, batch_size: int,
+                 columnar: bool = True) -> None:
         self._monitor = monitor
         self._batch_size = batch_size
+        self._columnar = columnar
         self._buffer: List = []
 
     def add(self, event) -> None:
         buffer = self._buffer
         buffer.append(event)
         if len(buffer) >= self._batch_size:
-            self._monitor.on_events(buffer)
-            buffer.clear()
+            self._flush()
 
     def drain(self) -> None:
         if self._buffer:
-            self._monitor.on_events(self._buffer)
-            self._buffer.clear()
+            self._flush()
+
+    def _flush(self) -> None:
+        buffer = self._buffer
+        batch = buffer
+        if self._columnar:
+            try:
+                batch = EventBatch.from_events(buffer)
+            except (OverflowError, ValueError, TypeError):
+                pass
+        self._monitor.on_events(batch)
+        buffer.clear()
+
+
+class _AnalyzerSink:
+    """Monitor sink feeding a batch-capable synopsis engine.
+
+    Scalar deliveries (per-event ingest, window flushes) arrive via
+    ``__call__``; the monitor's columnar lane hands a whole
+    :class:`TransactionBatch` to :meth:`on_transaction_batch`.
+    """
+
+    __slots__ = ("_analyzer", "_parallel")
+
+    def __init__(self, analyzer, parallel: bool) -> None:
+        self._analyzer = analyzer
+        self._parallel = parallel
+
+    def __call__(self, transaction) -> None:
+        process = getattr(self._analyzer, "process_transaction", None)
+        if process is not None:
+            process(transaction)
+        else:  # batch-only engine (process-backed shards)
+            self._analyzer.process_transaction_batch(
+                TransactionBatch.from_transactions([transaction])
+            )
+
+    def on_transaction_batch(self, batch) -> None:
+        self._analyzer.process_transaction_batch(
+            batch, parallel=self._parallel
+        )
 
 
 def run_pipeline(
@@ -97,6 +156,8 @@ def run_pipeline(
     analyzer: Optional[OnlineAnalyzer] = None,
     shards: int = 1,
     batch_size: Optional[int] = None,
+    parallel: Optional[str] = None,
+    columnar: bool = True,
     registry: Optional[MetricsRegistry] = None,
 ) -> PipelineResult:
     """Replay ``records`` through the full monitoring/analysis stack.
@@ -112,7 +173,19 @@ def run_pipeline(
     ``capacity / N`` each) instead of a single analyzer.  ``batch_size``
     buffers that many issue events and feeds them through the monitor's
     amortized batch path (:meth:`Monitor.on_events`) instead of one call
-    per event -- results are identical, ingest is faster.
+    per event -- results are identical, ingest is faster.  ``columnar``
+    (on by default) converts each such batch to an
+    :class:`~repro.monitor.batch.EventBatch` so the monitor's vectorized
+    lane cuts transactions in bulk and the engine consumes
+    :class:`~repro.monitor.batch.TransactionBatch` columns.
+
+    ``parallel`` selects how a sharded engine processes those batches:
+    ``"thread"`` runs one worker thread per shard, ``"process"`` backs
+    the run with a
+    :class:`~repro.engine.procshard.ProcessShardedAnalyzer` -- one worker
+    *process* per shard, sidestepping the GIL (call
+    :meth:`PipelineResult.release` when done with the result).  ``None``
+    processes shards sequentially.
 
     A pre-built ``analyzer`` may be injected (e.g. a
     :class:`~repro.core.typed.TypedOnlineAnalyzer` to track R/W correlation
@@ -132,8 +205,16 @@ def run_pipeline(
         raise ValueError(f"shards must be >= 1, got {shards}")
     if batch_size is not None and batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if parallel not in (None, "thread", "process"):
+        raise ValueError(
+            f"parallel must be None, 'thread' or 'process', got {parallel!r}"
+        )
     if analyzer is None:
-        if shards > 1:
+        if parallel == "process":
+            analyzer = ProcessShardedAnalyzer(config or AnalyzerConfig(),
+                                              shards=shards,
+                                              registry=registry)
+        elif shards > 1:
             analyzer = ShardedAnalyzer(config or AnalyzerConfig(),
                                        shards=shards, registry=registry)
         else:
@@ -149,9 +230,10 @@ def run_pipeline(
         registry=registry,
     )
     recorder = TransactionRecorder() if record_offline else None
-    process_transaction = getattr(analyzer, "process_transaction", None)
-    if process_transaction is not None:
-        monitor.add_sink(process_transaction)
+    if hasattr(analyzer, "process_transaction_batch"):
+        monitor.add_sink(_AnalyzerSink(analyzer, parallel is not None))
+    elif hasattr(analyzer, "process_transaction"):
+        monitor.add_sink(analyzer.process_transaction)
     else:
         monitor.add_sink(
             lambda transaction: analyzer.process(transaction.extents)
@@ -160,7 +242,7 @@ def run_pipeline(
         monitor.add_sink(recorder)
 
     if batch_size is not None and batch_size > 1:
-        batcher = _EventBatcher(monitor, batch_size)
+        batcher = _EventBatcher(monitor, batch_size, columnar=columnar)
         listener = batcher.add
     else:
         batcher = None
@@ -202,4 +284,9 @@ def characterize(
     result = run_pipeline(
         records, config=config, record_offline=False, **pipeline_kwargs
     )
-    return result.frequent_pairs(min_support)
+    try:
+        return result.frequent_pairs(min_support)
+    finally:
+        # One-call convenience: nothing else will query the engine, so a
+        # process-backed run must not leak its worker fleet.
+        result.release()

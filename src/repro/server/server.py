@@ -401,6 +401,9 @@ class CharacterizationServer:
         if self.checkpoint_path:
             self._checkpoint_tenants()
             self._commit_wal_cut()
+        # Checkpoints are written, nothing queries tenants past this
+        # point: shut down any process-backed shard worker fleets.
+        self.router.release_all()
         if self.wal is not None:
             self.wal.close()
         self._dump_dead_letters()

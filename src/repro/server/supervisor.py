@@ -79,6 +79,7 @@ class WorkerConfig:
     capacity: Optional[int] = None
     support: int = 5
     shards: int = 1
+    shard_processes: bool = False
     snapshot_interval: int = 1000
 
     def _build_service(self):
@@ -95,6 +96,7 @@ class WorkerConfig:
                 ),
                 min_support=self.support,
                 shards=self.shards,
+                shard_processes=self.shard_processes,
                 snapshot_interval=self.snapshot_interval,
             )
 

@@ -87,3 +87,10 @@ class TenantRouter:
         """Flush every tenant's monitor (final partial transactions)."""
         for service in self._services.values():
             service.close()
+
+    def release_all(self) -> None:
+        """Release every tenant's engine resources (process-shard worker
+        fleets).  Call after the final checkpoint: released services can
+        no longer be queried or checkpointed."""
+        for service in self._services.values():
+            service.release()

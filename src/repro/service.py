@@ -8,13 +8,20 @@ monitor + synopsis engine into that service shape:
 
 * :meth:`CharacterizationService.submit` accepts block I/O events
   (from blktrace, a replayer, or tests) and drives the whole stack;
-  :meth:`submit_many` is the batched form -- events flow through the
-  monitor's amortized batch path and finished transactions are handed to
-  the engine as one batch (optionally processed thread-per-shard when the
-  engine is sharded);
+  :meth:`submit_many` is the batched form -- an
+  :class:`~repro.monitor.batch.EventBatch` (or any event list past
+  ``columnar_threshold``, converted automatically) flows through the
+  monitor's vectorized columnar lane and finished transactions reach the
+  engine as :class:`~repro.monitor.batch.TransactionBatch` columns;
+  smaller lists keep the amortized object path (optionally processed
+  thread-per-shard when the engine is sharded);
 * ``shards > 1`` backs the service with a
   :class:`~repro.engine.sharded.ShardedAnalyzer` instead of a single
-  analyzer -- same queries, hash-partitioned tables;
+  analyzer -- same queries, hash-partitioned tables; ``shard_processes``
+  upgrades that to a :class:`~repro.engine.procshard.ProcessShardedAnalyzer`
+  (one worker *process* per shard, sidestepping the GIL) -- call
+  :meth:`~CharacterizationService.release` when done with the service so
+  the worker fleet shuts down cleanly;
 * :meth:`snapshot` returns the current frequent correlations (optionally
   by R/W kind) without stopping ingestion;
 * :meth:`checkpoint` / :meth:`restore` persist the synopsis -- format v2
@@ -48,7 +55,9 @@ from .core.config import AnalyzerConfig
 from .core.extent import ExtentPair
 from .core.typed import CorrelationKind, TypedOnlineAnalyzer
 from .engine.checkpoint import as_typed_engine, dump_engine, load_engine
+from .engine.procshard import ProcessShardedAnalyzer
 from .engine.sharded import ShardedAnalyzer
+from .monitor.batch import EventBatch, TransactionBatch
 from .monitor.events import BlockIOEvent
 from .monitor.monitor import (
     DEFAULT_MAX_TRANSACTION_SIZE,
@@ -67,7 +76,32 @@ from .telemetry.tracing import StageTimer
 SnapshotObserver = Callable[["ServiceSnapshot"], None]
 
 #: The engine types a service may be backed by.
-ServiceEngine = Union[TypedOnlineAnalyzer, ShardedAnalyzer]
+ServiceEngine = Union[
+    TypedOnlineAnalyzer, ShardedAnalyzer, ProcessShardedAnalyzer
+]
+
+#: Event lists at least this long are converted to a columnar
+#: :class:`EventBatch` inside :meth:`CharacterizationService.submit_many`
+#: (overridable per service; ``None`` disables auto-conversion).
+DEFAULT_COLUMNAR_THRESHOLD = 64
+
+
+class _ServiceSink:
+    """The monitor sink the service registers: finished transactions
+    arrive either as objects (scalar lane, via ``__call__``) or as one
+    columnar :class:`TransactionBatch` (batch lane), and both routes land
+    on the owning service's buffering/notify logic."""
+
+    __slots__ = ("_service",)
+
+    def __init__(self, service: "CharacterizationService") -> None:
+        self._service = service
+
+    def __call__(self, transaction: Transaction) -> None:
+        self._service._on_transaction(transaction)
+
+    def on_transaction_batch(self, batch: TransactionBatch) -> None:
+        self._service._on_transaction_batch(batch)
 
 
 @dataclass
@@ -99,13 +133,25 @@ class CharacterizationService:
         max_clock_skew: Optional[float] = None,
         shards: int = 1,
         parallel_shards: bool = False,
+        shard_processes: bool = False,
+        columnar_threshold: Optional[int] = DEFAULT_COLUMNAR_THRESHOLD,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         """``shards`` selects the synopsis engine: 1 keeps the classic
         single typed analyzer; N > 1 hash-partitions the tables across N
         shard synopses at ``capacity / N`` each.  ``parallel_shards``
         additionally processes batched ingest (:meth:`submit_many`) with
-        one worker thread per shard.
+        one worker thread per shard.  ``shard_processes`` backs the
+        shards with one worker *process* each instead (a
+        :class:`ProcessShardedAnalyzer`; always parallel) -- pair it with
+        :meth:`release` so the workers are shut down when the service
+        retires.
+
+        ``columnar_threshold`` sets the batch size at which
+        :meth:`submit_many` converts an event list to a columnar
+        :class:`EventBatch` before handing it to the monitor (``None``
+        disables the conversion; callers can always pass an
+        :class:`EventBatch` directly).
 
         ``registry`` selects the telemetry registry for the whole stack
         (monitor, engine, and the service's own latency histograms);
@@ -119,23 +165,33 @@ class CharacterizationService:
             raise ValueError("min_support must be >= 1")
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if columnar_threshold is not None and columnar_threshold < 1:
+            raise ValueError("columnar_threshold must be >= 1 or None")
         self.min_support = min_support
         self.snapshot_interval = snapshot_interval
         self.shards = shards
         self.parallel_shards = parallel_shards
+        self.shard_processes = shard_processes
+        self.columnar_threshold = columnar_threshold
         registry = registry if registry is not None else \
             get_default_registry()
         self.registry = registry
         config = config or AnalyzerConfig()
-        self.analyzer: ServiceEngine = (
-            TypedOnlineAnalyzer(config, registry=registry) if shards == 1
-            else ShardedAnalyzer(config, shards=shards, registry=registry)
-        )
+        if shard_processes:
+            self.analyzer: ServiceEngine = ProcessShardedAnalyzer(
+                config, shards=shards, registry=registry
+            )
+        elif shards == 1:
+            self.analyzer = TypedOnlineAnalyzer(config, registry=registry)
+        else:
+            self.analyzer = ShardedAnalyzer(
+                config, shards=shards, registry=registry
+            )
         self.monitor = Monitor(
             window=window if window is not None else DynamicLatencyWindow(),
             max_transaction_size=max_transaction_size,
             dedup=dedup,
-            sinks=[self._on_transaction],
+            sinks=[_ServiceSink(self)],
             clock_policy=clock_policy,
             max_clock_skew=max_clock_skew,
             registry=registry,
@@ -143,6 +199,7 @@ class CharacterizationService:
         self._observers: List[SnapshotObserver] = []
         self._transactions = 0
         self._batch_buffer: Optional[List[Transaction]] = None
+        self._txn_batches: Optional[List[TransactionBatch]] = None
         self._closed = False
         self._bind_metrics(registry)
 
@@ -206,38 +263,69 @@ class CharacterizationService:
 
     def submit_many(
         self,
-        events: Iterable[BlockIOEvent],
+        events: Union[Iterable[BlockIOEvent], EventBatch],
         parallel: Optional[bool] = None,
     ) -> int:
         """Feed a batch of issue events; returns how many were consumed.
 
-        The batch flows through the monitor's amortized
-        :meth:`~repro.monitor.monitor.Monitor.on_events` path, and the
-        finished transactions are handed to the engine as one
-        :meth:`process_batch` call rather than one callback per
+        An :class:`EventBatch` (or an event list of at least
+        ``columnar_threshold`` events, converted here) takes the monitor's
+        vectorized columnar lane and reaches the engine as
+        :class:`TransactionBatch` columns; anything else flows through the
+        amortized :meth:`~repro.monitor.monitor.Monitor.on_events` object
+        path, and the finished transactions are handed to the engine as
+        one :meth:`process_batch` call rather than one callback per
         transaction.  ``parallel`` overrides the service-level
         ``parallel_shards`` default (it only has an effect on a sharded
-        engine).  Snapshot observers fire at most once per batch, after
-        the whole batch lands, if one or more snapshot intervals were
-        crossed.
+        engine; process-backed shards are always parallel).  Snapshot
+        observers fire at most once per batch, after the whole batch
+        lands, if one or more snapshot intervals were crossed.
         """
         if parallel is None:
             parallel = self.parallel_shards
         batch_started = time.perf_counter() if self._submit_hist is not None \
             else None
-        batch: List[Transaction] = []
-        self._batch_buffer = batch
+        if not isinstance(events, EventBatch):
+            events = self._maybe_columnar(events)
+        object_batch: List[Transaction] = []
+        txn_batches: List[TransactionBatch] = []
+        self._batch_buffer = object_batch
+        self._txn_batches = txn_batches
         try:
             with self._stage_timer.span("monitor"):
                 count = self.monitor.on_events(events)
         finally:
             self._batch_buffer = None
-        if batch:
-            self._process_batch(batch, parallel)
+            self._txn_batches = None
+        if object_batch:
+            self._process_batch(object_batch, parallel)
+        for txn_batch in txn_batches:
+            self._process_transaction_batch(txn_batch, parallel)
         if batch_started is not None:
             self._batch_hist.observe(time.perf_counter() - batch_started)
             self._batch_size_hist.observe(count)
         return count
+
+    def _maybe_columnar(
+        self, events: Iterable[BlockIOEvent]
+    ) -> Union[Iterable[BlockIOEvent], EventBatch]:
+        """Convert a large-enough event sequence to columnar form.
+
+        Conversion happens before the monitor sees anything, so a failed
+        conversion (e.g. an offset beyond int64, which numpy cannot hold)
+        simply falls back to the object path with no state to unwind.
+        """
+        threshold = self.columnar_threshold
+        if threshold is None:
+            return events
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        if len(events) < threshold:
+            return events
+        try:
+            return EventBatch.from_events(events)
+        except (OverflowError, ValueError, TypeError):
+            return events
 
     def flush(self) -> None:
         """Close any open transaction (e.g. before a checkpoint)."""
@@ -254,6 +342,21 @@ class CharacterizationService:
         """
         self.flush()
         self._closed = True
+
+    def release(self) -> None:
+        """Retire the service: flush, then release engine resources.
+
+        Unlike :meth:`close` (flush-only; the service stays queryable),
+        ``release`` also shuts down a process-backed engine's worker
+        fleet, after which the engine can no longer ingest or answer
+        queries.  Call it once, after the last query and any final
+        :meth:`checkpoint`.  Idempotent; a no-op for in-process engines
+        beyond the flush.
+        """
+        self.close()
+        engine_close = getattr(self.analyzer, "close", None)
+        if engine_close is not None:
+            engine_close()
 
     @property
     def closed(self) -> bool:
@@ -274,10 +377,24 @@ class CharacterizationService:
         if self._batch_buffer is not None:
             self._batch_buffer.append(transaction)
             return
-        self.analyzer.process_transaction(transaction)
+        process = getattr(self.analyzer, "process_transaction", None)
+        if process is not None:
+            process(transaction)
+        else:  # batch-only engine (process-backed shards)
+            self.analyzer.process_transaction_batch(
+                TransactionBatch.from_transactions([transaction])
+            )
         self._transactions += 1
         if self._transactions % self.snapshot_interval == 0:
             self._notify()
+
+    def _on_transaction_batch(self, batch: TransactionBatch) -> None:
+        if self._txn_batches is not None:
+            self._txn_batches.append(batch)
+            return
+        # The monitor was driven directly (not via submit_many); process
+        # in place with the service-level parallelism default.
+        self._process_transaction_batch(batch, self.parallel_shards)
 
     def _process_batch(self, batch: List[Transaction],
                        parallel: bool) -> None:
@@ -285,12 +402,35 @@ class CharacterizationService:
             process_batch = getattr(self.analyzer, "process_batch", None)
             if process_batch is not None:
                 process_batch(batch, parallel=parallel)
-            else:  # a bare analyzer injected by a subclass/test
+            elif hasattr(self.analyzer, "process_transaction"):
+                # a bare analyzer injected by a subclass/test
                 for transaction in batch:
                     self.analyzer.process_transaction(transaction)
+            else:  # batch-only engine (process-backed shards)
+                self.analyzer.process_transaction_batch(
+                    TransactionBatch.from_transactions(batch)
+                )
+        self._after_batch(len(batch))
+
+    def _process_transaction_batch(self, batch: TransactionBatch,
+                                   parallel: bool) -> None:
+        with self._stage_timer.span("analyze"):
+            process = getattr(
+                self.analyzer, "process_transaction_batch", None
+            )
+            if process is not None:
+                emitted = process(batch, parallel=parallel)
+            else:  # a bare analyzer injected by a subclass/test
+                emitted = 0
+                for transaction in batch.transactions():
+                    self.analyzer.process_transaction(transaction)
+                    emitted += 1
+        self._after_batch(emitted)
+
+    def _after_batch(self, count: int) -> None:
         interval = self.snapshot_interval
         before = self._transactions
-        self._transactions += len(batch)
+        self._transactions += count
         if self._transactions // interval != before // interval:
             self._notify()
 
@@ -347,11 +487,22 @@ class CharacterizationService:
 
         Either checkpoint format restores: a v3 checkpoint rebuilds a
         sharded engine (with that checkpoint's shard count), v1/v2 a
-        single typed analyzer.
+        single typed analyzer.  A process-backed engine whose worker
+        count matches the checkpoint's shard count adopts the shards
+        into its live fleet; on a shape mismatch the fleet is released
+        and the engine replaced by an in-process one.
         """
         if self._submit_hist is not None:
             self._checkpoint_counter.labels(op="restore").inc()
         loaded = load_engine(stream, strict=True)
+        current = self.analyzer
+        if isinstance(current, ProcessShardedAnalyzer) and not current.closed:
+            shard_states = getattr(loaded.engine, "shard_analyzers", None)
+            if shard_states is not None \
+                    and len(shard_states) == current.shards:
+                current.adopt_shards(shard_states)
+                return
+            current.close()
         self.analyzer = as_typed_engine(loaded)
         self.analyzer.rebind_metrics(self.registry)
         if isinstance(self.analyzer, ShardedAnalyzer):
