@@ -38,7 +38,12 @@ from repro.blkdev.device import SsdDevice
 from repro.blkdev.replay import replay_timed
 from repro.core.config import AnalyzerConfig
 from repro.service import CharacterizationService
-from repro.telemetry import NULL_REGISTRY
+from repro.telemetry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    histogram_quantile,
+    snapshot,
+)
 from repro.workloads.enterprise import generate_named
 
 from conftest import print_header, print_row, scaled
@@ -113,6 +118,59 @@ def _paired_speedup(numerator_rates, denominator_rates):
     )
 
 
+def _paired_overhead(enabled_rates, null_rates):
+    """Minimum per-round overhead of enabled vs null telemetry, clamped
+    at zero: a systematic cost shows up in every paired round; anything
+    that appears in only some rounds is scheduler noise."""
+    return max(0.0, min(
+        1.0 - enabled / null
+        for enabled, null in zip(enabled_rates, null_rates)
+    ))
+
+
+def _stage_latency(events):
+    """p50/p99 per pipeline stage from one instrumented sharded run.
+
+    A fresh registry drives a 2-shard process-backed service over the
+    same stream, pulls the worker deltas back through the ack piggyback
+    seam, and reads the quantiles out of the merged
+    ``repro_stage_duration_seconds`` histograms -- the exact numbers a
+    ``/metrics`` scrape of a production server would yield.
+    """
+    registry = MetricsRegistry()
+    service = _service(shards=2, shard_processes=True,
+                       columnar_threshold=64, registry=registry)
+    try:
+        # Request-sized chunks, so the histograms hold a distribution of
+        # per-request stage times rather than one giant observation.
+        for start in range(0, len(events), 2000):
+            service.submit_many(events[start:start + 2000])
+        service.flush()
+        service.analyzer.collect_worker_metrics()
+        snap = snapshot(registry)["metrics"]
+    finally:
+        service.release()
+    family = snap.get("repro_stage_duration_seconds", {"samples": []})
+    stages = {}
+    for sample in family["samples"]:
+        buckets = sorted(
+            (float("inf") if bound == "+Inf" else float(bound), count)
+            for bound, count in sample["buckets"].items()
+        )
+        if sample["count"] == 0:
+            continue
+        labels = sample["labels"]
+        stage = labels["stage"]
+        if "shard" in labels:
+            stage = f"{stage}[shard={labels['shard']}]"
+        stages[stage] = {
+            "count": sample["count"],
+            "p50_us": round(1e6 * histogram_quantile(buckets, 0.5), 1),
+            "p99_us": round(1e6 * histogram_quantile(buckets, 0.99), 1),
+        }
+    return stages
+
+
 def test_engine_throughput(benchmark):
     events = _event_stream()
 
@@ -138,6 +196,32 @@ def test_engine_throughput(benchmark):
             return service, service.submit_many
         return factory
 
+    def traced_procs_mode():
+        """The full observability plane on: enabled registry (worker
+        metric deltas ride the ack rounds) plus an installed trace log
+        with an ambient request context, so every shard round also
+        ships a trace tuple and opens a (0%%-sampled) worker span."""
+        from repro.telemetry import TraceLog, install_tracelog
+
+        def factory():
+            # 0% sampling and a high slow-exemplar threshold: measure the
+            # propagation machinery alone, with zero NDJSON I/O.
+            log = TraceLog(str(RESULTS_PATH.parent /
+                               "BENCH_trace_scratch.ndjson"),
+                           sample_rate=0.0, slow_threshold=3600.0)
+            install_tracelog(log)
+            service = _service(shards=SHARDS, shard_processes=True,
+                               columnar_threshold=64)
+
+            def ingest(batch):
+                try:
+                    with log.span("bench.request"):
+                        service.submit_many(batch)
+                finally:
+                    install_tracelog(None)
+            return service, ingest
+        return factory
+
     modes = _measure({
         "per_event_1shard": per_event_mode,
         "batched_1shard": batched_mode(),
@@ -148,6 +232,10 @@ def test_engine_throughput(benchmark):
             shards=SHARDS, parallel=True, columnar=True),
         f"columnar_{SHARDS}shard_procs": batched_mode(
             shards=SHARDS, shard_processes=True, columnar=True),
+        f"columnar_{SHARDS}shard_procs_null": batched_mode(
+            shards=SHARDS, shard_processes=True, columnar=True,
+            registry=NULL_REGISTRY),
+        f"columnar_{SHARDS}shard_procs_traced": traced_procs_mode(),
     }, events)
 
     print_header("Engine ingest throughput (events/second, median of "
@@ -178,10 +266,15 @@ def test_engine_throughput(benchmark):
     # median estimator used to report -0.62%).
     with_telemetry = modes["batched_1shard"][0]
     without_telemetry = modes["batched_1shard_null_registry"][0]
-    telemetry_overhead = max(0.0, min(
-        1.0 - enabled / null
-        for enabled, null in zip(with_telemetry, without_telemetry)
-    ))
+    telemetry_overhead = _paired_overhead(with_telemetry, without_telemetry)
+
+    # Observability-plane cost on the sharded hot path: full plane on
+    # (enabled registry, worker metric deltas on the ack rounds, trace
+    # context shipped over the duplex pipes, worker-side spans) vs the
+    # same process-sharded topology with the null registry and no tracer.
+    traced = modes[f"columnar_{SHARDS}shard_procs_traced"][0]
+    procs_null = modes[f"columnar_{SHARDS}shard_procs_null"][0]
+    observability_overhead = _paired_overhead(traced, procs_null)
 
     cpu_count = os.cpu_count() or 1
     results = {
@@ -198,6 +291,9 @@ def test_engine_throughput(benchmark):
         "parallel_speedup_vs_1shard_threads": round(thread_speedup, 3),
         "parallel_speedup_vs_1shard_procs": round(process_speedup, 3),
         "telemetry_overhead_percent": round(100 * telemetry_overhead, 2),
+        "observability_overhead_percent": round(
+            100 * observability_overhead, 2),
+        "stage_latency": _stage_latency(events),
     }
     if cpu_count == 1:
         results["parallel_speedup_note"] = (
@@ -212,6 +308,12 @@ def test_engine_throughput(benchmark):
           f"threads {thread_speedup:.3f}x, procs {process_speedup:.3f}x")
     print(f"telemetry overhead (enabled vs null registry, min of paired "
           f"rounds): {100 * telemetry_overhead:.2f}%")
+    print(f"observability plane overhead (traced+metrics procs vs null "
+          f"procs, min of paired rounds): "
+          f"{100 * observability_overhead:.2f}%")
+    for stage, quantiles in sorted(results["stage_latency"].items()):
+        print(f"stage {stage}: p50 {quantiles['p50_us']}us "
+              f"p99 {quantiles['p99_us']}us (n={quantiles['count']})")
     print(f"wrote {RESULTS_PATH}")
 
     # Identical characterization regardless of 1-shard ingest mode ...
@@ -245,6 +347,12 @@ def test_engine_throughput(benchmark):
     assert telemetry_overhead <= 0.05, (
         f"telemetry overhead {100 * telemetry_overhead:.2f}% > 5% "
         f"(enabled {with_telemetry}, null {without_telemetry})"
+    )
+    # Trace propagation plus worker metric-delta shipping share the same
+    # budget: within 5% of the bare process-sharded path.
+    assert observability_overhead <= 0.05, (
+        f"observability overhead {100 * observability_overhead:.2f}% > 5% "
+        f"(traced {traced}, null {procs_null})"
     )
 
     # Record the columnar single-shard mode as the canonical benchmark.

@@ -26,8 +26,10 @@ from repro.core.config import AnalyzerConfig
 from repro.server.client import BatchingWriter, CharacterizationClient
 from repro.server.server import CharacterizationServer, ServerThread
 from repro.service import CharacterizationService
+from repro.telemetry import histogram_quantile
 from repro.telemetry.export import snapshot, snapshot_value
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracelog import TraceLog, install_tracelog
 from repro.workloads.enterprise import generate_named
 
 from conftest import print_header, print_row, scaled
@@ -62,7 +64,8 @@ def _run(events, clients, sock_path):
     Each client takes a contiguous slice of the stream and its own
     tenant, so per-tenant monitors see monotonic timestamps and the
     engines never contend on one transaction window.  Returns
-    ``(events_per_second, p99_frame_latency_seconds, ingested)``.
+    ``(events_per_second, p99_frame_latency_seconds, ingested, snap)``
+    where ``snap`` is the run's final registry snapshot.
     """
     registry = MetricsRegistry()
     server = CharacterizationServer(
@@ -103,12 +106,39 @@ def _run(events, clients, sock_path):
         for thread in threads:
             thread.join()
         elapsed = time.perf_counter() - started
-        ingested = snapshot_value(snapshot(registry),
+        snap = snapshot(registry)
+        ingested = snapshot_value(snap,
                                   "repro_server_ingested_events_total")
     assert errors == [], errors
     ordered = sorted(latencies)
     p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
-    return len(events) / elapsed, p99, int(ingested)
+    return len(events) / elapsed, p99, int(ingested), snap
+
+
+def _stage_latency_from(snap):
+    """p50/p99 per serving stage, read straight from the run's registry:
+    frame dispatch wall time by frame type (what a ``/metrics`` scrape of
+    ``repro_server_frame_latency_seconds`` yields) plus the engine
+    pipeline stages behind the drainer."""
+    stages = {}
+    for family_name, label_key, prefix in (
+        ("repro_server_frame_latency_seconds", "type", "frame"),
+        ("repro_stage_duration_seconds", "stage", "stage"),
+    ):
+        family = snap["metrics"].get(family_name, {"samples": []})
+        for sample in family["samples"]:
+            if sample["count"] == 0:
+                continue
+            buckets = sorted(
+                (float("inf") if bound == "+Inf" else float(bound), count)
+                for bound, count in sample["buckets"].items()
+            )
+            stages[f"{prefix}.{sample['labels'][label_key]}"] = {
+                "count": sample["count"],
+                "p50_us": round(1e6 * histogram_quantile(buckets, 0.5), 1),
+                "p99_us": round(1e6 * histogram_quantile(buckets, 0.99), 1),
+            }
+    return stages
 
 
 def test_server_throughput(benchmark, tmp_path):
@@ -118,9 +148,12 @@ def test_server_throughput(benchmark, tmp_path):
                  f"({len(events)} events, batches of {BATCH_SIZE})")
     print_row("clients", "events/s", "p99 frame ms", widths=(10, 14, 14))
     per_clients = {}
+    stage_latency = {}
     for clients in CLIENT_COUNTS:
         sock = tmp_path / f"bench-{clients}.sock"
-        rate, p99, ingested = _run(events, clients, sock)
+        rate, p99, ingested, snap = _run(events, clients, sock)
+        if clients == 1:
+            stage_latency = _stage_latency_from(snap)
         # The no-loss contract: every acknowledged event reached the
         # engine before its connection's final STATS returned.
         assert ingested == len(events), (
@@ -144,8 +177,12 @@ def test_server_throughput(benchmark, tmp_path):
         "batch_size": BATCH_SIZE,
         "clients": {str(count): entry
                     for count, entry in per_clients.items()},
+        "stage_latency": stage_latency,
     }
     RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
+    for stage, quantiles in sorted(stage_latency.items()):
+        print(f"stage {stage}: p50 {quantiles['p50_us']}us "
+              f"p99 {quantiles['p99_us']}us (n={quantiles['count']})")
     print(f"wrote {RESULTS_PATH}")
 
     # Canonical benchmark record: single client, whole stream, batched
@@ -162,6 +199,89 @@ def test_server_throughput(benchmark, tmp_path):
                 client.stats()
 
     benchmark.pedantic(canonical, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Trace propagation overhead
+# ---------------------------------------------------------------------------
+
+#: The tracing plane shares the observability budget: at most 5% of the
+#: untraced socket ingest rate, estimated as the minimum per-round
+#: overhead across paired rounds (clamped at zero).
+TRACE_OVERHEAD_CEILING = 0.05
+TRACE_ROUNDS = 3
+
+
+def _run_single_client(events, sock_path, tracelog=None):
+    """Single-client batched ingest; with ``tracelog`` installed every
+    request mints a client span, carries its context in the frame, and
+    reopens it server-side.  Returns events/second."""
+    registry = MetricsRegistry()
+    server = CharacterizationServer(_service(registry), unix_path=sock_path,
+                                    registry=registry)
+    previous = install_tracelog(tracelog)
+    try:
+        with ServerThread(server):
+            with CharacterizationClient(str(sock_path)) as client:
+                started = time.perf_counter()
+                for offset in range(0, len(events), BATCH_SIZE):
+                    client.send_events(events[offset:offset + BATCH_SIZE])
+                client.stats()  # drain before the clock stops
+                elapsed = time.perf_counter() - started
+    finally:
+        install_tracelog(previous)
+    return len(events) / elapsed
+
+
+def test_trace_propagation_overhead(tmp_path):
+    """What end-to-end tracing costs on the socket hot path.
+
+    The traced runs install a process-wide sink at 0% sampling with a
+    high slow-exemplar threshold, so the measurement isolates the pure
+    propagation machinery -- span minting, context serialization into
+    every frame, server-side span reopening -- from NDJSON I/O, which
+    only sampled traces pay.  Rounds are paired adjacent-in-time and the
+    estimate is the minimum per-round overhead, clamped at zero.
+    """
+    events = _event_stream()
+    tracelog = TraceLog(str(tmp_path / "bench-trace.ndjson"),
+                        sample_rate=0.0, slow_threshold=60.0)
+    plain, traced = [], []
+    for attempt in range(TRACE_ROUNDS):
+        plain.append(_run_single_client(
+            events, tmp_path / f"plain-{attempt}.sock"))
+        traced.append(_run_single_client(
+            events, tmp_path / f"traced-{attempt}.sock", tracelog))
+    overhead = max(0.0, min(
+        1.0 - with_trace / without
+        for with_trace, without in zip(traced, plain)
+    ))
+
+    print_header(f"Trace propagation overhead ({len(events)} events, "
+                 f"batches of {BATCH_SIZE}, min of {TRACE_ROUNDS} "
+                 "paired rounds)")
+    print_row("mode", "events/s", widths=(10, 14))
+    print_row("plain", int(max(plain)), widths=(10, 14))
+    print_row("traced", int(max(traced)), widths=(10, 14))
+    print(f"trace propagation overhead: {100 * overhead:.2f}%")
+
+    assert overhead <= TRACE_OVERHEAD_CEILING, (
+        f"trace propagation costs {100 * overhead:.2f}% of socket ingest "
+        f"(budget {100 * TRACE_OVERHEAD_CEILING:.0f}%): "
+        f"traced {traced}, plain {plain}"
+    )
+
+    merged = {}
+    if RESULTS_PATH.exists():
+        merged = json.loads(RESULTS_PATH.read_text())
+    merged["tracing"] = {
+        "plain_events_per_second": round(max(plain), 1),
+        "traced_events_per_second": round(max(traced), 1),
+        "trace_propagation_overhead_percent": round(100 * overhead, 2),
+        "overhead_ceiling": TRACE_OVERHEAD_CEILING,
+    }
+    RESULTS_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True))
+    print(f"wrote {RESULTS_PATH} (tracing section)")
 
 
 # ---------------------------------------------------------------------------

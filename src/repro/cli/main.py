@@ -181,7 +181,9 @@ def _window_from(args: argparse.Namespace):
 
 
 def _wants_metrics(args: argparse.Namespace) -> bool:
-    return bool(args.metrics or args.metrics_json or args.metrics_prometheus)
+    return bool(args.metrics or args.metrics_json or
+                args.metrics_prometheus or
+                getattr(args, "metrics_http", None) is not None)
 
 
 def _export_metrics(registry: MetricsRegistry,
@@ -207,6 +209,12 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     # A fresh registry per run keeps the export scoped to this trace
     # instead of whatever the process-local default accumulated.
     registry = MetricsRegistry() if _wants_metrics(args) else None
+    ops = None
+    if args.metrics_http is not None:
+        from ..telemetry.httpd import OpsServer
+        ops = OpsServer(registry=registry, port=args.metrics_http).start()
+        print(f"ops endpoint on {ops.address} "
+              f"(/metrics /healthz /readyz /vars)", flush=True)
     analyzer = None
     config = None
     if args.load_synopsis:
@@ -259,6 +267,8 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     if registry is not None:
         _export_metrics(registry, args)
     result.release()  # shut down process-shard workers, if any
+    if ops is not None:
+        ops.stop()
     return 0
 
 
@@ -355,6 +365,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.supervise:
         return _serve_supervised(args)
 
+    if args.trace_log:
+        from ..telemetry.tracelog import TraceLog, install_tracelog
+        install_tracelog(TraceLog(
+            args.trace_log,
+            sample_rate=args.trace_sample,
+            slow_threshold=args.trace_slow,
+        ))
     registry = get_default_registry()
     config = AnalyzerConfig(
         item_capacity=args.capacity,
@@ -399,13 +416,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         wal_truncate=not args.keep_wal,
         heartbeat_path=args.heartbeat,
         dead_letter_path=args.dead_letters,
+        http_port=args.http_port,
+        http_host=args.http_host,
     )
     where = args.unix if args.unix else f"{args.host}:{args.port}"
     durability = f", wal={args.wal_dir} fsync={args.fsync}" \
         if args.wal_dir else ""
+    ops = f", ops http://{args.http_host}:{args.http_port}" \
+        if args.http_port is not None else ""
     print(f"serving on {where} "
           f"(shards={args.shards}, capacity={args.capacity}, "
-          f"soft={args.soft_limit}, hard={args.hard_limit}{durability}); "
+          f"soft={args.soft_limit}, hard={args.hard_limit}"
+          f"{durability}{ops}); "
           f"Ctrl-C to drain and exit", flush=True)
     try:
         server.serve_forever()
@@ -454,6 +476,11 @@ def _serve_supervised(args: argparse.Namespace) -> int:
         shards=args.shards,
         shard_processes=args.shard_processes,
         snapshot_interval=args.snapshot_interval,
+        http_port=args.http_port,
+        http_host=args.http_host,
+        trace_log=args.trace_log,
+        trace_sample_rate=args.trace_sample,
+        trace_slow_threshold=args.trace_slow,
     )
     supervisor = Supervisor(
         config,
@@ -586,6 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--metrics-prometheus", metavar="PATH",
                               help="write the run's metrics in Prometheus "
                                    "text exposition format")
+    characterize.add_argument("--metrics-http", metavar="PORT", type=int,
+                              default=None,
+                              help="serve /metrics, /healthz, /readyz and "
+                                   "/vars on 127.0.0.1:PORT for the "
+                                   "duration of the run (0: ephemeral)")
     characterize.add_argument("--dead-letters", metavar="PATH",
                               default=None,
                               help="with --error-policy quarantine: dump "
@@ -692,6 +724,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --supervise: restart a worker whose "
                             "heartbeat is older than this many seconds "
                             "(default: liveness only)")
+    serve.add_argument("--http-port", type=int, default=None,
+                       help="serve the ops endpoint (/metrics /healthz "
+                            "/readyz /vars) on this port (0: ephemeral); "
+                            "with --supervise the worker process binds it")
+    serve.add_argument("--http-host", default="127.0.0.1",
+                       help="bind address for --http-port "
+                            "(default 127.0.0.1)")
+    serve.add_argument("--trace-log", metavar="PATH", default=None,
+                       help="append sampled request-trace spans to PATH "
+                            "as NDJSON (client/server/shard span tree)")
+    serve.add_argument("--trace-sample", type=float, default=0.01,
+                       help="fraction of requests to trace (default 0.01; "
+                            "slow requests are always recorded)")
+    serve.add_argument("--trace-slow", type=float, default=0.25,
+                       help="spans at least this many seconds long are "
+                            "recorded regardless of sampling "
+                            "(default 0.25)")
     serve.set_defaults(handler=cmd_serve)
 
     send = subparsers.add_parser(

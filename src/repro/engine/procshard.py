@@ -41,7 +41,8 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -50,7 +51,9 @@ from ..core.config import AnalyzerConfig
 from ..core.extent import Extent, ExtentPair
 from ..core.serialize import dumps_analyzer, loads_analyzer
 from ..core.typed import CorrelationKind, TypeTally, TypedOnlineAnalyzer
+from ..telemetry.aggregate import merge_worker_snapshot
 from ..telemetry.metrics import MetricsRegistry, get_default_registry
+from ..telemetry.tracelog import current_context, get_tracelog
 from .sharded import _merged_stats, shard_config
 
 
@@ -257,11 +260,41 @@ def _restore_types(analyzer: TypedOnlineAnalyzer,
     }
 
 
-def _shard_worker_main(conn, config: AnalyzerConfig) -> None:
-    """Worker process entry point: serve one shard analyzer over a pipe."""
-    from ..telemetry import NULL_REGISTRY
+def _shard_worker_main(conn, config: AnalyzerConfig, index: int = 0,
+                       telemetry: Optional[dict] = None) -> None:
+    """Worker process entry point: serve one shard analyzer over a pipe.
 
-    analyzer = TypedOnlineAnalyzer(config, registry=NULL_REGISTRY)
+    ``telemetry`` (picklable dict) switches on the worker's own
+    observability: ``{"metrics": bool, "metrics_interval": seconds,
+    "trace_path": str|None, "slow_threshold": seconds}``.  With metrics
+    on, the worker binds its analyzer to a real registry (labelled with
+    its shard index) and piggybacks a full cumulative ``snapshot()`` on
+    ``process`` acks at most once per interval -- the first ack always
+    ships one, so the parent is never blind after the first batch.  With
+    a trace path, the worker appends ``shard.apply`` spans (children of
+    the context the parent ships per batch) to the shared NDJSON file.
+    """
+    from ..telemetry import NULL_REGISTRY
+    from ..telemetry.tracelog import TraceContext, TraceLog
+
+    telemetry = telemetry or {}
+    registry = None
+    if telemetry.get("metrics"):
+        registry = MetricsRegistry()
+        analyzer = TypedOnlineAnalyzer(
+            config, registry=registry,
+            metric_labels={"shard": str(index)})
+    else:
+        analyzer = TypedOnlineAnalyzer(config, registry=NULL_REGISTRY)
+    tracer = None
+    if telemetry.get("trace_path"):
+        # Sample decisions were made at the trace root and travel with
+        # the shipped context; the worker's own rate stays 0.
+        tracer = TraceLog(telemetry["trace_path"], sample_rate=0.0,
+                          slow_threshold=telemetry.get(
+                              "slow_threshold", 0.25))
+    ship_interval = float(telemetry.get("metrics_interval", 0.5))
+    last_ship = float("-inf")
     intern_extent = analyzer._interner.extent
     while True:
         try:
@@ -272,8 +305,27 @@ def _shard_worker_main(conn, config: AnalyzerConfig) -> None:
         try:
             if op == "process":
                 item_work, pair_work = message[1], message[2]
-                evicted = _apply_shard_work(analyzer, *item_work, *pair_work)
-                conn.send(("ok", evicted))
+                context = TraceContext.from_tuple(message[3]) \
+                    if len(message) > 3 else None
+                if tracer is not None and context is not None:
+                    with tracer.span("shard.apply", parent=context,
+                                     tags={"shard": index}):
+                        evicted = _apply_shard_work(
+                            analyzer, *item_work, *pair_work)
+                else:
+                    evicted = _apply_shard_work(
+                        analyzer, *item_work, *pair_work)
+                snap = None
+                if registry is not None:
+                    now = time.monotonic()
+                    if now - last_ship >= ship_interval:
+                        last_ship = now
+                        snap = registry.snapshot()
+                conn.send(("ok", (evicted, snap)))
+            elif op == "collect":
+                conn.send(("ok",
+                           registry.snapshot() if registry is not None
+                           else None))
             elif op == "demote":
                 demote_involving = analyzer.correlations.demote_involving
                 for start, length in message[1]:
@@ -338,10 +390,13 @@ from_transactions` instead.
         shards: int = 4,
         registry: Optional[MetricsRegistry] = None,
         mp_context: str = "spawn",
+        metrics_interval: float = 0.5,
     ) -> None:
         """``mp_context`` selects the multiprocessing start method; spawn
         is the default because it is fork-safe with threads (the serving
         layer runs them) and behaves identically across platforms.
+        ``metrics_interval`` throttles how often a worker piggybacks its
+        registry snapshot on a ``process`` ack (seconds).
         """
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -353,6 +408,19 @@ from_transactions` instead.
         self._pairs_seen = 0
         self._worker_deaths = 0
         self._closed = False
+        self._worker_snaps: Dict[int, dict] = {}
+        self._merged: Set[Tuple[str, Tuple[str, ...]]] = set()
+        registry = registry if registry is not None else \
+            get_default_registry()
+        tracer = get_tracelog()
+        self._trace_batches = tracer is not None
+        telemetry = {
+            "metrics": bool(registry.enabled),
+            "metrics_interval": metrics_interval,
+            "trace_path": tracer.path if tracer is not None else None,
+            "slow_threshold":
+                tracer.slow_threshold if tracer is not None else 0.25,
+        }
         ctx = multiprocessing.get_context(mp_context)
         self._procs: List = []
         self._conns: List = []
@@ -361,7 +429,7 @@ from_transactions` instead.
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 proc = ctx.Process(
                     target=_shard_worker_main,
-                    args=(child_conn, self._per_shard),
+                    args=(child_conn, self._per_shard, _index, telemetry),
                     daemon=True,
                     name=f"repro-shard-{_index}",
                 )
@@ -372,8 +440,6 @@ from_transactions` instead.
         except BaseException:
             self.close()
             raise
-        registry = registry if registry is not None else \
-            get_default_registry()
         self._bind_metrics(registry)
 
     # -- telemetry ----------------------------------------------------------
@@ -403,6 +469,10 @@ from_transactions` instead.
         """Re-home the engine's telemetry on ``registry`` (restore path)."""
         if registry is self.registry:
             return
+        old = getattr(self, "registry", None)
+        if old is not None and old.enabled:
+            old.deregister_collector(self._collect_metrics)
+        self._merged = set()
         self._bind_metrics(registry)
 
     def _collect_metrics(self) -> None:
@@ -411,6 +481,47 @@ from_transactions` instead.
         self._flow_counters["transactions"].set_total(self._transactions)
         self._flow_counters["extents"].set_total(self._extents_seen)
         self._flow_counters["pairs"].set_total(self._pairs_seen)
+        # Replay the workers' latest shipped snapshots under shard=N
+        # labels.  Cached merges are idempotent (cumulative values), and
+        # no pipe traffic happens here: scrapes run on exporter threads,
+        # and the duplex pipes belong to the ingest thread alone.
+        for index, snap in list(self._worker_snaps.items()):
+            self._merged.update(
+                merge_worker_snapshot(self.registry, snap, shard=index))
+
+    def collect_worker_metrics(self) -> int:
+        """Fetch a fresh registry snapshot from every worker now.
+
+        The on-demand half of worker aggregation (acks only piggyback a
+        snapshot every ``metrics_interval``); call from the ingest owner
+        thread before an exposition that must be current.  Returns the
+        number of workers that answered with a snapshot.
+        """
+        if not self.registry.enabled:
+            return 0
+        fresh = 0
+        for index, snap in enumerate(self._request_all(("collect",))):
+            if snap is not None:
+                self._worker_snaps[index] = snap
+                fresh += 1
+        return fresh
+
+    def _release_metrics(self) -> None:
+        """Withdraw from the registry on close (the release-leak fix):
+        deregister the pull collector, zero the shard gauge, and remove
+        every worker-merged series so a dead fleet cannot keep reporting
+        its last occupancy forever."""
+        registry = getattr(self, "registry", None)
+        if registry is None or not registry.enabled:
+            return
+        registry.deregister_collector(self._collect_metrics)
+        self._shards_gauge.set(0)
+        for name, key in self._merged:
+            family = registry.get(name)
+            if family is not None:
+                family.remove_child(key)
+        self._merged.clear()
+        self._worker_snaps.clear()
 
     # -- worker protocol plumbing -------------------------------------------
 
@@ -480,11 +591,17 @@ from_transactions` instead.
         count = len(batch)
         if count == 0:
             return 0
+        context = current_context() if self._trace_batches else None
+        trace = context.to_tuple() if context is not None else None
         work = route_batch(batch, self.shards)
         for index, (item_work, pair_work) in enumerate(work):
-            self._send(index, ("process", item_work, pair_work))
-        evicted_by_shard = [self._reply(index)
-                            for index in range(self.shards)]
+            self._send(index, ("process", item_work, pair_work, trace))
+        evicted_by_shard = []
+        for index in range(self.shards):
+            evicted, snap = self._reply(index)
+            if snap is not None:
+                self._worker_snaps[index] = snap
+            evicted_by_shard.append(evicted)
         for origin, evicted in enumerate(evicted_by_shard):
             if not evicted:
                 continue
@@ -647,6 +764,7 @@ from_transactions` instead.
                 conn.close()
             except OSError:
                 pass
+        self._release_metrics()
 
     @property
     def closed(self) -> bool:

@@ -177,10 +177,12 @@ class ResilientCharacterizationService(CharacterizationService):
         """Write the current engine: v3 via the engine container for a
         sharded analyzer, format v2 via
         :func:`~repro.core.serialize.save_checkpoint` for a single one.
-        Both names resolve through module globals so tests (and hosts)
-        can substitute the I/O layer.
+        Dispatch rides the ``shard_analyzers`` seam (not a base class)
+        so thread- and process-backed sharded engines both take the v3
+        path.  Both names resolve through module globals so tests (and
+        hosts) can substitute the I/O layer.
         """
-        if isinstance(self.analyzer, ShardedAnalyzer):
+        if hasattr(self.analyzer, "shard_analyzers"):
             return save_engine_checkpoint(self.analyzer, path)
         return save_checkpoint(self.analyzer, path)
 

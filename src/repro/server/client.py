@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..core.extent import Extent, ExtentPair
 from ..monitor.events import BlockIOEvent
 from ..resilience.policy import BackoffPolicy
+from ..telemetry.tracelog import TRACE_KEY, get_tracelog
 from . import protocol
 from .circuit import CircuitBreaker
 from .protocol import DEFAULT_MAX_FRAME_BYTES, FrameDecoder
@@ -210,6 +211,19 @@ class CharacterizationClient:
         """
         if self.tenant is not None:
             payload.setdefault("tenant", self.tenant)
+        tracer = get_tracelog()
+        if tracer is None:
+            return self._request_encoded(payload)
+        span = tracer.span("client.request",
+                           tags={"frame": payload.get("type", "")})
+        # Attach before encoding: retries resend the same bytes, so a
+        # redelivered frame stays on the original request's span tree,
+        # and the server's frame span links under this one.
+        payload.setdefault(TRACE_KEY, span.context.to_wire())
+        with span:
+            return self._request_encoded(payload)
+
+    def _request_encoded(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         data = protocol.encode_frame(payload)
         policy = self.policy
         breaker = self.breaker

@@ -9,10 +9,16 @@ whole stack.  Instrument families:
 * ``repro_server_connections`` / ``repro_server_connections_total`` --
   live and lifetime connection counts;
 * ``repro_server_frames_total{type=...}`` -- request frames by type,
-  plus ``repro_server_frame_errors_total{code=...}`` for decode or
-  dispatch failures;
-* ``repro_server_frame_latency_seconds{type=...}`` -- dispatch wall time
-  per frame type (ingest frames measure admission, not drain);
+  plus ``repro_server_frame_errors_total{code=..., tenant=...}`` for
+  decode or dispatch failures;
+* ``repro_server_frame_latency_seconds{type=..., tenant=...}`` --
+  dispatch wall time per frame type and tenant (ingest frames measure
+  admission, not drain), so per-tenant p99 reads from one scrape;
+
+The ``tenant`` label is cardinality-guarded: after
+``max_tenant_labels`` distinct values, further tenants collapse into
+the ``__other__`` overflow bucket (a client minting a tenant per
+request must not be able to grow the scrape without bound).
 * ``repro_server_throttles_total`` / ``repro_server_rejected_frames_total``
   / ``repro_server_rejected_events_total`` -- backpressure outcomes
   (rejections are the dead-letter count);
@@ -31,16 +37,45 @@ from typing import Callable, Optional
 
 from ..telemetry.metrics import MetricsRegistry, get_default_registry
 
+#: Overflow label value once the tenant-cardinality cap is reached.
+TENANT_OVERFLOW = "__other__"
+
+
+class TenantLabelGuard:
+    """Bound the distinct values a tenant label may take.
+
+    The first ``max_values`` tenants seen keep their own series; every
+    later tenant lands in :data:`TENANT_OVERFLOW`.  First-come keeps the
+    guard deterministic and allocation-free on the hot path.
+    """
+
+    __slots__ = ("max_values", "_seen")
+
+    def __init__(self, max_values: int = 32) -> None:
+        self.max_values = max(1, int(max_values))
+        self._seen: set = set()
+
+    def label(self, tenant: str) -> str:
+        value = tenant or "default"
+        if value in self._seen:
+            return value
+        if len(self._seen) < self.max_values:
+            self._seen.add(value)
+            return value
+        return TENANT_OVERFLOW
+
 
 class ServerMetrics:
     """All serving-layer instruments, no-ops under a null registry."""
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
-                 depth_probe: Optional[Callable[[], int]] = None) -> None:
+                 depth_probe: Optional[Callable[[], int]] = None,
+                 max_tenant_labels: int = 32) -> None:
         registry = registry if registry is not None else \
             get_default_registry()
         self.registry = registry
         self.enabled = registry.enabled
+        self.tenants = TenantLabelGuard(max_tenant_labels)
         self._frames = registry.counter(
             "repro_server_frames_total",
             "Request frames handled, by frame type",
@@ -48,13 +83,13 @@ class ServerMetrics:
         )
         self._frame_errors = registry.counter(
             "repro_server_frame_errors_total",
-            "Frames answered with ERROR, by code",
-            labelnames=("code",),
+            "Frames answered with ERROR, by code and tenant",
+            labelnames=("code", "tenant"),
         )
         self._latency = registry.histogram(
             "repro_server_frame_latency_seconds",
-            "Dispatch wall time per frame type",
-            labelnames=("type",),
+            "Dispatch wall time per frame type and tenant",
+            labelnames=("type", "tenant"),
         )
         self._connections = registry.gauge(
             "repro_server_connections", "Connections currently open"
@@ -109,12 +144,14 @@ class ServerMetrics:
 
     # -- recording hooks (cheap, callable on every frame) --------------------
 
-    def frame(self, kind: str, seconds: float) -> None:
+    def frame(self, kind: str, seconds: float, tenant: str = "") -> None:
         self._frames.labels(type=kind).inc()
-        self._latency.labels(type=kind).observe(seconds)
+        self._latency.labels(
+            type=kind, tenant=self.tenants.label(tenant)).observe(seconds)
 
-    def frame_error(self, code: str) -> None:
-        self._frame_errors.labels(code=code).inc()
+    def frame_error(self, code: str, tenant: str = "") -> None:
+        self._frame_errors.labels(
+            code=code, tenant=self.tenants.label(tenant)).inc()
 
     def connection_opened(self) -> None:
         self._connections_total.inc()

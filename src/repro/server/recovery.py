@@ -28,6 +28,7 @@ from ..core.serialize import CheckpointCorruptError
 from ..resilience.service import ResilientCharacterizationService
 from ..resilience.wal import WalMeta, WriteAheadLog, read_wal_meta
 from ..service import CharacterizationService
+from ..telemetry.log import get_logger
 from .tenants import DEFAULT_TENANT, TenantLimitError, TenantRouter
 
 #: How many replayed records between ``progress`` callbacks (a worker
@@ -115,6 +116,7 @@ class WalRecovery:
         self.producers: Dict[str, int] = {}
         self._tenant_ok: Dict[str, bool] = {}
         self.report = RecoveryReport()
+        self._log = get_logger("recovery")
 
     # -- initial recovery ---------------------------------------------------
 
@@ -126,10 +128,23 @@ class WalRecovery:
             else WalMeta()
         report.checkpoint_seq = meta.checkpoint_seq
         self.producers = dict(meta.producers)
+        self._log.info("recovery.start", wal_dir=str(self.wal.directory),
+                       checkpoint_seq=meta.checkpoint_seq)
         if self.checkpoint_path:
             self._restore_checkpoints(report)
         self._apply_records(report, meta.checkpoint_seq)
         report.producers = dict(self.producers)
+        self._log.info(
+            "recovery.complete",
+            restored_tenants=len(report.restored_tenants),
+            failed_tenants=report.failed_tenants,
+            replayed_records=report.replayed_records,
+            replayed_events=report.replayed_events,
+            skipped_records=report.skipped_records,
+            corrupt_records=report.corrupt_records,
+            torn_tail=report.torn_tail,
+            applied_seq=self.applied_seq,
+        )
         return report
 
     def _restore_checkpoints(self, report: RecoveryReport,
@@ -230,6 +245,9 @@ class WalRecovery:
             )
         # The checkpoint files for the new cut are already on disk: the
         # primary writes them *before* committing the cut to wal.meta.
+        self._log.warning("recovery.standby_resync",
+                          checkpoint_seq=meta.checkpoint_seq,
+                          applied_seq=self.applied_seq)
         resync = RecoveryReport()
         self._tenant_ok = {}
         self._restore_checkpoints(resync, fresh=True)

@@ -53,7 +53,17 @@ from ..resilience.wal import (
 )
 from ..service import CharacterizationService
 from ..telemetry.export import render_prometheus
+from ..telemetry.httpd import OpsServer
+from ..telemetry.log import get_logger
 from ..telemetry.metrics import MetricsRegistry, get_default_registry
+from ..telemetry.tracelog import (
+    NULL_SPAN,
+    TRACE_KEY,
+    TraceContext,
+    current_context,
+    get_tracelog,
+    trace_span,
+)
 from ..trace.errors import DeadLetterBuffer, RowError
 from . import protocol
 from .backpressure import (
@@ -145,6 +155,8 @@ class CharacterizationServer:
         standby_recovery: Optional[WalRecovery] = None,
         max_producers: int = DEFAULT_MAX_PRODUCERS,
         producer_ttl: float = DEFAULT_PRODUCER_TTL,
+        http_port: Optional[int] = None,
+        http_host: str = "127.0.0.1",
     ) -> None:
         """``unix_path`` selects a Unix socket; otherwise TCP on
         ``host:port`` (port 0: ephemeral, read :attr:`address` after
@@ -171,6 +183,12 @@ class CharacterizationServer:
         restoring from scratch, :meth:`start` adopts the tailer's
         already-recovered tenants and producer map, does one final
         catch-up against the journal, and serves.
+
+        ``http_port`` starts the :class:`OpsServer` sidecar on
+        ``http_host`` (port 0: ephemeral, read ``server.ops.port``).
+        The sidecar binds *before* recovery so ``/healthz`` answers
+        while a large journal replays; ``/readyz`` flips to 200 only
+        once the data socket is accepting.
         """
         registry = registry if registry is not None else \
             get_default_registry()
@@ -236,6 +254,12 @@ class CharacterizationServer:
         self._handler_tasks: Set[asyncio.Task] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self.metrics = ServerMetrics(registry, depth_probe=self._total_depth)
+        self.http_port = http_port
+        self.http_host = http_host
+        self.ops: Optional[OpsServer] = None
+        self.ready = False
+        self._started_at = time.time()
+        self._log = get_logger("server")
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -262,6 +286,16 @@ class CharacterizationServer:
         """
         if self._server is not None:
             raise RuntimeError("server already started")
+        self._started_at = time.time()
+        # The ops sidecar binds before recovery: liveness probes must see
+        # "alive, still recovering" during a long journal replay, and
+        # /readyz correctly answers 503 until the data socket is up.
+        if self.http_port is not None and self.ops is None:
+            self.ops = OpsServer(registry=self.registry,
+                                 host=self.http_host, port=self.http_port,
+                                 ready=self._readiness,
+                                 vars_probe=self._ops_vars)
+            self.ops.start()
         # First beat before recovery: a supervisor must see "alive, still
         # recovering" (the journal replay below keeps beating via the
         # progress hook), not "no heartbeat yet" while a large journal
@@ -302,6 +336,47 @@ class CharacterizationServer:
             self._heartbeat_task = asyncio.create_task(
                 self._heartbeat_loop()
             )
+        self.ready = True
+        started = {"address": str(self.address),
+                   "ops": self.ops.address if self.ops is not None else None}
+        if self.recovery_report is not None:
+            started["replayed_events"] = self.recovery_report.replayed_events
+            started["restored_tenants"] = \
+                len(self.recovery_report.restored_tenants)
+        self._log.info("server.started", **started)
+
+    def _readiness(self) -> Tuple[bool, Dict[str, Any]]:
+        """``/readyz`` probe: ready only once the data socket accepts
+        (recovery/WAL replay done) and until shutdown begins."""
+        detail: Dict[str, Any] = {
+            "connections": len(self._connections),
+            "tenants": self.router.tenants,
+        }
+        if self.wal_dir is not None and not self.ready:
+            detail["recovering"] = True
+        if self.recovery_report is not None:
+            detail["replayed_events"] = self.recovery_report.replayed_events
+        if self.wal is not None:
+            detail["wal_last_seq"] = self.wal.last_seq
+        return self.ready, detail
+
+    def _ops_vars(self) -> Dict[str, Any]:
+        """``/vars`` contribution: server identity and counters that have
+        no natural metrics family."""
+        info: Dict[str, Any] = {
+            "address": str(self.address),
+            "ready": self.ready,
+            "uptime": round(time.time() - self._started_at, 3),
+            "connections": len(self._connections),
+            "tenants": self.router.tenants,
+            "duplicate_frames": self.duplicate_frames,
+            "dead_letters": len(self.dead_letters),
+        }
+        if self.wal is not None:
+            info["wal_last_seq"] = self.wal.last_seq
+        if self.recovery_report is not None:
+            info["replayed_events"] = self.recovery_report.replayed_events
+        return {"server": info}
 
     async def _heartbeat_loop(self) -> None:
         """Touch the heartbeat file and let an idle journal tail reach
@@ -375,6 +450,7 @@ class CharacterizationServer:
 
     async def shutdown(self) -> None:
         """Stop accepting, drain all queues, flush, checkpoint."""
+        self.ready = False  # /readyz goes 503 before the drain starts
         if self._heartbeat_task is not None:
             self._heartbeat_task.cancel()
             try:
@@ -409,6 +485,14 @@ class CharacterizationServer:
         self._dump_dead_letters()
         if self.unix_path is not None and os.path.exists(self.unix_path):
             os.unlink(self.unix_path)
+        self._log.info("server.stopped",
+                       duplicate_frames=self.duplicate_frames,
+                       dead_letters=len(self.dead_letters))
+        # The sidecar stops last: diagnostics stay reachable through the
+        # whole drain.
+        if self.ops is not None:
+            self.ops.stop()
+            self.ops = None
 
     def _checkpoint_tenants(self) -> int:
         written = 0
@@ -518,28 +602,43 @@ class CharacterizationServer:
                 conn.wake.clear()
                 await conn.wake.wait()
                 continue
-            tenant, batch = item
-            self._ingest_batch(conn, tenant, batch)
+            tag, batch = item
+            tenant, context = tag if isinstance(tag, tuple) else (tag, None)
+            self._ingest_batch(conn, tenant, batch, context)
             # Yield so the reader (and other connections) interleave.
             await asyncio.sleep(0)
 
     def _ingest_batch(self, conn: _Connection, tenant: str,
-                      batch: List[BlockIOEvent]) -> None:
-        try:
-            service = self.router.get(tenant)
-            service.submit_many(batch)
-        except Exception:
-            # A poisoned batch (or a sink failure inside the engine)
-            # degrades this batch only; the server keeps serving.
-            conn.poisoned_batches += 1
-            self.metrics.poisoned()
+                      batch: List[BlockIOEvent],
+                      context: Optional[TraceContext] = None) -> None:
+        tracer = get_tracelog()
+        if tracer is not None and context is not None:
+            span = tracer.span("server.ingest", parent=context,
+                               tags={"tenant": tenant,
+                                     "events": len(batch)})
         else:
-            self.metrics.ingested(len(batch))
+            span = NULL_SPAN
+        with span:
+            try:
+                service = self.router.get(tenant)
+                service.submit_many(batch)
+            except Exception as exc:
+                # A poisoned batch (or a sink failure inside the engine)
+                # degrades this batch only; the server keeps serving.
+                conn.poisoned_batches += 1
+                self.metrics.poisoned()
+                self._log.warning(
+                    "server.batch_poisoned", tenant=tenant,
+                    events=len(batch),
+                    error=f"{type(exc).__name__}: {exc}")
+            else:
+                self.metrics.ingested(len(batch))
 
     def _drain_now(self, conn: _Connection) -> None:
         """Synchronously ingest everything this connection has queued."""
-        for tenant, batch in conn.queue.drain():
-            self._ingest_batch(conn, tenant, batch)
+        for tag, batch in conn.queue.drain():
+            tenant, context = tag if isinstance(tag, tuple) else (tag, None)
+            self._ingest_batch(conn, tenant, batch, context)
 
     # -- frame dispatch -------------------------------------------------------
 
@@ -561,20 +660,39 @@ class CharacterizationServer:
             return
         payload = frame.payload
         kind = frame.type
-        started = time.perf_counter()
-        try:
-            reply = self._handle_frame(conn, kind, payload)
-        except ProtocolError as exc:
-            reply = protocol.error_frame(protocol.ERR_BAD_REQUEST, str(exc))
-        except TenantLimitError as exc:
-            reply = protocol.error_frame(protocol.ERR_UNAVAILABLE, str(exc))
-        except Exception as exc:  # never let one frame kill the connection
-            reply = protocol.error_frame(
-                protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+        tenant = payload.get("tenant", "")
+        if not isinstance(tenant, str):
+            tenant = ""
+        tracer = get_tracelog()
+        if tracer is not None:
+            # A wire context links this span under the client's request;
+            # without one the server mints its own root (sampling + slow
+            # exemplars still apply to untraced clients).
+            span = tracer.span(
+                "server.frame",
+                parent=TraceContext.from_wire(payload.get(TRACE_KEY)),
+                tags={"frame": kind, "tenant": tenant},
             )
-        self.metrics.frame(kind, time.perf_counter() - started)
+        else:
+            span = NULL_SPAN
+        started = time.perf_counter()
+        with span:
+            try:
+                reply = self._handle_frame(conn, kind, payload)
+            except ProtocolError as exc:
+                reply = protocol.error_frame(
+                    protocol.ERR_BAD_REQUEST, str(exc))
+            except TenantLimitError as exc:
+                reply = protocol.error_frame(
+                    protocol.ERR_UNAVAILABLE, str(exc))
+            except Exception as exc:  # never let a frame kill the connection
+                reply = protocol.error_frame(
+                    protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                )
+        self.metrics.frame(kind, time.perf_counter() - started, tenant)
         if reply.get("type") == protocol.REPLY_ERROR:
-            self.metrics.frame_error(reply.get("code", protocol.ERR_INTERNAL))
+            self.metrics.frame_error(
+                reply.get("code", protocol.ERR_INTERNAL), tenant)
         request_id = payload.get("id")
         if request_id is not None:
             reply.setdefault("id", request_id)
@@ -646,14 +764,22 @@ class CharacterizationServer:
             # the client retries against a server that can't promise
             # durability right now.
             try:
-                self.wal.append(events, tenant=tenant,
-                                producer=producer, pseq=pseq)
+                with trace_span("wal.append", require_parent=True,
+                                tags={"events": len(events)}):
+                    self.wal.append(events, tenant=tenant,
+                                    producer=producer, pseq=pseq)
             except OSError as exc:
+                self._log.warning("server.wal_append_failed", tenant=tenant,
+                                  events=len(events), error=str(exc))
                 return protocol.error_frame(
                     protocol.ERR_UNAVAILABLE,
                     f"journal append failed: {exc}; frame not accepted",
                 )
-        admission = conn.queue.offer(events, tag=tenant)
+        # The queue tag carries the trace context across the async hop to
+        # the drain loop, so the engine-side ingest span stays linked to
+        # the frame that admitted the events.
+        admission = conn.queue.offer(
+            events, tag=(tenant, current_context()))
         if admission is Admission.REJECTED:
             self.metrics.rejected(len(events))
             self._dead_letter_frame(conn, tenant, payload, len(events))

@@ -34,6 +34,9 @@ from typing import Callable, List, Optional
 from ..resilience.policy import BackoffPolicy
 from ..resilience.wal import WriteAheadLog
 from ..service import CharacterizationService
+from ..telemetry.log import get_logger
+from ..telemetry.metrics import MetricsRegistry, get_default_registry
+from ..telemetry.tracelog import TraceLog, install_tracelog
 from .backpressure import DEFAULT_HARD_LIMIT, DEFAULT_SOFT_LIMIT
 from .recovery import RecoveryReport, WalRecovery
 from .server import (
@@ -75,6 +78,12 @@ class WorkerConfig:
     max_tenants: int = DEFAULT_MAX_TENANTS
     max_producers: int = DEFAULT_MAX_PRODUCERS
     producer_ttl: float = DEFAULT_PRODUCER_TTL
+    # -- observability plane ----------------------------------------------
+    http_port: Optional[int] = None
+    http_host: str = "127.0.0.1"
+    trace_log: Optional[str] = None
+    trace_sample_rate: float = 0.01
+    trace_slow_threshold: float = 0.25
     # -- engine shape (None: the server's stock defaults) -----------------
     capacity: Optional[int] = None
     support: int = 5
@@ -123,11 +132,21 @@ class WorkerConfig:
             max_tenants=self.max_tenants,
             max_producers=self.max_producers,
             producer_ttl=self.producer_ttl,
+            http_port=self.http_port,
+            http_host=self.http_host,
         )
 
 
 def run_server_worker(config: WorkerConfig) -> None:
     """Child-process entry point: recover, serve until SIGTERM, drain."""
+    if config.trace_log is not None:
+        # One shared NDJSON file across the whole fleet: O_APPEND writes
+        # keep primary, restarts, and shard workers interleaving safely.
+        install_tracelog(TraceLog(
+            config.trace_log,
+            sample_rate=config.trace_sample_rate,
+            slow_threshold=config.trace_slow_threshold,
+        ))
     config.build_server().serve_forever()
 
 
@@ -183,6 +202,7 @@ class Supervisor:
         poll_interval: float = 0.05,
         start_method: Optional[str] = None,
         sleep: Callable[[float], None] = time.sleep,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
         self.target = target
@@ -199,6 +219,39 @@ class Supervisor:
         self.restarts = 0
         self.last_exitcode: Optional[int] = None
         self.last_restart_reason: Optional[str] = None
+        self._log = get_logger("supervisor")
+        registry = registry if registry is not None else \
+            get_default_registry()
+        self.registry = registry
+        self._restarts_metric = registry.counter(
+            "repro_supervisor_restarts_total",
+            "Worker restarts the supervisor performed",
+        )
+        self._worker_up = registry.gauge(
+            "repro_supervisor_worker_up",
+            "1 while the supervised worker process is alive",
+        )
+        self._heartbeat_age = registry.gauge(
+            "repro_supervisor_heartbeat_age_seconds",
+            "Age of the worker's last heartbeat (0 when no heartbeat file)",
+        )
+        if registry.enabled:
+            registry.register_collector(self._collect)
+
+    def _collect(self) -> None:
+        proc = self._proc
+        self._worker_up.set(
+            1 if proc is not None and proc.is_alive() else 0)
+        self._heartbeat_age.set(round(self._heartbeat_age_seconds(), 3))
+
+    def _heartbeat_age_seconds(self) -> float:
+        if self.config.heartbeat_path is None:
+            return 0.0
+        try:
+            beat_at = os.stat(self.config.heartbeat_path).st_mtime
+        except OSError:
+            beat_at = self._spawned_at or time.time()
+        return max(0.0, time.time() - max(beat_at, self._spawned_at))
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -212,12 +265,18 @@ class Supervisor:
         self._spawn()
 
     def _spawn(self) -> None:
+        # Not daemonic: a daemonic worker could not spawn its own shard
+        # processes (multiprocessing forbids daemon children), and a
+        # supervised server with shard_processes=True is a supported
+        # shape.  stop() still terminates the worker explicitly.
         self._proc = self._context.Process(
             target=self.target, args=(self.config,),
-            name="repro-server-worker", daemon=True,
+            name="repro-server-worker", daemon=False,
         )
         self._proc.start()
         self._spawned_at = time.time()
+        self._log.info("supervisor.worker_spawned", worker_pid=self._proc.pid,
+                       restarts=self.restarts)
 
     def stop(self, grace: float = 10.0) -> Optional[int]:
         """SIGTERM the worker (graceful drain + checkpoint), escalate to
@@ -233,6 +292,9 @@ class Supervisor:
                 proc.join(timeout=grace)
         self.last_exitcode = proc.exitcode
         self._proc = None
+        self._log.info("supervisor.worker_stopped",
+                       exitcode=self.last_exitcode,
+                       restarts=self.restarts)
         return self.last_exitcode
 
     # -- the watch loop -----------------------------------------------------
@@ -283,14 +345,21 @@ class Supervisor:
     def _restart(self, reason: str) -> str:
         self.last_restart_reason = reason
         if not self.tracker.note():
+            self._log.error("supervisor.gave_up", reason=reason,
+                            recent_restarts=self.tracker.recent(),
+                            budget=self.tracker.max_restarts)
             raise SupervisorGaveUp(
                 f"giving up: {self.tracker.recent()} restarts within "
                 f"{self.tracker.window}s (budget {self.tracker.max_restarts});"
                 f" last failure: {reason}"
             )
+        self._log.warning("supervisor.worker_restarting", reason=reason,
+                          exitcode=self.last_exitcode,
+                          restarts=self.restarts + 1)
         self._sleep(self.backoff.delay(min(self.tracker.recent() - 1,
                                            self.backoff.retries)))
         self.restarts += 1
+        self._restarts_metric.inc()
         self._spawn()
         return "restarted"
 
@@ -331,6 +400,7 @@ class WarmStandby:
         service_factory: Optional[Callable[[], CharacterizationService]]
         = None,
         max_tenants: int = DEFAULT_MAX_TENANTS,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if service_factory is None:
             from ..resilience.service import ResilientCharacterizationService
@@ -341,6 +411,16 @@ class WarmStandby:
         self.wal = WriteAheadLog(self.wal_dir, readonly=True)
         self.recovery = WalRecovery(self.router, self.wal, checkpoint_path)
         self.warmed = False
+        registry = registry if registry is not None else \
+            get_default_registry()
+        self._applied_gauge = registry.gauge(
+            "repro_standby_applied_seq",
+            "Highest journal sequence the standby has applied",
+        )
+        self._replayed_metric = registry.counter(
+            "repro_standby_replayed_records_total",
+            "Journal records the standby has applied while tailing",
+        )
 
     def warm_up(self) -> RecoveryReport:
         """Initial restore + full replay; after this, :meth:`poll` only
@@ -354,8 +434,13 @@ class WarmStandby:
         returns how many."""
         if not self.warmed:
             self.warm_up()
-            return self.recovery.report.replayed_records
-        return self.recovery.catch_up()
+            applied = self.recovery.report.replayed_records
+        else:
+            applied = self.recovery.catch_up()
+        if applied:
+            self._replayed_metric.inc(applied)
+        self._applied_gauge.set(self.recovery.applied_seq)
+        return applied
 
     @property
     def applied_seq(self) -> int:

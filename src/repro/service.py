@@ -71,6 +71,7 @@ from .telemetry.metrics import (
     MetricsRegistry,
     get_default_registry,
 )
+from .telemetry.tracelog import trace_span
 from .telemetry.tracing import StageTimer
 
 SnapshotObserver = Callable[["ServiceSnapshot"], None]
@@ -292,7 +293,11 @@ class CharacterizationService:
         self._batch_buffer = object_batch
         self._txn_batches = txn_batches
         try:
-            with self._stage_timer.span("monitor"):
+            # require_parent: only an already-traced request (the server's
+            # ingest span is ambient here) gets a child span -- untraced
+            # local ingest stays allocation-free.
+            with trace_span("service.monitor", require_parent=True), \
+                    self._stage_timer.span("monitor"):
                 count = self.monitor.on_events(events)
         finally:
             self._batch_buffer = None
@@ -398,7 +403,9 @@ class CharacterizationService:
 
     def _process_batch(self, batch: List[Transaction],
                        parallel: bool) -> None:
-        with self._stage_timer.span("analyze"):
+        with trace_span("service.analyze", require_parent=True,
+                        tags={"transactions": len(batch)}), \
+                self._stage_timer.span("analyze"):
             process_batch = getattr(self.analyzer, "process_batch", None)
             if process_batch is not None:
                 process_batch(batch, parallel=parallel)
@@ -414,7 +421,9 @@ class CharacterizationService:
 
     def _process_transaction_batch(self, batch: TransactionBatch,
                                    parallel: bool) -> None:
-        with self._stage_timer.span("analyze"):
+        with trace_span("service.analyze", require_parent=True,
+                        tags={"transactions": len(batch)}), \
+                self._stage_timer.span("analyze"):
             process = getattr(
                 self.analyzer, "process_transaction_batch", None
             )

@@ -5,7 +5,13 @@ dependency-free :class:`MetricsRegistry` of named, labelled
 :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments, a
 :class:`StageTimer` span API for per-stage latency, and exporters for
 the Prometheus text format, JSON snapshots, and periodic NDJSON
-emission (:class:`SnapshotEmitter`).
+emission (:class:`SnapshotEmitter`).  On top of that sits the
+cross-process plane: :mod:`~repro.telemetry.tracelog` request tracing
+(contexts propagated client -> server -> shard worker, NDJSON span
+records with sampling + slow exemplars), :mod:`~repro.telemetry.log`
+structured JSON logging with trace correlation,
+:func:`merge_worker_snapshot` child-registry aggregation, and the
+:class:`OpsServer` HTTP sidecar (/metrics, /healthz, /readyz, /vars).
 
 Every instrumented component (monitor, analyzer, sharded engine,
 services, pipeline) accepts a ``registry`` keyword: ``None`` selects
@@ -38,6 +44,19 @@ from .metrics import (
     get_default_registry,
     set_default_registry,
 )
+from .aggregate import histogram_quantile, merge_worker_snapshot
+from .httpd import OpsServer
+from .log import JsonLogger, configure_logging, get_logger
+from .tracelog import (
+    TraceContext,
+    TraceLog,
+    current_context,
+    get_tracelog,
+    install_tracelog,
+    read_trace_records,
+    trace_span,
+    use_context,
+)
 from .tracing import Span, StageTimer
 
 __all__ = [
@@ -54,6 +73,20 @@ __all__ = [
     "set_default_registry",
     "Span",
     "StageTimer",
+    "TraceContext",
+    "TraceLog",
+    "current_context",
+    "get_tracelog",
+    "install_tracelog",
+    "read_trace_records",
+    "trace_span",
+    "use_context",
+    "JsonLogger",
+    "configure_logging",
+    "get_logger",
+    "OpsServer",
+    "histogram_quantile",
+    "merge_worker_snapshot",
     "SnapshotEmitter",
     "render_digest",
     "render_json",

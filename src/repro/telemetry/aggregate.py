@@ -1,0 +1,128 @@
+"""Merging child-process metric snapshots into a parent registry.
+
+A procshard worker (and, through the same seam, a supervised server
+child) owns a real :class:`~repro.telemetry.metrics.MetricsRegistry`
+and periodically ships ``registry.snapshot()`` over its control pipe.
+:func:`merge_worker_snapshot` replays such a snapshot into the parent
+registry, adding (or keeping) a ``shard`` label so every worker's
+series stay distinct:
+
+* counters land via ``set_total`` (the worker's value *is* the running
+  total -- snapshots are cumulative, so re-merging the same snapshot is
+  idempotent and a newer snapshot simply overwrites);
+* gauges land via ``set``;
+* histograms land via ``set_state`` (cumulative bucket counts + sum),
+  reconstructing the family with the worker's own bucket bounds.
+
+The function returns the ``(family_name, child_key)`` pairs it touched
+so the owner can remove exactly those series when the workers go away
+(a released engine must not keep reporting its last occupancy).
+Families whose shape conflicts with something already registered are
+skipped and counted rather than raised -- one misbehaving worker must
+not break the scrape for everyone else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+)
+
+__all__ = ["merge_worker_snapshot", "histogram_quantile"]
+
+
+def _bounds_from_buckets(buckets: Dict[str, object]) -> Tuple[float, ...]:
+    """Recover finite bucket bounds from a snapshot's formatted keys."""
+    bounds: List[float] = []
+    for key in buckets:
+        if key == "+Inf":
+            continue
+        try:
+            bounds.append(float(key))
+        except ValueError:
+            continue
+    return tuple(sorted(set(bounds)))
+
+
+def merge_worker_snapshot(
+    registry: MetricsRegistry, snapshot: Dict[str, object], shard: object,
+) -> List[Tuple[str, Tuple[str, ...]]]:
+    """Replay one worker's ``snapshot()`` into ``registry``.
+
+    Every sample gains (or keeps) ``shard=str(shard)``; label order is
+    taken from the sample dict, which preserves the worker family's
+    declared order.  Returns the ``(name, child_key)`` pairs written.
+    """
+    touched: List[Tuple[str, Tuple[str, ...]]] = []
+    if not registry.enabled:
+        return touched
+    metrics = snapshot.get("metrics") if isinstance(snapshot, dict) else None
+    if not isinstance(metrics, dict):
+        return touched
+    shard_value = str(shard)
+    for name, family_snap in metrics.items():
+        if not isinstance(family_snap, dict):
+            continue
+        kind = family_snap.get("type")
+        help_text = family_snap.get("help", "")
+        for sample in family_snap.get("samples", ()):
+            labels = dict(sample.get("labels", {}))
+            labels["shard"] = labels.get("shard", shard_value)
+            labelnames = tuple(labels.keys())
+            try:
+                if kind == "counter":
+                    family = registry.counter(name, help_text, labelnames)
+                    family.labels(**labels).set_total(sample["value"])
+                elif kind == "gauge":
+                    family = registry.gauge(name, help_text, labelnames)
+                    family.labels(**labels).set(sample["value"])
+                elif kind == "histogram":
+                    buckets = sample.get("buckets", {})
+                    bounds = _bounds_from_buckets(buckets) \
+                        or DEFAULT_LATENCY_BUCKETS
+                    family = registry.histogram(name, help_text, labelnames,
+                                                buckets=bounds)
+                    family.labels(**labels).set_state(
+                        buckets, sample.get("sum", 0.0))
+                else:
+                    continue
+            except (MetricError, KeyError, TypeError):
+                continue  # shape conflict: skip the series, keep the scrape
+            key = tuple(labels[label] for label in family.labelnames)
+            touched.append((name, key))
+    return touched
+
+
+def histogram_quantile(
+    buckets: Sequence[Tuple[float, int]], quantile: float,
+) -> float:
+    """Estimate a quantile from cumulative ``(bound, count)`` pairs.
+
+    Prometheus-style: linear interpolation within the bucket that
+    crosses the target rank, the last finite bound when the rank lands
+    in +Inf, and 0.0 for an empty histogram.
+    """
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = max(0.0, min(1.0, quantile)) * total
+    previous_bound, previous_count = 0.0, 0
+    last_finite = 0.0
+    for bound, cumulative in buckets:
+        if bound != float("inf"):
+            last_finite = bound
+        if cumulative >= rank and cumulative > previous_count:
+            if bound == float("inf"):
+                return last_finite
+            span = cumulative - previous_count
+            fraction = (rank - previous_count) / span if span else 1.0
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_count = (
+            bound if bound != float("inf") else previous_bound, cumulative)
+    return last_finite

@@ -1,0 +1,184 @@
+"""A dependency-free ops HTTP sidecar: /metrics, /healthz, /readyz, /vars.
+
+Until now the only way to read the server's metrics was an in-band
+METRICS frame on the data socket -- useless precisely when the ingest
+path is wedged, and invisible to a Prometheus scraper or a Kubernetes
+probe.  :class:`OpsServer` runs a stdlib ``ThreadingHTTPServer`` on its
+own daemon thread serving:
+
+``/metrics``
+    Prometheus text exposition 0.0.4 via
+    :func:`repro.telemetry.export.render_prometheus` (runs the
+    registry's collectors, so pull-published values are fresh).
+``/healthz``
+    Liveness: 200 the moment the sidecar thread is up.  A server
+    replaying a large journal is *alive* but not *ready*; probes that
+    restart on failed liveness must not interrupt recovery.
+``/readyz``
+    Readiness: 200 once the ``ready`` probe says so (recovery/WAL
+    replay complete, socket bound), 503 with a JSON reason body before
+    that and again during shutdown.
+``/vars``
+    Free-form JSON: pid, uptime, the ``vars`` probe's dict, and the
+    full metrics snapshot -- the "one curl tells me everything" page.
+
+The sidecar binds before the owning server starts recovery (so
+liveness answers during replay) and serves from a separate thread, so
+a wedged asyncio loop cannot take the diagnostics plane down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .export import render_prometheus, snapshot
+from .metrics import MetricsRegistry, get_default_registry
+
+__all__ = ["OpsServer"]
+
+#: ``ready`` probe result: (is_ready, detail dict for the JSON body).
+ReadyProbe = Callable[[], Tuple[bool, Dict[str, Any]]]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-ops/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *_args) -> None:  # quiet: probes hit every few s
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        ops: "OpsServer" = self.server.ops  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = render_prometheus(ops.registry).encode("utf-8")
+                self._reply(200, body,
+                            "text/plain; version=0.0.4; charset=utf-8")
+            elif path == "/healthz":
+                self._reply_json(200, {"status": "ok", "uptime":
+                                       round(ops.uptime(), 3)})
+            elif path == "/readyz":
+                ready, detail = ops.readiness()
+                detail = dict(detail)
+                detail["status"] = "ready" if ready else "unavailable"
+                self._reply_json(200 if ready else 503, detail)
+            elif path == "/vars":
+                self._reply_json(200, ops.vars())
+            else:
+                self._reply_json(404, {"error": "not found", "paths": [
+                    "/metrics", "/healthz", "/readyz", "/vars"]})
+        except Exception as exc:  # pragma: no cover - diagnostics plane
+            try:
+                self._reply_json(500, {"error": str(exc)})
+            except OSError:
+                pass
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True, default=str,
+                          indent=2).encode("utf-8")
+        self._reply(status, body, "application/json")
+
+
+class OpsServer:
+    """The sidecar: construct, :meth:`start`, later :meth:`stop`.
+
+    ``ready`` is polled per /readyz request; ``vars_probe`` contributes
+    extra keys to /vars.  ``port=0`` binds an ephemeral port, readable
+    afterwards via :attr:`port` (tests and parallel CI jobs).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 ready: Optional[ReadyProbe] = None,
+                 vars_probe: Optional[Callable[[], Dict[str, Any]]] = None,
+                 ) -> None:
+        self.registry = registry if registry is not None \
+            else get_default_registry()
+        self.host = host
+        self._requested_port = int(port)
+        self._ready = ready
+        self._vars = vars_probe
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = time.time()
+
+    # -- probes ------------------------------------------------------------
+
+    def uptime(self) -> float:
+        return time.time() - self._started_at
+
+    def readiness(self) -> Tuple[bool, Dict[str, Any]]:
+        if self._ready is None:
+            return True, {}
+        try:
+            return self._ready()
+        except Exception as exc:  # a broken probe reads as "not ready"
+            return False, {"probe_error": str(exc)}
+
+    def vars(self) -> Dict[str, Any]:
+        import os
+        payload: Dict[str, Any] = {
+            "pid": os.getpid(),
+            "uptime": round(self.uptime(), 3),
+        }
+        if self._vars is not None:
+            try:
+                payload.update(self._vars())
+            except Exception as exc:  # pragma: no cover
+                payload["vars_error"] = str(exc)
+        payload["metrics"] = snapshot(self.registry)["metrics"]
+        return payload
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "OpsServer":
+        if self._httpd is not None:
+            return self
+        self._started_at = time.time()
+        httpd = ThreadingHTTPServer((self.host, self._requested_port),
+                                    _Handler)
+        httpd.daemon_threads = True
+        httpd.ops = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, kwargs={"poll_interval": 0.2},
+            name="repro-ops-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "OpsServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -1,0 +1,124 @@
+"""Structured JSON-line logging with trace correlation.
+
+The serving stack used to narrate through ad-hoc ``print(...,
+file=sys.stderr)`` calls -- fine for a terminal, useless for an ops
+pipeline that wants to join "worker restarted" with the requests it
+interrupted.  This logger emits one JSON object per line::
+
+    {"ts": 1719849600.123456, "level": "info", "component": "server",
+     "event": "server.started", "pid": 4242,
+     "trace_id": "9f2c...", "span_id": "01ab...", ...fields}
+
+* ``ts`` is wall-clock seconds; ``level`` one of debug/info/warning/
+  error; ``component`` names the emitter (``server``, ``supervisor``,
+  ``recovery``, ``procshard``, ...); ``event`` is a stable dotted slug.
+* When a span from :mod:`repro.telemetry.tracelog` is ambient, its
+  ``trace_id``/``span_id`` are stamped automatically, so log lines and
+  trace records join on ``trace_id``.
+* Extra keyword fields pass through verbatim (non-JSON values are
+  stringified rather than raising -- a log call must never take down
+  the path it narrates).
+
+Output goes to ``sys.stderr`` by default; :func:`configure_logging`
+redirects the stream and sets the minimum level process-wide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from .tracelog import current_context
+
+__all__ = [
+    "JsonLogger",
+    "configure_logging",
+    "get_logger",
+    "LOG_LEVELS",
+]
+
+LOG_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_lock = threading.Lock()
+_stream: Optional[TextIO] = None  # None -> sys.stderr at write time
+_min_level = LOG_LEVELS["info"]
+
+
+def configure_logging(stream: Optional[TextIO] = None,
+                      min_level: str = "info") -> None:
+    """Set the process-wide log stream and threshold.
+
+    ``stream=None`` means "whatever ``sys.stderr`` is at write time", so
+    test harnesses that swap stderr still capture output.
+    """
+    global _stream, _min_level
+    with _lock:
+        _stream = stream
+        _min_level = LOG_LEVELS.get(min_level, LOG_LEVELS["info"])
+
+
+class JsonLogger:
+    """A component-bound emitter; cheap to create, safe to share."""
+
+    __slots__ = ("component", "_bound")
+
+    def __init__(self, component: str,
+                 bound: Optional[Dict[str, Any]] = None) -> None:
+        self.component = component
+        self._bound = dict(bound) if bound else {}
+
+    def bind(self, **fields: Any) -> "JsonLogger":
+        """A child logger with extra fields stamped on every line."""
+        merged = dict(self._bound)
+        merged.update(fields)
+        return JsonLogger(self.component, merged)
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        if LOG_LEVELS.get(level, 0) < _min_level:
+            return
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "component": self.component,
+            "event": event,
+            "pid": os.getpid(),
+        }
+        context = current_context()
+        if context is not None:
+            record["trace_id"] = context.trace_id
+            record["span_id"] = context.span_id
+        record.update(self._bound)
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True, default=str)
+        except (TypeError, ValueError):  # pragma: no cover - default=str
+            line = json.dumps({"ts": record["ts"], "level": level,
+                               "component": self.component, "event": event,
+                               "error": "unserializable-fields"})
+        with _lock:
+            stream = _stream if _stream is not None else sys.stderr
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # a closed stderr must not crash the server
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(component: str, **bound: Any) -> JsonLogger:
+    return JsonLogger(component, bound or None)

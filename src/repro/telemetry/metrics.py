@@ -186,6 +186,29 @@ class _HistogramChild:
         out.append((math.inf, self._count))
         return out
 
+    def set_state(self, bucket_counts: Dict[str, int],
+                  sum_value: float) -> None:
+        """Adopt an externally observed distribution wholesale.
+
+        The aggregation seam for cross-process metrics: a worker ships
+        its ``snapshot()`` histogram sample (cumulative counts keyed by
+        the formatted bound, plus the running sum) and the parent-side
+        child replaces its own state with it.  Bounds the shipped sample
+        doesn't mention inherit the running cumulative count, so a
+        truncated sample cannot make counts go backwards mid-bucket.
+        """
+        running = 0
+        counts: List[int] = []
+        for bound in self._bounds:
+            cumulative = int(bucket_counts.get(format_bound(bound), running))
+            counts.append(max(0, cumulative - running))
+            running = max(running, cumulative)
+        total = int(bucket_counts.get("+Inf", running))
+        counts.append(max(0, total - running))
+        self._counts = counts
+        self._count = max(total, running)
+        self._sum = float(sum_value)
+
 
 # ---------------------------------------------------------------------------
 # Families: named instruments with label-set children
@@ -232,6 +255,27 @@ class _Family:
             (dict(zip(self.labelnames, key)), child)
             for key, child in list(self._children.items())
         ]
+
+    def remove(self, **labels: str) -> bool:
+        """Drop one labelled child so its series leaves the exposition.
+
+        A component that aggregated external state (process-shard
+        workers, a standby) calls this on release: a dead worker's last
+        occupancy must not keep scraping as if it were live.  Returns
+        whether a child was actually removed.
+        """
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[label]) for label in self.labelnames)
+        return self.remove_child(key)
+
+    def remove_child(self, key: Sequence[str]) -> bool:
+        """Drop the child cached under a raw label-value ``key``."""
+        with self._lock:
+            return self._children.pop(tuple(key), None) is not None
 
     # -- unlabelled convenience: the family acts as its sole child ---------
 
@@ -341,6 +385,15 @@ class _NullInstrument:
     def observe(self, _value: float) -> None:
         pass
 
+    def set_state(self, _buckets: Dict[str, int], _sum: float) -> None:
+        pass
+
+    def remove(self, **_labels: str) -> bool:
+        return False
+
+    def remove_child(self, _key: Sequence[str]) -> bool:
+        return False
+
     def buckets(self) -> List[Tuple[float, int]]:
         return []
 
@@ -447,6 +500,23 @@ class MetricsRegistry:
             ref = collector
         with self._lock:
             self._collectors.append(ref)
+
+    def deregister_collector(self, collector: Collector) -> None:
+        """Remove a previously registered collector (idempotent).
+
+        Weakly-held collectors disappear on their own when the owner
+        dies; this is for owners that are *released* while still alive
+        (a closed ``ProcessShardedAnalyzer``) and must stop publishing
+        stale values into every future scrape.
+        """
+        with self._lock:
+            kept: List[object] = []
+            for ref in self._collectors:
+                target = ref() if isinstance(ref, weakref.WeakMethod) else ref
+                if target is None or target == collector:
+                    continue
+                kept.append(ref)
+            self._collectors = kept
 
     def _run_collectors(self) -> None:
         with self._lock:

@@ -1,0 +1,344 @@
+"""Cross-process request tracing: contexts, propagation, NDJSON spans.
+
+The stage spans in :mod:`repro.telemetry.tracing` feed latency
+histograms, but they stop at a process boundary: a request that enters
+through :class:`~repro.server.client.CharacterizationClient`, crosses
+the socket into the server, and fans out over the procshard duplex
+pipes leaves three disconnected measurements.  This module makes them
+one tree:
+
+* :class:`TraceContext` -- an immutable ``(trace_id, span_id,
+  parent_id, sampled)`` tuple.  The client mints a root context per
+  request; every downstream hop derives a :meth:`~TraceContext.child`
+  and carries it across the wire (a compact dict under the frame
+  payload's ``"trace"`` key, a plain tuple over the shard pipes).
+* :class:`TraceLog` -- an append-only NDJSON span sink.  One JSON
+  object per finished span: ``trace_id``, ``span_id``, ``parent_id``,
+  ``name``, ``pid``, wall-clock ``start``, ``duration``, ``slow``, and
+  free-form ``tags``.  Appends go through a single ``O_APPEND``
+  ``os.write`` per record, so any number of processes can share one
+  file without interleaving partial lines.
+* **Sampling with slow exemplars.**  The root sampling decision is made
+  once at mint time (``sample_rate``) and travels with the context, so
+  a sampled request is recorded at *every* hop or none.  Independently,
+  any span slower than ``slow_threshold`` seconds is always recorded
+  (tagged ``"slow": true``) -- the requests you most need to see are
+  exactly the ones sampling would usually drop.
+
+The ambient context rides a :mod:`contextvars` variable, so async server
+handlers and worker threads each see their own current span.  Components
+reach the process-wide sink through :func:`install_tracelog` /
+:func:`get_tracelog`; when none is installed, :func:`trace_span` returns
+a shared no-op and the hot path pays one global read.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "TraceContext",
+    "TraceLog",
+    "TraceSpan",
+    "current_context",
+    "use_context",
+    "install_tracelog",
+    "get_tracelog",
+    "trace_span",
+    "read_trace_records",
+]
+
+#: Payload key under which the context crosses the frame protocol.
+TRACE_KEY = "trace"
+
+_current: contextvars.ContextVar[Optional["TraceContext"]] = \
+    contextvars.ContextVar("repro_trace_context", default=None)
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One span's identity within a trace, cheap to copy across hops."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    sampled: bool = False
+
+    @classmethod
+    def new_trace(cls, sampled: bool = False) -> "TraceContext":
+        return cls(trace_id=_new_id(), span_id=_new_id(), sampled=sampled)
+
+    def child(self) -> "TraceContext":
+        return TraceContext(trace_id=self.trace_id, span_id=_new_id(),
+                            parent_id=self.span_id, sampled=self.sampled)
+
+    # -- frame-payload codec (JSON dict under the "trace" key) -------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"tid": self.trace_id, "sid": self.span_id,
+                "s": 1 if self.sampled else 0}
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> Optional["TraceContext"]:
+        """Decode a peer's context; ``None`` on anything malformed (a
+        bad trace header must never fail the request it rides on)."""
+        if not isinstance(payload, dict):
+            return None
+        tid, sid = payload.get("tid"), payload.get("sid")
+        if not isinstance(tid, str) or not isinstance(sid, str):
+            return None
+        return cls(trace_id=tid, span_id=sid, sampled=bool(payload.get("s")))
+
+    # -- pipe codec (plain tuple, cheap to pickle per shard round) ---------
+
+    def to_tuple(self) -> Tuple[str, str, bool]:
+        return (self.trace_id, self.span_id, self.sampled)
+
+    @classmethod
+    def from_tuple(cls, value: Any) -> Optional["TraceContext"]:
+        if not (isinstance(value, tuple) and len(value) == 3):
+            return None
+        tid, sid, sampled = value
+        if not isinstance(tid, str) or not isinstance(sid, str):
+            return None
+        return cls(trace_id=tid, span_id=sid, sampled=bool(sampled))
+
+
+def current_context() -> Optional[TraceContext]:
+    """The ambient span context (task/thread local), if any."""
+    return _current.get()
+
+
+class use_context:
+    """``with use_context(ctx):`` -- make ``ctx`` ambient in the block."""
+
+    def __init__(self, context: Optional[TraceContext]) -> None:
+        self._context = context
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Optional[TraceContext]:
+        self._token = _current.set(self._context)
+        return self._context
+
+    def __exit__(self, *_exc) -> None:
+        if self._token is not None:
+            _current.reset(self._token)
+
+
+class TraceSpan:
+    """A timed span; records itself into the log when it closes.
+
+    While the span is open its context is the ambient one, so nested
+    spans (and cross-process hops that read :func:`current_context`)
+    chain their ``parent_id`` automatically.
+    """
+
+    __slots__ = ("_log", "name", "context", "tags",
+                 "_token", "_start_wall", "_started")
+
+    def __init__(self, log: "TraceLog", name: str, context: TraceContext,
+                 tags: Optional[Dict[str, Any]]) -> None:
+        self._log = log
+        self.name = name
+        self.context = context
+        self.tags = dict(tags) if tags else {}
+        self._token: Optional[contextvars.Token] = None
+        self._start_wall = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "TraceSpan":
+        self._token = _current.set(self.context)
+        self._start_wall = self._log.clock()
+        self._started = self._log.perf()
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+        elapsed = self._log.perf() - self._started
+        if exc_type is not None:
+            self.tags["error"] = exc_type.__name__
+        slow = elapsed >= self._log.slow_threshold
+        if self.context.sampled or slow or exc_type is not None:
+            self._log.record(self.name, self.context, self._start_wall,
+                             elapsed, tags=self.tags, slow=slow)
+
+
+class _NullSpan:
+    """Shared no-op stand-in when tracing is not installed."""
+
+    __slots__ = ()
+
+    context: Optional[TraceContext] = None
+    tags: Dict[str, Any] = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class TraceLog:
+    """Append-only NDJSON span sink shared by any number of processes.
+
+    ``sample_rate`` governs the head decision for freshly minted traces;
+    ``slow_threshold`` (seconds) is the always-on exemplar cut -- spans
+    at or above it are recorded even when their trace is unsampled.
+    ``clock``/``perf``/``rng`` are injectable for tests.
+    """
+
+    def __init__(self, path: str, *, sample_rate: float = 0.01,
+                 slow_threshold: float = 0.25,
+                 clock=time.time, perf=time.perf_counter,
+                 rng: Optional[random.Random] = None) -> None:
+        self.path = os.fspath(path)
+        self.sample_rate = max(0.0, min(1.0, float(sample_rate)))
+        self.slow_threshold = float(slow_threshold)
+        self.clock = clock
+        self.perf = perf
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        self._fd: Optional[int] = None
+        self.records_written = 0
+        self.dropped_writes = 0
+
+    # -- minting -----------------------------------------------------------
+
+    def should_sample(self) -> bool:
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        return self._rng.random() < self.sample_rate
+
+    def new_trace(self) -> TraceContext:
+        return TraceContext.new_trace(sampled=self.should_sample())
+
+    def span(self, name: str, parent: Optional[TraceContext] = None,
+             tags: Optional[Dict[str, Any]] = None) -> TraceSpan:
+        """A recording span: child of ``parent`` (or of the ambient
+        context), or the root of a freshly sampled trace when neither
+        exists."""
+        context = parent if parent is not None else _current.get()
+        child = context.child() if context is not None else self.new_trace()
+        return TraceSpan(self, name, child, tags)
+
+    # -- sinking -----------------------------------------------------------
+
+    def record(self, name: str, context: TraceContext, start: float,
+               duration: float, tags: Optional[Dict[str, Any]] = None,
+               slow: bool = False) -> None:
+        payload: Dict[str, Any] = {
+            "trace_id": context.trace_id,
+            "span_id": context.span_id,
+            "parent_id": context.parent_id,
+            "name": name,
+            "pid": os.getpid(),
+            "start": round(start, 6),
+            "duration": round(duration, 9),
+        }
+        if slow:
+            payload["slow"] = True
+        if tags:
+            payload["tags"] = {key: _jsonable(value)
+                               for key, value in tags.items()}
+        data = (json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")) + "\n").encode("utf-8")
+        try:
+            with self._lock:
+                if self._fd is None:
+                    self._fd = os.open(
+                        self.path,
+                        os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+                # One O_APPEND write per record: atomic line appends even
+                # with client, server, and shard workers on one file.
+                os.write(self._fd, data)
+            self.records_written += 1
+        except OSError:
+            self.dropped_writes += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                try:
+                    os.close(self._fd)
+                except OSError:
+                    pass
+                self._fd = None
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def read_trace_records(path: str) -> list:
+    """Parse an NDJSON trace file, skipping torn/garbage lines."""
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError:
+        pass
+    return records
+
+
+# -- the process-wide sink --------------------------------------------------
+
+_installed: Optional[TraceLog] = None
+
+
+def install_tracelog(log: Optional[TraceLog]) -> Optional[TraceLog]:
+    """Set (or clear, with ``None``) the process-wide trace sink;
+    returns the previous one so tests can restore it."""
+    global _installed
+    previous = _installed
+    _installed = log
+    return previous
+
+
+def get_tracelog() -> Optional[TraceLog]:
+    return _installed
+
+
+def trace_span(name: str, parent: Optional[TraceContext] = None,
+               tags: Optional[Dict[str, Any]] = None,
+               require_parent: bool = False):
+    """A span against the installed sink, or a shared no-op without one.
+
+    ``require_parent=True`` additionally no-ops when there is neither an
+    explicit parent nor an ambient context -- for interior stages that
+    should join an existing trace but never start one of their own.
+    """
+    log = _installed
+    if log is None:
+        return NULL_SPAN
+    if require_parent and parent is None and _current.get() is None:
+        return NULL_SPAN
+    return log.span(name, parent=parent, tags=tags)

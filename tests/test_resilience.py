@@ -666,6 +666,31 @@ class TestCrashBeforeRename:
         assert loaded.corrupt_shards == []
         assert [p.name for p in tmp_path.iterdir()] == [path.name]
 
+    def test_checkpoint_to_handles_process_sharded_engine(self, tmp_path):
+        """``checkpoint_to`` used to dispatch on the ``ShardedAnalyzer``
+        base class and fall through to the single-analyzer v2 writer for
+        a process-backed engine (which has no ``.items``); dispatch now
+        rides the ``shard_analyzers`` seam, so both sharded shapes take
+        the v3 path."""
+        from repro.engine.checkpoint import load_engine_checkpoint
+        service = ResilientCharacterizationService(
+            shards=2, shard_processes=True, **service_kwargs()
+        )
+        path = tmp_path / "procs.ckpt"
+        try:
+            clock = 0.0
+            for _round in range(20):
+                service.submit(event(clock, 100))
+                service.submit(event(clock + 1e-5, 9000, length=16))
+                clock += 0.05
+            service.flush()
+            service.checkpoint_to(path)
+        finally:
+            service.release()
+        loaded = load_engine_checkpoint(path)
+        assert loaded.corrupt_shards == []
+        assert loaded.engine.shards == 2
+
     def test_after_writes_lets_earlier_saves_through(self, tmp_path):
         service = trained_service()
         first = tmp_path / "a.ckpt"
