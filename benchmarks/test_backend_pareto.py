@@ -1,0 +1,219 @@
+"""Synopsis backend Pareto sweep: accuracy vs memory vs throughput.
+
+The backend subsystem (:mod:`repro.engine.backends`) makes the synopsis
+representation pluggable: the paper's two-tier LRU tables, a nested
+Misra-Gries correlated heavy hitters summary (``chh``), and a count-min
+pair sketch with a candidate heap (``cms``).  The sketches trade exact
+recency-aware pair tables for sublinear summaries, so the question this
+benchmark answers is *where each backend sits on the Pareto surface*:
+how much top-pair recall does each retain, at what fraction of the
+two-tier memory budget, and at what ingest rate?
+
+Two workloads, per the evaluation's synthetic/enterprise split:
+
+* **zipf** -- a skewed stationary pair stream over a pool of ~4x the
+  correlation capacity, the textbook regime for frequency sketches; and
+* **msr_hm** -- the MSR-like ``hm`` enterprise trace through the full
+  replay/monitor pipeline, with burstier and churnier pair arrivals.
+
+Ground truth is exact offline pair counting (:func:`exact_pair_counts`).
+Each (workload, backend) cell records top-100 recall against the exact
+ranking, support-thresholded weighted recall, native-representation
+memory bytes, and events/second; everything lands in
+``BENCH_backends.json`` (uploaded as a CI artifact by the bench-smoke
+job).
+
+Acceptance claims:
+
+* both sketch backends fit in at most 25% of the two-tier memory at the
+  same configured capacity (they are sublinear by construction); and
+* on the zipf workload both sketches still recover at least 80% of the
+  true top-100 pairs -- the paper's "most of the value is in the heavy
+  correlations" framing survives the representation swap.
+
+The enterprise trace has no floor: its churn is exactly what separates
+the recency-aware tables from pure-frequency sketches, and the recorded
+gap *is* the result.
+"""
+
+import json
+import pathlib
+import random
+import time
+from dataclasses import replace
+
+from repro.analysis.accuracy import detection_metrics, top_k_recall
+from repro.core.config import BACKEND_NAMES, AnalyzerConfig
+from repro.core.extent import Extent
+from repro.core.memory_model import (
+    backend_memory_bytes,
+    two_tier_backend_bytes,
+)
+from repro.engine.backends.host import BackendEngine
+from repro.fim.pairs import exact_pair_counts
+from repro.telemetry import NULL_REGISTRY
+
+from conftest import SCALE, print_header, print_row, scaled
+
+RESULTS_PATH = pathlib.Path("BENCH_backends.json")
+
+#: Per-tier table capacity for every backend (the sketches derive their
+#: dimensions from it; see AnalyzerConfig.chh_dimensions/cms_dimensions).
+CAPACITY = 4096
+CONFIG = AnalyzerConfig(item_capacity=CAPACITY, correlation_capacity=CAPACITY)
+#: Distinct pairs in the zipf pool: ~4x the correlation capacity, so no
+#: backend can simply hold everything.
+PAIR_POOL = 4 * CAPACITY
+#: Zipf skew: over half the stream mass lands on the top-100 pairs.
+ZIPF_EXPONENT = 1.4
+#: Floored so the hot pairs accumulate enough support to rank stably even
+#: at smoke scale.
+ZIPF_TRANSACTIONS = max(30_000, scaled(60_000))
+
+RECALL_K = 100
+MIN_SUPPORT = 5
+#: Sketch backends must fit in a quarter of the exact tables' bytes.
+MEMORY_FRACTION_CEILING = 0.25
+#: ... and still recover 80% of the true top-100 on the zipf stream.
+ZIPF_RECALL_FLOOR = 0.80
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+def _zipf_transactions(seed: int = 13):
+    """A stationary Zipf-ranked pair stream: each transaction touches one
+    pair from a fixed pool, drawn with probability proportional to
+    ``rank**-s``."""
+    rng = random.Random(seed)
+    pool = []
+    seen = set()
+    while len(pool) < PAIR_POOL:
+        a = rng.randrange(1, 50_000_000)
+        b = rng.randrange(1, 50_000_000)
+        if a == b or (a, b) in seen:
+            continue
+        seen.add((a, b))
+        pool.append([Extent(a, 8), Extent(b, 8)])
+    weights = [1.0 / (rank ** ZIPF_EXPONENT)
+               for rank in range(1, PAIR_POOL + 1)]
+    picks = rng.choices(range(PAIR_POOL), weights=weights,
+                        k=ZIPF_TRANSACTIONS)
+    return [pool[index] for index in picks]
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+def _measure_backend(name, transactions, truth):
+    """One Pareto point: ingest the stream through a hosted backend and
+    score it against the exact offline counts."""
+    config = replace(CONFIG, backend=name)
+    engine = BackendEngine(config, shards=1, registry=NULL_REGISTRY)
+    events = sum(len(extents) for extents in transactions)
+
+    start = time.perf_counter()
+    for extents in transactions:
+        engine.process(extents)
+    elapsed = time.perf_counter() - start
+
+    ranked = engine.top_pairs(RECALL_K)
+    detected = [pair for pair, _count in engine.frequent_pairs(MIN_SUPPORT)]
+    metrics = detection_metrics(truth, detected, MIN_SUPPORT)
+    memory = backend_memory_bytes(config)
+    return {
+        "events_per_second": round(events / elapsed, 1),
+        "memory_bytes": memory,
+        "memory_fraction_of_two_tier": round(
+            memory / two_tier_backend_bytes(config), 4),
+        "recall_at_100": round(top_k_recall(truth, ranked, RECALL_K), 4),
+        "weighted_recall": round(metrics.weighted_recall, 4),
+        "precision": round(metrics.precision, 4),
+    }
+
+
+def _sweep(transactions, truth):
+    return {
+        name: _measure_backend(name, transactions, truth)
+        for name in BACKEND_NAMES
+    }
+
+
+def _record(section, sweep, extra):
+    merged = {}
+    if RESULTS_PATH.exists():
+        merged = json.loads(RESULTS_PATH.read_text())
+    merged[section] = dict(extra, backends=sweep)
+    merged["capacity"] = CAPACITY
+    merged["scale"] = SCALE
+    RESULTS_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True))
+    print(f"wrote {RESULTS_PATH} ({section} section)")
+
+
+def _print_sweep(title, sweep):
+    print_header(title)
+    print_row("backend", "recall@100", "wght recall", "mem frac", "events/s")
+    for name in BACKEND_NAMES:
+        cell = sweep[name]
+        print_row(name, cell["recall_at_100"], cell["weighted_recall"],
+                  cell["memory_fraction_of_two_tier"],
+                  cell["events_per_second"])
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+
+def test_backend_pareto_zipf(benchmark):
+    transactions = _zipf_transactions()
+    truth = exact_pair_counts(transactions)
+
+    sweep = benchmark.pedantic(
+        lambda: _sweep(transactions, truth), rounds=1, iterations=1
+    )
+    _print_sweep("Backend Pareto: zipf pair stream", sweep)
+    _record("zipf", sweep, {
+        "transactions": len(transactions),
+        "pair_pool": PAIR_POOL,
+        "zipf_exponent": ZIPF_EXPONENT,
+    })
+
+    # The exact tables are the accuracy ceiling on a skewed stationary
+    # stream: everything hot stays resident.
+    assert sweep["two-tier"]["recall_at_100"] >= 0.95
+
+    for name in ("chh", "cms"):
+        cell = sweep[name]
+        assert cell["memory_fraction_of_two_tier"] <= \
+            MEMORY_FRACTION_CEILING, (
+                f"{name} exceeds the sketch memory budget: {cell}")
+        assert cell["recall_at_100"] >= ZIPF_RECALL_FLOOR, (
+            f"{name} top-100 recall below floor on zipf: {cell}")
+
+
+def test_backend_pareto_msr(benchmark, enterprise_pipelines,
+                            enterprise_ground_truth):
+    transactions = enterprise_pipelines["hm"].offline_transactions()
+    truth = enterprise_ground_truth["hm"]
+
+    sweep = benchmark.pedantic(
+        lambda: _sweep(transactions, truth), rounds=1, iterations=1
+    )
+    _print_sweep("Backend Pareto: MSR-like hm trace", sweep)
+    _record("msr_hm", sweep, {"transactions": len(transactions)})
+
+    # No recall floor for the sketches here -- enterprise churn is the
+    # regime where exact recency-aware tables earn their 4x memory -- but
+    # the ordering itself is the claim: the reference backend must not be
+    # beaten by its sublinear approximations, and the sketches must still
+    # capture a nontrivial share of the frequent mass.
+    two_tier = sweep["two-tier"]
+    for name in ("chh", "cms"):
+        cell = sweep[name]
+        assert cell["memory_fraction_of_two_tier"] <= MEMORY_FRACTION_CEILING
+        assert cell["weighted_recall"] <= two_tier["weighted_recall"] + 0.05
+        assert cell["weighted_recall"] >= 0.10, (
+            f"{name} captures almost nothing on the enterprise trace: "
+            f"{cell}")

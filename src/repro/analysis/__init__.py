@@ -1,6 +1,6 @@
 """Evaluation metrics and figure-level analyses."""
 
-from .accuracy import DetectionMetrics, detection_metrics
+from .accuracy import DetectionMetrics, detection_metrics, top_k_recall
 from .activity import ActivitySeries, pair_activity, steady_pairs
 from .cdf import CorrelationCdf, correlation_cdf
 from .compare import AgreementReport, rank_agreement
@@ -73,6 +73,7 @@ __all__ = [
     "concept_affinity",
     "correlation_cdf",
     "detection_metrics",
+    "top_k_recall",
     "optimal_curve",
     "pair_rectangles",
     "power_of_two_sizes",

@@ -17,7 +17,7 @@ everything would trivially maximise recall.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Mapping, Set
+from typing import Hashable, Iterable, Mapping, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -81,3 +81,38 @@ def detection_metrics(
         false_negatives=false_negatives,
         weighted_recall=weighted_recall,
     )
+
+
+def top_k_recall(
+    true_counts: Mapping[Hashable, int],
+    ranked_detections: Sequence[Tuple[Hashable, int]],
+    k: int = 100,
+) -> float:
+    """Recall@k: overlap between the true and detected top-``k`` sets.
+
+    The ranked-retrieval complement to :func:`detection_metrics`:
+    instead of thresholding at a support level, it asks whether the
+    synopsis *ranks* the strongest correlations where an exact offline
+    count would.  The metric is tie-aware: with integer counts the
+    ``k``-th place is usually shared by a whole tie class, and any member
+    of it is an equally correct answer, so a detected pair scores a hit
+    when its *true* count reaches the ``k``-th highest true count --
+    not when it lands in one arbitrary tie-broken enumeration of the
+    top-``k``.  ``ranked_detections`` is the backend's best-first
+    ``(pair, score)`` list, of which the first ``k`` keys count.
+    Returns hits divided by the truth set's size (``k``, or fewer when
+    truth itself has fewer pairs); 1.0 when there is no truth to find.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    truth_ranked = sorted(
+        true_counts.items(), key=lambda entry: (-entry[1], repr(entry[0]))
+    )[:k]
+    if not truth_ranked:
+        return 1.0
+    threshold = truth_ranked[-1][1]
+    detected = {pair for pair, _score in ranked_detections[:k]}
+    hits = sum(
+        1 for pair in detected if true_counts.get(pair, 0) >= threshold
+    )
+    return hits / len(truth_ranked)

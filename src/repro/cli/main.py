@@ -25,7 +25,7 @@ from typing import List, Optional
 
 from ..analysis.cdf import correlation_cdf
 from ..analysis.report import build_report, render_report
-from ..core.config import AnalyzerConfig
+from ..core.config import BACKEND_NAMES, AnalyzerConfig
 from ..fim.apriori import apriori
 from ..fim.eclat import eclat
 from ..fim.fpgrowth import fpgrowth
@@ -225,6 +225,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
             item_capacity=args.capacity,
             correlation_capacity=args.capacity,
             promote_threshold=args.promote_threshold,
+            backend=args.backend,
         )
     result = run_pipeline(
         records,
@@ -376,6 +377,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     config = AnalyzerConfig(
         item_capacity=args.capacity,
         correlation_capacity=args.capacity,
+        backend=args.backend,
     )
 
     def service_factory():
@@ -383,6 +385,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             config=AnalyzerConfig(
                 item_capacity=args.capacity,
                 correlation_capacity=args.capacity,
+                backend=args.backend,
             ),
             min_support=args.support,
             shards=args.shards,
@@ -582,6 +585,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="static window seconds "
                                    "(default: dynamic 2x latency)")
     characterize.add_argument("--max-transaction", type=int, default=8)
+    characterize.add_argument("--backend", choices=list(BACKEND_NAMES),
+                              default="two-tier",
+                              help="synopsis backend: the paper's two-tier "
+                                   "LRU tables (exact, largest), chh "
+                                   "(correlated heavy hitters), or cms "
+                                   "(count-min pair sketch)")
     characterize.add_argument("--shards", type=int, default=1,
                               help="hash-partition the synopsis across N "
                                    "shard table pairs at capacity/N each "
@@ -672,6 +681,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--capacity", type=int, default=16 * 1024)
     serve.add_argument("--support", type=int, default=5)
     serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument("--backend", choices=list(BACKEND_NAMES),
+                       default="two-tier",
+                       help="synopsis backend (see characterize --backend)")
     serve.add_argument("--shard-processes", action="store_true",
                        help="back each tenant's shards with one worker "
                             "process per shard (GIL-free ingest)")

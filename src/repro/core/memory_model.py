@@ -16,6 +16,10 @@ interpreter overhead on top.  The model is used by the overhead benchmark
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .config import AnalyzerConfig
 
 #: Bytes for one extent: 64-bit block ID + 32-bit length.
 EXTENT_BYTES = 12
@@ -25,6 +29,10 @@ COUNTER_BYTES = 4
 ITEM_ENTRY_BYTES = EXTENT_BYTES + COUNTER_BYTES
 #: One correlation-table entry: two extents + counter.
 PAIR_ENTRY_BYTES = 2 * EXTENT_BYTES + COUNTER_BYTES
+#: One Space-Saving counter: key extent + count + maximum-overcount error.
+SKETCH_ENTRY_BYTES = EXTENT_BYTES + 2 * COUNTER_BYTES
+#: One heavy-pair candidate: two extents + estimate.
+PAIR_CANDIDATE_BYTES = 2 * EXTENT_BYTES + COUNTER_BYTES
 
 
 @dataclass(frozen=True)
@@ -55,6 +63,56 @@ class SynopsisMemoryModel:
     @property
     def total_megabytes(self) -> float:
         return self.total_bytes / (1024 * 1024)
+
+
+# ---------------------------------------------------------------------------
+# Per-backend estimates (the Pareto benchmark's memory axis)
+# ---------------------------------------------------------------------------
+
+def two_tier_backend_bytes(config: "AnalyzerConfig") -> int:
+    """Native bytes of the paper's tables at the config's capacities.
+
+    Generalises :class:`SynopsisMemoryModel` (which assumes one shared
+    ``C``) to configs with distinct item and correlation capacities.
+    """
+    return (2 * config.item_capacity * ITEM_ENTRY_BYTES
+            + 2 * config.correlation_capacity * PAIR_ENTRY_BYTES)
+
+
+def chh_backend_bytes(items: int, partners: int) -> int:
+    """Native bytes of the nested Misra-Gries CHH summary.
+
+    ``items`` outer counters, one inner summary of ``partners`` counters
+    per tracked item, plus an item-frequency summary of the same outer
+    size (the ``frequent_extents`` answer), all at Space-Saving entry
+    cost.
+    """
+    outer = items * SKETCH_ENTRY_BYTES
+    inner = items * partners * SKETCH_ENTRY_BYTES
+    item_summary = items * SKETCH_ENTRY_BYTES
+    return outer + inner + item_summary
+
+
+def cms_backend_bytes(width: int, depth: int, candidates: int) -> int:
+    """Native bytes of the count-min pair backend: the ``depth x width``
+    counter array, the heavy-pair candidate heap, and an item-frequency
+    summary sized like the candidate heap."""
+    counters = width * depth * COUNTER_BYTES
+    heap = candidates * PAIR_CANDIDATE_BYTES
+    item_summary = candidates * SKETCH_ENTRY_BYTES
+    return counters + heap + item_summary
+
+
+def backend_memory_bytes(config: "AnalyzerConfig") -> int:
+    """Native-representation bytes for the config's selected backend."""
+    backend = getattr(config, "backend", "two-tier")
+    if backend == "two-tier":
+        return two_tier_backend_bytes(config)
+    if backend == "chh":
+        return chh_backend_bytes(*config.chh_dimensions())
+    if backend == "cms":
+        return cms_backend_bytes(*config.cms_dimensions())
+    raise ValueError(f"unknown backend {backend!r}")
 
 
 def capacity_for_budget(budget_bytes: int) -> int:

@@ -1,18 +1,34 @@
-"""The synopsis engine layer: single or hash-partitioned table backends.
+"""The synopsis engine layer: single or hash-partitioned backends.
 
 ``SynopsisEngine`` is the contract the monitor/service/pipeline layers
 program against; ``SingleAnalyzerEngine`` wraps the classic one-analyzer
-hot path unchanged, and ``ShardedAnalyzer`` hash-partitions the item and
-correlation tables across N independent shard synopses, merging on query.
-Checkpoint format v3 (per-shard CRC envelopes) lives in
-:mod:`repro.engine.checkpoint`.
+hot path unchanged, ``ShardedAnalyzer`` hash-partitions the item and
+correlation tables across N independent shard synopses (merging on
+query), and ``BackendEngine`` hosts any pluggable synopsis backend
+(:mod:`repro.engine.backends`: two-tier tables, Correlated Heavy
+Hitters, count-min pair sketches) behind the same interface.
+Checkpoint formats v3 (per-shard CRC envelopes) and v4 (backend-tagged
+shard payloads) live in :mod:`repro.engine.checkpoint`.
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    BackendBase,
+    CHHBackend,
+    CountMinPairBackend,
+    SynopsisBackend,
+    TwoTierBackend,
+    create_backend,
+    deserialize_backend,
+)
+from .backends.host import BackendEngine
 from .base import SingleAnalyzerEngine, SynopsisEngine
 from .checkpoint import (
     LoadedEngine,
+    dump_backend_engine,
     dump_engine,
     dump_sharded,
+    load_backend_engine,
     load_engine,
     load_engine_checkpoint,
     load_sharded,
@@ -22,14 +38,25 @@ from .procshard import ProcessShardedAnalyzer, ShardWorkerError, route_batch
 from .sharded import ShardedAnalyzer, shard_config
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BackendBase",
+    "BackendEngine",
+    "CHHBackend",
+    "CountMinPairBackend",
     "LoadedEngine",
     "ProcessShardedAnalyzer",
     "ShardWorkerError",
     "ShardedAnalyzer",
     "SingleAnalyzerEngine",
+    "SynopsisBackend",
     "SynopsisEngine",
+    "TwoTierBackend",
+    "create_backend",
+    "deserialize_backend",
+    "dump_backend_engine",
     "dump_engine",
     "dump_sharded",
+    "load_backend_engine",
     "load_engine",
     "load_engine_checkpoint",
     "load_sharded",

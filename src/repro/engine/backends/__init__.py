@@ -1,0 +1,76 @@
+"""Pluggable synopsis backends.
+
+The registry maps the :class:`~repro.core.config.AnalyzerConfig`
+``backend`` name to an implementation of the
+:class:`~.base.SynopsisBackend` contract:
+
+* ``two-tier`` -- the paper's LRU item/correlation tables (reference
+  accuracy, ``88 C`` bytes);
+* ``chh`` -- nested Misra-Gries Correlated Heavy Hitters (Lahiri et
+  al.), lazy-heap fast variant;
+* ``cms`` -- count-min pair sketch with a heavy-pair candidate set
+  (Cormode/Muthukrishnan counters, Cormode/Dark-style recovery).
+
+Hosting engines (:class:`~.host.BackendEngine` in-process,
+:class:`~repro.engine.procshard.ProcessShardedAnalyzer` across worker
+processes) construct shards through :func:`create_backend` and restore
+checkpoints through :func:`deserialize_backend`; neither hard-codes a
+concrete class.  ``host`` is imported lazily by
+:mod:`repro.engine` to keep this module importable from inside
+the factory functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ...core.config import BACKEND_NAMES, AnalyzerConfig
+from .base import BackendBase, SynopsisBackend
+from .chh import CHHBackend
+from .cms import CountMinPairBackend
+from .twotier import TwoTierBackend
+
+_BACKENDS: Dict[str, Type[BackendBase]] = {
+    TwoTierBackend.name: TwoTierBackend,
+    CHHBackend.name: CHHBackend,
+    CountMinPairBackend.name: CountMinPairBackend,
+}
+
+assert set(_BACKENDS) == set(BACKEND_NAMES)
+
+
+def backend_class(name: str) -> Type[BackendBase]:
+    """The backend class registered under ``name``."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown synopsis backend {name!r}; "
+            f"expected one of {sorted(_BACKENDS)}"
+        ) from None
+
+
+def create_backend(name: str,
+                   config: Optional[AnalyzerConfig] = None) -> BackendBase:
+    """Instantiate a fresh backend of the named kind."""
+    return backend_class(name)(config)
+
+
+def deserialize_backend(name: str, payload: bytes,
+                        config: Optional[AnalyzerConfig] = None
+                        ) -> BackendBase:
+    """Restore a backend of the named kind from its serialized state."""
+    return backend_class(name).deserialize(payload, config)
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendBase",
+    "CHHBackend",
+    "CountMinPairBackend",
+    "SynopsisBackend",
+    "TwoTierBackend",
+    "backend_class",
+    "create_backend",
+    "deserialize_backend",
+]

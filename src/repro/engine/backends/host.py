@@ -1,0 +1,377 @@
+"""In-process host engine for sharded synopsis backends.
+
+:class:`BackendEngine` is the backend-generic analogue of
+:class:`~repro.engine.sharded.ShardedAnalyzer`: it hosts 1..N backend
+instances, routes item rows by ``hash(extent) % N`` and pair rows by
+``hash(pair) % N`` (the same partitioning scheme, so shard result sets
+stay disjoint and cross-shard merge is a ranked union), forwards
+two-tier eviction demotions across shards, and answers the full
+``SynopsisEngine`` query surface the service/pipeline layers consume --
+including the typed-kind stubs, so a sketch-backed service keeps its
+``snapshot()`` shape.
+
+Like the table engines, batched ingest can run thread-per-shard
+(``parallel=True``): the batch is pre-routed, shards share no state
+during the batch, and cross-shard demotions are deferred to the join.
+The process-backed equivalent is
+:class:`~repro.engine.procshard.ProcessShardedAnalyzer`, which hosts one
+backend instance per worker process when the config selects a sketch
+backend.
+
+Telemetry: the engine publishes the standard engine flow counters plus
+per-backend gauges (``repro_backend_memory_bytes`` and tracked-entry
+occupancy) labelled with the backend name.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...core.analyzer import AnalyzerReport
+from ...core.config import AnalyzerConfig
+from ...core.extent import Extent, ExtentInterner, ExtentPair, unique_pairs
+from ...core.typed import CorrelationKind, TypeTally
+from ...telemetry.metrics import MetricsRegistry, get_default_registry
+from ..sharded import _merged_stats, shard_config
+from . import create_backend
+from .base import BackendBase
+
+
+class BackendEngine:
+    """1..N synopsis backend shards behind the engine interface."""
+
+    def __init__(
+        self,
+        config: Optional[AnalyzerConfig] = None,
+        shards: int = 1,
+        registry: Optional[MetricsRegistry] = None,
+        backends: Optional[Sequence[BackendBase]] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.config = config or AnalyzerConfig()
+        self.backend_name = self.config.backend
+        if backends is not None:
+            if len(backends) != shards:
+                raise ValueError(
+                    f"got {len(backends)} backends for {shards} shards"
+                )
+            self._backends: List[BackendBase] = list(backends)
+        else:
+            per_shard = shard_config(self.config, shards)
+            self._backends = [
+                create_backend(self.backend_name, per_shard)
+                for _ in range(shards)
+            ]
+        self.shards = shards
+        self._transactions = 0
+        self._extents_seen = 0
+        self._pairs_seen = 0
+        self._interner = ExtentInterner()
+        self._bind_metrics(
+            registry if registry is not None else get_default_registry()
+        )
+
+    @classmethod
+    def from_backends(
+        cls,
+        backends: Sequence[BackendBase],
+        config: Optional[AnalyzerConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "BackendEngine":
+        """Rebuild an engine around restored per-shard backends (the
+        checkpoint v4 restore path)."""
+        if not backends:
+            raise ValueError("need at least one backend shard")
+        if config is None:
+            config = backends[0].config
+        return cls(config, shards=len(backends), registry=registry,
+                   backends=backends)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _bind_metrics(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        if not registry.enabled:
+            return
+        self._shards_gauge = registry.gauge(
+            "repro_engine_shards", "Shard count of the synopsis engine"
+        )
+        self._memory_gauge = registry.gauge(
+            "repro_backend_memory_bytes",
+            "Modelled native bytes of the synopsis backend",
+            labelnames=("backend",),
+        )
+        self._occupancy_gauge = registry.gauge(
+            "repro_backend_tracked_entries",
+            "Entries tracked by the backend right now",
+            labelnames=("backend", "table"),
+        )
+        self._flow_counters = {
+            name: registry.counter(f"repro_engine_{name}_total", help)
+            for name, help in {
+                "transactions": "Transactions characterized by the engine",
+                "extents": "Distinct extents routed to shards",
+                "pairs": "Extent pairs routed to shards",
+            }.items()
+        }
+        registry.register_collector(self._collect_metrics)
+
+    def rebind_metrics(self, registry: MetricsRegistry) -> None:
+        """Re-home the engine's telemetry (restore path); no-op when
+        already bound to ``registry``."""
+        if registry is self.registry:
+            return
+        self._bind_metrics(registry)
+
+    def _collect_metrics(self) -> None:
+        self._shards_gauge.set(self.shards)
+        self._memory_gauge.labels(backend=self.backend_name).set(
+            self.memory_bytes()
+        )
+        items, pairs = 0, 0
+        for backend in self._backends:
+            shard_items, shard_pairs = backend.occupancy()
+            items += shard_items
+            pairs += shard_pairs
+        self._occupancy_gauge.labels(
+            backend=self.backend_name, table="items").set(items)
+        self._occupancy_gauge.labels(
+            backend=self.backend_name, table="pairs").set(pairs)
+        self._flow_counters["transactions"].set_total(self._transactions)
+        self._flow_counters["extents"].set_total(self._extents_seen)
+        self._flow_counters["pairs"].set_total(self._pairs_seen)
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def shard_backends(self) -> List[BackendBase]:
+        """The per-shard backends (checkpoint format v4 iterates these)."""
+        return list(self._backends)
+
+    def shard_of_extent(self, extent: Extent) -> int:
+        return hash(extent) % self.shards
+
+    def shard_of_pair(self, pair: ExtentPair) -> int:
+        return hash(pair) % self.shards
+
+    # -- ingestion -----------------------------------------------------------
+
+    def process(self, extents: Sequence[Extent]) -> None:
+        """Characterize one transaction given as bare extents."""
+        backends = self._backends
+        n = self.shards
+        distinct = sorted(set(extents))
+        self._transactions += 1
+        self._extents_seen += len(distinct)
+        for extent in distinct:
+            evicted = backends[hash(extent) % n].update_item(extent)
+            if evicted is not None:
+                for index in range(n):
+                    if index != hash(extent) % n:
+                        backends[index].demote_item(evicted)
+        pairs = unique_pairs(distinct)
+        self._pairs_seen += len(pairs)
+        for pair in pairs:
+            backends[hash(pair) % n].update_pair(pair)
+
+    def process_transaction(self, transaction) -> None:
+        events = getattr(transaction, "events", None)
+        if events is not None:
+            self.process([event.extent for event in events])
+        else:
+            self.process(transaction)
+
+    def process_batch(self, transactions, *, parallel: bool = False) -> int:
+        count = 0
+        for transaction in transactions:
+            self.process_transaction(transaction)
+            count += 1
+        return count
+
+    def process_transaction_batch(self, batch, *,
+                                  parallel: bool = False) -> int:
+        """Characterize a columnar batch; ``parallel=True`` pre-routes and
+        runs thread-per-shard with demotions deferred to the join."""
+        if parallel and self.shards > 1:
+            return self._process_transaction_batch_parallel(batch)
+        starts = batch.starts.tolist()
+        lengths = batch.lengths.tolist()
+        offsets = batch.offsets.tolist()
+        backends = self._backends
+        n = self.shards
+        intern_extent = self._interner.extent
+        intern_pair = self._interner.pair
+        count = len(offsets) - 1
+        extents_seen = 0
+        pairs_seen = 0
+        for t in range(count):
+            lo = offsets[t]
+            hi = offsets[t + 1]
+            extents = [intern_extent(starts[k], lengths[k])
+                       for k in range(lo, hi)]
+            m = hi - lo
+            extents_seen += m
+            for extent in extents:
+                owner = hash(extent) % n
+                evicted = backends[owner].update_item(extent)
+                if evicted is not None:
+                    for index in range(n):
+                        if index != owner:
+                            backends[index].demote_item(evicted)
+            if m > 1:
+                pairs_seen += m * (m - 1) // 2
+                for i in range(m - 1):
+                    a = extents[i]
+                    for j in range(i + 1, m):
+                        pair = intern_pair(a, extents[j])
+                        backends[hash(pair) % n].update_pair(pair)
+        self._transactions += count
+        self._extents_seen += extents_seen
+        self._pairs_seen += pairs_seen
+        return count
+
+    def _process_transaction_batch_parallel(self, batch) -> int:
+        starts = batch.starts.tolist()
+        lengths = batch.lengths.tolist()
+        offsets = batch.offsets.tolist()
+        n = self.shards
+        intern_extent = self._interner.extent
+        intern_pair = self._interner.pair
+        item_work: List[List[Extent]] = [[] for _ in range(n)]
+        pair_work: List[List[ExtentPair]] = [[] for _ in range(n)]
+        count = len(offsets) - 1
+        extents_seen = 0
+        pairs_seen = 0
+        for t in range(count):
+            lo = offsets[t]
+            hi = offsets[t + 1]
+            extents = [intern_extent(starts[k], lengths[k])
+                       for k in range(lo, hi)]
+            m = hi - lo
+            extents_seen += m
+            for extent in extents:
+                item_work[hash(extent) % n].append(extent)
+            if m > 1:
+                pairs_seen += m * (m - 1) // 2
+                for i in range(m - 1):
+                    a = extents[i]
+                    for j in range(i + 1, m):
+                        pair = intern_pair(a, extents[j])
+                        pair_work[hash(pair) % n].append(pair)
+        backends = self._backends
+
+        def shard_task(index: int) -> List[Extent]:
+            backend = backends[index]
+            evicted_out: List[Extent] = []
+            for extent in item_work[index]:
+                evicted = backend.update_item(extent)
+                if evicted is not None:
+                    evicted_out.append(evicted)
+            for pair in pair_work[index]:
+                backend.update_pair(pair)
+            return evicted_out
+
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            evicted_by_shard = list(pool.map(shard_task, range(n)))
+        for origin, evicted in enumerate(evicted_by_shard):
+            for key in evicted:
+                for index in range(n):
+                    if index != origin:
+                        backends[index].demote_item(key)
+        self._transactions += count
+        self._extents_seen += extents_seen
+        self._pairs_seen += pairs_seen
+        return count
+
+    # -- merged queries ------------------------------------------------------
+
+    def frequent_pairs(self, min_support: int = 2
+                       ) -> List[Tuple[ExtentPair, int]]:
+        merged: List[Tuple[ExtentPair, int]] = []
+        for backend in self._backends:
+            merged.extend(backend.frequent_pairs(min_support))
+        merged.sort(key=lambda entry: (-entry[1], entry[0]))
+        return merged
+
+    def top_pairs(self, k: int = 100, min_support: int = 1
+                  ) -> List[Tuple[ExtentPair, int]]:
+        merged: List[Tuple[ExtentPair, int]] = []
+        for backend in self._backends:
+            merged.extend(backend.top_pairs(k, min_support))
+        merged.sort(key=lambda entry: (-entry[1], entry[0]))
+        return merged[:k]
+
+    def correlated_with(self, extent: Extent, k: int = 16
+                        ) -> List[Tuple[Extent, int]]:
+        best: Dict[Extent, int] = {}
+        for backend in self._backends:
+            for partner, count in backend.correlated_with(extent, k):
+                if count > best.get(partner, 0):
+                    best[partner] = count
+        ranked = sorted(best.items(),
+                        key=lambda entry: (-entry[1], entry[0]))
+        return ranked[:k]
+
+    def frequent_extents(self, min_support: int = 2
+                         ) -> List[Tuple[Extent, int]]:
+        merged: List[Tuple[Extent, int]] = []
+        for backend in self._backends:
+            merged.extend(backend.frequent_extents(min_support))
+        merged.sort(key=lambda entry: (-entry[1], entry[0]))
+        return merged
+
+    def pair_frequencies(self) -> Dict[ExtentPair, int]:
+        merged: Dict[ExtentPair, int] = {}
+        for backend in self._backends:
+            merged.update(backend.pair_frequencies())
+        return merged
+
+    def frequent_pairs_of_kind(self, kind: CorrelationKind,
+                               min_support: int = 2, purity: float = 0.5
+                               ) -> List[Tuple[ExtentPair, int]]:
+        merged: List[Tuple[ExtentPair, int]] = []
+        for backend in self._backends:
+            merged.extend(
+                backend.frequent_pairs_of_kind(kind, min_support, purity)
+            )
+        merged.sort(key=lambda entry: (-entry[1], entry[0]))
+        return merged
+
+    def kind_summary(self) -> Dict[CorrelationKind, int]:
+        summary = {kind: 0 for kind in CorrelationKind}
+        for backend in self._backends:
+            for kind, value in backend.kind_summary().items():
+                summary[kind] += value
+        return summary
+
+    def type_tally(self, pair: ExtentPair) -> Optional[TypeTally]:
+        return self._backends[hash(pair) % self.shards].type_tally(pair)
+
+    # -- reporting and lifecycle ---------------------------------------------
+
+    def memory_bytes(self) -> int:
+        return sum(backend.memory_bytes() for backend in self._backends)
+
+    def shard_occupancy(self) -> List[Tuple[int, int]]:
+        return [backend.occupancy() for backend in self._backends]
+
+    def report(self) -> AnalyzerReport:
+        reports = [backend.report() for backend in self._backends]
+        return AnalyzerReport(
+            transactions=self._transactions,
+            extents_seen=self._extents_seen,
+            pairs_seen=self._pairs_seen,
+            item_stats=_merged_stats(r.item_stats for r in reports),
+            correlation_stats=_merged_stats(
+                r.correlation_stats for r in reports
+            ),
+        )
+
+    def reset(self) -> None:
+        for backend in self._backends:
+            backend.reset()
+        self._transactions = 0
+        self._extents_seen = 0
+        self._pairs_seen = 0

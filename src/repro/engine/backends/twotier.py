@@ -1,0 +1,156 @@
+"""The paper's two-tier tables wrapped as the reference backend.
+
+This is the exact synopsis of Sections III-D/IV-C -- a
+:class:`~repro.core.typed.TypedOnlineAnalyzer` with its item and
+correlation LRU table pairs and the eviction-demotion coupling --
+presented through the :class:`~.base.SynopsisBackend` surface so the
+hosting layers and the Pareto benchmark can run it interchangeably with
+the sketch backends.  It is the accuracy ceiling of the trio (explicit
+pairs, recency-aware) and the memory floor nothing sublinear can match:
+``88 C`` bytes at capacity ``C`` versus the sketches' fractions of that.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ...core.analyzer import AnalyzerReport
+from ...core.config import AnalyzerConfig
+from ...core.extent import Extent, ExtentPair
+from ...core.memory_model import two_tier_backend_bytes
+from ...core.serialize import dumps_analyzer, loads_analyzer
+from ...core.typed import CorrelationKind, TypedOnlineAnalyzer, TypeTally
+from .base import BackendBase
+
+_U32 = struct.Struct("<I")
+
+
+class TwoTierBackend(BackendBase):
+    """Reference backend: the two-tier LRU item/correlation tables."""
+
+    name = "two-tier"
+
+    def __init__(self, config: Optional[AnalyzerConfig] = None,
+                 analyzer: Optional[TypedOnlineAnalyzer] = None) -> None:
+        super().__init__(config)
+        if analyzer is not None:
+            self.analyzer = analyzer
+        else:
+            from ...telemetry import NULL_REGISTRY
+            self.analyzer = TypedOnlineAnalyzer(
+                self.config, registry=NULL_REGISTRY
+            )
+
+    # -- primitive updates -------------------------------------------------
+
+    def update_item(self, extent: Extent) -> Optional[Extent]:
+        evicted = self.analyzer.items.access_fast(extent)
+        if evicted is not None and self.config.demote_on_item_eviction:
+            self.analyzer.correlations.demote_involving(evicted)
+            return evicted
+        return None
+
+    def update_pair(self, pair: ExtentPair) -> None:
+        evicted_pair = self.analyzer.correlations.access_fast(pair)
+        if evicted_pair is not None:
+            self.analyzer._types.pop(evicted_pair, None)
+
+    def demote_item(self, extent: Extent) -> None:
+        self.analyzer.correlations.demote_involving(extent)
+
+    # -- standalone ingest (exact analyzer semantics, typed sidecar) -------
+
+    def process(self, extents) -> None:
+        self.analyzer.process(extents)
+
+    def process_transaction(self, transaction) -> None:
+        events = getattr(transaction, "events", None)
+        if events is not None:
+            self.analyzer.process_transaction(transaction)
+        else:
+            self.analyzer.process(transaction)
+
+    def process_transaction_batch(self, batch, *,
+                                  parallel: bool = False) -> int:
+        return self.analyzer.process_transaction_batch(batch)
+
+    # -- queries -----------------------------------------------------------
+
+    def frequent_pairs(self, min_support: int = 2
+                       ) -> List[Tuple[ExtentPair, int]]:
+        return self.analyzer.frequent_pairs(min_support)
+
+    def frequent_extents(self, min_support: int = 2
+                         ) -> List[Tuple[Extent, int]]:
+        return self.analyzer.frequent_extents(min_support)
+
+    def pair_frequencies(self) -> Dict[ExtentPair, int]:
+        return self.analyzer.pair_frequencies()
+
+    def frequent_pairs_of_kind(self, kind: CorrelationKind,
+                               min_support: int = 2, purity: float = 0.5
+                               ) -> List[Tuple[ExtentPair, int]]:
+        return self.analyzer.frequent_pairs_of_kind(
+            kind, min_support, purity
+        )
+
+    def kind_summary(self) -> Dict[CorrelationKind, int]:
+        return self.analyzer.kind_summary()
+
+    def type_tally(self, pair: ExtentPair) -> Optional[TypeTally]:
+        return self.analyzer.type_tally(pair)
+
+    # -- accounting and lifecycle ------------------------------------------
+
+    def memory_bytes(self) -> int:
+        return two_tier_backend_bytes(self.config)
+
+    def occupancy(self) -> Tuple[int, int]:
+        return len(self.analyzer.items), len(self.analyzer.correlations)
+
+    def report(self) -> AnalyzerReport:
+        return self.analyzer.report()
+
+    def merge(self, other: "TwoTierBackend") -> None:
+        raise NotImplementedError(
+            "two-tier tables have no well-defined LRU merge; "
+            "query-time union across shards is the supported composition"
+        )
+
+    def serialize(self) -> bytes:
+        """A v2 synopsis envelope framed with the side state it cannot
+        carry (typed sidecar, table stats, flow counters), mirroring the
+        procshard fetch wire form."""
+        from ..procshard import _side_state
+
+        blob = dumps_analyzer(self.analyzer)
+        side = json.dumps(
+            _side_state(self.analyzer), separators=(",", ":")
+        ).encode("utf-8")
+        return _U32.pack(len(blob)) + blob + side
+
+    @classmethod
+    def deserialize(cls, payload: bytes,
+                    config: Optional[AnalyzerConfig] = None
+                    ) -> "TwoTierBackend":
+        from ...telemetry import NULL_REGISTRY
+        from ..procshard import _restore_side_state
+
+        (blob_len,) = _U32.unpack_from(payload)
+        blob = payload[_U32.size:_U32.size + blob_len]
+        side = json.loads(
+            payload[_U32.size + blob_len:].decode("utf-8")
+        )
+        restored = loads_analyzer(blob)
+        typed = TypedOnlineAnalyzer(restored.config, registry=NULL_REGISTRY)
+        typed.adopt(restored)
+        _restore_side_state(typed, side)
+        # The engine-level config (with backend fields) wins over the one
+        # reconstructed from the v2 header, which only carries capacities.
+        return cls(config=config or restored.config, analyzer=typed)
+
+    def reset(self) -> None:
+        super().reset()
+        self.analyzer.reset()

@@ -1,4 +1,4 @@
-"""Checkpoint format v3: per-shard integrity envelopes.
+"""Checkpoint formats v3/v4: per-shard integrity envelopes.
 
 Format v2 (:mod:`repro.core.serialize`) protects one analyzer's synopsis
 with a single CRC -- one flipped bit rejects the whole checkpoint.  A
@@ -14,20 +14,37 @@ shard degrades, not destroys, the synopsis.  Damage to the v3 framing
 itself (magic, counts, lengths) still rejects the file, as the shard
 boundaries can no longer be trusted.
 
+Format v4 extends the same per-shard scheme to pluggable synopsis
+backends (:mod:`repro.engine.backends`).  Backend payloads are opaque to
+the framing, so each shard gets a uniform CRC envelope, and the header
+names the backend and carries the engine-level configuration (the v2
+header only knows table capacities)::
+
+    RTBKD\\x04 || u8 name_len || name || u32 cfg_len || cfg_json
+             || u32 shard_count || { u32 length || u32 crc32 || payload } * N
+
+Degraded restore works identically: a shard whose CRC fails is replaced
+with a *fresh* backend of the same kind at the same per-shard
+configuration.
+
 :func:`dump_engine` / :func:`load_engine` dispatch between v1/v2 single-
-analyzer checkpoints and v3 sharded ones by magic, so services need a
-single pair of calls regardless of engine shape.
+analyzer checkpoints, v3 sharded ones, and v4 backend engines by magic,
+so services need a single pair of calls regardless of engine shape.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import io
+import json
 import os
 import struct
+import zlib
 from pathlib import Path
 from typing import BinaryIO, List, NamedTuple, Union
 
 from ..core.analyzer import OnlineAnalyzer
+from ..core.config import AnalyzerConfig
 from ..core.serialize import (
     CheckpointCorruptError,
     _run_pre_rename_hook,
@@ -37,10 +54,12 @@ from ..core.serialize import (
     loads_analyzer,
 )
 from ..core.typed import TypedOnlineAnalyzer
-from .sharded import ShardedAnalyzer
+from .sharded import ShardedAnalyzer, shard_config
 
 _MAGIC_V3 = b"RTSHD\x03"
+_MAGIC_V4 = b"RTBKD\x04"
 _U32 = struct.Struct("<I")
+_U8 = struct.Struct("<B")
 
 #: Sanity bound on the shard count field; a corrupt count must not drive a
 #: multi-gigabyte allocation loop.
@@ -134,12 +153,172 @@ def load_sharded(stream: BinaryIO, strict: bool = True) -> LoadedEngine:
 
 
 # ---------------------------------------------------------------------------
+# Format v4: backend-tagged engines
+# ---------------------------------------------------------------------------
+
+def dump_backend_engine(engine, stream: BinaryIO) -> int:
+    """Write a backend-hosting engine as a v4 checkpoint.
+
+    Accepts anything exposing ``backend_name``, ``config`` and
+    ``shard_backends`` -- the in-process
+    :class:`~repro.engine.backends.host.BackendEngine` and the
+    process-backed :class:`~repro.engine.procshard.ProcessShardedAnalyzer`
+    in backend mode (whose ``shard_backends`` materializes the workers'
+    state for the duration of the dump).
+    """
+    name = engine.backend_name.encode("utf-8")
+    if not 1 <= len(name) <= 255:
+        raise ValueError(f"implausible backend name: {engine.backend_name!r}")
+    header = dict(dataclasses.asdict(engine.config))
+    # Engine-level flow counters ride in the header (the per-shard
+    # payloads only know their own slice of the stream).
+    header["__counters__"] = [
+        getattr(engine, "_transactions", 0),
+        getattr(engine, "_extents_seen", 0),
+        getattr(engine, "_pairs_seen", 0),
+    ]
+    cfg_json = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    written = stream.write(_MAGIC_V4)
+    written += stream.write(_U8.pack(len(name)))
+    written += stream.write(name)
+    written += stream.write(_U32.pack(len(cfg_json)))
+    written += stream.write(cfg_json)
+    backends = engine.shard_backends
+    written += stream.write(_U32.pack(len(backends)))
+    for backend in backends:
+        payload = backend.serialize()
+        written += stream.write(_U32.pack(len(payload)))
+        written += stream.write(_U32.pack(zlib.crc32(payload) & 0xFFFFFFFF))
+        written += stream.write(payload)
+    return written
+
+
+def _load_config_json(raw: bytes):
+    """Parse the v4 header JSON into ``(AnalyzerConfig, flow_counters)``."""
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(f"bad engine config JSON: {exc}")
+    if not isinstance(data, dict):
+        raise CheckpointCorruptError("engine config JSON is not an object")
+    counters = data.get("__counters__", [0, 0, 0])
+    if (not isinstance(counters, list) or len(counters) != 3
+            or not all(isinstance(value, int) and value >= 0
+                       for value in counters)):
+        raise CheckpointCorruptError("bad engine flow counters")
+    known = {field.name for field in dataclasses.fields(AnalyzerConfig)}
+    try:
+        config = AnalyzerConfig(
+            **{key: value for key, value in data.items() if key in known}
+        )
+    except (TypeError, ValueError) as exc:
+        raise CheckpointCorruptError(f"bad engine config: {exc}")
+    return config, counters
+
+
+def load_backend_engine(stream: BinaryIO, strict: bool = True) -> LoadedEngine:
+    """Restore a v4 checkpoint written by :func:`dump_backend_engine`.
+
+    Returns a :class:`~repro.engine.backends.host.BackendEngine`.  Under
+    ``strict=False`` a shard whose payload fails its CRC (or whose codec
+    rejects it) is replaced with a fresh backend of the same kind at the
+    same per-shard configuration; framing corruption still raises.
+    """
+    from .backends import create_backend, deserialize_backend
+
+    magic = _read_exact(stream, len(_MAGIC_V4), "backend checkpoint magic")
+    if magic != _MAGIC_V4:
+        raise CheckpointCorruptError(f"bad backend synopsis magic: {magic!r}")
+    (name_len,) = _U8.unpack(_read_exact(stream, 1, "backend name length"))
+    if name_len == 0:
+        raise CheckpointCorruptError("empty backend name")
+    try:
+        name = _read_exact(stream, name_len, "backend name").decode("utf-8")
+    except UnicodeDecodeError:
+        raise CheckpointCorruptError("undecodable backend name")
+    (cfg_len,) = _U32.unpack(_read_exact(stream, _U32.size, "config length"))
+    config, counters = _load_config_json(
+        _read_exact(stream, cfg_len, "engine config")
+    )
+    if config.backend != name:
+        raise CheckpointCorruptError(
+            f"backend name mismatch: header says {name!r}, "
+            f"config says {config.backend!r}"
+        )
+    (count,) = _U32.unpack(_read_exact(stream, _U32.size, "shard count"))
+    if not 1 <= count <= MAX_SHARDS:
+        raise CheckpointCorruptError(f"implausible shard count: {count}")
+
+    framed: List[tuple] = []
+    for index in range(count):
+        (length,) = _U32.unpack(
+            _read_exact(stream, _U32.size, f"shard {index} length")
+        )
+        (crc,) = _U32.unpack(
+            _read_exact(stream, _U32.size, f"shard {index} crc")
+        )
+        framed.append(
+            (crc, _read_exact(stream, length, f"shard {index} payload"))
+        )
+
+    per_shard = shard_config(config, count)
+    backends: List[object] = []
+    corrupt: List[int] = []
+    for index, (crc, payload) in enumerate(framed):
+        try:
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                raise CheckpointCorruptError(
+                    f"shard {index} payload CRC mismatch"
+                )
+            backends.append(deserialize_backend(name, payload, per_shard))
+        except CheckpointCorruptError:
+            if strict:
+                raise
+            corrupt.append(index)
+            backends.append(None)
+        except (ValueError, KeyError, TypeError, struct.error) as exc:
+            # The payload passed its CRC but the backend codec rejected
+            # it -- same corruption class, same degraded-restore policy.
+            if strict:
+                raise CheckpointCorruptError(
+                    f"shard {index} payload undecodable: {exc}"
+                )
+            corrupt.append(index)
+            backends.append(None)
+
+    if len(corrupt) == count:
+        raise CheckpointCorruptError(
+            f"all {count} shards corrupt; nothing to restore"
+        )
+    for index in corrupt:
+        backends[index] = create_backend(name, per_shard)
+
+    from .backends.host import BackendEngine
+
+    engine = BackendEngine.from_backends(backends, config=config)
+    (engine._transactions, engine._extents_seen,
+     engine._pairs_seen) = counters
+    return LoadedEngine(engine, corrupt)
+
+
+# ---------------------------------------------------------------------------
 # Format-dispatching entry points
 # ---------------------------------------------------------------------------
 
 def dump_engine(engine, stream: BinaryIO) -> int:
-    """Checkpoint any engine: v3 for sharded (thread- or process-backed,
-    dispatched on the ``shard_analyzers`` seam), v2 for a single analyzer."""
+    """Checkpoint any engine: v4 for backend hosts (dispatched on the
+    ``shard_backends`` seam), v3 for sharded two-tier (thread- or
+    process-backed, the ``shard_analyzers`` seam), v2 for a single
+    analyzer.
+
+    :class:`~repro.engine.procshard.ProcessShardedAnalyzer` exposes
+    *both* seams but raises :class:`AttributeError` from the one that
+    does not match its mode, which makes ``hasattr`` select correctly.
+    """
+    if hasattr(engine, "shard_backends"):
+        return dump_backend_engine(engine, stream)
     if hasattr(engine, "shard_analyzers"):
         return dump_sharded(engine, stream)
     analyzer = getattr(engine, "analyzer", engine)
@@ -147,11 +326,14 @@ def dump_engine(engine, stream: BinaryIO) -> int:
 
 
 def load_engine(stream: BinaryIO, strict: bool = True) -> LoadedEngine:
-    """Restore a checkpoint of either format, dispatching on its magic."""
+    """Restore a checkpoint of any format, dispatching on its magic."""
     prefix = stream.read(len(_MAGIC_V3))
     if prefix == _MAGIC_V3:
         body = io.BytesIO(prefix + stream.read())
         return load_sharded(body, strict=strict)
+    if prefix == _MAGIC_V4:
+        body = io.BytesIO(prefix + stream.read())
+        return load_backend_engine(body, strict=strict)
     rest = io.BytesIO(prefix + stream.read())
     return LoadedEngine(load_analyzer(rest), [])
 
@@ -183,12 +365,17 @@ def as_typed_engine(loaded: LoadedEngine):
     """Promote a loaded engine to the service's typed analyzer shape.
 
     v3 checkpoints restore straight to a (typed-capable)
-    :class:`ShardedAnalyzer`; v1/v2 plain analyzers are adopted into a
-    fresh :class:`TypedOnlineAnalyzer` (the sidecar rebuilds from future
-    traffic, as with format v2).
+    :class:`ShardedAnalyzer` and v4 ones to a
+    :class:`~repro.engine.backends.host.BackendEngine` (which already
+    answers the typed query surface, with stubs for sketch backends) --
+    both pass through unchanged.  v1/v2 plain analyzers are adopted into
+    a fresh :class:`TypedOnlineAnalyzer` (the sidecar rebuilds from
+    future traffic, as with format v2).
     """
+    from .backends.host import BackendEngine
+
     engine = loaded.engine
-    if isinstance(engine, ShardedAnalyzer):
+    if isinstance(engine, (ShardedAnalyzer, BackendEngine)):
         return engine
     typed = TypedOnlineAnalyzer(engine.config)
     typed.adopt(engine)

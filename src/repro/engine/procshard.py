@@ -260,9 +260,78 @@ def _restore_types(analyzer: TypedOnlineAnalyzer,
     }
 
 
+def _backend_worker_main(conn, config: AnalyzerConfig,
+                         index: int = 0) -> None:
+    """Worker entry point in backend mode: serve one synopsis backend.
+
+    Speaks the same op protocol as the two-tier worker loop, with the
+    per-shard synopsis behind the :class:`~repro.engine.backends.base.\
+SynopsisBackend` surface: ``process`` applies pre-routed columnar work
+    through ``apply_shard_work`` (acking the item evictions -- always
+    empty for sketch backends), ``fetch``/``adopt`` move the backend's
+    own serialized payload (checkpoint v4 frames it), and ``query``
+    dispatches by method name exactly like the analyzer loop.  Worker
+    metric snapshots are not shipped in backend mode; acks carry
+    ``None`` where the analyzer loop would piggyback one.
+    """
+    from .backends import create_backend, deserialize_backend
+
+    backend = create_backend(config.backend, config)
+    intern_extent = backend._interner.extent
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        try:
+            if op == "process":
+                item_work, pair_work = message[1], message[2]
+                evicted = backend.apply_shard_work(*item_work, *pair_work)
+                conn.send(("ok", (evicted, None)))
+            elif op == "collect":
+                conn.send(("ok", None))
+            elif op == "demote":
+                demote_item = backend.demote_item
+                for start, length in message[1]:
+                    demote_item(intern_extent(start, length))
+                # Fire-and-forget: no ack, FIFO ordering is the guarantee.
+            elif op == "query":
+                _op, name, args, kwargs = message
+                conn.send(("ok", getattr(backend, name)(*args, **kwargs)))
+            elif op == "occupancy":
+                conn.send(("ok", backend.occupancy()))
+            elif op == "fetch":
+                conn.send(("ok", backend.serialize()))
+            elif op == "adopt":
+                backend = deserialize_backend(
+                    config.backend, message[1], config
+                )
+                intern_extent = backend._interner.extent
+                conn.send(("ok", None))
+            elif op == "reset":
+                backend.reset()
+                conn.send(("ok", None))
+            elif op == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("err", f"unknown op {op!r}"))
+        except Exception as exc:  # surface, don't kill the worker
+            try:
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
 def _shard_worker_main(conn, config: AnalyzerConfig, index: int = 0,
                        telemetry: Optional[dict] = None) -> None:
     """Worker process entry point: serve one shard analyzer over a pipe.
+
+    When ``config`` selects a sketch backend the worker delegates to
+    :func:`_backend_worker_main` and hosts a synopsis backend instead of
+    a two-tier analyzer; same pipe protocol either way.
 
     ``telemetry`` (picklable dict) switches on the worker's own
     observability: ``{"metrics": bool, "metrics_interval": seconds,
@@ -274,6 +343,10 @@ def _shard_worker_main(conn, config: AnalyzerConfig, index: int = 0,
     a trace path, the worker appends ``shard.apply`` spans (children of
     the context the parent ships per batch) to the shared NDJSON file.
     """
+    if getattr(config, "backend", "two-tier") != "two-tier":
+        _backend_worker_main(conn, config, index)
+        return
+
     from ..telemetry import NULL_REGISTRY
     from ..telemetry.tracelog import TraceContext, TraceLog
 
@@ -401,6 +474,8 @@ from_transactions` instead.
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.config = config or AnalyzerConfig()
+        self.backend_name = getattr(self.config, "backend", "two-tier")
+        self._backend_mode = self.backend_name != "two-tier"
         self.shards = shards
         self._per_shard = shard_config(self.config, shards)
         self._transactions = 0
@@ -685,7 +760,17 @@ from_transactions` instead.
         iterates this to frame one v2 envelope per shard, identically to
         the in-process engine.  The returned analyzers are *copies*;
         mutating them does not affect the workers.
+
+        Only meaningful in two-tier mode; in backend mode this raises
+        :class:`AttributeError` (so ``hasattr`` dispatch in
+        :func:`~repro.engine.checkpoint.dump_engine` selects the v4
+        ``shard_backends`` seam instead).
         """
+        if self._backend_mode:
+            raise AttributeError(
+                "shard_analyzers is unavailable in backend mode; "
+                "use shard_backends"
+            )
         from ..telemetry import NULL_REGISTRY
 
         analyzers: List[TypedOnlineAnalyzer] = []
@@ -698,8 +783,35 @@ from_transactions` instead.
             analyzers.append(typed)
         return analyzers
 
+    @property
+    def shard_backends(self) -> List:
+        """Materialize every worker's synopsis backend in this process.
+
+        Checkpoint v4 (:func:`~repro.engine.checkpoint.\
+dump_backend_engine`) iterates this; the returned backends are
+        *copies* deserialized from the workers' payloads.  Only
+        meaningful in backend mode; raises :class:`AttributeError` in
+        two-tier mode (``hasattr`` dispatch again).
+        """
+        if not self._backend_mode:
+            raise AttributeError(
+                "shard_backends is unavailable in two-tier mode; "
+                "use shard_analyzers"
+            )
+        from .backends import deserialize_backend
+
+        return [
+            deserialize_backend(self.backend_name, payload, self._per_shard)
+            for payload in self._request_all(("fetch",))
+        ]
+
     def adopt_shards(self, analyzers: Sequence[OnlineAnalyzer]) -> None:
         """Ship restored per-shard synopses into the workers (in order)."""
+        if self._backend_mode:
+            raise ShardWorkerError(
+                "adopt_shards is unavailable in backend mode; "
+                "use adopt_backends"
+            )
         if len(analyzers) != self.shards:
             raise ValueError(
                 f"got {len(analyzers)} shard analyzers for "
@@ -715,6 +827,30 @@ from_transactions` instead.
                         (analyzer._transactions, analyzer._extents_seen,
                          analyzer._pairs_seen))
             self._send(index, ("adopt", dumps_analyzer(analyzer), side))
+        for index in range(self.shards):
+            self._reply(index)
+
+    def adopt_backends(self, backends: Sequence) -> None:
+        """Ship restored per-shard backends into the workers (in order)."""
+        if not self._backend_mode:
+            raise ShardWorkerError(
+                "adopt_backends is unavailable in two-tier mode; "
+                "use adopt_shards"
+            )
+        if len(backends) != self.shards:
+            raise ValueError(
+                f"got {len(backends)} shard backends for "
+                f"{self.shards} workers"
+            )
+        for backend in backends:
+            if backend.name != self.backend_name:
+                raise ValueError(
+                    f"cannot adopt a {backend.name!r} backend into a "
+                    f"{self.backend_name!r} engine"
+                )
+        self._check_open()
+        for index, backend in enumerate(backends):
+            self._send(index, ("adopt", backend.serialize()))
         for index in range(self.shards):
             self._reply(index)
 

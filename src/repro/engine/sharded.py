@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import fields as dataclass_fields
+from dataclasses import replace as dataclasses_replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.analyzer import AnalyzerReport, OnlineAnalyzer
@@ -61,13 +62,29 @@ from ..trace.record import OpType
 def shard_config(config: AnalyzerConfig, shards: int) -> AnalyzerConfig:
     """The per-shard configuration: ``capacity / N`` tables (ceil), same
     promotion threshold and tier split, so N shards together hold at least
-    the single-analyzer entry count."""
-    return AnalyzerConfig(
-        item_capacity=max(1, -(-config.item_capacity // shards)),
-        correlation_capacity=max(1, -(-config.correlation_capacity // shards)),
-        promote_threshold=config.promote_threshold,
-        t2_ratio=config.t2_ratio,
-        demote_on_item_eviction=config.demote_on_item_eviction,
+    the single-analyzer entry count.
+
+    Sketch-backend dimensions scale the same way: explicitly-set sizes
+    (``chh_items``, ``cms_width``, ``cms_candidates``) divide by N so the
+    total footprint is invariant in the shard count, while auto-derived
+    sizes (left at 0) follow the already-divided correlation capacity.
+    Per-entry knobs (``chh_partners``, ``cms_depth``) pass through
+    unchanged.  Every other field is copied verbatim via
+    :func:`dataclasses.replace`, so new configuration fields survive
+    per-shard derivation by default.
+    """
+
+    def ceil_div(value: int) -> int:
+        return max(1, -(-value // shards))
+
+    return dataclasses_replace(
+        config,
+        item_capacity=ceil_div(config.item_capacity),
+        correlation_capacity=ceil_div(config.correlation_capacity),
+        chh_items=ceil_div(config.chh_items) if config.chh_items else 0,
+        cms_width=ceil_div(config.cms_width) if config.cms_width else 0,
+        cms_candidates=(ceil_div(config.cms_candidates)
+                        if config.cms_candidates else 0),
     )
 
 
@@ -203,12 +220,10 @@ class ShardedAnalyzer:
         n = len(analyzers)
         if config is None:
             base = analyzers[0].config
-            config = AnalyzerConfig(
+            config = dataclasses_replace(
+                base,
                 item_capacity=base.item_capacity * n,
                 correlation_capacity=base.correlation_capacity * n,
-                promote_threshold=base.promote_threshold,
-                t2_ratio=base.t2_ratio,
-                demote_on_item_eviction=base.demote_on_item_eviction,
             )
         engine = cls(config, shards=n, registry=registry)
         for index, donated in enumerate(analyzers):

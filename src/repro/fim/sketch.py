@@ -2,17 +2,12 @@
 
 The paper's synopsis is one point in the design space of bounded-memory
 frequent-item structures.  The canonical alternatives from the streaming
-literature are implemented here for comparison:
-
-* **Space-Saving** (Metwally, Agrawal & El Abbadi, 2005) -- maintains
-  exactly ``capacity`` counters; a new item takes over the minimum counter
-  (inheriting its count as an overestimate).  Guarantees: every item with
-  true frequency > N/capacity is in the summary, and each counter
-  overestimates by at most the minimum counter value.
-* **Count-Min sketch** (Cormode & Muthukrishnan, 2005) -- a ``depth x
-  width`` counter array; estimates never underestimate and overestimate
-  by at most ``e * N / width`` with probability ``1 - e^-depth``.  Paired
-  with a top-k heap it yields a frequent-pair summary.
+literature -- **Space-Saving** (Metwally, Agrawal & El Abbadi, 2005) and
+the **Count-Min sketch** (Cormode & Muthukrishnan, 2005) -- are the FIM
+baselines this module has always exposed.  The structures themselves now
+live in :mod:`repro.core.sketches`, shared with the synopsis backends
+(:mod:`repro.engine.backends`); this module re-exports them so every
+existing FIM-baseline import keeps working unchanged.
 
 Both differ from the paper's structure in a crucial way: they optimise
 pure *frequency* with no recency dimension, so they cannot forget old
@@ -21,161 +16,6 @@ concepts (compare Fig. 10) -- the trade the benchmarks make visible.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
-from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+from ..core.sketches import CountMinParams, CountMinSketch, SpaceSaving
 
-K = TypeVar("K", bound=Hashable)
-
-
-class SpaceSaving(Generic[K]):
-    """The Space-Saving heavy-hitters summary.
-
-    ``update(key)`` is O(log capacity) via a lazy min-heap.  ``count(key)``
-    returns the (over)estimate and ``error(key)`` its maximum overcount.
-    """
-
-    def __init__(self, capacity: int) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        self._counts: Dict[K, int] = {}
-        self._errors: Dict[K, int] = {}
-        self._heap: List[Tuple[int, K]] = []  # lazy (count, key) min-heap
-        self.total = 0
-
-    def __len__(self) -> int:
-        return len(self._counts)
-
-    def __contains__(self, key: K) -> bool:
-        return key in self._counts
-
-    def _push(self, key: K) -> None:
-        heapq.heappush(self._heap, (self._counts[key], key))
-
-    def _pop_minimum(self) -> K:
-        """Pop the key with the (currently) smallest count, lazily fixing
-        stale heap entries."""
-        while True:
-            count, key = heapq.heappop(self._heap)
-            current = self._counts.get(key)
-            if current == count:
-                return key
-            if current is not None:
-                heapq.heappush(self._heap, (current, key))
-
-    def update(self, key: K, increment: int = 1) -> None:
-        """Record ``increment`` occurrences of ``key``."""
-        if increment < 1:
-            raise ValueError(f"increment must be >= 1, got {increment}")
-        self.total += increment
-        if key in self._counts:
-            self._counts[key] += increment
-            self._push(key)
-            return
-        if len(self._counts) < self.capacity:
-            self._counts[key] = increment
-            self._errors[key] = 0
-            self._push(key)
-            return
-        victim = self._pop_minimum()
-        inherited = self._counts.pop(victim)
-        self._errors.pop(victim, None)
-        self._counts[key] = inherited + increment
-        self._errors[key] = inherited
-        self._push(key)
-
-    def count(self, key: K) -> int:
-        """Estimated count (0 when not tracked); never underestimates
-        tracked keys."""
-        return self._counts.get(key, 0)
-
-    def error(self, key: K) -> int:
-        """Maximum overestimate of ``key``'s count."""
-        return self._errors.get(key, 0)
-
-    def guaranteed_count(self, key: K) -> int:
-        """A lower bound on the true count: estimate minus error."""
-        return self.count(key) - self.error(key)
-
-    def frequent(self, min_count: int = 1) -> List[Tuple[K, int]]:
-        """Tracked keys with estimate >= ``min_count``, strongest first."""
-        selected = [
-            (key, count) for key, count in self._counts.items()
-            if count >= min_count
-        ]
-        selected.sort(key=lambda entry: (-entry[1], repr(entry[0])))
-        return selected
-
-
-@dataclass(frozen=True)
-class CountMinParams:
-    """Sketch dimensions; defaults give ~0.1% relative error w.h.p."""
-
-    width: int = 2048
-    depth: int = 4
-
-    def __post_init__(self) -> None:
-        if self.width < 1 or self.depth < 1:
-            raise ValueError("width and depth must be >= 1")
-
-
-class CountMinSketch(Generic[K]):
-    """A Count-Min sketch with an optional top-k heavy-hitter heap."""
-
-    def __init__(self, params: Optional[CountMinParams] = None,
-                 track_top: int = 0) -> None:
-        self.params = params or CountMinParams()
-        self._rows: List[List[int]] = [
-            [0] * self.params.width for _ in range(self.params.depth)
-        ]
-        self.total = 0
-        self._track_top = track_top
-        self._top: Dict[K, int] = {}
-
-    def _indexes(self, key: K) -> List[int]:
-        base = hash(key)
-        return [
-            hash((row, base)) % self.params.width
-            for row in range(self.params.depth)
-        ]
-
-    def update(self, key: K, increment: int = 1) -> None:
-        if increment < 1:
-            raise ValueError(f"increment must be >= 1, got {increment}")
-        self.total += increment
-        estimate = None
-        for row, index in zip(self._rows, self._indexes(key)):
-            row[index] += increment
-            value = row[index]
-            estimate = value if estimate is None else min(estimate, value)
-        if self._track_top:
-            self._top[key] = estimate
-            if len(self._top) > 2 * self._track_top:
-                keep = sorted(self._top.items(),
-                              key=lambda entry: -entry[1])[:self._track_top]
-                self._top = dict(keep)
-
-    def count(self, key: K) -> int:
-        """Point estimate; never underestimates the true count."""
-        return min(
-            row[index]
-            for row, index in zip(self._rows, self._indexes(key))
-        )
-
-    def heavy_hitters(self, min_count: int = 1) -> List[Tuple[K, int]]:
-        """Tracked candidates with estimate >= ``min_count`` (requires
-        ``track_top`` > 0), strongest first."""
-        selected = [
-            (key, self.count(key))
-            for key in self._top
-            if self.count(key) >= min_count
-        ]
-        selected.sort(key=lambda entry: (-entry[1], repr(entry[0])))
-        if self._track_top:
-            selected = selected[: self._track_top]
-        return selected
-
-    @property
-    def memory_counters(self) -> int:
-        return self.params.width * self.params.depth
+__all__ = ["CountMinParams", "CountMinSketch", "SpaceSaving"]

@@ -18,6 +18,7 @@ from .blkdev.replay import ReplayResult, replay_timed
 from .core.analyzer import OnlineAnalyzer
 from .core.config import AnalyzerConfig
 from .core.extent import ExtentPair
+from .engine.backends.host import BackendEngine
 from .engine.procshard import ProcessShardedAnalyzer
 from .engine.sharded import ShardedAnalyzer
 from .monitor.batch import EventBatch, TransactionBatch
@@ -210,10 +211,15 @@ def run_pipeline(
             f"parallel must be None, 'thread' or 'process', got {parallel!r}"
         )
     if analyzer is None:
+        backend = getattr(config, "backend", "two-tier") \
+            if config is not None else "two-tier"
         if parallel == "process":
             analyzer = ProcessShardedAnalyzer(config or AnalyzerConfig(),
                                               shards=shards,
                                               registry=registry)
+        elif backend != "two-tier":
+            analyzer = BackendEngine(config, shards=shards,
+                                     registry=registry)
         elif shards > 1:
             analyzer = ShardedAnalyzer(config or AnalyzerConfig(),
                                        shards=shards, registry=registry)

@@ -32,6 +32,7 @@ from ..engine.checkpoint import (
     load_engine_checkpoint,
     save_engine_checkpoint,
 )
+from ..engine.backends.host import BackendEngine
 from ..engine.sharded import ShardedAnalyzer
 from ..service import CharacterizationService, SnapshotObserver
 from .guard import DEFAULT_FAILURE_LIMIT, SinkGuard
@@ -174,15 +175,17 @@ class ResilientCharacterizationService(CharacterizationService):
                 self._checkpoint_retries += 1
 
     def _save_current(self, path) -> int:
-        """Write the current engine: v3 via the engine container for a
-        sharded analyzer, format v2 via
+        """Write the current engine: v3/v4 via the engine container for
+        a sharded or backend engine, format v2 via
         :func:`~repro.core.serialize.save_checkpoint` for a single one.
-        Dispatch rides the ``shard_analyzers`` seam (not a base class)
-        so thread- and process-backed sharded engines both take the v3
-        path.  Both names resolve through module globals so tests (and
-        hosts) can substitute the I/O layer.
+        Dispatch rides the ``shard_analyzers``/``shard_backends`` seams
+        (not a base class) so thread- and process-backed engines of
+        either mode all take the engine-container path.  Both names
+        resolve through module globals so tests (and hosts) can
+        substitute the I/O layer.
         """
-        if hasattr(self.analyzer, "shard_analyzers"):
+        if hasattr(self.analyzer, "shard_analyzers") or \
+                hasattr(self.analyzer, "shard_backends"):
             return save_engine_checkpoint(self.analyzer, path)
         return save_checkpoint(self.analyzer, path)
 
@@ -231,10 +234,7 @@ class ResilientCharacterizationService(CharacterizationService):
             return False
         self.analyzer = as_typed_engine(loaded)
         self.analyzer.rebind_metrics(self.registry)
-        if isinstance(self.analyzer, ShardedAnalyzer):
-            self.shards = self.analyzer.shards
-        else:
-            self.shards = 1
+        self.shards = getattr(self.analyzer, "shards", 1)
         if loaded.corrupt_shards:
             self._restore_failures += 1
             self._degraded_restores += 1
@@ -245,7 +245,11 @@ class ResilientCharacterizationService(CharacterizationService):
         return True
 
     def _fallback_fresh(self, reason: str) -> None:
-        if isinstance(self.analyzer, ShardedAnalyzer):
+        if isinstance(self.analyzer, BackendEngine):
+            fresh = BackendEngine(self.analyzer.config,
+                                  shards=self.analyzer.shards,
+                                  registry=self.registry)
+        elif isinstance(self.analyzer, ShardedAnalyzer):
             fresh = ShardedAnalyzer(self.analyzer.config,
                                     shards=self.analyzer.shards,
                                     registry=self.registry)

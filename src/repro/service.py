@@ -54,6 +54,7 @@ from typing import (
 from .core.config import AnalyzerConfig
 from .core.extent import ExtentPair
 from .core.typed import CorrelationKind, TypedOnlineAnalyzer
+from .engine.backends.host import BackendEngine
 from .engine.checkpoint import as_typed_engine, dump_engine, load_engine
 from .engine.procshard import ProcessShardedAnalyzer
 from .engine.sharded import ShardedAnalyzer
@@ -78,7 +79,8 @@ SnapshotObserver = Callable[["ServiceSnapshot"], None]
 
 #: The engine types a service may be backed by.
 ServiceEngine = Union[
-    TypedOnlineAnalyzer, ShardedAnalyzer, ProcessShardedAnalyzer
+    TypedOnlineAnalyzer, ShardedAnalyzer, ProcessShardedAnalyzer,
+    BackendEngine,
 ]
 
 #: Event lists at least this long are converted to a columnar
@@ -179,7 +181,13 @@ class CharacterizationService:
         self.registry = registry
         config = config or AnalyzerConfig()
         if shard_processes:
+            # Handles both modes: two-tier analyzer workers, or one
+            # synopsis backend per worker when the config selects one.
             self.analyzer: ServiceEngine = ProcessShardedAnalyzer(
+                config, shards=shards, registry=registry
+            )
+        elif config.backend != "two-tier":
+            self.analyzer = BackendEngine(
                 config, shards=shards, registry=registry
             )
         elif shards == 1:
@@ -506,15 +514,28 @@ class CharacterizationService:
         loaded = load_engine(stream, strict=True)
         current = self.analyzer
         if isinstance(current, ProcessShardedAnalyzer) and not current.closed:
-            shard_states = getattr(loaded.engine, "shard_analyzers", None)
-            if shard_states is not None \
-                    and len(shard_states) == current.shards:
-                current.adopt_shards(shard_states)
-                return
+            if current.backend_name != "two-tier":
+                backend_states = getattr(
+                    loaded.engine, "shard_backends", None
+                )
+                if backend_states is not None \
+                        and len(backend_states) == current.shards \
+                        and getattr(loaded.engine, "backend_name", None) \
+                        == current.backend_name:
+                    current.adopt_backends(backend_states)
+                    return
+            else:
+                shard_states = getattr(
+                    loaded.engine, "shard_analyzers", None
+                )
+                if shard_states is not None \
+                        and len(shard_states) == current.shards:
+                    current.adopt_shards(shard_states)
+                    return
             current.close()
         self.analyzer = as_typed_engine(loaded)
         self.analyzer.rebind_metrics(self.registry)
-        if isinstance(self.analyzer, ShardedAnalyzer):
+        if isinstance(self.analyzer, (ShardedAnalyzer, BackendEngine)):
             self.shards = self.analyzer.shards
         else:
             self.shards = 1

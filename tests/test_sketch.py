@@ -103,6 +103,27 @@ class TestCountMin:
         for key, count in truth.items():
             assert sketch.count(key) - count <= 2
 
+    def test_conservative_update_never_underestimates(self):
+        rng = random.Random(7)
+        plain = CountMinSketch(CountMinParams(width=64, depth=4))
+        conservative = CountMinSketch(CountMinParams(width=64, depth=4),
+                                      conservative=True)
+        truth = Counter()
+        for _ in range(3000):
+            key = rng.randrange(200)
+            truth[key] += 1
+            plain.update(key)
+            conservative.update(key)
+        for key, count in truth.items():
+            assert conservative.count(key) >= count
+            # Conservative update only ever skips increments the plain
+            # rule would apply, so its estimates cannot be looser.
+            assert conservative.count(key) <= plain.count(key)
+        total_error = lambda sketch: sum(
+            sketch.count(key) - count for key, count in truth.items()
+        )
+        assert total_error(conservative) < total_error(plain)
+
     def test_untouched_key_can_be_zero(self):
         sketch = CountMinSketch(CountMinParams(width=1024, depth=4))
         sketch.update("a")
