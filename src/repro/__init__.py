@@ -17,6 +17,11 @@ Quickstart::
         print(pair, tally)
 """
 
+from .cache import (
+    CachedCharacterizationService,
+    SimulatedBlockCache,
+    SynopsisPrefetcher,
+)
 from .core import (
     AnalyzerConfig,
     AnalyzerReport,
@@ -76,6 +81,7 @@ __all__ = [
     "AnalyzerConfig",
     "AnalyzerReport",
     "BlockIOEvent",
+    "CachedCharacterizationService",
     "CheckpointCorruptError",
     "ClockPolicy",
     "CorrelationTable",
@@ -91,8 +97,10 @@ __all__ = [
     "ServiceHealth",
     "ShardedAnalyzer",
     "SingleAnalyzerEngine",
+    "SimulatedBlockCache",
     "SinkGuard",
     "SynopsisEngine",
+    "SynopsisPrefetcher",
     "dump_engine",
     "load_engine",
     "Extent",

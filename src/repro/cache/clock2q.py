@@ -1,0 +1,182 @@
+"""A Clock2Q+-style scan-resistant replacement policy.
+
+Zhai et al.'s Clock2Q+ (vSAN metadata cache) combines the 2Q insight --
+admit new keys into a small probationary FIFO so one-touch traffic never
+pollutes the main cache -- with CLOCK's cheap second-chance approximation
+of LRU over the protected region, plus a ghost queue whose hits promote
+straight into the protected region.  This module implements that shape:
+
+* **probation** -- a FIFO holding newly admitted keys (a fixed fraction
+  of the capacity).  A key re-referenced while on probation is promoted
+  to the protected region (the 2Q "A1in -> Am" move); a key that falls
+  off the FIFO end leaves residency but its *identity* is remembered in
+  the ghost queue.
+* **ghost** -- a FIFO of recently evicted keys (no data, identity only).
+  Admitting a key found in the ghost queue bypasses probation and lands
+  directly in the protected region: being re-requested after eviction is
+  the strongest available evidence of reuse.
+* **protected** -- a CLOCK ring with one reference bit per slot.  Hits
+  set the bit; the victim search sweeps from the hand, clearing set bits
+  and stopping at the first clear one.  New promotions enter with the
+  bit **clear** and the hand is left pointing at the slot they filled,
+  so under heavy promotion churn (a scan flowing through the ghost
+  queue) the newest promotions evict *each other* while established
+  entries -- whose bits are refreshed by genuine reuse -- survive.  That
+  asymmetry is what keeps a cyclic scan larger than the cache from
+  flushing the working set, the failure mode that makes plain LRU score
+  zero on loops.
+
+Evictions from both resident regions feed the ghost queue, bounded at
+``ghost_capacity`` (default: the cache capacity, mirroring ARC's "ghosts
+remember one cache-worth of history").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional
+
+
+class _ClockSlot:
+    __slots__ = ("key", "referenced")
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+        self.referenced = False
+
+
+class Clock2QPolicy:
+    """Clock + two-queue ghost promotion (see module docstring)."""
+
+    name = "clock2q"
+
+    def __init__(
+        self,
+        capacity: int,
+        probation_fraction: float = 0.25,
+        ghost_capacity: Optional[int] = None,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(
+                f"clock2q needs capacity >= 2, got {capacity}"
+            )
+        if not 0.0 < probation_fraction < 1.0:
+            raise ValueError(
+                "probation_fraction must be in (0, 1), "
+                f"got {probation_fraction}"
+            )
+        self.capacity = capacity
+        self.probation_capacity = max(1, int(capacity * probation_fraction))
+        self.protected_capacity = capacity - self.probation_capacity
+        if self.protected_capacity < 1:
+            self.probation_capacity = capacity - 1
+            self.protected_capacity = 1
+        self.ghost_capacity = (
+            capacity if ghost_capacity is None else ghost_capacity
+        )
+        self._probation: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._ring: List[_ClockSlot] = []
+        self._slots: Dict[Hashable, _ClockSlot] = {}
+        self._hand = 0
+        self._ghost: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    # -- introspection -----------------------------------------------------
+
+    def __contains__(self, key) -> bool:
+        return key in self._slots or key in self._probation
+
+    def __len__(self) -> int:
+        return len(self._slots) + len(self._probation)
+
+    def ghost_size(self) -> int:
+        return len(self._ghost)
+
+    def in_ghost(self, key) -> bool:
+        return key in self._ghost
+
+    def check_invariants(self) -> bool:
+        """Size bounds and region disjointness (for tests)."""
+        disjoint = not (set(self._slots) & set(self._probation))
+        ghost_disjoint = not (
+            set(self._ghost) & (set(self._slots) | set(self._probation))
+        )
+        return (
+            len(self._probation) <= self.probation_capacity
+            and len(self._ring) <= self.protected_capacity
+            and len(self._ghost) <= self.ghost_capacity
+            and len(self._ring) == len(self._slots)
+            and disjoint
+            and ghost_disjoint
+        )
+
+    # -- the policy surface ------------------------------------------------
+
+    def touch(self, key) -> List:
+        """Demand hit: set the clock bit, or promote out of probation."""
+        slot = self._slots.get(key)
+        if slot is not None:
+            slot.referenced = True
+            return []
+        # Re-referenced while on probation: earned the protected region.
+        del self._probation[key]
+        return self._promote(key)
+
+    def admit(self, key) -> List:
+        """Demand or prefetch fill of a non-resident key."""
+        if key in self._ghost:
+            del self._ghost[key]
+            return self._promote(key)
+        evicted: List = []
+        self._probation[key] = None
+        while len(self._probation) > self.probation_capacity:
+            victim, _none = self._probation.popitem(last=False)
+            self._remember(victim)
+            evicted.append(victim)
+        return evicted
+
+    def reset(self) -> None:
+        self._probation.clear()
+        self._ring.clear()
+        self._slots.clear()
+        self._ghost.clear()
+        self._hand = 0
+
+    # -- internals ---------------------------------------------------------
+
+    def _remember(self, key) -> None:
+        """Record an evicted key's identity in the ghost queue."""
+        self._ghost[key] = None
+        self._ghost.move_to_end(key)
+        while len(self._ghost) > self.ghost_capacity:
+            self._ghost.popitem(last=False)
+
+    def _promote(self, key) -> List:
+        """Insert ``key`` into the protected clock ring."""
+        ring = self._ring
+        if len(ring) < self.protected_capacity:
+            slot = _ClockSlot(key)
+            ring.append(slot)
+            self._slots[key] = slot
+            return []
+        # Victim search: clear set bits from the hand forward; the first
+        # clear bit loses its slot.  Freshly promoted keys start clear
+        # and the hand stays on their slot, so promotion storms (scans)
+        # cannibalize themselves instead of the reused core.
+        hand = self._hand
+        size = len(ring)
+        for _sweep in range(2 * size):
+            slot = ring[hand]
+            if slot.referenced:
+                slot.referenced = False
+                hand = (hand + 1) % size
+            else:
+                break
+        victim_slot = ring[hand]
+        victim = victim_slot.key
+        del self._slots[victim]
+        self._remember(victim)
+        victim_slot.key = key
+        victim_slot.referenced = False
+        self._slots[key] = victim_slot
+        self._hand = hand
+        return [victim]

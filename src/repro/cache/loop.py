@@ -1,0 +1,137 @@
+"""Closing the loop: drive a cache and the characterization engine together.
+
+The paper's pitch is that *online* characterization lets the system act
+on correlations while they still hold.  This module is that action:
+
+* :class:`CacheDriver` feeds each demand access through a
+  :class:`~repro.cache.simcache.SimulatedBlockCache`, asks the attached
+  prefetcher for the access's correlated partners, issues the prefetches,
+  and periodically feeds the measured windowed prefetch accuracy back to
+  the prefetcher (the throttling loop of
+  :class:`~repro.cache.prefetcher.SynopsisPrefetcher`).
+* :func:`run_closed_loop` interleaves that with synopsis training: each
+  transaction's extents hit the cache first (prefetching off what the
+  synopsis learned from *earlier* transactions -- strictly causal), then
+  train the engine.  Any engine with ``process(extents)`` works: a plain
+  or typed analyzer, a sharded analyzer, a hosted backend engine, or a
+  bare backend.
+* :func:`simulate_cache` replays a flat access trace against a fixed
+  (pre-built) prefetcher -- the harness for offline baselines like
+  :class:`~repro.cache.miner.OfflineMiner` and for no-prefetch runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..core.extent import Extent
+from ..telemetry.metrics import MetricsRegistry
+from .policy import EvictionPolicy
+from .simcache import SimulatedBlockCache
+from .stats import CacheStats
+
+#: Accesses between accuracy feedback evaluations.
+DEFAULT_FEEDBACK_INTERVAL = 256
+
+
+class CacheDriver:
+    """Runs the access -> prefetch -> feedback cycle for one cache."""
+
+    def __init__(
+        self,
+        cache: SimulatedBlockCache,
+        prefetcher=None,
+        feedback_interval: int = DEFAULT_FEEDBACK_INTERVAL,
+    ) -> None:
+        if feedback_interval < 1:
+            raise ValueError("feedback_interval must be >= 1")
+        self.cache = cache
+        self.prefetcher = prefetcher
+        self.feedback_interval = feedback_interval
+        self._accesses_in_window = 0
+        self._window_issued_base = cache.stats.prefetches_issued
+        self._window_hits_base = cache.stats.prefetch_hits
+
+    def on_access(self, extent: Extent) -> int:
+        """One demand access; returns the number of block hits."""
+        hits = self.cache.access(extent)
+        prefetcher = self.prefetcher
+        if prefetcher is not None:
+            for partner in prefetcher.partners_of(extent):
+                self.cache.prefetch(partner)
+            self._accesses_in_window += 1
+            if self._accesses_in_window >= self.feedback_interval:
+                self._feedback()
+        return hits
+
+    def on_transaction(self, extents: Sequence[Extent]) -> None:
+        for extent in extents:
+            self.on_access(extent)
+
+    def _feedback(self) -> None:
+        """Feed windowed prefetch accuracy back to the prefetcher."""
+        adjust = getattr(self.prefetcher, "adjust", None)
+        stats = self.cache.stats
+        issued = stats.prefetches_issued - self._window_issued_base
+        hits = stats.prefetch_hits - self._window_hits_base
+        self._window_issued_base = stats.prefetches_issued
+        self._window_hits_base = stats.prefetch_hits
+        self._accesses_in_window = 0
+        if adjust is not None:
+            accuracy = hits / issued if issued else 0.0
+            adjust(accuracy, issued=issued)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+
+def simulate_cache(
+    accesses: Iterable[Extent],
+    capacity_blocks: int,
+    policy: Union[str, EvictionPolicy] = "lru",
+    prefetcher=None,
+    feedback_interval: int = DEFAULT_FEEDBACK_INTERVAL,
+    registry: Optional[MetricsRegistry] = None,
+) -> CacheStats:
+    """Replay a flat access trace through a cache, with/without prefetch."""
+    cache = SimulatedBlockCache(capacity_blocks, policy=policy,
+                                registry=registry)
+    driver = CacheDriver(cache, prefetcher,
+                         feedback_interval=feedback_interval)
+    for extent in accesses:
+        driver.on_access(extent)
+    return cache.stats
+
+
+def run_closed_loop(
+    transactions: Iterable[Sequence[Extent]],
+    engine,
+    cache: SimulatedBlockCache,
+    prefetcher=None,
+    feedback_interval: int = DEFAULT_FEEDBACK_INTERVAL,
+) -> CacheStats:
+    """Interleave cache serving with online synopsis training.
+
+    For each transaction the extents are served (and prefetched on)
+    first, *then* the engine trains on the transaction -- so every
+    prefetch decision uses only correlations detected in strictly
+    earlier transactions, exactly the information a production cache
+    would have had at that moment.
+
+    ``prefetcher`` defaults to a
+    :class:`~repro.cache.prefetcher.SynopsisPrefetcher` wrapping
+    ``engine``; pass an explicit prefetcher to tune its budget and
+    thresholds, or ``prefetcher=None`` after building one externally.
+    """
+    from .prefetcher import SynopsisPrefetcher
+
+    if prefetcher is None:
+        prefetcher = SynopsisPrefetcher(engine)
+    driver = CacheDriver(cache, prefetcher,
+                         feedback_interval=feedback_interval)
+    train = engine.process
+    for extents in transactions:
+        driver.on_transaction(extents)
+        train(extents)
+    return cache.stats

@@ -1,0 +1,113 @@
+"""MITHRIL-style offline association mining (the baseline to beat).
+
+Yang et al.'s MITHRIL mines block-level prefetch associations from a
+*recorded* trace: two addresses accessed repeatedly within a short
+lookahead window of each other are associated, and future accesses to
+one trigger a prefetch of the other.  It is the natural offline
+counterpart to this repo's online synopsis -- the whole trace is
+available up front, so the miner sees every cooccurrence the two-tier
+tables may have evicted -- but it is also frozen: mined on yesterday's
+trace, serving today's.
+
+The implementation here mines at extent granularity so it plugs into the
+same :class:`~repro.cache.prefetcher.Prefetcher` seam as the online
+prefetchers:
+
+* Slide a window of ``lookahead`` accesses over the trace; every ordered
+  (current, upcoming) extent pair inside the window scores one
+  cooccurrence (deduplicated per position, so a burst of ``A B B B``
+  counts A->B once per A, as MITHRIL's per-block timestamp lists do).
+* Keep associations with at least ``min_support`` cooccurrences.
+* Optionally drop heads seen fewer than ``min_head_support`` times --
+  MITHRIL's "sporadic block" focus inverted: extremely rare heads have
+  too little evidence to prefetch on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.extent import Extent
+
+
+class OfflineMiner:
+    """Lookahead-window association mining over a recorded extent trace."""
+
+    def __init__(
+        self,
+        lookahead: int = 8,
+        min_support: int = 2,
+        fanout: int = 2,
+        min_head_support: int = 1,
+    ) -> None:
+        if lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.lookahead = lookahead
+        self.min_support = min_support
+        self.fanout = fanout
+        self.min_head_support = min_head_support
+        self.accesses_mined = 0
+        self._rules: Dict[Extent, List[Tuple[Extent, int]]] = {}
+
+    def mine(self, accesses: Iterable[Extent]) -> "OfflineMiner":
+        """Mine association rules from a recorded access trace.
+
+        Replaces any previously mined rules; returns ``self`` so
+        ``OfflineMiner(...).mine(trace)`` reads naturally.
+        """
+        cooccurrence: Dict[Extent, Dict[Extent, int]] = {}
+        head_counts: Dict[Extent, int] = {}
+        window: "deque[Extent]" = deque(maxlen=self.lookahead)
+        mined = 0
+        for access in accesses:
+            mined += 1
+            head_counts[access] = head_counts.get(access, 0) + 1
+            for head in reversed(window):
+                if head == access:
+                    # Self-reuse inside the window is recency, not an
+                    # association -- and it also shadows: an earlier
+                    # occurrence of the same head already scored this
+                    # follower once.
+                    break
+                partners = cooccurrence.setdefault(head, {})
+                partners[access] = partners.get(access, 0) + 1
+            window.append(access)
+
+        self.accesses_mined = mined
+        min_head = self.min_head_support
+        min_support = self.min_support
+        rules: Dict[Extent, List[Tuple[Extent, int]]] = {}
+        for head, partners in cooccurrence.items():
+            if head_counts.get(head, 0) < min_head:
+                continue
+            kept = [
+                (partner, count)
+                for partner, count in partners.items()
+                if count >= min_support
+            ]
+            if kept:
+                kept.sort(key=lambda entry: (-entry[1], entry[0]))
+                rules[head] = kept
+        self._rules = rules
+        return self
+
+    # -- the Prefetcher surface -------------------------------------------
+
+    def partners_of(self, extent: Extent) -> List[Extent]:
+        return [
+            partner for partner, _count in self._rules.get(extent, [])
+        ][: self.fanout]
+
+    # -- introspection -----------------------------------------------------
+
+    def rule_count(self) -> int:
+        return sum(len(partners) for partners in self._rules.values())
+
+    def rules_for(self, extent: Extent) -> List[Tuple[Extent, int]]:
+        """All mined associations for ``extent`` with their support."""
+        return list(self._rules.get(extent, []))

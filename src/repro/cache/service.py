@@ -1,0 +1,114 @@
+"""A characterization service with the prefetching cache attached.
+
+:class:`CachedCharacterizationService` is the deployed shape of the
+closed loop: the same ingest -> characterize -> notify service as
+:class:`~repro.service.CharacterizationService`, plus a simulated block
+cache that serves every transaction's extents *before* the synopsis
+trains on them.  Prefetch decisions therefore only ever use
+correlations detected in strictly earlier traffic -- the information a
+production cache would actually have had -- and the cache's hit/miss/
+prefetch counters ride the same metrics registry as the rest of the
+stack, so ``/metrics`` shows the synopsis and its payoff side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..monitor.batch import TransactionBatch
+from ..monitor.transaction import Transaction
+from ..service import CharacterizationService
+from .loop import DEFAULT_FEEDBACK_INTERVAL, CacheDriver
+from .prefetcher import SynopsisPrefetcher
+from .simcache import SimulatedBlockCache
+from .stats import CacheStats
+
+#: Default simulated cache size when only ``cache=True`` is requested.
+DEFAULT_CACHE_BLOCKS = 4096
+
+
+class CachedCharacterizationService(CharacterizationService):
+    """Characterization service driving a correlation-prefetching cache.
+
+    ``cache`` selects the cache: ``True`` for a default-sized LRU cache,
+    an ``int`` for a capacity in blocks, or a ready
+    :class:`SimulatedBlockCache` for full control.  ``cache_policy``
+    picks the eviction policy for the first two forms.  ``prefetch``
+    enables the synopsis prefetcher (on by default -- a cached service
+    without it is just a baseline measurement rig), with
+    ``prefetch_budget`` / ``prefetch_min_support`` forwarded to
+    :class:`SynopsisPrefetcher`.
+    """
+
+    def __init__(
+        self,
+        *args,
+        cache: Union[bool, int, SimulatedBlockCache] = True,
+        cache_policy: str = "lru",
+        prefetch: bool = True,
+        prefetch_budget: int = 2,
+        prefetch_min_support: int = 2,
+        feedback_interval: int = DEFAULT_FEEDBACK_INTERVAL,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if cache is True:
+            cache = DEFAULT_CACHE_BLOCKS
+        if isinstance(cache, bool) or cache is None:
+            raise ValueError(
+                "cache must be True, a block capacity, or a "
+                "SimulatedBlockCache (use CharacterizationService for "
+                "an uncached service)"
+            )
+        if isinstance(cache, int):
+            cache = SimulatedBlockCache(
+                cache, policy=cache_policy, registry=self.registry
+            )
+        self.cache = cache
+        self.prefetcher: Optional[SynopsisPrefetcher] = None
+        if prefetch:
+            self.prefetcher = SynopsisPrefetcher(
+                self.analyzer,
+                budget=prefetch_budget,
+                min_support=prefetch_min_support,
+            )
+        self._cache_driver = CacheDriver(
+            cache, self.prefetcher, feedback_interval=feedback_interval
+        )
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """The cache's hit/miss/prefetch counters so far."""
+        return self.cache.stats
+
+    # -- transaction interception ------------------------------------------
+    #
+    # Both sink routes serve the cache at monitor-emit time, before the
+    # base class buffers/trains -- the cache always runs ahead of the
+    # synopsis it queries, never behind.  Note the granularity: on the
+    # columnar lane one whole TransactionBatch is served before any of
+    # it trains, so a submit_many call is a single causality step --
+    # chunk large streams to keep the loop tight.
+
+    def _on_transaction(self, transaction: Transaction) -> None:
+        self._cache_driver.on_transaction(transaction.extents)
+        super()._on_transaction(transaction)
+
+    def _on_transaction_batch(self, batch: TransactionBatch) -> None:
+        on_transaction = self._cache_driver.on_transaction
+        for transaction in batch.transactions():
+            on_transaction(transaction.extents)
+        super()._on_transaction_batch(batch)
+
+    # -- persistence --------------------------------------------------------
+
+    def restore(self, stream) -> None:
+        """Restore the synopsis and re-point the prefetcher at it.
+
+        The base restore may *replace* ``self.analyzer``; a prefetcher
+        still holding the old engine would silently keep serving stale
+        correlations.
+        """
+        super().restore(stream)
+        if self.prefetcher is not None:
+            self.prefetcher.synopsis = self.analyzer

@@ -1,0 +1,173 @@
+"""The block-cache simulator core.
+
+A :class:`SimulatedBlockCache` tracks block *residency* (metadata, not
+data) under a pluggable :class:`~repro.cache.policy.EvictionPolicy` and
+does the hit/miss/prefetch accounting of :class:`~repro.cache.stats.
+CacheStats`.  Capacity is in 512-byte blocks; a demand access looks up
+every block of the extent, a prefetch speculatively loads the missing
+ones (marked, so prefetch hits can be attributed).
+
+Prefetch attribution is once per issued prefetch: the prefetched flag
+lives in a side set that is *always* cleared when the block leaves
+residency (the policy reports its evictions) and when a demand fill
+re-admits the block -- so a block prefetched, evicted unused, and then
+re-fetched on demand counts as a ``demand_refetch``, never a second
+prefetch hit.
+
+The optional ``registry`` publishes the counters as ``repro_cache_*``
+series (labelled by policy), so a cache attached to a service shows up
+on ``/metrics`` next to the synopsis it consumes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Set, Union
+
+from ..core.extent import Extent
+from ..telemetry.metrics import MetricsRegistry
+from .policy import EvictionPolicy, make_policy
+from .stats import CacheStats
+
+#: The refetch memory (blocks whose prefetch was evicted unused) is a
+#: diagnostic ring; it is bounded at this multiple of the cache capacity.
+_REFETCH_MEMORY_FACTOR = 4
+
+
+class SimulatedBlockCache:
+    """A block cache with pluggable eviction and attributed prefetching."""
+
+    def __init__(
+        self,
+        capacity_blocks: int,
+        policy: Union[str, EvictionPolicy] = "lru",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("cache needs >= 1 block of capacity")
+        self.capacity = capacity_blocks
+        self.policy = make_policy(policy, capacity_blocks)
+        self.stats = CacheStats()
+        #: Resident blocks that entered via prefetch and have not yet
+        #: seen their first demand access.
+        self._prefetched: Set[int] = set()
+        #: Identities of prefetched blocks evicted unused (bounded), so
+        #: the later demand re-fetch can be diagnosed as "prefetched too
+        #: early" rather than silently folded into the miss count.
+        self._refetch_memory: "OrderedDict[int, None]" = OrderedDict()
+        self._refetch_capacity = _REFETCH_MEMORY_FACTOR * capacity_blocks
+        self._bind_metrics(registry)
+
+    def _bind_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        if registry is None or not registry.enabled:
+            self._metrics = None
+            return
+        policy_name = getattr(self.policy, "name", "custom")
+        labels = {"policy": policy_name}
+        self._metrics = {
+            "hits": registry.counter(
+                "repro_cache_hits_total", "Demand block hits",
+                labelnames=("policy",)).labels(**labels),
+            "misses": registry.counter(
+                "repro_cache_misses_total", "Demand block misses",
+                labelnames=("policy",)).labels(**labels),
+            "prefetches": registry.counter(
+                "repro_cache_prefetches_total",
+                "Prefetched blocks issued",
+                labelnames=("policy",)).labels(**labels),
+            "prefetch_hits": registry.counter(
+                "repro_cache_prefetch_hits_total",
+                "Demand hits served by a prefetched block",
+                labelnames=("policy",)).labels(**labels),
+        }
+        occupancy = registry.gauge(
+            "repro_cache_occupancy_blocks", "Resident blocks",
+            labelnames=("policy",)).labels(**labels)
+
+        def _collect(cache=self, gauge=occupancy):
+            gauge.set(len(cache.policy))
+
+        registry.register_collector(_collect)
+        self._collector = _collect  # keep the weakly-held collector alive
+
+    def __len__(self) -> int:
+        return len(self.policy)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self.policy
+
+    # -- the two operations ------------------------------------------------
+
+    def access(self, extent: Extent) -> int:
+        """Demand access; returns the number of block hits."""
+        stats = self.stats
+        policy = self.policy
+        prefetched = self._prefetched
+        metrics = self._metrics
+        hits = 0
+        for block in extent.blocks():
+            if block in policy:
+                hits += 1
+                stats.hits += 1
+                if block in prefetched:
+                    stats.prefetch_hits += 1
+                    # Attribute each issued prefetch at most once.
+                    prefetched.discard(block)
+                    if metrics is not None:
+                        metrics["prefetch_hits"].inc()
+                self._evictions(policy.touch(block))
+            else:
+                stats.misses += 1
+                if block in self._refetch_memory:
+                    del self._refetch_memory[block]
+                    stats.demand_refetches += 1
+                self._evictions(policy.admit(block))
+                # A demand fill is never a prefetch, even if the policy
+                # readmitted an identity it remembered (ghost promotion):
+                # any stale flag would double-count the old prefetch.
+                prefetched.discard(block)
+        if metrics is not None:
+            metrics["hits"].inc(hits)
+            metrics["misses"].inc(extent.length - hits)
+        return hits
+
+    def prefetch(self, extent: Extent) -> int:
+        """Speculatively load an extent's blocks (no hit/miss accounting).
+
+        Returns the number of blocks actually issued (already-resident
+        blocks are left untouched -- a prefetch must not refresh
+        recency, or it would perturb the eviction order it rides on).
+        """
+        stats = self.stats
+        policy = self.policy
+        issued = 0
+        for block in extent.blocks():
+            if block not in policy:
+                issued += 1
+                stats.prefetches_issued += 1
+                self._evictions(policy.admit(block))
+                self._prefetched.add(block)
+        if issued and self._metrics is not None:
+            self._metrics["prefetches"].inc(issued)
+        return issued
+
+    def reset(self) -> None:
+        self.policy.reset()
+        self.stats = CacheStats()
+        self._prefetched.clear()
+        self._refetch_memory.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _evictions(self, evicted) -> None:
+        if not evicted:
+            return
+        prefetched = self._prefetched
+        memory = self._refetch_memory
+        for block in evicted:
+            if block in prefetched:
+                prefetched.discard(block)
+                self.stats.prefetch_evicted_unused += 1
+                memory[block] = None
+        while len(memory) > self._refetch_capacity:
+            memory.popitem(last=False)

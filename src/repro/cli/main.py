@@ -350,6 +350,111 @@ def cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache_sim(args: argparse.Namespace) -> int:
+    """Hit-ratio sweep of the correlation-driven prefetching cache.
+
+    The trace is monitored once (same windowing as ``characterize``) to
+    recover its transactions; every (cache size, eviction policy,
+    prefetch mode) combination then replays those transactions through a
+    fresh cache -- and, for the ``synopsis`` mode, a fresh synopsis
+    backend trained online behind the cache (strictly causal).
+    """
+    import json
+
+    from ..cache import (
+        OfflineMiner,
+        SimulatedBlockCache,
+        SynopsisPrefetcher,
+        run_closed_loop,
+        simulate_cache,
+    )
+    from ..engine.backends import create_backend
+
+    records = load_trace(args.trace, _policy_from(args))
+    pipeline = run_pipeline(
+        records,
+        window=_window_from(args),
+        max_transaction_size=args.max_transaction,
+        record_offline=True,
+    )
+    transactions = pipeline.offline_transactions()
+    accesses = [extent for extents in transactions for extent in extents]
+    config = AnalyzerConfig(
+        item_capacity=args.capacity,
+        correlation_capacity=args.capacity,
+        backend=args.backend,
+    )
+
+    print(f"{len(records)} requests -> {len(transactions)} transactions, "
+          f"{len(accesses)} cached accesses "
+          f"(backend={args.backend}, budget={args.budget}, "
+          f"min-support={args.min_support})")
+    header = (f"{'size':>8}  {'policy':<8} {'prefetch':<9} "
+              f"{'hit_ratio':>9} {'accuracy':>9} {'issued':>9}")
+    print(header)
+    print("-" * len(header))
+
+    results = []
+    for size in args.sizes:
+        for policy in args.policies:
+            for mode in args.modes:
+                if mode == "none":
+                    stats = simulate_cache(accesses, size, policy=policy)
+                elif mode == "synopsis":
+                    engine = create_backend(args.backend, config)
+                    cache = SimulatedBlockCache(size, policy=policy)
+                    stats = run_closed_loop(
+                        transactions, engine, cache,
+                        SynopsisPrefetcher(
+                            engine,
+                            budget=args.budget,
+                            min_support=args.min_support,
+                        ),
+                    )
+                else:  # offline: MITHRIL-style mined-trace baseline
+                    miner = OfflineMiner(
+                        lookahead=args.lookahead,
+                        min_support=args.min_support,
+                        fanout=args.budget,
+                    ).mine(accesses)
+                    stats = simulate_cache(
+                        accesses, size, policy=policy, prefetcher=miner
+                    )
+                entry = {
+                    "cache_blocks": size,
+                    "policy": policy,
+                    "prefetch": mode,
+                    "backend": args.backend if mode == "synopsis" else None,
+                    **stats.as_dict(),
+                }
+                results.append(entry)
+                print(f"{size:>8}  {policy:<8} {mode:<9} "
+                      f"{stats.hit_ratio:>9.4f} "
+                      f"{stats.prefetch_accuracy:>9.4f} "
+                      f"{stats.prefetches_issued:>9}")
+
+    if args.json:
+        payload = {}
+        path = Path(args.json)
+        if path.exists():
+            try:
+                payload = json.loads(path.read_text())
+            except ValueError:
+                payload = {}
+        payload["cache_sim"] = {
+            "trace": Path(args.trace).name,
+            "requests": len(records),
+            "transactions": len(transactions),
+            "backend": args.backend,
+            "budget": args.budget,
+            "min_support": args.min_support,
+            "results": results,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"\nwrote {len(results)} results to {args.json}")
+    return 0
+
+
 def _address_from(args: argparse.Namespace):
     if args.unix:
         return args.unix
@@ -669,6 +774,51 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-transaction", type=int, default=8)
     mine.add_argument("--top", type=int, default=20)
     mine.set_defaults(handler=cmd_mine)
+
+    cache_sim = subparsers.add_parser(
+        "cache-sim",
+        help="hit-ratio sweep of the correlation-prefetching cache",
+    )
+    cache_sim.add_argument("trace")
+    _add_error_policy_flag(cache_sim)
+    cache_sim.add_argument("--sizes", type=int, nargs="+",
+                           default=[1024, 4096],
+                           help="cache capacities in blocks to sweep "
+                                "(default: 1024 4096)")
+    cache_sim.add_argument("--policies", nargs="+",
+                           choices=["lru", "arc", "clock2q"],
+                           default=["lru", "clock2q"],
+                           help="eviction policies to sweep "
+                                "(default: lru clock2q)")
+    cache_sim.add_argument("--modes", nargs="+",
+                           choices=["none", "synopsis", "offline"],
+                           default=["none", "synopsis", "offline"],
+                           help="prefetch modes: none (baseline), synopsis "
+                                "(online closed loop), offline "
+                                "(MITHRIL-style mined-trace baseline)")
+    cache_sim.add_argument("--backend", choices=list(BACKEND_NAMES),
+                           default="two-tier",
+                           help="synopsis backend for the online mode")
+    cache_sim.add_argument("--capacity", type=int, default=16 * 1024,
+                           help="synopsis per-tier table entries "
+                                "(default 16K)")
+    cache_sim.add_argument("--budget", type=int, default=2,
+                           help="partners prefetched per access "
+                                "(default 2)")
+    cache_sim.add_argument("--min-support", type=int, default=2,
+                           help="confidence floor on a partner's tally "
+                                "(default 2)")
+    cache_sim.add_argument("--lookahead", type=int, default=8,
+                           help="offline miner association window "
+                                "(default 8)")
+    cache_sim.add_argument("--window", type=float, default=None,
+                           help="static window seconds "
+                                "(default: dynamic 2x latency)")
+    cache_sim.add_argument("--max-transaction", type=int, default=8)
+    cache_sim.add_argument("--json", metavar="PATH",
+                           help="merge results into PATH as JSON "
+                                "(BENCH_cache.json convention)")
+    cache_sim.set_defaults(handler=cmd_cache_sim)
 
     serve = subparsers.add_parser(
         "serve", help="run the streaming ingest/query server"

@@ -255,6 +255,23 @@ class OnlineAnalyzer:
         """Every resident pair and its tally."""
         return self.correlations.frequencies()
 
+    def correlated_with(self, extent: Extent, k: int = 16
+                        ) -> List[Tuple[Extent, int]]:
+        """Partners most correlated with ``extent``, strongest first.
+
+        This is the query-path a correlation-driven prefetcher issues on
+        every cache miss (paper Section I / Section V), so it rides the
+        correlation table's per-extent index rather than scanning every
+        resident pair.
+        """
+        tally_of = self.correlations.tally
+        ranked = sorted(
+            ((pair.other(extent), tally_of(pair) or 0)
+             for pair in self.correlations.pairs_involving(extent)),
+            key=lambda entry: (-entry[1], entry[0]),
+        )
+        return ranked[:k]
+
     def report(self) -> AnalyzerReport:
         return AnalyzerReport(
             transactions=self._transactions,

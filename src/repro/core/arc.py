@@ -22,7 +22,16 @@ frequency's share.  |T1|+|T2| <= c and |T1|+|B1|+|T2|+|B2| <= 2c.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from .lru import LruQueue
 
@@ -83,7 +92,14 @@ class ArcTable(Generic[K]):
     as the paper's table.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int,
+                 evict_listener: Optional[Callable[[K], None]] = None
+                 ) -> None:
+        """``evict_listener``, when given, is called with each key the
+        moment it stops being resident (leaves T1/T2 for a ghost list or
+        is dropped outright) -- the hook the cache subsystem uses to run
+        ARC as a replacement policy (:class:`repro.cache.policy.ArcPolicy`)
+        while keeping per-key metadata in sync."""
         if capacity < 2:
             raise ValueError(f"ARC needs capacity >= 2, got {capacity}")
         self.capacity = capacity
@@ -92,6 +108,7 @@ class ArcTable(Generic[K]):
         self._t2: LruQueue[K] = LruQueue(capacity)
         self._b1 = _GhostList()
         self._b2 = _GhostList()
+        self._evict_listener = evict_listener
         self.stats = ArcStats()
 
     # -- introspection ---------------------------------------------------------
@@ -131,6 +148,10 @@ class ArcTable(Generic[K]):
 
     # -- the ARC REPLACE subroutine ------------------------------------------------
 
+    def _evicted(self, key: K) -> None:
+        if self._evict_listener is not None:
+            self._evict_listener(key)
+
     def _replace(self, key_in_b2: bool) -> None:
         """Evict from T1 or T2 per the ARC policy, into the ghosts."""
         t1_size = len(self._t1)
@@ -140,10 +161,12 @@ class ArcTable(Generic[K]):
             evicted = self._t1.pop_lru()
             if evicted is not None:
                 self._b1.push_mru(evicted[0])
+                self._evicted(evicted[0])
         else:
             evicted = self._t2.pop_lru()
             if evicted is not None:
                 self._b2.push_mru(evicted[0])
+                self._evicted(evicted[0])
 
     # -- the four ARC cases ---------------------------------------------------------
 
@@ -157,6 +180,7 @@ class ArcTable(Generic[K]):
             displaced = self._t2.insert(key, tally + 1)
             if displaced is not None:
                 self._b2.push_mru(displaced[0])
+                self._evicted(displaced[0])
             self.stats.hits += 1
             return True
         if key in self._t2:
@@ -174,6 +198,7 @@ class ArcTable(Generic[K]):
             displaced = self._t2.insert(key, 1)
             if displaced is not None:
                 self._b2.push_mru(displaced[0])
+                self._evicted(displaced[0])
             return False
 
         # Case III: ghost hit in B2 -> shrink p (frequency undervalued).
@@ -186,6 +211,7 @@ class ArcTable(Generic[K]):
             displaced = self._t2.insert(key, 1)
             if displaced is not None:
                 self._b2.push_mru(displaced[0])
+                self._evicted(displaced[0])
             return False
 
         # Case IV: complete miss.
@@ -197,7 +223,8 @@ class ArcTable(Generic[K]):
             else:
                 evicted = self._t1.pop_lru()
                 if evicted is not None:
-                    pass  # dropped entirely (B1 is full of T1 itself)
+                    # dropped entirely (B1 is full of T1 itself)
+                    self._evicted(evicted[0])
         else:
             total = (len(self._t1) + len(self._b1)
                      + len(self._t2) + len(self._b2))
@@ -206,7 +233,10 @@ class ArcTable(Generic[K]):
                     self._b2.pop_lru()
                 if len(self._t1) + len(self._t2) >= self.capacity:
                     self._replace(key_in_b2=False)
-        self._t1.insert(key, 1)
+        displaced = self._t1.insert(key, 1)
+        if displaced is not None:  # defensive: REPLACE should have made room
+            self._b1.push_mru(displaced[0])
+            self._evicted(displaced[0])
         return False
 
     def check_invariants(self) -> bool:

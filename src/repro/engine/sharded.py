@@ -576,6 +576,19 @@ TransactionBatch`.
             merged.update(shard.pair_frequencies())
         return merged
 
+    def correlated_with(self, extent: Extent, k: int = 16
+                        ) -> List[Tuple[Extent, int]]:
+        """Partners most correlated with ``extent``, strongest first.
+
+        Pairs are routed by pair hash, so an extent's partners may live
+        on any shard; every shard's indexed lookup is merged.
+        """
+        merged: List[Tuple[Extent, int]] = []
+        for shard in self._shards:
+            merged.extend(shard.correlated_with(extent, k))
+        merged.sort(key=lambda entry: (-entry[1], entry[0]))
+        return merged[:k]
+
     def frequent_pairs_of_kind(
         self,
         kind: CorrelationKind,

@@ -1,146 +1,46 @@
 """Correlation-driven prefetching (paper §I / §V: caching & prefetching).
 
-Prefetching is the first optimization the paper's introduction motivates:
-once the framework knows that extent A is frequently followed by extent B,
-a cache can pull B in when A is requested.  This module provides a block
-cache simulator with pluggable prefetch policies so the benefit of detected
-correlations is measurable as a hit-ratio delta over plain LRU.
+.. deprecated::
+    This module grew into the :mod:`repro.cache` subsystem and is now a
+    compatibility shim over it.  New code should import from
+    :mod:`repro.cache` directly:
+
+    * ``BlockCache``             -> :class:`repro.cache.SimulatedBlockCache`
+      (``BlockCache`` remains as an LRU-policy subclass below)
+    * ``CacheStats``             -> :class:`repro.cache.CacheStats`
+    * ``CorrelationPrefetcher``  -> :class:`repro.cache.CorrelationPrefetcher`
+    * ``RulePrefetcher``         -> :class:`repro.cache.RulePrefetcher`
+    * ``run_cache_experiment``   -> :func:`repro.cache.simulate_cache`
+
+    The port also tightened prefetch attribution: a prefetched block
+    that is evicted unused and later re-fetched on demand is a plain
+    demand fill (counted in ``demand_refetches``), never a second
+    prefetch hit.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional
 
-from ..core.analyzer import OnlineAnalyzer
-from ..core.extent import Extent, ExtentPair
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss accounting, with prefetch effectiveness split out."""
-
-    hits: int = 0
-    misses: int = 0
-    prefetches_issued: int = 0
-    prefetch_hits: int = 0   # hits on blocks that entered via prefetch
-
-    @property
-    def accesses(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_ratio(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
-
-    @property
-    def prefetch_accuracy(self) -> float:
-        """Fraction of issued prefetched blocks that saw a hit."""
-        if self.prefetches_issued == 0:
-            return 0.0
-        return self.prefetch_hits / self.prefetches_issued
+from ..core.extent import Extent
+from ..cache.prefetcher import (  # noqa: F401  (re-exports)
+    CorrelationPrefetcher,
+    RulePrefetcher,
+)
+from ..cache.simcache import SimulatedBlockCache
+from ..cache.stats import CacheStats  # noqa: F401  (re-export)
 
 
-class BlockCache:
-    """An LRU cache of blocks with optional correlation prefetching.
+class BlockCache(SimulatedBlockCache):
+    """The legacy LRU block cache, now a fixed-policy simulator.
 
-    Capacity is in blocks.  On access, every block of the extent is looked
-    up; missing blocks are fetched.  With a prefetcher attached, the
-    frequent partners of the accessed extent are pulled in as well (marked,
-    so prefetch hits can be attributed).
+    Kept so existing callers (and :mod:`repro.optimize`'s namespace)
+    construct the same LRU-replacement cache with the same signature;
+    the pluggable-policy superclass lives in :mod:`repro.cache`.
     """
 
     def __init__(self, capacity_blocks: int) -> None:
-        if capacity_blocks < 1:
-            raise ValueError("cache needs >= 1 block of capacity")
-        self.capacity = capacity_blocks
-        self.stats = CacheStats()
-        self._blocks: "OrderedDict[int, bool]" = OrderedDict()  # block -> prefetched
-
-    def __len__(self) -> int:
-        return len(self._blocks)
-
-    def _insert(self, block: int, prefetched: bool) -> None:
-        if block in self._blocks:
-            self._blocks.move_to_end(block)
-            return
-        while len(self._blocks) >= self.capacity:
-            self._blocks.popitem(last=False)
-        self._blocks[block] = prefetched
-
-    def access(self, extent: Extent) -> int:
-        """Demand access; returns the number of block hits."""
-        hits = 0
-        for block in extent.blocks():
-            if block in self._blocks:
-                hits += 1
-                self.stats.hits += 1
-                if self._blocks[block]:
-                    self.stats.prefetch_hits += 1
-                    self._blocks[block] = False  # attribute each prefetch once
-                self._blocks.move_to_end(block)
-            else:
-                self.stats.misses += 1
-                self._insert(block, prefetched=False)
-        return hits
-
-    def prefetch(self, extent: Extent) -> None:
-        """Speculatively load an extent's blocks (no hit/miss accounting)."""
-        for block in extent.blocks():
-            if block not in self._blocks:
-                self.stats.prefetches_issued += 1
-                self._insert(block, prefetched=True)
-
-
-class CorrelationPrefetcher:
-    """Prefetches the frequent partners of each accessed extent.
-
-    Built from an analyzer's correlation table; ``fanout`` bounds how many
-    partners are prefetched per access (strongest first), keeping cache
-    pollution in check.
-    """
-
-    def __init__(
-        self,
-        analyzer: OnlineAnalyzer,
-        min_support: int = 2,
-        fanout: int = 2,
-    ) -> None:
-        if fanout < 1:
-            raise ValueError("fanout must be >= 1")
-        self.fanout = fanout
-        self._partners: Dict[Extent, List[Tuple[Extent, int]]] = {}
-        for pair, tally in analyzer.frequent_pairs(min_support):
-            self._partners.setdefault(pair.first, []).append((pair.second, tally))
-            self._partners.setdefault(pair.second, []).append((pair.first, tally))
-        for partners in self._partners.values():
-            partners.sort(key=lambda entry: (-entry[1], entry[0]))
-
-    def partners_of(self, extent: Extent) -> List[Extent]:
-        return [
-            partner for partner, _tally in self._partners.get(extent, [])
-        ][: self.fanout]
-
-
-class RulePrefetcher:
-    """Directional prefetching from association rules.
-
-    Unlike :class:`CorrelationPrefetcher`, which prefetches the partners of
-    a pair in both directions, a rule prefetcher follows ``A -> B`` rules
-    only in their mined direction and only above a confidence threshold --
-    so an extent that *follows* a popular extent, but rarely precedes it,
-    does not trigger wasted prefetches of the popular one.
-    """
-
-    def __init__(self, rule_index, fanout: int = 2) -> None:
-        if fanout < 1:
-            raise ValueError("fanout must be >= 1")
-        self._rules = rule_index
-        self.fanout = fanout
-
-    def partners_of(self, extent: Extent) -> List[Extent]:
-        return self._rules.consequents_of(extent, limit=self.fanout)
+        super().__init__(capacity_blocks, policy="lru")
 
 
 def run_cache_experiment(
@@ -149,10 +49,8 @@ def run_cache_experiment(
     prefetcher: Optional[CorrelationPrefetcher] = None,
 ) -> CacheStats:
     """Drive a block cache over an access stream, with/without prefetching."""
-    cache = BlockCache(capacity_blocks)
-    for extent in accesses:
-        cache.access(extent)
-        if prefetcher is not None:
-            for partner in prefetcher.partners_of(extent):
-                cache.prefetch(partner)
-    return cache.stats
+    from ..cache.loop import simulate_cache
+
+    return simulate_cache(
+        accesses, capacity_blocks, policy="lru", prefetcher=prefetcher
+    )

@@ -11,10 +11,14 @@ recorder whose stored transactions drive offline FIM for ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set, Union
 
 from .blkdev.device import SimulatedDevice, SsdDevice
 from .blkdev.replay import ReplayResult, replay_timed
+from .cache.loop import CacheDriver
+from .cache.prefetcher import SynopsisPrefetcher
+from .cache.simcache import SimulatedBlockCache
+from .cache.stats import CacheStats
 from .core.analyzer import OnlineAnalyzer
 from .core.config import AnalyzerConfig
 from .core.extent import ExtentPair
@@ -52,10 +56,21 @@ class PipelineResult:
     #: collector (weakly held by the registry) stays alive for post-run
     #: export.
     monitor: Optional[Monitor] = None
+    #: The simulated prefetching cache, when the run attached one
+    #: (``cache=`` knob); its driver ran ahead of the analyzer on every
+    #: transaction, so hit ratios reflect strictly-causal prefetching.
+    cache: Optional[SimulatedBlockCache] = None
 
     def frequent_pairs(self, min_support: int = 2):
         """Detected correlations, strongest first."""
         return self.analyzer.frequent_pairs(min_support)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/prefetch counters of the attached cache."""
+        if self.cache is None:
+            raise ValueError("pipeline ran without cache=")
+        return self.cache.stats
 
     def offline_transactions(self) -> List[List]:
         """Recorded transactions as extent lists (offline FIM input)."""
@@ -142,6 +157,29 @@ class _AnalyzerSink:
         )
 
 
+class _CacheSink:
+    """Monitor sink serving the prefetching cache.
+
+    Registered *before* the analyzer sink, so on every transaction the
+    cache serves (and prefetches) off what the synopsis learned from
+    strictly earlier traffic -- the closed loop stays causal even though
+    both ride the same monitor.
+    """
+
+    __slots__ = ("_driver",)
+
+    def __init__(self, driver: CacheDriver) -> None:
+        self._driver = driver
+
+    def __call__(self, transaction) -> None:
+        self._driver.on_transaction(transaction.extents)
+
+    def on_transaction_batch(self, batch) -> None:
+        on_transaction = self._driver.on_transaction
+        for transaction in batch.transactions():
+            on_transaction(transaction.extents)
+
+
 def run_pipeline(
     records: Sequence[TraceRecord],
     device: Optional[SimulatedDevice] = None,
@@ -160,6 +198,9 @@ def run_pipeline(
     parallel: Optional[str] = None,
     columnar: bool = True,
     registry: Optional[MetricsRegistry] = None,
+    cache: Optional[Union[int, SimulatedBlockCache]] = None,
+    cache_policy: str = "lru",
+    prefetch: bool = True,
 ) -> PipelineResult:
     """Replay ``records`` through the full monitoring/analysis stack.
 
@@ -199,6 +240,16 @@ def run_pipeline(
     process-local default).  The registry used is returned on
     :attr:`PipelineResult.registry` so callers can export after the run
     (see :mod:`repro.telemetry.export`).
+
+    ``cache`` attaches a correlation-prefetching block cache to the run
+    (a capacity in blocks, or a ready
+    :class:`~repro.cache.simcache.SimulatedBlockCache`): every
+    transaction's extents are served through it *before* the analyzer
+    trains, and the synopsis prefetcher pulls in each access's detected
+    partners (disable with ``prefetch=False`` for a no-prefetch
+    baseline).  ``cache_policy`` picks the eviction policy when a
+    capacity is given.  The cache is returned on
+    :attr:`PipelineResult.cache`.
     """
     if device is None:
         device = SsdDevice()
@@ -236,6 +287,12 @@ def run_pipeline(
         registry=registry,
     )
     recorder = TransactionRecorder() if record_offline else None
+    if cache is not None:
+        if isinstance(cache, int):
+            cache = SimulatedBlockCache(cache, policy=cache_policy,
+                                        registry=registry)
+        prefetcher = SynopsisPrefetcher(analyzer) if prefetch else None
+        monitor.add_sink(_CacheSink(CacheDriver(cache, prefetcher)))
     if hasattr(analyzer, "process_transaction_batch"):
         monitor.add_sink(_AnalyzerSink(analyzer, parallel is not None))
     elif hasattr(analyzer, "process_transaction"):
@@ -272,6 +329,7 @@ def run_pipeline(
         recorder=recorder,
         registry=monitor.registry,
         monitor=monitor,
+        cache=cache,
     )
 
 
